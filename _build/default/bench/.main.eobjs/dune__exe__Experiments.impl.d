@@ -1,0 +1,1 @@
+bench/experiments.ml: Constraints Fact_type Figures Format Ids Int List Orm Orm_dlr Orm_generator Orm_interactive Orm_patterns Orm_reasoner Orm_sat Printf Ring Schema String Sys Value

@@ -1,0 +1,150 @@
+(* Benchmark harness.
+
+   Part 1 prints the experiment tables that regenerate the paper's
+   artifacts (figure verdicts, Table 1, the Section-4 scaling and
+   interactivity claims, ablations) - see Experiments and EXPERIMENTS.md.
+
+   Part 2 runs Bechamel micro-benchmarks, one Test.make per experiment:
+     fig/NN               pattern-engine check of each paper figure
+     table/1              regeneration of the ring compatibility table
+     scale/engine-N       pattern engine on generated schemas of size N
+     scale/finder-N       complete bounded search on the same schemas
+     scale/dlr-N          DLR translation + tableau on the same schemas
+     interactive/apply    one incremental edit on a size-40 session
+     interactive/full     the equivalent from-scratch check
+     ccform/check         full check of the complaint-scale faulted schema
+     verbalize/ccform     verbalization of the same schema
+     dsl/roundtrip        print + parse of the same schema *)
+
+open Bechamel
+open Toolkit
+open Orm
+module Engine = Orm_patterns.Engine
+
+let figure_tests =
+  List.map
+    (fun (e : Figures.expectation) ->
+      Test.make
+        ~name:(Printf.sprintf "fig/%s" e.figure)
+        (Staged.stage (fun () -> Engine.check e.schema)))
+    Figures.all
+
+let table1_test =
+  Test.make ~name:"table/1"
+    (Staged.stage (fun () ->
+         List.filter (fun (_, ok) -> ok) Ring.table1))
+
+let sized_schema n = Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized n) ~seed:11 ()
+
+let scale_tests =
+  List.concat_map
+    (fun n ->
+      let schema = sized_schema n in
+      [
+        Test.make
+          ~name:(Printf.sprintf "scale/engine-%d" n)
+          (Staged.stage (fun () -> Engine.check schema));
+      ]
+      @ (if n > 4 then []
+         else
+           [
+             Test.make
+               ~name:(Printf.sprintf "scale/dlr-%d" n)
+               (Staged.stage (fun () -> Orm_dlr.Dlr_check.check ~budget:2_000 schema));
+           ])
+      @
+      if n > 6 then []
+      else
+        [
+          Test.make
+            ~name:(Printf.sprintf "scale/finder-%d" n)
+            (Staged.stage (fun () ->
+                 Orm_reasoner.Finder.solve ~budget:20_000 schema Strongly_satisfiable));
+          Test.make
+            ~name:(Printf.sprintf "scale/sat-%d" n)
+            (Staged.stage (fun () ->
+                 Orm_sat.Encode.solve ~budget:50_000 schema Strongly_satisfiable));
+        ])
+    [ 2; 4; 6; 10 ]
+
+let interactive_tests =
+  let schema = sized_schema 40 in
+  let session = Orm_interactive.Session.create schema in
+  let fact =
+    match Schema.fact_types schema with ft :: _ -> ft.Fact_type.name | [] -> assert false
+  in
+  let edit = Orm_interactive.Edit.Add (Uniqueness (Single (Ids.first fact))) in
+  [
+    Test.make ~name:"interactive/apply"
+      (Staged.stage (fun () -> Orm_interactive.Session.apply edit session));
+    Test.make ~name:"interactive/full"
+      (Staged.stage (fun () -> Engine.check (Orm_interactive.Edit.apply edit schema)));
+  ]
+
+let ccform_tests =
+  let base = Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized 40) ~seed:23 () in
+  let faulted =
+    List.fold_left
+      (fun s p -> (Orm_generator.Faults.inject ~seed:23 p s).Orm_generator.Faults.schema)
+      base Orm_generator.Faults.all_patterns
+  in
+  [
+    Test.make ~name:"ccform/check" (Staged.stage (fun () -> Engine.check faulted));
+    Test.make ~name:"verbalize/ccform"
+      (Staged.stage (fun () -> Orm_verbalize.Verbalize.schema faulted));
+    Test.make ~name:"dsl/roundtrip"
+      (Staged.stage (fun () ->
+           Orm_dsl.Parser.parse_exn (Orm_dsl.Printer.to_string faulted)));
+    Test.make ~name:"lint/ccform"
+      (Staged.stage (fun () -> Orm_lint.Lint.check faulted));
+    Test.make ~name:"repair/suggest"
+      (Staged.stage (fun () -> Orm_repair.Repair.suggestions faulted));
+    Test.make ~name:"export/dot"
+      (Staged.stage (fun () -> Orm_export.Dot.to_string faulted));
+    Test.make ~name:"export/json"
+      (Staged.stage (fun () -> Orm_export.Json.of_schema faulted));
+    Test.make ~name:"dlr/classify-fig3"
+      (Staged.stage (fun () -> Orm_dlr.Classify.classify Orm.Figures.fig3));
+  ]
+
+let all_tests =
+  Test.make_grouped ~name:"orm-unsat"
+    (figure_tests @ [ table1_test ] @ scale_tests @ interactive_tests @ ccform_tests)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.1) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "\n==== Bechamel micro-benchmarks (monotonic clock) ====\n";
+  Printf.printf "%-28s %14s\n" "benchmark" "time/run";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> rows := (name, est) :: !rows
+          | _ -> ())
+        tbl)
+    merged;
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%10.2f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%10.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
+    else Printf.sprintf "%10.0f ns" ns
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-28s %14s\n" name (pretty est))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+
+let () =
+  Experiments.run_all ();
+  run_bechamel ();
+  print_newline ()

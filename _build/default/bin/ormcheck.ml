@@ -1,0 +1,368 @@
+(* ormcheck: command-line front end for the ORM unsatisfiability toolkit.
+
+   Subcommands:
+     check      run the unsatisfiability patterns over a .orm schema file
+     verbalize  pseudo-natural-language reading of a schema
+     dlr        ORM -> DLR translation and tableau verdicts
+     model      bounded witness search (explicit finder or SAT encoding)
+     figures    the paper's figures with their verdicts
+     table1     regenerate the ring-constraint compatibility table
+     lint       Halpin's formation rules and the RIDL-A analyses
+     dot        Graphviz export with unsatisfiability highlighting
+     json       schema / diagnostics as JSON
+     repair     ranked constraint removals restoring pattern-cleanliness
+     classify   derived subsumption hierarchy via the DL route
+     gen        emit a random schema (optionally with an injected fault) *)
+
+open Cmdliner
+module Engine = Orm_patterns.Engine
+module Settings = Orm_patterns.Settings
+
+let load file =
+  match Orm_dsl.Parser.parse_file file with
+  | Ok schema -> (
+      match Orm.Schema.validate schema with
+      | [] -> Ok schema
+      | errs ->
+          Error
+            (Format.asprintf "@[<v>schema is not well-formed:@,%a@]"
+               (Format.pp_print_list Orm.Schema.pp_error)
+               errs))
+  | Error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Schema file (.orm).")
+
+(* ---- check ---------------------------------------------------------- *)
+
+let settings_term =
+  let refined =
+    Arg.(value & flag & info [ "refined" ] ~doc:"Report only semantically provable verdicts (disable paper-faithful mode).")
+  in
+  let no_propagate =
+    Arg.(value & flag & info [ "no-propagate" ] ~doc:"Disable downward propagation (paper's algorithms verbatim).")
+  in
+  let extensions =
+    Arg.(value & flag & info [ "extensions" ] ~doc:"Also run the extension patterns 10-12 (Section-5 future work).")
+  in
+  let disabled =
+    Arg.(value & opt_all int [] & info [ "disable" ] ~docv:"N" ~doc:"Disable pattern $(docv) (repeatable).")
+  in
+  let make refined no_propagate extensions disabled =
+    let s = Settings.default in
+    let s = { s with Settings.paper_faithful = not refined; propagate = not no_propagate } in
+    let s = if extensions then Settings.with_extensions s else s in
+    List.fold_left (fun s n -> Settings.disable n s) s disabled
+  in
+  Term.(const make $ refined $ no_propagate $ extensions $ disabled)
+
+let check_cmd =
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Render domain-expert explanations (verbalized culprit constraints) instead of the raw report.")
+  in
+  let run file settings explain =
+    let schema = or_die (load file) in
+    let report = Engine.check ~settings schema in
+    if explain then
+      List.iter
+        (fun e -> Format.printf "%a@.@." Orm_explain.Explain.pp e)
+        (Orm_explain.Explain.report schema report)
+    else Format.printf "%a@." Engine.pp_report report;
+    if report.diagnostics = [] then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the nine unsatisfiability patterns over a schema.")
+    Term.(const run $ file_arg $ settings_term $ explain)
+
+(* ---- verbalize ------------------------------------------------------ *)
+
+let verbalize_cmd =
+  let run file =
+    let schema = or_die (load file) in
+    List.iter print_endline (Orm_verbalize.Verbalize.schema schema)
+  in
+  Cmd.v
+    (Cmd.info "verbalize" ~doc:"Print the pseudo-natural-language reading of a schema.")
+    Term.(const run $ file_arg)
+
+(* ---- dlr ------------------------------------------------------------ *)
+
+let dlr_cmd =
+  let tbox_only =
+    Arg.(value & flag & info [ "tbox" ] ~doc:"Print only the translated TBox.")
+  in
+  let run file tbox_only =
+    let schema = or_die (load file) in
+    if tbox_only then Format.printf "%a@." Orm_dlr.Mapping.pp (Orm_dlr.Mapping.translate schema)
+    else Format.printf "%a@." Orm_dlr.Dlr_check.pp (Orm_dlr.Dlr_check.check schema)
+  in
+  Cmd.v
+    (Cmd.info "dlr"
+       ~doc:"Translate the schema to the DLR description logic and run the tableau.")
+    Term.(const run $ file_arg $ tbox_only)
+
+(* ---- model ---------------------------------------------------------- *)
+
+let model_cmd =
+  let query =
+    Arg.(
+      value
+      & opt string "strong"
+      & info [ "query" ] ~docv:"Q"
+          ~doc:
+            "What to search for: $(b,schema) (weak satisfiability), \
+             $(b,strong), $(b,type:NAME) or $(b,role:FACT.N).")
+  in
+  let fresh =
+    Arg.(value & opt (some int) None & info [ "fresh" ] ~docv:"K" ~doc:"Fresh atoms per type family.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("search", `Search); ("sat", `Sat) ]) `Search
+      & info [ "engine" ] ~docv:"E"
+          ~doc:"Complete procedure to use: $(b,search) (explicit model finder) or $(b,sat) (CNF + DPLL).")
+  in
+  let run file query fresh engine =
+    let schema = or_die (load file) in
+    let parse_query q =
+      match String.split_on_char ':' q with
+      | [ "schema" ] -> Ok Orm_reasoner.Finder.Schema_satisfiable
+      | [ "strong" ] -> Ok Orm_reasoner.Finder.Strongly_satisfiable
+      | [ "type"; t ] -> Ok (Orm_reasoner.Finder.Type_satisfiable t)
+      | [ "role"; r ] -> (
+          match String.split_on_char '.' r with
+          | [ fact; "1" ] -> Ok (Orm_reasoner.Finder.Role_satisfiable (Orm.Ids.first fact))
+          | [ fact; "2" ] -> Ok (Orm_reasoner.Finder.Role_satisfiable (Orm.Ids.second fact))
+          | _ -> Error (Printf.sprintf "bad role reference %S (expected FACT.1 or FACT.2)" r))
+      | _ -> Error (Printf.sprintf "unknown query %S" q)
+    in
+    let q = or_die (parse_query query) in
+    match engine with
+    | `Search -> (
+        let outcome = Orm_reasoner.Finder.solve ?max_fresh:fresh schema q in
+        Format.printf "%a@." Orm_reasoner.Finder.pp_outcome outcome;
+        match outcome with
+        | Model _ -> exit 0
+        | No_model -> exit 1
+        | Budget_exceeded -> exit 3)
+    | `Sat -> (
+        let sat_query : Orm_sat.Encode.query =
+          match q with
+          | Orm_reasoner.Finder.Schema_satisfiable -> Schema_satisfiable
+          | Type_satisfiable t -> Type_satisfiable t
+          | Role_satisfiable r -> Role_satisfiable r
+          | All_populated rs -> All_populated rs
+          | Strongly_satisfiable -> Strongly_satisfiable
+        in
+        let outcome = Orm_sat.Encode.solve ?max_fresh:fresh schema sat_query in
+        Format.printf "%a@." Orm_sat.Encode.pp_outcome outcome;
+        let stats = Orm_sat.Encode.last_stats () in
+        Format.eprintf "(%d variables, %d clauses, %d DPLL steps)@." stats.variables
+          stats.clauses stats.decisions;
+        match outcome with
+        | Model _ -> exit 0
+        | No_model -> exit 1
+        | Timeout -> exit 3)
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Search for a witness population (explicit search or SAT encoding).")
+    Term.(const run $ file_arg $ query $ fresh $ engine)
+
+(* ---- figures -------------------------------------------------------- *)
+
+let figures_cmd =
+  let fig_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Figure name, e.g. fig4b.")
+  in
+  let run name =
+    let show (e : Orm.Figures.expectation) =
+      let report = Engine.check e.schema in
+      Format.printf "=== %s ===@.%a@.%a@.@." e.figure Orm_dsl.Printer.pp e.schema
+        Engine.pp_report report
+    in
+    match name with
+    | None -> List.iter show Orm.Figures.all
+    | Some n -> (
+        match Orm.Figures.find n with
+        | Some e -> show e
+        | None ->
+            prerr_endline ("unknown figure " ^ n);
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Show the paper's figures and their verdicts.")
+    Term.(const run $ fig_name)
+
+(* ---- table1 --------------------------------------------------------- *)
+
+let table1_cmd =
+  let run () =
+    print_endline "Compatible ring-constraint combinations (paper Table 1):";
+    List.iter
+      (fun ks ->
+        if not (Orm.Ring.Kind_set.is_empty ks) then
+          Format.printf "  %a@." Orm.Ring.pp_set ks)
+      Orm.Ring.compatible_combinations;
+    let incompatible =
+      List.filter (fun (_, ok) -> not ok) Orm.Ring.table1
+    in
+    Format.printf "(%d of 63 non-empty combinations are compatible; %d are not)@."
+      (List.length Orm.Ring.compatible_combinations - 1)
+      (List.length incompatible)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the ring-constraint compatibility table.")
+    Term.(const run $ const ())
+
+(* ---- lint ------------------------------------------------------------ *)
+
+let lint_cmd =
+  let rules_only =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the rule catalogue with the paper's classification instead of checking.")
+  in
+  let run file rules_only =
+    if rules_only then
+      List.iter
+        (fun (r : Orm_lint.Lint.rule) ->
+          Printf.printf "%-4s %-9s %-22s %s\n" r.rule_id
+            (match r.severity with
+            | Orm_lint.Lint.Style -> "style"
+            | Redundancy -> "redundant"
+            | Unsat_risk -> "unsat")
+            (match r.covered_by_pattern with
+            | Some p -> Printf.sprintf "(pattern %d)" p
+            | None -> "")
+            r.title)
+        Orm_lint.Lint.rules
+    else begin
+      let schema = or_die (load file) in
+      let findings = Orm_lint.Lint.check schema in
+      if findings = [] then print_endline "no style findings"
+      else
+        List.iter
+          (fun f -> Format.printf "%a@." Orm_lint.Lint.pp_finding f)
+          findings;
+      exit (if findings = [] then 0 else 1)
+    end
+  in
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Schema file (.orm).")
+  in
+  let run_opt file rules_only =
+    match (file, rules_only) with
+    | None, false ->
+        prerr_endline "a FILE argument is required unless --rules is given";
+        exit 2
+    | None, true -> run "" true
+    | Some f, r -> run f r
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check Halpin's formation rules and the RIDL-A analyses (style advice).")
+    Term.(const run_opt $ file_opt $ rules_only)
+
+(* ---- dot / json ------------------------------------------------------- *)
+
+let dot_cmd =
+  let run file =
+    let schema = or_die (load file) in
+    let report = Engine.check schema in
+    print_string (Orm_export.Dot.to_string ~report schema)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export the schema as a Graphviz digraph, unsatisfiable elements in red.")
+    Term.(const run $ file_arg)
+
+let json_cmd =
+  let report_only =
+    Arg.(value & flag & info [ "report" ] ~doc:"Emit the diagnostics report instead of the schema.")
+  in
+  let run file report_only =
+    let schema = or_die (load file) in
+    if report_only then print_endline (Orm_export.Json.of_report (Engine.check schema))
+    else print_endline (Orm_export.Json.of_schema schema)
+  in
+  Cmd.v
+    (Cmd.info "json" ~doc:"Export the schema or its diagnostics as JSON.")
+    Term.(const run $ file_arg $ report_only)
+
+(* ---- repair ----------------------------------------------------------- *)
+
+let repair_cmd =
+  let apply =
+    Arg.(value & flag & info [ "apply" ] ~doc:"Print the repaired schema instead of the suggestions.")
+  in
+  let run file apply =
+    let schema = or_die (load file) in
+    if apply then begin
+      let repaired, actions = Orm_repair.Repair.repair schema in
+      List.iter (fun a -> Format.eprintf "applied: %a@." Orm_repair.Repair.pp_action a) actions;
+      print_string (Orm_dsl.Printer.to_string repaired)
+    end
+    else
+      match Orm_repair.Repair.suggestions schema with
+      | [] -> print_endline "schema is pattern-clean; nothing to repair"
+      | suggestions ->
+          List.iter
+            (fun (s : Orm_repair.Repair.suggestion) ->
+              Format.printf "%a  (fixes %d diagnostic(s), %d left)@."
+                Orm_repair.Repair.pp_action s.action s.fixes s.remaining)
+            suggestions
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Suggest (or greedily apply) constraint removals that restore pattern-cleanliness.")
+    Term.(const run $ file_arg $ apply)
+
+(* ---- classify ---------------------------------------------------------- *)
+
+let classify_cmd =
+  let run file =
+    let schema = or_die (load file) in
+    let links = Orm_dlr.Classify.classify schema in
+    if links = [] then print_endline "no subsumptions derivable"
+    else
+      List.iter
+        (fun (l : Orm_dlr.Classify.link) ->
+          Printf.printf "%s <= %s%s\n" l.sub l.super
+            (if l.declared then "" else "   (implied, not declared)"))
+        links
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Derive the subsumption hierarchy from the DLR translation.")
+    Term.(const run $ file_arg)
+
+(* ---- gen ------------------------------------------------------------ *)
+
+let gen_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let size = Arg.(value & opt int 8 & info [ "size" ] ~docv:"K" ~doc:"Schema size (types and facts).") in
+  let fault =
+    Arg.(value & opt (some int) None & info [ "fault" ] ~docv:"P" ~doc:"Inject the pattern-$(docv) contradiction (1-9).")
+  in
+  let run seed size fault =
+    let schema = Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized size) ~seed () in
+    let schema =
+      match fault with
+      | None -> schema
+      | Some p -> (Orm_generator.Faults.inject ~seed p schema).schema
+    in
+    print_string (Orm_dsl.Printer.to_string schema)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a random schema, optionally with an injected contradiction.")
+    Term.(const run $ seed $ size $ fault)
+
+let () =
+  let doc = "Unsatisfiability reasoning for ORM conceptual schemas" in
+  let info = Cmd.info "ormcheck" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd ]))

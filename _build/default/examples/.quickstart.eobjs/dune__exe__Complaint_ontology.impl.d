@@ -1,0 +1,1 @@
+examples/complaint_ontology.ml: Constraints Fact_type Format Ids List Orm Orm_patterns Orm_reasoner Orm_verbalize Printf Ring Schema String Value

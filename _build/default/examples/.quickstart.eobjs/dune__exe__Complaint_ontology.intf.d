@@ -1,0 +1,1 @@
+examples/complaint_ontology.mli:

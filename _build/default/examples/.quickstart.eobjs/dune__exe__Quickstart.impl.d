@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Orm Orm_dlr Orm_patterns Orm_reasoner Orm_verbalize Schema String

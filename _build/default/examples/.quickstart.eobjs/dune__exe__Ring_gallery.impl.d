@@ -1,0 +1,1 @@
+examples/ring_gallery.ml: Fact_type Format Ids List Orm Orm_patterns Printf Ring Schema String

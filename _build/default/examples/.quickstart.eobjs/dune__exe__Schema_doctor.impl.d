@@ -1,0 +1,1 @@
+examples/schema_doctor.ml: Constraints Fact_type Format Ids List Orm Orm_dlr Orm_export Orm_lint Orm_patterns Orm_repair Ring Schema String

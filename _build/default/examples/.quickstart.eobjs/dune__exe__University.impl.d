@@ -1,0 +1,1 @@
+examples/university.ml: Constraints Fact_type Format Ids List Option Orm Orm_dsl Orm_interactive Orm_patterns Orm_verbalize Schema String Value

@@ -1,0 +1,80 @@
+(* "Schema doctor": the full triage pipeline on one faulty schema -
+   style lint (Halpin's formation rules / RIDL-A), unsatisfiability
+   patterns with the Section-5 extension patterns enabled, ranked repair
+   suggestions, greedy repair, DL classification of the repaired schema,
+   and DOT/JSON export for external tooling.
+
+   Run with:  dune exec examples/schema_doctor.exe *)
+
+open Orm
+
+let section title = Format.printf "@.=== %s ===@." title
+
+(* A project-tracking schema with a bit of everything wrong:
+   - a subtype loop typo (Task < Subtask < Task),
+   - an acyclic dependency relation declared mandatory (extension pattern 12),
+   - a priority role with contradictory uniqueness + frequency,
+   - style noise: FC(1-1), a redundant subset, an orphan type. *)
+let schema =
+  Schema.empty "tracker"
+  |> Schema.add_subtype ~sub:"Subtask" ~super:"Task"
+  |> Schema.add_subtype ~sub:"Task" ~super:"Subtask" (* typo: loop *)
+  |> Schema.add_subtype ~sub:"Milestone" ~super:"Deliverable"
+  |> Schema.add_object_type "Orphan"
+  |> Schema.add_fact (Fact_type.make ~reading:"depends on" "depends_on" "Deliverable" "Deliverable")
+  |> Schema.add_fact (Fact_type.make ~reading:"has priority" "has_priority" "Deliverable" "Priority")
+  |> Schema.add_fact (Fact_type.make ~reading:"is owned by" "owned_by" "Deliverable" "Team")
+  |> Schema.add_fact (Fact_type.make ~reading:"is reviewed by" "reviewed_by" "Deliverable" "Team")
+  |> Schema.add (Ring (Ring.Acyclic, "depends_on"))
+  |> Schema.add (Mandatory (Ids.first "depends_on")) (* ext. pattern 12 *)
+  |> Schema.add (Uniqueness (Single (Ids.first "has_priority")))
+  |> Schema.add
+       (Frequency (Single (Ids.first "has_priority"), Constraints.frequency ~max:3 2))
+  |> Schema.add (Frequency (Single (Ids.first "owned_by"), Constraints.frequency ~max:1 1))
+  |> Schema.add (Subset (Ids.whole_predicate "reviewed_by", Ids.whole_predicate "owned_by"))
+  |> Schema.add (Subset (Ids.whole_predicate "reviewed_by", Ids.whole_predicate "owned_by"))
+
+let () =
+  assert (Schema.validate schema = []);
+
+  section "style lint (formation rules / RIDL-A)";
+  List.iter
+    (fun f -> Format.printf "%a@." Orm_lint.Lint.pp_finding f)
+    (Orm_lint.Lint.check schema);
+
+  section "unsatisfiability patterns (with extensions)";
+  let settings = Orm_patterns.Settings.(with_extensions default) in
+  let report = Orm_patterns.Engine.check ~settings schema in
+  List.iter
+    (fun (d : Orm_patterns.Diagnostic.t) -> Format.printf "- %s@." d.message)
+    report.diagnostics;
+
+  section "ranked repair suggestions";
+  List.iter
+    (fun (s : Orm_repair.Repair.suggestion) ->
+      Format.printf "%a  (fixes %d, leaves %d)@." Orm_repair.Repair.pp_action s.action
+        s.fixes s.remaining)
+    (Orm_repair.Repair.suggestions ~settings schema);
+
+  section "greedy repair";
+  let repaired, actions = Orm_repair.Repair.repair ~settings schema in
+  List.iter (fun a -> Format.printf "applied: %a@." Orm_repair.Repair.pp_action a) actions;
+  Format.printf "diagnostics after repair: %d@."
+    (List.length (Orm_patterns.Engine.check ~settings repaired).diagnostics);
+
+  section "derived subsumption hierarchy of the repaired schema";
+  (match Orm_dlr.Classify.classify repaired with
+  | [] -> Format.printf "(no links derivable)@."
+  | links ->
+      List.iter
+        (fun (l : Orm_dlr.Classify.link) ->
+          Format.printf "%s <= %s%s@." l.sub l.super
+            (if l.declared then "" else "  (implied)"))
+        links);
+
+  section "exports";
+  let dot = Orm_export.Dot.to_string ~report schema in
+  Format.printf "DOT: %d lines (pipe `ormcheck dot` into graphviz)@."
+    (List.length (String.split_on_char '\n' dot));
+  let json = Orm_export.Json.of_report report in
+  Format.printf "JSON report: %d bytes@." (String.length json)

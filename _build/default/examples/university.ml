@@ -1,0 +1,99 @@
+(* Interactive modeling walkthrough: a university registrar's schema is
+   built step by step in an Orm_interactive.Session, the way DogmaModeler
+   users work (paper Section 4).  Three classic mistakes are made on the
+   way; the incremental validator reports each one immediately, and the
+   modeler repairs it before moving on.
+
+   Run with:  dune exec examples/university.exe *)
+
+open Orm
+module Session = Orm_interactive.Session
+module Edit = Orm_interactive.Edit
+
+let narrate session msg =
+  Format.printf "@.== %s@." msg;
+  let report = Session.report session in
+  if report.diagnostics = [] then
+    Format.printf "   validator: clean (re-ran patterns %s)@."
+      (String.concat "," (List.map string_of_int (Session.last_rechecked session)))
+  else begin
+    Format.printf "   validator caught a problem (re-ran patterns %s):@."
+      (String.concat "," (List.map string_of_int (Session.last_rechecked session)));
+    List.iter
+      (fun (d : Orm_patterns.Diagnostic.t) -> Format.printf "   %s@." d.message)
+      report.diagnostics
+  end;
+  session
+
+let step session edit = narrate (Session.apply edit session) "edit applied"
+
+let () =
+  let s = Session.create (Schema.empty "registrar") in
+
+  (* Build the type hierarchy. *)
+  let s = step s (Edit.Add_subtype ("Student", "Person")) in
+  let s = step s (Edit.Add_subtype ("Lecturer", "Person")) in
+  let s = step s (Edit.Add_subtype ("Course", "Offering")) in
+
+  (* Facts: enrolment and teaching. *)
+  let s = step s (Edit.Add_fact (Fact_type.make ~reading:"enrols in" "enrols" "Student" "Course")) in
+  let s = step s (Edit.Add_fact (Fact_type.make ~reading:"teaches" "teaches" "Lecturer" "Course")) in
+  let s = step s (Edit.Add (Mandatory (Ids.first "enrols"))) in
+  let s = step s (Edit.Add (Uniqueness (Single (Ids.first "teaches")))) in
+
+  (* Mistake 1: "students and lecturers are different people" plus a
+     teaching-assistant type below both. *)
+  let s = step s (Edit.Add (Type_exclusion [ "Student"; "Lecturer" ])) in
+  let s =
+    narrate
+      (Session.apply (Edit.Add_subtype ("TeachingAssistant", "Student")) s
+      |> Session.apply (Edit.Add_subtype ("TeachingAssistant", "Lecturer")))
+      "mistake 1: TeachingAssistant below two exclusive types (pattern 2)"
+  in
+  (* Repair: drop the exclusion (TAs are legitimately both). *)
+  let exclusion_id =
+    List.find_map
+      (fun (c : Constraints.t) ->
+        match c.body with Type_exclusion _ -> Some c.id | _ -> None)
+      (Schema.constraints (Session.schema s))
+    |> Option.get
+  in
+  let s = narrate (Session.apply (Edit.Remove_constraint exclusion_id) s) "repair 1: exclusion dropped" in
+
+  (* Mistake 2: "each lecturer teaches at least two courses" on a role that
+     already says "at most one" (pattern 7). *)
+  let s =
+    narrate
+      (Session.apply
+         (Edit.Add (Frequency (Single (Ids.first "teaches"), Constraints.frequency ~max:4 2)))
+         s)
+      "mistake 2: FC(2-4) against a uniqueness constraint (pattern 7)"
+  in
+  let freq_id =
+    List.find_map
+      (fun (c : Constraints.t) ->
+        match c.body with Frequency _ -> Some c.id | _ -> None)
+      (Schema.constraints (Session.schema s))
+    |> Option.get
+  in
+  let s = narrate (Session.apply (Edit.Remove_constraint freq_id) s) "repair 2: frequency dropped" in
+
+  (* Mistake 3: grading levels constrained to two values while demanding
+     three distinct grades per transcript row (pattern 4). *)
+  let s = step s (Edit.Add_fact (Fact_type.make ~reading:"awards grade" "awards" "Course" "Grade")) in
+  let s = step s (Edit.Add (Value_constraint ("Grade", Value.Constraint.of_strings [ "pass"; "fail" ]))) in
+  let s =
+    narrate
+      (Session.apply
+         (Edit.Add (Frequency (Single (Ids.first "awards"), Constraints.frequency ~max:5 3)))
+         s)
+      "mistake 3: 3 distinct grades demanded, 2 possible (pattern 4)"
+  in
+  let s = narrate (Option.get (Session.undo s)) "repair 3: undo the last edit" in
+
+  Format.printf "@.Final schema (%d edits, clean=%b):@.%s@."
+    (List.length (Session.history s))
+    (Session.is_clean s)
+    (Orm_dsl.Printer.to_string (Session.schema s));
+  Format.printf "Verbalization for the domain expert:@.";
+  List.iter print_endline (Orm_verbalize.Verbalize.schema (Session.schema s))

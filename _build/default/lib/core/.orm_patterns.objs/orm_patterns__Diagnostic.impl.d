@@ -1,0 +1,1 @@
+lib/core/diagnostic.ml: Constraints Format Ids List Orm Printf String

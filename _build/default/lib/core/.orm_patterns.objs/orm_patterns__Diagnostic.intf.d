@@ -1,0 +1,1 @@
+lib/core/diagnostic.mli: Constraints Format Ids Orm

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Diagnostic Format Ids Orm Schema Settings

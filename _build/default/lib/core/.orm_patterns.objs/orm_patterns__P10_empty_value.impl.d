@@ -1,0 +1,1 @@
+lib/core/p10_empty_value.ml: Constraints Diagnostic Ids List Option Orm Schema Subtype_graph Value

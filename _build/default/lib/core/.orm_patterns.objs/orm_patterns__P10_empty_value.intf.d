@@ -1,0 +1,1 @@
+lib/core/p10_empty_value.mli: Diagnostic Orm Settings

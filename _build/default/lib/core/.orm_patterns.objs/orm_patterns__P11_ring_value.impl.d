@@ -1,0 +1,1 @@
+lib/core/p11_ring_value.ml: Constraints Diagnostic Fact_type List Orm Pattern_util Ring Schema Value

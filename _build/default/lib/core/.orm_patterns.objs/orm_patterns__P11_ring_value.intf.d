@@ -1,0 +1,1 @@
+lib/core/p11_ring_value.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p12_acyclic_mandatory.ml: Constraints Diagnostic Fact_type Ids List Orm Ring Schema Subtype_graph

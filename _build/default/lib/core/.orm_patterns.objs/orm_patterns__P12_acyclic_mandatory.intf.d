@@ -1,0 +1,1 @@
+lib/core/p12_acyclic_mandatory.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p1_common_supertype.ml: Diagnostic Ids List Orm Schema String Subtype_graph

@@ -1,0 +1,1 @@
+lib/core/p1_common_supertype.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p2_exclusive_types.ml: Constraints Diagnostic Ids List Orm Pattern_util Schema String Subtype_graph

@@ -1,0 +1,1 @@
+lib/core/p2_exclusive_types.mli: Diagnostic Orm Settings

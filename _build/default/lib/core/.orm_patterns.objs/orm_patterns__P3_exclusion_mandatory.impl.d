@@ -1,0 +1,1 @@
+lib/core/p3_exclusion_mandatory.ml: Constraints Diagnostic Ids List Orm Pattern_util Schema String Subtype_graph

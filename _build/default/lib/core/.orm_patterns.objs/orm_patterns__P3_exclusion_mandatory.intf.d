@@ -1,0 +1,1 @@
+lib/core/p3_exclusion_mandatory.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p4_frequency_value.ml: Constraints Diagnostic Ids List Orm Pattern_util Schema Value

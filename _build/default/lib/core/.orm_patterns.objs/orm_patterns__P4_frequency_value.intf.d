@@ -1,0 +1,1 @@
+lib/core/p4_frequency_value.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p5_value_exclusion_frequency.ml: Constraints Diagnostic Ids List Orm Pattern_util Schema String Value

@@ -1,0 +1,1 @@
+lib/core/p5_value_exclusion_frequency.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p6_set_comparison.ml: Constraints Diagnostic Format Ids List Option Orm Pattern_util Schema Setcomp Settings String

@@ -1,0 +1,1 @@
+lib/core/p6_set_comparison.mli: Diagnostic Orm Settings

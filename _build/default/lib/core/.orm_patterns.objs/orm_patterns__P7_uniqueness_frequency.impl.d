@@ -1,0 +1,1 @@
+lib/core/p7_uniqueness_frequency.ml: Constraints Diagnostic Ids List Orm Printf Schema String

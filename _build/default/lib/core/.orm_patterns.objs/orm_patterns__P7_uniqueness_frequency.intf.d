@@ -1,0 +1,1 @@
+lib/core/p7_uniqueness_frequency.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p8_ring.ml: Constraints Diagnostic Fact_type Format List Orm Ring Schema String

@@ -1,0 +1,1 @@
+lib/core/p8_ring.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/p9_subtype_loop.ml: Diagnostic List Orm Schema String Subtype_graph

@@ -1,0 +1,1 @@
+lib/core/p9_subtype_loop.mli: Diagnostic Orm Settings

@@ -1,0 +1,1 @@
+lib/core/pattern_util.ml: Constraints Ids List Option Orm Schema Settings Subtype_graph Value

@@ -1,0 +1,1 @@
+lib/core/pattern_util.mli: Constraints Ids Orm Schema Settings Value

@@ -1,0 +1,1 @@
+lib/core/setcomp.ml: Constraints Hashtbl Ids List Option Orm Schema

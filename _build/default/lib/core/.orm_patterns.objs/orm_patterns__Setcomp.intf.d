@@ -1,0 +1,1 @@
+lib/core/setcomp.mli: Constraints Ids Orm Schema

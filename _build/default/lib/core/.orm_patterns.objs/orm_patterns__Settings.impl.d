@@ -1,0 +1,1 @@
+lib/core/settings.ml: Int List

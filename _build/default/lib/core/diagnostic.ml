@@ -1,0 +1,102 @@
+open Orm
+
+type element =
+  | Object_type of Ids.object_type
+  | Role of Ids.role
+  | Fact of Ids.fact_type
+
+let pp_element ppf = function
+  | Object_type ot -> Format.fprintf ppf "object type %s" ot
+  | Role r -> Format.fprintf ppf "role %a" Ids.pp_role r
+  | Fact f -> Format.fprintf ppf "predicate %s" f
+
+let compare_element (a : element) (b : element) = compare a b
+
+type origin =
+  | Pattern of int
+  | Propagation of element
+
+type certainty = Element_unsatisfiable | Jointly_unsatisfiable
+
+type t = {
+  origin : origin;
+  certainty : certainty;
+  affected : element list;
+  culprits : Constraints.id list;
+  message : string;
+}
+
+let make ?(certainty = Element_unsatisfiable) origin affected culprits message =
+  { origin; certainty; affected; culprits; message }
+
+let msg ?certainty origin affected culprits fmt =
+  Format.kasprintf (make ?certainty origin affected culprits) fmt
+
+let pattern_number d = match d.origin with Pattern n -> Some n | Propagation _ -> None
+
+let pattern_name = function
+  | 1 -> "Top common supertype"
+  | 2 -> "Exclusive constraint between types"
+  | 3 -> "Exclusion-Mandatory"
+  | 4 -> "Frequency-Value"
+  | 5 -> "Value-Exclusion-Frequency"
+  | 6 -> "Set-comparison constraints"
+  | 7 -> "Uniqueness-Frequency"
+  | 8 -> "Ring constraints"
+  | 9 -> "Loops in Subtypes"
+  | 10 -> "Empty effective value set (extension)"
+  | 11 -> "Ring-Value (extension)"
+  | 12 -> "Acyclic-Mandatory (extension)"
+  | n -> Printf.sprintf "Unknown pattern %d" n
+
+let pp ppf d =
+  let origin =
+    match d.origin with
+    | Pattern n -> Printf.sprintf "pattern %d (%s)" n (pattern_name n)
+    | Propagation e -> Format.asprintf "propagation from %a" pp_element e
+  in
+  let origin =
+    match d.certainty with
+    | Element_unsatisfiable -> origin
+    | Jointly_unsatisfiable -> origin ^ ", joint"
+  in
+  Format.fprintf ppf "@[<v2>[%s]@,affected: %a@,culprits: %s@,%s@]" origin
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_element)
+    d.affected
+    (String.concat ", " d.culprits)
+    d.message
+
+let certain ds = List.filter (fun d -> d.certainty = Element_unsatisfiable) ds
+
+let affected_types ds =
+  List.fold_left
+    (fun acc d ->
+      List.fold_left
+        (fun acc -> function
+          | Object_type ot -> Ids.String_set.add ot acc
+          | Role _ | Fact _ -> acc)
+        acc d.affected)
+    Ids.String_set.empty (certain ds)
+
+let roles_of_elements elements =
+  List.fold_left
+    (fun acc -> function
+      | Object_type _ -> acc
+      | Role r -> Ids.Role_set.add r acc
+      | Fact f -> Ids.Role_set.add (Ids.first f) (Ids.Role_set.add (Ids.second f) acc))
+    Ids.Role_set.empty elements
+
+let affected_roles ds =
+  List.fold_left
+    (fun acc d -> Ids.Role_set.union acc (roles_of_elements d.affected))
+    Ids.Role_set.empty (certain ds)
+
+let joint_groups ds =
+  List.filter_map
+    (fun d ->
+      match d.certainty with
+      | Element_unsatisfiable -> None
+      | Jointly_unsatisfiable -> Some (roles_of_elements d.affected))
+    ds

@@ -1,0 +1,86 @@
+(** Diagnostics produced by the unsatisfiability patterns.
+
+    A diagnostic mirrors what DogmaModeler reports (paper, Section 4): which
+    schema elements can never be populated, which pattern detected it, and
+    which constraint occurrences conspire to cause it. *)
+
+open Orm
+
+(** A schema element that a diagnostic declares unsatisfiable. *)
+type element =
+  | Object_type of Ids.object_type
+  | Role of Ids.role
+  | Fact of Ids.fact_type
+      (** a whole predicate (both its roles are unpopulatable) *)
+
+val pp_element : Format.formatter -> element -> unit
+val compare_element : element -> element -> int
+
+(** Where a diagnostic comes from: directly from one of the paper's nine
+    patterns, or from the engine's downward propagation phase (a refinement
+    over the paper: unsatisfiability of a type propagates to its strict
+    subtypes, to the roles it plays, and across a fact type to the co-role). *)
+type origin =
+  | Pattern of int  (** 1–9 *)
+  | Propagation of element  (** the element it was derived from *)
+
+(** How strong the verdict is.  The paper's messages are deliberately vague
+    ("some roles in R cannot be instantiated"); semantically two different
+    situations arise, and distinguishing them keeps the engine sound with
+    respect to the model-theoretic ground truth:
+
+    - [Element_unsatisfiable]: {e each} affected element is empty in every
+      model of the schema (e.g. pattern 4: the constrained role can never be
+      played);
+    - [Jointly_unsatisfiable]: no single model populates {e all} affected
+      elements, though each may be populatable on its own (e.g. pattern 5,
+      Fig. 6: either excluded role can be played, but never both) — a
+      violation of the paper's strong satisfiability. *)
+type certainty = Element_unsatisfiable | Jointly_unsatisfiable
+
+type t = {
+  origin : origin;
+  certainty : certainty;
+  affected : element list;  (** elements that cannot (all) be populated *)
+  culprits : Constraints.id list;
+      (** the constraint occurrences jointly causing the contradiction *)
+  message : string;  (** DogmaModeler-style verbalized explanation *)
+}
+
+val make : ?certainty:certainty -> origin -> element list -> Constraints.id list -> string -> t
+(** [certainty] defaults to [Element_unsatisfiable]. *)
+
+val msg :
+  ?certainty:certainty ->
+  origin ->
+  element list ->
+  Constraints.id list ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [msg origin affected culprits fmt ...] builds a diagnostic with a
+    formatted message. *)
+
+val pattern_number : t -> int option
+(** The pattern that produced the diagnostic ([None] for propagation). *)
+
+val pattern_name : int -> string
+(** The paper's name for each pattern, e.g. [pattern_name 3 =
+    "Exclusion-Mandatory"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val affected_types : t list -> Ids.String_set.t
+(** All object types some [Element_unsatisfiable] diagnostic declares
+    unsatisfiable. *)
+
+val affected_roles : t list -> Ids.Role_set.t
+(** All roles some [Element_unsatisfiable] diagnostic declares
+    unsatisfiable ([Fact] elements contribute both their roles). *)
+
+val joint_groups : t list -> Ids.Role_set.t list
+(** The role groups of the [Jointly_unsatisfiable] diagnostics: each set
+    cannot be fully populated in any single model. *)
+
+val roles_of_elements : element list -> Ids.Role_set.t
+(** The roles denoted by a list of elements ([Fact]s contribute both their
+    roles, object types none). *)

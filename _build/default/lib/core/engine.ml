@@ -1,0 +1,124 @@
+open Orm
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  unsat_types : Ids.String_set.t;
+  unsat_roles : Ids.Role_set.t;
+  joint : Ids.Role_set.t list;
+}
+
+let pattern_check = function
+  | 1 -> P1_common_supertype.check
+  | 2 -> P2_exclusive_types.check
+  | 3 -> P3_exclusion_mandatory.check
+  | 4 -> P4_frequency_value.check
+  | 5 -> P5_value_exclusion_frequency.check
+  | 6 -> P6_set_comparison.check
+  | 7 -> P7_uniqueness_frequency.check
+  | 8 -> P8_ring.check
+  | 9 -> P9_subtype_loop.check
+  | 10 -> P10_empty_value.check
+  | 11 -> P11_ring_value.check
+  | 12 -> P12_acyclic_mandatory.check
+  | n -> invalid_arg (Printf.sprintf "Engine.run_pattern: no pattern %d" n)
+
+let run_pattern n ?(settings = Settings.default) schema =
+  pattern_check n settings schema
+
+(* Downward propagation (a refinement over the paper): an unsatisfiable
+   object type empties its strict subtypes and the roles it plays; an
+   unsatisfiable role empties its fact type, hence its co-role; a mandatory
+   unsatisfiable role empties its player. *)
+let propagate schema (types, roles) =
+  let g = Schema.graph schema in
+  let derived = ref [] in
+  let types = ref types and roles = ref roles in
+  let add_type src t =
+    if not (Ids.String_set.mem t !types) then begin
+      types := Ids.String_set.add t !types;
+      derived :=
+        Diagnostic.msg (Propagation src)
+          [ Object_type t ]
+          []
+          "The object type %s cannot be populated as a consequence of %s."
+          t
+          (Format.asprintf "%a" Diagnostic.pp_element src)
+        :: !derived
+    end
+  in
+  let add_role src r =
+    if not (Ids.Role_set.mem r !roles) then begin
+      roles := Ids.Role_set.add r !roles;
+      derived :=
+        Diagnostic.msg (Propagation src)
+          [ Role r ]
+          []
+          "The role %s cannot be populated as a consequence of %s."
+          (Ids.role_to_string r)
+          (Format.asprintf "%a" Diagnostic.pp_element src)
+        :: !derived
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let before = (Ids.String_set.cardinal !types, Ids.Role_set.cardinal !roles) in
+    Ids.String_set.iter
+      (fun t ->
+        let src = Diagnostic.Object_type t in
+        Ids.String_set.iter (add_type src) (Subtype_graph.subtypes g t);
+        List.iter (add_role src) (Schema.roles_played_by schema t))
+      !types;
+    Ids.Role_set.iter
+      (fun r ->
+        let src = Diagnostic.Role r in
+        add_role src (Ids.co_role r);
+        if Schema.is_mandatory schema r then
+          Option.iter (add_type src) (Schema.player schema r))
+      !roles;
+    let after = (Ids.String_set.cardinal !types, Ids.Role_set.cardinal !roles) in
+    if before <> after then changed := true
+  done;
+  (!types, !roles, List.rev !derived)
+
+let aggregate diagnostics =
+  (Diagnostic.affected_types diagnostics, Diagnostic.affected_roles diagnostics)
+
+let assemble ?(settings = Settings.default) schema diagnostics =
+  let types, roles = aggregate diagnostics in
+  let joint = Diagnostic.joint_groups diagnostics in
+  if not settings.propagate then
+    { diagnostics; unsat_types = types; unsat_roles = roles; joint }
+  else
+    let types, roles, derived = propagate schema (types, roles) in
+    { diagnostics = diagnostics @ derived; unsat_types = types; unsat_roles = roles; joint }
+
+let check ?(settings = Settings.default) schema =
+  let diagnostics =
+    List.concat_map
+      (fun n -> pattern_check n settings schema)
+      (List.sort_uniq Int.compare settings.enabled)
+  in
+  assemble ~settings schema diagnostics
+
+let is_strongly_satisfiable_candidate ?settings schema =
+  (check ?settings schema).diagnostics = []
+
+let pp_report ppf r =
+  if r.diagnostics = [] then Format.fprintf ppf "no unsatisfiability pattern fires"
+  else begin
+    Format.fprintf ppf "@[<v>%d diagnostic(s):@," (List.length r.diagnostics);
+    List.iter (fun d -> Format.fprintf ppf "%a@," Diagnostic.pp d) r.diagnostics;
+    Format.fprintf ppf "unsatisfiable object types: %s@,"
+      (String.concat ", " (Ids.String_set.elements r.unsat_types));
+    Format.fprintf ppf "unsatisfiable roles: %s@,"
+      (String.concat ", "
+         (List.map Ids.role_to_string (Ids.Role_set.elements r.unsat_roles)));
+    List.iter
+      (fun group ->
+        Format.fprintf ppf "jointly unpopulatable: %s@,"
+          (String.concat ", "
+             (List.map Ids.role_to_string (Ids.Role_set.elements group))))
+      r.joint;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,42 @@
+(** The pattern engine: runs the enabled unsatisfiability patterns over a
+    schema and (optionally) closes the verdicts under downward propagation.
+
+    This is the library counterpart of DogmaModeler's validator (paper
+    Section 4): fast, incomplete by design — there exist schemas that pass
+    every pattern yet are not strongly satisfiable — but catching the common
+    modeling mistakes in time linear-to-quadratic in the schema size. *)
+
+open Orm
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  unsat_types : Ids.String_set.t;
+      (** object types that can never be populated *)
+  unsat_roles : Ids.Role_set.t;  (** roles that can never be played *)
+  joint : Ids.Role_set.t list;
+      (** role groups that can never be populated together in one model
+          (each breaks strong satisfiability without making any single
+          member unsatisfiable) *)
+}
+
+val check : ?settings:Settings.t -> Schema.t -> report
+(** Runs the enabled patterns (then propagation if
+    {!Settings.t.propagate}) and aggregates the verdicts. *)
+
+val assemble : ?settings:Settings.t -> Schema.t -> Diagnostic.t list -> report
+(** Aggregates pattern diagnostics into a report, applying the propagation
+    phase when enabled.  [check] is [assemble] over the output of the
+    enabled patterns; incremental callers (the interactive session) use it
+    to combine cached per-pattern diagnostics. *)
+
+val run_pattern : int -> ?settings:Settings.t -> Schema.t -> Diagnostic.t list
+(** Runs a single pattern regardless of the enabled set: 1–9 are the
+    paper's patterns, 10–12 the {!Settings.extension_patterns}.
+    @raise Invalid_argument for other numbers. *)
+
+val is_strongly_satisfiable_candidate : ?settings:Settings.t -> Schema.t -> bool
+(** [true] when no pattern fires — a {e candidate} because the patterns are
+    incomplete; a [false] verdict is definitive (some role or concept is
+    provably unsatisfiable). *)
+
+val pp_report : Format.formatter -> report -> unit

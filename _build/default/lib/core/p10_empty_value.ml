@@ -1,0 +1,23 @@
+open Orm
+
+let check _settings schema =
+  List.filter_map
+    (fun t ->
+      match Schema.effective_value_set schema t with
+      | Some vs when Value.Constraint.is_empty vs ->
+          let culprits =
+            List.filter_map
+              (fun anc -> Option.map (fun ((c : Constraints.t), _) -> c.id)
+                   (Schema.value_constraint schema anc))
+              (Ids.String_set.elements
+                 (Subtype_graph.supertypes_with_self (Schema.graph schema) t))
+          in
+          Some
+            (Diagnostic.msg (Pattern 10)
+               [ Object_type t ]
+               culprits
+               "The object type %s cannot be populated: the value constraints \
+                inherited along its supertype chain have an empty intersection."
+               t)
+      | _ -> None)
+    (Schema.object_types schema)

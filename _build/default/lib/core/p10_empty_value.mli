@@ -1,0 +1,8 @@
+(** Extension pattern 10 (Empty effective value set) — not in the paper's
+    nine; part of the Section-5 "more patterns" programme.
+
+    Value constraints are inherited: a subtype's population must satisfy
+    every ancestor's value constraint, so a type whose constraints
+    intersect to the empty set can never be populated. *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

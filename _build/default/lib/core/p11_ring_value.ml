@@ -1,0 +1,37 @@
+open Orm
+
+(* Kinds whose relations contain no reflexive pair (it => ir, as => ir,
+   ac => ir are Fig. 12 implications; ir is direct). *)
+let forbids_reflexive = function
+  | Ring.Irreflexive | Ring.Asymmetric | Ring.Acyclic | Ring.Intransitive -> true
+  | Ring.Antisymmetric | Ring.Symmetric -> false
+
+let check settings schema =
+  List.filter_map
+    (fun (ft : Fact_type.t) ->
+      let rings = Schema.rings_on schema ft.name in
+      let irreflexive_like =
+        List.filter (fun (_, k) -> forbids_reflexive k) rings
+      in
+      if irreflexive_like = [] then None
+      else
+        (* A tuple (x, y) with x <> y needs two distinct admissible values
+           across the two players. *)
+        let v1 = Pattern_util.value_info settings schema ft.player1 in
+        let v2 = Pattern_util.value_info settings schema ft.player2 in
+        match (v1, v2) with
+        | Some (vs1, ids1), Some (vs2, ids2) ->
+            let union = Value.Constraint.union vs1 vs2 in
+            if Value.Constraint.cardinal union < 2 then
+              let ring_ids = List.map (fun ((c : Constraints.t), _) -> c.id) irreflexive_like in
+              Some
+                (Diagnostic.msg (Pattern 11)
+                   [ Fact ft.name ]
+                   (ring_ids @ ids1 @ ids2)
+                   "The predicate %s cannot be populated: its ring constraint \
+                    forbids reflexive pairs, but the value constraints admit \
+                    only one value."
+                   ft.name)
+            else None
+        | _ -> None)
+    (Schema.fact_types schema)

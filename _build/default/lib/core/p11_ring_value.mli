@@ -1,0 +1,10 @@
+(** Extension pattern 11 (Ring-Value) — the concrete example the paper's
+    conclusion gives for a missing pattern: "for irreflexive roles at least
+    2 different values need to be present".
+
+    Any ring constraint that forbids reflexive pairs (irreflexive,
+    asymmetric, acyclic, intransitive) forces a tuple's two components to
+    differ, so populating the fact type needs two distinct values across
+    the players' admissible value sets. *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

@@ -1,0 +1,43 @@
+open Orm
+
+let check _settings schema =
+  let g = Schema.graph schema in
+  List.concat_map
+    (fun (ft : Fact_type.t) ->
+      let acyclic =
+        List.filter (fun (_, k) -> k = Ring.Acyclic) (Schema.rings_on schema ft.name)
+      in
+      if acyclic = [] then []
+      else
+        let ring_ids = List.map (fun ((c : Constraints.t), _) -> c.id) acyclic in
+        let successor_stays_inside mandatory_side =
+          (* The co-player's population is contained in the player's when it
+             is the same type or a subtype. *)
+          let player = Fact_type.player ft mandatory_side in
+          let co_player = Fact_type.player ft (Ids.other_side mandatory_side) in
+          co_player = player || Subtype_graph.is_subtype_of g ~sub:co_player ~super:player
+        in
+        List.filter_map
+          (fun side ->
+            let role = Ids.role ft.name side in
+            match Schema.mandatory_constraints_on schema role with
+            | (mand : Constraints.t) :: _ when successor_stays_inside side ->
+                let player = Fact_type.player ft side in
+                Some
+                  (Diagnostic.msg (Pattern 12)
+                     [
+                       Object_type player;
+                       Role (Ids.first ft.name);
+                       Role (Ids.second ft.name);
+                     ]
+                     (mand.id :: ring_ids)
+                     "The object type %s cannot be populated: the mandatory role \
+                      %s forces every instance into the acyclic relation %s whose \
+                      successors are again instances of %s — a finite population \
+                      would need an infinite descending chain."
+                     player
+                     (Ids.role_to_string role)
+                     ft.name player)
+            | _ -> None)
+          [ Ids.Fst; Ids.Snd ])
+    (Schema.fact_types schema)

@@ -1,0 +1,11 @@
+(** Extension pattern 12 (Acyclic-Mandatory) — another Section-5-style
+    addition, exploiting ORM's finite-population semantics.
+
+    A mandatory role on an acyclic fact type forces every instance of the
+    player to have a successor.  When every successor is again an instance
+    of the player (the co-player is the player itself or one of its
+    subtypes), any non-empty population contains an infinite descending
+    chain — impossible in a finite population without a cycle, which
+    acyclicity forbids.  The player and both roles are unsatisfiable. *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

@@ -1,0 +1,28 @@
+open Orm
+
+let check _settings schema =
+  let g = Schema.graph schema in
+  List.filter_map
+    (fun t ->
+      let directs = Subtype_graph.direct_supertypes g t in
+      match directs with
+      | [] | [ _ ] -> None
+      | first :: rest ->
+          let common =
+            List.fold_left
+              (fun acc super ->
+                Ids.String_set.inter acc (Subtype_graph.supertypes_with_self g super))
+              (Subtype_graph.supertypes_with_self g first)
+              rest
+          in
+          if Ids.String_set.is_empty common then
+            Some
+              (Diagnostic.msg (Pattern 1)
+                 [ Object_type t ]
+                 []
+                 "The subtype %s cannot be satisfied: its supertypes %s do not share \
+                  a top common supertype, so they are mutually exclusive by definition."
+                 t
+                 (String.concat ", " directs))
+          else None)
+    (Schema.object_types schema)

@@ -1,0 +1,8 @@
+(** Pattern 1 (Top common supertype).
+
+    In ORM all object types are mutually exclusive by definition except
+    those sharing a common supertype; a type with several direct supertypes
+    whose ancestries are disjoint can therefore never be populated
+    (paper Fig. 2). *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

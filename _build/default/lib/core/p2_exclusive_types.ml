@@ -1,0 +1,31 @@
+open Orm
+
+let check _settings schema =
+  let g = Schema.graph schema in
+  List.filter_map
+    (fun ((c : Constraints.t), ots) ->
+      let doomed =
+        List.fold_left
+          (fun acc (a, b) ->
+            if a = b then acc
+            else
+              Ids.String_set.union acc
+                (Ids.String_set.inter
+                   (Subtype_graph.subtypes_with_self g a)
+                   (Subtype_graph.subtypes_with_self g b)))
+          Ids.String_set.empty
+          (Pattern_util.pairs ots)
+      in
+      if Ids.String_set.is_empty doomed then None
+      else
+        let names = Ids.String_set.elements doomed in
+        Some
+          (Diagnostic.msg (Pattern 2)
+             (List.map (fun t -> Diagnostic.Object_type t) names)
+             [ c.id ]
+             "The subtypes %s cannot be instantiated because of the exclusive \
+              constraint %s between %s."
+             (String.concat ", " names)
+             c.id
+             (String.concat ", " ots)))
+    (Schema.type_exclusions schema)

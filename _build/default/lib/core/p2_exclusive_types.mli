@@ -1,0 +1,7 @@
+(** Pattern 2 (Exclusive constraint between types).
+
+    A common subtype of two mutually exclusive object types must be empty:
+    its population is contained in the (empty) intersection of the two
+    exclusive types (paper Figs. 1 and 3). *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

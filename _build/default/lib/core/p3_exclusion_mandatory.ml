@@ -1,0 +1,49 @@
+open Orm
+
+let check _settings schema =
+  let g = Schema.graph schema in
+  List.filter_map
+    (fun ((c : Constraints.t), seqs) ->
+      match Pattern_util.singles seqs with
+      | None -> None
+      | Some roles ->
+          let doomed =
+            List.concat_map
+              (fun ri ->
+                match
+                  (Schema.mandatory_constraints_on schema ri, Schema.player schema ri)
+                with
+                | [], _ | _, None -> []
+                | mand :: _, Some pi ->
+                    List.filter_map
+                      (fun rj ->
+                        if Ids.equal_role ri rj then None
+                        else
+                          match Schema.player schema rj with
+                          | Some pj
+                            when pj = pi
+                                 || Ids.String_set.mem pj (Subtype_graph.subtypes g pi)
+                            ->
+                              Some (rj, (mand : Constraints.t).id)
+                          | _ -> None)
+                      roles)
+              roles
+          in
+          (match doomed with
+          | [] -> None
+          | _ ->
+              let roles_hit =
+                List.sort_uniq Ids.compare_role (List.map fst doomed)
+              in
+              let mand_ids = List.sort_uniq String.compare (List.map snd doomed) in
+              Some
+                (Diagnostic.msg (Pattern 3)
+                   (List.map (fun r -> Diagnostic.Role r) roles_hit)
+                   (c.id :: mand_ids)
+                   "The roles %s can never be played: every candidate player \
+                    must play a mandatory role (%s) that the exclusion \
+                    constraint %s makes incompatible with them."
+                   (String.concat ", " (List.map Ids.role_to_string roles_hit))
+                   (String.concat ", " mand_ids)
+                   c.id)))
+    (Schema.role_exclusions schema)

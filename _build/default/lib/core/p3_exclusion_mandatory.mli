@@ -1,0 +1,8 @@
+(** Pattern 3 (Exclusion-Mandatory).
+
+    If a role [ri] in an exclusion constraint is mandatory, then any other
+    excluded role [rj] whose player is the same object type — or one of its
+    subtypes — can never be played: every candidate player of [rj] is
+    forced into [ri] and thereby barred from [rj] (paper Fig. 4 a–c). *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

@@ -1,0 +1,26 @@
+open Orm
+
+let check settings schema =
+  List.concat_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Frequency (Single r, { min; _ }) -> (
+          let co = Ids.co_role r in
+          match Schema.player schema co with
+          | None -> []
+          | Some co_player -> (
+              match Pattern_util.value_info settings schema co_player with
+              | Some (vs, vc_ids) when Value.Constraint.cardinal vs < min ->
+                  [
+                    Diagnostic.msg (Pattern 4)
+                      [ Role r ]
+                      (c.id :: vc_ids)
+                      "The role %s cannot be instantiated: the frequency \
+                       constraint %s requires at least %d distinct values of \
+                       %s, but its value constraint admits only %d."
+                      (Ids.role_to_string r) c.id min co_player
+                      (Value.Constraint.cardinal vs);
+                  ]
+              | _ -> []))
+      | _ -> [])
+    (Schema.constraints schema)

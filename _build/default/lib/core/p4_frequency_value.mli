@@ -1,0 +1,8 @@
+(** Pattern 4 (Frequency-Value).
+
+    A frequency constraint [FC(n-m)] on a role of fact type [A r B] demands
+    [n] distinct co-players for every player; if a value constraint bounds
+    [B] to fewer than [n] values, the role can never be populated
+    (paper Fig. 5). *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

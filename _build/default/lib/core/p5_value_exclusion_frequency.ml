@@ -1,0 +1,37 @@
+open Orm
+
+let check settings schema =
+  List.filter_map
+    (fun ((c : Constraints.t), seqs) ->
+      match Pattern_util.singles seqs with
+      | None -> None
+      | Some roles -> (
+          let players = List.filter_map (Schema.player schema) roles in
+          match List.sort_uniq String.compare players with
+          | [ t ] when List.length players = List.length roles -> (
+              let needed, freq_ids =
+                List.fold_left
+                  (fun (sum, ids) ri ->
+                    let fi, fids =
+                      Pattern_util.min_frequency_info schema (Ids.co_role ri)
+                    in
+                    (sum + fi, fids @ ids))
+                  (0, []) roles
+              in
+              match Pattern_util.value_info settings schema t with
+              | Some (vs, vc_ids) when Value.Constraint.cardinal vs < needed ->
+                  Some
+                    (Diagnostic.msg ~certainty:Jointly_unsatisfiable (Pattern 5)
+                       (List.map (fun r -> Diagnostic.Role r) roles)
+                       (c.id :: (freq_ids @ vc_ids))
+                       "Some of the roles %s cannot be instantiated: the \
+                        exclusion constraint %s forces their populations to be \
+                        disjoint and, with the frequency minima on the inverse \
+                        roles, requires %d distinct values of %s — but its \
+                        value constraint admits only %d."
+                       (String.concat ", " (List.map Ids.role_to_string roles))
+                       c.id needed t
+                       (Value.Constraint.cardinal vs))
+              | _ -> None)
+          | _ -> None))
+    (Schema.role_exclusions schema)

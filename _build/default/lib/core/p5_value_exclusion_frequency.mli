@@ -1,0 +1,11 @@
+(** Pattern 5 (Value-Exclusion-Frequency).
+
+    For an exclusion constraint over single roles all played by the same
+    object type [T], each role [Ri] needs at least [fi] distinct values of
+    [T], where [fi] is the frequency minimum on the {e inverse} role (1 if
+    unconstrained); the roles' populations being disjoint, the value
+    constraint on [T] must admit at least [f1 + ... + fn] values
+    (paper Figs. 6 and 7; a strict generalization of pattern 4's idea to
+    exclusion families). *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

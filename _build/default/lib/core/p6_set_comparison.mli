@@ -1,0 +1,13 @@
+(** Pattern 6 (Set-comparison constraints).
+
+    An exclusion constraint contradicts any direct or implied SetPath
+    (chain of subset/equality constraints, closed under the Fig. 9
+    implications) between the excluded sequences; for single-role
+    exclusions a SetPath between the enclosing predicates also contradicts,
+    since a role exclusion implies a predicate exclusion (paper Fig. 8).
+
+    In paper-faithful mode both predicates are reported unpopulatable, as
+    in the paper's algorithm; in refined mode only the sequences on the
+    subset side of the path are (both, for an equality path). *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

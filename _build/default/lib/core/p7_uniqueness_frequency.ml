@@ -1,0 +1,29 @@
+open Orm
+
+let check _settings schema =
+  List.concat_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Frequency (seq, { min; _ }) when min > 1 -> (
+          let ucs = Schema.uniqueness_on schema seq in
+          let spanning = match seq with Ids.Pair _ -> true | Ids.Single _ -> false in
+          match (ucs, spanning) with
+          | [], false -> []
+          | _ ->
+              let uc_ids = List.map (fun (u : Constraints.t) -> u.id) ucs in
+              let reason =
+                if ucs <> [] then
+                  Printf.sprintf "the uniqueness constraint %s" (String.concat ", " uc_ids)
+                else "the implicit spanning uniqueness of a set-valued predicate"
+              in
+              [
+                Diagnostic.msg (Pattern 7)
+                  (List.map (fun r -> Diagnostic.Role r) (Ids.seq_roles seq))
+                  (c.id :: uc_ids)
+                  "The frequency constraint %s (minimum %d) on %s cannot be \
+                   satisfied: it conflicts with %s, which limits every player \
+                   to a single occurrence."
+                  c.id min (Ids.seq_to_string seq) reason;
+              ])
+      | _ -> [])
+    (Schema.constraints schema)

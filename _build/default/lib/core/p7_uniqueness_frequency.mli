@@ -1,0 +1,11 @@
+(** Pattern 7 (Uniqueness-Frequency).
+
+    A uniqueness constraint limits each player to one occurrence, so a
+    frequency constraint with minimum strictly greater than 1 on the same
+    sequence is contradictory (paper Fig. 10).  Because an ORM predicate is
+    a {e set} of tuples, a frequency constraint spanning a whole predicate
+    is treated as if a spanning uniqueness constraint were present (the
+    paper's reading of formation rule 2).  A minimum of exactly 1 is
+    redundant but satisfiable — the paper's loosening of formation rule 3. *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

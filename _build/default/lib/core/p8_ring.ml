@@ -1,0 +1,26 @@
+open Orm
+
+let check _settings schema =
+  List.filter_map
+    (fun (ft : Fact_type.t) ->
+      match Schema.rings_on schema ft.name with
+      | [] -> None
+      | rings ->
+          let kinds =
+            List.fold_left
+              (fun acc (_, k) -> Ring.Kind_set.add k acc)
+              Ring.Kind_set.empty rings
+          in
+          if Ring.compatible kinds then None
+          else
+            let ids = List.map (fun ((c : Constraints.t), _) -> c.id) rings in
+            Some
+              (Diagnostic.msg (Pattern 8)
+                 [ Fact ft.name ]
+                 ids
+                 "The ring constraints %s on %s cannot be satisfied together: \
+                  only the empty relation satisfies the combination %s."
+                 (String.concat ", " ids)
+                 ft.name
+                 (Format.asprintf "%a" Ring.pp_set kinds)))
+    (Schema.fact_types schema)

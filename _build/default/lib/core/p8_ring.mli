@@ -1,0 +1,8 @@
+(** Pattern 8 (Ring constraints).
+
+    Combinations of ring constraints that are disjoint regions of Halpin's
+    Euler diagram (paper Fig. 12) admit only the empty relation; the
+    constrained roles are then unsatisfiable.  Compatibility is decided by
+    {!Orm.Ring.compatible}, which regenerates the paper's Table 1. *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

@@ -1,0 +1,13 @@
+open Orm
+
+let check _settings schema =
+  List.map
+    (fun cycle ->
+      Diagnostic.msg (Pattern 9)
+        (List.map (fun t -> Diagnostic.Object_type t) cycle)
+        []
+        "The object types %s form a loop in the subtype relation; a \
+         population would have to be a strict subset of itself, so none of \
+         them can be satisfied."
+        (String.concat ", " cycle))
+    (Subtype_graph.cycles (Schema.graph schema))

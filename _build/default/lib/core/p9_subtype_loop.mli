@@ -1,0 +1,9 @@
+(** Pattern 9 (Loops in Subtypes).
+
+    The population of an ORM subtype is a {e strict} subset of its
+    supertype's [H01], so a loop in the subtype relation would make a
+    population a strict subset of itself; every type on the loop is
+    unsatisfiable (paper Fig. 13).  Loops of subset constraints between
+    roles, by contrast, merely force equality and are not flagged. *)
+
+val check : Settings.t -> Orm.Schema.t -> Diagnostic.t list

@@ -1,0 +1,41 @@
+open Orm
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let value_info (settings : Settings.t) schema ot =
+  let types =
+    if settings.effective_value_sets then
+      Ids.String_set.elements (Subtype_graph.supertypes_with_self (Schema.graph schema) ot)
+    else [ ot ]
+  in
+  let infos =
+    List.filter_map
+      (fun t ->
+        Option.map
+          (fun ((c : Constraints.t), vs) -> (c.id, vs))
+          (Schema.value_constraint schema t))
+      types
+  in
+  match infos with
+  | [] -> None
+  | (id, vs) :: rest ->
+      let set, ids =
+        List.fold_left
+          (fun (set, ids) (id, vs') -> (Value.Constraint.inter set vs', id :: ids))
+          (vs, [ id ]) rest
+      in
+      Some (set, List.rev ids)
+
+let singles seqs =
+  let extract = function Ids.Single r -> Some r | Ids.Pair _ -> None in
+  let roles = List.filter_map extract seqs in
+  if List.length roles = List.length seqs then Some roles else None
+
+let min_frequency_info schema role =
+  List.fold_left
+    (fun (best, ids) ((c : Constraints.t), (f : Constraints.frequency)) ->
+      if f.min > best then (f.min, [ c.id ]) else (best, ids))
+    (1, [])
+    (Schema.frequencies_on schema (Ids.Single role))

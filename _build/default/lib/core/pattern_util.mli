@@ -1,0 +1,22 @@
+(** Helpers shared by the pattern implementations. *)
+
+open Orm
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct positions. *)
+
+val value_info :
+  Settings.t -> Schema.t -> Ids.object_type -> (Value.Constraint.t * Constraints.id list) option
+(** The admissible-value set of an object type together with the identifiers
+    of the value constraints contributing to it.  Honours
+    {!Settings.t.effective_value_sets}: when on, value constraints of
+    supertypes are intersected in; when off, only the direct constraint is
+    read (the paper's behaviour). *)
+
+val singles : Ids.role_seq list -> Ids.role list option
+(** [Some roles] when every sequence is a single role, [None] otherwise. *)
+
+val min_frequency_info : Schema.t -> Ids.role -> int * Constraints.id list
+(** The paper's [fi] for pattern 5: the largest minimum among the frequency
+    constraints on the role (1 when unconstrained), with the responsible
+    constraint identifiers. *)

@@ -1,0 +1,55 @@
+open Orm
+
+(* Adjacency: for each sequence, the sequences it is (directly or by
+   component-wise implication) a subset of, labelled with the constraint
+   responsible. *)
+type t = (Ids.role_seq, (Ids.role_seq * Constraints.id) list) Hashtbl.t
+
+let add_edge g src dst id =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt g src) in
+  if List.exists (fun (d, i) -> Ids.equal_seq d dst && i = id) existing then ()
+  else Hashtbl.replace g src ((dst, id) :: existing)
+
+(* A subset between pairs implies component-wise subsets between the
+   corresponding roles (Fig. 9). *)
+let add_subset g id a b =
+  add_edge g a b id;
+  match (a, b) with
+  | Ids.Pair (a1, a2), Ids.Pair (b1, b2) ->
+      add_edge g (Ids.Single a1) (Ids.Single b1) id;
+      add_edge g (Ids.Single a2) (Ids.Single b2) id
+  | _ -> ()
+
+let build schema =
+  let g : t = Hashtbl.create 16 in
+  List.iter
+    (fun (c, kind, a, b) ->
+      let id = (c : Constraints.t).id in
+      match kind with
+      | `Subset -> add_subset g id a b
+      | `Equality ->
+          add_subset g id a b;
+          add_subset g id b a)
+    (Schema.set_comparisons schema);
+  g
+
+let set_path g src dst =
+  if Ids.equal_seq src dst then None
+  else
+    let rec bfs frontier visited =
+      match frontier with
+      | [] -> None
+      | (node, ids) :: rest ->
+          if Ids.equal_seq node dst then Some (List.rev ids)
+          else
+            let next =
+              Option.value ~default:[] (Hashtbl.find_opt g node)
+              |> List.filter (fun (n, _) -> not (List.exists (Ids.equal_seq n) visited))
+            in
+            let visited = List.map fst next @ visited in
+            bfs (rest @ List.map (fun (n, id) -> (n, id :: ids)) next) visited
+    in
+    bfs [ (src, []) ] [ src ]
+
+let any_path g a b =
+  match set_path g a b with Some ids -> Some ids | None -> set_path g b a

@@ -1,0 +1,29 @@
+(** Set-comparison implication closure (paper Fig. 9, used by pattern 6).
+
+    Subset and equality constraints — jointly called {e SetPaths} by the
+    paper (an equality is two subsets) — form a directed containment graph
+    over role sequences.  Two implications from Fig. 9 are materialized when
+    building the graph:
+
+    - a subset between two predicates implies a subset between their
+      corresponding roles;
+    - (used by the pattern itself) an exclusion between single roles implies
+      an exclusion between their predicates, so a SetPath between the
+      predicates also contradicts a role-level exclusion. *)
+
+open Orm
+
+type t
+
+val build : Schema.t -> t
+(** Collects all subset/equality constraints of the schema and closes them
+    under the component-wise implication. *)
+
+val set_path : t -> Ids.role_seq -> Ids.role_seq -> Constraints.id list option
+(** [set_path g a b] is [Some ids] when the population of [a] is forced to
+    be included in [b]'s by a chain of (possibly implied) subset
+    constraints, where [ids] are the constraint occurrences along the
+    chain; [None] when no such chain exists. *)
+
+val any_path : t -> Ids.role_seq -> Ids.role_seq -> Constraints.id list option
+(** A SetPath in either direction. *)

@@ -1,0 +1,31 @@
+type t = {
+  enabled : int list;
+  paper_faithful : bool;
+  propagate : bool;
+  effective_value_sets : bool;
+}
+
+let all_patterns = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let default =
+  {
+    enabled = all_patterns;
+    paper_faithful = true;
+    propagate = true;
+    effective_value_sets = true;
+  }
+
+let patterns_only = { default with propagate = false }
+
+let extension_patterns = [ 10; 11; 12 ]
+
+let with_extensions t =
+  { t with enabled = List.sort_uniq Int.compare (extension_patterns @ t.enabled) }
+
+let enable n t =
+  if List.mem n t.enabled then t
+  else { t with enabled = List.sort Int.compare (n :: t.enabled) }
+
+let disable n t = { t with enabled = List.filter (( <> ) n) t.enabled }
+let is_enabled n t = List.mem n t.enabled
+let with_patterns ps t = { t with enabled = ps }

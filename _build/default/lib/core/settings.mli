@@ -1,0 +1,37 @@
+(** Validator settings — the engine-level counterpart of DogmaModeler's
+    "Validator Settings" window (paper Fig. 15), where each pattern can be
+    enabled or disabled, plus the ablation switches of our refinements. *)
+
+type t = {
+  enabled : int list;  (** patterns (1–9) that are switched on *)
+  paper_faithful : bool;
+      (** [true]: report exactly what the paper's algorithms report (e.g.
+          pattern 6 declares {e both} predicates unsatisfiable);
+          [false]: report only what is semantically forced *)
+  propagate : bool;
+      (** derive downward consequences (subtypes of an unsatisfiable type,
+          roles it plays, co-roles of unsatisfiable roles) *)
+  effective_value_sets : bool;
+      (** intersect value constraints along the supertype chain in patterns
+          4 and 5 instead of reading only the direct constraint *)
+}
+
+val default : t
+(** All nine patterns, paper-faithful reporting, propagation and effective
+    value sets on. *)
+
+val extension_patterns : int list
+(** The extension patterns (10–12) implementing the paper's Section-5
+    future-work programme: empty effective value sets, ring-value
+    interaction, and acyclic-mandatory finiteness.  Off by default. *)
+
+val with_extensions : t -> t
+(** Enables the extension patterns on top of whatever is enabled. *)
+
+val patterns_only : t
+(** {!default} with propagation off — the paper's algorithms verbatim. *)
+
+val enable : int -> t -> t
+val disable : int -> t -> t
+val is_enabled : int -> t -> bool
+val with_patterns : int list -> t -> t

@@ -1,0 +1,1 @@
+lib/dlr/classify.ml: Format Ids List Mapping Orm Schema Subtype_graph Syntax Tableau

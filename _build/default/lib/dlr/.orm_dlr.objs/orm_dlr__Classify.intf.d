@@ -1,0 +1,1 @@
+lib/dlr/classify.mli: Format Ids Orm Schema Syntax

@@ -1,0 +1,1 @@
+lib/dlr/dlr_check.ml: Format Ids List Mapping Orm Schema Tableau

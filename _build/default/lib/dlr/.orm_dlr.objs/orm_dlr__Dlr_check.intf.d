@@ -1,0 +1,1 @@
+lib/dlr/dlr_check.mli: Format Ids Mapping Orm Schema Tableau

@@ -1,0 +1,1 @@
+lib/dlr/mapping.ml: Constraints Fact_type Format Ids List Orm Pattern_roles Schema String Subtype_graph Syntax

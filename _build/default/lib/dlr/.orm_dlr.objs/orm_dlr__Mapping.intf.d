@@ -1,0 +1,1 @@
+lib/dlr/mapping.mli: Constraints Format Ids Orm Schema Syntax

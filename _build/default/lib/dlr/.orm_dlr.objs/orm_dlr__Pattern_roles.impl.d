@@ -1,0 +1,1 @@
+lib/dlr/pattern_roles.ml: List Orm

@@ -1,0 +1,1 @@
+lib/dlr/pattern_roles.mli: Orm

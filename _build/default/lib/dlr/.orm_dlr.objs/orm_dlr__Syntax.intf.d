@@ -1,0 +1,1 @@
+lib/dlr/syntax.mli: Format

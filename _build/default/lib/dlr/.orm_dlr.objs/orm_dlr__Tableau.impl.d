@@ -1,0 +1,1 @@
+lib/dlr/tableau.ml: Format Int List Map Option Syntax

@@ -1,0 +1,1 @@
+lib/dlr/tableau.mli: Format Syntax

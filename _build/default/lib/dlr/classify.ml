@@ -1,0 +1,48 @@
+open Orm
+
+type answer = Yes | No | Unknown
+
+let pp_answer ppf = function
+  | Yes -> Format.pp_print_string ppf "yes"
+  | No -> Format.pp_print_string ppf "no"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
+let subsumes ?budget tbox ~sub ~super =
+  match Tableau.satisfiable ?budget tbox (Syntax.And [ sub; Syntax.Not super ]) with
+  | Tableau.Unsat -> Yes
+  | Tableau.Sat -> No
+  | Tableau.Unknown -> Unknown
+
+type link = {
+  sub : Ids.object_type;
+  super : Ids.object_type;
+  declared : bool;
+}
+
+let classify ?budget schema =
+  let mapping = Mapping.translate schema in
+  let g = Schema.graph schema in
+  let types = Schema.object_types schema in
+  let satisfiable t =
+    Tableau.satisfiable ?budget mapping.tbox (Mapping.concept_of_type t) = Tableau.Sat
+  in
+  let live = List.filter satisfiable types in
+  List.concat_map
+    (fun sub ->
+      List.filter_map
+        (fun super ->
+          if sub = super then None
+          else
+            match
+              subsumes ?budget mapping.tbox ~sub:(Mapping.concept_of_type sub)
+                ~super:(Mapping.concept_of_type super)
+            with
+            | Yes ->
+                Some
+                  { sub; super; declared = Subtype_graph.is_subtype_of g ~sub ~super }
+            | No | Unknown -> None)
+        live)
+    live
+
+let implied_links ?budget schema =
+  List.filter (fun l -> not l.declared) (classify ?budget schema)

@@ -1,0 +1,35 @@
+(** Classification over the translated knowledge base.
+
+    Beyond satisfiability, a DL reasoner derives the {e subsumption}
+    hierarchy: [C ⊑ D] holds iff [C ⊓ ¬D] is unsatisfiable w.r.t. the
+    TBox.  Classifying the translation of an ORM schema surfaces implied
+    subtype links the modeler never declared — the second classical service
+    the paper's complete-procedure route (Section 4) buys on top of the
+    patterns. *)
+
+open Orm
+
+type answer = Yes | No | Unknown
+
+val pp_answer : Format.formatter -> answer -> unit
+
+val subsumes :
+  ?budget:int -> Syntax.tbox -> sub:Syntax.concept -> super:Syntax.concept -> answer
+(** [subsumes tbox ~sub ~super] decides [sub ⊑ super] by refutation. *)
+
+type link = {
+  sub : Ids.object_type;
+  super : Ids.object_type;
+  declared : bool;  (** already a (transitive) subtype edge in the schema *)
+}
+
+val classify : ?budget:int -> Schema.t -> link list
+(** All object-type pairs with [sub ⊑ super] derivable from the
+    translation, excluding reflexive pairs and pairs involving a type whose
+    concept is unsatisfiable (an empty concept is vacuously below
+    everything, which would flood the result).  [declared] distinguishes
+    derived-and-declared from genuinely implied links. *)
+
+val implied_links : ?budget:int -> Schema.t -> link list
+(** The derived-but-undeclared subset of {!classify} — the interesting
+    output for a modeler. *)

@@ -1,0 +1,63 @@
+open Orm
+
+type element_verdict = {
+  element : [ `Type of Ids.object_type | `Role of Ids.role ];
+  verdict : Tableau.verdict;
+}
+
+type result = {
+  mapping : Mapping.t;
+  verdicts : element_verdict list;
+  complete : bool;
+}
+
+let check ?budget schema =
+  let mapping = Mapping.translate schema in
+  let sat c = Tableau.satisfiable ?budget mapping.tbox c in
+  let type_verdicts =
+    List.map
+      (fun t -> { element = `Type t; verdict = sat (Mapping.concept_of_type t) })
+      (Schema.object_types schema)
+  in
+  let role_verdicts =
+    List.map
+      (fun r -> { element = `Role r; verdict = sat (Mapping.plays r) })
+      (Schema.all_roles schema)
+  in
+  {
+    mapping;
+    verdicts = type_verdicts @ role_verdicts;
+    complete = mapping.skipped = [];
+  }
+
+let unsat_types result =
+  List.filter_map
+    (fun v ->
+      match (v.element, v.verdict) with
+      | `Type t, Tableau.Unsat -> Some t
+      | _ -> None)
+    result.verdicts
+
+let unsat_roles result =
+  List.filter_map
+    (fun v ->
+      match (v.element, v.verdict) with
+      | `Role r, Tableau.Unsat -> Some r
+      | _ -> None)
+    result.verdicts
+
+let pp ppf result =
+  Format.fprintf ppf "@[<v>translation %s (%d axioms, %d skipped)@,"
+    (if result.complete then "complete" else "partial")
+    (List.length result.mapping.tbox)
+    (List.length result.mapping.skipped);
+  List.iter
+    (fun v ->
+      let name =
+        match v.element with
+        | `Type t -> "type " ^ t
+        | `Role r -> "role " ^ Ids.role_to_string r
+      in
+      Format.fprintf ppf "%s: %a@," name Tableau.pp_verdict v.verdict)
+    result.verdicts;
+  Format.fprintf ppf "@]"

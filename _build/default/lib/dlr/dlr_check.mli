@@ -1,0 +1,29 @@
+(** End-to-end DL route: translate an ORM schema and decide concept/role
+    satisfiability with the tableau — the paper's "complete procedure"
+    pipeline (ORM → DLR → DL reasoner), with the same caveats the paper
+    states: constructs outside the mapped fragment are skipped, so the
+    verdicts are complete only relative to the translated axioms. *)
+
+open Orm
+
+type element_verdict = {
+  element : [ `Type of Ids.object_type | `Role of Ids.role ];
+  verdict : Tableau.verdict;
+}
+
+type result = {
+  mapping : Mapping.t;
+  verdicts : element_verdict list;
+  complete : bool;
+      (** [false] when some constraint could not be translated — an [Unsat]
+          is then still definitive, but a [Sat] is only relative to the
+          translated fragment *)
+}
+
+val check : ?budget:int -> Schema.t -> result
+(** Translates the schema and queries the tableau for every object type
+    ([Atomic t]) and every role ([∃f.⊤] / [∃f⁻.⊤]). *)
+
+val unsat_types : result -> Ids.object_type list
+val unsat_roles : result -> Ids.role list
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,144 @@
+open Orm
+open Syntax
+
+type t = {
+  tbox : Syntax.tbox;
+  skipped : (Constraints.id * string) list;
+}
+
+let concept_of_type ot = Atomic ot
+
+let dl_role (r : Ids.role) =
+  match r.side with Ids.Fst -> role r.fact | Ids.Snd -> inv (role r.fact)
+
+let plays r = Exists (dl_role r, Top)
+
+let typing_axioms (ft : Fact_type.t) =
+  [
+    (* Domain and range of the predicate. *)
+    Subsumes (Exists (role ft.name, Top), concept_of_type ft.player1);
+    Subsumes (Exists (inv (role ft.name), Top), concept_of_type ft.player2);
+  ]
+
+let subtype_axioms graph =
+  List.map
+    (fun (sub, super) -> Subsumes (concept_of_type sub, concept_of_type super))
+    (Subtype_graph.edges graph)
+
+(* ORM's implicit mutual exclusion: types sharing no common supertype are
+   disjoint by definition.  Emitting it for top-level (root) types suffices:
+   disjointness is inherited downward through the subtype axioms. *)
+let implicit_disjointness schema =
+  let g = Schema.graph schema in
+  let roots =
+    List.filter
+      (fun t -> Subtype_graph.direct_supertypes g t = [])
+      (Schema.object_types schema)
+  in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  List.filter_map
+    (fun (a, b) ->
+      if Subtype_graph.related g a b then None
+      else Some (Subsumes (And [ concept_of_type a; concept_of_type b ], Bottom)))
+    (pairs roots)
+
+let skip id reason = Error (id, reason)
+
+let constraint_axioms schema (c : Constraints.t) =
+  match c.body with
+  | Mandatory r -> (
+      match Schema.player schema r with
+      | Some p -> Ok [ Subsumes (concept_of_type p, plays r) ]
+      | None -> skip c.id "role has no declared fact type")
+  | Disjunctive_mandatory roles -> (
+      let players = List.filter_map (Schema.player schema) roles in
+      match List.sort_uniq String.compare players with
+      | [ p ] -> Ok [ Subsumes (concept_of_type p, disj (List.map plays roles)) ]
+      | _ -> skip c.id "disjunctive mandatory over roles with different players")
+  | Uniqueness (Single r) -> (
+      match Schema.player schema r with
+      | Some p -> Ok [ Subsumes (concept_of_type p, At_most (1, dl_role r)) ]
+      | None -> skip c.id "role has no declared fact type")
+  | Uniqueness (Pair _) ->
+      (* Spanning uniqueness is implied by set semantics; no axiom needed. *)
+      Ok []
+  | External_uniqueness _ ->
+      skip c.id "external uniqueness needs role composition, outside the fragment"
+  | Frequency (Single r, { min; max }) ->
+      let bounds =
+        At_least (min, dl_role r)
+        :: (match max with Some m -> [ At_most (m, dl_role r) ] | None -> [])
+      in
+      Ok [ Subsumes (plays r, conj bounds) ]
+  | Frequency (Pair _, _) ->
+      skip c.id "frequency over a whole predicate is outside DLR (footnote 10)"
+  | Value_constraint _ ->
+      skip c.id "value constraints need nominals, outside the mapped fragment"
+  | Role_exclusion seqs -> (
+      match Pattern_roles.singles seqs with
+      | Some roles ->
+          let rec pairs = function
+            | [] -> []
+            | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+          in
+          Ok
+            (List.map
+               (fun (a, b) -> Subsumes (And [ plays a; plays b ], Bottom))
+               (pairs roles))
+      | None -> skip c.id "exclusion between whole predicates needs role disjointness")
+  | Subset (Single a, Single b) -> Ok [ Subsumes (plays a, plays b) ]
+  | Subset (Pair (a1, _), Pair (b1, _)) ->
+      Ok [ Role_subsumes (role a1.fact, role b1.fact) ]
+  | Subset _ -> skip c.id "subset between sequences of different arity"
+  | Equality (Single a, Single b) ->
+      Ok [ Subsumes (plays a, plays b); Subsumes (plays b, plays a) ]
+  | Equality (Pair (a1, _), Pair (b1, _)) ->
+      Ok
+        [
+          Role_subsumes (role a1.fact, role b1.fact);
+          Role_subsumes (role b1.fact, role a1.fact);
+        ]
+  | Equality _ -> skip c.id "equality between sequences of different arity"
+  | Type_exclusion ots ->
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      Ok
+        (List.map
+           (fun (a, b) ->
+             Subsumes (And [ concept_of_type a; concept_of_type b ], Bottom))
+           (pairs ots))
+  | Total_subtypes (super, subs) ->
+      Ok [ Subsumes (concept_of_type super, disj (List.map concept_of_type subs)) ]
+  | Ring _ ->
+      skip c.id "ring constraints are outside DLR (paper footnote 10)"
+
+let translate schema =
+  let base =
+    List.concat_map typing_axioms (Schema.fact_types schema)
+    @ subtype_axioms (Schema.graph schema)
+    @ implicit_disjointness schema
+  in
+  let tbox, skipped =
+    List.fold_left
+      (fun (axioms, skipped) c ->
+        match constraint_axioms schema c with
+        | Ok axs -> (axioms @ axs, skipped)
+        | Error sk -> (axioms, sk :: skipped))
+      (base, []) (Schema.constraints schema)
+  in
+  { tbox; skipped = List.rev skipped }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]" Syntax.pp_tbox t.tbox;
+  match t.skipped with
+  | [] -> ()
+  | sk ->
+      Format.fprintf ppf "@.@[<v>not translated:@,%a@]"
+        (Format.pp_print_list (fun ppf (id, why) ->
+             Format.fprintf ppf "  %s: %s" id why))
+        sk

@@ -1,0 +1,33 @@
+(** The ORM → DLR mapping of [JF05] for the paper's binary fragment.
+
+    Each object type becomes an atomic concept, each fact type an atomic
+    role typed by domain/range axioms, and each constraint a TBox axiom
+    where the fragment allows.  The constructs the paper's footnote 10
+    excludes from the mapping — ring constraints, value constraints
+    (nominals), and exclusion/uniqueness over whole predicates (role
+    disjointness) — are reported in [skipped] rather than silently dropped,
+    so callers know the DL route is advisory for those schemas. *)
+
+open Orm
+
+type t = {
+  tbox : Syntax.tbox;
+  skipped : (Constraints.id * string) list;
+      (** untranslatable constraint occurrences with the reason *)
+}
+
+val translate : Schema.t -> t
+(** The full knowledge base: typing axioms, subtype axioms, implicit
+    disjointness of unrelated top-level types (ORM's default mutual
+    exclusion), and one axiom per translatable constraint. *)
+
+val concept_of_type : Ids.object_type -> Syntax.concept
+val plays : Ids.role -> Syntax.concept
+(** [plays r] is the concept of objects playing role [r]:
+    [∃f.⊤] for a first role, [∃f⁻.⊤] for a second. *)
+
+val dl_role : Ids.role -> Syntax.role
+(** The DL role reading {e away} from the given end: first role ↦ [f],
+    second ↦ [f⁻]. *)
+
+val pp : Format.formatter -> t -> unit

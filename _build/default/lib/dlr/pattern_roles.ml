@@ -1,0 +1,4 @@
+let singles seqs =
+  let extract = function Orm.Ids.Single r -> Some r | Orm.Ids.Pair _ -> None in
+  let roles = List.filter_map extract seqs in
+  if List.length roles = List.length seqs then Some roles else None

@@ -1,0 +1,4 @@
+(** Local helper: extract single roles from a sequence list. *)
+
+val singles : Orm.Ids.role_seq list -> Orm.Ids.role list option
+(** [Some roles] when every sequence is a single role, [None] otherwise. *)

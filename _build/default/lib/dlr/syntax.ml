@@ -1,0 +1,88 @@
+type role = { rname : string; inverted : bool }
+
+let role rname = { rname; inverted = false }
+let inv r = { r with inverted = not r.inverted }
+let equal_role (a : role) (b : role) = a = b
+
+let pp_role ppf r =
+  if r.inverted then Format.fprintf ppf "%s⁻" r.rname
+  else Format.pp_print_string ppf r.rname
+
+type concept =
+  | Top
+  | Bottom
+  | Atomic of string
+  | Not of concept
+  | And of concept list
+  | Or of concept list
+  | Exists of role * concept
+  | Forall of role * concept
+  | At_least of int * role
+  | At_most of int * role
+
+let rec pp_concept ppf = function
+  | Top -> Format.pp_print_string ppf "⊤"
+  | Bottom -> Format.pp_print_string ppf "⊥"
+  | Atomic a -> Format.pp_print_string ppf a
+  | Not c -> Format.fprintf ppf "¬%a" pp_atomish c
+  | And cs -> pp_nary ppf " ⊓ " cs
+  | Or cs -> pp_nary ppf " ⊔ " cs
+  | Exists (r, c) -> Format.fprintf ppf "∃%a.%a" pp_role r pp_atomish c
+  | Forall (r, c) -> Format.fprintf ppf "∀%a.%a" pp_role r pp_atomish c
+  | At_least (n, r) -> Format.fprintf ppf "≥%d %a" n pp_role r
+  | At_most (n, r) -> Format.fprintf ppf "≤%d %a" n pp_role r
+
+and pp_atomish ppf c =
+  match c with
+  | Top | Bottom | Atomic _ | Not _ | Exists _ | Forall _ | At_least _ | At_most _ ->
+      pp_concept ppf c
+  | And _ | Or _ -> Format.fprintf ppf "(%a)" pp_concept c
+
+and pp_nary ppf sep = function
+  | [] -> Format.pp_print_string ppf "⊤"
+  | [ c ] -> pp_concept ppf c
+  | c :: rest ->
+      pp_atomish ppf c;
+      List.iter (fun d -> Format.fprintf ppf "%s%a" sep pp_atomish d) rest
+
+let concept_to_string c = Format.asprintf "%a" pp_concept c
+
+type axiom =
+  | Subsumes of concept * concept
+  | Role_subsumes of role * role
+
+let pp_axiom ppf = function
+  | Subsumes (c, d) -> Format.fprintf ppf "%a ⊑ %a" pp_concept c pp_concept d
+  | Role_subsumes (r, s) -> Format.fprintf ppf "%a ⊑ %a" pp_role r pp_role s
+
+type tbox = axiom list
+
+let pp_tbox ppf tbox =
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_axiom) tbox
+
+let conj = function [] -> Top | [ c ] -> c | cs -> And cs
+let disj = function [] -> Bottom | [ c ] -> c | cs -> Or cs
+
+let rec nnf = function
+  | (Top | Bottom | Atomic _ | At_least _ | At_most _) as c -> c
+  | And cs -> And (List.map nnf cs)
+  | Or cs -> Or (List.map nnf cs)
+  | Exists (r, c) -> Exists (r, nnf c)
+  | Forall (r, c) -> Forall (r, nnf c)
+  | Not c -> neg_nnf c
+
+and neg_nnf = function
+  | Top -> Bottom
+  | Bottom -> Top
+  | Atomic a -> Not (Atomic a)
+  | Not c -> nnf c
+  | And cs -> Or (List.map neg_nnf cs)
+  | Or cs -> And (List.map neg_nnf cs)
+  | Exists (r, c) -> Forall (r, neg_nnf c)
+  | Forall (r, c) -> Exists (r, neg_nnf c)
+  | At_least (n, r) -> if n = 0 then Bottom else At_most (n - 1, r)
+  | At_most (n, r) -> At_least (n + 1, r)
+
+let neg c = neg_nnf c
+
+let compare_concept (a : concept) (b : concept) = compare a b

@@ -1,0 +1,55 @@
+(** Description-logic syntax for the target of the ORM → DLR mapping.
+
+    The fragment is ALCIN with role inclusions: atomic concepts, boolean
+    connectives, existential/universal restrictions, unqualified number
+    restrictions, and inverse roles — the portion of DLR the paper's [JF05]
+    mapping actually exercises for the binary-fact-type fragment of ORM. *)
+
+(** A (possibly inverted) atomic role.  In the binary encoding every ORM
+    fact type [f : A -> B] becomes the atomic role [f], read from the first
+    player to the second; [f⁻] reads backwards. *)
+type role = { rname : string; inverted : bool }
+
+val role : string -> role
+val inv : role -> role
+val equal_role : role -> role -> bool
+val pp_role : Format.formatter -> role -> unit
+
+type concept =
+  | Top
+  | Bottom
+  | Atomic of string
+  | Not of concept
+  | And of concept list
+  | Or of concept list
+  | Exists of role * concept  (** ∃R.C *)
+  | Forall of role * concept  (** ∀R.C *)
+  | At_least of int * role  (** ≥n R (unqualified) *)
+  | At_most of int * role  (** ≤n R (unqualified) *)
+
+val pp_concept : Format.formatter -> concept -> unit
+val concept_to_string : concept -> string
+
+(** TBox axioms: general concept inclusions and role inclusions. *)
+type axiom =
+  | Subsumes of concept * concept  (** [Subsumes (c, d)]: c ⊑ d *)
+  | Role_subsumes of role * role  (** r ⊑ s *)
+
+val pp_axiom : Format.formatter -> axiom -> unit
+
+type tbox = axiom list
+
+val pp_tbox : Format.formatter -> tbox -> unit
+
+val nnf : concept -> concept
+(** Negation normal form. *)
+
+val neg : concept -> concept
+(** [neg c] is the NNF of [Not c]. *)
+
+val conj : concept list -> concept
+(** Flattening conjunction ([And []] is [Top]). *)
+
+val disj : concept list -> concept
+
+val compare_concept : concept -> concept -> int

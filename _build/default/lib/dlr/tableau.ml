@@ -1,0 +1,336 @@
+open Syntax
+
+type verdict = Sat | Unsat | Unknown
+
+let pp_verdict ppf = function
+  | Sat -> Format.pp_print_string ppf "satisfiable"
+  | Unsat -> Format.pp_print_string ppf "unsatisfiable"
+  | Unknown -> Format.pp_print_string ppf "unknown (budget exceeded)"
+
+exception Give_up
+
+module Imap = Map.Make (Int)
+
+type state = {
+  labels : concept list Imap.t;  (* node -> NNF concepts *)
+  edges : (int * role * int) list;  (* creation-directed edges *)
+  parent : int Imap.t;  (* tree parent of non-root nodes *)
+  distinct : (int * int) list;  (* pairwise-distinct node pairs *)
+  next : int;
+}
+
+let rules_used = ref 0
+let stats_last_rules () = !rules_used
+
+let label st x = Option.value ~default:[] (Imap.find_opt x st.labels)
+let mem_concept st x c = List.exists (fun d -> compare_concept c d = 0) (label st x)
+
+let add_concepts st x cs =
+  let fresh = List.filter (fun c -> not (mem_concept st x c)) cs in
+  if fresh = [] then None
+  else Some { st with labels = Imap.add x (fresh @ label st x) st.labels }
+
+let are_distinct st a b =
+  List.mem (a, b) st.distinct || List.mem (b, a) st.distinct
+
+(* Role-inclusion closure: all super-roles of [r], including [r] itself.
+   An inclusion r ⊑ s also closes r⁻ ⊑ s⁻. *)
+let super_roles inclusions r =
+  let step r =
+    List.filter_map
+      (fun (sub, super) ->
+        if equal_role sub r then Some super
+        else if equal_role (inv sub) r then Some (inv super)
+        else None)
+      inclusions
+  in
+  let rec closure frontier seen =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+        let fresh =
+          List.filter (fun s -> not (List.exists (equal_role s) seen)) (step x)
+        in
+        closure (fresh @ rest) (fresh @ seen)
+  in
+  closure [ r ] [ r ]
+
+(* Neighbours of [x] for role [r]: successors created under a sub-role of
+   [r], and predecessors created under a sub-role of [r⁻]. *)
+let neighbours inclusions st r x =
+  List.filter_map
+    (fun (a, s, b) ->
+      if a = x && List.exists (equal_role r) (super_roles inclusions s) then Some b
+      else if b = x && List.exists (equal_role r) (super_roles inclusions (inv s))
+      then Some a
+      else None)
+    st.edges
+  |> List.sort_uniq Int.compare
+
+let ancestors st x =
+  let rec loop x acc =
+    match Imap.find_opt x st.parent with
+    | None -> List.rev acc
+    | Some p -> loop p (p :: acc)
+  in
+  loop x []
+
+let same_label st a b =
+  let la = List.sort_uniq compare_concept (label st a) in
+  let lb = List.sort_uniq compare_concept (label st b) in
+  la = lb
+
+let edge_role st x =
+  (* The role under which tree node [x] was created. *)
+  List.find_map
+    (fun (a, r, b) ->
+      if b = x && Imap.find_opt x st.parent = Some a then Some r else None)
+    st.edges
+
+(* Pairwise blocking: x (with tree predecessor x') is blocked by an
+   ancestor y (with predecessor y') when the labels of x/y and x'/y' agree
+   and both were reached under the same role. *)
+let directly_blocked st x =
+  match Imap.find_opt x st.parent with
+  | None -> false
+  | Some x' ->
+      List.exists
+        (fun y ->
+          match Imap.find_opt y st.parent with
+          | None -> false
+          | Some y' ->
+              y <> x && same_label st x y && same_label st x' y'
+              && (match (edge_role st x, edge_role st y) with
+                 | Some r1, Some r2 -> equal_role r1 r2
+                 | _ -> false))
+        (ancestors st x)
+
+let blocked st x =
+  directly_blocked st x || List.exists (directly_blocked st) (ancestors st x)
+
+(* Does [x] have [n] pairwise-distinct members among [nodes]? *)
+let has_n_distinct st n nodes =
+  let rec pick chosen = function
+    | _ when List.length chosen = n -> true
+    | [] -> false
+    | y :: rest ->
+        (if List.for_all (fun z -> are_distinct st y z) chosen then
+           pick (y :: chosen) rest
+         else false)
+        || pick chosen rest
+  in
+  if n = 0 then true else pick [] nodes
+
+let has_clash st x =
+  List.exists
+    (fun c ->
+      match c with
+      | Bottom -> true
+      | Not (Atomic a) -> mem_concept st x (Atomic a)
+      | _ -> false)
+    (label st x)
+
+(* Merge node [y] into [z]: [z] inherits the label and edges of [y]. *)
+let merge st y z =
+  let rename n = if n = y then z else n in
+  {
+    st with
+    labels = Imap.add z (label st z @ label st y) (Imap.remove y st.labels);
+    edges =
+      List.filter_map
+        (fun (a, r, b) ->
+          let a = rename a and b = rename b in
+          if a = z && b = z then None else Some (a, r, b))
+        st.edges;
+    parent =
+      Imap.fold
+        (fun n p acc -> if n = y then acc else Imap.add n (rename p) acc)
+        st.parent Imap.empty;
+    distinct = List.map (fun (a, b) -> (rename a, rename b)) st.distinct;
+  }
+
+let fresh_node st concepts parent via =
+  let x = st.next in
+  ( x,
+    {
+      st with
+      labels = Imap.add x concepts st.labels;
+      edges = (parent, via, x) :: st.edges;
+      parent = Imap.add x parent st.parent;
+      next = x + 1;
+    } )
+
+type step =
+  | Done  (* no rule applies *)
+  | Clash
+  | Next of state
+  | Branch of state list
+
+let nodes_of st = List.map fst (Imap.bindings st.labels)
+
+let find_step universal inclusions st =
+  let try_node x =
+    if has_clash st x then Some Clash
+    else
+      let lbl = label st x in
+      (* ⊓-rule *)
+      let conj_rule =
+        List.find_map
+          (fun c ->
+            match c with
+            | And cs -> Option.map (fun st -> Next st) (add_concepts st x cs)
+            | _ -> None)
+          lbl
+      in
+      let disj_rule () =
+        List.find_map
+          (fun c ->
+            match c with
+            | Or cs when not (List.exists (mem_concept st x) cs) ->
+                Some
+                  (Branch
+                     (List.filter_map (fun d -> add_concepts st x [ d ]) cs))
+            | _ -> None)
+          lbl
+      in
+      (* ≤-rule: merge two non-distinct neighbours, or clash. *)
+      let atmost_rule () =
+        List.find_map
+          (fun c ->
+            match c with
+            | At_most (n, r) ->
+                let ns = neighbours inclusions st r x in
+                if List.length ns <= n then None
+                else if has_n_distinct st (n + 1) ns then Some Clash
+                else
+                  let merges =
+                    List.concat_map
+                      (fun y ->
+                        List.filter_map
+                          (fun z ->
+                            if y < z && not (are_distinct st y z) then
+                              Some (merge st z y)
+                            else None)
+                          ns)
+                      ns
+                  in
+                  if merges = [] then Some Clash else Some (Branch merges)
+            | _ -> None)
+          lbl
+      in
+      (* ∀-rule *)
+      let forall_rule () =
+        List.find_map
+          (fun c ->
+            match c with
+            | Forall (r, d) ->
+                List.find_map
+                  (fun y -> Option.map (fun st -> Next st) (add_concepts st y [ d ]))
+                  (neighbours inclusions st r x)
+            | _ -> None)
+          lbl
+      in
+      (* ∃-rule (generating; skipped when blocked) *)
+      let exists_rule () =
+        if blocked st x then None
+        else
+          List.find_map
+            (fun c ->
+              match c with
+              | Exists (r, d) ->
+                  let ns = neighbours inclusions st r x in
+                  if List.exists (fun y -> mem_concept st y d) ns then None
+                  else
+                    let _, st = fresh_node st (d :: universal) x r in
+                    Some (Next st)
+              | _ -> None)
+            lbl
+      in
+      (* ≥-rule (generating; skipped when blocked) *)
+      let atleast_rule () =
+        if blocked st x then None
+        else
+          List.find_map
+            (fun c ->
+              match c with
+              | At_least (n, r) ->
+                  let ns = neighbours inclusions st r x in
+                  if has_n_distinct st n ns then None
+                  else
+                    let rec spawn k st created =
+                      if k = 0 then (st, created)
+                      else
+                        let y, st = fresh_node st (Top :: universal) x r in
+                        spawn (k - 1) st (y :: created)
+                    in
+                    let st, created = spawn n st [] in
+                    let distinct =
+                      List.concat_map
+                        (fun y -> List.filter_map (fun z -> if y < z then Some (y, z) else None) created)
+                        created
+                    in
+                    Some (Next { st with distinct = distinct @ st.distinct })
+              | _ -> None)
+            lbl
+      in
+      match conj_rule with
+      | Some s -> Some s
+      | None -> (
+          match disj_rule () with
+          | Some s -> Some s
+          | None -> (
+              match atmost_rule () with
+              | Some s -> Some s
+              | None -> (
+                  match forall_rule () with
+                  | Some s -> Some s
+                  | None -> (
+                      match exists_rule () with
+                      | Some s -> Some s
+                      | None -> atleast_rule ()))))
+  in
+  let rec scan = function
+    | [] -> Done
+    | x :: rest -> ( match try_node x with Some s -> s | None -> scan rest)
+  in
+  scan (nodes_of st)
+
+let satisfiable ?(budget = 50_000) tbox c =
+  rules_used := 0;
+  let universal =
+    List.filter_map
+      (function
+        | Subsumes (lhs, rhs) -> Some (nnf (Or [ neg lhs; rhs ]))
+        | Role_subsumes _ -> None)
+      tbox
+  in
+  let inclusions =
+    List.filter_map
+      (function Role_subsumes (r, s) -> Some (r, s) | Subsumes _ -> None)
+      tbox
+  in
+  let root_label = nnf c :: universal in
+  let init =
+    {
+      labels = Imap.singleton 0 root_label;
+      edges = [];
+      parent = Imap.empty;
+      distinct = [];
+      next = 1;
+    }
+  in
+  let rec expand st =
+    incr rules_used;
+    if !rules_used > budget then raise Give_up;
+    match find_step universal inclusions st with
+    | Done -> Sat
+    | Clash -> Unsat
+    | Next st -> expand st
+    | Branch alternatives ->
+        let rec try_all = function
+          | [] -> Unsat
+          | st :: rest -> ( match expand st with Sat -> Sat | Unsat | Unknown -> try_all rest)
+        in
+        try_all alternatives
+  in
+  try expand init with Give_up -> Unknown

@@ -1,0 +1,22 @@
+(** A tableau-based concept-satisfiability checker for ALCIN TBoxes.
+
+    This plays the part RACER plays in the paper's Section 4: a complete
+    (for the mapped fragment) but worst-case exponential decision procedure
+    against which the pattern engine's speed is compared.  Standard
+    completion rules for ⊓, ⊔, ∃, ∀ and unqualified ≥/≤ restrictions, with
+    GCIs internalized as universal constraints, role-inclusion closure on
+    edges, and pairwise blocking (required in the presence of both inverse
+    roles and number restrictions).  A node budget bounds pathological
+    inputs; exceeding it yields [Unknown] rather than a wrong answer. *)
+
+type verdict = Sat | Unsat | Unknown
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val satisfiable : ?budget:int -> Syntax.tbox -> Syntax.concept -> verdict
+(** [satisfiable tbox c] decides whether some model of [tbox] gives [c] a
+    non-empty extension.  [budget] (default 50_000) bounds rule
+    applications. *)
+
+val stats_last_rules : unit -> int
+(** Rule applications used by the most recent {!satisfiable} call. *)

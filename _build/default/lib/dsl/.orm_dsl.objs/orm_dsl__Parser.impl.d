@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Constraints Fact_type Format Ids In_channel Lexer List Orm Printf Result Ring Schema Token Value

@@ -1,0 +1,1 @@
+lib/dsl/printer.ml: Buffer Constraints Fact_type Format Ids List Orm Out_channel Printf Ring Schema String Subtype_graph Value

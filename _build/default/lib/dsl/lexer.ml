@@ -1,0 +1,128 @@
+exception Error of string * int * int
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex_ident cur =
+  let start = cur.pos in
+  while (match peek cur with Some c -> is_ident_char c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let lex_int cur =
+  let start = cur.pos in
+  if peek cur = Some '-' then advance cur;
+  while (match peek cur with Some c -> is_digit c | None -> false) do
+    advance cur
+  done;
+  int_of_string (String.sub cur.src start (cur.pos - start))
+
+let lex_string cur =
+  let line = cur.line and col = cur.col in
+  advance cur (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> raise (Error ("unterminated string literal", line, col))
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some (('"' | '\\') as c) ->
+            Buffer.add_char buf c;
+            advance cur;
+            loop ()
+        | Some c -> raise (Error (Printf.sprintf "unknown escape '\\%c'" c, cur.line, cur.col))
+        | None -> raise (Error ("unterminated string literal", line, col)))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let skip_line cur =
+  while (match peek cur with Some c -> c <> '\n' | None -> false) do
+    advance cur
+  done
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit token line col = tokens := { Token.token; line; col } :: !tokens in
+  let rec loop () =
+    match peek cur with
+    | None -> ()
+    | Some c ->
+        let line = cur.line and col = cur.col in
+        (match c with
+        | ' ' | '\t' | '\r' | '\n' -> advance cur
+        | '#' -> skip_line cur
+        | '/' when peek2 cur = Some '/' -> skip_line cur
+        | '"' -> emit (String (lex_string cur)) line col
+        | '.' when peek2 cur = Some '.' ->
+            advance cur;
+            advance cur;
+            emit Range line col
+        | '.' ->
+            advance cur;
+            emit Dot line col
+        | ',' ->
+            advance cur;
+            emit Comma line col
+        | '(' ->
+            advance cur;
+            emit Lparen line col
+        | ')' ->
+            advance cur;
+            emit Rparen line col
+        | '{' ->
+            advance cur;
+            emit Lbrace line col
+        | '}' ->
+            advance cur;
+            emit Rbrace line col
+        | '[' ->
+            advance cur;
+            emit Lbracket line col
+        | ']' ->
+            advance cur;
+            emit Rbracket line col
+        | '<' when peek2 cur = Some '=' ->
+            advance cur;
+            advance cur;
+            emit Subset_op line col
+        | '=' ->
+            advance cur;
+            emit Equals line col
+        | '-' when (match peek2 cur with Some d -> is_digit d | None -> false) ->
+            emit (Int (lex_int cur)) line col
+        | c when is_digit c -> emit (Int (lex_int cur)) line col
+        | c when is_ident_start c -> emit (Ident (lex_ident cur)) line col
+        | c -> raise (Error (Printf.sprintf "illegal character '%c'" c, line, col)));
+        loop ()
+  in
+  loop ();
+  emit Eof cur.line cur.col;
+  List.rev !tokens

@@ -1,0 +1,13 @@
+(** Hand-written lexer for the schema language.
+
+    Identifiers are ASCII letters, digits, underscores and primes, starting
+    with a letter or underscore; integers are decimal (a leading minus is
+    accepted); strings are double-quoted with backslash escapes for the
+    quote and the backslash.  Comments run from [#] or [//] to end of
+    line. *)
+
+exception Error of string * int * int  (** message, line, column *)
+
+val tokenize : string -> Token.located list
+(** The token stream, ending with {!Token.Eof}.
+    @raise Error on an illegal character or unterminated string. *)

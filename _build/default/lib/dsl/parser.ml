@@ -1,0 +1,213 @@
+open Orm
+
+exception Error of string * int * int
+
+type stream = { tokens : Token.located array; mutable index : int }
+
+let current st = st.tokens.(st.index)
+
+let fail_at (tok : Token.located) fmt =
+  Format.kasprintf (fun msg -> raise (Error (msg, tok.line, tok.col))) fmt
+
+let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let expect st expected =
+  let tok = current st in
+  if tok.token = expected then advance st
+  else fail_at tok "expected %s but found %s" (Token.describe expected)
+      (Token.describe tok.token)
+
+let ident st =
+  let tok = current st in
+  match tok.token with
+  | Token.Ident name ->
+      advance st;
+      name
+  | other -> fail_at tok "expected an identifier but found %s" (Token.describe other)
+
+let int st =
+  let tok = current st in
+  match tok.token with
+  | Token.Int n ->
+      advance st;
+      n
+  | other -> fail_at tok "expected an integer but found %s" (Token.describe other)
+
+let comma_list st parse_item =
+  let rec loop acc =
+    let item = parse_item st in
+    if (current st).token = Token.Comma then begin
+      advance st;
+      loop (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  loop []
+
+let role st =
+  let tok = current st in
+  let fact = ident st in
+  expect st Token.Dot;
+  match int st with
+  | 1 -> Ids.first fact
+  | 2 -> Ids.second fact
+  | n -> fail_at tok "role index must be 1 or 2, found %d" n
+
+let seq st =
+  if (current st).token = Token.Lparen then begin
+    advance st;
+    let r1 = role st in
+    expect st Token.Comma;
+    let r2 = role st in
+    expect st Token.Rparen;
+    Ids.Pair (r1, r2)
+  end
+  else Ids.Single (role st)
+
+let value st =
+  let tok = current st in
+  match tok.token with
+  | Token.String s ->
+      advance st;
+      Value.str s
+  | Token.Int n ->
+      advance st;
+      Value.int n
+  | other -> fail_at tok "expected a value but found %s" (Token.describe other)
+
+let value_set st =
+  expect st Token.Lbrace;
+  let set =
+    match ((current st).token, st.tokens.(st.index + 1).token) with
+    | Token.Int lo, Token.Range ->
+        advance st;
+        advance st;
+        let hi = int st in
+        Value.Constraint.of_range lo hi
+    | _ -> Value.Constraint.of_list (comma_list st value)
+  in
+  expect st Token.Rbrace;
+  set
+
+let frequency st =
+  let tok = current st in
+  let min = int st in
+  expect st Token.Range;
+  let max =
+    match (current st).token with
+    | Token.Int m ->
+        advance st;
+        Some m
+    | _ -> None
+  in
+  match Constraints.frequency ?max min with
+  | f -> f
+  | exception Invalid_argument msg -> fail_at tok "%s" msg
+
+let constraint_body st keyword =
+  match keyword with
+  | "mandatory" -> Constraints.Mandatory (role st)
+  | "mandatory_or" -> Constraints.Disjunctive_mandatory (comma_list st role)
+  | "unique" -> Constraints.Uniqueness (seq st)
+  | "external_unique" -> Constraints.External_uniqueness (comma_list st role)
+  | "frequency" ->
+      let s = seq st in
+      Constraints.Frequency (s, frequency st)
+  | "value" ->
+      let ot = ident st in
+      Constraints.Value_constraint (ot, value_set st)
+  | "exclusion" -> Constraints.Role_exclusion (comma_list st seq)
+  | "subset" ->
+      let sub = seq st in
+      expect st Token.Subset_op;
+      Constraints.Subset (sub, seq st)
+  | "equal" ->
+      let a = seq st in
+      expect st Token.Equals;
+      Constraints.Equality (a, seq st)
+  | "exclusive_types" -> Constraints.Type_exclusion (comma_list st ident)
+  | "total" ->
+      let super = ident st in
+      expect st Token.Equals;
+      Constraints.Total_subtypes (super, comma_list st ident)
+  | "ring" -> (
+      let tok = current st in
+      let kind_name = ident st in
+      match Ring.of_abbrev kind_name with
+      | Some kind -> Constraints.Ring (kind, ident st)
+      | None ->
+          fail_at tok "unknown ring constraint '%s' (expected ir, ans, as, ac, it or sym)"
+            kind_name)
+  | other ->
+      fail_at (current st) "unknown statement '%s'" other
+
+let statement st schema =
+  let tok = current st in
+  match tok.token with
+  | Token.Ident "object_type" ->
+      advance st;
+      let name = ident st in
+      if (current st).token = Token.Ident "subtype_of" then begin
+        advance st;
+        let supers = comma_list st ident in
+        List.fold_left (fun s super -> Schema.add_subtype ~sub:name ~super s) schema supers
+      end
+      else Schema.add_object_type name schema
+  | Token.Ident "fact" ->
+      advance st;
+      let name = ident st in
+      expect st Token.Lparen;
+      let player1 = ident st in
+      expect st Token.Comma;
+      let player2 = ident st in
+      expect st Token.Rparen;
+      let reading =
+        if (current st).token = Token.Ident "reading" then begin
+          advance st;
+          match (current st).token with
+          | Token.String s ->
+              advance st;
+              Some s
+          | other ->
+              fail_at (current st) "expected a string after 'reading', found %s"
+                (Token.describe other)
+        end
+        else None
+      in
+      Schema.add_fact (Fact_type.make ?reading name player1 player2) schema
+  | Token.Lbracket ->
+      advance st;
+      let id = ident st in
+      expect st Token.Rbracket;
+      let keyword = ident st in
+      Schema.add_constraint (Constraints.make id (constraint_body st keyword)) schema
+  | Token.Ident keyword ->
+      advance st;
+      Schema.add (constraint_body st keyword) schema
+  | other -> fail_at tok "expected a statement but found %s" (Token.describe other)
+
+let parse_exn src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; index = 0 } in
+  (match (current st).token with
+  | Token.Ident "schema" -> advance st
+  | other -> fail_at (current st) "a schema must start with 'schema <name>', found %s"
+        (Token.describe other));
+  let name = ident st in
+  let rec loop schema =
+    if (current st).token = Token.Eof then schema else loop (statement st schema)
+  in
+  loop (Schema.empty name)
+
+let parse src =
+  match parse_exn src with
+  | schema -> Ok schema
+  | exception Error (msg, line, col) ->
+      Result.Error (Printf.sprintf "line %d, column %d: %s" line col msg)
+  | exception Lexer.Error (msg, line, col) ->
+      Result.Error (Printf.sprintf "line %d, column %d: %s" line col msg)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> parse src
+  | exception Sys_error msg -> Result.Error msg

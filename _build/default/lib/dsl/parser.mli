@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the textual ORM schema language.
+
+    Grammar (comments run to end of line with [#] or [//]):
+    {v
+    schema      ::= "schema" IDENT stmt*
+    stmt        ::= "object_type" IDENT ("subtype_of" idents)?
+                  | "fact" IDENT "(" IDENT "," IDENT ")" ("reading" STRING)?
+                  | ("[" IDENT "]")? constraint      -- optional explicit id
+    constraint  ::= "mandatory" role
+                  | "mandatory_or" roles
+                  | "unique" seq
+                  | "external_unique" roles
+                  | "frequency" seq INT ".." INT?
+                  | "value" IDENT "{" values "}"
+                  | "exclusion" seqs
+                  | "subset" seq "<=" seq
+                  | "equal" seq "=" seq
+                  | "exclusive_types" idents
+                  | "total" IDENT "=" idents
+                  | "ring" KIND IDENT                -- KIND in ir|ans|as|ac|it|sym
+    role        ::= IDENT "." INT                    -- fact.1 or fact.2
+    seq         ::= role | "(" role "," role ")"
+    values      ::= (STRING|INT) ("," (STRING|INT))* | INT ".." INT
+    v} *)
+
+exception Error of string * int * int  (** message, line, column *)
+
+val parse : string -> (Orm.Schema.t, string) result
+(** Parses a schema from source text; the error string carries the
+    location. *)
+
+val parse_exn : string -> Orm.Schema.t
+(** @raise Error on syntax errors. *)
+
+val parse_file : string -> (Orm.Schema.t, string) result
+(** Reads and parses a [.orm] file. *)

@@ -1,0 +1,79 @@
+open Orm
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let role_str (r : Ids.role) = Printf.sprintf "%s.%d" r.fact (Ids.side_index r.side)
+
+let seq_str = function
+  | Ids.Single r -> role_str r
+  | Ids.Pair (r1, r2) -> Printf.sprintf "(%s, %s)" (role_str r1) (role_str r2)
+
+let value_str = function
+  | Value.Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Value.Int n -> string_of_int n
+
+let freq_str (f : Constraints.frequency) =
+  match f.max with
+  | Some m -> Printf.sprintf "%d..%d" f.min m
+  | None -> Printf.sprintf "%d.." f.min
+
+let body_str = function
+  | Constraints.Mandatory r -> "mandatory " ^ role_str r
+  | Constraints.Disjunctive_mandatory roles ->
+      "mandatory_or " ^ String.concat ", " (List.map role_str roles)
+  | Constraints.Uniqueness seq -> "unique " ^ seq_str seq
+  | Constraints.External_uniqueness roles ->
+      "external_unique " ^ String.concat ", " (List.map role_str roles)
+  | Constraints.Frequency (seq, f) ->
+      Printf.sprintf "frequency %s %s" (seq_str seq) (freq_str f)
+  | Constraints.Value_constraint (ot, vs) ->
+      Printf.sprintf "value %s {%s}" ot
+        (String.concat ", " (List.map value_str (Value.Constraint.elements vs)))
+  | Constraints.Role_exclusion seqs ->
+      "exclusion " ^ String.concat ", " (List.map seq_str seqs)
+  | Constraints.Subset (sub, super) ->
+      Printf.sprintf "subset %s <= %s" (seq_str sub) (seq_str super)
+  | Constraints.Equality (a, b) ->
+      Printf.sprintf "equal %s = %s" (seq_str a) (seq_str b)
+  | Constraints.Type_exclusion ots -> "exclusive_types " ^ String.concat ", " ots
+  | Constraints.Total_subtypes (super, subs) ->
+      Printf.sprintf "total %s = %s" super (String.concat ", " subs)
+  | Constraints.Ring (kind, fact) ->
+      Printf.sprintf "ring %s %s" (Ring.abbrev kind) fact
+
+let to_string schema =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "schema %s" (Schema.name schema);
+  let graph = Schema.graph schema in
+  List.iter
+    (fun ot ->
+      match Subtype_graph.direct_supertypes graph ot with
+      | [] -> line "object_type %s" ot
+      | supers -> line "object_type %s subtype_of %s" ot (String.concat ", " supers))
+    (Schema.object_types schema);
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      match ft.reading with
+      | None -> line "fact %s (%s, %s)" ft.name ft.player1 ft.player2
+      | Some r ->
+          line "fact %s (%s, %s) reading \"%s\"" ft.name ft.player1 ft.player2
+            (escape r))
+    (Schema.fact_types schema);
+  List.iter
+    (fun (c : Constraints.t) -> line "[%s] %s" c.id (body_str c.body))
+    (Schema.constraints schema);
+  Buffer.contents buf
+
+let pp ppf schema = Format.pp_print_string ppf (to_string schema)
+
+let write_file path schema =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string schema))

@@ -1,0 +1,9 @@
+(** Printer for the textual schema language; inverse of {!Parser}.
+
+    [Parser.parse_exn (to_string s)] reconstructs a schema with the same
+    object types, subtype edges, fact types and constraint occurrences —
+    the round-trip property checked by the test suite. *)
+
+val to_string : Orm.Schema.t -> string
+val pp : Format.formatter -> Orm.Schema.t -> unit
+val write_file : string -> Orm.Schema.t -> unit

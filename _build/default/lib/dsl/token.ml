@@ -1,0 +1,35 @@
+type t =
+  | Ident of string
+  | Int of int
+  | String of string
+  | Dot
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Subset_op
+  | Equals
+  | Range
+  | Eof
+
+type located = { token : t; line : int; col : int }
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | String s -> Printf.sprintf "string %S" s
+  | Dot -> "'.'"
+  | Comma -> "','"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Subset_op -> "'<='"
+  | Equals -> "'='"
+  | Range -> "'..'"
+  | Eof -> "end of input"

@@ -1,0 +1,23 @@
+(** Tokens of the textual ORM schema language. *)
+
+type t =
+  | Ident of string  (** bare identifier: object/fact/constraint names *)
+  | Int of int
+  | String of string  (** double-quoted literal *)
+  | Dot
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Subset_op  (** [<=] *)
+  | Equals  (** [=] *)
+  | Range  (** [..] *)
+  | Eof
+
+type located = { token : t; line : int; col : int }
+
+val describe : t -> string
+(** Human-readable token name for error messages. *)

@@ -1,0 +1,1 @@
+lib/explain/explain.ml: Fact_type Format Ids List Option Orm Orm_patterns Orm_verbalize Printf Schema String Subtype_graph

@@ -1,0 +1,1 @@
+lib/explain/explain.mli: Format Orm Orm_patterns Schema

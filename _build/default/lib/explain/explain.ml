@@ -1,0 +1,76 @@
+open Orm
+module Diagnostic = Orm_patterns.Diagnostic
+
+type t = {
+  headline : string;
+  premises : string list;
+  conclusion : string;
+  pattern : string option;
+}
+
+let element_phrase schema = function
+  | Diagnostic.Object_type ot -> Printf.sprintf "no %s can ever exist" ot
+  | Diagnostic.Role r -> (
+      match Schema.find_fact schema r.fact with
+      | Some ft -> (
+          let reading = Fact_type.reading_text ft in
+          match r.side with
+          | Ids.Fst -> Printf.sprintf "no %s can ever %s anything" ft.player1 reading
+          | Ids.Snd ->
+              Printf.sprintf "no %s can ever be %s by anything" ft.player2 reading)
+      | None -> Printf.sprintf "role %s can never be played" (Ids.role_to_string r))
+  | Diagnostic.Fact f -> Printf.sprintf "the fact '%s' can never be recorded" f
+
+let headline_of schema (d : Diagnostic.t) =
+  let phrases = List.map (element_phrase schema) d.affected in
+  match d.certainty with
+  | Diagnostic.Element_unsatisfiable -> String.concat "; " phrases
+  | Diagnostic.Jointly_unsatisfiable ->
+      "these cannot all hold in one population: " ^ String.concat "; " phrases
+
+(* Subtype links relevant to the affected types, verbalized as premises for
+   the hierarchy patterns (whose culprit list carries no constraint ids). *)
+let subtype_premises schema (d : Diagnostic.t) =
+  let g = Schema.graph schema in
+  List.concat_map
+    (function
+      | Diagnostic.Object_type t ->
+          List.map
+            (fun super -> Orm_verbalize.Verbalize.subtype ~sub:t ~super)
+            (Subtype_graph.direct_supertypes g t)
+      | Diagnostic.Role _ | Diagnostic.Fact _ -> [])
+    d.affected
+
+let diagnostic schema (d : Diagnostic.t) =
+  let constraint_premises =
+    List.filter_map
+      (fun id ->
+        Option.map
+          (fun c -> Orm_verbalize.Verbalize.constraint_ schema c)
+          (Schema.find_constraint schema id))
+      d.culprits
+  in
+  let premises =
+    List.sort_uniq String.compare (constraint_premises @ subtype_premises schema d)
+  in
+  {
+    headline = headline_of schema d;
+    premises;
+    conclusion = d.message;
+    pattern =
+      Option.map Diagnostic.pattern_name (Diagnostic.pattern_number d);
+  }
+
+let report schema (r : Orm_patterns.Engine.report) =
+  List.map (diagnostic schema) r.diagnostics
+
+let pp ppf e =
+  Format.fprintf ppf "@[<v2>%s%s@," e.headline
+    (match e.pattern with Some p -> Printf.sprintf "  [%s]" p | None -> "");
+  if e.premises <> [] then begin
+    Format.fprintf ppf "because:@,";
+    List.iter (fun p -> Format.fprintf ppf "  - %s@," p) e.premises
+  end;
+  Format.fprintf ppf "%s@]" e.conclusion
+
+let to_text e = Format.asprintf "%a" pp e

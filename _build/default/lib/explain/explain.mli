@@ -1,0 +1,28 @@
+(** Domain-expert explanations of diagnostics.
+
+    The paper's CCFORM experience (Section 4) hinged on diagnostics that
+    lawyers could read: DogmaModeler's messages name the culprit
+    constraints, and ORM's verbalization makes those constraints readable.
+    This module combines the two: an explanation lists the culprit
+    constraints {e verbalized as sentences} (the premises), then the
+    engine's conclusion — the "why" a domain expert sees next to the red
+    element in the diagram. *)
+
+open Orm
+
+type t = {
+  headline : string;  (** one-line conclusion, e.g. which element is dead *)
+  premises : string list;
+      (** the culprit constraints, verbalized; subtype links involved are
+          verbalized too for the hierarchy patterns *)
+  conclusion : string;  (** the diagnostic's own message *)
+  pattern : string option;  (** pattern name, when pattern-originated *)
+}
+
+val diagnostic : Schema.t -> Orm_patterns.Diagnostic.t -> t
+
+val report : Schema.t -> Orm_patterns.Engine.report -> t list
+(** One explanation per diagnostic, in report order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_text : t -> string

@@ -1,0 +1,1 @@
+lib/export/dot.ml: Buffer Constraints Fact_type Format Ids List Orm Orm_patterns Out_channel Printf Ring Schema String Subtype_graph Value

@@ -1,0 +1,1 @@
+lib/export/dot.mli: Orm Orm_patterns Schema

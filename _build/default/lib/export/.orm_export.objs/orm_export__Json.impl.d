@@ -1,0 +1,1 @@
+lib/export/json.ml: Buffer Char Constraints Fact_type Ids List Orm Orm_patterns Printf Ring Schema String Subtype_graph Value

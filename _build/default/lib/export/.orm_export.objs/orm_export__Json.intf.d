@@ -1,0 +1,1 @@
+lib/export/json.mli: Orm Orm_patterns Schema

@@ -1,0 +1,121 @@
+open Orm
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let type_node t = Printf.sprintf "ot_%s" t
+let fact_node f = Printf.sprintf "ft_%s" f
+let constraint_node id = Printf.sprintf "c_%s" id
+
+let to_string ?report schema =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf ("  " ^ s ^ "\n")) fmt in
+  let unsat_types, unsat_roles =
+    match report with
+    | None -> (Ids.String_set.empty, Ids.Role_set.empty)
+    | Some (r : Orm_patterns.Engine.report) -> (r.unsat_types, r.unsat_roles)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n" (escape (Schema.name schema)));
+  line "rankdir=BT;";
+  line "node [fontname=\"Helvetica\", fontsize=11];";
+  (* Object types. *)
+  List.iter
+    (fun t ->
+      let value_label =
+        match Schema.value_constraint schema t with
+        | Some (_, vs) -> Printf.sprintf "\\n%s" (escape (Format.asprintf "%a" Value.Constraint.pp vs))
+        | None -> ""
+      in
+      let color =
+        if Ids.String_set.mem t unsat_types then ", color=red, fontcolor=red" else ""
+      in
+      let peripheries =
+        if Schema.value_constraint schema t <> None then ", peripheries=2" else ""
+      in
+      line "%s [label=\"%s%s\", shape=ellipse%s%s];" (type_node t) (escape t)
+        value_label peripheries color)
+    (Schema.object_types schema);
+  (* Subtype edges. *)
+  List.iter
+    (fun (sub, super) ->
+      line "%s -> %s [style=bold, arrowhead=empty];" (type_node sub) (type_node super))
+    (Subtype_graph.edges (Schema.graph schema));
+  (* Fact types: a box connected to both players, decorated with the
+     mandatory/uniqueness/frequency/ring markers on each role. *)
+  let role_marks r =
+    let marks = ref [] in
+    if Schema.is_mandatory schema r then marks := "●" :: !marks;
+    if Schema.has_uniqueness schema (Ids.Single r) then marks := "u" :: !marks;
+    List.iter
+      (fun (_, (f : Constraints.frequency)) ->
+        marks := Format.asprintf "%a" Constraints.pp_frequency f :: !marks)
+      (Schema.frequencies_on schema (Ids.Single r));
+    match !marks with [] -> "" | ms -> " [" ^ String.concat " " ms ^ "]"
+  in
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      let rings =
+        match Schema.rings_on schema ft.name with
+        | [] -> ""
+        | rs ->
+            "\\n{"
+            ^ String.concat ", " (List.map (fun (_, k) -> Ring.abbrev k) rs)
+            ^ "}"
+      in
+      let dead r = Ids.Role_set.mem r unsat_roles in
+      let color =
+        if dead (Ids.first ft.name) || dead (Ids.second ft.name) then
+          ", color=red, fontcolor=red"
+        else ""
+      in
+      line "%s [label=\"%s%s\", shape=box%s];" (fact_node ft.name)
+        (escape (Fact_type.reading_text ft))
+        rings color;
+      line "%s -> %s [dir=none, label=\"1%s\", fontsize=9];" (type_node ft.player1)
+        (fact_node ft.name)
+        (escape (role_marks (Ids.first ft.name)));
+      line "%s -> %s [dir=none, label=\"2%s\", fontsize=9];" (type_node ft.player2)
+        (fact_node ft.name)
+        (escape (role_marks (Ids.second ft.name))))
+    (Schema.fact_types schema);
+  (* Set-comparison / exclusion / type-level constraints as dashed nodes. *)
+  List.iter
+    (fun (c : Constraints.t) ->
+      let link targets label =
+        line "%s [label=\"%s\", shape=circle, style=dashed, fontsize=9];"
+          (constraint_node c.id) (escape label);
+        List.iter
+          (fun target ->
+            line "%s -> %s [style=dashed, dir=none];" (constraint_node c.id) target)
+          targets
+      in
+      match c.body with
+      | Role_exclusion seqs ->
+          link (List.map (fun s -> fact_node (Ids.seq_fact s)) seqs) "X"
+      | Subset (a, b) -> link [ fact_node (Ids.seq_fact a); fact_node (Ids.seq_fact b) ] "⊆"
+      | Equality (a, b) -> link [ fact_node (Ids.seq_fact a); fact_node (Ids.seq_fact b) ] "="
+      | Type_exclusion ots -> link (List.map type_node ots) "X"
+      | Total_subtypes (super, subs) -> link (List.map type_node (super :: subs)) "⊙"
+      | Disjunctive_mandatory roles ->
+          link (List.map (fun (r : Ids.role) -> fact_node r.fact) roles) "∨●"
+      | External_uniqueness roles ->
+          link (List.map (fun (r : Ids.role) -> fact_node r.fact) roles) "U"
+      | Mandatory _ | Uniqueness _ | Frequency _ | Value_constraint _ | Ring _ ->
+          (* already rendered as role marks / node decorations *)
+          ())
+    (Schema.constraints schema);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?report path schema =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?report schema))

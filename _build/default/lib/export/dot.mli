@@ -1,0 +1,16 @@
+(** Graphviz export of ORM schemas.
+
+    Renders the schema as a DOT digraph in the spirit of ORM diagrams:
+    object types as named ellipses (double border when a value constraint
+    applies, with the value list attached), fact types as boxes wired to
+    their players, subtype links as thick arrows, and constraint
+    annotations as dashed edges/labels.  An optional engine report paints
+    unsatisfiable elements red — the textual analogue of DogmaModeler
+    highlighting problems in the diagram. *)
+
+open Orm
+
+val to_string : ?report:Orm_patterns.Engine.report -> Schema.t -> string
+(** The DOT source for the schema; pipe into [dot -Tsvg]. *)
+
+val write_file : ?report:Orm_patterns.Engine.report -> string -> Schema.t -> unit

@@ -1,0 +1,146 @@
+open Orm
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = Printf.sprintf "\"%s\"" (escape_string s)
+let arr items = "[" ^ String.concat "," items ^ "]"
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let of_value = function
+  | Value.Str s -> str s
+  | Value.Int i -> string_of_int i
+
+let of_role (r : Ids.role) =
+  obj [ ("fact", str r.fact); ("side", string_of_int (Ids.side_index r.side)) ]
+
+let of_seq = function
+  | Ids.Single r -> obj [ ("kind", str "role"); ("role", of_role r) ]
+  | Ids.Pair (r1, r2) ->
+      obj [ ("kind", str "pair"); ("roles", arr [ of_role r1; of_role r2 ]) ]
+
+let of_frequency (f : Constraints.frequency) =
+  obj
+    (("min", string_of_int f.min)
+    :: (match f.max with Some m -> [ ("max", string_of_int m) ] | None -> []))
+
+let of_body = function
+  | Constraints.Mandatory r -> obj [ ("kind", str "mandatory"); ("role", of_role r) ]
+  | Constraints.Disjunctive_mandatory roles ->
+      obj [ ("kind", str "disjunctive_mandatory"); ("roles", arr (List.map of_role roles)) ]
+  | Constraints.Uniqueness seq -> obj [ ("kind", str "uniqueness"); ("seq", of_seq seq) ]
+  | Constraints.External_uniqueness roles ->
+      obj
+        [ ("kind", str "external_uniqueness"); ("roles", arr (List.map of_role roles)) ]
+  | Constraints.Frequency (seq, f) ->
+      obj [ ("kind", str "frequency"); ("seq", of_seq seq); ("range", of_frequency f) ]
+  | Constraints.Value_constraint (t, vs) ->
+      obj
+        [
+          ("kind", str "value");
+          ("type", str t);
+          ("values", arr (List.map of_value (Value.Constraint.elements vs)));
+        ]
+  | Constraints.Role_exclusion seqs ->
+      obj [ ("kind", str "role_exclusion"); ("seqs", arr (List.map of_seq seqs)) ]
+  | Constraints.Subset (a, b) ->
+      obj [ ("kind", str "subset"); ("sub", of_seq a); ("super", of_seq b) ]
+  | Constraints.Equality (a, b) ->
+      obj [ ("kind", str "equality"); ("left", of_seq a); ("right", of_seq b) ]
+  | Constraints.Type_exclusion ots ->
+      obj [ ("kind", str "type_exclusion"); ("types", arr (List.map str ots)) ]
+  | Constraints.Total_subtypes (super, subs) ->
+      obj
+        [
+          ("kind", str "total_subtypes");
+          ("super", str super);
+          ("subs", arr (List.map str subs));
+        ]
+  | Constraints.Ring (k, fact) ->
+      obj [ ("kind", str "ring"); ("ring", str (Ring.abbrev k)); ("fact", str fact) ]
+
+let of_schema schema =
+  obj
+    [
+      ("name", str (Schema.name schema));
+      ("object_types", arr (List.map str (Schema.object_types schema)));
+      ( "subtypes",
+        arr
+          (List.map
+             (fun (sub, super) -> obj [ ("sub", str sub); ("super", str super) ])
+             (Subtype_graph.edges (Schema.graph schema))) );
+      ( "facts",
+        arr
+          (List.map
+             (fun (ft : Fact_type.t) ->
+               obj
+                 ([
+                    ("name", str ft.name);
+                    ("player1", str ft.player1);
+                    ("player2", str ft.player2);
+                  ]
+                 @
+                 match ft.reading with
+                 | Some r -> [ ("reading", str r) ]
+                 | None -> []))
+             (Schema.fact_types schema)) );
+      ( "constraints",
+        arr
+          (List.map
+             (fun (c : Constraints.t) ->
+               obj [ ("id", str c.id); ("body", of_body c.body) ])
+             (Schema.constraints schema)) );
+    ]
+
+let of_element = function
+  | Orm_patterns.Diagnostic.Object_type t ->
+      obj [ ("kind", str "object_type"); ("name", str t) ]
+  | Orm_patterns.Diagnostic.Role r -> obj [ ("kind", str "role"); ("role", of_role r) ]
+  | Orm_patterns.Diagnostic.Fact f -> obj [ ("kind", str "fact"); ("name", str f) ]
+
+let of_diagnostic (d : Orm_patterns.Diagnostic.t) =
+  let origin =
+    match d.origin with
+    | Pattern n -> obj [ ("kind", str "pattern"); ("number", string_of_int n) ]
+    | Propagation e -> obj [ ("kind", str "propagation"); ("from", of_element e) ]
+  in
+  obj
+    [
+      ("origin", origin);
+      ( "certainty",
+        str
+          (match d.certainty with
+          | Element_unsatisfiable -> "element"
+          | Jointly_unsatisfiable -> "joint") );
+      ("affected", arr (List.map of_element d.affected));
+      ("culprits", arr (List.map str d.culprits));
+      ("message", str d.message);
+    ]
+
+let of_report (r : Orm_patterns.Engine.report) =
+  obj
+    [
+      ("diagnostics", arr (List.map of_diagnostic r.diagnostics));
+      ("unsat_types", arr (List.map str (Ids.String_set.elements r.unsat_types)));
+      ( "unsat_roles",
+        arr (List.map of_role (Ids.Role_set.elements r.unsat_roles)) );
+      ( "joint",
+        arr
+          (List.map
+             (fun group -> arr (List.map of_role (Ids.Role_set.elements group)))
+             r.joint) );
+    ]

@@ -1,0 +1,19 @@
+(** JSON export of schemas and diagnostic reports.
+
+    A dependency-free JSON serializer (the container has no json library)
+    for integrating the checker with external tooling — e.g. an editor
+    plugin consuming diagnostics, the use case behind the paper's footnote
+    about re-implementing the patterns in Protégé. *)
+
+open Orm
+
+val of_schema : Schema.t -> string
+(** The schema as a JSON object: [{name, object_types, subtypes, facts,
+    constraints}] with constraints rendered structurally. *)
+
+val of_report : Orm_patterns.Engine.report -> string
+(** The engine report: diagnostics with origin/certainty/affected/culprits,
+    plus the aggregated unsatisfiable element lists. *)
+
+val escape_string : string -> string
+(** JSON string escaping (exposed for tests). *)

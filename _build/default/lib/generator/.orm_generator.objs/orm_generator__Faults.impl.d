@@ -1,0 +1,1 @@
+lib/generator/faults.ml: Constraints Fact_type Ids Orm Printf Random Ring Schema Value

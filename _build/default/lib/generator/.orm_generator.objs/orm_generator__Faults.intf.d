@@ -1,0 +1,1 @@
+lib/generator/faults.mli: Ids Orm Schema

@@ -1,0 +1,1 @@
+lib/generator/gen.ml: Constraints Fact_type Hashtbl Ids List Orm Printf Random Ring Schema Value

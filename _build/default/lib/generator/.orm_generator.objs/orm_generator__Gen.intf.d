@@ -1,0 +1,1 @@
+lib/generator/gen.mli: Orm Schema

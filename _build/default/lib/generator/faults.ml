@@ -1,0 +1,194 @@
+open Orm
+
+type injection = {
+  pattern : int;
+  schema : Schema.t;
+  expect_types : Ids.object_type list;
+  expect_roles : Ids.role list;
+  expect_joint : Ids.role list list;
+}
+
+let all_patterns = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+let extension_patterns = [ 10; 11; 12 ]
+
+let ( |- ) s body = Schema.add body s
+
+let inject ~seed n schema =
+  let _rng = Random.State.make [| seed; n |] in
+  let t name = Printf.sprintf "X%d_%s" n name in
+  let f name = Printf.sprintf "XF%d_%s" n name in
+  match n with
+  | 1 ->
+      (* A subtype of two types with disjoint ancestries. *)
+      let schema =
+        schema
+        |> Schema.add_object_type (t "A")
+        |> Schema.add_object_type (t "B")
+        |> Schema.add_subtype ~sub:(t "C") ~super:(t "A")
+        |> Schema.add_subtype ~sub:(t "C") ~super:(t "B")
+      in
+      { pattern = 1; schema; expect_types = [ t "C" ]; expect_roles = []; expect_joint = [] }
+  | 2 ->
+      let schema =
+        schema
+        |> Schema.add_subtype ~sub:(t "B") ~super:(t "A")
+        |> Schema.add_subtype ~sub:(t "C") ~super:(t "A")
+        |> Schema.add_subtype ~sub:(t "D") ~super:(t "B")
+        |> Schema.add_subtype ~sub:(t "D") ~super:(t "C")
+        |- Type_exclusion [ t "B"; t "C" ]
+      in
+      { pattern = 2; schema; expect_types = [ t "D" ]; expect_roles = []; expect_joint = [] }
+  | 3 ->
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "f") (t "A") (t "B"))
+        |> Schema.add_fact (Fact_type.make (f "g") (t "A") (t "C"))
+        |- Mandatory (Ids.first (f "f"))
+        |- Role_exclusion [ Single (Ids.first (f "f")); Single (Ids.first (f "g")) ]
+      in
+      {
+        pattern = 3;
+        schema;
+        expect_types = [];
+        expect_roles = [ Ids.first (f "g") ];
+        expect_joint = [];
+      }
+  | 4 ->
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "f") (t "A") (t "B"))
+        |- Value_constraint (t "B", Value.Constraint.of_strings [ "v1"; "v2" ])
+        |- Frequency (Single (Ids.first (f "f")), Constraints.frequency ~max:5 3)
+      in
+      {
+        pattern = 4;
+        schema;
+        expect_types = [];
+        expect_roles = [ Ids.first (f "f") ];
+        expect_joint = [];
+      }
+  | 5 ->
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "f") (t "A") (t "B"))
+        |> Schema.add_fact (Fact_type.make (f "g") (t "A") (t "C"))
+        |- Value_constraint (t "A", Value.Constraint.of_strings [ "a1"; "a2" ])
+        |- Frequency (Single (Ids.second (f "f")), Constraints.frequency ~max:2 2)
+        |- Role_exclusion [ Single (Ids.first (f "f")); Single (Ids.first (f "g")) ]
+      in
+      {
+        pattern = 5;
+        schema;
+        expect_types = [];
+        expect_roles = [];
+        expect_joint = [ [ Ids.first (f "f"); Ids.first (f "g") ] ];
+      }
+  | 6 ->
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "f") (t "A") (t "B"))
+        |> Schema.add_fact (Fact_type.make (f "g") (t "A") (t "B"))
+        |- Role_exclusion [ Single (Ids.first (f "f")); Single (Ids.first (f "g")) ]
+        |- Subset (Ids.whole_predicate (f "f"), Ids.whole_predicate (f "g"))
+      in
+      {
+        pattern = 6;
+        schema;
+        expect_types = [];
+        expect_roles = [ Ids.first (f "f"); Ids.second (f "f") ];
+        expect_joint =
+          [
+            [
+              Ids.first (f "f"); Ids.second (f "f"); Ids.first (f "g"); Ids.second (f "g");
+            ];
+          ];
+      }
+  | 7 ->
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "f") (t "A") (t "B"))
+        |- Uniqueness (Single (Ids.first (f "f")))
+        |- Frequency (Single (Ids.first (f "f")), Constraints.frequency ~max:5 2)
+      in
+      {
+        pattern = 7;
+        schema;
+        expect_types = [];
+        expect_roles = [ Ids.first (f "f") ];
+        expect_joint = [];
+      }
+  | 8 ->
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "r") (t "A") (t "A"))
+        |- Ring (Ring.Symmetric, f "r")
+        |- Ring (Ring.Acyclic, f "r")
+      in
+      {
+        pattern = 8;
+        schema;
+        expect_types = [];
+        expect_roles = [ Ids.first (f "r"); Ids.second (f "r") ];
+        expect_joint = [];
+      }
+  | 9 ->
+      let schema =
+        schema
+        |> Schema.add_subtype ~sub:(t "A") ~super:(t "B")
+        |> Schema.add_subtype ~sub:(t "B") ~super:(t "C")
+        |> Schema.add_subtype ~sub:(t "C") ~super:(t "A")
+      in
+      {
+        pattern = 9;
+        schema;
+        expect_types = [ t "A"; t "B"; t "C" ];
+        expect_roles = [];
+        expect_joint = [];
+      }
+  | 10 ->
+      (* Disjoint inherited value constraints. *)
+      let schema =
+        schema
+        |> Schema.add_subtype ~sub:(t "Sub") ~super:(t "Super")
+        |- Value_constraint (t "Super", Value.Constraint.of_range 1 5)
+        |- Value_constraint (t "Sub", Value.Constraint.of_range 100 105)
+      in
+      {
+        pattern = 10;
+        schema;
+        expect_types = [ t "Sub" ];
+        expect_roles = [];
+        expect_joint = [];
+      }
+  | 11 ->
+      (* Irreflexive ring over a single admissible value (the paper's
+         Section-5 example). *)
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "r") (t "A") (t "A"))
+        |- Ring (Ring.Irreflexive, f "r")
+        |- Value_constraint (t "A", Value.Constraint.of_strings [ "only" ])
+      in
+      {
+        pattern = 11;
+        schema;
+        expect_types = [];
+        expect_roles = [ Ids.first (f "r"); Ids.second (f "r") ];
+        expect_joint = [];
+      }
+  | 12 ->
+      (* Mandatory role on an acyclic self-relation. *)
+      let schema =
+        schema
+        |> Schema.add_fact (Fact_type.make (f "r") (t "A") (t "A"))
+        |- Ring (Ring.Acyclic, f "r")
+        |- Mandatory (Ids.first (f "r"))
+      in
+      {
+        pattern = 12;
+        schema;
+        expect_types = [ t "A" ];
+        expect_roles = [ Ids.first (f "r"); Ids.second (f "r") ];
+        expect_joint = [];
+      }
+  | n -> invalid_arg (Printf.sprintf "Faults.inject: no pattern %d" n)

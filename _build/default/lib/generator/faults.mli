@@ -1,0 +1,32 @@
+(** Fault injection: plant each of the paper's nine contradictions into a
+    schema.
+
+    Injected elements use a reserved ["X"] name prefix so they never collide
+    with {!Gen}-produced elements.  Each injection records what the engine
+    is expected to flag, which drives the fault-detection property tests
+    ("every planted contradiction is caught by its pattern") and the
+    detection benchmarks. *)
+
+open Orm
+
+type injection = {
+  pattern : int;  (** the pattern expected to detect the fault *)
+  schema : Schema.t;  (** the faulted schema *)
+  expect_types : Ids.object_type list;
+      (** object types that must appear among [unsat_types] *)
+  expect_roles : Ids.role list;  (** roles that must appear among [unsat_roles] *)
+  expect_joint : Ids.role list list;
+      (** role groups that must appear among the joint verdicts *)
+}
+
+val inject : seed:int -> int -> Schema.t -> injection
+(** [inject ~seed p schema] plants the pattern-[p] contradiction: 1–9 for
+    the paper's patterns, 10–12 for the extension patterns (which only the
+    extension-enabled engine settings detect).
+    @raise Invalid_argument for other numbers. *)
+
+val all_patterns : int list
+(** The paper's nine. *)
+
+val extension_patterns : int list
+(** The extension faults 10–12. *)

@@ -1,0 +1,268 @@
+open Orm
+
+type config = {
+  n_types : int;
+  n_facts : int;
+  subtype_density : float;
+  p_mandatory : float;
+  p_uniqueness : float;
+  p_frequency : float;
+  p_value : float;
+  p_exclusion : float;
+  p_subset : float;
+  p_ring : float;
+}
+
+let default =
+  {
+    n_types = 8;
+    n_facts = 8;
+    subtype_density = 0.4;
+    p_mandatory = 0.3;
+    p_uniqueness = 0.4;
+    p_frequency = 0.25;
+    p_value = 0.3;
+    p_exclusion = 0.25;
+    p_subset = 0.2;
+    p_ring = 0.3;
+  }
+
+let sized n = { default with n_types = max 1 n; n_facts = max 1 n }
+
+let type_name i = Printf.sprintf "T%d" (i + 1)
+let fact_name i = Printf.sprintf "F%d" (i + 1)
+
+let flip rng p = Random.State.float rng 1.0 < p
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let clean ?(config = default) ~seed () =
+  let rng = Random.State.make [| seed; 0x0c0ffee |] in
+  let n = max 1 config.n_types in
+  (* Object types form a forest: each new type subtypes at most one earlier
+     type, so patterns 1 (multiple unrelated supertypes) and 9 (loops) are
+     impossible by construction. *)
+  let schema = ref (Schema.empty (Printf.sprintf "gen%d" seed)) in
+  let in_subtyping = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let name = type_name i in
+    if i > 0 && flip rng config.subtype_density then begin
+      let super = type_name (Random.State.int rng i) in
+      Hashtbl.replace in_subtyping name ();
+      Hashtbl.replace in_subtyping super ();
+      schema := Schema.add_subtype ~sub:name ~super !schema
+    end
+    else schema := Schema.add_object_type name !schema
+  done;
+  (* Generous value sets (≥ 6 values), only on types outside the subtype
+     forest so effective value sets never shrink below a frequency bound. *)
+  for i = 0 to n - 1 do
+    let name = type_name i in
+    if (not (Hashtbl.mem in_subtyping name)) && flip rng config.p_value then
+      let base = (i + 1) * 100 in
+      let width = 5 + Random.State.int rng 5 in
+      schema :=
+        Schema.add
+          (Value_constraint (name, Value.Constraint.of_range base (base + width)))
+          !schema
+  done;
+  (* Fact types; a third are homogeneous so ring constraints have targets.
+     Subset pairs are generated as parallel facts (same players). *)
+  let m = max 1 config.n_facts in
+  let has_mandatory = Hashtbl.create 16 in
+  let has_frequency = Hashtbl.create 16 in
+  let in_setcomp = Hashtbl.create 16 in
+  for i = 0 to m - 1 do
+    let name = fact_name i in
+    let player1 = type_name (Random.State.int rng n) in
+    let player2 =
+      if i mod 3 = 0 then player1 else type_name (Random.State.int rng n)
+    in
+    schema := Schema.add_fact (Fact_type.make name player1 player2) !schema;
+    if flip rng config.p_mandatory then begin
+      Hashtbl.replace has_mandatory name ();
+      schema := Schema.add (Mandatory (Ids.first name)) !schema
+    end;
+    List.iter
+      (fun role ->
+        if flip rng config.p_uniqueness then
+          schema := Schema.add (Uniqueness (Single role)) !schema)
+      [ Ids.first name; Ids.second name ];
+    (* A frequency with minimum above 1 is only safe on a role without a
+       uniqueness constraint (pattern 7) whose co-player admits at least as
+       many values as the minimum (pattern 4). *)
+    if flip rng config.p_frequency then begin
+      let role = if flip rng 0.5 then Ids.first name else Ids.second name in
+      let min_f = 2 + Random.State.int rng 2 in
+      let co_values_ok =
+        match Schema.effective_value_set !schema (Schema.player_exn !schema (Ids.co_role role)) with
+        | Some vs -> Value.Constraint.cardinal vs >= min_f
+        | None -> true
+      in
+      if (not (Schema.has_uniqueness !schema (Single role))) && co_values_ok then begin
+        Hashtbl.replace has_frequency name ();
+        schema :=
+          Schema.add
+            (Frequency (Single role, Constraints.frequency ~max:(min_f + 2) min_f))
+            !schema
+      end
+    end
+  done;
+  (* Safe subsets: parallel facts (same players, both free of exclusions so
+     far), marked to keep them out of future exclusions (pattern 6). *)
+  let facts () = List.map (fun (ft : Fact_type.t) -> ft) (Schema.fact_types !schema) in
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      if flip rng config.p_subset then
+        let candidates =
+          List.filter
+            (fun (other : Fact_type.t) ->
+              other.name <> ft.name && other.player1 = ft.player1
+              && other.player2 = ft.player2
+              && not (Hashtbl.mem in_setcomp other.name))
+            (facts ())
+        in
+        match candidates with
+        | [] -> ()
+        | _ ->
+            let other = pick rng candidates in
+            Hashtbl.replace in_setcomp ft.name ();
+            Hashtbl.replace in_setcomp other.name ();
+            schema :=
+              Schema.add
+                (Subset (Ids.whole_predicate ft.name, Ids.whole_predicate other.name))
+                !schema)
+    (facts ());
+  (* Safe exclusions: first roles of facts without mandatory (pattern 3),
+     frequency (pattern 5) or set-comparison (pattern 6) constraints. *)
+  let exclusion_safe (ft : Fact_type.t) =
+    (not (Hashtbl.mem has_mandatory ft.name))
+    && (not (Hashtbl.mem has_frequency ft.name))
+    && not (Hashtbl.mem in_setcomp ft.name)
+  in
+  let used_in_exclusion = Hashtbl.create 16 in
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      if flip rng config.p_exclusion && exclusion_safe ft
+         && not (Hashtbl.mem used_in_exclusion ft.name) then
+        let partners =
+          List.filter
+            (fun (other : Fact_type.t) ->
+              other.name <> ft.name && exclusion_safe other
+              && not (Hashtbl.mem used_in_exclusion other.name))
+            (facts ())
+        in
+        match partners with
+        | [] -> ()
+        | _ ->
+            let other = pick rng partners in
+            Hashtbl.replace used_in_exclusion ft.name ();
+            Hashtbl.replace used_in_exclusion other.name ();
+            schema :=
+              Schema.add
+                (Role_exclusion [ Single (Ids.first ft.name); Single (Ids.first other.name) ])
+                !schema)
+    (facts ());
+  (* One ring kind per homogeneous fact: any single kind is compatible. *)
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      if ft.player1 = ft.player2 && flip rng config.p_ring then
+        let kind = pick rng Ring.all in
+        schema := Schema.add (Ring (kind, ft.name)) !schema)
+    (facts ());
+  !schema
+
+(* Unconstrained generation: every reference is valid (the schema passes
+   Schema.validate) but nothing prevents contradictions. *)
+let arbitrary ?(config = default) ~seed () =
+  let rng = Random.State.make [| seed; 0xa5b17a51 |] in
+  let n = max 2 config.n_types in
+  let m = max 1 config.n_facts in
+  let type_of i = type_name (i mod n) in
+  let schema = ref (Schema.empty (Printf.sprintf "arb%d" seed)) in
+  for i = 0 to n - 1 do
+    schema := Schema.add_object_type (type_name i) !schema
+  done;
+  (* Subtype edges, including occasional multiple supertypes; loops are
+     possible only through the explicit chance below, keeping most schemas
+     loop-free but not all. *)
+  for i = 1 to n - 1 do
+    if flip rng config.subtype_density then
+      schema :=
+        Schema.add_subtype ~sub:(type_name i)
+          ~super:(type_name (Random.State.int rng i))
+          !schema;
+    if flip rng (config.subtype_density /. 2.) then
+      schema :=
+        Schema.add_subtype ~sub:(type_name i)
+          ~super:(type_of (i + 1 + Random.State.int rng n))
+          !schema
+  done;
+  if flip rng 0.1 then
+    schema := Schema.add_subtype ~sub:(type_name 0) ~super:(type_name (n - 1)) !schema;
+  for i = 0 to m - 1 do
+    let name = fact_name i in
+    let p1 = type_of (Random.State.int rng n) in
+    let p2 = if i mod 2 = 0 then p1 else type_of (Random.State.int rng n) in
+    schema := Schema.add_fact (Fact_type.make name p1 p2) !schema
+  done;
+  let facts = Schema.fact_types !schema in
+  let random_fact () = pick rng facts in
+  let random_role () =
+    let (ft : Fact_type.t) = random_fact () in
+    if flip rng 0.5 then Ids.first ft.name else Ids.second ft.name
+  in
+  let n_constraints = 2 + Random.State.int rng (2 * m) in
+  for _ = 1 to n_constraints do
+    let body =
+      match Random.State.int rng 10 with
+      | 0 -> Some (Constraints.Mandatory (random_role ()))
+      | 1 -> Some (Constraints.Uniqueness (Single (random_role ())))
+      | 2 ->
+          let min_f = 1 + Random.State.int rng 3 in
+          Some
+            (Constraints.Frequency
+               (Single (random_role ()), Constraints.frequency ~max:(min_f + Random.State.int rng 3) min_f))
+      | 3 ->
+          let t = type_of (Random.State.int rng n) in
+          let size = 1 + Random.State.int rng 4 in
+          Some
+            (Constraints.Value_constraint
+               (t, Value.Constraint.of_range 0 (size - 1)))
+      | 4 ->
+          let r1 = random_role () and r2 = random_role () in
+          if Ids.equal_role r1 r2 then None
+          else Some (Constraints.Role_exclusion [ Single r1; Single r2 ])
+      | 5 ->
+          let f1 = random_fact () and f2 = random_fact () in
+          if f1.name = f2.name then None
+          else
+            Some
+              (Constraints.Subset
+                 (Ids.whole_predicate f1.name, Ids.whole_predicate f2.name))
+      | 6 ->
+          let f1 = random_fact () and f2 = random_fact () in
+          if f1.name = f2.name then None
+          else
+            Some
+              (Constraints.Equality
+                 (Ids.whole_predicate f1.name, Ids.whole_predicate f2.name))
+      | 7 ->
+          let a = type_of (Random.State.int rng n) in
+          let b = type_of (Random.State.int rng n) in
+          if a = b then None else Some (Constraints.Type_exclusion [ a; b ])
+      | 8 -> (
+          let (ft : Fact_type.t) = random_fact () in
+          if ft.player1 = ft.player2 then
+            Some (Constraints.Ring (pick rng Ring.all, ft.name))
+          else None)
+      | _ ->
+          let super = type_of (Random.State.int rng n) in
+          let sub = type_of (Random.State.int rng n) in
+          if super = sub then None
+          else Some (Constraints.Total_subtypes (super, [ sub ]))
+    in
+    match body with Some b -> schema := Schema.add b !schema | None -> ()
+  done;
+  !schema
+
+let type_names schema = Schema.object_types schema

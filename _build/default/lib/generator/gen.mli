@@ -1,0 +1,44 @@
+(** Seeded random schema generation — the workload generator behind the
+    property tests and the scaling benchmarks (paper Section 4's
+    fast-vs-complete comparison needs schemas of growing size).
+
+    {!clean} produces schemas that are {e clean by construction}: the
+    constraint mix is restricted so that none of the nine patterns can fire
+    (e.g. frequency minima exceeding 1 are only placed on roles without
+    uniqueness constraints, exclusions only join roles of unrelated
+    players without mandatory constraints).  {!Faults.inject} then plants a
+    specific contradiction into a clean schema. *)
+
+open Orm
+
+type config = {
+  n_types : int;  (** object types (≥ 1) *)
+  n_facts : int;  (** binary fact types *)
+  subtype_density : float;
+      (** probability that a new type subtypes an existing one *)
+  p_mandatory : float;  (** per-fact probability of a mandatory first role *)
+  p_uniqueness : float;  (** per-role probability of a uniqueness constraint *)
+  p_frequency : float;  (** per-fact probability of a safe frequency range *)
+  p_value : float;  (** per-type probability of a (generous) value set *)
+  p_exclusion : float;  (** per-fact probability of a safe exclusion *)
+  p_subset : float;  (** per-fact probability of a safe subset *)
+  p_ring : float;  (** per-homogeneous-fact probability of one ring kind *)
+}
+
+val default : config
+val sized : int -> config
+(** [sized n] scales types and facts linearly with [n] keeping default
+    probabilities. *)
+
+val clean : ?config:config -> seed:int -> unit -> Schema.t
+(** A well-formed schema on which no unsatisfiability pattern fires. *)
+
+val arbitrary : ?config:config -> seed:int -> unit -> Schema.t
+(** A well-formed schema with an {e unconstrained} constraint mix — no
+    safety filtering, so contradictions of any pattern (and combinations no
+    pattern covers) arise naturally.  Used by the fuzzing property tests:
+    whatever the engine condemns on an arbitrary schema must be refuted by
+    a complete bounded procedure. *)
+
+val type_names : Schema.t -> string list
+(** Convenience: the generated type names, in creation order. *)

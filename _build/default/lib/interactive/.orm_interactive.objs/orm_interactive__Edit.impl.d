@@ -1,0 +1,1 @@
+lib/interactive/edit.ml: Constraints Fact_type Format Ids Orm Schema

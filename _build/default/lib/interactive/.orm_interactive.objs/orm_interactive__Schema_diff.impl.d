@@ -1,0 +1,1 @@
+lib/interactive/schema_diff.ml: Constraints Edit Fact_type Format Ids List Option Orm Schema String Subtype_graph

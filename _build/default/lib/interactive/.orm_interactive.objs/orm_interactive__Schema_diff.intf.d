@@ -1,0 +1,1 @@
+lib/interactive/schema_diff.mli: Edit Orm Schema

@@ -1,0 +1,1 @@
+lib/interactive/session.ml: Edit Int List Map Orm Orm_patterns Schema

@@ -1,0 +1,1 @@
+lib/interactive/session.mli: Edit Orm Orm_patterns Schema

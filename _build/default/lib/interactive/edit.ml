@@ -1,0 +1,71 @@
+open Orm
+
+type t =
+  | Add_object_type of Ids.object_type
+  | Add_subtype of Ids.object_type * Ids.object_type
+  | Add_fact of Fact_type.t
+  | Add_constraint of Constraints.t
+  | Add of Constraints.body
+  | Remove_constraint of Constraints.id
+  | Remove_fact of Ids.fact_type
+  | Remove_subtype of Ids.object_type * Ids.object_type
+  | Remove_object_type of Ids.object_type
+
+let apply edit schema =
+  match edit with
+  | Add_object_type ot -> Schema.add_object_type ot schema
+  | Add_subtype (sub, super) -> Schema.add_subtype ~sub ~super schema
+  | Add_fact ft -> Schema.add_fact ft schema
+  | Add_constraint c -> Schema.add_constraint c schema
+  | Add body -> Schema.add body schema
+  | Remove_constraint id -> Schema.remove_constraint id schema
+  | Remove_fact f -> Schema.remove_fact f schema
+  | Remove_subtype (sub, super) -> Schema.remove_subtype ~sub ~super schema
+  | Remove_object_type ot -> Schema.remove_object_type ot schema
+
+let all = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+let patterns_of_body = function
+  | Constraints.Mandatory _ -> [ 3; 12 ]
+  | Constraints.Disjunctive_mandatory _ -> []
+  | Constraints.Uniqueness _ -> [ 7 ]
+  | Constraints.External_uniqueness _ -> []
+  | Constraints.Frequency _ -> [ 4; 5; 7 ]
+  | Constraints.Value_constraint _ -> [ 4; 5; 10; 11 ]
+  | Constraints.Role_exclusion _ -> [ 3; 5; 6 ]
+  | Constraints.Subset _ | Constraints.Equality _ -> [ 6 ]
+  | Constraints.Type_exclusion _ -> [ 2 ]
+  | Constraints.Total_subtypes _ -> []
+  | Constraints.Ring _ -> [ 8; 11; 12 ]
+
+let affected_patterns schema = function
+  | Add_object_type _ -> []
+  | Add_subtype _ | Remove_subtype _ ->
+      (* Subtyping feeds the hierarchy patterns directly, patterns 4/5/10/11
+         through inherited (effective) value sets, and pattern 12 through
+         the successor-stays-inside test. *)
+      [ 1; 2; 3; 4; 5; 9; 10; 11; 12 ]
+  | Add_fact ft ->
+      (* A fresh fact type carries no constraints yet; but adding under an
+         existing name REPLACES the fact type (possibly changing its
+         players), which can affect any constraint mentioning its roles. *)
+      if Schema.find_fact schema ft.Fact_type.name = None then [] else all
+  | Add_constraint { body; _ } | Add body -> patterns_of_body body
+  | Remove_constraint id -> (
+      match Schema.find_constraint schema id with
+      | Some { body; _ } -> patterns_of_body body
+      | None -> [])
+  | Remove_fact _ | Remove_object_type _ ->
+      (* Removal cascades to an unbounded set of attached constraints. *)
+      all
+
+let pp ppf = function
+  | Add_object_type ot -> Format.fprintf ppf "add object type %s" ot
+  | Add_subtype (sub, super) -> Format.fprintf ppf "add subtype %s < %s" sub super
+  | Add_fact ft -> Format.fprintf ppf "add fact %a" Fact_type.pp ft
+  | Add_constraint c -> Format.fprintf ppf "add %a" Constraints.pp c
+  | Add body -> Format.fprintf ppf "add %a" Constraints.pp_body body
+  | Remove_constraint id -> Format.fprintf ppf "remove constraint %s" id
+  | Remove_fact f -> Format.fprintf ppf "remove fact %s" f
+  | Remove_subtype (sub, super) -> Format.fprintf ppf "remove subtype %s < %s" sub super
+  | Remove_object_type ot -> Format.fprintf ppf "remove object type %s" ot

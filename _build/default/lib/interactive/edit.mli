@@ -1,0 +1,28 @@
+(** Edit operations on a schema — the vocabulary of an interactive modeling
+    session (paper Section 4: DogmaModeler re-validates while the user
+    edits). *)
+
+open Orm
+
+type t =
+  | Add_object_type of Ids.object_type
+  | Add_subtype of Ids.object_type * Ids.object_type  (** sub, super *)
+  | Add_fact of Fact_type.t
+  | Add_constraint of Constraints.t
+  | Add of Constraints.body  (** constraint under a fresh identifier *)
+  | Remove_constraint of Constraints.id
+  | Remove_fact of Ids.fact_type
+  | Remove_subtype of Ids.object_type * Ids.object_type
+  | Remove_object_type of Ids.object_type
+
+val apply : t -> Schema.t -> Schema.t
+
+val affected_patterns : Schema.t -> t -> int list
+(** The patterns whose verdict can change when the edit is applied to the
+    schema — the key to incremental re-checking.  Computed from the edit
+    kind (e.g. adding a uniqueness constraint can only influence pattern 7;
+    a subtype edge influences 1, 2, 3, 9 and — through inherited value
+    sets — 4 and 5).  For removals of facts or object types, which drop an
+    unbounded set of attached constraints, all patterns are returned. *)
+
+val pp : Format.formatter -> t -> unit

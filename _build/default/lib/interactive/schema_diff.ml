@@ -1,0 +1,99 @@
+open Orm
+module Sset = Ids.String_set
+
+(* Canonical rendering of a constraint occurrence (value sets print their
+   elements in sorted order, so this is insertion-order independent). *)
+let constraint_key (c : Constraints.t) = Format.asprintf "%a" Constraints.pp c
+
+let fact_key (ft : Fact_type.t) =
+  Format.asprintf "%s|%s|%s|%s" ft.name ft.player1 ft.player2
+    (Option.value ~default:"" ft.reading)
+
+(* Body lines of the canonical textual form: everything except the schema
+   name, sorted. *)
+let body_lines schema =
+  let constraints = List.map constraint_key (Schema.constraints schema) in
+  let facts = List.map fact_key (Schema.fact_types schema) in
+  let edges =
+    List.map (fun (a, b) -> a ^ "<" ^ b) (Subtype_graph.edges (Schema.graph schema))
+  in
+  List.sort String.compare
+    (Schema.object_types schema @ facts @ edges @ constraints)
+
+let equal_schemas a b = body_lines a = body_lines b
+
+let one_pass a b =
+  let keys_of f xs = List.map (fun x -> (f x, x)) xs in
+  let only_in keyed_x keyed_y =
+    List.filter (fun (k, _) -> not (List.mem_assoc k keyed_y)) keyed_x
+  in
+  (* Constraints, compared by id + canonical body. *)
+  let ca = keys_of constraint_key (Schema.constraints a) in
+  let cb = keys_of constraint_key (Schema.constraints b) in
+  let remove_constraints =
+    List.map (fun (_, (c : Constraints.t)) -> Edit.Remove_constraint c.id) (only_in ca cb)
+  in
+  let add_constraints =
+    List.map (fun (_, c) -> Edit.Add_constraint c) (only_in cb ca)
+  in
+  (* Subtype edges. *)
+  let ea = Subtype_graph.edges (Schema.graph a) in
+  let eb = Subtype_graph.edges (Schema.graph b) in
+  let remove_edges =
+    List.filter_map
+      (fun (sub, super) ->
+        if List.mem (sub, super) eb then None else Some (Edit.Remove_subtype (sub, super)))
+      ea
+  in
+  let add_edges =
+    List.filter_map
+      (fun (sub, super) ->
+        if List.mem (sub, super) ea then None else Some (Edit.Add_subtype (sub, super)))
+      eb
+  in
+  (* Fact types: removals for vanished names; Add_fact both for new names
+     and for changed definitions (Add_fact replaces in place). *)
+  let fa = Schema.fact_types a and fb = Schema.fact_types b in
+  let name_of (ft : Fact_type.t) = ft.name in
+  let remove_facts =
+    List.filter_map
+      (fun ft ->
+        if List.exists (fun ft' -> name_of ft' = name_of ft) fb then None
+        else Some (Edit.Remove_fact (name_of ft)))
+      fa
+  in
+  let add_facts =
+    List.filter_map
+      (fun ft ->
+        match List.find_opt (fun ft' -> name_of ft' = name_of ft) fa with
+        | Some existing when fact_key existing = fact_key ft -> None
+        | Some _ | None -> Some (Edit.Add_fact ft))
+      fb
+  in
+  (* Object types. *)
+  let ta = Sset.of_list (Schema.object_types a) in
+  let tb = Sset.of_list (Schema.object_types b) in
+  let remove_types =
+    List.map (fun t -> Edit.Remove_object_type t) (Sset.elements (Sset.diff ta tb))
+  in
+  let add_types =
+    List.map (fun t -> Edit.Add_object_type t) (Sset.elements (Sset.diff tb ta))
+  in
+  remove_constraints @ remove_edges @ remove_facts @ remove_types @ add_types
+  @ add_facts @ add_edges @ add_constraints
+
+(* Removal cascades (a removed object type drops its facts, a removed or
+   replaced fact drops attached constraints) can delete elements the target
+   still wants, so a single pass is not always enough: iterate until the
+   pass produces no edits.  Each extra round only re-adds cascade victims,
+   so the loop converges quickly; the bound is a safety net. *)
+let diff a b =
+  let rec loop a acc rounds =
+    match one_pass a b with
+    | [] -> List.rev acc
+    | _ when rounds = 0 -> List.rev acc
+    | script ->
+        let a' = List.fold_left (fun s e -> Edit.apply e s) a script in
+        loop a' (List.rev_append script acc) (rounds - 1)
+  in
+  loop a [] 4

@@ -1,0 +1,25 @@
+(** Edit scripts between schema versions.
+
+    [diff a b] computes a list of {!Edit.t} operations that transforms [a]
+    into [b] — the bridge between file-based workflows (reload a [.orm]
+    file) and the incremental session: instead of re-creating the session,
+    apply the diff and let the engine re-check only the affected patterns.
+
+    The script orders removals before additions so that cascade semantics
+    ([Remove_fact] drops attached constraints, [Remove_object_type] drops
+    attached facts) never deletes something the target still wants.  Fact
+    types that exist in both schemas under the same name but with different
+    players or readings are updated in place via [Add_fact] (which replaces),
+    preserving their surviving constraints. *)
+
+open Orm
+
+val diff : Schema.t -> Schema.t -> Edit.t list
+(** [diff a b] is an edit script with
+    [List.fold_left (fun s e -> Edit.apply e s) a (diff a b)] structurally
+    equal to [b] (same object types, subtype edges, fact types and
+    constraint occurrences, in canonical order). *)
+
+val equal_schemas : Schema.t -> Schema.t -> bool
+(** Structural equality used as the diff's target notion (canonical
+    printed form). *)

@@ -1,0 +1,71 @@
+open Orm
+module Engine = Orm_patterns.Engine
+module Settings = Orm_patterns.Settings
+module Diagnostic = Orm_patterns.Diagnostic
+
+module Imap = Map.Make (Int)
+
+type t = {
+  schema : Schema.t;
+  session_settings : Settings.t;
+  cache : Diagnostic.t list Imap.t;  (* pattern number -> its diagnostics *)
+  report : Engine.report;
+  past : (Edit.t * t) list;  (* newest first: edit together with the state before it *)
+  last_rechecked : int list;
+}
+
+let enabled settings = List.sort_uniq Int.compare settings.Settings.enabled
+
+let rebuild_report settings schema cache =
+  let diagnostics = List.concat_map snd (Imap.bindings cache) in
+  Engine.assemble ~settings schema diagnostics
+
+let full_cache settings schema =
+  List.fold_left
+    (fun cache n -> Imap.add n (Engine.run_pattern n ~settings schema) cache)
+    Imap.empty (enabled settings)
+
+let create ?(settings = Settings.default) schema =
+  let cache = full_cache settings schema in
+  {
+    schema;
+    session_settings = settings;
+    cache;
+    report = rebuild_report settings schema cache;
+    past = [];
+    last_rechecked = enabled settings;
+  }
+
+let schema t = t.schema
+let settings t = t.session_settings
+let report t = t.report
+
+let apply edit t =
+  let affected =
+    List.filter
+      (fun n -> List.mem n (enabled t.session_settings))
+      (Edit.affected_patterns t.schema edit)
+  in
+  let schema = Edit.apply edit t.schema in
+  let cache =
+    List.fold_left
+      (fun cache n ->
+        Imap.add n (Engine.run_pattern n ~settings:t.session_settings schema) cache)
+      t.cache affected
+  in
+  {
+    schema;
+    session_settings = t.session_settings;
+    cache;
+    report = rebuild_report t.session_settings schema cache;
+    past = (edit, t) :: t.past;
+    last_rechecked = affected;
+  }
+
+let undo t = match t.past with [] -> None | (_, before) :: _ -> Some before
+
+let history t = List.rev_map fst t.past
+
+let last_rechecked t = t.last_rechecked
+
+let is_clean t = t.report.diagnostics = []

@@ -1,0 +1,39 @@
+(** An interactive modeling session with incremental re-validation.
+
+    The session keeps one diagnostic cache per pattern; applying an edit
+    re-runs only the patterns {!Edit.affected_patterns} names and reuses the
+    cached diagnostics of the rest, then recomputes the (cheap) propagation
+    closure.  The test suite verifies that an incrementally maintained
+    report always coincides with a from-scratch {!Orm_patterns.Engine.check}
+    — and the benchmark harness measures the latency gap, which is what
+    makes the paper's "interactive modeling" use case viable on large
+    schemas. *)
+
+open Orm
+
+type t
+
+val create : ?settings:Orm_patterns.Settings.t -> Schema.t -> t
+(** Fresh session; performs one full check. *)
+
+val schema : t -> Schema.t
+val settings : t -> Orm_patterns.Settings.t
+
+val report : t -> Orm_patterns.Engine.report
+(** The current diagnostics (always up to date after {!apply}). *)
+
+val apply : Edit.t -> t -> t
+(** Applies the edit and incrementally re-validates. *)
+
+val undo : t -> t option
+(** Reverts the most recent edit ([None] on a fresh session). *)
+
+val history : t -> Edit.t list
+(** Edits applied so far, oldest first. *)
+
+val last_rechecked : t -> int list
+(** The patterns the most recent {!apply} re-ran (diagnostics for the
+    others came from the cache). *)
+
+val is_clean : t -> bool
+(** No diagnostics outstanding. *)

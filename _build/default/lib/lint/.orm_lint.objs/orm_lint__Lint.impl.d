@@ -1,0 +1,1 @@
+lib/lint/lint.ml: Constraints Fact_type Format Ids List Option Orm Orm_patterns Printf Schema String Subtype_graph Value

@@ -1,0 +1,1 @@
+lib/lint/lint.mli: Format Orm Schema

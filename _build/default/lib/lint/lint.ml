@@ -1,0 +1,409 @@
+open Orm
+
+type severity = Style | Redundancy | Unsat_risk
+
+type rule = {
+  rule_id : string;
+  title : string;
+  severity : severity;
+  relevant_for_unsat : bool;
+  covered_by_pattern : int option;
+}
+
+let rules =
+  [
+    {
+      rule_id = "FR1";
+      title = "A frequency constraint of 1 is never used (use uniqueness instead)";
+      severity = Style;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "FR2";
+      title = "A frequency constraint cannot span a whole predicate";
+      severity = Style;
+      relevant_for_unsat = false;
+      (* Only the min>1 case is an unsatisfiability, and pattern 7 owns it. *)
+      covered_by_pattern = Some 7;
+    };
+    {
+      rule_id = "FR3";
+      title =
+        "No role sequence exactly spanned by a uniqueness constraint can have a \
+         frequency constraint";
+      severity = Redundancy;
+      relevant_for_unsat = false;
+      covered_by_pattern = Some 7;
+    };
+    {
+      rule_id = "FR4";
+      title = "No uniqueness constraint can be spanned by a longer uniqueness constraint";
+      severity = Redundancy;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "FR5";
+      title =
+        "An exclusion constraint cannot be specified between roles if one of them is \
+         mandatory";
+      severity = Unsat_risk;
+      relevant_for_unsat = true;
+      covered_by_pattern = Some 3;
+    };
+    {
+      rule_id = "FR6";
+      title =
+        "An exclusion constraint cannot be specified between roles of an object type \
+         and its subtype";
+      severity = Style;
+      relevant_for_unsat = false;  (* the paper's Fig. 14 counterexample *)
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "FR7";
+      title =
+        "A frequency minimum cannot exceed the co-player's admissible value count";
+      severity = Unsat_risk;
+      relevant_for_unsat = true;
+      covered_by_pattern = Some 4;
+    };
+    {
+      rule_id = "S1";
+      title = "A subset constraint may not be superfluous";
+      severity = Redundancy;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "S2";
+      title = "A subset constraint may not contain any loops";
+      severity = Style;
+      relevant_for_unsat = false;
+      (* On subtypes, where subsetting is strict, loops ARE unsatisfiable
+         and pattern 9 owns them. *)
+      covered_by_pattern = Some 9;
+    };
+    {
+      rule_id = "S3";
+      title = "An equality constraint may not be superfluous";
+      severity = Redundancy;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "S4";
+      title = "Sequences under an exclusion constraint may not have a common subset";
+      severity = Unsat_risk;
+      relevant_for_unsat = true;
+      covered_by_pattern = Some 6;
+    };
+    {
+      rule_id = "V1";
+      title = "An object type should play some role or subtype link (approximation)";
+      severity = Style;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "V2";
+      title =
+        "A fact type should carry an explicit uniqueness constraint (approximation)";
+      severity = Style;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+    {
+      rule_id = "V3";
+      title =
+        "A subtype's value constraint should refine its supertype's (approximation)";
+      severity = Style;
+      relevant_for_unsat = false;
+      covered_by_pattern = None;
+    };
+  ]
+
+let find_rule id = List.find_opt (fun r -> r.rule_id = id) rules
+
+type finding = {
+  rule : rule;
+  subject : string;
+  message : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%s] %s: %s" f.rule.rule_id f.subject f.message
+
+let get id = Option.get (find_rule id)
+
+let finding id subject fmt =
+  Format.kasprintf (fun message -> { rule = get id; subject; message }) fmt
+
+let singles seqs =
+  let extract = function Ids.Single r -> Some r | Ids.Pair _ -> None in
+  let roles = List.filter_map extract seqs in
+  if List.length roles = List.length seqs then Some roles else None
+
+(* FR1: FC(1-1) is a uniqueness constraint in disguise. *)
+let fr1 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Frequency (seq, { min = 1; max = Some 1 }) ->
+          Some
+            (finding "FR1" c.id
+               "frequency FC(1-1) on %s should be a uniqueness constraint"
+               (Ids.seq_to_string seq))
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* FR2: frequency spanning a whole (binary) predicate. *)
+let fr2 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Frequency (Pair _, f) ->
+          Some
+            (finding "FR2" c.id
+               "frequency %s spans the whole predicate; a predicate is a set, so \
+                only FC(1-n) is satisfiable (and redundant)"
+               (Format.asprintf "%a" Constraints.pp_frequency f))
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* FR3: frequency on a sequence that is exactly spanned by a uniqueness. *)
+let fr3 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Frequency (seq, _) when Schema.has_uniqueness schema seq ->
+          Some
+            (finding "FR3" c.id
+               "frequency on %s duplicates the uniqueness constraint there"
+               (Ids.seq_to_string seq))
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* FR4: a pair uniqueness spanned by a single-role uniqueness is redundant. *)
+let fr4 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Uniqueness (Pair (r1, r2)) ->
+          let shorter r = Schema.has_uniqueness schema (Ids.Single r) in
+          if shorter r1 || shorter r2 then
+            Some
+              (finding "FR4" c.id
+                 "the spanning uniqueness on %s is implied by a shorter uniqueness"
+                 r1.fact)
+          else None
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* FR5: mandatory role inside an exclusion constraint. *)
+let fr5 schema =
+  List.filter_map
+    (fun ((c : Constraints.t), seqs) ->
+      match singles seqs with
+      | None -> None
+      | Some roles ->
+          let mand = List.filter (Schema.is_mandatory schema) roles in
+          if mand = [] then None
+          else
+            Some
+              (finding "FR5" c.id
+                 "roles %s in the exclusion are mandatory (see pattern 3)"
+                 (String.concat ", " (List.map Ids.role_to_string mand))))
+    (Schema.role_exclusions schema)
+
+(* FR6: exclusion between roles whose players are in a subtype relation. *)
+let fr6 schema =
+  let g = Schema.graph schema in
+  List.filter_map
+    (fun ((c : Constraints.t), seqs) ->
+      match singles seqs with
+      | None -> None
+      | Some roles ->
+          let offending =
+            List.exists
+              (fun ri ->
+                List.exists
+                  (fun rj ->
+                    (not (Ids.equal_role ri rj))
+                    &&
+                    match (Schema.player schema ri, Schema.player schema rj) with
+                    | Some pi, Some pj ->
+                        pi <> pj
+                        && (Subtype_graph.is_subtype_of g ~sub:pi ~super:pj
+                           || Subtype_graph.is_subtype_of g ~sub:pj ~super:pi)
+                    | _ -> false)
+                  roles)
+              roles
+          in
+          if offending then
+            Some
+              (finding "FR6" c.id
+                 "the excluded roles are played by a type and its subtype; this is \
+                  legal (all roles can still be satisfiable, cf. the paper's Fig. 14) \
+                  but considered poor style")
+          else None)
+    (Schema.role_exclusions schema)
+
+(* FR7: frequency minimum above the co-player's value count (= pattern 4). *)
+let fr7 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Frequency (Single r, { min; _ }) -> (
+          match Schema.player schema (Ids.co_role r) with
+          | None -> None
+          | Some co_player -> (
+              match Schema.effective_value_set schema co_player with
+              | Some vs when Value.Constraint.cardinal vs < min ->
+                  Some
+                    (finding "FR7" c.id
+                       "the frequency minimum %d exceeds the %d admissible values of %s"
+                       min (Value.Constraint.cardinal vs) co_player)
+              | _ -> None))
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* Is there a SetPath from [a] to [b] that does not use constraint [id]?  A
+   subset/equality implied that way makes the constraint superfluous. *)
+let redundant_path schema id a b =
+  let without = Schema.remove_constraint id schema in
+  let g = Orm_patterns.Setcomp.build without in
+  Orm_patterns.Setcomp.set_path g a b <> None
+
+let s1 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Subset (a, b) when redundant_path schema c.id a b ->
+          Some
+            (finding "S1" c.id "the subset %s <= %s is implied by other constraints"
+               (Ids.seq_to_string a) (Ids.seq_to_string b))
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* S2: subset loops (populations forced equal, but satisfiable). *)
+let s2 schema =
+  let g = Orm_patterns.Setcomp.build schema in
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Subset (a, b) when Orm_patterns.Setcomp.set_path g b a <> None ->
+          Some
+            (finding "S2" c.id
+               "subset %s <= %s closes a loop; the populations are forced to be \
+                equal (use an equality constraint)"
+               (Ids.seq_to_string a) (Ids.seq_to_string b))
+      | _ -> None)
+    (Schema.constraints schema)
+
+let s3 schema =
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Equality (a, b)
+        when redundant_path schema c.id a b && redundant_path schema c.id b a ->
+          Some
+            (finding "S3" c.id "the equality %s = %s is implied by other constraints"
+               (Ids.seq_to_string a) (Ids.seq_to_string b))
+      | _ -> None)
+    (Schema.constraints schema)
+
+(* S4: excluded sequences with a common subset - this is what pattern 6
+   detects; the lint finding just points there. *)
+let s4 schema =
+  List.filter_map
+    (fun d ->
+      match Orm_patterns.Diagnostic.pattern_number d with
+      | Some 6 ->
+          Some
+            (finding "S4"
+               (String.concat ", " d.Orm_patterns.Diagnostic.culprits)
+               "excluded sequences share a forced common subset (pattern 6)")
+      | _ -> None)
+    (Orm_patterns.Engine.run_pattern 6 schema)
+
+(* V1: object types connected to nothing. *)
+let v1 schema =
+  let g = Schema.graph schema in
+  let mentioned =
+    List.fold_left
+      (fun acc (c : Constraints.t) ->
+        List.fold_left
+          (fun acc t -> Ids.String_set.add t acc)
+          acc
+          (Constraints.object_types_of c.body))
+      Ids.String_set.empty (Schema.constraints schema)
+  in
+  List.filter_map
+    (fun t ->
+      if
+        Schema.roles_played_by schema t = []
+        && Subtype_graph.direct_supertypes g t = []
+        && Subtype_graph.direct_subtypes g t = []
+        && not (Ids.String_set.mem t mentioned)
+      then Some (finding "V1" t "object type %s plays no role and has no links" t)
+      else None)
+    (Schema.object_types schema)
+
+(* V2: fact types without any explicit uniqueness constraint. *)
+let v2 schema =
+  List.filter_map
+    (fun (ft : Fact_type.t) ->
+      let has_uc =
+        Schema.has_uniqueness schema (Ids.Single (Ids.first ft.name))
+        || Schema.has_uniqueness schema (Ids.Single (Ids.second ft.name))
+        || Schema.has_uniqueness schema (Ids.whole_predicate ft.name)
+      in
+      if has_uc then None
+      else
+        Some
+          (finding "V2" ft.name
+             "fact type %s has no explicit uniqueness constraint (many-to-many by \
+              default)"
+             ft.name))
+    (Schema.fact_types schema)
+
+(* V3: a subtype's value constraint not contained in its supertype's. *)
+let v3 schema =
+  let g = Schema.graph schema in
+  List.filter_map
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Value_constraint (t, vs) ->
+          let violating_ancestor =
+            List.find_opt
+              (fun anc ->
+                match Schema.value_constraint schema anc with
+                | Some (_, vs') ->
+                    not (Value.Constraint.equal (Value.Constraint.inter vs vs') vs)
+                | None -> false)
+              (Ids.String_set.elements (Subtype_graph.supertypes g t))
+          in
+          Option.map
+            (fun anc ->
+              finding "V3" c.id
+                "the value constraint on %s is not contained in its supertype %s's" t
+                anc)
+            violating_ancestor
+      | _ -> None)
+    (Schema.constraints schema)
+
+let checkers =
+  [
+    ("FR1", fr1); ("FR2", fr2); ("FR3", fr3); ("FR4", fr4); ("FR5", fr5);
+    ("FR6", fr6); ("FR7", fr7); ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4);
+    ("V1", v1); ("V2", v2); ("V3", v3);
+  ]
+
+let check schema = List.concat_map (fun (_, checker) -> checker schema) checkers
+
+let check_rule id schema =
+  match List.assoc_opt id checkers with
+  | Some checker -> checker schema
+  | None -> invalid_arg (Printf.sprintf "Lint.check_rule: unknown rule %s" id)

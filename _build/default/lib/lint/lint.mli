@@ -1,0 +1,54 @@
+(** Modeling-style rules from the literature the paper analyzes in Section 3:
+    Halpin's seven {e formation rules} [H89] (FR1–FR7) and the RIDL-A
+    {e set-constraint analysis} [DMV] (S1–S4), plus three validity checks
+    (V1–V3) in the spirit of RIDL-A's validity analysis (whose exact rules
+    the paper does not reproduce; ours are standard ORM hygiene checks and
+    are labelled as approximations).
+
+    The paper's central observation is reproduced as data: most of these
+    rules are {e style} or {e redundancy} guidelines — violating them does
+    not make any role unsatisfiable — and the few that do touch
+    unsatisfiability are subsumed by one of the nine patterns.  Each rule
+    carries the paper's verdict ([relevant_for_unsat]) and, where
+    applicable, the pattern that covers it. *)
+
+open Orm
+
+type severity =
+  | Style  (** prefer another formulation; nothing is wrong semantically *)
+  | Redundancy  (** the constraint is implied by others *)
+  | Unsat_risk  (** violating this rule makes some role unsatisfiable *)
+
+type rule = {
+  rule_id : string;  (** "FR1".."FR7", "S1".."S4", "V1".."V3" *)
+  title : string;
+  severity : severity;
+  relevant_for_unsat : bool;
+      (** the paper's Section 3 verdict: does a violation imply an
+          unsatisfiable role? *)
+  covered_by_pattern : int option;
+      (** the unsatisfiability pattern subsuming the rule, if any *)
+}
+
+val rules : rule list
+(** The full catalogue with the paper's classification — FR5 is pattern 3,
+    FR7 is covered by pattern 4, S2 on subtypes is pattern 9, everything
+    else is style/redundancy. *)
+
+val find_rule : string -> rule option
+
+type finding = {
+  rule : rule;
+  subject : string;  (** the offending element or constraint *)
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val check : Schema.t -> finding list
+(** Runs every rule over the schema.  Unlike {!Orm_patterns.Engine.check},
+    findings here are advice: the schema may be perfectly satisfiable. *)
+
+val check_rule : string -> Schema.t -> finding list
+(** Runs a single rule by identifier.
+    @raise Invalid_argument on an unknown identifier. *)

@@ -1,0 +1,1 @@
+lib/nary/nary.ml: Constraints Fact_type Format Ids List Option Orm Printf Schema Value

@@ -1,0 +1,1 @@
+lib/nary/nary.mli: Constraints Format Ids Orm Schema Value

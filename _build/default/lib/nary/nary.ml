@@ -1,0 +1,157 @@
+open Orm
+
+type role_ref = { fact : string; index : int }
+
+type fact = {
+  name : string;
+  players : Ids.object_type list;
+  reading : string option;
+}
+
+type constr =
+  | Mandatory of role_ref
+  | Uniqueness of role_ref
+  | Composite_uniqueness of role_ref list
+  | Frequency of role_ref * Constraints.frequency
+  | Value_constraint of Ids.object_type * Value.Constraint.t
+  | Exclusion of role_ref list
+  | Subset of role_ref * role_ref
+  | Equality of role_ref * role_ref
+  | Type_exclusion of Ids.object_type list
+
+type t = {
+  schema_name : string;
+  object_types : Ids.object_type list;
+  subtypes : (Ids.object_type * Ids.object_type) list;
+  facts : fact list;
+  constrs : constr list;
+}
+
+let make schema_name =
+  { schema_name; object_types = []; subtypes = []; facts = []; constrs = [] }
+
+let add_fact ?reading name players t =
+  if players = [] then invalid_arg "Nary.add_fact: a fact needs at least one role";
+  { t with facts = t.facts @ [ { name; players; reading } ] }
+
+let add_subtype ~sub ~super t = { t with subtypes = t.subtypes @ [ (sub, super) ] }
+let add c t = { t with constrs = t.constrs @ [ c ] }
+
+type note =
+  | Composite_uniqueness_skipped of role_ref list
+  | Tuple_identity_approximated of string
+  | Unknown_role of role_ref
+
+let pp_ref ppf r = Format.fprintf ppf "%s.%d" r.fact r.index
+
+let pp_note ppf = function
+  | Composite_uniqueness_skipped refs ->
+      Format.fprintf ppf
+        "composite uniqueness over %a needs an external uniqueness constraint and \
+         was skipped"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_ref)
+        refs
+  | Tuple_identity_approximated fact ->
+      Format.fprintf ppf
+        "objectified instances of %s are not forced to coincide on equal component \
+         vectors"
+        fact
+  | Unknown_role r -> Format.fprintf ppf "constraint references unknown role %a" pp_ref r
+
+let objectified_type fact = fact ^ "!"
+let component_fact fact i = Printf.sprintf "%s!%d" fact i
+let component_role r = Ids.second (component_fact r.fact r.index)
+
+let binarize t =
+  let notes = ref [] in
+  let note n = notes := n :: !notes in
+  let arity name =
+    Option.map
+      (fun f -> List.length f.players)
+      (List.find_opt (fun f -> f.name = name) t.facts)
+  in
+  (* Resolve an n-ary role reference to a binary role of the output. *)
+  let resolve (r : role_ref) =
+    match arity r.fact with
+    | Some 2 when r.index = 1 -> Some (Ids.first r.fact)
+    | Some 2 when r.index = 2 -> Some (Ids.second r.fact)
+    | Some n when r.index >= 1 && r.index <= n -> Some (component_role r)
+    | Some _ | None ->
+        note (Unknown_role r);
+        None
+  in
+  let schema = ref (Schema.empty t.schema_name) in
+  let declare body = schema := Schema.add body !schema in
+  List.iter (fun ot -> schema := Schema.add_object_type ot !schema) t.object_types;
+  List.iter
+    (fun (sub, super) -> schema := Schema.add_subtype ~sub ~super !schema)
+    t.subtypes;
+  (* Facts: binary pass through; other arities are objectified. *)
+  List.iter
+    (fun (f : fact) ->
+      match f.players with
+      | [ p1; p2 ] ->
+          schema := Schema.add_fact (Fact_type.make ?reading:f.reading f.name p1 p2) !schema
+      | players ->
+          let obj = objectified_type f.name in
+          schema := Schema.add_object_type obj !schema;
+          List.iteri
+            (fun i player ->
+              let cf = component_fact f.name (i + 1) in
+              let reading =
+                Printf.sprintf "has component %d%s" (i + 1)
+                  (match f.reading with Some r -> " of '" ^ r ^ "'" | None -> "")
+              in
+              schema := Schema.add_fact (Fact_type.make ~reading cf obj player) !schema;
+              (* Every objectified instance has exactly one i-th component. *)
+              declare (Constraints.Mandatory (Ids.first cf));
+              declare (Constraints.Uniqueness (Single (Ids.first cf))))
+            players;
+          (* Tuple identity: the component vector identifies the
+             objectified instance (an external uniqueness over the
+             component roles, joined on the objectified type). *)
+          declare
+            (Constraints.External_uniqueness
+               (List.mapi
+                  (fun i _ -> Ids.second (component_fact f.name (i + 1)))
+                  players)))
+    t.facts;
+  (* Constraints. *)
+  List.iter
+    (fun c ->
+      match c with
+      | Mandatory r ->
+          Option.iter (fun role -> declare (Constraints.Mandatory role)) (resolve r)
+      | Uniqueness r ->
+          Option.iter
+            (fun role -> declare (Constraints.Uniqueness (Single role)))
+            (resolve r)
+      | Composite_uniqueness refs -> (
+          match refs with
+          | [ a; b ]
+            when a.fact = b.fact && arity a.fact = Some 2 && a.index <> b.index -> (
+              match (resolve a, resolve b) with
+              | Some ra, Some rb -> declare (Constraints.Uniqueness (Pair (ra, rb)))
+              | _ -> ())
+          | _ -> note (Composite_uniqueness_skipped refs))
+      | Frequency (r, f) ->
+          Option.iter
+            (fun role -> declare (Constraints.Frequency (Single role, f)))
+            (resolve r)
+      | Value_constraint (ot, vs) -> declare (Constraints.Value_constraint (ot, vs))
+      | Exclusion refs ->
+          let roles = List.filter_map resolve refs in
+          if List.length roles = List.length refs then
+            declare
+              (Constraints.Role_exclusion (List.map (fun r -> Ids.Single r) roles))
+      | Subset (a, b) -> (
+          match (resolve a, resolve b) with
+          | Some ra, Some rb -> declare (Constraints.Subset (Single ra, Single rb))
+          | _ -> ())
+      | Equality (a, b) -> (
+          match (resolve a, resolve b) with
+          | Some ra, Some rb -> declare (Constraints.Equality (Single ra, Single rb))
+          | _ -> ())
+      | Type_exclusion ots -> declare (Constraints.Type_exclusion ots))
+    t.constrs;
+  (!schema, List.rev !notes)

@@ -1,0 +1,89 @@
+(** N-ary fact types via objectification.
+
+    The paper's patterns are defined over binary predicates only ("although
+    ORM supports n-ary predicates, only binary predicates are considered",
+    Section 2).  Real ORM schemas are frequently ternary or wider, so this
+    front end closes the gap with the standard reduction: an n-ary fact
+    type [F(T1,...,Tn)] is {e objectified} into a fresh object type [F!]
+    plus [n] binary component fact types [F!i : F! -> Ti], where every
+    objectified instance has exactly one [i]-th component (mandatory +
+    uniqueness on the [F!] side).
+
+    Constraints on n-ary roles translate component-wise:
+    - mandatory / uniqueness / frequency on a single role [F.i] become the
+      same constraint on the second role of [F!i];
+    - value constraints are type-level and pass through;
+    - exclusion / subset / equality between single roles map to the
+      corresponding component roles.
+
+    Tuple identity — two [F!] instances with identical component vectors
+    must coincide — is enforced with an {e external uniqueness} constraint
+    over the component roles, which the semantics library and the bounded
+    reasoners check (the nine patterns themselves ignore it, as the paper's
+    fragment has no external uniqueness).  Composite (multi-role) internal
+    uniqueness constraints over more than a whole binary predicate are the
+    one feature that does not survive the reduction; they are reported as
+    {!note}s rather than silently dropped. *)
+
+open Orm
+
+type role_ref = { fact : string; index : int }
+(** The [index]-th role (1-based) of an n-ary fact type. *)
+
+type fact = {
+  name : string;
+  players : Ids.object_type list;  (** arity = list length, ≥ 1 *)
+  reading : string option;
+}
+
+type constr =
+  | Mandatory of role_ref
+  | Uniqueness of role_ref
+  | Composite_uniqueness of role_ref list  (** spanning several roles *)
+  | Frequency of role_ref * Constraints.frequency
+  | Value_constraint of Ids.object_type * Value.Constraint.t
+  | Exclusion of role_ref list
+  | Subset of role_ref * role_ref
+  | Equality of role_ref * role_ref
+  | Type_exclusion of Ids.object_type list
+
+type t = {
+  schema_name : string;
+  object_types : Ids.object_type list;
+  subtypes : (Ids.object_type * Ids.object_type) list;  (** (sub, super) *)
+  facts : fact list;
+  constrs : constr list;
+}
+
+val make : string -> t
+val add_fact : ?reading:string -> string -> Ids.object_type list -> t -> t
+val add_subtype : sub:Ids.object_type -> super:Ids.object_type -> t -> t
+val add : constr -> t -> t
+
+(** What got lost or approximated in the reduction. *)
+type note =
+  | Composite_uniqueness_skipped of role_ref list
+      (** needs an external uniqueness constraint, outside the binary
+          fragment *)
+  | Tuple_identity_approximated of string
+      (** retained for callers that pattern-match notes; no longer emitted
+          now that tuple identity is enforced via external uniqueness *)
+  | Unknown_role of role_ref  (** constraint referenced a missing role *)
+
+val pp_note : Format.formatter -> note -> unit
+
+val objectified_type : string -> Ids.object_type
+(** The fresh object type standing for an n-ary fact, e.g.
+    [objectified_type "enrolled" = "enrolled!"]. *)
+
+val component_fact : string -> int -> Ids.fact_type
+(** The binary fact linking the objectified type to its [i]-th player. *)
+
+val component_role : role_ref -> Ids.role
+(** The binary role corresponding to an n-ary role: the player side of the
+    component fact. *)
+
+val binarize : t -> Schema.t * note list
+(** The reduction.  Binary facts in the input pass through unchanged (no
+    objectification overhead); the output schema is ready for
+    {!Orm_patterns.Engine.check} and friends. *)

@@ -1,0 +1,1 @@
+lib/orm/constraints.ml: Format Ids List Ring Value

@@ -1,0 +1,1 @@
+lib/orm/constraints.mli: Format Ids Ring Value

@@ -1,0 +1,1 @@
+lib/orm/fact_type.ml: Format Ids String

@@ -1,0 +1,1 @@
+lib/orm/fact_type.mli: Format Ids

@@ -1,0 +1,1 @@
+lib/orm/figures.ml: Constraints Fact_type Ids List Ring Schema Value

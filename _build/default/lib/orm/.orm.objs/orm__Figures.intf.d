@@ -1,0 +1,1 @@
+lib/orm/figures.mli: Ids Schema

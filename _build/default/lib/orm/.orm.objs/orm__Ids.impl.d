@@ -1,0 +1,1 @@
+lib/orm/ids.ml: Format Map Set String

@@ -1,0 +1,1 @@
+lib/orm/ids.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/orm/ring.ml: Format Int List Option Set String

@@ -1,0 +1,1 @@
+lib/orm/ring.mli: Format Set

@@ -1,0 +1,1 @@
+lib/orm/schema.ml: Constraints Fact_type Format Hashtbl Ids List Option Printf String Subtype_graph Value

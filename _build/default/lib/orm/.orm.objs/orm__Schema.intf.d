@@ -1,0 +1,1 @@
+lib/orm/schema.mli: Constraints Fact_type Format Ids Ring Subtype_graph Value

@@ -1,0 +1,1 @@
+lib/orm/subtype_graph.mli: Ids

@@ -1,0 +1,1 @@
+lib/orm/value.ml: Format Int List Set String

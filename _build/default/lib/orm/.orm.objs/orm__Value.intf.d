@@ -1,0 +1,1 @@
+lib/orm/value.mli: Format Set

@@ -1,0 +1,102 @@
+type id = string
+
+type frequency = { min : int; max : int option }
+
+let frequency ?max min =
+  if min < 0 then invalid_arg "Constraints.frequency: negative min";
+  (match max with
+  | Some m when m < min -> invalid_arg "Constraints.frequency: max < min"
+  | _ -> ());
+  { min; max }
+
+let pp_frequency ppf { min; max } =
+  match max with
+  | Some m -> Format.fprintf ppf "FC(%d-%d)" min m
+  | None -> Format.fprintf ppf "FC(%d-)" min
+
+type body =
+  | Mandatory of Ids.role
+  | Disjunctive_mandatory of Ids.role list
+  | Uniqueness of Ids.role_seq
+  | External_uniqueness of Ids.role list
+  | Frequency of Ids.role_seq * frequency
+  | Value_constraint of Ids.object_type * Value.Constraint.t
+  | Role_exclusion of Ids.role_seq list
+  | Subset of Ids.role_seq * Ids.role_seq
+  | Equality of Ids.role_seq * Ids.role_seq
+  | Type_exclusion of Ids.object_type list
+  | Total_subtypes of Ids.object_type * Ids.object_type list
+  | Ring of Ring.kind * Ids.fact_type
+
+type t = { id : id; body : body }
+
+let make id body = { id; body }
+
+let pp_names ppf names =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Format.pp_print_string ppf names
+
+let pp_seqs ppf seqs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Ids.pp_seq ppf seqs
+
+let pp_roles ppf roles =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Ids.pp_role ppf roles
+
+let pp_body ppf = function
+  | Mandatory r -> Format.fprintf ppf "mandatory %a" Ids.pp_role r
+  | Disjunctive_mandatory roles ->
+      Format.fprintf ppf "mandatory-or [%a]" pp_roles roles
+  | Uniqueness s -> Format.fprintf ppf "unique %a" Ids.pp_seq s
+  | External_uniqueness roles ->
+      Format.fprintf ppf "external-unique [%a]" pp_roles roles
+  | Frequency (s, f) -> Format.fprintf ppf "%a on %a" pp_frequency f Ids.pp_seq s
+  | Value_constraint (ot, vs) ->
+      Format.fprintf ppf "value %s %a" ot Value.Constraint.pp vs
+  | Role_exclusion seqs -> Format.fprintf ppf "exclusion [%a]" pp_seqs seqs
+  | Subset (sub, super) ->
+      Format.fprintf ppf "subset %a <= %a" Ids.pp_seq sub Ids.pp_seq super
+  | Equality (a, b) -> Format.fprintf ppf "equality %a = %a" Ids.pp_seq a Ids.pp_seq b
+  | Type_exclusion ots -> Format.fprintf ppf "exclusive-types [%a]" pp_names ots
+  | Total_subtypes (super, subs) ->
+      Format.fprintf ppf "total %s = [%a]" super pp_names subs
+  | Ring (k, fact) -> Format.fprintf ppf "ring %s on %s" (Ring.to_string k) fact
+
+let pp ppf { id; body } = Format.fprintf ppf "%s: %a" id pp_body body
+
+let roles_of = function
+  | Mandatory r -> [ r ]
+  | Disjunctive_mandatory roles -> roles
+  | Uniqueness s | Frequency (s, _) -> Ids.seq_roles s
+  | External_uniqueness roles -> roles
+  | Value_constraint _ -> []
+  | Role_exclusion seqs -> List.concat_map Ids.seq_roles seqs
+  | Subset (a, b) | Equality (a, b) -> Ids.seq_roles a @ Ids.seq_roles b
+  | Type_exclusion _ | Total_subtypes _ -> []
+  | Ring (_, fact) -> [ Ids.first fact; Ids.second fact ]
+
+let object_types_of = function
+  | Mandatory _ | Disjunctive_mandatory _ | Uniqueness _ | External_uniqueness _
+  | Frequency _ | Role_exclusion _ | Subset _ | Equality _ | Ring _ ->
+      []
+  | Value_constraint (ot, _) -> [ ot ]
+  | Type_exclusion ots -> ots
+  | Total_subtypes (super, subs) -> super :: subs
+
+let kind_name = function
+  | Mandatory _ -> "mandatory"
+  | Disjunctive_mandatory _ -> "disjunctive-mandatory"
+  | Uniqueness _ -> "uniqueness"
+  | External_uniqueness _ -> "external-uniqueness"
+  | Frequency _ -> "frequency"
+  | Value_constraint _ -> "value"
+  | Role_exclusion _ -> "role-exclusion"
+  | Subset _ -> "subset"
+  | Equality _ -> "equality"
+  | Type_exclusion _ -> "type-exclusion"
+  | Total_subtypes _ -> "total-subtypes"
+  | Ring _ -> "ring"

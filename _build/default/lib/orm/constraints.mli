@@ -1,0 +1,79 @@
+(** The ORM constraint vocabulary.
+
+    Every constraint occurrence in a schema carries a unique identifier so
+    that diagnostics can point at the culprit constraints, as the
+    DogmaModeler messages of the paper's appendix do. *)
+
+type id = string
+(** Constraint identifier, unique within a schema (e.g. ["c7"] or a
+    user-chosen name). *)
+
+(** A frequency constraint [FC(min-max)]: every object appearing in the
+    constrained role sequence appears between [min] and [max] times.
+    [max = None] means unbounded (the paper's [FC(n -)]). *)
+type frequency = { min : int; max : int option }
+
+val frequency : ?max:int -> int -> frequency
+(** [frequency ?max min] builds a frequency range.
+    @raise Invalid_argument if [min < 0] or [max < min]. *)
+
+val pp_frequency : Format.formatter -> frequency -> unit
+(** Prints as ["FC(3-5)"] or ["FC(2-)"], the paper's notation. *)
+
+(** The constraint forms of the paper's ORM fragment (binary fact types, no
+    objectification, no derivation rules). *)
+type body =
+  | Mandatory of Ids.role
+      (** every instance of the role's player must play the role *)
+  | Disjunctive_mandatory of Ids.role list
+      (** inclusive-or mandatory: every instance of the (common) player must
+          play at least one of the roles (needed by the paper's Fig. 14) *)
+  | Uniqueness of Ids.role_seq
+      (** internal uniqueness constraint: each instantiation of the sequence
+          occurs at most once *)
+  | External_uniqueness of Ids.role list
+      (** external uniqueness over roles of {e different} fact types whose
+          co-roles share one player [T] (the join type): in the natural join
+          on [T], a combination of values at the constrained roles
+          identifies at most one [T]-instance.  Outside the paper's nine
+          patterns, but required by the n-ary objectification to recover
+          tuple identity. *)
+  | Frequency of Ids.role_seq * frequency
+      (** occurrence-count bounds on the sequence *)
+  | Value_constraint of Ids.object_type * Value.Constraint.t
+      (** enumerated admissible values for an object type *)
+  | Role_exclusion of Ids.role_seq list
+      (** populations of the sequences are pairwise disjoint (the paper's
+          exclusion constraint between roles or predicates, in most compact
+          form) *)
+  | Subset of Ids.role_seq * Ids.role_seq
+      (** population of the first sequence is contained in the second *)
+  | Equality of Ids.role_seq * Ids.role_seq
+      (** populations of the two sequences coincide (equivalent to two
+          subset constraints) *)
+  | Type_exclusion of Ids.object_type list
+      (** the object types are pairwise disjoint (the paper's exclusive
+          constraint between types, Figs. 1 and 3) *)
+  | Total_subtypes of Ids.object_type * Ids.object_type list
+      (** the supertype's population is covered by the listed subtypes *)
+  | Ring of Ring.kind * Ids.fact_type
+      (** ring constraint on the (co-typed) pair of roles of a fact type *)
+
+type t = { id : id; body : body }
+
+val make : id -> body -> t
+
+val pp_body : Format.formatter -> body -> unit
+val pp : Format.formatter -> t -> unit
+
+val roles_of : body -> Ids.role list
+(** All roles mentioned by the constraint (empty for type-level
+    constraints). *)
+
+val object_types_of : body -> Ids.object_type list
+(** All object types mentioned {e directly} by the constraint (players of
+    mentioned roles are resolved by {!Schema}). *)
+
+val kind_name : body -> string
+(** Short descriptor used in diagnostics and statistics, e.g.
+    ["mandatory"], ["frequency"], ["ring"]. *)

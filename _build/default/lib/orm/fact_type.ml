@@ -1,0 +1,20 @@
+type t = {
+  name : Ids.fact_type;
+  player1 : Ids.object_type;
+  player2 : Ids.object_type;
+  reading : string option;
+}
+
+let make ?reading name player1 player2 = { name; player1; player2; reading }
+
+let player ft = function Ids.Fst -> ft.player1 | Ids.Snd -> ft.player2
+
+let roles ft = (Ids.first ft.name, Ids.second ft.name)
+
+let reading_text ft =
+  match ft.reading with
+  | Some r -> r
+  | None -> String.map (function '_' -> ' ' | c -> c) ft.name
+
+let pp ppf ft =
+  Format.fprintf ppf "%s : %s -> %s" ft.name ft.player1 ft.player2

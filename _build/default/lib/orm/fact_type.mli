@@ -1,0 +1,23 @@
+(** Binary fact types (predicates).
+
+    The paper restricts itself to binary predicates; a fact type connects two
+    roles, each played by an object type.  The optional verbalization is the
+    pseudo-natural-language reading used by {!module:Orm_verbalize}. *)
+
+type t = {
+  name : Ids.fact_type;
+  player1 : Ids.object_type;  (** player of the first role *)
+  player2 : Ids.object_type;  (** player of the second role *)
+  reading : string option;
+      (** infix reading, e.g. ["works for"]; defaults to the fact name with
+          underscores replaced by spaces *)
+}
+
+val make : ?reading:string -> Ids.fact_type -> Ids.object_type -> Ids.object_type -> t
+
+val player : t -> Ids.side -> Ids.object_type
+(** [player ft side] is the object type playing the role on [side]. *)
+
+val roles : t -> Ids.role * Ids.role
+val reading_text : t -> string
+val pp : Format.formatter -> t -> unit

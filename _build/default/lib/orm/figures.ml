@@ -1,0 +1,156 @@
+type expectation = {
+  figure : string;
+  schema : Schema.t;
+  pattern : int option;
+  unsat_types : Ids.object_type list;
+  unsat_roles : Ids.role list;
+  joint_roles : Ids.role list list;
+}
+
+let ( |- ) s body = Schema.add body s
+
+let fig1 =
+  Schema.empty "fig1"
+  |> Schema.add_subtype ~sub:"Student" ~super:"Person"
+  |> Schema.add_subtype ~sub:"Employee" ~super:"Person"
+  |> Schema.add_subtype ~sub:"PhDStudent" ~super:"Student"
+  |> Schema.add_subtype ~sub:"PhDStudent" ~super:"Employee"
+  |- Type_exclusion [ "Student"; "Employee" ]
+
+let fig2 =
+  Schema.empty "fig2"
+  |> Schema.add_object_type "A"
+  |> Schema.add_object_type "B"
+  |> Schema.add_subtype ~sub:"C" ~super:"A"
+  |> Schema.add_subtype ~sub:"C" ~super:"B"
+
+let fig3 =
+  Schema.empty "fig3"
+  |> Schema.add_subtype ~sub:"B" ~super:"A"
+  |> Schema.add_subtype ~sub:"C" ~super:"A"
+  |> Schema.add_subtype ~sub:"D" ~super:"B"
+  |> Schema.add_subtype ~sub:"D" ~super:"C"
+  |- Type_exclusion [ "B"; "C" ]
+
+(* Fig. 4: object type A plays r1 = f1.1 and r3 = f2.1; in (c) a subtype B
+   additionally plays r5 = f3.1.  Role numbering follows the paper. *)
+
+let fig4_base name =
+  Schema.empty name
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |> Schema.add_fact (Fact_type.make "f2" "A" "C")
+
+let fig4a =
+  fig4_base "fig4a"
+  |- Mandatory (Ids.first "f1")
+  |- Role_exclusion [ Single (Ids.first "f1"); Single (Ids.first "f2") ]
+
+let fig4b =
+  fig4_base "fig4b"
+  |- Mandatory (Ids.first "f1")
+  |- Mandatory (Ids.first "f2")
+  |- Role_exclusion [ Single (Ids.first "f1"); Single (Ids.first "f2") ]
+
+let fig4c =
+  fig4_base "fig4c"
+  |> Schema.add_subtype ~sub:"B'" ~super:"A"
+  |> Schema.add_fact (Fact_type.make "f3" "B'" "D")
+  |- Mandatory (Ids.first "f1")
+  |- Role_exclusion
+       [ Single (Ids.first "f1"); Single (Ids.first "f2"); Single (Ids.first "f3") ]
+
+let fig5 =
+  Schema.empty "fig5"
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |- Frequency (Single (Ids.first "f1"), Constraints.frequency ~max:5 3)
+  |- Value_constraint ("B", Value.Constraint.of_strings [ "x1"; "x2" ])
+
+let fig6 =
+  Schema.empty "fig6"
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |> Schema.add_fact (Fact_type.make "f2" "A" "C")
+  |- Value_constraint ("A", Value.Constraint.of_strings [ "a1"; "a2" ])
+  |- Frequency (Single (Ids.second "f1"), Constraints.frequency ~max:2 2)
+  |- Role_exclusion [ Single (Ids.first "f1"); Single (Ids.first "f2") ]
+
+let fig7 =
+  Schema.empty "fig7"
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |> Schema.add_fact (Fact_type.make "f2" "A" "C")
+  |> Schema.add_fact (Fact_type.make "f3" "A" "D")
+  |- Value_constraint ("A", Value.Constraint.of_strings [ "a1"; "a2" ])
+  |- Role_exclusion
+       [ Single (Ids.first "f1"); Single (Ids.first "f2"); Single (Ids.first "f3") ]
+
+let fig8 =
+  Schema.empty "fig8"
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |> Schema.add_fact (Fact_type.make "f2" "A" "B")
+  |- Role_exclusion [ Single (Ids.first "f1"); Single (Ids.first "f2") ]
+  |- Subset (Ids.whole_predicate "f1", Ids.whole_predicate "f2")
+
+let fig10 =
+  Schema.empty "fig10"
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |- Uniqueness (Single (Ids.first "f1"))
+  |- Frequency (Single (Ids.first "f1"), Constraints.frequency ~max:5 2)
+
+let fig11 =
+  Schema.empty "fig11"
+  |> Schema.add_fact (Fact_type.make ~reading:"is sister of" "sister_of" "Woman" "Woman")
+  |- Ring (Ring.Irreflexive, "sister_of")
+
+let fig11_incompatible =
+  Schema.empty "fig11x"
+  |> Schema.add_fact (Fact_type.make "r" "A" "A")
+  |- Ring (Ring.Symmetric, "r")
+  |- Ring (Ring.Acyclic, "r")
+
+let fig13 =
+  Schema.empty "fig13"
+  |> Schema.add_subtype ~sub:"A" ~super:"B"
+  |> Schema.add_subtype ~sub:"B" ~super:"C"
+  |> Schema.add_subtype ~sub:"C" ~super:"A"
+
+(* Fig. 14: B is a subtype of A; every A plays r1 or r3 (disjunctive
+   mandatory); r5 (played by B) is exclusive with r3 — a violation of
+   formation rule 6, yet every role can be populated. *)
+let fig14 =
+  Schema.empty "fig14"
+  |> Schema.add_subtype ~sub:"B'" ~super:"A"
+  |> Schema.add_fact (Fact_type.make "f1" "A" "B")
+  |> Schema.add_fact (Fact_type.make "f2" "A" "C")
+  |> Schema.add_fact (Fact_type.make "f3" "B'" "D")
+  |- Disjunctive_mandatory [ Ids.first "f1"; Ids.first "f2" ]
+  |- Role_exclusion [ Single (Ids.first "f2"); Single (Ids.first "f3") ]
+
+let expectation ?(joint = []) figure schema pattern unsat_types unsat_roles =
+  { figure; schema; pattern; unsat_types; unsat_roles; joint_roles = joint }
+
+let all =
+  [
+    expectation "fig1" fig1 (Some 2) [ "PhDStudent" ] [];
+    expectation "fig2" fig2 (Some 1) [ "C" ] [];
+    expectation "fig3" fig3 (Some 2) [ "D" ] [];
+    expectation "fig4a" fig4a (Some 3) [] [ Ids.first "f2" ];
+    expectation "fig4b" fig4b (Some 3) [] [ Ids.first "f1"; Ids.first "f2" ];
+    expectation "fig4c" fig4c (Some 3) [] [ Ids.first "f2"; Ids.first "f3" ];
+    expectation "fig5" fig5 (Some 4) [] [ Ids.first "f1" ];
+    expectation "fig6" fig6 (Some 5) [] []
+      ~joint:[ [ Ids.first "f1"; Ids.first "f2" ] ];
+    expectation "fig7" fig7 (Some 5) [] []
+      ~joint:[ [ Ids.first "f1"; Ids.first "f2"; Ids.first "f3" ] ];
+    (* The subset side (f1) is provably empty; the paper additionally claims
+       f2, which only holds as a joint verdict. *)
+    expectation "fig8" fig8 (Some 6) [] [ Ids.first "f1"; Ids.second "f1" ]
+      ~joint:
+        [ [ Ids.first "f1"; Ids.second "f1"; Ids.first "f2"; Ids.second "f2" ] ];
+    expectation "fig10" fig10 (Some 7) [] [ Ids.first "f1" ];
+    expectation "fig11" fig11 None [] [];
+    expectation "fig11x" fig11_incompatible (Some 8) []
+      [ Ids.first "r"; Ids.second "r" ];
+    expectation "fig13" fig13 (Some 9) [ "A"; "B"; "C" ] [];
+    expectation "fig14" fig14 None [] [];
+  ]
+
+let find name = List.find_opt (fun e -> e.figure = name) all

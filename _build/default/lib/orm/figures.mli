@@ -1,0 +1,76 @@
+(** The paper's worked examples (Figures 1–14) as executable schemas.
+
+    Each figure is reconstructed from the paper's description; the expected
+    verdicts (which elements are unsatisfiable, and which pattern detects
+    them) are recorded in {!expectations} and cross-checked by the test
+    suite and the benchmark harness.  Figures 9 and 12 are diagrams about
+    implications rather than schemas and are covered by the set-comparison
+    and ring modules directly. *)
+
+type expectation = {
+  figure : string;  (** e.g. ["fig4b"] *)
+  schema : Schema.t;
+  pattern : int option;
+      (** the pattern (1–9) expected to fire, [None] for negative controls *)
+  unsat_types : Ids.object_type list;  (** object types that cannot be populated *)
+  unsat_roles : Ids.role list;  (** roles that cannot be populated *)
+  joint_roles : Ids.role list list;
+      (** groups of roles that cannot all be populated in one model, though
+          each may be satisfiable alone (Figs. 6–8) *)
+}
+
+val fig1 : Schema.t
+(** Fig. 1: Student/Employee exclusive subtypes of Person; PhDStudent below
+    both — PhDStudent unsatisfiable (pattern 2), schema weakly satisfiable. *)
+
+val fig2 : Schema.t
+(** Fig. 2: C below unrelated A and B — no top common supertype (pattern 1). *)
+
+val fig3 : Schema.t
+(** Fig. 3: D below exclusive siblings B and C (pattern 2). *)
+
+val fig4a : Schema.t
+(** Fig. 4(a): mandatory r1 exclusive with r3 — r3 unplayable (pattern 3). *)
+
+val fig4b : Schema.t
+(** Fig. 4(b): mandatory r1 and r3, mutually exclusive — both unplayable. *)
+
+val fig4c : Schema.t
+(** Fig. 4(c): exclusion spanning a subtype's role — r3 and r5 unplayable. *)
+
+val fig5 : Schema.t
+(** Fig. 5: FC(3-5) on r1 vs two-valued co-player (pattern 4). *)
+
+val fig6 : Schema.t
+(** Fig. 6: value(2) + exclusion + FC(2-) on the inverse role (pattern 5). *)
+
+val fig7 : Schema.t
+(** Fig. 7: three exclusive roles over a two-valued player (pattern 5). *)
+
+val fig8 : Schema.t
+(** Fig. 8: exclusion between r1 and r3 vs subset between the predicates
+    (pattern 6). *)
+
+val fig10 : Schema.t
+(** Fig. 10: uniqueness + FC(2-5) on the same role (pattern 7). *)
+
+val fig11 : Schema.t
+(** Fig. 11: irreflexive [sister_of] — satisfiable (negative control for
+    pattern 8). *)
+
+val fig11_incompatible : Schema.t
+(** A variant of Fig. 11 with an incompatible ring combination
+    (symmetric + acyclic, the paper's Section 2 example) — pattern 8 fires. *)
+
+val fig13 : Schema.t
+(** Fig. 13: subtype loop A < B < C < A (pattern 9). *)
+
+val fig14 : Schema.t
+(** Fig. 14: violates formation rule 6 yet all roles satisfiable
+    (negative control). *)
+
+val all : expectation list
+(** Every figure with its expected verdict, in paper order. *)
+
+val find : string -> expectation option
+(** [find "fig4b"] looks an expectation up by name. *)

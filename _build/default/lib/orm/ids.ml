@@ -1,0 +1,63 @@
+type object_type = string
+type fact_type = string
+
+type side = Fst | Snd
+
+let other_side = function Fst -> Snd | Snd -> Fst
+let side_index = function Fst -> 1 | Snd -> 2
+
+type role = { fact : fact_type; side : side }
+
+let role fact side = { fact; side }
+let first fact = { fact; side = Fst }
+let second fact = { fact; side = Snd }
+let co_role r = { r with side = other_side r.side }
+
+type role_seq =
+  | Single of role
+  | Pair of role * role
+
+let seq_roles = function
+  | Single r -> [ r ]
+  | Pair (r1, r2) -> [ r1; r2 ]
+
+let seq_fact = function
+  | Single r -> r.fact
+  | Pair (r, _) -> r.fact
+
+let whole_predicate fact = Pair (first fact, second fact)
+
+let compare_role (a : role) (b : role) = compare a b
+let equal_role (a : role) (b : role) = a = b
+let compare_seq (a : role_seq) (b : role_seq) = compare a b
+let equal_seq (a : role_seq) (b : role_seq) = a = b
+
+let pp_role ppf r = Format.fprintf ppf "%s.%d" r.fact (side_index r.side)
+
+let pp_seq ppf = function
+  | Single r -> pp_role ppf r
+  | Pair (r1, r2) -> Format.fprintf ppf "(%a, %a)" pp_role r1 pp_role r2
+
+let role_to_string r = Format.asprintf "%a" pp_role r
+let seq_to_string s = Format.asprintf "%a" pp_seq s
+
+module Role_set = Set.Make (struct
+  type t = role
+
+  let compare = compare_role
+end)
+
+module Role_map = Map.Make (struct
+  type t = role
+
+  let compare = compare_role
+end)
+
+module Seq_set = Set.Make (struct
+  type t = role_seq
+
+  let compare = compare_seq
+end)
+
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)

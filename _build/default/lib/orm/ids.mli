@@ -1,0 +1,79 @@
+(** Identifiers for the elements of an ORM schema.
+
+    Object types and fact types are identified by name.  A role is one of the
+    two ends of a binary fact type and is identified by the fact-type name
+    together with the side it occupies.  Several constraints range over
+    {e role sequences}: either a single role or the whole (ordered) pair of
+    roles of one predicate. *)
+
+type object_type = string
+(** Name of an object type (entity type or value type), e.g. ["Person"]. *)
+
+type fact_type = string
+(** Name of a binary fact type (predicate), e.g. ["works_for"]. *)
+
+(** The two ends of a binary predicate. *)
+type side = Fst | Snd
+
+val other_side : side -> side
+(** [other_side s] is the opposite end of the predicate. *)
+
+val side_index : side -> int
+(** [side_index s] is [1] for [Fst] and [2] for [Snd] (the paper's r1/r2
+    numbering within a fact type). *)
+
+type role = { fact : fact_type; side : side }
+(** A role: one typed end of a fact type. *)
+
+val role : fact_type -> side -> role
+(** [role f s] builds the role of fact type [f] on side [s]. *)
+
+val first : fact_type -> role
+(** [first f] is the role on the first side of [f]. *)
+
+val second : fact_type -> role
+(** [second f] is the role on the second side of [f]. *)
+
+val co_role : role -> role
+(** [co_role r] is the other role of the same fact type (the paper's
+    {e inverse role} of [r]). *)
+
+(** A role sequence: the unit over which set-comparison, uniqueness and
+    frequency constraints are declared.  [Pair (r1, r2)] is an ordered
+    sequence of the two roles of one predicate; the invariant
+    [r1.fact = r2.fact && r1.side <> r2.side] is enforced by
+    {!Schema.validate}. *)
+type role_seq =
+  | Single of role
+  | Pair of role * role
+
+val seq_roles : role_seq -> role list
+(** [seq_roles s] lists the roles of [s] in order. *)
+
+val seq_fact : role_seq -> fact_type
+(** [seq_fact s] is the fact type the sequence belongs to (for a [Single]
+    role, the fact type of that role). *)
+
+val whole_predicate : fact_type -> role_seq
+(** [whole_predicate f] is the pair sequence spanning [f] in declaration
+    order. *)
+
+val compare_role : role -> role -> int
+val equal_role : role -> role -> bool
+val compare_seq : role_seq -> role_seq -> int
+val equal_seq : role_seq -> role_seq -> bool
+
+val pp_role : Format.formatter -> role -> unit
+(** Prints a role as ["fact.1"] or ["fact.2"]. *)
+
+val pp_seq : Format.formatter -> role_seq -> unit
+(** Prints a sequence as ["fact.1"] or ["(fact.1, fact.2)"]. *)
+
+val role_to_string : role -> string
+val seq_to_string : role_seq -> string
+
+module Role_set : Set.S with type elt = role
+module Role_map : Map.S with type key = role
+module Seq_set : Set.S with type elt = role_seq
+module String_set : Set.S with type elt = string
+module String_map : Map.S with type key = string

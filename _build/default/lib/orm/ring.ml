@@ -1,0 +1,131 @@
+type kind =
+  | Irreflexive
+  | Antisymmetric
+  | Asymmetric
+  | Acyclic
+  | Intransitive
+  | Symmetric
+
+let all = [ Antisymmetric; Asymmetric; Acyclic; Irreflexive; Intransitive; Symmetric ]
+
+let to_string = function
+  | Irreflexive -> "irreflexive"
+  | Antisymmetric -> "antisymmetric"
+  | Asymmetric -> "asymmetric"
+  | Acyclic -> "acyclic"
+  | Intransitive -> "intransitive"
+  | Symmetric -> "symmetric"
+
+let abbrev = function
+  | Irreflexive -> "ir"
+  | Antisymmetric -> "ans"
+  | Asymmetric -> "as"
+  | Acyclic -> "ac"
+  | Intransitive -> "it"
+  | Symmetric -> "sym"
+
+let of_abbrev = function
+  | "ir" -> Some Irreflexive
+  | "ans" -> Some Antisymmetric
+  | "as" -> Some Asymmetric
+  | "ac" -> Some Acyclic
+  | "it" -> Some Intransitive
+  | "sym" -> Some Symmetric
+  | _ -> None
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let rank = function
+  | Irreflexive -> 0
+  | Antisymmetric -> 1
+  | Asymmetric -> 2
+  | Acyclic -> 3
+  | Intransitive -> 4
+  | Symmetric -> 5
+
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+
+module Kind_set = Set.Make (struct
+  type t = kind
+
+  let compare = compare
+end)
+
+let mem_pair rel (x, y) = List.exists (fun (a, b) -> a = x && b = y) rel
+
+(* Cycle detection by depth-first search over the successor relation. *)
+let has_cycle rel =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  let nodes = List.fold_left (fun acc (x, y) -> add (add acc x) y) [] rel in
+  let successors x = List.filter_map (fun (a, b) -> if a = x then Some b else None) rel in
+  let rec visit path visited x =
+    if List.mem x path then (true, visited)
+    else if List.mem x visited then (false, visited)
+    else
+      let path = x :: path in
+      List.fold_left
+        (fun (cyc, visited) y ->
+          if cyc then (true, visited) else visit path visited y)
+        (false, x :: visited)
+        (successors x)
+  in
+  let cyclic, _ =
+    List.fold_left
+      (fun (cyc, visited) x -> if cyc then (true, visited) else visit [] visited x)
+      (false, []) nodes
+  in
+  cyclic
+
+let holds kind rel =
+  match kind with
+  | Irreflexive -> not (List.exists (fun (x, y) -> x = y) rel)
+  | Antisymmetric ->
+      List.for_all (fun (x, y) -> x = y || not (mem_pair rel (y, x))) rel
+  | Asymmetric -> List.for_all (fun (x, y) -> not (mem_pair rel (y, x))) rel
+  | Acyclic -> not (has_cycle rel)
+  | Intransitive ->
+      List.for_all
+        (fun (x, y) ->
+          List.for_all (fun (y', z) -> y' <> y || not (mem_pair rel (x, z))) rel)
+        rel
+  | Symmetric -> List.for_all (fun (x, y) -> mem_pair rel (y, x)) rel
+
+let satisfies_all ks rel = Kind_set.for_all (fun k -> holds k rel) ks
+
+(* The three canonical witnesses of the witness theorem (see the interface). *)
+let canonical_witnesses = [ [ (0, 0) ]; [ (0, 1) ]; [ (0, 1); (1, 0) ] ]
+
+let witness ks = List.find_opt (satisfies_all ks) canonical_witnesses
+let compatible ks = Option.is_some (witness ks)
+
+let implies a b =
+  (* [a] implies [b] iff no relation satisfies [a] but violates [b].  By the
+     same case analysis as the witness theorem, it suffices to test the three
+     canonical relations plus the relations needed to separate acyclicity and
+     intransitivity from asymmetry: a 2-cycle, a 3-cycle, and a transitive
+     3-chain. *)
+  let separating =
+    canonical_witnesses
+    @ [ [ (0, 1); (1, 2); (2, 0) ]; [ (0, 1); (1, 2); (0, 2) ]; [ (0, 1); (1, 2) ] ]
+  in
+  List.for_all (fun rel -> (not (holds a rel)) || holds b rel) separating
+
+let all_subsets =
+  let rec subsets = function
+    | [] -> [ Kind_set.empty ]
+    | k :: rest ->
+        let without = subsets rest in
+        without @ List.map (Kind_set.add k) without
+  in
+  subsets all
+
+let table1 = List.map (fun ks -> (ks, compatible ks)) all_subsets
+
+let compatible_combinations =
+  List.filter_map (fun (ks, ok) -> if ok then Some ks else None) table1
+
+let pp_set ppf ks =
+  let names = List.map abbrev (Kind_set.elements ks) in
+  let names = match names with [] -> [] | hd :: tl -> String.capitalize_ascii hd :: tl in
+  Format.fprintf ppf "(%s)" (String.concat ", " names)

@@ -1,0 +1,79 @@
+(** Ring constraints (paper pattern 8, Figs. 11–12, Table 1).
+
+    ORM supports six ring constraints on a pair of co-typed roles:
+    antisymmetric, asymmetric, acyclic, irreflexive, intransitive and
+    symmetric [H01].  Two results of the paper are reproduced here:
+
+    - the implication/incompatibility structure of Halpin's Euler diagram
+      (Fig. 12), derived {e semantically} rather than transcribed;
+    - Table 1, the list of all compatible combinations, computed from the
+      witness theorem below.
+
+    {b Witness theorem.}  A set [ks] of ring constraints admits a non-empty
+    satisfying relation iff one of the three canonical relations
+    [{(a,a)}], [{(a,b)}] or [{(a,b), (b,a)}] (with [a <> b]) satisfies it.
+    {e Proof sketch}: take any non-empty satisfying relation [R] and a pair
+    [(x,y)] in [R].  If [x = y] then [ks] excludes irreflexivity,
+    asymmetry, acyclicity and intransitivity, and [{(a,a)}] satisfies the
+    rest.  If [x <> y] and [(y,x)] is in [R] then [ks] excludes asymmetry,
+    acyclicity and antisymmetry, and [{(a,b),(b,a)}] satisfies the rest.
+    Otherwise [ks] excludes symmetry (a symmetric [R] would contain
+    [(y,x)]), and [{(a,b)}] satisfies the rest.  The tests cross-validate
+    this against brute-force enumeration of all relations over domains of
+    size up to 3. *)
+
+type kind =
+  | Irreflexive  (** no [R(x,x)] *)
+  | Antisymmetric  (** [R(x,y)] and [R(y,x)] imply [x = y] *)
+  | Asymmetric  (** [R(x,y)] implies not [R(y,x)] *)
+  | Acyclic  (** no directed cycle (of any length, including loops) *)
+  | Intransitive  (** [R(x,y)] and [R(y,z)] imply not [R(x,z)] *)
+  | Symmetric  (** [R(x,y)] implies [R(y,x)] *)
+
+val all : kind list
+(** The six kinds, in the paper's order of introduction. *)
+
+val to_string : kind -> string
+val abbrev : kind -> string
+(** The paper's abbreviation: ["ir"], ["ans"], ["as"], ["ac"], ["it"],
+    ["sym"]. *)
+
+val of_abbrev : string -> kind option
+val pp : Format.formatter -> kind -> unit
+val compare : kind -> kind -> int
+val equal : kind -> kind -> bool
+
+module Kind_set : Set.S with type elt = kind
+
+val holds : kind -> ('a * 'a) list -> bool
+(** [holds k rel] checks constraint [k] on the concrete finite relation
+    [rel] (structural equality on ['a]).  Used both by the semantics
+    library and by the brute-force validation of the witness theorem. *)
+
+val satisfies_all : Kind_set.t -> ('a * 'a) list -> bool
+(** [satisfies_all ks rel] checks every constraint of [ks] on [rel]. *)
+
+val compatible : Kind_set.t -> bool
+(** [compatible ks] is [true] iff some {e non-empty} relation satisfies all
+    constraints in [ks] — the paper's notion of a compatible combination
+    (incompatible combinations make the constrained roles unsatisfiable). *)
+
+val witness : Kind_set.t -> (int * int) list option
+(** [witness ks] is a non-empty satisfying relation over the domain
+    [{0, 1}] if the combination is compatible, [None] otherwise. *)
+
+val implies : kind -> kind -> bool
+(** [implies a b] is [true] iff every relation satisfying [a] satisfies
+    [b]; e.g. [implies Acyclic Asymmetric] and [implies Intransitive
+    Irreflexive] hold (the Fig. 12 Euler-diagram structure). *)
+
+val table1 : (Kind_set.t * bool) list
+(** All 64 combinations of the six kinds with their compatibility verdict —
+    the computational regeneration of the paper's Table 1. *)
+
+val compatible_combinations : Kind_set.t list
+(** The compatible rows of {!table1} (what Table 1 actually lists). *)
+
+val pp_set : Format.formatter -> Kind_set.t -> unit
+(** Prints a combination as e.g. ["(Ir, sym)"], following the paper's
+    notation. *)

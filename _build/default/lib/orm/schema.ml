@@ -1,0 +1,350 @@
+module Sset = Ids.String_set
+module Smap = Ids.String_map
+
+type t = {
+  schema_name : string;
+  types : Sset.t;
+  facts : Fact_type.t Smap.t;
+  graph : Subtype_graph.t;
+  cstrs : Constraints.t list;  (* reverse declaration order *)
+  next_id : int;
+}
+
+let empty schema_name =
+  { schema_name; types = Sset.empty; facts = Smap.empty; graph = Subtype_graph.empty;
+    cstrs = []; next_id = 1 }
+
+let name s = s.schema_name
+
+let add_object_type ot s = { s with types = Sset.add ot s.types }
+
+let add_subtype ~sub ~super s =
+  let s = add_object_type sub (add_object_type super s) in
+  { s with graph = Subtype_graph.add_edge ~sub ~super s.graph }
+
+let add_fact (ft : Fact_type.t) s =
+  let s = add_object_type ft.player1 (add_object_type ft.player2 s) in
+  { s with facts = Smap.add ft.name ft s.facts }
+
+let add_constraint c s = { s with cstrs = c :: s.cstrs }
+
+let add body s =
+  let id = Printf.sprintf "c%d" s.next_id in
+  { (add_constraint (Constraints.make id body) s) with next_id = s.next_id + 1 }
+
+let remove_constraint id s =
+  { s with cstrs = List.filter (fun (c : Constraints.t) -> c.id <> id) s.cstrs }
+
+let mentions_fact fact (c : Constraints.t) =
+  List.exists (fun (r : Ids.role) -> r.fact = fact) (Constraints.roles_of c.body)
+
+let remove_fact fact s =
+  {
+    s with
+    facts = Smap.remove fact s.facts;
+    cstrs = List.filter (fun c -> not (mentions_fact fact c)) s.cstrs;
+  }
+
+let remove_subtype ~sub ~super s =
+  let edges =
+    List.filter (fun e -> e <> (sub, super)) (Subtype_graph.edges s.graph)
+  in
+  { s with graph = Subtype_graph.of_edges edges }
+
+let remove_object_type ot s =
+  let facts_of_ot =
+    Smap.fold
+      (fun fname (ft : Fact_type.t) acc ->
+        if ft.player1 = ot || ft.player2 = ot then fname :: acc else acc)
+      s.facts []
+  in
+  let s = List.fold_left (fun s f -> remove_fact f s) s facts_of_ot in
+  let edges =
+    List.filter
+      (fun (a, b) -> a <> ot && b <> ot)
+      (Subtype_graph.edges s.graph)
+  in
+  {
+    s with
+    types = Sset.remove ot s.types;
+    graph = Subtype_graph.of_edges edges;
+    cstrs =
+      List.filter
+        (fun (c : Constraints.t) ->
+          not (List.mem ot (Constraints.object_types_of c.body)))
+        s.cstrs;
+  }
+
+let object_types s = Sset.elements s.types
+let has_object_type s ot = Sset.mem ot s.types
+let fact_types s = List.map snd (Smap.bindings s.facts)
+let find_fact s f = Smap.find_opt f s.facts
+let constraints s = List.rev s.cstrs
+
+let find_constraint s id =
+  List.find_opt (fun (c : Constraints.t) -> c.id = id) s.cstrs
+
+let graph s = s.graph
+
+let all_roles s =
+  Smap.fold
+    (fun fname _ acc -> Ids.second fname :: Ids.first fname :: acc)
+    s.facts []
+  |> List.rev
+
+let player s (r : Ids.role) =
+  Option.map (fun ft -> Fact_type.player ft r.side) (find_fact s r.fact)
+
+let player_exn s r =
+  match player s r with Some p -> p | None -> raise Not_found
+
+let roles_played_by s ot =
+  List.filter (fun r -> player s r = Some ot) (all_roles s)
+
+(* --- Derived constraint queries ------------------------------------- *)
+
+let fold_constraints f s = List.fold_left (fun acc c -> f acc c) [] (constraints s)
+
+let mandatory_constraints_on s role =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with
+      | Mandatory r when Ids.equal_role r role -> c :: acc
+      | _ -> acc)
+    s
+  |> List.rev
+
+let is_mandatory s role = mandatory_constraints_on s role <> []
+
+let uniqueness_on s seq =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with
+      | Uniqueness q when Ids.equal_seq q seq -> c :: acc
+      | _ -> acc)
+    s
+  |> List.rev
+
+let has_uniqueness s seq = uniqueness_on s seq <> []
+
+let frequencies_on s seq =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with
+      | Frequency (q, f) when Ids.equal_seq q seq -> (c, f) :: acc
+      | _ -> acc)
+    s
+  |> List.rev
+
+let min_frequency s role =
+  match frequencies_on s (Ids.Single role) with
+  | [] -> 1
+  | fs -> List.fold_left (fun acc (_, (f : Constraints.frequency)) -> max acc f.min) 1 fs
+
+let value_constraint s ot =
+  let vcs =
+    fold_constraints
+      (fun acc (c : Constraints.t) ->
+        match c.body with
+        | Value_constraint (t, vs) when t = ot -> (c, vs) :: acc
+        | _ -> acc)
+      s
+  in
+  match List.rev vcs with
+  | [] -> None
+  | (c, vs) :: rest ->
+      Some (c, List.fold_left (fun acc (_, vs') -> Value.Constraint.inter acc vs') vs rest)
+
+let effective_value_set s ot =
+  let ancestors = Sset.elements (Subtype_graph.supertypes_with_self s.graph ot) in
+  let sets = List.filter_map (fun t -> Option.map snd (value_constraint s t)) ancestors in
+  match sets with
+  | [] -> None
+  | hd :: tl -> Some (List.fold_left Value.Constraint.inter hd tl)
+
+let role_exclusions s =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with Role_exclusion seqs -> (c, seqs) :: acc | _ -> acc)
+    s
+  |> List.rev
+
+let type_exclusions s =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with Type_exclusion ots -> (c, ots) :: acc | _ -> acc)
+    s
+  |> List.rev
+
+let set_comparisons s =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with
+      | Subset (a, b) -> (c, `Subset, a, b) :: acc
+      | Equality (a, b) -> (c, `Equality, a, b) :: acc
+      | _ -> acc)
+    s
+  |> List.rev
+
+let rings_on s fact =
+  fold_constraints
+    (fun acc (c : Constraints.t) ->
+      match c.body with
+      | Ring (k, f) when f = fact -> (c, k) :: acc
+      | _ -> acc)
+    s
+  |> List.rev
+
+(* --- Well-formedness -------------------------------------------------- *)
+
+type error =
+  | Undeclared_object_type of Ids.object_type * string
+  | Undeclared_fact_type of Ids.fact_type * string
+  | Invalid_pair of Constraints.id * Ids.role_seq
+  | Arity_mismatch of Constraints.id
+  | Exclusion_too_small of Constraints.id
+  | Empty_value_set of Constraints.id
+  | Bad_frequency of Constraints.id
+  | Ring_players_unrelated of Constraints.id * Ids.fact_type
+  | External_uniqueness_misaligned of Constraints.id
+  | Duplicate_constraint_id of Constraints.id
+
+let pp_error ppf = function
+  | Undeclared_object_type (ot, ctx) ->
+      Format.fprintf ppf "object type %s is not declared (%s)" ot ctx
+  | Undeclared_fact_type (f, ctx) ->
+      Format.fprintf ppf "fact type %s is not declared (%s)" f ctx
+  | Invalid_pair (id, seq) ->
+      Format.fprintf ppf "constraint %s: %a is not a valid role pair" id Ids.pp_seq seq
+  | Arity_mismatch id ->
+      Format.fprintf ppf "constraint %s: role sequences have different arities" id
+  | Exclusion_too_small id ->
+      Format.fprintf ppf "constraint %s: an exclusion needs at least two sequences" id
+  | Empty_value_set id -> Format.fprintf ppf "constraint %s: empty value set" id
+  | Bad_frequency id ->
+      Format.fprintf ppf "constraint %s: frequency minimum must be at least 1" id
+  | Ring_players_unrelated (id, f) ->
+      Format.fprintf ppf
+        "constraint %s: ring constraint on %s whose players share no common supertype"
+        id f
+  | External_uniqueness_misaligned id ->
+      Format.fprintf ppf
+        "constraint %s: an external uniqueness needs at least two roles of \
+         distinct fact types whose co-roles share one player"
+        id
+  | Duplicate_constraint_id id ->
+      Format.fprintf ppf "duplicate constraint identifier %s" id
+
+let seq_arity = function Ids.Single _ -> 1 | Ids.Pair _ -> 2
+
+let validate s =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  let check_type ctx ot = if not (Sset.mem ot s.types) then err (Undeclared_object_type (ot, ctx)) in
+  let check_role ctx (r : Ids.role) =
+    if not (Smap.mem r.fact s.facts) then err (Undeclared_fact_type (r.fact, ctx))
+  in
+  let check_seq id seq =
+    List.iter (check_role (Printf.sprintf "constraint %s" id)) (Ids.seq_roles seq);
+    match seq with
+    | Ids.Single _ -> ()
+    | Ids.Pair (r1, r2) ->
+        if r1.fact <> r2.fact || r1.side = r2.side then err (Invalid_pair (id, seq))
+  in
+  Smap.iter
+    (fun fname (ft : Fact_type.t) ->
+      check_type (Printf.sprintf "fact type %s" fname) ft.player1;
+      check_type (Printf.sprintf "fact type %s" fname) ft.player2)
+    s.facts;
+  List.iter
+    (fun (sub, super) ->
+      check_type "subtype edge" sub;
+      check_type "subtype edge" super)
+    (Subtype_graph.edges s.graph);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Constraints.t) ->
+      if Hashtbl.mem seen c.id then err (Duplicate_constraint_id c.id)
+      else Hashtbl.add seen c.id ();
+      match c.body with
+      | Mandatory r -> check_role (Printf.sprintf "constraint %s" c.id) r
+      | Disjunctive_mandatory roles ->
+          List.iter (check_role (Printf.sprintf "constraint %s" c.id)) roles;
+          if roles = [] then err (Exclusion_too_small c.id)
+      | Uniqueness seq -> check_seq c.id seq
+      | External_uniqueness roles -> (
+          List.iter (check_role (Printf.sprintf "constraint %s" c.id)) roles;
+          let facts_of = List.map (fun (r : Ids.role) -> r.fact) roles in
+          let co_players =
+            List.filter_map (fun r -> player s (Ids.co_role r)) roles
+          in
+          let aligned =
+            List.length roles >= 2
+            && List.length (List.sort_uniq String.compare facts_of)
+               = List.length roles
+            && (match List.sort_uniq String.compare co_players with
+               | [ _ ] -> List.length co_players = List.length roles
+               | _ -> false)
+          in
+          if not aligned then err (External_uniqueness_misaligned c.id))
+      | Frequency (seq, f) ->
+          check_seq c.id seq;
+          if f.min < 1 then err (Bad_frequency c.id)
+      | Value_constraint (ot, vs) ->
+          check_type (Printf.sprintf "constraint %s" c.id) ot;
+          if Value.Constraint.is_empty vs then err (Empty_value_set c.id)
+      | Role_exclusion seqs ->
+          List.iter (check_seq c.id) seqs;
+          if List.length seqs < 2 then err (Exclusion_too_small c.id);
+          (match seqs with
+          | first :: rest ->
+              if List.exists (fun q -> seq_arity q <> seq_arity first) rest then
+                err (Arity_mismatch c.id)
+          | [] -> ())
+      | Subset (a, b) | Equality (a, b) ->
+          check_seq c.id a;
+          check_seq c.id b;
+          if seq_arity a <> seq_arity b then err (Arity_mismatch c.id)
+      | Type_exclusion ots ->
+          List.iter (check_type (Printf.sprintf "constraint %s" c.id)) ots;
+          if List.length ots < 2 then err (Exclusion_too_small c.id)
+      | Total_subtypes (super, subs) ->
+          check_type (Printf.sprintf "constraint %s" c.id) super;
+          List.iter (check_type (Printf.sprintf "constraint %s" c.id)) subs
+      | Ring (_, fact) -> (
+          match Smap.find_opt fact s.facts with
+          | None -> err (Undeclared_fact_type (fact, Printf.sprintf "constraint %s" c.id))
+          | Some ft ->
+              if not (Subtype_graph.related s.graph ft.player1 ft.player2) then
+                err (Ring_players_unrelated (c.id, fact))))
+    (constraints s);
+  List.rev !errs
+
+let stats s =
+  let by_kind = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Constraints.t) ->
+      let k = Constraints.kind_name c.body in
+      Hashtbl.replace by_kind k (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k)))
+    s.cstrs;
+  let kind_counts =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  [
+    ("object-types", Sset.cardinal s.types);
+    ("subtype-edges", List.length (Subtype_graph.edges s.graph));
+    ("fact-types", Smap.cardinal s.facts);
+    ("constraints", List.length s.cstrs);
+  ]
+  @ kind_counts
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>schema %s@," s.schema_name;
+  List.iter (fun ot -> Format.fprintf ppf "  object type %s@," ot) (object_types s);
+  List.iter
+    (fun (sub, super) -> Format.fprintf ppf "  %s < %s@," sub super)
+    (Subtype_graph.edges s.graph);
+  List.iter (fun ft -> Format.fprintf ppf "  fact %a@," Fact_type.pp ft) (fact_types s);
+  List.iter (fun c -> Format.fprintf ppf "  %a@," Constraints.pp c) (constraints s);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,123 @@
+(** ORM schemas.
+
+    A schema is the unit over which the paper's satisfiability notions are
+    defined: a set of object types, a subtype graph, binary fact types, and
+    constraint occurrences.  This module provides construction, editing
+    (used by the interactive library), well-formedness validation — which is
+    distinct from satisfiability: a well-formed schema may still contain
+    contradictory constraints — and the derived queries the nine patterns
+    rely on. *)
+
+type t
+
+(** {1 Construction and editing} *)
+
+val empty : string -> t
+(** [empty name] is a schema with no elements. *)
+
+val name : t -> string
+
+val add_object_type : Ids.object_type -> t -> t
+(** Declares an object type (idempotent). *)
+
+val add_subtype : sub:Ids.object_type -> super:Ids.object_type -> t -> t
+(** Declares [sub] to be a direct subtype of [super]; both endpoints are
+    implicitly declared as object types. *)
+
+val add_fact : Fact_type.t -> t -> t
+(** Declares a fact type; its players are implicitly declared.  Replaces any
+    previous fact type with the same name. *)
+
+val add_constraint : Constraints.t -> t -> t
+(** Appends a constraint occurrence. *)
+
+val add : Constraints.body -> t -> t
+(** [add body s] appends [body] under a fresh identifier ["c<n>"]. *)
+
+val remove_constraint : Constraints.id -> t -> t
+val remove_fact : Ids.fact_type -> t -> t
+(** Removes the fact type and every constraint mentioning its roles. *)
+
+val remove_subtype : sub:Ids.object_type -> super:Ids.object_type -> t -> t
+val remove_object_type : Ids.object_type -> t -> t
+(** Removes the type, its subtype edges, every fact type it plays in, and
+    every constraint mentioning it. *)
+
+(** {1 Access} *)
+
+val object_types : t -> Ids.object_type list
+val has_object_type : t -> Ids.object_type -> bool
+val fact_types : t -> Fact_type.t list
+val find_fact : t -> Ids.fact_type -> Fact_type.t option
+val constraints : t -> Constraints.t list
+val find_constraint : t -> Constraints.id -> Constraints.t option
+val graph : t -> Subtype_graph.t
+val all_roles : t -> Ids.role list
+
+val player : t -> Ids.role -> Ids.object_type option
+(** The object type playing a role. *)
+
+val player_exn : t -> Ids.role -> Ids.object_type
+(** @raise Not_found if the role's fact type is not declared. *)
+
+val roles_played_by : t -> Ids.object_type -> Ids.role list
+(** Roles directly attached to the type (not inherited from supertypes). *)
+
+(** {1 Derived queries used by the patterns} *)
+
+val is_mandatory : t -> Ids.role -> bool
+val mandatory_constraints_on : t -> Ids.role -> Constraints.t list
+val uniqueness_on : t -> Ids.role_seq -> Constraints.t list
+val has_uniqueness : t -> Ids.role_seq -> bool
+val frequencies_on : t -> Ids.role_seq -> (Constraints.t * Constraints.frequency) list
+val min_frequency : t -> Ids.role -> int
+(** Minimum of the frequency constraints on the single role, defaulting to 1
+    when unconstrained (the paper's [fi] in pattern 5). *)
+
+val value_constraint : t -> Ids.object_type -> (Constraints.t * Value.Constraint.t) option
+(** The value constraint declared directly on the type (if several are
+    declared, their intersection). *)
+
+val effective_value_set : t -> Ids.object_type -> Value.Constraint.t option
+(** The intersection of the value constraints of the type and all its
+    supertypes — the tightest admissible-value bound (a refinement over the
+    paper, which reads only the direct constraint). *)
+
+val role_exclusions : t -> (Constraints.t * Ids.role_seq list) list
+val type_exclusions : t -> (Constraints.t * Ids.object_type list) list
+val set_comparisons : t -> (Constraints.t * [ `Subset | `Equality ] * Ids.role_seq * Ids.role_seq) list
+val rings_on : t -> Ids.fact_type -> (Constraints.t * Ring.kind) list
+
+(** {1 Well-formedness} *)
+
+type error =
+  | Undeclared_object_type of Ids.object_type * string
+      (** type, context description *)
+  | Undeclared_fact_type of Ids.fact_type * string
+  | Invalid_pair of Constraints.id * Ids.role_seq
+      (** a [Pair] whose roles are not the two sides of one fact type *)
+  | Arity_mismatch of Constraints.id
+      (** set-comparison or exclusion over sequences of different arity *)
+  | Exclusion_too_small of Constraints.id  (** fewer than two sequences *)
+  | Empty_value_set of Constraints.id
+  | Bad_frequency of Constraints.id  (** minimum below 1 *)
+  | Ring_players_unrelated of Constraints.id * Ids.fact_type
+      (** ring constraint whose two players share no common supertype *)
+  | External_uniqueness_misaligned of Constraints.id
+      (** external uniqueness whose roles are not at least two roles of
+          distinct fact types with a common co-role player (the join
+          type) *)
+  | Duplicate_constraint_id of Constraints.id
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : t -> error list
+(** Structural well-formedness; [[]] means well-formed.  All satisfiability
+    machinery assumes a validated schema. *)
+
+val stats : t -> (string * int) list
+(** Element counts for reporting: object types, subtype edges, fact types,
+    constraints by kind. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact textual dump (the DSL printer offers the parseable form). *)

@@ -1,0 +1,91 @@
+module Sset = Ids.String_set
+module Smap = Ids.String_map
+
+type t = {
+  supers_of : Sset.t Smap.t;  (* direct supertypes of each node *)
+  subs_of : Sset.t Smap.t;  (* direct subtypes of each node *)
+}
+
+let empty = { supers_of = Smap.empty; subs_of = Smap.empty }
+
+let add_to_map key v map =
+  Smap.update key
+    (function None -> Some (Sset.singleton v) | Some set -> Some (Sset.add v set))
+    map
+
+let add_edge ~sub ~super g =
+  {
+    supers_of = add_to_map sub super g.supers_of;
+    subs_of = add_to_map super sub g.subs_of;
+  }
+
+let of_edges pairs =
+  List.fold_left (fun g (sub, super) -> add_edge ~sub ~super g) empty pairs
+
+let edges g =
+  Smap.fold
+    (fun sub supers acc -> Sset.fold (fun super acc -> (sub, super) :: acc) supers acc)
+    g.supers_of []
+  |> List.rev
+
+let neighbours map node =
+  match Smap.find_opt node map with None -> Sset.empty | Some set -> set
+
+let direct_supertypes g node = Sset.elements (neighbours g.supers_of node)
+let direct_subtypes g node = Sset.elements (neighbours g.subs_of node)
+
+(* Transitive closure by breadth-first traversal; the start node is included
+   in the result only if reachable from itself through an edge. *)
+let reachable map start =
+  let rec loop frontier seen =
+    if Sset.is_empty frontier then seen
+    else
+      let next =
+        Sset.fold
+          (fun node acc -> Sset.union acc (neighbours map node))
+          frontier Sset.empty
+      in
+      let fresh = Sset.diff next seen in
+      loop fresh (Sset.union seen fresh)
+  in
+  loop (Sset.singleton start) Sset.empty
+
+let supertypes g node = reachable g.supers_of node
+let subtypes g node = reachable g.subs_of node
+let supertypes_with_self g node = Sset.add node (supertypes g node)
+let subtypes_with_self g node = Sset.add node (subtypes g node)
+
+let is_subtype_of g ~sub ~super = sub = super || Sset.mem super (supertypes g sub)
+
+let related g a b =
+  not (Sset.is_empty (Sset.inter (supertypes_with_self g a) (supertypes_with_self g b)))
+
+let on_cycle g node = Sset.mem node (supertypes g node)
+
+let nodes g =
+  Sset.union
+    (Smap.fold (fun k _ acc -> Sset.add k acc) g.supers_of Sset.empty)
+    (Smap.fold (fun k _ acc -> Sset.add k acc) g.subs_of Sset.empty)
+
+let cycles g =
+  (* Nodes on cycles, grouped into components of mutually reachable nodes. *)
+  let cyclic = Sset.filter (on_cycle g) (nodes g) in
+  let rec group remaining acc =
+    match Sset.min_elt_opt remaining with
+    | None -> List.rev acc
+    | Some seed ->
+        let component =
+          Sset.inter remaining
+            (Sset.add seed (Sset.inter (supertypes g seed) (subtypes g seed)))
+        in
+        group (Sset.diff remaining component) (Sset.elements component :: acc)
+  in
+  group cyclic []
+
+let compare_height g a b =
+  if a = b then 0
+  else if Sset.mem a (supertypes g b) && not (Sset.mem b (supertypes g a)) then -1
+  else if Sset.mem b (supertypes g a) && not (Sset.mem a (supertypes g b)) then 1
+  else
+    let ca = Sset.cardinal (supertypes g a) and cb = Sset.cardinal (supertypes g b) in
+    if ca <> cb then Int.compare ca cb else String.compare a b

@@ -1,0 +1,53 @@
+(** The subtype graph of a schema.
+
+    Subtyping in ORM forms a directed graph over object types ([sub -> super]
+    edges); a well-formed schema has an acyclic graph, and pattern 9 detects
+    the cycles.  The graph also answers the reachability queries on which
+    patterns 1–3 rely (transitive supertypes and subtypes, common
+    supertypes, roots). *)
+
+type t
+
+val empty : t
+
+val add_edge : sub:Ids.object_type -> super:Ids.object_type -> t -> t
+(** [add_edge ~sub ~super g] records that [sub] is a direct subtype of
+    [super].  Duplicate edges are ignored. *)
+
+val of_edges : (Ids.object_type * Ids.object_type) list -> t
+(** [of_edges pairs] builds a graph from [(sub, super)] pairs. *)
+
+val edges : t -> (Ids.object_type * Ids.object_type) list
+(** All [(sub, super)] edges in deterministic order. *)
+
+val direct_supertypes : t -> Ids.object_type -> Ids.object_type list
+val direct_subtypes : t -> Ids.object_type -> Ids.object_type list
+
+val supertypes : t -> Ids.object_type -> Ids.String_set.t
+(** Transitive supertypes, excluding the type itself (unless it lies on a
+    cycle through itself). *)
+
+val subtypes : t -> Ids.object_type -> Ids.String_set.t
+(** Transitive subtypes, excluding the type itself (unless on a cycle). *)
+
+val supertypes_with_self : t -> Ids.object_type -> Ids.String_set.t
+val subtypes_with_self : t -> Ids.object_type -> Ids.String_set.t
+
+val is_subtype_of : t -> sub:Ids.object_type -> super:Ids.object_type -> bool
+(** Reflexive-transitive: a type is a subtype of itself. *)
+
+val related : t -> Ids.object_type -> Ids.object_type -> bool
+(** [related g a b] holds iff [a] and [b] share a common supertype (or one
+    is an ancestor of the other) — the ORM condition under which two object
+    types are {e allowed} to overlap. *)
+
+val cycles : t -> Ids.object_type list list
+(** The non-trivial strongly connected components plus self-loops: each list
+    is a set of object types forming a subtype loop (pattern 9).  Every type
+    appears in at most one cycle. *)
+
+val on_cycle : t -> Ids.object_type -> bool
+
+val compare_height : t -> Ids.object_type -> Ids.object_type -> int
+(** Orders types so that supertypes come before subtypes (topological
+    order); used by the model finder.  Unrelated types compare by name. *)

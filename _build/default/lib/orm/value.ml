@@ -1,0 +1,55 @@
+type t =
+  | Str of string
+  | Int of int
+
+let compare (a : t) (b : t) =
+  match (a, b) with
+  | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Str _, Int _ -> -1
+  | Int _, Str _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Str s -> Format.fprintf ppf "'%s'" s
+  | Int i -> Format.pp_print_int ppf i
+
+let to_string v = Format.asprintf "%a" pp v
+let str s = Str s
+let int i = Int i
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Constraint = struct
+  type value = t
+
+  type t = Set.t
+
+  let of_list vs = Set.of_list vs
+  let of_strings ss = Set.of_list (List.map str ss)
+
+  let of_range lo hi =
+    if lo > hi then invalid_arg "Value.Constraint.of_range: lo > hi";
+    let rec build acc i = if i < lo then acc else build (Set.add (Int i) acc) (i - 1) in
+    build Set.empty hi
+
+  let union = Set.union
+  let inter = Set.inter
+  let cardinal = Set.cardinal
+  let mem = Set.mem
+  let elements = Set.elements
+  let is_empty = Set.is_empty
+  let equal = Set.equal
+
+  let pp ppf set =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      (Set.elements set)
+end

@@ -1,0 +1,50 @@
+(** Lexical values.
+
+    Values populate object types and appear in ORM {e value constraints}
+    (e.g. [{'x1', 'x2'}] in the paper's Fig. 5, or integer ranges).  The
+    same type is used by the semantics library to populate schemas. *)
+
+type t =
+  | Str of string  (** a quoted lexical value, e.g. ['x1'] *)
+  | Int of int  (** an integer value *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val str : string -> t
+val int : int -> t
+
+module Set : Set.S with type elt = t
+
+(** A value constraint: an enumerated set of admissible values, possibly
+    built from integer ranges.  The paper only needs the {e cardinality} of
+    the set (patterns 4 and 5), but populations need membership too. *)
+module Constraint : sig
+  type value = t
+
+  type t
+
+  val of_list : value list -> t
+  (** [of_list vs] is the enumeration of [vs] (duplicates removed). *)
+
+  val of_strings : string list -> t
+  (** [of_strings ss] enumerates string values. *)
+
+  val of_range : int -> int -> t
+  (** [of_range lo hi] admits the integers in [lo..hi] inclusive.
+      @raise Invalid_argument if [lo > hi]. *)
+
+  val union : t -> t -> t
+  val inter : t -> t -> t
+
+  val cardinal : t -> int
+  (** Number of admissible values — the [c] of patterns 4 and 5. *)
+
+  val mem : value -> t -> bool
+  val elements : t -> value list
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/reasoner/finder.ml: Array Constraints Eval Fact_type Format Hashtbl Ids List Option Orm Orm_semantics Population Printf Schema Subtype_graph Value

@@ -1,0 +1,1 @@
+lib/reasoner/finder.mli: Eval Format Ids Orm Orm_semantics Population Schema

@@ -1,0 +1,267 @@
+open Orm
+open Orm_semantics
+module Sset = Ids.String_set
+
+type query =
+  | Schema_satisfiable
+  | Type_satisfiable of Ids.object_type
+  | Role_satisfiable of Ids.role
+  | All_populated of Ids.role list
+  | Strongly_satisfiable
+
+type outcome =
+  | Model of Population.t
+  | No_model
+  | Budget_exceeded
+
+let pp_outcome ppf = function
+  | Model pop -> Format.fprintf ppf "@[<v2>model:@,%a@]" Population.pp pop
+  | No_model -> Format.pp_print_string ppf "no model within the bound"
+  | Budget_exceeded -> Format.pp_print_string ppf "search budget exceeded"
+
+exception Found of Population.t
+exception Out_of_budget
+
+let nodes_explored = ref 0
+let stats_last_nodes () = !nodes_explored
+
+(* ------------------------------------------------------------------ *)
+(* Candidate pools                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Undirected connected component of a type in the subtype graph: the
+   family within which populations may legally overlap. *)
+let family g seed =
+  let neighbours t =
+    Sset.union
+      (Sset.of_list (Subtype_graph.direct_supertypes g t))
+      (Sset.of_list (Subtype_graph.direct_subtypes g t))
+  in
+  let rec loop frontier seen =
+    if Sset.is_empty frontier then seen
+    else
+      let next =
+        Sset.fold (fun t acc -> Sset.union acc (neighbours t)) frontier Sset.empty
+      in
+      let fresh = Sset.diff next seen in
+      loop fresh (Sset.union seen fresh)
+  in
+  loop (Sset.singleton seed) (Sset.singleton seed)
+
+(* A sensible default for the number of fresh atoms: enough for the largest
+   frequency minimum and the widest single-role exclusion, capped to keep
+   the search bounded. *)
+let default_fresh schema =
+  let from_freq =
+    List.fold_left
+      (fun acc (c : Constraints.t) ->
+        match c.body with Frequency (_, { min; _ }) -> max acc min | _ -> acc)
+      2 (Schema.constraints schema)
+  in
+  let from_exclusion =
+    List.fold_left
+      (fun acc (_, seqs) -> max acc (List.length seqs))
+      from_freq
+      (Schema.role_exclusions schema)
+  in
+  min 4 from_exclusion
+
+let pool_of_family schema fam ~max_fresh =
+  let value_pool =
+    Sset.fold
+      (fun t acc ->
+        match Schema.effective_value_set schema t with
+        | None -> acc
+        | Some vs -> Value.Set.union acc (Value.Set.of_list (Value.Constraint.elements vs)))
+      fam Value.Set.empty
+  in
+  let repr = match Sset.min_elt_opt fam with Some t -> t | None -> "?" in
+  let fresh =
+    List.init max_fresh (fun i -> Value.Str (Printf.sprintf "@%s#%d" repr (i + 1)))
+  in
+  Value.Set.elements value_pool @ fresh
+
+(* ------------------------------------------------------------------ *)
+(* Readiness: which constraints can be fully evaluated at each stage    *)
+(* ------------------------------------------------------------------ *)
+
+(* A constraint is ready once every fact type it mentions is assigned and
+   every object type it names directly is assigned. *)
+let ready_after c ~type_rank ~fact_rank ~n_types =
+  let body = (c : Constraints.t).body in
+  let type_stage =
+    List.fold_left
+      (fun acc ot -> max acc (type_rank ot))
+      0 (Constraints.object_types_of body)
+  in
+  let fact_stage =
+    List.fold_left
+      (fun acc (r : Ids.role) -> max acc (n_types + fact_rank r.fact))
+      0 (Constraints.roles_of body)
+  in
+  max type_stage fact_stage
+
+(* ------------------------------------------------------------------ *)
+(* Subset enumeration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazily enumerate the subsets of [elems], invoking [k] on each candidate.
+   Materializing all 2^n subsets would exhaust memory long before the node
+   budget fires; the recursion keeps memory linear in [n] and lets the
+   budget exception abort the whole search.  [large_first] controls whether
+   each element is first included or first excluded, which approximates
+   largest-first (useful when hunting strong witnesses) vs smallest-first
+   (weak satisfiability) order. *)
+let iter_subsets ~large_first elems k =
+  let rec go elems acc =
+    match elems with
+    | [] -> k (List.rev acc)
+    | x :: rest ->
+        if large_first then begin
+          go rest (x :: acc);
+          go rest acc
+        end
+        else begin
+          go rest acc;
+          go rest (x :: acc)
+        end
+  in
+  go elems []
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(config = Eval.default_config) ?max_fresh ?(budget = 200_000) schema query =
+  nodes_explored := 0;
+  let max_fresh =
+    match max_fresh with Some n -> n | None -> default_fresh schema
+  in
+  let g = Schema.graph schema in
+  let types =
+    List.sort (Subtype_graph.compare_height g) (Schema.object_types schema)
+  in
+  let facts = Schema.fact_types schema in
+  let n_types = List.length types in
+  let type_rank =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i t -> Hashtbl.add tbl t (i + 1)) types;
+    fun t -> Option.value ~default:0 (Hashtbl.find_opt tbl t)
+  in
+  let fact_rank =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i (ft : Fact_type.t) -> Hashtbl.add tbl ft.name (i + 1)) facts;
+    fun f -> Option.value ~default:0 (Hashtbl.find_opt tbl f)
+  in
+  (* ready.(stage) = constraints first evaluable after that stage, where
+     stage 1..n_types are type assignments and n_types+1.. are facts. *)
+  let n_stages = n_types + List.length facts in
+  let ready = Array.make (n_stages + 1) [] in
+  List.iter
+    (fun c ->
+      let stage = ready_after c ~type_rank ~fact_rank ~n_types in
+      ready.(stage) <- c :: ready.(stage))
+    (Schema.constraints schema);
+  (* Base schema: types and subtype edges only; facts and constraints are
+     added as the corresponding stage is reached. *)
+  let base =
+    let s =
+      List.fold_left (fun s t -> Schema.add_object_type t s) (Schema.empty "search") types
+    in
+    List.fold_left
+      (fun s (sub, super) -> Schema.add_subtype ~sub ~super s)
+      s
+      (Subtype_graph.edges g)
+  in
+  let pools = Hashtbl.create 8 in
+  let pool_of t =
+    let fam = family g t in
+    let repr = Option.value ~default:t (Sset.min_elt_opt fam) in
+    match Hashtbl.find_opt pools repr with
+    | Some pool -> pool
+    | None ->
+        let pool = pool_of_family schema fam ~max_fresh in
+        Hashtbl.add pools repr pool;
+        pool
+  in
+  let large_first =
+    match query with
+    | Strongly_satisfiable | All_populated _ -> true
+    | Schema_satisfiable | Type_satisfiable _ | Role_satisfiable _ -> false
+  in
+  let tick () =
+    incr nodes_explored;
+    if !nodes_explored > budget then raise Out_of_budget
+  in
+  let goal pop =
+    match query with
+    | Schema_satisfiable -> true
+    | Type_satisfiable t -> Eval.populates_type pop t
+    | Role_satisfiable r -> Eval.populates_role pop r
+    | All_populated rs -> List.for_all (Eval.populates_role pop) rs
+    | Strongly_satisfiable ->
+        List.for_all (Eval.populates_type pop) types
+        && List.for_all (Eval.populates_role pop) (Schema.all_roles schema)
+  in
+  let stage_schema current stage new_fact =
+    let s = match new_fact with None -> current | Some ft -> Schema.add_fact ft current in
+    List.fold_left (fun s c -> Schema.add_constraint c s) s ready.(stage)
+  in
+  let consistent s pop = Eval.violations ~config s pop = [] in
+  (* Assign object types, then facts, depth-first with pruning. *)
+  let rec assign_types remaining stage current pop =
+    match remaining with
+    | [] -> assign_facts facts stage current pop
+    | t :: rest ->
+        let allowed =
+          let from_supers =
+            List.fold_left
+              (fun acc super ->
+                match acc with
+                | None -> Some (Population.extension pop super)
+                | Some set -> Some (Value.Set.inter set (Population.extension pop super)))
+              None
+              (Subtype_graph.direct_supertypes g t)
+          in
+          match from_supers with
+          | Some set -> Value.Set.elements set
+          | None -> pool_of t
+        in
+        iter_subsets ~large_first allowed (fun ext ->
+            tick ();
+            let pop' = Population.add_objects t ext pop in
+            let s' = stage_schema current (stage + 1) None in
+            if consistent s' pop' then assign_types rest (stage + 1) s' pop')
+  and assign_facts remaining stage current pop =
+    match remaining with
+    | [] -> if goal pop then raise (Found pop)
+    | (ft : Fact_type.t) :: rest ->
+        let ext1 = Value.Set.elements (Population.extension pop ft.player1) in
+        let ext2 = Value.Set.elements (Population.extension pop ft.player2) in
+        let cells = List.concat_map (fun a -> List.map (fun b -> (a, b)) ext2) ext1 in
+        iter_subsets ~large_first cells (fun tuples ->
+            tick ();
+            let pop' = Population.add_tuples ft.name tuples pop in
+            let s' = stage_schema current (stage + 1) (Some ft) in
+            if consistent s' pop' then assign_facts rest (stage + 1) s' pop')
+  in
+  try
+    assign_types types 0 (stage_schema base 0 None) Population.empty;
+    No_model
+  with
+  | Found pop -> Model pop
+  | Out_of_budget -> Budget_exceeded
+
+let unsat_elements ?config ?max_fresh ?budget schema =
+  let check_type t =
+    match solve ?config ?max_fresh ?budget schema (Type_satisfiable t) with
+    | No_model -> Some (`Type t)
+    | Model _ | Budget_exceeded -> None
+  in
+  let check_role r =
+    match solve ?config ?max_fresh ?budget schema (Role_satisfiable r) with
+    | No_model -> Some (`Role r)
+    | Model _ | Budget_exceeded -> None
+  in
+  List.filter_map check_type (Schema.object_types schema)
+  @ List.filter_map check_role (Schema.all_roles schema)

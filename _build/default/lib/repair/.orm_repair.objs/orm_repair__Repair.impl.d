@@ -1,0 +1,1 @@
+lib/repair/repair.ml: Constraints Format Ids Int List Orm Orm_patterns Schema Subtype_graph

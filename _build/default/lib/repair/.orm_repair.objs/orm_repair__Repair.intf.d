@@ -1,0 +1,1 @@
+lib/repair/repair.mli: Constraints Format Ids Orm Orm_patterns Schema

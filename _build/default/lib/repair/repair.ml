@@ -1,0 +1,107 @@
+open Orm
+module Engine = Orm_patterns.Engine
+module Diagnostic = Orm_patterns.Diagnostic
+
+type action =
+  | Drop_constraint of Constraints.id
+  | Cut_subtype of Ids.object_type * Ids.object_type
+
+let pp_action ppf = function
+  | Drop_constraint id -> Format.fprintf ppf "drop constraint %s" id
+  | Cut_subtype (sub, super) -> Format.fprintf ppf "cut subtype %s < %s" sub super
+
+let apply_action action schema =
+  match action with
+  | Drop_constraint id -> Schema.remove_constraint id schema
+  | Cut_subtype (sub, super) -> Schema.remove_subtype ~sub ~super schema
+
+type suggestion = {
+  action : action;
+  fixes : int;
+  remaining : int;
+}
+
+(* Candidate actions for one diagnostic: each culprit constraint, plus the
+   subtype edges involved in the hierarchy patterns (which have no culprit
+   constraint occurrence to remove). *)
+let candidates_of schema (d : Diagnostic.t) =
+  let g = Schema.graph schema in
+  let constraint_actions = List.map (fun id -> Drop_constraint id) d.culprits in
+  let edge_actions =
+    match d.origin with
+    | Diagnostic.Pattern 1 ->
+        List.concat_map
+          (function
+            | Diagnostic.Object_type t ->
+                List.map
+                  (fun super -> Cut_subtype (t, super))
+                  (Subtype_graph.direct_supertypes g t)
+            | Diagnostic.Role _ | Diagnostic.Fact _ -> [])
+          d.affected
+    | Diagnostic.Pattern 9 ->
+        (* Cutting any edge inside the loop opens it. *)
+        let members =
+          List.filter_map
+            (function Diagnostic.Object_type t -> Some t | _ -> None)
+            d.affected
+        in
+        List.concat_map
+          (fun sub ->
+            List.filter_map
+              (fun super -> if List.mem super members then Some (Cut_subtype (sub, super)) else None)
+              (Subtype_graph.direct_supertypes g sub))
+          members
+    | Diagnostic.Pattern 2 ->
+        (* Besides dropping the exclusive constraint, detaching the doomed
+           subtype from one of its supertypes resolves the conflict. *)
+        List.concat_map
+          (function
+            | Diagnostic.Object_type t ->
+                List.map
+                  (fun super -> Cut_subtype (t, super))
+                  (Subtype_graph.direct_supertypes g t)
+            | Diagnostic.Role _ | Diagnostic.Fact _ -> [])
+          d.affected
+    | _ -> []
+  in
+  constraint_actions @ edge_actions
+
+let dedup_actions actions =
+  List.sort_uniq compare actions
+
+let suggestions ?(settings = Orm_patterns.Settings.default) schema =
+  let before = (Engine.check ~settings schema).diagnostics in
+  if before = [] then []
+  else
+    let n_before = List.length before in
+    let candidates =
+      dedup_actions (List.concat_map (candidates_of schema) before)
+    in
+    List.filter_map
+      (fun action ->
+        let after =
+          (Engine.check ~settings (apply_action action schema)).diagnostics
+        in
+        let remaining = List.length after in
+        if remaining < n_before then
+          Some { action; fixes = n_before - remaining; remaining }
+        else None)
+      candidates
+    |> List.sort (fun a b ->
+           match Int.compare b.fixes a.fixes with
+           | 0 -> (
+               match Int.compare a.remaining b.remaining with
+               | 0 -> compare a.action b.action
+               | c -> c)
+           | c -> c)
+
+let repair ?(settings = Orm_patterns.Settings.default) ?(max_steps = 32) schema =
+  let rec loop schema taken steps =
+    if steps = 0 then (schema, List.rev taken)
+    else
+      match suggestions ~settings schema with
+      | [] -> (schema, List.rev taken)
+      | best :: _ ->
+          loop (apply_action best.action schema) (best.action :: taken) (steps - 1)
+  in
+  loop schema [] max_steps

@@ -1,0 +1,43 @@
+(** Repair suggestions for unsatisfiable schemas.
+
+    The paper's workflow (Section 4) is diagnose-then-fix: DogmaModeler
+    names the culprit constraints and the modeler removes or weakens one.
+    This module automates the proposal step: candidate actions are derived
+    from the diagnostics (drop a culprit constraint, or cut a subtype edge
+    for the hierarchy patterns 1 and 9), scored by how many diagnostics
+    they eliminate, and optionally applied greedily until the schema is
+    pattern-clean.
+
+    Repair is heuristic: it restores {e pattern-cleanliness}, which is
+    necessary but (the patterns being incomplete) not sufficient for strong
+    satisfiability. *)
+
+open Orm
+
+type action =
+  | Drop_constraint of Constraints.id
+  | Cut_subtype of Ids.object_type * Ids.object_type  (** sub, super *)
+
+val pp_action : Format.formatter -> action -> unit
+val apply_action : action -> Schema.t -> Schema.t
+
+type suggestion = {
+  action : action;
+  fixes : int;  (** diagnostics eliminated by the action alone *)
+  remaining : int;  (** diagnostics left afterwards *)
+}
+
+val suggestions :
+  ?settings:Orm_patterns.Settings.t -> Schema.t -> suggestion list
+(** Candidate single actions, best first (most diagnostics fixed, ties by
+    fewest remaining, then deterministic order).  Empty iff the schema is
+    already clean or no candidate helps. *)
+
+val repair :
+  ?settings:Orm_patterns.Settings.t ->
+  ?max_steps:int ->
+  Schema.t ->
+  Schema.t * action list
+(** Greedy repair loop: repeatedly applies the best suggestion (default at
+    most 32 steps).  Returns the repaired schema and the actions taken, in
+    order.  Stops early when clean or when no action makes progress. *)

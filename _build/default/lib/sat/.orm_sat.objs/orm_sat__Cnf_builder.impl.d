@@ -1,0 +1,1 @@
+lib/sat/cnf_builder.ml: Array Dpll Hashtbl List Printf

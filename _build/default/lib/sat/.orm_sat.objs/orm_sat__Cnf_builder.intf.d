@@ -1,0 +1,1 @@
+lib/sat/cnf_builder.mli: Dpll

@@ -1,0 +1,1 @@
+lib/sat/encode.ml: Array Cnf_builder Constraints Dpll Eval Fact_type Format Hashtbl Ids List Option Orm Orm_semantics Population Printf Ring Schema Subtype_graph Value

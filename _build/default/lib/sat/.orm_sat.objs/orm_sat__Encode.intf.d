@@ -1,0 +1,1 @@
+lib/sat/encode.mli: Format Ids Orm Orm_semantics Population Schema

@@ -1,0 +1,97 @@
+type t = {
+  names : (string, int) Hashtbl.t;
+  reverse : (int, string) Hashtbl.t;
+  mutable next : int;
+  mutable acc : Dpll.clause list;  (* reverse order *)
+  mutable count : int;
+}
+
+let create () =
+  { names = Hashtbl.create 64; reverse = Hashtbl.create 64; next = 1; acc = []; count = 0 }
+
+let alloc b name =
+  let v = b.next in
+  b.next <- v + 1;
+  Hashtbl.add b.reverse v name;
+  v
+
+let var b name =
+  match Hashtbl.find_opt b.names name with
+  | Some v -> v
+  | None ->
+      let v = alloc b name in
+      Hashtbl.add b.names name v;
+      v
+
+let fresh b prefix = alloc b (Printf.sprintf "%s#%d" prefix b.next)
+
+let name_of b lit = Hashtbl.find_opt b.reverse (abs lit)
+
+let add b clause =
+  b.acc <- clause :: b.acc;
+  b.count <- b.count + 1
+
+let add_implies b l ds = add b (-l :: ds)
+
+let add_iff_or b x ds =
+  (* x -> d1 ∨ ... ∨ dn  and  di -> x *)
+  add b (-x :: ds);
+  List.iter (fun d -> add b [ -d; x ]) ds
+
+let add_iff_and b x cs =
+  (* x -> ci  and  (∧ ci) -> x *)
+  List.iter (fun c -> add b [ -x; c ]) cs;
+  add b (x :: List.map (fun c -> -c) cs)
+
+let at_most_one b lits =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+        List.iter (fun l' -> add b [ -l; -l' ]) rest;
+        pairs rest
+  in
+  pairs lits
+
+(* Sinz's sequential counter: registers s.(i).(j) meaning "at least j+1 of
+   the first i+1 literals are true".  The optional [unless] guard literal is
+   appended to every emitted clause, conditioning the whole constraint. *)
+let at_most ?unless b k lits =
+  let emit clause =
+    match unless with None -> add b clause | Some g -> add b (g :: clause)
+  in
+  let n = List.length lits in
+  if k < 0 then invalid_arg "Cnf_builder.at_most: negative bound";
+  if k = 0 then List.iter (fun l -> emit [ -l ]) lits
+  else if n > k then begin
+    let lits = Array.of_list lits in
+    let s = Array.init n (fun _ -> Array.init k (fun _ -> fresh b "seq")) in
+    emit [ -lits.(0); s.(0).(0) ];
+    for j = 1 to k - 1 do
+      emit [ -s.(0).(j) ]
+    done;
+    for i = 1 to n - 1 do
+      emit [ -lits.(i); s.(i).(0) ];
+      emit [ -s.(i - 1).(0); s.(i).(0) ];
+      for j = 1 to k - 1 do
+        emit [ -lits.(i); -s.(i - 1).(j - 1); s.(i).(j) ];
+        emit [ -s.(i - 1).(j); s.(i).(j) ]
+      done;
+      emit [ -lits.(i); -s.(i - 1).(k - 1) ]
+    done
+  end
+
+let at_least ?unless b k lits =
+  let emit clause =
+    match unless with None -> add b clause | Some g -> add b (g :: clause)
+  in
+  let n = List.length lits in
+  if k <= 0 then ()
+  else if k > n then emit []  (* impossible *)
+  else if k = 1 then emit lits
+  else at_most ?unless b (n - k) (List.map (fun l -> -l) lits)
+
+let nvars b = b.next - 1
+let clauses b = List.rev b.acc
+let clause_count b = b.count
+
+let solve ?budget b = Dpll.solve ?budget ~nvars:(nvars b) (clauses b)

@@ -1,0 +1,56 @@
+(** Incremental CNF construction with named variables and cardinality
+    encodings.
+
+    The builder hands out fresh propositional variables keyed by a string
+    (so the encoder can ask for ["mem(Person,'a1')"] twice and get the same
+    variable), accumulates clauses, and provides the standard encodings the
+    ORM translation needs: implications, equivalences, pairwise at-most-one,
+    and sequential-counter at-most/at-least-k (Sinz 2005). *)
+
+type t
+
+val create : unit -> t
+
+val var : t -> string -> Dpll.lit
+(** The (positive) variable registered under the name, created on first
+    use. *)
+
+val fresh : t -> string -> Dpll.lit
+(** A fresh auxiliary variable; the name is a debugging prefix. *)
+
+val name_of : t -> Dpll.lit -> string option
+(** Reverse lookup (ignores polarity). *)
+
+val add : t -> Dpll.clause -> unit
+(** Adds one clause.  An empty clause makes the formula unsatisfiable. *)
+
+val add_implies : t -> Dpll.lit -> Dpll.lit list -> unit
+(** [add_implies b l ds]: [l → d1 ∨ ... ∨ dn]. *)
+
+val add_iff_or : t -> Dpll.lit -> Dpll.lit list -> unit
+(** [add_iff_or b x ds]: [x ↔ d1 ∨ ... ∨ dn] (Tseitin). *)
+
+val add_iff_and : t -> Dpll.lit -> Dpll.lit list -> unit
+(** [add_iff_and b x cs]: [x ↔ c1 ∧ ... ∧ cn] (Tseitin). *)
+
+val at_most_one : t -> Dpll.lit list -> unit
+(** Pairwise encoding. *)
+
+val at_most : ?unless:Dpll.lit -> t -> int -> Dpll.lit list -> unit
+(** Sequential-counter encoding of [≤ k] among the literals ([k ≥ 0];
+    [k = 0] forces all false).  With [?unless:g], the constraint is only
+    enforced when [g] is false ([g] is added to every emitted clause) —
+    used for conditional cardinalities such as "if the object plays the
+    role at all, it plays it at least [min] times". *)
+
+val at_least : ?unless:Dpll.lit -> t -> int -> Dpll.lit list -> unit
+(** [≥ k] among the literals, as [≤ (n-k)] over their negations.
+    Unsatisfiable (empty clause, or unit [g] with [?unless:g]) when [k]
+    exceeds the list length. *)
+
+val nvars : t -> int
+val clauses : t -> Dpll.cnf
+val clause_count : t -> int
+
+val solve : ?budget:int -> t -> Dpll.result
+(** Runs {!Dpll.solve} on the accumulated formula. *)

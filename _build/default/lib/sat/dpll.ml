@@ -1,0 +1,193 @@
+type lit = int
+type clause = lit list
+type cnf = clause list
+
+type result =
+  | Sat of bool array
+  | Unsat
+  | Timeout
+
+exception Give_up
+
+let steps = ref 0
+let stats_last_decisions () = !steps
+
+(* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
+type state = {
+  assign : int array;
+  clauses : int array array;
+  occurs : int list array;  (* variable -> indices of clauses mentioning it *)
+}
+
+let value st lit =
+  let v = st.assign.(abs lit) in
+  if v = 0 then 0 else if (lit > 0) = (v > 0) then 1 else -1
+
+(* A clause is satisfied, falsified, or has some unassigned literals; when
+   exactly one literal is unassigned and the rest are false, it is a unit. *)
+let clause_status st clause =
+  let unassigned = ref 0 and unit_lit = ref 0 and satisfied = ref false in
+  Array.iter
+    (fun lit ->
+      match value st lit with
+      | 1 -> satisfied := true
+      | 0 ->
+          incr unassigned;
+          unit_lit := lit
+      | _ -> ())
+    clause;
+  if !satisfied then `Satisfied
+  else if !unassigned = 0 then `Falsified
+  else if !unassigned = 1 then `Unit !unit_lit
+  else `Open !unassigned
+
+exception Conflict
+
+(* Assign [lit] true and propagate units; returns the trail of variables
+   assigned (for backtracking).  Raises [Conflict] on a falsified clause. *)
+let propagate ~budget st lit =
+  let trail = ref [] in
+  let queue = Queue.create () in
+  let enqueue l =
+    match value st l with
+    | 1 -> ()
+    | -1 -> raise Conflict
+    | _ ->
+        st.assign.(abs l) <- (if l > 0 then 1 else -1);
+        trail := abs l :: !trail;
+        Queue.add l queue
+  in
+  (try
+     enqueue lit;
+     while not (Queue.is_empty queue) do
+       incr steps;
+       if !steps > budget then raise Give_up;
+       let l = Queue.pop queue in
+       List.iter
+         (fun ci ->
+           match clause_status st st.clauses.(ci) with
+           | `Falsified -> raise Conflict
+           | `Unit u -> enqueue u
+           | `Satisfied | `Open _ -> ())
+         st.occurs.(abs l)
+     done;
+     Ok !trail
+   with Conflict -> Error !trail)
+
+let undo st trail = List.iter (fun v -> st.assign.(v) <- 0) trail
+
+(* Branching heuristic: the first unassigned literal of a shortest
+   unresolved clause (drives unit propagation fast); falls back to the
+   first unassigned variable. *)
+let pick_branch st =
+  let best = ref None in
+  Array.iter
+    (fun clause ->
+      match clause_status st clause with
+      | `Open n -> (
+          match !best with
+          | Some (m, _) when m <= n -> ()
+          | _ ->
+              let lit =
+                Array.to_list clause |> List.find (fun l -> value st l = 0)
+              in
+              best := Some (n, lit))
+      | `Satisfied | `Falsified | `Unit _ -> ())
+    st.clauses;
+  match !best with
+  | Some (_, lit) -> Some lit
+  | None ->
+      let var = ref 0 in
+      (try
+         for v = 1 to Array.length st.assign - 1 do
+           if st.assign.(v) = 0 then begin
+             var := v;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !var = 0 then None else Some !var
+
+let solve ?(budget = 2_000_000) ~nvars cnf =
+  steps := 0;
+  List.iter
+    (List.iter (fun lit ->
+         if lit = 0 || abs lit > nvars then
+           invalid_arg "Dpll.solve: literal out of range"))
+    cnf;
+  let clauses = Array.of_list (List.map Array.of_list cnf) in
+  let occurs = Array.make (nvars + 1) [] in
+  Array.iteri
+    (fun ci clause ->
+      Array.iter (fun lit -> occurs.(abs lit) <- ci :: occurs.(abs lit)) clause)
+    clauses;
+  let st = { assign = Array.make (nvars + 1) 0; clauses; occurs } in
+  (* Top-level units first. *)
+  let rec search () =
+    incr steps;
+    if !steps > budget then raise Give_up;
+    (* All clauses satisfied? *)
+    let unresolved =
+      Array.exists
+        (fun clause ->
+          match clause_status st clause with
+          | `Satisfied -> false
+          | `Falsified | `Unit _ | `Open _ -> true)
+        st.clauses
+    in
+    if not unresolved then true
+    else
+      (* Resolve pending units (can arise from backtracking order). *)
+      let pending_unit =
+        Array.fold_left
+          (fun acc clause ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match clause_status st clause with
+                | `Unit u -> Some u
+                | `Falsified -> raise Conflict
+                | `Satisfied | `Open _ -> None))
+          None st.clauses
+      in
+      match pending_unit with
+      | Some u -> (
+          match propagate ~budget st u with
+          | Ok trail -> search () || (undo st trail; false)
+          | Error trail ->
+              undo st trail;
+              false)
+      | None -> (
+          match pick_branch st with
+          | None -> true
+          | Some lit -> (
+              let try_polarity l =
+                match propagate ~budget st l with
+                | Ok trail ->
+                    if search () then true
+                    else begin
+                      undo st trail;
+                      false
+                    end
+                | Error trail ->
+                    undo st trail;
+                    false
+              in
+              try_polarity lit || try_polarity (-lit)))
+  in
+  match (try search () with Conflict -> false) with
+  | true ->
+      (* Unassigned variables are don't-cares; default them to false. *)
+      Sat (Array.init (nvars + 1) (fun v -> v > 0 && st.assign.(v) = 1))
+  | false -> Unsat
+  | exception Give_up -> Timeout
+
+let verify cnf assignment =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun lit ->
+          let v = assignment.(abs lit) in
+          if lit > 0 then v else not v)
+        clause)
+    cnf

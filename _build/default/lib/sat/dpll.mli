@@ -1,0 +1,37 @@
+(** A small DPLL SAT solver.
+
+    Complete backtracking search with unit propagation over clauses in the
+    usual DIMACS convention: variables are positive integers, a literal is
+    a non-zero integer whose sign is its polarity.  Built from scratch (the
+    container has no SAT solver) as the engine under {!Encode}, the
+    propositional route to bounded ORM satisfiability.  The implementation
+    favours clarity over raw speed — branching picks the first unassigned
+    variable of the shortest unsatisfied clause — which is plenty for the
+    bounded instances the encoder produces and keeps the worst-case
+    exponential behaviour honest for the benchmarks. *)
+
+type lit = int
+(** Non-zero literal; [-v] is the negation of variable [v]. *)
+
+type clause = lit list
+type cnf = clause list
+
+type result =
+  | Sat of bool array
+      (** satisfying assignment, indexed by variable (index 0 unused) *)
+  | Unsat
+  | Timeout  (** decision budget exhausted *)
+
+val solve : ?budget:int -> nvars:int -> cnf -> result
+(** [solve ~nvars cnf] decides satisfiability of [cnf] over variables
+    [1..nvars].  [budget] (default 2_000_000) bounds the number of
+    decisions + propagations.
+    @raise Invalid_argument if a clause mentions a variable outside
+    [1..nvars] or the literal 0. *)
+
+val verify : cnf -> bool array -> bool
+(** [verify cnf assignment] checks the model (used by tests and by the
+    encoder as a safety net). *)
+
+val stats_last_decisions : unit -> int
+(** Decisions made by the most recent {!solve} call. *)

@@ -1,0 +1,487 @@
+open Orm
+open Orm_semantics
+module Sset = Ids.String_set
+module B = Cnf_builder
+
+type query =
+  | Schema_satisfiable
+  | Type_satisfiable of Ids.object_type
+  | Role_satisfiable of Ids.role
+  | All_populated of Ids.role list
+  | Strongly_satisfiable
+
+type outcome =
+  | Model of Population.t
+  | No_model
+  | Timeout
+
+let pp_outcome ppf = function
+  | Model pop -> Format.fprintf ppf "@[<v2>model:@,%a@]" Population.pp pop
+  | No_model -> Format.pp_print_string ppf "no model within the bound"
+  | Timeout -> Format.pp_print_string ppf "solver budget exceeded"
+
+type stats = {
+  variables : int;
+  clauses : int;
+  decisions : int;
+}
+
+let last = ref { variables = 0; clauses = 0; decisions = 0 }
+let last_stats () = !last
+
+(* ------------------------------------------------------------------ *)
+(* Candidate universe (mirrors Orm_reasoner.Finder)                     *)
+(* ------------------------------------------------------------------ *)
+
+let family g seed =
+  let neighbours t =
+    Sset.union
+      (Sset.of_list (Subtype_graph.direct_supertypes g t))
+      (Sset.of_list (Subtype_graph.direct_subtypes g t))
+  in
+  let rec loop frontier seen =
+    if Sset.is_empty frontier then seen
+    else
+      let next =
+        Sset.fold (fun t acc -> Sset.union acc (neighbours t)) frontier Sset.empty
+      in
+      let fresh = Sset.diff next seen in
+      loop fresh (Sset.union seen fresh)
+  in
+  loop (Sset.singleton seed) (Sset.singleton seed)
+
+let default_fresh schema =
+  let from_freq =
+    List.fold_left
+      (fun acc (c : Constraints.t) ->
+        match c.body with Frequency (_, { min; _ }) -> max acc min | _ -> acc)
+      2 (Schema.constraints schema)
+  in
+  let from_exclusion =
+    List.fold_left
+      (fun acc (_, seqs) -> max acc (List.length seqs))
+      from_freq
+      (Schema.role_exclusions schema)
+  in
+  min 4 from_exclusion
+
+(* ------------------------------------------------------------------ *)
+(* The encoding                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  b : B.t;
+  schema : Schema.t;
+  pool : Ids.object_type -> Value.t list;  (* candidates for a type's family *)
+}
+
+let mem env t v =
+  B.var env.b (Printf.sprintf "m|%s|%s" t (Value.to_string v))
+
+let tup env fact u v =
+  B.var env.b
+    (Printf.sprintf "t|%s|%s|%s" fact (Value.to_string u) (Value.to_string v))
+
+let grid env (ft : Fact_type.t) =
+  List.concat_map
+    (fun u -> List.map (fun v -> (u, v)) (env.pool ft.player2))
+    (env.pool ft.player1)
+
+(* plays(r, u): u occurs at role r's end of some tuple; defined once for
+   every role/candidate pair by [define_plays]. *)
+let plays env (r : Ids.role) u =
+  B.var env.b
+    (Printf.sprintf "p|%s|%d|%s" r.fact (Ids.side_index r.side) (Value.to_string u))
+
+(* Definitions for plays variables are added once, up front. *)
+let define_plays env =
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      List.iter
+        (fun u ->
+          let tups = List.map (fun v -> tup env ft.name u v) (env.pool ft.player2) in
+          B.add_iff_or env.b (plays env (Ids.first ft.name) u) tups)
+        (env.pool ft.player1);
+      List.iter
+        (fun v ->
+          let tups = List.map (fun u -> tup env ft.name u v) (env.pool ft.player1) in
+          B.add_iff_or env.b (plays env (Ids.second ft.name) v) tups)
+        (env.pool ft.player2))
+    (Schema.fact_types env.schema)
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let inter_values xs ys = List.filter (fun v -> List.exists (Value.equal v) ys) xs
+
+let encode_structure env =
+  let schema = env.schema in
+  let g = Schema.graph schema in
+  (* Typing of tuples. *)
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      List.iter
+        (fun (u, v) ->
+          let t = tup env ft.name u v in
+          B.add env.b [ -t; mem env ft.player1 u ];
+          B.add env.b [ -t; mem env ft.player2 v ])
+        (grid env ft))
+    (Schema.fact_types schema);
+  (* Subtype containment and strictness. *)
+  List.iter
+    (fun (sub, super) ->
+      let pool = env.pool sub in
+      List.iter
+        (fun v -> B.add env.b [ -mem env sub v; mem env super v ])
+        pool;
+      (* Strictness: not (equal and non-empty). *)
+      let nonempty = B.fresh env.b (Printf.sprintf "ne|%s" super) in
+      List.iter (fun v -> B.add env.b [ -mem env super v; nonempty ]) pool;
+      let eqs =
+        List.map
+          (fun v ->
+            let eq = B.fresh env.b "eq" in
+            let s = mem env sub v and t = mem env super v in
+            B.add env.b [ -eq; -s; t ];
+            B.add env.b [ -eq; s; -t ];
+            B.add env.b [ eq; -s; -t ];
+            B.add env.b [ eq; s; t ];
+            eq)
+          pool
+      in
+      B.add env.b (-nonempty :: List.map (fun e -> -e) eqs))
+    (Subtype_graph.edges g);
+  (* Value constraints: forbid inadmissible candidates. *)
+  List.iter
+    (fun t ->
+      match Schema.effective_value_set schema t with
+      | None -> ()
+      | Some vs ->
+          List.iter
+            (fun v ->
+              if not (Value.Constraint.mem v vs) then B.add env.b [ -mem env t v ])
+            (env.pool t))
+    (Schema.object_types schema);
+  (* Implicit mutual exclusion of unrelated types with overlapping pools. *)
+  List.iter
+    (fun (a, b) ->
+      if not (Subtype_graph.related g a b) then
+        List.iter
+          (fun v -> B.add env.b [ -mem env a v; -mem env b v ])
+          (inter_values (env.pool a) (env.pool b)))
+    (pairs (Schema.object_types schema))
+
+let encode_constraint env (c : Constraints.t) =
+  let schema = env.schema in
+  let b = env.b in
+  let player_pool (r : Ids.role) =
+    match Schema.player schema r with Some p -> env.pool p | None -> []
+  in
+  let role_tuples (r : Ids.role) u =
+    (* Tuple variables with [u] at role [r]'s end. *)
+    match Schema.find_fact schema r.fact with
+    | None -> []
+    | Some ft -> (
+        match r.side with
+        | Ids.Fst -> List.map (fun v -> tup env ft.name u v) (env.pool ft.player2)
+        | Ids.Snd -> List.map (fun w -> tup env ft.name w u) (env.pool ft.player1))
+  in
+  match c.body with
+  | Mandatory r ->
+      Option.iter
+        (fun p ->
+          List.iter
+            (fun u -> B.add b (-mem env p u :: role_tuples r u))
+            (env.pool p))
+        (Schema.player schema r)
+  | Disjunctive_mandatory roles ->
+      List.iter
+        (fun (r : Ids.role) ->
+          Option.iter
+            (fun p ->
+              List.iter
+                (fun u ->
+                  let alternatives = List.concat_map (fun r' -> role_tuples r' u) roles in
+                  B.add b (-mem env p u :: alternatives))
+                (env.pool p))
+            (Schema.player schema r))
+        roles
+  | Uniqueness (Single r) ->
+      List.iter (fun u -> B.at_most_one b (role_tuples r u)) (player_pool r)
+  | Uniqueness (Pair _) -> ()  (* predicates are sets *)
+  | External_uniqueness roles -> (
+      (* For distinct joining instances x, x' and every value vector over
+         the constrained roles, not all 2n tuples may hold at once. *)
+      let join_type =
+        match roles with
+        | r :: _ -> Schema.player schema (Ids.co_role r)
+        | [] -> None
+      in
+      match join_type with
+      | None -> ()
+      | Some jt ->
+          let oriented (r : Ids.role) x v =
+            match r.side with
+            | Ids.Snd -> tup env r.fact x v  (* x on the first side *)
+            | Ids.Fst -> tup env r.fact v x
+          in
+          let pools = List.map (fun r -> player_pool r) roles in
+          let rec vectors = function
+            | [] -> [ [] ]
+            | p :: rest ->
+                let tails = vectors rest in
+                List.concat_map (fun v -> List.map (fun t -> v :: t) tails) p
+          in
+          let vecs = vectors pools in
+          if List.length vecs * List.length (env.pool jt) <= 50_000 then
+            List.iter
+              (fun (x, x') ->
+                List.iter
+                  (fun vec ->
+                    let lits =
+                      List.concat
+                        (List.map2
+                           (fun r v -> [ -oriented r x v; -oriented r x' v ])
+                           roles vec)
+                    in
+                    B.add b lits)
+                  vecs)
+              (pairs (env.pool jt)))
+  | Frequency (Single r, { min; max }) ->
+      List.iter
+        (fun u ->
+          let tups = role_tuples r u in
+          (match max with Some m -> B.at_most b m tups | None -> ());
+          if min > 1 then
+            B.at_least ~unless:(-plays env r u) b min tups)
+        (player_pool r)
+  | Frequency (Pair (r1, _), { min; _ }) ->
+      (* Rows of a set-valued predicate occur exactly once. *)
+      if min > 1 then
+        Option.iter
+          (fun ft ->
+            List.iter (fun (u, v) -> B.add b [ -tup env r1.fact u v ]) (grid env ft))
+          (Schema.find_fact schema r1.fact)
+  | Value_constraint _ -> ()  (* handled structurally via effective sets *)
+  | Role_exclusion seqs ->
+      List.iter
+        (fun (sa, sb) ->
+          match (sa, sb) with
+          | Ids.Single ra, Ids.Single rb ->
+              List.iter
+                (fun u ->
+                  B.add b [ -plays env ra u; -plays env rb u ])
+                (inter_values (player_pool ra) (player_pool rb))
+          | Ids.Pair (ra, _), Ids.Pair (rb, _) ->
+              let fa = Option.get (Schema.find_fact schema ra.fact) in
+              let fb = Option.get (Schema.find_fact schema rb.fact) in
+              List.iter
+                (fun (u, v) ->
+                  if List.mem (u, v) (grid env fb) then
+                    B.add b [ -tup env fa.name u v; -tup env fb.name u v ])
+                (grid env fa)
+          | Ids.Single _, Ids.Pair _ | Ids.Pair _, Ids.Single _ -> ())
+        (pairs seqs)
+  | Subset (sub, super) | Equality (sub, super) -> (
+      let both_ways = match c.body with Equality _ -> true | _ -> false in
+      let direction (a : Ids.role_seq) (bq : Ids.role_seq) =
+        match (a, bq) with
+        | Ids.Single ra, Ids.Single rb ->
+            List.iter
+              (fun u ->
+                if List.exists (Value.equal u) (player_pool rb) then
+                  B.add b [ -plays env ra u; plays env rb u ]
+                else B.add b [ -plays env ra u ])
+              (player_pool ra)
+        | Ids.Pair (ra, _), Ids.Pair (rb, _) ->
+            let fa = Option.get (Schema.find_fact schema ra.fact) in
+            let fb = Option.get (Schema.find_fact schema rb.fact) in
+            let gb = grid env fb in
+            List.iter
+              (fun (u, v) ->
+                if List.mem (u, v) gb then
+                  B.add b [ -tup env fa.name u v; tup env fb.name u v ]
+                else B.add b [ -tup env fa.name u v ])
+              (grid env fa)
+        | Ids.Single _, Ids.Pair _ | Ids.Pair _, Ids.Single _ -> ()
+      in
+      direction sub super;
+      if both_ways then direction super sub)
+  | Type_exclusion ots ->
+      List.iter
+        (fun (x, y) ->
+          List.iter
+            (fun v -> B.add b [ -mem env x v; -mem env y v ])
+            (inter_values (env.pool x) (env.pool y)))
+        (pairs ots)
+  | Total_subtypes (super, subs) ->
+      List.iter
+        (fun v ->
+          let covers =
+            List.filter_map
+              (fun sub ->
+                if List.exists (Value.equal v) (env.pool sub) then Some (mem env sub v)
+                else None)
+              subs
+          in
+          B.add b (-mem env super v :: covers))
+        (env.pool super)
+  | Ring (kind, fact) -> (
+      match Schema.find_fact schema fact with
+      | None -> ()
+      | Some ft ->
+          let pa = env.pool ft.player1 and pb = env.pool ft.player2 in
+          let in_grid u v =
+            List.exists (Value.equal u) pa && List.exists (Value.equal v) pb
+          in
+          let t u v = tup env fact u v in
+          let shared = inter_values pa pb in
+          let all = List.sort_uniq Value.compare (pa @ pb) in
+          (match kind with
+          | Ring.Irreflexive -> List.iter (fun v -> B.add b [ -t v v ]) shared
+          | Ring.Symmetric ->
+              List.iter
+                (fun (u, v) ->
+                  if in_grid v u then B.add b [ -t u v; t v u ]
+                  else B.add b [ -t u v ])
+                (grid env ft)
+          | Ring.Asymmetric ->
+              List.iter
+                (fun (u, v) -> if in_grid v u then B.add b [ -t u v; -t v u ])
+                (grid env ft);
+              List.iter (fun v -> B.add b [ -t v v ]) shared
+          | Ring.Antisymmetric ->
+              List.iter
+                (fun (u, v) ->
+                  if (not (Value.equal u v)) && in_grid v u then
+                    B.add b [ -t u v; -t v u ])
+                (grid env ft)
+          | Ring.Intransitive ->
+              List.iter
+                (fun (u, v) ->
+                  List.iter
+                    (fun w ->
+                      if in_grid v w && in_grid u w then
+                        B.add b [ -t u v; -t v w; -t u w ])
+                    all)
+                (grid env ft)
+          | Ring.Acyclic ->
+              (* A strict order witnesses acyclicity: tup(u,v) -> u < v. *)
+              let ord u v =
+                B.var env.b
+                  (Printf.sprintf "o|%s|%s|%s" fact (Value.to_string u)
+                     (Value.to_string v))
+              in
+              List.iter (fun v -> B.add b [ -ord v v ]) all;
+              List.iter
+                (fun u ->
+                  List.iter
+                    (fun v ->
+                      if not (Value.equal u v) then begin
+                        B.add b [ -ord u v; -ord v u ];
+                        List.iter
+                          (fun w ->
+                            if not (Value.equal w u || Value.equal w v) then
+                              B.add b [ -ord u v; -ord v w; ord u w ])
+                          all
+                      end)
+                    all)
+                all;
+              List.iter (fun (u, v) -> B.add b [ -t u v; ord u v ]) (grid env ft)))
+
+let encode_query env query =
+  let schema = env.schema in
+  let type_goal t =
+    B.add env.b (List.map (fun v -> mem env t v) (env.pool t))
+  in
+  let fact_goal fact =
+    match Schema.find_fact schema fact with
+    | None -> B.add env.b []
+    | Some ft -> B.add env.b (List.map (fun (u, v) -> tup env fact u v) (grid env ft))
+  in
+  match query with
+  | Schema_satisfiable -> ()
+  | Type_satisfiable t -> type_goal t
+  | Role_satisfiable (r : Ids.role) -> fact_goal r.fact
+  | All_populated roles ->
+      List.iter (fun (r : Ids.role) -> fact_goal r.fact) roles
+  | Strongly_satisfiable ->
+      List.iter type_goal (Schema.object_types schema);
+      List.iter (fun (ft : Fact_type.t) -> fact_goal ft.name) (Schema.fact_types schema)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let decode env assignment =
+  let truthy lit = assignment.(abs lit) in
+  let pop = ref Population.empty in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun v -> if truthy (mem env t v) then pop := Population.add_object t v !pop)
+        (env.pool t))
+    (Schema.object_types env.schema);
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      List.iter
+        (fun (u, v) ->
+          if truthy (tup env ft.name u v) then
+            pop := Population.add_tuple ft.name (u, v) !pop)
+        (grid env ft))
+    (Schema.fact_types env.schema);
+  !pop
+
+let solve ?max_fresh ?(budget = 2_000_000) schema query =
+  let max_fresh =
+    match max_fresh with Some n -> n | None -> default_fresh schema
+  in
+  let g = Schema.graph schema in
+  let pools = Hashtbl.create 8 in
+  let pool t =
+    let fam = family g t in
+    let repr = Option.value ~default:t (Sset.min_elt_opt fam) in
+    match Hashtbl.find_opt pools repr with
+    | Some p -> p
+    | None ->
+        let value_pool =
+          Sset.fold
+            (fun t' acc ->
+              match Schema.effective_value_set schema t' with
+              | None -> acc
+              | Some vs ->
+                  Value.Set.union acc (Value.Set.of_list (Value.Constraint.elements vs)))
+            fam Value.Set.empty
+        in
+        let fresh_atoms =
+          List.init max_fresh (fun i -> Value.Str (Printf.sprintf "@%s#%d" repr (i + 1)))
+        in
+        let p = Value.Set.elements value_pool @ fresh_atoms in
+        Hashtbl.add pools repr p;
+        p
+  in
+  let env = { b = B.create (); schema; pool } in
+  define_plays env;
+  encode_structure env;
+  List.iter (encode_constraint env) (Schema.constraints schema);
+  encode_query env query;
+  let result = B.solve ~budget env.b in
+  last :=
+    {
+      variables = B.nvars env.b;
+      clauses = B.clause_count env.b;
+      decisions = Dpll.stats_last_decisions ();
+    };
+  match result with
+  | Dpll.Unsat -> No_model
+  | Dpll.Timeout -> Timeout
+  | Dpll.Sat assignment ->
+      let pop = decode env assignment in
+      (* Safety net: a decoded model must satisfy the schema. *)
+      if Eval.satisfies schema pop then Model pop
+      else
+        failwith
+          (Format.asprintf
+             "Encode.solve: decoded population violates the schema (encoding bug):@.%a"
+             Population.pp pop)

@@ -1,0 +1,49 @@
+(** Bounded ORM satisfiability via propositional encoding.
+
+    The second complete route in the repository (besides
+    {!Orm_reasoner.Finder}'s explicit search): a schema plus a bounded
+    universe of candidate values is compiled to CNF — membership variables
+    [mem(T,v)] per object type and candidate value, tuple variables
+    [tup(f,u,v)] per fact type and value pair — and handed to the DPLL
+    solver.  Cardinality constraints (uniqueness, frequency) use
+    sequential-counter encodings; acyclicity uses an explicit strict-order
+    relation with transitivity clauses.
+
+    The candidate universe mirrors {!Orm_reasoner.Finder}: per subtype
+    family, the union of the family's admissible values plus a bounded
+    number of fresh atoms — so the two complete procedures decide exactly
+    the same bounded question, which the test suite exploits for
+    differential testing. *)
+
+open Orm
+open Orm_semantics
+
+type query =
+  | Schema_satisfiable
+  | Type_satisfiable of Ids.object_type
+  | Role_satisfiable of Ids.role
+  | All_populated of Ids.role list
+  | Strongly_satisfiable
+
+type outcome =
+  | Model of Population.t
+  | No_model
+  | Timeout
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type stats = {
+  variables : int;
+  clauses : int;
+  decisions : int;  (** DPLL decisions + propagations *)
+}
+
+val solve : ?max_fresh:int -> ?budget:int -> Schema.t -> query -> outcome
+(** [solve schema query] encodes and solves.  [max_fresh] bounds the fresh
+    atoms per type family (default: the same heuristic as the finder);
+    [budget] bounds DPLL steps (default 2_000_000).  A [Model] outcome is
+    decoded back into a population and re-checked against
+    {!Orm_semantics.Eval} before being returned. *)
+
+val last_stats : unit -> stats
+(** Encoding and solving statistics of the most recent {!solve} call. *)

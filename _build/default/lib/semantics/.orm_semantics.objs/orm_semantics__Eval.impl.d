@@ -1,0 +1,1 @@
+lib/semantics/eval.ml: Constraints Fact_type Format Ids List Orm Population Printf Ring Schema String Subtype_graph Value

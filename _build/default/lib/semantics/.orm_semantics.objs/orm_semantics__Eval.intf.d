@@ -1,0 +1,1 @@
+lib/semantics/eval.mli: Constraints Format Ids Orm Population Schema Value

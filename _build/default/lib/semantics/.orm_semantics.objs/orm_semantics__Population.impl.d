@@ -1,0 +1,1 @@
+lib/semantics/population.ml: Format Ids List Option Orm Value

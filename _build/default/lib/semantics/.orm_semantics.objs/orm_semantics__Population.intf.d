@@ -1,0 +1,1 @@
+lib/semantics/population.mli: Format Ids Orm Value

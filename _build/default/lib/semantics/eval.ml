@@ -1,0 +1,296 @@
+open Orm
+
+type config = {
+  strict_subtyping : bool;
+  implicit_type_exclusion : bool;
+}
+
+let default_config = { strict_subtyping = true; implicit_type_exclusion = true }
+
+type violation =
+  | Untyped_component of Ids.role * Value.t
+  | Subtype_not_subset of Ids.object_type * Ids.object_type
+  | Subtype_not_strict of Ids.object_type * Ids.object_type
+  | Implicit_exclusion of Ids.object_type * Ids.object_type * Value.t
+  | Broken of Constraints.id * string
+
+let pp_violation ppf = function
+  | Untyped_component (r, v) ->
+      Format.fprintf ppf "value %a plays %a but is not in the player's extension"
+        Value.pp v Ids.pp_role r
+  | Subtype_not_subset (sub, super) ->
+      Format.fprintf ppf "population of %s is not a subset of %s's" sub super
+  | Subtype_not_strict (sub, super) ->
+      Format.fprintf ppf "population of subtype %s equals its supertype %s's" sub super
+  | Implicit_exclusion (a, b, v) ->
+      Format.fprintf ppf
+        "unrelated object types %s and %s share the value %a" a b Value.pp v
+  | Broken (id, why) -> Format.fprintf ppf "constraint %s violated: %s" id why
+
+(* Count the occurrences of a row in a row list. *)
+let count_of row rows = List.length (List.filter (( = ) row) rows)
+
+let subset_rows a b = List.for_all (fun row -> List.mem row b) a
+
+let check_typing schema pop acc =
+  List.fold_left
+    (fun acc (ft : Fact_type.t) ->
+      List.fold_left
+        (fun acc (a, b) ->
+          let check side v acc =
+            let player = Fact_type.player ft side in
+            if Value.Set.mem v (Population.extension pop player) then acc
+            else Untyped_component (Ids.role ft.name side, v) :: acc
+          in
+          check Ids.Fst a (check Ids.Snd b acc))
+        acc
+        (Population.tuples pop ft.name))
+    acc (Schema.fact_types schema)
+
+let check_subtyping config schema pop acc =
+  List.fold_left
+    (fun acc (sub, super) ->
+      let ext_sub = Population.extension pop sub in
+      let ext_super = Population.extension pop super in
+      if not (Value.Set.subset ext_sub ext_super) then
+        Subtype_not_subset (sub, super) :: acc
+      else if config.strict_subtyping && Value.Set.equal ext_sub ext_super
+              && not (Value.Set.is_empty ext_sub) then
+        (* A strict subset may not coincide with its supertype [H01]; empty =
+           empty is tolerated so that the everywhere-empty population remains
+           a (weak) model. *)
+        Subtype_not_strict (sub, super) :: acc
+      else acc)
+    acc
+    (Subtype_graph.edges (Schema.graph schema))
+
+let check_implicit_exclusion config schema pop acc =
+  if not config.implicit_type_exclusion then acc
+  else
+    let graph = Schema.graph schema in
+    let rec pairs = function
+      | [] -> []
+      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+    in
+    List.fold_left
+      (fun acc (a, b) ->
+        if Subtype_graph.related graph a b then acc
+        else
+          let shared =
+            Value.Set.inter (Population.extension pop a) (Population.extension pop b)
+          in
+          match Value.Set.choose_opt shared with
+          | None -> acc
+          | Some v -> Implicit_exclusion (a, b, v) :: acc)
+      acc
+      (pairs (Schema.object_types schema))
+
+let broken id fmt = Format.kasprintf (fun why -> Broken (id, why)) fmt
+
+let check_constraint schema pop acc (c : Constraints.t) =
+  match c.body with
+  | Mandatory r -> (
+      match Schema.player schema r with
+      | None -> acc
+      | Some player ->
+          let playing = Population.role_population pop r in
+          let missing = Value.Set.diff (Population.extension pop player) playing in
+          Value.Set.fold
+            (fun v acc ->
+              broken c.id "%a is a %s but does not play %a" Value.pp v player
+                Ids.pp_role r
+              :: acc)
+            missing acc)
+  | Disjunctive_mandatory roles ->
+      let players =
+        List.sort_uniq String.compare (List.filter_map (Schema.player schema) roles)
+      in
+      let must_play =
+        List.fold_left
+          (fun acc p -> Value.Set.union acc (Population.extension pop p))
+          Value.Set.empty players
+      in
+      let playing =
+        List.fold_left
+          (fun acc r -> Value.Set.union acc (Population.role_population pop r))
+          Value.Set.empty roles
+      in
+      Value.Set.fold
+        (fun v acc ->
+          if Value.Set.mem v playing then acc
+          else broken c.id "%a plays none of the disjunctively mandatory roles" Value.pp v :: acc)
+        must_play acc
+  | Uniqueness seq ->
+      let rows = Population.seq_population pop seq in
+      List.fold_left
+        (fun acc row ->
+          if count_of row rows > 1 then
+            broken c.id "row occurs %d times under a uniqueness constraint"
+              (count_of row rows)
+            :: acc
+          else acc)
+        acc
+        (List.sort_uniq compare rows)
+  | External_uniqueness roles ->
+      (* In the join on the common co-player, a combination of values at the
+         constrained roles identifies at most one joining instance. *)
+      let component (r : Ids.role) (a, b) =
+        match r.side with Ids.Fst -> a | Ids.Snd -> b
+      in
+      let values_for x (r : Ids.role) =
+        List.filter_map
+          (fun tuple ->
+            if Value.equal (component (Ids.co_role r) tuple) x then
+              Some (component r tuple)
+            else None)
+          (Population.tuples pop r.fact)
+      in
+      let entities =
+        List.fold_left
+          (fun acc (r : Ids.role) ->
+            Value.Set.union acc (Population.role_population pop (Ids.co_role r)))
+          Value.Set.empty roles
+        |> Value.Set.elements
+      in
+      let rec cartesian = function
+        | [] -> [ [] ]
+        | vs :: rest ->
+            let tails = cartesian rest in
+            List.concat_map (fun v -> List.map (fun t -> v :: t) tails) vs
+      in
+      let combos x =
+        let per_role = List.map (values_for x) roles in
+        if List.exists (fun vs -> vs = []) per_role then []
+        else cartesian per_role
+      in
+      let rec check_pairs acc = function
+        | [] -> acc
+        | x :: rest ->
+            let cx = combos x in
+            let acc =
+              List.fold_left
+                (fun acc y ->
+                  let shared = List.filter (fun v -> List.mem v (combos y)) cx in
+                  match shared with
+                  | [] -> acc
+                  | combo :: _ ->
+                      broken c.id
+                        "%a and %a share the identifying combination (%s)" Value.pp x
+                        Value.pp y
+                        (String.concat ", " (List.map Value.to_string combo))
+                      :: acc)
+                acc rest
+            in
+            check_pairs acc rest
+      in
+      check_pairs acc entities
+  | Frequency (seq, { min; max }) ->
+      let rows = Population.seq_population pop seq in
+      List.fold_left
+        (fun acc row ->
+          let n = count_of row rows in
+          if n < min then
+            broken c.id "row occurs %d times, below the frequency minimum %d" n min :: acc
+          else
+            match max with
+            | Some m when n > m ->
+                broken c.id "row occurs %d times, above the frequency maximum %d" n m :: acc
+            | _ -> acc)
+        acc
+        (List.sort_uniq compare rows)
+  | Value_constraint (ot, vs) ->
+      Value.Set.fold
+        (fun v acc ->
+          if Value.Constraint.mem v vs then acc
+          else broken c.id "%a is not an admissible value of %s" Value.pp v ot :: acc)
+        (Population.extension pop ot)
+        acc
+  | Role_exclusion seqs ->
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.fold_left
+        (fun acc (a, b) ->
+          let rows_a = Population.seq_population pop a in
+          let rows_b = Population.seq_population pop b in
+          match List.find_opt (fun row -> List.mem row rows_b) rows_a with
+          | None -> acc
+          | Some _ ->
+              broken c.id "sequences %a and %a overlap despite the exclusion"
+                Ids.pp_seq a Ids.pp_seq b
+              :: acc)
+        acc (pairs seqs)
+  | Subset (sub, super) ->
+      if subset_rows (Population.seq_population pop sub) (Population.seq_population pop super)
+      then acc
+      else
+        broken c.id "population of %a is not included in %a" Ids.pp_seq sub
+          Ids.pp_seq super
+        :: acc
+  | Equality (a, b) ->
+      let rows_a = Population.seq_population pop a in
+      let rows_b = Population.seq_population pop b in
+      if subset_rows rows_a rows_b && subset_rows rows_b rows_a then acc
+      else
+        broken c.id "populations of %a and %a differ despite the equality" Ids.pp_seq a
+          Ids.pp_seq b
+        :: acc
+  | Type_exclusion ots ->
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.fold_left
+        (fun acc (a, b) ->
+          let shared = Value.Set.inter (Population.extension pop a) (Population.extension pop b) in
+          match Value.Set.choose_opt shared with
+          | None -> acc
+          | Some v ->
+              broken c.id "%a belongs to both exclusive types %s and %s" Value.pp v a b
+              :: acc)
+        acc (pairs ots)
+  | Total_subtypes (super, subs) ->
+      let covered =
+        List.fold_left
+          (fun acc sub -> Value.Set.union acc (Population.extension pop sub))
+          Value.Set.empty subs
+      in
+      Value.Set.fold
+        (fun v acc ->
+          if Value.Set.mem v covered then acc
+          else broken c.id "%a is a %s but belongs to none of the covering subtypes" Value.pp v super :: acc)
+        (Population.extension pop super)
+        acc
+  | Ring (kind, fact) ->
+      if Ring.holds kind (Population.tuples pop fact) then acc
+      else broken c.id "relation %s violates the %s ring constraint" fact (Ring.to_string kind) :: acc
+
+let violations ?(config = default_config) schema pop =
+  []
+  |> check_typing schema pop
+  |> check_subtyping config schema pop
+  |> check_implicit_exclusion config schema pop
+  |> fun acc ->
+  List.fold_left (check_constraint schema pop) acc (Schema.constraints schema)
+  |> List.rev
+
+let satisfies ?config schema pop = violations ?config schema pop = []
+
+let populates_role pop r = Population.role_column pop r <> []
+let populates_type pop ot = not (Value.Set.is_empty (Population.extension pop ot))
+
+let check_strong ?config schema pop =
+  match violations ?config schema pop with
+  | v :: _ -> Error (Format.asprintf "%a" pp_violation v)
+  | [] -> (
+      let empty_type =
+        List.find_opt (fun ot -> not (populates_type pop ot)) (Schema.object_types schema)
+      in
+      let empty_role =
+        List.find_opt (fun r -> not (populates_role pop r)) (Schema.all_roles schema)
+      in
+      match (empty_type, empty_role) with
+      | Some ot, _ -> Error (Printf.sprintf "object type %s is unpopulated" ot)
+      | None, Some r -> Error (Printf.sprintf "role %s is unpopulated" (Ids.role_to_string r))
+      | None, None -> Ok ())

@@ -1,0 +1,49 @@
+(** The model checker: does a population satisfy a schema?
+
+    This implements ORM's set-theoretic semantics [H89, BHW91] for the
+    paper's fragment, including the two implicit rules the paper leans on:
+
+    - {e implicit type exclusion}: object types that share no common
+      supertype are mutually exclusive by definition (Section 2, pattern 1);
+    - {e strict subtyping}: the population of a subtype is a {e strict}
+      subset of its supertype's [H01] (pattern 9 depends on this).
+
+    Both are configurable so that their effect can be ablated. *)
+
+open Orm
+
+type config = {
+  strict_subtyping : bool;
+      (** require subtype populations to be proper subsets (default [true]) *)
+  implicit_type_exclusion : bool;
+      (** enforce disjointness of unrelated type families (default [true]) *)
+}
+
+val default_config : config
+
+(** A violated rule, with enough structure for tests to assert on. *)
+type violation =
+  | Untyped_component of Ids.role * Value.t
+      (** a tuple component is not in the role player's extension *)
+  | Subtype_not_subset of Ids.object_type * Ids.object_type
+  | Subtype_not_strict of Ids.object_type * Ids.object_type
+  | Implicit_exclusion of Ids.object_type * Ids.object_type * Value.t
+      (** unrelated types sharing a value *)
+  | Broken of Constraints.id * string
+      (** a declared constraint, with a human-readable reason *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations : ?config:config -> Schema.t -> Population.t -> violation list
+(** All rules the population breaks; [[]] means the population is a model
+    of the schema. *)
+
+val satisfies : ?config:config -> Schema.t -> Population.t -> bool
+
+val populates_role : Population.t -> Ids.role -> bool
+val populates_type : Population.t -> Ids.object_type -> bool
+
+val check_strong : ?config:config -> Schema.t -> Population.t -> (unit, string) result
+(** [check_strong s pop] is [Ok ()] iff [pop] satisfies [s] {e and}
+    populates every role and every object type — a witness of the paper's
+    strong satisfiability. *)

@@ -1,0 +1,85 @@
+open Orm
+module Smap = Ids.String_map
+
+type t = {
+  extensions : Value.Set.t Smap.t;
+  facts : (Value.t * Value.t) list Smap.t;  (* insertion order, duplicate-free *)
+}
+
+let empty = { extensions = Smap.empty; facts = Smap.empty }
+
+let add_object ot v pop =
+  {
+    pop with
+    extensions =
+      Smap.update ot
+        (function
+          | None -> Some (Value.Set.singleton v) | Some set -> Some (Value.Set.add v set))
+        pop.extensions;
+  }
+
+let add_objects ot vs pop = List.fold_left (fun pop v -> add_object ot v pop) pop vs
+
+let add_tuple fact tuple pop =
+  {
+    pop with
+    facts =
+      Smap.update fact
+        (function
+          | None -> Some [ tuple ]
+          | Some tuples ->
+              if List.mem tuple tuples then Some tuples else Some (tuples @ [ tuple ]))
+        pop.facts;
+  }
+
+let add_tuples fact tuples pop =
+  List.fold_left (fun pop t -> add_tuple fact t pop) pop tuples
+
+let extension pop ot =
+  Option.value ~default:Value.Set.empty (Smap.find_opt ot pop.extensions)
+
+let tuples pop fact = Option.value ~default:[] (Smap.find_opt fact pop.facts)
+
+let component side (a, b) = match side with Ids.Fst -> a | Ids.Snd -> b
+
+let role_column pop (r : Ids.role) = List.map (component r.side) (tuples pop r.fact)
+
+let role_population pop r = Value.Set.of_list (role_column pop r)
+
+let seq_population pop = function
+  | Ids.Single r -> List.map (fun v -> [ v ]) (role_column pop r)
+  | Ids.Pair (r1, r2) ->
+      List.map
+        (fun tuple -> [ component r1.side tuple; component r2.side tuple ])
+        (tuples pop r1.fact)
+
+let object_types pop = List.map fst (Smap.bindings pop.extensions)
+let fact_types pop = List.map fst (Smap.bindings pop.facts)
+
+let is_empty pop =
+  Smap.for_all (fun _ set -> Value.Set.is_empty set) pop.extensions
+  && Smap.for_all (fun _ ts -> ts = []) pop.facts
+
+let cardinality pop =
+  Smap.fold (fun _ set acc -> acc + Value.Set.cardinal set) pop.extensions 0
+  + Smap.fold (fun _ ts acc -> acc + List.length ts) pop.facts 0
+
+let pp ppf pop =
+  Format.fprintf ppf "@[<v>";
+  Smap.iter
+    (fun ot set ->
+      Format.fprintf ppf "%s = {%a}@," ot
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Value.pp)
+        (Value.Set.elements set))
+    pop.extensions;
+  Smap.iter
+    (fun fact ts ->
+      Format.fprintf ppf "%s = {%a}@," fact
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (a, b) -> Format.fprintf ppf "(%a, %a)" Value.pp a Value.pp b))
+        ts)
+    pop.facts;
+  Format.fprintf ppf "@]"

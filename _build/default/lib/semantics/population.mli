@@ -1,0 +1,52 @@
+(** Populations (interpretations) of an ORM schema.
+
+    A population assigns a finite extension of {!Orm.Value.t} values to every
+    object type and a finite set of value pairs to every fact type.  The
+    paper's three satisfiability notions quantify over populations:
+    a schema is {e weakly} satisfiable if some population satisfies all
+    constraints, a concept is satisfiable if some satisfying population
+    gives it a non-empty extension, and a role is satisfiable if some
+    satisfying population populates it. *)
+
+open Orm
+
+type t
+
+val empty : t
+
+val add_object : Ids.object_type -> Value.t -> t -> t
+(** Adds a value to the extension of an object type (idempotent). *)
+
+val add_objects : Ids.object_type -> Value.t list -> t -> t
+
+val add_tuple : Ids.fact_type -> Value.t * Value.t -> t -> t
+(** Adds a tuple to a fact type's extension (idempotent: predicates are
+    sets). *)
+
+val add_tuples : Ids.fact_type -> (Value.t * Value.t) list -> t -> t
+
+val extension : t -> Ids.object_type -> Value.Set.t
+(** Extension of an object type (empty if unmentioned). *)
+
+val tuples : t -> Ids.fact_type -> (Value.t * Value.t) list
+(** Tuples of a fact type, in insertion order, duplicate-free. *)
+
+val role_column : t -> Ids.role -> Value.t list
+(** The values occurring at one end of a fact type, {e with} repetitions —
+    the multiset against which frequency constraints count. *)
+
+val role_population : t -> Ids.role -> Value.Set.t
+(** The set of values playing the role. *)
+
+val seq_population : t -> Ids.role_seq -> (Value.t list) list
+(** The population of a role sequence: singleton rows for a single role,
+    two-element rows (in sequence order) for a pair. *)
+
+val object_types : t -> Ids.object_type list
+val fact_types : t -> Ids.fact_type list
+
+val is_empty : t -> bool
+val cardinality : t -> int
+(** Total number of objects and tuples — a size measure for reporting. *)
+
+val pp : Format.formatter -> t -> unit

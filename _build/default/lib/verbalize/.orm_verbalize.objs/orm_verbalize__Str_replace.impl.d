@@ -1,0 +1,1 @@
+lib/verbalize/str_replace.ml: String

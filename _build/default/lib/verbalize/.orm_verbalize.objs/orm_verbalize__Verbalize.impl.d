@@ -1,0 +1,1 @@
+lib/verbalize/verbalize.ml: Constraints Fact_type Format Ids List Orm Printf Ring Schema Str_replace String Subtype_graph Value

@@ -1,0 +1,1 @@
+lib/verbalize/verbalize.mli: Constraints Fact_type Format Ids Orm Schema

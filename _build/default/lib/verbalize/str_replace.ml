@@ -1,0 +1,14 @@
+let first s needle replacement =
+  let n = String.length needle in
+  if n = 0 then s
+  else
+    let limit = String.length s - n in
+    let rec find i =
+      if i > limit then None
+      else if String.sub s i n = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i ->
+        String.sub s 0 i ^ replacement ^ String.sub s (i + n) (String.length s - i - n)

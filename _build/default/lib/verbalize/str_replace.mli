@@ -1,0 +1,8 @@
+(** Tiny string utility: first-occurrence substring replacement (the
+    standard library has none and the [re] dependency would be overkill for
+    verbalization templates). *)
+
+val first : string -> string -> string -> string
+(** [first s needle replacement] replaces the first occurrence of [needle]
+    in [s]; returns [s] unchanged when [needle] does not occur or is
+    empty. *)

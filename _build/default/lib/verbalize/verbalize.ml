@@ -1,0 +1,125 @@
+open Orm
+
+let fact_type (ft : Fact_type.t) =
+  Printf.sprintf "Each %s %s some-or-no %s." ft.player1 (Fact_type.reading_text ft)
+    ft.player2
+
+let subtype ~sub ~super = Printf.sprintf "Each %s is a %s." sub super
+
+(* The phrase "plays role r", oriented by the side of the predicate the
+   role occupies: active voice for the first role, passive for the second. *)
+let role_phrase schema (r : Ids.role) =
+  match Schema.find_fact schema r.fact with
+  | None -> Printf.sprintf "plays %s" (Ids.role_to_string r)
+  | Some ft -> (
+      let reading = Fact_type.reading_text ft in
+      match r.side with
+      | Ids.Fst -> Printf.sprintf "%s some %s" reading ft.player2
+      | Ids.Snd -> Printf.sprintf "is %s by some %s" reading ft.player1)
+
+let each_player schema (r : Ids.role) =
+  match Schema.player schema r with
+  | Some p -> Printf.sprintf "Each %s" p
+  | None -> "Each object"
+
+let seq_phrase schema = function
+  | Ids.Single r -> role_phrase schema r
+  | Ids.Pair (r1, _) -> (
+      match Schema.find_fact schema r1.fact with
+      | Some ft -> Printf.sprintf "appears as a pair in '%s'" (Fact_type.reading_text ft)
+      | None -> Printf.sprintf "appears as a pair in %s" r1.fact)
+
+let bound_phrase (f : Constraints.frequency) =
+  match f.max with
+  | Some m when m = f.min -> Printf.sprintf "exactly %d" f.min
+  | Some m -> Printf.sprintf "at least %d and at most %d" f.min m
+  | None -> Printf.sprintf "at least %d" f.min
+
+let relation_reading schema fact =
+  match Schema.find_fact schema fact with
+  | Some ft -> Fact_type.reading_text ft
+  | None -> fact
+
+let ring_sentence schema kind fact =
+  let r = relation_reading schema fact in
+  match (kind : Ring.kind) with
+  | Irreflexive -> Printf.sprintf "No object %s itself." r
+  | Symmetric -> Printf.sprintf "If x %s y, then y %s x." r r
+  | Asymmetric -> Printf.sprintf "If x %s y, then y does not %s x." r r
+  | Antisymmetric ->
+      Printf.sprintf "If x %s y and y %s x, then x and y are the same object." r r
+  | Acyclic -> Printf.sprintf "No chain of '%s' links loops back to its start." r
+  | Intransitive -> Printf.sprintf "If x %s y and y %s z, then x does not %s z." r r r
+
+let constraint_ schema (c : Constraints.t) =
+  match c.body with
+  | Mandatory r ->
+      Printf.sprintf "%s %s." (each_player schema r)
+        (role_phrase schema r
+        |> fun p ->
+        match r.side with
+        | Ids.Fst ->
+            (* "works for some Company" -> "works for at least one Company" *)
+            Str_replace.first p "some " "at least one "
+        | Ids.Snd -> Str_replace.first p "by some " "by at least one ")
+  | Disjunctive_mandatory roles ->
+      let phrases = List.map (role_phrase schema) roles in
+      Printf.sprintf "%s %s."
+        (match roles with r :: _ -> each_player schema r | [] -> "Each object")
+        (String.concat " or " phrases)
+  | Uniqueness (Single r) ->
+      Printf.sprintf "%s %s." (each_player schema r)
+        (Str_replace.first (role_phrase schema r) "some " "at most one ")
+  | Uniqueness (Pair (r1, _)) ->
+      Printf.sprintf "Each pair appears at most once in '%s'."
+        (relation_reading schema r1.fact)
+  | External_uniqueness roles ->
+      let joint =
+        match roles with
+        | r :: _ -> (
+            match Schema.player schema (Ids.co_role r) with
+            | Some p -> p
+            | None -> "object")
+        | [] -> "object"
+      in
+      let parts =
+        List.filter_map
+          (fun (r : Ids.role) -> Schema.player schema r)
+          roles
+      in
+      Printf.sprintf "The combination of %s identifies at most one %s."
+        (String.concat " and " parts) joint
+  | Frequency (Single r, f) ->
+      Printf.sprintf "%s that %s, does so %s times." (each_player schema r)
+        (role_phrase schema r) (bound_phrase f)
+  | Frequency (Pair (r1, _), f) ->
+      Printf.sprintf "Each pair occurs %s times in '%s'." (bound_phrase f)
+        (relation_reading schema r1.fact)
+  | Value_constraint (ot, vs) ->
+      Printf.sprintf "The possible values of %s are %s." ot
+        (String.concat ", " (List.map Value.to_string (Value.Constraint.elements vs)))
+  | Role_exclusion seqs ->
+      Printf.sprintf "No object %s."
+        (String.concat " and also " (List.map (seq_phrase schema) seqs))
+  | Subset (a, b) ->
+      Printf.sprintf "Whatever %s also %s." (seq_phrase schema a) (seq_phrase schema b)
+  | Equality (a, b) ->
+      Printf.sprintf "Exactly the same objects %s and %s." (seq_phrase schema a)
+        (seq_phrase schema b)
+  | Type_exclusion ots ->
+      Printf.sprintf "No object is more than one of: %s." (String.concat ", " ots)
+  | Total_subtypes (super, subs) ->
+      Printf.sprintf "Each %s is at least one of: %s." super (String.concat ", " subs)
+  | Ring (kind, fact) -> ring_sentence schema kind fact
+
+let schema s =
+  List.map fact_type (Schema.fact_types s)
+  @ List.map
+      (fun (sub, super) -> subtype ~sub ~super)
+      (Subtype_graph.edges (Schema.graph s))
+  @ List.map (constraint_ s) (Schema.constraints s)
+
+let pp_schema ppf s =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Format.pp_print_string)
+    (schema s)

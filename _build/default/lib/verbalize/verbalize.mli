@@ -1,0 +1,24 @@
+(** Pseudo-natural-language verbalization of ORM schemas.
+
+    Translating a schema into controlled natural language is a hallmark of
+    ORM (paper, Section 1): it lets domain experts — the lawyers of the
+    CCFORM case study — read and validate the model.  The sentence forms
+    follow Halpin's verbalization conventions for binary fact types. *)
+
+open Orm
+
+val fact_type : Fact_type.t -> string
+(** ["Each Person works for some-or-no Company."]-style reading of the bare
+    predicate. *)
+
+val constraint_ : Schema.t -> Constraints.t -> string
+(** One sentence per constraint occurrence, e.g. a mandatory role becomes
+    ["Each Employee works for at least one Company."]. *)
+
+val subtype : sub:Ids.object_type -> super:Ids.object_type -> string
+
+val schema : Schema.t -> string list
+(** The full verbalization: fact-type readings, subtype links, then one
+    sentence per constraint, in declaration order. *)
+
+val pp_schema : Format.formatter -> Schema.t -> unit

@@ -1,0 +1,1 @@
+test/str_split_contains.ml: String

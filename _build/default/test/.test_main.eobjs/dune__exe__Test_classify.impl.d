@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Fact_type Figures Ids List Orm Orm_dlr Schema

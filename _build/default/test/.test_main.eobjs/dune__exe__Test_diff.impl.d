@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Constraints Fact_type Figures Ids List Orm Orm_generator Orm_interactive Orm_patterns QCheck QCheck_alcotest Schema

@@ -1,0 +1,1 @@
+test/test_dlr.ml: Alcotest Dlr_check List Mapping Option Orm Orm_dlr Printf Str_split_contains Syntax Tableau

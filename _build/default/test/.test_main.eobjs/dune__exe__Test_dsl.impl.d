@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Fact_type Figures List Orm Orm_dsl Orm_generator Printf QCheck QCheck_alcotest Schema Str_split_contains Subtype_graph Value

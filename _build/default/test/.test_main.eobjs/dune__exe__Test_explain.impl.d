@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Figures List Orm Orm_explain Orm_generator Orm_patterns QCheck QCheck_alcotest Str_split_contains String

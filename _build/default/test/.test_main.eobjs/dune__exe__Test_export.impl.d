@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Figures Orm Orm_export Orm_generator Orm_patterns QCheck QCheck_alcotest Str_split_contains String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Fact_type Ids Int List Orm Orm_generator Orm_patterns Orm_reasoner Orm_semantics QCheck QCheck_alcotest Ring Schema Value

@@ -1,0 +1,1 @@
+test/test_external_uc.ml: Alcotest Constraints Eval Fact_type Ids List Option Orm Orm_dsl Orm_reasoner Orm_sat Orm_semantics Orm_verbalize Population Schema Str_split_contains Value

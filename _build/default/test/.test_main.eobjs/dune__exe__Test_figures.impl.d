@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Figures Format Ids Int List Orm Orm_patterns Orm_reasoner Orm_semantics Printf Schema String

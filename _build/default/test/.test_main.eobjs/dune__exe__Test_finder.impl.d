@@ -1,0 +1,1 @@
+test/test_finder.ml: Alcotest Constraints Fact_type Figures Finder Ids List Orm Orm_generator Orm_reasoner Orm_semantics Schema Value

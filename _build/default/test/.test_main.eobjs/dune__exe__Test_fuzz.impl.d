@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Ids List Orm Orm_dlr Orm_dsl Orm_explain Orm_export Orm_generator Orm_lint Orm_patterns Orm_repair Orm_sat Orm_verbalize QCheck QCheck_alcotest Schema

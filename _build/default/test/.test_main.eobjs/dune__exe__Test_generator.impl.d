@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Ids List Orm Orm_dsl Orm_generator Orm_patterns Orm_reasoner QCheck QCheck_alcotest Schema

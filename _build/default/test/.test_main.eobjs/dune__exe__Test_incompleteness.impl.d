@@ -1,0 +1,1 @@
+test/test_incompleteness.ml: Alcotest Constraints Fact_type Ids List Orm Orm_patterns Orm_reasoner Orm_semantics Ring Schema Value

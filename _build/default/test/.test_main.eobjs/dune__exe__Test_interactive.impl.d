@@ -1,0 +1,1 @@
+test/test_interactive.ml: Alcotest Constraints Fact_type Figures Format Ids List Option Orm Orm_dsl Orm_interactive Orm_patterns Printf QCheck QCheck_alcotest Random Schema

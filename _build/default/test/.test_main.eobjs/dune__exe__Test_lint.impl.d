@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Constraints Fact_type Figures Ids List Option Orm Orm_lint Orm_patterns Orm_reasoner Schema String Value

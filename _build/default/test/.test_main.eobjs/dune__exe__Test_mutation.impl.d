@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Eval Fact_type Format Ids List Orm Orm_semantics Population Schema Value

@@ -1,0 +1,1 @@
+test/test_nary.ml: Alcotest Constraints Ids List Orm Orm_nary Orm_patterns Orm_reasoner Schema Value

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Constraints Fact_type Figures Ids Int List Orm Orm_patterns Ring Schema Value

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Constraints Fact_type Figures Ids List Orm Orm_generator Orm_patterns Orm_repair QCheck QCheck_alcotest Schema

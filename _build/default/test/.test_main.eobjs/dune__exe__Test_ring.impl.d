@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Format Fun Lazy List Option Orm Printf Ring

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Figures Fun Ids List Orm Orm_generator Orm_patterns Orm_reasoner Orm_sat Orm_semantics Printf QCheck QCheck_alcotest Schema

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Constraints Fact_type Ids List Orm Ring Schema Subtype_graph Value

@@ -1,0 +1,1 @@
+test/test_schema_files.ml: Alcotest Filename Ids Int List Orm Orm_dsl Orm_patterns Orm_reasoner Schema

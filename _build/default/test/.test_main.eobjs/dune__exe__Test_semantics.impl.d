@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Constraints Eval Fact_type Ids List Orm Orm_semantics Population Ring Schema Value

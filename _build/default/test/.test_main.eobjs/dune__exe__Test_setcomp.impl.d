@@ -1,0 +1,1 @@
+test/test_setcomp.ml: Alcotest Constraints Fact_type Ids List Orm Orm_patterns Schema String

@@ -1,0 +1,1 @@
+test/test_subtype_graph.ml: Alcotest Fun Ids List Orm Printf QCheck QCheck_alcotest Subtype_graph

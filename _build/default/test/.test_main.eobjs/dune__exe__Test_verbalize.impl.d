@@ -1,0 +1,1 @@
+test/test_verbalize.ml: Alcotest Constraints Fact_type Ids List Option Orm Orm_verbalize Printf Ring Schema Str_split_contains Value

@@ -1,0 +1,82 @@
+(* DL classification over the translated knowledge base: declared links are
+   re-derived, implied links are surfaced, and unsatisfiable concepts are
+   kept out of the hierarchy. *)
+
+open Orm
+module Classify = Orm_dlr.Classify
+
+let bool = Alcotest.check Alcotest.bool
+
+let link sub super links =
+  List.exists (fun (l : Classify.link) -> l.sub = sub && l.super = super) links
+
+let test_subsumes_basics () =
+  let a = Orm_dlr.Syntax.Atomic "A" and b = Orm_dlr.Syntax.Atomic "B" in
+  let tbox = [ Orm_dlr.Syntax.Subsumes (a, b) ] in
+  Alcotest.check
+    (Alcotest.testable Classify.pp_answer ( = ))
+    "declared subsumption" Classify.Yes
+    (Classify.subsumes tbox ~sub:a ~super:b);
+  Alcotest.check
+    (Alcotest.testable Classify.pp_answer ( = ))
+    "no reverse subsumption" Classify.No
+    (Classify.subsumes tbox ~sub:b ~super:a)
+
+let test_fig3_hierarchy () =
+  let links = Classify.classify Figures.fig3 in
+  bool "B <= A declared" true (link "B" "A" links);
+  bool "C <= A declared" true (link "C" "A" links);
+  (* D is unsatisfiable, hence excluded from the hierarchy. *)
+  bool "D excluded" true
+    (List.for_all (fun (l : Classify.link) -> l.sub <> "D" && l.super <> "D") links);
+  bool "no spurious A <= B" false (link "A" "B" links)
+
+let test_implied_total () =
+  (* With a total (covering) constraint over a single subtype, the supertype
+     is implied to be below the subtype — a link nobody declared. *)
+  let s =
+    Schema.empty "impl"
+    |> Schema.add_subtype ~sub:"Only" ~super:"Top"
+    |> Schema.add (Total_subtypes ("Top", [ "Only" ]))
+  in
+  let implied = Classify.implied_links s in
+  bool "Top <= Only implied" true (link "Top" "Only" implied);
+  bool "declared link not in implied list" false (link "Only" "Top" implied)
+
+let test_implied_mandatory_domain () =
+  (* Every player of f's first role is an A (typing axiom); if every B must
+     play it, B <= A follows. *)
+  let s =
+    Schema.empty "impl2"
+    |> Schema.add_subtype ~sub:"A" ~super:"T"
+    |> Schema.add_subtype ~sub:"B" ~super:"T"
+    |> Schema.add_fact (Fact_type.make "f" "A" "C")
+    |> Schema.add (Mandatory (Ids.first "f"))
+  in
+  (* B plays no role here; extend: the mandatory is on A's own role, so no
+     implication about B.  Check no bogus link appears. *)
+  let implied = Classify.implied_links s in
+  bool "no bogus implication" false (link "B" "A" implied)
+
+let test_transitive_derived () =
+  let s =
+    Schema.empty "trans"
+    |> Schema.add_subtype ~sub:"C" ~super:"B"
+    |> Schema.add_subtype ~sub:"B" ~super:"A"
+  in
+  let links = Classify.classify s in
+  bool "transitive C <= A derived" true (link "C" "A" links);
+  (* classify marks it declared because the subtype graph is transitive. *)
+  bool "marked as declared" true
+    (List.exists
+       (fun (l : Classify.link) -> l.sub = "C" && l.super = "A" && l.declared)
+       links)
+
+let suite =
+  [
+    Alcotest.test_case "subsumption by refutation" `Quick test_subsumes_basics;
+    Alcotest.test_case "fig3 hierarchy" `Quick test_fig3_hierarchy;
+    Alcotest.test_case "implied link via covering" `Quick test_implied_total;
+    Alcotest.test_case "no bogus implications" `Quick test_implied_mandatory_domain;
+    Alcotest.test_case "transitive derivation" `Quick test_transitive_derived;
+  ]

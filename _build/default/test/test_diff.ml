@@ -1,0 +1,102 @@
+(* Schema diff: the edit script transforms the source into the target,
+   including the cascade-sensitive cases (removed facts with attached
+   constraints, changed fact definitions, removed object types). *)
+
+open Orm
+module Diff = Orm_interactive.Schema_diff
+module Edit = Orm_interactive.Edit
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let apply_script a script = List.fold_left (fun s e -> Edit.apply e s) a script
+
+let check_transforms name a b =
+  let script = Diff.diff a b in
+  bool name true (Diff.equal_schemas (apply_script a script) b)
+
+let test_identity () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      int (e.figure ^ " empty diff") 0 (List.length (Diff.diff e.schema e.schema)))
+    Figures.all
+
+let test_figures_pairwise () =
+  (* Every ordered pair of paper figures must be reachable by a script. *)
+  List.iter
+    (fun (a : Figures.expectation) ->
+      List.iter
+        (fun (b : Figures.expectation) ->
+          check_transforms (a.figure ^ " -> " ^ b.figure) a.schema b.schema)
+        Figures.all)
+    Figures.all
+
+let test_changed_fact_preserves_constraints () =
+  (* Changing a fact's reading must not drop its constraints. *)
+  let a =
+    Schema.empty "s"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Mandatory (Ids.first "f"))
+  in
+  let b =
+    Schema.empty "s"
+    |> Schema.add_fact (Fact_type.make ~reading:"new reading" "f" "A" "B")
+    |> Schema.add (Mandatory (Ids.first "f"))
+  in
+  let script = Diff.diff a b in
+  bool "single edit" true (List.length script = 1);
+  check_transforms "reading change" a b
+
+let test_removed_fact_with_constraints () =
+  let a =
+    Schema.empty "s"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add (Mandatory (Ids.first "f"))
+    |> Schema.add (Uniqueness (Single (Ids.first "g")))
+  in
+  let b =
+    Schema.empty "s"
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add_constraint (Constraints.make "c2" (Uniqueness (Single (Ids.first "g"))))
+  in
+  check_transforms "fact removal cascades correctly" a b
+
+let test_diff_random =
+  QCheck.Test.make ~count:60 ~name:"diff transforms generated schemas"
+    QCheck.(triple (int_range 0 2_000) (int_range 0 2_000) (int_range 1 9))
+    (fun (seed_a, seed_b, p) ->
+      let a = Orm_generator.Gen.clean ~seed:seed_a () in
+      let b =
+        (Orm_generator.Faults.inject ~seed:seed_b p (Orm_generator.Gen.clean ~seed:seed_b ()))
+          .schema
+      in
+      Diff.equal_schemas (apply_script a (Diff.diff a b)) b
+      && Diff.equal_schemas (apply_script b (Diff.diff b a)) a)
+
+let test_diff_drives_session () =
+  (* A diff applied through a session keeps the incremental report exact. *)
+  let a = Figures.fig14 in
+  let b = Figures.fig4b in
+  let session =
+    List.fold_left
+      (fun s e -> Orm_interactive.Session.apply e s)
+      (Orm_interactive.Session.create a)
+      (Diff.diff a b)
+  in
+  let direct = Orm_patterns.Engine.check (Orm_interactive.Session.schema session) in
+  let incremental = Orm_interactive.Session.report session in
+  bool "session report matches" true
+    (Ids.Role_set.equal direct.unsat_roles incremental.unsat_roles
+    && Ids.String_set.equal direct.unsat_types incremental.unsat_types)
+
+let suite =
+  [
+    Alcotest.test_case "identity diffs are empty" `Quick test_identity;
+    Alcotest.test_case "figures pairwise" `Quick test_figures_pairwise;
+    Alcotest.test_case "changed fact keeps constraints" `Quick
+      test_changed_fact_preserves_constraints;
+    Alcotest.test_case "removed fact cascades" `Quick test_removed_fact_with_constraints;
+    QCheck_alcotest.to_alcotest test_diff_random;
+    Alcotest.test_case "diff drives a session" `Quick test_diff_drives_session;
+  ]

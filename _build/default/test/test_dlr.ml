@@ -1,0 +1,143 @@
+(* The DL route: NNF, tableau units on hand-written TBoxes, the ORM -> DLR
+   mapping, and agreement with the pattern engine on the figures whose
+   constraints fall inside the mapped fragment. *)
+
+open Orm_dlr
+open Syntax
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let verdict =
+  Alcotest.testable Tableau.pp_verdict (fun a b -> a = b)
+
+let sat ?tbox c = Tableau.satisfiable (Option.value ~default:[] tbox) c
+
+let test_nnf () =
+  let a = Atomic "A" and b = Atomic "B" in
+  bool "double negation" true (nnf (Not (Not a)) = a);
+  bool "de morgan" true (nnf (Not (And [ a; b ])) = Or [ Not a; Not b ]);
+  bool "neg exists" true
+    (nnf (Not (Exists (role "r", a))) = Forall (role "r", Not a));
+  bool "neg atleast" true (nnf (Not (At_least (2, role "r"))) = At_most (1, role "r"));
+  bool "neg atmost" true (nnf (Not (At_most (2, role "r"))) = At_least (3, role "r"));
+  bool "neg atleast 0 is bottom" true (nnf (Not (At_least (0, role "r"))) = Bottom)
+
+let test_tableau_basics () =
+  let a = Atomic "A" in
+  Alcotest.check verdict "atomic sat" Tableau.Sat (sat a);
+  Alcotest.check verdict "contradiction" Tableau.Unsat (sat (And [ a; Not a ]));
+  Alcotest.check verdict "bottom" Tableau.Unsat (sat Bottom);
+  Alcotest.check verdict "disjunction" Tableau.Sat (sat (Or [ And [ a; Not a ]; a ]));
+  Alcotest.check verdict "exists" Tableau.Sat (sat (Exists (role "r", a)));
+  Alcotest.check verdict "exists conflict" Tableau.Unsat
+    (sat (And [ Exists (role "r", a); Forall (role "r", Not a) ]));
+  Alcotest.check verdict "number conflict" Tableau.Unsat
+    (sat (And [ At_least (2, role "r"); At_most (1, role "r") ]));
+  Alcotest.check verdict "number ok" Tableau.Sat
+    (sat (And [ At_least (2, role "r"); At_most (3, role "r") ]))
+
+let test_tableau_tbox () =
+  let a = Atomic "A" and b = Atomic "B" in
+  (* A ⊑ B, A ⊑ ¬B: A must be empty. *)
+  let tbox = [ Subsumes (a, b); Subsumes (a, Not b) ] in
+  Alcotest.check verdict "unsat w.r.t. tbox" Tableau.Unsat (sat ~tbox a);
+  Alcotest.check verdict "other concept fine" Tableau.Sat (sat ~tbox b);
+  (* A cyclic TBox needs blocking to terminate: A ⊑ ∃r.A. *)
+  let cyclic = [ Subsumes (a, Exists (role "r", a)) ] in
+  Alcotest.check verdict "blocking terminates" Tableau.Sat (sat ~tbox:cyclic a)
+
+let test_tableau_inverse () =
+  let a = Atomic "A" in
+  (* ∃r.(∀r⁻.¬A) ⊓ A: the child looks back at the root. *)
+  Alcotest.check verdict "inverse propagation" Tableau.Unsat
+    (sat (And [ a; Exists (role "r", Forall (inv (role "r"), Not a)) ]))
+
+let test_tableau_role_hierarchy () =
+  let a = Atomic "A" in
+  (* r ⊑ s: an r-successor is an s-successor. *)
+  let tbox = [ Role_subsumes (role "r", role "s") ] in
+  Alcotest.check verdict "role inclusion" Tableau.Unsat
+    (sat ~tbox (And [ Exists (role "r", a); Forall (role "s", Not a) ]))
+
+let test_mapping_axiom_count () =
+  let m = Mapping.translate Orm.Figures.fig1 in
+  bool "no skips" true (m.skipped = []);
+  (* 4 subtype axioms + 1 exclusion axiom (+ no facts, no roots disjoint
+     since Person is the only root). *)
+  int "axiom count" 5 (List.length m.tbox)
+
+let test_mapping_skips () =
+  let m = Mapping.translate Orm.Figures.fig11 in
+  int "ring skipped" 1 (List.length m.skipped);
+  let m5 = Mapping.translate Orm.Figures.fig5 in
+  bool "value constraint skipped" true
+    (List.exists (fun (_, why) -> Str_split_contains.contains why "nominal") m5.skipped)
+
+(* Figures whose constraints are fully translatable AND whose semantics the
+   DL captures (fig13 is excluded: DL subtyping is non-strict, so subtype
+   loops are DL-satisfiable — exactly the divergence DESIGN.md documents). *)
+let dl_exact_figures = [ "fig1"; "fig2"; "fig3"; "fig4a"; "fig4b"; "fig4c"; "fig10"; "fig14" ]
+
+let test_agreement_with_engine () =
+  List.iter
+    (fun name ->
+      let (e : Orm.Figures.expectation) = Option.get (Orm.Figures.find name) in
+      let result = Dlr_check.check e.schema in
+      bool (name ^ " translation complete") true result.complete;
+      let dl_types = Dlr_check.unsat_types result in
+      List.iter
+        (fun t ->
+          bool
+            (Printf.sprintf "%s: DL finds type %s unsat" name t)
+            true (List.mem t dl_types))
+        e.unsat_types;
+      let dl_roles = Dlr_check.unsat_roles result in
+      List.iter
+        (fun r ->
+          bool
+            (Printf.sprintf "%s: DL finds role %s unsat" name (Orm.Ids.role_to_string r))
+            true
+            (List.exists (Orm.Ids.equal_role r) dl_roles))
+        e.unsat_roles)
+    dl_exact_figures
+
+let test_negative_control () =
+  (* fig14 is satisfiable and fully translatable: the DL route must not
+     invent unsatisfiability. *)
+  let e = Option.get (Orm.Figures.find "fig14") in
+  let result = Dlr_check.check e.schema in
+  bool "no unsat types" true (Dlr_check.unsat_types result = []);
+  bool "no unsat roles" true (Dlr_check.unsat_roles result = [])
+
+let test_fig8_refined_side () =
+  (* The DL route agrees with the refined reading of pattern 6: only the
+     subset side of Fig. 8 is unsatisfiable. *)
+  let e = Option.get (Orm.Figures.find "fig8") in
+  let result = Dlr_check.check e.schema in
+  let dl_roles = Dlr_check.unsat_roles result in
+  bool "f1.1 unsat" true (List.exists (Orm.Ids.equal_role (Orm.Ids.first "f1")) dl_roles);
+  bool "f2.1 satisfiable" false
+    (List.exists (Orm.Ids.equal_role (Orm.Ids.first "f2")) dl_roles)
+
+let test_budget () =
+  Alcotest.check verdict "tiny budget gives unknown" Tableau.Unknown
+    (Tableau.satisfiable ~budget:2
+       [ Subsumes (Atomic "A", Exists (role "r", Atomic "A")) ]
+       (And [ Atomic "A"; Exists (role "r", Atomic "B") ]))
+
+let suite =
+  [
+    Alcotest.test_case "negation normal form" `Quick test_nnf;
+    Alcotest.test_case "tableau: propositional and modal" `Quick test_tableau_basics;
+    Alcotest.test_case "tableau: TBox reasoning and blocking" `Quick test_tableau_tbox;
+    Alcotest.test_case "tableau: inverse roles" `Quick test_tableau_inverse;
+    Alcotest.test_case "tableau: role hierarchy" `Quick test_tableau_role_hierarchy;
+    Alcotest.test_case "mapping: fig1 axioms" `Quick test_mapping_axiom_count;
+    Alcotest.test_case "mapping: footnote-10 skips" `Quick test_mapping_skips;
+    Alcotest.test_case "DL agrees with the engine on the mapped fragment" `Slow
+      test_agreement_with_engine;
+    Alcotest.test_case "DL negative control (fig14)" `Quick test_negative_control;
+    Alcotest.test_case "DL sees fig8's refined side" `Quick test_fig8_refined_side;
+    Alcotest.test_case "budget exhaustion is Unknown" `Quick test_budget;
+  ]

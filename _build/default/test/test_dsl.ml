@@ -1,0 +1,121 @@
+(* The textual schema language: lexer units, parser errors, and the
+   print-parse round trip over the paper figures and generated schemas. *)
+
+open Orm
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+let strings = Alcotest.check (Alcotest.list Alcotest.string)
+
+(* Structural schema equivalence via the canonical printed form (value-set
+   internals are balanced trees whose shape depends on insertion order, so
+   polymorphic comparison would be too strict). *)
+let schemas_equal a b = Orm_dsl.Printer.to_string a = Orm_dsl.Printer.to_string b
+
+let test_lexer_units () =
+  let toks src = List.map (fun (t : Orm_dsl.Token.located) -> t.token) (Orm_dsl.Lexer.tokenize src) in
+  Alcotest.check Alcotest.int "count" 5 (List.length (toks "a . 1 .."));
+  bool "range token" true (List.mem Orm_dsl.Token.Range (toks "1..5"));
+  bool "string escape" true (List.mem (Orm_dsl.Token.String {|say "hi"|}) (toks {|"say \"hi\""|}));
+  bool "comment skipped" true (toks "# nothing\nx" = [ Orm_dsl.Token.Ident "x"; Orm_dsl.Token.Eof ]);
+  bool "slash comment" true (toks "// nothing\nx" = [ Orm_dsl.Token.Ident "x"; Orm_dsl.Token.Eof ]);
+  bool "negative int" true (List.mem (Orm_dsl.Token.Int (-3)) (toks "value N {-3}"));
+  Alcotest.check_raises "illegal char" (Orm_dsl.Lexer.Error ("illegal character '%'", 1, 1))
+    (fun () -> ignore (toks "%"));
+  Alcotest.check_raises "unterminated string"
+    (Orm_dsl.Lexer.Error ("unterminated string literal", 1, 1)) (fun () ->
+      ignore (toks "\"oops"))
+
+let test_parse_minimal () =
+  let src =
+    {|schema demo
+      object_type Person
+      object_type Student subtype_of Person
+      fact enrols (Student, Course) reading "enrols in"
+      [m] mandatory enrols.1
+      unique enrols.1
+      frequency enrols.2 2..5
+      value Course {"c1", "c2", "c3"}
+      exclusion enrols.1, teaches.1
+      subset (enrols.1, enrols.2) <= (audits.1, audits.2)
+      equal enrols.1 = audits.1
+      exclusive_types Student, Lecturer
+      total Person = Student, Lecturer
+      mandatory_or enrols.1, audits.1
+      ring ac reports
+    |}
+  in
+  let schema = Orm_dsl.Parser.parse_exn src in
+  Alcotest.check Alcotest.string "name" "demo" (Schema.name schema);
+  int "constraints" 11 (List.length (Schema.constraints schema));
+  bool "explicit id kept" true (Schema.find_constraint schema "m" <> None);
+  strings "subtype edge" [ "Student" ]
+    (Subtype_graph.direct_subtypes (Schema.graph schema) "Person")
+
+let test_parse_errors () =
+  let expect_err src fragment =
+    match Orm_dsl.Parser.parse src with
+    | Error msg ->
+        bool
+          (Printf.sprintf "error %S mentions %S" msg fragment)
+          true
+          (let re = Str_split_contains.contains msg fragment in
+           re)
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  in
+  expect_err "object_type X" "must start with 'schema";
+  expect_err "schema s fact f (A B)" "','";
+  expect_err "schema s mandatory f.3" "role index";
+  expect_err "schema s ring weird f" "unknown ring constraint";
+  expect_err "schema s frobnicate x" "unknown statement";
+  expect_err "schema s frequency f.1 5..2" "max < min"
+
+let test_roundtrip_figures () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let printed = Orm_dsl.Printer.to_string e.schema in
+      match Orm_dsl.Parser.parse printed with
+      | Error msg -> Alcotest.failf "%s does not re-parse: %s@.%s" e.figure msg printed
+      | Ok reparsed ->
+          bool (e.figure ^ " round trip") true (schemas_equal e.schema reparsed))
+    Figures.all
+
+let test_roundtrip_generated =
+  QCheck.Test.make ~count:60 ~name:"print/parse round trip on generated schemas"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let schema = Orm_generator.Gen.clean ~seed () in
+      match Orm_dsl.Parser.parse (Orm_dsl.Printer.to_string schema) with
+      | Error _ -> false
+      | Ok reparsed -> schemas_equal schema reparsed)
+
+let test_roundtrip_faulted =
+  QCheck.Test.make ~count:30 ~name:"round trip survives injected faults"
+    QCheck.(pair (int_range 0 1000) (int_range 1 9))
+    (fun (seed, p) ->
+      let base = Orm_generator.Gen.clean ~seed () in
+      let faulted = (Orm_generator.Faults.inject ~seed p base).schema in
+      match Orm_dsl.Parser.parse (Orm_dsl.Printer.to_string faulted) with
+      | Error _ -> false
+      | Ok reparsed -> schemas_equal faulted reparsed)
+
+let test_string_escapes_roundtrip () =
+  let tricky =
+    Schema.empty "esc"
+    |> Schema.add_fact (Fact_type.make ~reading:{|says "quoted" \ back|} "f" "A" "B")
+    |> Schema.add (Value_constraint ("B", Value.Constraint.of_strings [ {|a"b|}; {|c\d|} ]))
+  in
+  match Orm_dsl.Parser.parse (Orm_dsl.Printer.to_string tricky) with
+  | Error msg -> Alcotest.failf "escape round trip failed: %s" msg
+  | Ok reparsed -> bool "escapes survive" true (schemas_equal tricky reparsed)
+
+let suite =
+  [
+    Alcotest.test_case "lexer units" `Quick test_lexer_units;
+    Alcotest.test_case "parse a full schema" `Quick test_parse_minimal;
+    Alcotest.test_case "parse errors are located" `Quick test_parse_errors;
+    Alcotest.test_case "round trip: paper figures" `Quick test_roundtrip_figures;
+    QCheck_alcotest.to_alcotest test_roundtrip_generated;
+    QCheck_alcotest.to_alcotest test_roundtrip_faulted;
+    Alcotest.test_case "string escapes round trip" `Quick test_string_escapes_roundtrip;
+  ]

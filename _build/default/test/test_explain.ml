@@ -1,0 +1,62 @@
+(* Explanations: headline per element kind, verbalized premises from
+   culprits and subtype links, totality over figures and faulted schemas. *)
+
+open Orm
+module Explain = Orm_explain.Explain
+
+let contains = Str_split_contains.contains
+let bool = Alcotest.check Alcotest.bool
+
+let explain_first schema =
+  match Explain.report schema (Orm_patterns.Engine.check schema) with
+  | e :: _ -> e
+  | [] -> Alcotest.fail "expected a diagnostic to explain"
+
+let test_fig1 () =
+  let e = explain_first Figures.fig1 in
+  bool "headline names the dead type" true
+    (contains e.headline "no PhDStudent can ever exist");
+  bool "premise: exclusive types" true
+    (List.exists (fun p -> contains p "No object is more than one of") e.premises);
+  bool "premise: subtype links" true
+    (List.exists (fun p -> contains p "Each PhDStudent is a") e.premises);
+  bool "pattern name" true
+    (e.pattern = Some "Exclusive constraint between types")
+
+let test_fig5_role_headline () =
+  let e = explain_first Figures.fig5 in
+  bool "role phrased in domain terms" true (contains e.headline "no A can ever f1");
+  bool "value premise" true
+    (List.exists (fun p -> contains p "The possible values of B") e.premises)
+
+let test_joint_headline () =
+  let e = explain_first Figures.fig6 in
+  bool "joint phrasing" true (contains e.headline "cannot all hold in one population")
+
+let test_propagation_explanations () =
+  let report = Orm_patterns.Engine.check Figures.fig13 in
+  let explanations = Explain.report Figures.fig13 report in
+  bool "one explanation per diagnostic" true
+    (List.length explanations = List.length report.diagnostics)
+
+let test_totality =
+  QCheck.Test.make ~count:40 ~name:"explanations render for every faulted schema"
+    QCheck.(pair (int_range 0 2_000) (int_range 1 9))
+    (fun (seed, p) ->
+      let schema =
+        (Orm_generator.Faults.inject ~seed p (Orm_generator.Gen.clean ~seed ())).schema
+      in
+      let explanations =
+        Explain.report schema (Orm_patterns.Engine.check schema)
+      in
+      explanations <> []
+      && List.for_all (fun e -> String.length (Explain.to_text e) > 0) explanations)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 explanation" `Quick test_fig1;
+    Alcotest.test_case "fig5 role headline" `Quick test_fig5_role_headline;
+    Alcotest.test_case "joint headline" `Quick test_joint_headline;
+    Alcotest.test_case "propagation explanations" `Quick test_propagation_explanations;
+    QCheck_alcotest.to_alcotest test_totality;
+  ]

@@ -1,0 +1,101 @@
+(* DOT and JSON exporters: structure, highlighting, escaping. *)
+
+open Orm
+module Dot = Orm_export.Dot
+module Json = Orm_export.Json
+
+let contains = Str_split_contains.contains
+let bool = Alcotest.check Alcotest.bool
+
+let test_dot_structure () =
+  let dot = Dot.to_string Figures.fig1 in
+  bool "digraph header" true (contains dot "digraph \"fig1\"");
+  bool "type node" true (contains dot "ot_PhDStudent");
+  bool "subtype arrow" true (contains dot "ot_Student -> ot_Person");
+  bool "exclusion node" true (contains dot "shape=circle");
+  bool "balanced braces" true
+    (String.length (String.trim dot) > 0
+    && String.get (String.trim dot) (String.length (String.trim dot) - 1) = '}')
+
+let test_dot_highlighting () =
+  let report = Orm_patterns.Engine.check Figures.fig1 in
+  let dot = Dot.to_string ~report Figures.fig1 in
+  bool "unsat type painted red" true
+    (contains dot "ot_PhDStudent [label=\"PhDStudent\", shape=ellipse, color=red");
+  let plain = Dot.to_string Figures.fig1 in
+  bool "no red without report" false (contains plain "color=red")
+
+let test_dot_role_marks () =
+  let dot = Dot.to_string Figures.fig10 in
+  bool "uniqueness mark" true (contains dot "u");
+  bool "frequency mark" true (contains dot "FC(2-5)")
+
+let test_dot_rings_and_values () =
+  let dot = Dot.to_string Figures.fig11 in
+  bool "ring annotation" true (contains dot "{ir}");
+  let dot5 = Dot.to_string Figures.fig5 in
+  bool "value constraint shown" true (contains dot5 "'x1'");
+  bool "double periphery" true (contains dot5 "peripheries=2")
+
+let test_json_escaping () =
+  Alcotest.check Alcotest.string "quotes and newline" {|a\"b\\c\nd|}
+    (Json.escape_string "a\"b\\c\nd");
+  Alcotest.check Alcotest.string "control chars" "\\u0001"
+    (Json.escape_string "\001")
+
+let test_json_schema () =
+  let json = Json.of_schema Figures.fig5 in
+  bool "has name" true (contains json {|"name":"fig5"|});
+  bool "has fact" true (contains json {|"player1":"A"|});
+  bool "has frequency" true (contains json {|"kind":"frequency"|});
+  bool "has values" true (contains json {|"values":["x1","x2"]|})
+
+let test_json_report () =
+  let json = Json.of_report (Orm_patterns.Engine.check Figures.fig5) in
+  bool "pattern origin" true (contains json {|"kind":"pattern","number":4|});
+  bool "unsat roles" true (contains json {|"unsat_roles":[{"fact":"f1","side":1}|});
+  bool "element certainty" true (contains json {|"certainty":"element"|});
+  let joint = Json.of_report (Orm_patterns.Engine.check Figures.fig6) in
+  bool "joint certainty" true (contains joint {|"certainty":"joint"|})
+
+(* Rough JSON well-formedness: balanced braces/brackets outside strings. *)
+let balanced json =
+  let depth = ref 0 and in_str = ref false and escaped = ref false and ok = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_str then begin
+        if c = '\\' then escaped := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    json;
+  !ok && !depth = 0 && not !in_str
+
+let test_json_balanced =
+  QCheck.Test.make ~count:40 ~name:"JSON output is balanced on generated schemas"
+    QCheck.(pair (int_range 0 1000) (int_range 1 9))
+    (fun (seed, p) ->
+      let schema =
+        (Orm_generator.Faults.inject ~seed p (Orm_generator.Gen.clean ~seed ())).schema
+      in
+      balanced (Json.of_schema schema)
+      && balanced (Json.of_report (Orm_patterns.Engine.check schema)))
+
+let suite =
+  [
+    Alcotest.test_case "dot structure" `Quick test_dot_structure;
+    Alcotest.test_case "dot highlights unsat elements" `Quick test_dot_highlighting;
+    Alcotest.test_case "dot role marks" `Quick test_dot_role_marks;
+    Alcotest.test_case "dot rings and values" `Quick test_dot_rings_and_values;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json schema" `Quick test_json_schema;
+    Alcotest.test_case "json report" `Quick test_json_report;
+    QCheck_alcotest.to_alcotest test_json_balanced;
+  ]

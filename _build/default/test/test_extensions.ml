@@ -1,0 +1,248 @@
+(* The extension patterns 10-12 (the paper's Section-5 future work): each is
+   off by default, fires on its target contradiction when enabled, stays
+   silent on satisfiable neighbours, and is sound against the complete
+   bounded model finder. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Settings = Orm_patterns.Settings
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let ext = Settings.with_extensions Settings.default
+
+let fired settings schema =
+  List.sort_uniq Int.compare
+    (List.filter_map Orm_patterns.Diagnostic.pattern_number
+       (Engine.check ~settings schema).diagnostics)
+
+(* --- P10: empty effective value set ----------------------------------- *)
+
+let disjoint_values =
+  Schema.empty "p10"
+  |> Schema.add_subtype ~sub:"Sub" ~super:"Super"
+  |> Schema.add (Value_constraint ("Super", Value.Constraint.of_range 1 5))
+  |> Schema.add (Value_constraint ("Sub", Value.Constraint.of_range 10 15))
+
+let test_p10_fires () =
+  bool "pattern 10 fires" true (List.mem 10 (fired ext disjoint_values));
+  bool "Sub flagged" true
+    (Ids.String_set.mem "Sub" (Engine.check ~settings:ext disjoint_values).unsat_types);
+  bool "off by default" false (List.mem 10 (fired Settings.default disjoint_values))
+
+let test_p10_sound () =
+  match Orm_reasoner.Finder.solve disjoint_values (Type_satisfiable "Sub") with
+  | No_model -> ()
+  | Model _ -> Alcotest.fail "Sub should have no population"
+  | Budget_exceeded -> Alcotest.fail "budget exceeded"
+
+let test_p10_overlap_ok () =
+  let s =
+    Schema.empty "p10ok"
+    |> Schema.add_subtype ~sub:"Sub" ~super:"Super"
+    |> Schema.add (Value_constraint ("Super", Value.Constraint.of_range 1 5))
+    |> Schema.add (Value_constraint ("Sub", Value.Constraint.of_range 4 9))
+  in
+  bool "overlapping ranges fine" false (List.mem 10 (fired ext s))
+
+(* --- P11: ring-value --------------------------------------------------- *)
+
+let sneaky =
+  (* Exactly the paper's Section-5 example. *)
+  Schema.empty "p11"
+  |> Schema.add_fact (Fact_type.make "r" "A" "A")
+  |> Schema.add (Ring (Ring.Irreflexive, "r"))
+  |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "only" ]))
+
+let test_p11_fires () =
+  bool "pattern 11 closes the paper's gap" true (List.mem 11 (fired ext sneaky));
+  bool "off by default (the nine are incomplete)" false
+    (List.mem 11 (fired Settings.default sneaky))
+
+let test_p11_sound () =
+  let report = Engine.check ~settings:ext sneaky in
+  Ids.Role_set.iter
+    (fun r ->
+      match Orm_reasoner.Finder.solve sneaky (Role_satisfiable r) with
+      | No_model -> ()
+      | Model _ -> Alcotest.failf "role %s should be refuted" (Ids.role_to_string r)
+      | Budget_exceeded -> Alcotest.fail "budget exceeded")
+    report.unsat_roles;
+  bool "roles flagged" true (not (Ids.Role_set.is_empty report.unsat_roles))
+
+let test_p11_two_values_ok () =
+  let s =
+    Schema.empty "p11ok"
+    |> Schema.add_fact (Fact_type.make "r" "A" "A")
+    |> Schema.add (Ring (Ring.Irreflexive, "r"))
+    |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "x"; "y" ]))
+  in
+  bool "two values suffice" false (List.mem 11 (fired ext s))
+
+let test_p11_all_nonreflexive_kinds () =
+  List.iter
+    (fun kind ->
+      let s =
+        Schema.empty "p11k"
+        |> Schema.add_fact (Fact_type.make "r" "A" "A")
+        |> Schema.add (Ring (kind, "r"))
+        |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "v" ]))
+      in
+      let expect = kind <> Ring.Symmetric && kind <> Ring.Antisymmetric in
+      bool (Ring.to_string kind) expect (List.mem 11 (fired ext s)))
+    Ring.all
+
+let test_p11_heterogeneous_players () =
+  (* Different players whose value sets coincide on one value. *)
+  let s =
+    Schema.empty "p11h"
+    |> Schema.add_subtype ~sub:"A" ~super:"T"
+    |> Schema.add_subtype ~sub:"B" ~super:"T"
+    |> Schema.add_fact (Fact_type.make "r" "A" "B")
+    |> Schema.add (Ring (Ring.Asymmetric, "r"))
+    |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "v" ]))
+    |> Schema.add (Value_constraint ("B", Value.Constraint.of_strings [ "v" ]))
+  in
+  bool "single shared value across players" true (List.mem 11 (fired ext s))
+
+(* --- P12: acyclic + mandatory ------------------------------------------ *)
+
+let endless =
+  Schema.empty "p12"
+  |> Schema.add_fact (Fact_type.make "reports_to" "Employee" "Employee")
+  |> Schema.add (Ring (Ring.Acyclic, "reports_to"))
+  |> Schema.add (Mandatory (Ids.first "reports_to"))
+
+let test_p12_fires () =
+  bool "pattern 12 fires" true (List.mem 12 (fired ext endless));
+  bool "Employee flagged" true
+    (Ids.String_set.mem "Employee" (Engine.check ~settings:ext endless).unsat_types);
+  bool "off by default" false (List.mem 12 (fired Settings.default endless))
+
+let test_p12_sound () =
+  match Orm_reasoner.Finder.solve endless (Type_satisfiable "Employee") with
+  | No_model -> ()
+  | Model pop ->
+      Alcotest.failf "Employee should be empty in finite populations, got:@.%a"
+        Orm_semantics.Population.pp pop
+  | Budget_exceeded -> Alcotest.fail "budget exceeded"
+
+let test_p12_second_side () =
+  (* Mandatory on the second role: everyone must be reported to. *)
+  let s =
+    Schema.empty "p12b"
+    |> Schema.add_fact (Fact_type.make "r" "E" "E")
+    |> Schema.add (Ring (Ring.Acyclic, "r"))
+    |> Schema.add (Mandatory (Ids.second "r"))
+  in
+  bool "second side fires too" true (List.mem 12 (fired ext s))
+
+let test_p12_subtype_coplayer () =
+  (* Successors in a subtype of the player still stay inside the player. *)
+  let s =
+    Schema.empty "p12c"
+    |> Schema.add_subtype ~sub:"Manager" ~super:"Employee"
+    |> Schema.add_fact (Fact_type.make "reports_to" "Employee" "Manager")
+    |> Schema.add (Ring (Ring.Acyclic, "reports_to"))
+    |> Schema.add (Mandatory (Ids.first "reports_to"))
+  in
+  bool "subtype co-player fires" true (List.mem 12 (fired ext s))
+
+let test_p12_escape_hatch () =
+  (* If the co-player is NOT contained in the player, chains can escape:
+     satisfiable, no diagnostic. *)
+  let s =
+    Schema.empty "p12ok"
+    |> Schema.add_subtype ~sub:"Manager" ~super:"Person"
+    |> Schema.add_subtype ~sub:"Employee" ~super:"Person"
+    |> Schema.add_fact (Fact_type.make "reports_to" "Employee" "Manager")
+    |> Schema.add (Ring (Ring.Acyclic, "reports_to"))
+    |> Schema.add (Mandatory (Ids.first "reports_to"))
+  in
+  bool "escaping chain is fine" false (List.mem 12 (fired ext s));
+  match Orm_reasoner.Finder.solve s (Role_satisfiable (Ids.first "reports_to")) with
+  | Model _ -> ()
+  | No_model -> Alcotest.fail "an employee reporting to a non-employee manager is fine"
+  | Budget_exceeded -> Alcotest.fail "budget exceeded"
+
+let test_p12_no_mandatory_ok () =
+  let s =
+    Schema.empty "p12nm"
+    |> Schema.add_fact (Fact_type.make "r" "E" "E")
+    |> Schema.add (Ring (Ring.Acyclic, "r"))
+  in
+  bool "acyclic alone is fine" false (List.mem 12 (fired ext s))
+
+(* The incompleteness exhibit of test_incompleteness.ml is now CLOSED when
+   extensions are on - the programme the paper sketches in Section 5. *)
+let test_extensions_close_the_gap () =
+  int "nine patterns: silent" 0
+    (List.length (Engine.check ~settings:Settings.default sneaky).diagnostics);
+  bool "with extensions: caught" true
+    ((Engine.check ~settings:ext sneaky).diagnostics <> [])
+
+(* Injected extension faults: invisible to the nine, caught with
+   extensions on, and sound against the finder. *)
+let test_extension_faults =
+  QCheck.Test.make ~count:30 ~name:"extension faults caught only with extensions"
+    QCheck.(pair (int_range 0 3_000) (int_range 10 12))
+    (fun (seed, p) ->
+      let base = Orm_generator.Gen.clean ~seed () in
+      let inj = Orm_generator.Faults.inject ~seed p base in
+      let plain = Engine.check ~settings:Settings.default inj.schema in
+      let with_ext = Engine.check ~settings:ext inj.schema in
+      let fired =
+        List.filter_map Orm_patterns.Diagnostic.pattern_number with_ext.diagnostics
+      in
+      (not (List.mem p
+              (List.filter_map Orm_patterns.Diagnostic.pattern_number plain.diagnostics)))
+      && List.mem p fired
+      && List.for_all
+           (fun t -> Ids.String_set.mem t with_ext.unsat_types)
+           inj.expect_types
+      && List.for_all
+           (fun r -> Ids.Role_set.mem r with_ext.unsat_roles)
+           inj.expect_roles)
+
+let test_extension_faults_sound =
+  QCheck.Test.make ~count:6 ~name:"extension verdicts refuted by the finder"
+    QCheck.(pair (int_range 0 500) (int_range 10 12))
+    (fun (seed, p) ->
+      let base = Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized 2) ~seed () in
+      let inj = Orm_generator.Faults.inject ~seed p base in
+      let report = Engine.check ~settings:ext inj.schema in
+      let ok_type t =
+        match Orm_reasoner.Finder.solve ~budget:300_000 inj.schema (Type_satisfiable t) with
+        | Model _ -> false
+        | No_model | Budget_exceeded -> true
+      in
+      let ok_role r =
+        match Orm_reasoner.Finder.solve ~budget:300_000 inj.schema (Role_satisfiable r) with
+        | Model _ -> false
+        | No_model | Budget_exceeded -> true
+      in
+      Ids.String_set.for_all ok_type report.unsat_types
+      && Ids.Role_set.for_all ok_role report.unsat_roles)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_extension_faults;
+    QCheck_alcotest.to_alcotest ~long:true test_extension_faults_sound;
+    Alcotest.test_case "p10 fires on disjoint inherited values" `Quick test_p10_fires;
+    Alcotest.test_case "p10 sound vs finder" `Quick test_p10_sound;
+    Alcotest.test_case "p10 overlapping ranges fine" `Quick test_p10_overlap_ok;
+    Alcotest.test_case "p11 closes the paper's example gap" `Quick test_p11_fires;
+    Alcotest.test_case "p11 sound vs finder" `Quick test_p11_sound;
+    Alcotest.test_case "p11 two values suffice" `Quick test_p11_two_values_ok;
+    Alcotest.test_case "p11 kind coverage" `Quick test_p11_all_nonreflexive_kinds;
+    Alcotest.test_case "p11 heterogeneous players" `Quick test_p11_heterogeneous_players;
+    Alcotest.test_case "p12 fires on acyclic+mandatory" `Quick test_p12_fires;
+    Alcotest.test_case "p12 sound vs finder" `Quick test_p12_sound;
+    Alcotest.test_case "p12 second side" `Quick test_p12_second_side;
+    Alcotest.test_case "p12 subtype co-player" `Quick test_p12_subtype_coplayer;
+    Alcotest.test_case "p12 escape hatch" `Quick test_p12_escape_hatch;
+    Alcotest.test_case "p12 needs the mandatory" `Quick test_p12_no_mandatory_ok;
+    Alcotest.test_case "extensions close the incompleteness gap" `Quick
+      test_extensions_close_the_gap;
+  ]

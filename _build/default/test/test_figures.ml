@@ -1,0 +1,151 @@
+(* Every worked example of the paper (Figures 1-14) against its expected
+   verdict: which pattern fires, which elements are unsatisfiable, and - for
+   the negative controls - that nothing fires and the bounded model finder
+   produces a strong witness. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Settings = Orm_patterns.Settings
+module Diagnostic = Orm_patterns.Diagnostic
+module Finder = Orm_reasoner.Finder
+
+let check = Alcotest.check
+let bool msg expected actual = Alcotest.check Alcotest.bool msg expected actual
+
+let test_wellformed (e : Figures.expectation) () =
+  match Schema.validate e.schema with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%s is not well-formed: %a" e.figure
+        (Format.pp_print_list Schema.pp_error)
+        errs
+
+(* Paper mode (no propagation): the diagnostics must come from exactly the
+   expected pattern, and must flag exactly the expected elements. *)
+let test_paper_verdict (e : Figures.expectation) () =
+  let report = Engine.check ~settings:Settings.patterns_only e.schema in
+  let fired =
+    List.sort_uniq Int.compare
+      (List.filter_map Diagnostic.pattern_number report.diagnostics)
+  in
+  (match e.pattern with
+  | None ->
+      check (Alcotest.list Alcotest.int) (e.figure ^ " fires no pattern") [] fired
+  | Some p ->
+      bool
+        (Printf.sprintf "%s fires pattern %d (got [%s])" e.figure p
+           (String.concat ";" (List.map string_of_int fired)))
+        true (List.mem p fired));
+  let types = Ids.String_set.elements report.unsat_types in
+  let roles = Ids.Role_set.elements report.unsat_roles in
+  check
+    (Alcotest.list Alcotest.string)
+    (e.figure ^ " unsat types")
+    (List.sort String.compare e.unsat_types)
+    types;
+  check
+    (Alcotest.list Alcotest.string)
+    (e.figure ^ " unsat roles")
+    (List.sort String.compare (List.map Ids.role_to_string e.unsat_roles))
+    (List.map Ids.role_to_string roles);
+  let show_group g =
+    String.concat "+" (List.map Ids.role_to_string (Ids.Role_set.elements g))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    (e.figure ^ " joint groups")
+    (List.sort String.compare
+       (List.map (fun g -> show_group (Ids.Role_set.of_list g)) e.joint_roles))
+    (List.sort String.compare (List.map show_group report.joint))
+
+(* Default mode adds propagation: everything the paper flags must still be
+   flagged. *)
+let test_default_superset (e : Figures.expectation) () =
+  let report = Engine.check e.schema in
+  List.iter
+    (fun t ->
+      bool (e.figure ^ ": " ^ t ^ " flagged") true
+        (Ids.String_set.mem t report.unsat_types))
+    e.unsat_types;
+  List.iter
+    (fun r ->
+      bool
+        (e.figure ^ ": " ^ Ids.role_to_string r ^ " flagged")
+        true
+        (Ids.Role_set.mem r report.unsat_roles))
+    e.unsat_roles
+
+(* Soundness against the semantics: every element the engine flags must be
+   refuted by the complete bounded model finder. *)
+let test_sound_vs_finder (e : Figures.expectation) () =
+  let report = Engine.check e.schema in
+  Ids.String_set.iter
+    (fun t ->
+      match Finder.solve e.schema (Type_satisfiable t) with
+      | Model pop ->
+          Alcotest.failf "%s: engine flags type %s but a model populates it:@.%a"
+            e.figure t Orm_semantics.Population.pp pop
+      | No_model | Budget_exceeded -> ())
+    report.unsat_types;
+  Ids.Role_set.iter
+    (fun r ->
+      match Finder.solve e.schema (Role_satisfiable r) with
+      | Model pop ->
+          Alcotest.failf "%s: engine flags role %s but a model populates it:@.%a"
+            e.figure (Ids.role_to_string r) Orm_semantics.Population.pp pop
+      | No_model | Budget_exceeded -> ())
+    report.unsat_roles;
+  List.iter
+    (fun group ->
+      match Finder.solve e.schema (All_populated (Ids.Role_set.elements group)) with
+      | Model pop ->
+          Alcotest.failf
+            "%s: engine calls a role group jointly unsatisfiable but a model \
+             populates all of it:@.%a"
+            e.figure Orm_semantics.Population.pp pop
+      | No_model | Budget_exceeded -> ())
+    report.joint
+
+(* Negative controls must admit a strong witness. *)
+let test_negative_strong (e : Figures.expectation) () =
+  if e.pattern = None then
+    match Finder.solve e.schema Strongly_satisfiable with
+    | Model pop -> (
+        match Orm_semantics.Eval.check_strong e.schema pop with
+        | Ok () -> ()
+        | Error why -> Alcotest.failf "%s: witness is not strong: %s" e.figure why)
+    | No_model -> Alcotest.failf "%s: no strong model found" e.figure
+    | Budget_exceeded -> Alcotest.failf "%s: finder ran out of budget" e.figure
+
+(* Fig. 1's special property stressed by the paper: PhDStudent is
+   unsatisfiable, yet the schema as a whole is (weakly) satisfiable. *)
+let test_fig1_weak_sat () =
+  match Finder.solve Figures.fig1 Schema_satisfiable with
+  | Model _ -> ()
+  | No_model | Budget_exceeded ->
+      Alcotest.fail "fig1 should be weakly satisfiable (empty population)"
+
+let test_fig1_phd_refuted () =
+  match Finder.solve Figures.fig1 (Type_satisfiable "PhDStudent") with
+  | No_model -> ()
+  | Model _ -> Alcotest.fail "PhDStudent should have no population"
+  | Budget_exceeded -> Alcotest.fail "finder budget exceeded on fig1"
+
+let suite =
+  let per_figure (e : Figures.expectation) =
+    [
+      Alcotest.test_case (e.figure ^ " well-formed") `Quick (test_wellformed e);
+      Alcotest.test_case (e.figure ^ " paper verdict") `Quick (test_paper_verdict e);
+      Alcotest.test_case (e.figure ^ " default superset") `Quick
+        (test_default_superset e);
+      Alcotest.test_case (e.figure ^ " sound vs finder") `Slow
+        (test_sound_vs_finder e);
+      Alcotest.test_case (e.figure ^ " negative strong") `Slow
+        (test_negative_strong e);
+    ]
+  in
+  List.concat_map per_figure Figures.all
+  @ [
+      Alcotest.test_case "fig1 weakly satisfiable" `Quick test_fig1_weak_sat;
+      Alcotest.test_case "fig1 PhDStudent refuted" `Slow test_fig1_phd_refuted;
+    ]

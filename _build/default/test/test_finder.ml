@@ -1,0 +1,99 @@
+(* The bounded model finder on its own: witnesses are genuine models, weak
+   vs strong satisfiability, budget behaviour, and unsat_elements. *)
+
+open Orm
+open Orm_reasoner
+module Eval = Orm_semantics.Eval
+
+let bool = Alcotest.check Alcotest.bool
+
+let test_witnesses_are_models () =
+  (* Every Model outcome must pass the model checker. *)
+  List.iter
+    (fun (e : Figures.expectation) ->
+      match Finder.solve e.schema Schema_satisfiable with
+      | Model pop ->
+          bool (e.figure ^ " witness checks out") true (Eval.satisfies e.schema pop)
+      | No_model -> Alcotest.failf "%s should be weakly satisfiable" e.figure
+      | Budget_exceeded -> Alcotest.failf "%s: budget exceeded" e.figure)
+    Figures.all
+
+let test_weak_is_trivial () =
+  (* The everywhere-empty population satisfies any well-formed schema of the
+     fragment, so weak satisfiability always holds — the paper's point that
+     weak satisfiability detects nothing. *)
+  List.iter
+    (fun (e : Figures.expectation) ->
+      bool (e.figure ^ " empty pop is a model") true
+        (Eval.satisfies e.schema Orm_semantics.Population.empty))
+    Figures.all
+
+let test_strong_needs_search () =
+  (* fig14 is strongly satisfiable but needs a non-trivial witness: both the
+     disjunctive mandatory and the exclusion must be honoured. *)
+  match Finder.solve Figures.fig14 Strongly_satisfiable with
+  | Model pop ->
+      bool "all roles populated" true
+        (List.for_all (Eval.populates_role pop) (Schema.all_roles Figures.fig14))
+  | No_model | Budget_exceeded -> Alcotest.fail "fig14 should have a strong model"
+
+let test_frequency_witness () =
+  (* A satisfiable frequency constraint forces a witness with enough
+     distinct co-players; checks the fresh-atom sizing logic. *)
+  let s =
+    Schema.empty "freq"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:3 3))
+  in
+  match Finder.solve s (Role_satisfiable (Ids.first "f")) with
+  | Model pop ->
+      let bs = Orm_semantics.Population.role_population pop (Ids.second "f") in
+      bool "three distinct partners" true (Value.Set.cardinal bs >= 3)
+  | No_model | Budget_exceeded -> Alcotest.fail "FC(3-3) alone is satisfiable"
+
+let test_budget_exceeded () =
+  (* A large clean schema with a tiny budget must give up, not crash. *)
+  let s = Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized 12) ~seed:3 () in
+  match Finder.solve ~budget:5 s Strongly_satisfiable with
+  | Budget_exceeded -> ()
+  | Model _ | No_model -> Alcotest.fail "expected budget exhaustion"
+
+let test_unsat_elements () =
+  let elements = Finder.unsat_elements Figures.fig1 in
+  bool "PhDStudent refuted" true (List.mem (`Type "PhDStudent") elements);
+  bool "Person satisfiable" false (List.mem (`Type "Person") elements);
+  let e4 = Finder.unsat_elements Figures.fig4a in
+  bool "fig4a f2.1 refuted" true (List.mem (`Role (Ids.first "f2")) e4);
+  bool "fig4a f1.1 satisfiable" false (List.mem (`Role (Ids.first "f1")) e4)
+
+let test_nodes_counter () =
+  ignore (Finder.solve Figures.fig1 Schema_satisfiable);
+  bool "some nodes explored" true (Finder.stats_last_nodes () > 0)
+
+let test_type_exclusion_search () =
+  (* The finder must respect implicit family exclusion: populating both A
+     and B is fine (different atoms), but a type below both is refutable. *)
+  let s =
+    Schema.empty "fam" |> Schema.add_object_type "A" |> Schema.add_object_type "B"
+  in
+  (match Finder.solve s Strongly_satisfiable with
+  | Model pop ->
+      let a = Orm_semantics.Population.extension pop "A" in
+      let b = Orm_semantics.Population.extension pop "B" in
+      bool "families disjoint" true (Value.Set.is_empty (Value.Set.inter a b))
+  | No_model | Budget_exceeded -> Alcotest.fail "two isolated types are satisfiable");
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "witnesses satisfy the schema" `Slow test_witnesses_are_models;
+    Alcotest.test_case "weak satisfiability is trivial" `Quick test_weak_is_trivial;
+    Alcotest.test_case "strong witness for fig14" `Slow test_strong_needs_search;
+    Alcotest.test_case "frequency forces distinct partners" `Quick
+      test_frequency_witness;
+    Alcotest.test_case "budget exhaustion" `Quick test_budget_exceeded;
+    Alcotest.test_case "unsat_elements" `Slow test_unsat_elements;
+    Alcotest.test_case "node statistics" `Quick test_nodes_counter;
+    Alcotest.test_case "implicit family exclusion honoured" `Quick
+      test_type_exclusion_search;
+  ]

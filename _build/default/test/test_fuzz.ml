@@ -1,0 +1,77 @@
+(* Fuzzing: on arbitrary (unfiltered, frequently contradictory) schemas,
+   every verdict the engine produces must be refuted by the SAT route, and
+   every schema must survive the whole toolchain without raising. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Gen = Orm_generator.Gen
+
+let arbitrary seed = Gen.arbitrary ~config:(Gen.sized 3) ~seed ()
+
+let test_wellformed =
+  QCheck.Test.make ~count:200 ~name:"arbitrary schemas are well-formed"
+    QCheck.(int_range 0 100_000)
+    (fun seed -> Schema.validate (arbitrary seed) = [])
+
+(* The heart of the suite: engine soundness on schemas nobody curated.
+   Timeouts are inconclusive and skipped; a Model for a condemned element is
+   a genuine engine bug. *)
+let test_engine_sound_vs_sat =
+  QCheck.Test.make ~count:60 ~name:"engine verdicts hold on arbitrary schemas (SAT)"
+    QCheck.(int_range 0 50_000)
+    (fun seed ->
+      let schema = arbitrary seed in
+      let settings = Orm_patterns.Settings.(with_extensions default) in
+      let report = Engine.check ~settings schema in
+      let take k xs = List.filteri (fun i _ -> i < k) xs in
+      let refuted query =
+        match Orm_sat.Encode.solve ~budget:300_000 schema query with
+        | Orm_sat.Encode.Model _ -> false
+        | Orm_sat.Encode.No_model | Orm_sat.Encode.Timeout -> true
+      in
+      List.for_all
+        (fun t -> refuted (Type_satisfiable t))
+        (take 3 (Ids.String_set.elements report.unsat_types))
+      && List.for_all
+           (fun r -> refuted (Role_satisfiable r))
+           (take 3 (Ids.Role_set.elements report.unsat_roles))
+      && List.for_all
+           (fun group -> refuted (All_populated (Ids.Role_set.elements group)))
+           (take 2 report.joint))
+
+(* Nothing in the toolchain may raise on arbitrary input. *)
+let test_toolchain_total =
+  QCheck.Test.make ~count:120 ~name:"toolchain is total on arbitrary schemas"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let schema = arbitrary seed in
+      let report = Engine.check schema in
+      let _ = Orm_verbalize.Verbalize.schema schema in
+      let _ = Orm_explain.Explain.report schema report in
+      let _ = Orm_lint.Lint.check schema in
+      let _ = Orm_export.Dot.to_string ~report schema in
+      let _ = Orm_export.Json.of_report report in
+      let _ = Orm_dlr.Mapping.translate schema in
+      let printed = Orm_dsl.Printer.to_string schema in
+      match Orm_dsl.Parser.parse printed with
+      | Ok reparsed -> Orm_dsl.Printer.to_string reparsed = printed
+      | Error _ -> false)
+
+(* Repair terminates and never makes things worse on arbitrary schemas. *)
+let test_repair_monotone =
+  QCheck.Test.make ~count:40 ~name:"repair monotone on arbitrary schemas"
+    QCheck.(int_range 0 50_000)
+    (fun seed ->
+      let schema = arbitrary seed in
+      let before = List.length (Engine.check schema).diagnostics in
+      let repaired, actions = Orm_repair.Repair.repair ~max_steps:16 schema in
+      let after = List.length (Engine.check repaired).diagnostics in
+      after <= before && (before = 0 || actions <> [] || after = before))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_wellformed;
+    QCheck_alcotest.to_alcotest ~long:true test_engine_sound_vs_sat;
+    QCheck_alcotest.to_alcotest test_toolchain_total;
+    QCheck_alcotest.to_alcotest test_repair_monotone;
+  ]

@@ -1,0 +1,96 @@
+(* Generator properties: clean schemas are well-formed and pattern-silent;
+   every injected fault is caught by its pattern with the expected verdict;
+   and — the key soundness property — everything the engine flags on a
+   faulted schema is refuted by the complete bounded model finder. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Gen = Orm_generator.Gen
+module Faults = Orm_generator.Faults
+
+let test_clean_wellformed =
+  QCheck.Test.make ~count:80 ~name:"clean schemas are well-formed"
+    QCheck.(int_range 0 100_000)
+    (fun seed -> Schema.validate (Gen.clean ~seed ()) = [])
+
+let test_clean_silent =
+  QCheck.Test.make ~count:80 ~name:"clean schemas fire no pattern"
+    QCheck.(int_range 0 100_000)
+    (fun seed -> (Engine.check (Gen.clean ~seed ())).diagnostics = [])
+
+let test_deterministic () =
+  let a = Gen.clean ~seed:123 () and b = Gen.clean ~seed:123 () in
+  Alcotest.check Alcotest.string "same seed, same schema"
+    (Orm_dsl.Printer.to_string a) (Orm_dsl.Printer.to_string b);
+  let c = Gen.clean ~seed:124 () in
+  Alcotest.check Alcotest.bool "different seed, different schema" false
+    (Orm_dsl.Printer.to_string a = Orm_dsl.Printer.to_string c)
+
+let test_sized () =
+  let small = Gen.clean ~config:(Gen.sized 3) ~seed:5 () in
+  let large = Gen.clean ~config:(Gen.sized 30) ~seed:5 () in
+  Alcotest.check Alcotest.bool "sized grows" true
+    (List.length (Schema.object_types large) > List.length (Schema.object_types small))
+
+let test_faults_caught =
+  QCheck.Test.make ~count:90 ~name:"every injected fault is caught by its pattern"
+    QCheck.(pair (int_range 0 10_000) (int_range 1 9))
+    (fun (seed, p) ->
+      let base = Gen.clean ~seed () in
+      let inj = Faults.inject ~seed p base in
+      let report = Engine.check inj.schema in
+      let fired =
+        List.filter_map Orm_patterns.Diagnostic.pattern_number report.diagnostics
+      in
+      List.mem inj.pattern fired
+      && List.for_all
+           (fun t -> Ids.String_set.mem t report.unsat_types)
+           inj.expect_types
+      && List.for_all
+           (fun r -> Ids.Role_set.mem r report.unsat_roles)
+           inj.expect_roles
+      && List.for_all
+           (fun group ->
+             let want = Ids.Role_set.of_list group in
+             List.exists (fun g -> Ids.Role_set.subset want g) report.joint)
+           inj.expect_joint)
+
+(* Soundness vs the ground truth, on small schemas so the finder stays
+   fast: every element the engine condemns must have no model. *)
+let test_soundness_vs_finder =
+  QCheck.Test.make ~count:12 ~name:"engine verdicts refuted by the model finder"
+    QCheck.(pair (int_range 0 500) (int_range 1 9))
+    (fun (seed, p) ->
+      let base = Gen.clean ~config:(Gen.sized 3) ~seed () in
+      let inj = Faults.inject ~seed p base in
+      let report = Engine.check inj.schema in
+      let type_ok t =
+        match Orm_reasoner.Finder.solve ~budget:400_000 inj.schema (Type_satisfiable t) with
+        | Model _ -> false
+        | No_model | Budget_exceeded -> true
+      in
+      let role_ok r =
+        match Orm_reasoner.Finder.solve ~budget:400_000 inj.schema (Role_satisfiable r) with
+        | Model _ -> false
+        | No_model | Budget_exceeded -> true
+      in
+      Ids.String_set.for_all type_ok report.unsat_types
+      && Ids.Role_set.for_all role_ok report.unsat_roles)
+
+let test_fault_numbers () =
+  Alcotest.check_raises "pattern 0"
+    (Invalid_argument "Faults.inject: no pattern 0") (fun () ->
+      ignore (Faults.inject ~seed:1 0 (Schema.empty "x")));
+  Alcotest.check (Alcotest.list Alcotest.int) "all patterns" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    Faults.all_patterns
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_clean_wellformed;
+    QCheck_alcotest.to_alcotest test_clean_silent;
+    Alcotest.test_case "determinism" `Quick test_deterministic;
+    Alcotest.test_case "sized configs" `Quick test_sized;
+    QCheck_alcotest.to_alcotest test_faults_caught;
+    QCheck_alcotest.to_alcotest ~long:true test_soundness_vs_finder;
+    Alcotest.test_case "fault numbering" `Quick test_fault_numbers;
+  ]

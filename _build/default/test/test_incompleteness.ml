@@ -1,0 +1,80 @@
+(* The paper is explicit that the nine patterns are incomplete: "one could
+   demand that for irreflexive roles at least 2 different values need to be
+   present" (Section 5).  This suite exhibits exactly that schema — every
+   pattern passes, yet the complete bounded model finder refutes the role —
+   keeping the incompleteness claim honest and executable. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+
+let bool = Alcotest.check Alcotest.bool
+
+(* An irreflexive homogeneous fact over a one-value type: populating the
+   role needs two distinct values of A, but only one exists. *)
+let sneaky =
+  Schema.empty "sneaky"
+  |> Schema.add_fact (Fact_type.make "r" "A" "A")
+  |> Schema.add (Ring (Ring.Irreflexive, "r"))
+  |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "only" ]))
+
+let test_patterns_silent () =
+  Alcotest.check Alcotest.int "no diagnostics" 0
+    (List.length (Engine.check sneaky).diagnostics)
+
+let test_but_role_unsat () =
+  match Orm_reasoner.Finder.solve sneaky (Role_satisfiable (Ids.first "r")) with
+  | No_model -> ()
+  | Model pop ->
+      Alcotest.failf "r should be unpopulatable, got:@.%a" Orm_semantics.Population.pp
+        pop
+  | Budget_exceeded -> Alcotest.fail "budget exceeded on a tiny schema"
+
+let test_type_still_satisfiable () =
+  (* Only the role is dead; A itself is fine — so this is a gap in role
+     (strong) satisfiability detection specifically. *)
+  match Orm_reasoner.Finder.solve sneaky (Type_satisfiable "A") with
+  | Model _ -> ()
+  | No_model | Budget_exceeded -> Alcotest.fail "A itself should be satisfiable"
+
+(* A second gap: asymmetric needs two values too. *)
+let sneaky_asymmetric =
+  Schema.empty "sneaky2"
+  |> Schema.add_fact (Fact_type.make "r" "A" "A")
+  |> Schema.add (Ring (Ring.Asymmetric, "r"))
+  |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "only" ]))
+
+let test_asymmetric_gap () =
+  Alcotest.check Alcotest.int "patterns silent" 0
+    (List.length (Engine.check sneaky_asymmetric).diagnostics);
+  match Orm_reasoner.Finder.solve sneaky_asymmetric (Role_satisfiable (Ids.first "r")) with
+  | No_model -> ()
+  | Model _ -> Alcotest.fail "asymmetric over one value should be unpopulatable"
+  | Budget_exceeded -> Alcotest.fail "budget exceeded"
+
+(* A third gap, across constraints: two mandatory roles of A into co-players
+   with disjoint one-value sets is fine, but a frequency minimum equal to
+   the number of *tuples* cannot be diagnosed by cardinality arguments the
+   patterns make.  Document the nearest case that IS caught, as a contrast. *)
+let contrast_caught =
+  Schema.empty "contrast"
+  |> Schema.add_fact (Fact_type.make "r" "A" "B")
+  |> Schema.add (Value_constraint ("B", Value.Constraint.of_strings [ "b1" ]))
+  |> Schema.add (Frequency (Single (Ids.first "r"), Constraints.frequency ~max:2 2))
+
+let test_contrast_is_caught () =
+  bool "pattern 4 catches the two-partner demand" true
+    (List.exists
+       (fun d -> Orm_patterns.Diagnostic.pattern_number d = Some 4)
+       (Engine.check contrast_caught).diagnostics)
+
+let suite =
+  [
+    Alcotest.test_case "irreflexive gap: patterns silent" `Quick test_patterns_silent;
+    Alcotest.test_case "irreflexive gap: finder refutes the role" `Quick
+      test_but_role_unsat;
+    Alcotest.test_case "irreflexive gap: concept still satisfiable" `Quick
+      test_type_still_satisfiable;
+    Alcotest.test_case "asymmetric gap" `Quick test_asymmetric_gap;
+    Alcotest.test_case "contrast: cardinality case is caught" `Quick
+      test_contrast_is_caught;
+  ]

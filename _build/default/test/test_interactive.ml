@@ -1,0 +1,168 @@
+(* Interactive sessions: the incremental report must always coincide with a
+   from-scratch engine run, undo must restore the previous state exactly,
+   and the affected-pattern computation must be what makes increments
+   cheap. *)
+
+open Orm
+module Session = Orm_interactive.Session
+module Edit = Orm_interactive.Edit
+module Engine = Orm_patterns.Engine
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let reports_equal (a : Engine.report) (b : Engine.report) =
+  Ids.String_set.equal a.unsat_types b.unsat_types
+  && Ids.Role_set.equal a.unsat_roles b.unsat_roles
+  && List.length a.diagnostics = List.length b.diagnostics
+  && List.length a.joint = List.length b.joint
+
+let test_incremental_matches_full () =
+  let edits =
+    [
+      Edit.Add_subtype ("Student", "Person");
+      Edit.Add_subtype ("Employee", "Person");
+      Edit.Add (Type_exclusion [ "Student"; "Employee" ]);
+      Edit.Add_subtype ("PhD", "Student");
+      Edit.Add_subtype ("PhD", "Employee");
+      Edit.Add_fact (Fact_type.make "f" "Student" "Course");
+      Edit.Add (Mandatory (Ids.first "f"));
+      Edit.Add_fact (Fact_type.make "g" "Student" "Course");
+      Edit.Add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ]);
+      Edit.Remove_constraint "c1";
+      Edit.Remove_fact "g";
+      Edit.Remove_object_type "PhD";
+    ]
+  in
+  let _final =
+    List.fold_left
+      (fun session edit ->
+        let session = Session.apply edit session in
+        let full = Engine.check (Session.schema session) in
+        bool
+          (Format.asprintf "after %a" Edit.pp edit)
+          true
+          (reports_equal (Session.report session) full);
+        session)
+      (Session.create (Schema.empty "inc"))
+      edits
+  in
+  ()
+
+(* Random edit scripts: incremental == full at every step. *)
+let random_edit rng schema =
+  let types = Schema.object_types schema in
+  let facts = Schema.fact_types schema in
+  let name prefix = Printf.sprintf "%s%d" prefix (Random.State.int rng 8) in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  match Random.State.int rng 9 with
+  | 0 -> Edit.Add_object_type (name "T")
+  | 1 -> Edit.Add_subtype (name "T", name "T")
+  | 2 -> Edit.Add_fact (Fact_type.make (name "F") (name "T") (name "T"))
+  | 3 when facts <> [] ->
+      let (ft : Fact_type.t) = pick facts in
+      Edit.Add (Mandatory (Ids.first ft.name))
+  | 4 when facts <> [] ->
+      let (ft : Fact_type.t) = pick facts in
+      Edit.Add (Uniqueness (Single (Ids.first ft.name)))
+  | 5 when facts <> [] ->
+      let (ft : Fact_type.t) = pick facts in
+      Edit.Add
+        (Frequency (Single (Ids.second ft.name), Constraints.frequency ~max:4 2))
+  | 6 when List.length facts >= 2 ->
+      let (f1 : Fact_type.t) = pick facts and (f2 : Fact_type.t) = pick facts in
+      if f1.name = f2.name then Edit.Add_object_type (name "T")
+      else
+        Edit.Add
+          (Role_exclusion [ Single (Ids.first f1.name); Single (Ids.first f2.name) ])
+  | 7 when Schema.constraints schema <> [] ->
+      let (c : Constraints.t) = pick (Schema.constraints schema) in
+      Edit.Remove_constraint c.id
+  | 8 when types <> [] -> Edit.Remove_object_type (pick types)
+  | _ -> Edit.Add_object_type (name "T")
+
+let test_incremental_random =
+  QCheck.Test.make ~count:40 ~name:"random edit scripts: incremental = full"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rec loop session n =
+        if n = 0 then true
+        else
+          let edit = random_edit rng (Session.schema session) in
+          let session = Session.apply edit session in
+          reports_equal (Session.report session) (Engine.check (Session.schema session))
+          && loop session (n - 1)
+      in
+      loop (Session.create (Schema.empty "rand")) 15)
+
+let test_undo () =
+  let s0 = Session.create Figures.fig1 in
+  let before = Orm_dsl.Printer.to_string (Session.schema s0) in
+  let s1 = Session.apply (Edit.Add_object_type "Extra") s0 in
+  let s2 = Session.apply (Edit.Add_subtype ("Extra2", "Extra")) s1 in
+  int "history length" 2 (List.length (Session.history s2));
+  match Session.undo s2 with
+  | None -> Alcotest.fail "undo should succeed"
+  | Some s1' -> (
+      bool "undo restores schema" true
+        (Orm_dsl.Printer.to_string (Session.schema s1')
+        = Orm_dsl.Printer.to_string (Session.schema s1));
+      match Session.undo s1' with
+      | None -> Alcotest.fail "second undo should succeed"
+      | Some s0' ->
+          bool "double undo restores original" true
+            (Orm_dsl.Printer.to_string (Session.schema s0') = before);
+          bool "undo at bottom" true (Session.undo s0' = None))
+
+let test_affected_patterns () =
+  let schema = Figures.fig10 in
+  let affected edit = Edit.affected_patterns schema edit in
+  Alcotest.check (Alcotest.list Alcotest.int) "uniqueness -> 7" [ 7 ]
+    (affected (Edit.Add (Uniqueness (Single (Ids.first "f1")))));
+  Alcotest.check (Alcotest.list Alcotest.int) "frequency -> 4,5,7" [ 4; 5; 7 ]
+    (affected (Edit.Add (Frequency (Single (Ids.first "f1"), Constraints.frequency 2))));
+  Alcotest.check (Alcotest.list Alcotest.int) "subtype -> 1,2,3,4,5,9,10,11,12"
+    [ 1; 2; 3; 4; 5; 9; 10; 11; 12 ]
+    (affected (Edit.Add_subtype ("X", "Y")));
+  Alcotest.check (Alcotest.list Alcotest.int) "new fact -> none" []
+    (affected (Edit.Add_fact (Fact_type.make "fresh" "A" "B")));
+  Alcotest.check (Alcotest.list Alcotest.int) "remove fact -> all"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+    (affected (Edit.Remove_fact "f1"));
+  (* Removing a constraint consults the schema for its kind. *)
+  let freq_id =
+    List.find_map
+      (fun (c : Constraints.t) ->
+        match c.body with Frequency _ -> Some c.id | _ -> None)
+      (Schema.constraints schema)
+    |> Option.get
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "remove frequency -> 4,5,7" [ 4; 5; 7 ]
+    (affected (Edit.Remove_constraint freq_id))
+
+let test_last_rechecked () =
+  let s = Session.create (Schema.empty "r") in
+  let s = Session.apply (Edit.Add_fact (Fact_type.make "f" "A" "B")) s in
+  Alcotest.check (Alcotest.list Alcotest.int) "fact add re-ran nothing" []
+    (Session.last_rechecked s);
+  let s = Session.apply (Edit.Add (Uniqueness (Single (Ids.first "f")))) s in
+  Alcotest.check (Alcotest.list Alcotest.int) "uniqueness re-ran 7" [ 7 ]
+    (Session.last_rechecked s)
+
+let test_disabled_patterns_stay_disabled () =
+  let settings = Orm_patterns.Settings.disable 9 Orm_patterns.Settings.default in
+  let s = Session.create ~settings (Schema.empty "d") in
+  let s = Session.apply (Edit.Add_subtype ("A", "B")) s in
+  let s = Session.apply (Edit.Add_subtype ("B", "A")) s in
+  bool "loop not reported with pattern 9 off" true (Session.is_clean s)
+
+let suite =
+  [
+    Alcotest.test_case "scripted incremental = full" `Quick test_incremental_matches_full;
+    QCheck_alcotest.to_alcotest test_incremental_random;
+    Alcotest.test_case "undo" `Quick test_undo;
+    Alcotest.test_case "affected patterns" `Quick test_affected_patterns;
+    Alcotest.test_case "last_rechecked" `Quick test_last_rechecked;
+    Alcotest.test_case "settings respected" `Quick test_disabled_patterns_stay_disabled;
+  ]

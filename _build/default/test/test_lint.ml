@@ -1,0 +1,178 @@
+(* The formation-rule / RIDL-A linter, reproducing Section 3's analysis:
+   which rules are style advice, which indicate unsatisfiability, and the
+   paper's counterexamples (FR3's FC(1-5)+UC and FR6's Fig. 14 are
+   violations yet satisfiable). *)
+
+open Orm
+module Lint = Orm_lint.Lint
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let rule_ids findings =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Lint.finding) -> f.rule.rule_id) findings)
+
+let has id findings = List.mem id (rule_ids findings)
+
+let fact_base =
+  Schema.empty "lint"
+  |> Schema.add_fact (Fact_type.make "f" "A" "B")
+  |> Schema.add_fact (Fact_type.make "g" "A" "B")
+
+let test_catalogue () =
+  int "14 rules" 14 (List.length Lint.rules);
+  (* Section 3's classification. *)
+  let relevant =
+    List.filter (fun (r : Lint.rule) -> r.relevant_for_unsat) Lint.rules
+  in
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "only FR5, FR7 and S4 are relevant for unsatisfiability"
+    [ "FR5"; "FR7"; "S4" ]
+    (List.sort String.compare (List.map (fun (r : Lint.rule) -> r.rule_id) relevant));
+  (* Their covering patterns, as stated in Section 3. *)
+  let covered id = (Option.get (Lint.find_rule id)).Lint.covered_by_pattern in
+  Alcotest.check (Alcotest.option Alcotest.int) "FR5 = pattern 3" (Some 3) (covered "FR5");
+  Alcotest.check (Alcotest.option Alcotest.int) "FR7 -> pattern 4" (Some 4) (covered "FR7");
+  Alcotest.check (Alcotest.option Alcotest.int) "S4 -> pattern 6" (Some 6) (covered "S4");
+  Alcotest.check (Alcotest.option Alcotest.int) "S2 -> pattern 9 (subtypes only)"
+    (Some 9) (covered "S2")
+
+let test_fr1 () =
+  let s =
+    fact_base
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:1 1))
+  in
+  bool "FC(1-1) flagged" true (has "FR1" (Lint.check s));
+  let ok =
+    fact_base
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:2 1))
+  in
+  bool "FC(1-2) not flagged by FR1" false (has "FR1" (Lint.check ok))
+
+let test_fr2 () =
+  let s =
+    fact_base
+    |> Schema.add (Frequency (Ids.whole_predicate "f", Constraints.frequency ~max:2 1))
+  in
+  bool "spanning frequency flagged" true (has "FR2" (Lint.check s))
+
+let test_fr3_satisfiable_violation () =
+  (* The paper's Section 3 example: FC(1-5) plus a uniqueness constraint on
+     the same role violates FR3 yet no role is unsatisfiable. *)
+  let s =
+    fact_base
+    |> Schema.add (Uniqueness (Single (Ids.first "f")))
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:5 1))
+  in
+  bool "FR3 flagged" true (has "FR3" (Lint.check s));
+  int "but no pattern fires" 0
+    (List.length (Orm_patterns.Engine.check s).diagnostics);
+  match Orm_reasoner.Finder.solve s Strongly_satisfiable with
+  | Model _ -> ()
+  | No_model | Budget_exceeded -> Alcotest.fail "FR3 violation should be satisfiable"
+
+let test_fr4 () =
+  let s =
+    fact_base
+    |> Schema.add (Uniqueness (Single (Ids.first "f")))
+    |> Schema.add (Uniqueness (Ids.whole_predicate "f"))
+  in
+  bool "spanned pair uniqueness flagged" true (has "FR4" (Lint.check s))
+
+let test_fr5_matches_pattern3 () =
+  let e = Option.get (Figures.find "fig4a") in
+  bool "FR5 on fig4a" true (has "FR5" (Lint.check e.schema))
+
+let test_fr6_fig14 () =
+  (* Fig. 14 violates FR6 but is strongly satisfiable. *)
+  bool "FR6 on fig14" true (has "FR6" (Lint.check Figures.fig14));
+  int "fig14 has no pattern diagnostics" 0
+    (List.length (Orm_patterns.Engine.check Figures.fig14).diagnostics)
+
+let test_fr7_matches_pattern4 () =
+  bool "FR7 on fig5" true (has "FR7" (Lint.check Figures.fig5))
+
+let test_s1_superfluous_subset () =
+  let s =
+    fact_base
+    |> Schema.add_fact (Fact_type.make "h" "A" "B")
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Subset (Ids.whole_predicate "g", Ids.whole_predicate "h"))
+    (* implied by the two above: *)
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "h"))
+  in
+  bool "transitive duplicate flagged" true (has "S1" (Lint.check s));
+  let minimal =
+    fact_base |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+  in
+  bool "single subset not flagged" false (has "S1" (Lint.check minimal))
+
+let test_s2_loop () =
+  let s =
+    fact_base
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Subset (Ids.whole_predicate "g", Ids.whole_predicate "f"))
+  in
+  bool "subset loop flagged" true (has "S2" (Lint.check s));
+  (* ... and satisfiable, as the paper notes against RIDL-A's S2. *)
+  int "no pattern diagnostics" 0 (List.length (Orm_patterns.Engine.check s).diagnostics)
+
+let test_s3_superfluous_equality () =
+  let s =
+    fact_base
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Subset (Ids.whole_predicate "g", Ids.whole_predicate "f"))
+    |> Schema.add (Equality (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+  in
+  bool "implied equality flagged" true (has "S3" (Lint.check s))
+
+let test_s4_mirrors_pattern6 () =
+  bool "S4 on fig8" true (has "S4" (Lint.check Figures.fig8));
+  bool "S4 silent on fig14" false (has "S4" (Lint.check Figures.fig14))
+
+let test_validity_rules () =
+  let s = Schema.add_object_type "Orphan" fact_base in
+  bool "V1 orphan type" true
+    (List.exists
+       (fun (f : Lint.finding) -> f.rule.rule_id = "V1" && f.subject = "Orphan")
+       (Lint.check s));
+  bool "V2 missing uniqueness" true (has "V2" (Lint.check fact_base));
+  let with_uc = Schema.add (Uniqueness (Single (Ids.first "f"))) fact_base in
+  bool "V2 quiet once f has a UC" true
+    (List.for_all
+       (fun (f : Lint.finding) -> f.rule.rule_id <> "V2" || f.subject <> "f")
+       (Lint.check with_uc));
+  let widened =
+    Schema.empty "v3"
+    |> Schema.add_subtype ~sub:"Sub" ~super:"Super"
+    |> Schema.add (Value_constraint ("Super", Value.Constraint.of_range 1 3))
+    |> Schema.add (Value_constraint ("Sub", Value.Constraint.of_range 2 9))
+  in
+  bool "V3 widened subtype values" true (has "V3" (Lint.check widened))
+
+let test_check_rule () =
+  Alcotest.check_raises "unknown rule"
+    (Invalid_argument "Lint.check_rule: unknown rule XX") (fun () ->
+      ignore (Lint.check_rule "XX" fact_base));
+  int "FR1 alone runs" 0 (List.length (Lint.check_rule "FR1" fact_base))
+
+let suite =
+  [
+    Alcotest.test_case "catalogue mirrors Section 3" `Quick test_catalogue;
+    Alcotest.test_case "FR1" `Quick test_fr1;
+    Alcotest.test_case "FR2" `Quick test_fr2;
+    Alcotest.test_case "FR3 violation is satisfiable" `Quick
+      test_fr3_satisfiable_violation;
+    Alcotest.test_case "FR4" `Quick test_fr4;
+    Alcotest.test_case "FR5 = pattern 3 territory" `Quick test_fr5_matches_pattern3;
+    Alcotest.test_case "FR6 on fig14 (satisfiable violation)" `Quick test_fr6_fig14;
+    Alcotest.test_case "FR7 = pattern 4 territory" `Quick test_fr7_matches_pattern4;
+    Alcotest.test_case "S1 superfluous subset" `Quick test_s1_superfluous_subset;
+    Alcotest.test_case "S2 loop is satisfiable" `Quick test_s2_loop;
+    Alcotest.test_case "S3 superfluous equality" `Quick test_s3_superfluous_equality;
+    Alcotest.test_case "S4 mirrors pattern 6" `Quick test_s4_mirrors_pattern6;
+    Alcotest.test_case "validity approximations" `Quick test_validity_rules;
+    Alcotest.test_case "check_rule" `Quick test_check_rule;
+  ]

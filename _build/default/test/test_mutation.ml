@@ -1,0 +1,118 @@
+(* Mutation testing of the model checker: start from a witness population
+   produced by the finder, apply a targeted mutation, and assert that Eval
+   reports exactly the intended kind of violation.  This catches evaluator
+   bugs that satisfiable/unsatisfiable round trips miss. *)
+
+open Orm
+open Orm_semantics
+
+let bool = Alcotest.check Alcotest.bool
+let v = Value.str
+
+(* A well-behaved base schema with a witness we control by hand. *)
+let schema =
+  Schema.empty "mut"
+  |> Schema.add_subtype ~sub:"Manager" ~super:"Employee"
+  |> Schema.add_fact (Fact_type.make "works_on" "Employee" "Project")
+  |> Schema.add_fact (Fact_type.make "leads" "Manager" "Project")
+  |> Schema.add (Mandatory (Ids.first "works_on"))
+  |> Schema.add (Uniqueness (Single (Ids.first "leads")))
+  |> Schema.add (Subset (Single (Ids.first "leads"), Single (Ids.first "works_on")))
+  |> Schema.add (Value_constraint ("Project", Value.Constraint.of_strings [ "p1"; "p2" ]))
+
+let witness =
+  Population.empty
+  |> Population.add_objects "Employee" [ v "e1"; v "m1" ]
+  |> Population.add_object "Manager" (v "m1")
+  |> Population.add_objects "Project" [ v "p1"; v "p2" ]
+  |> Population.add_tuples "works_on" [ (v "e1", v "p1"); (v "m1", v "p2") ]
+  |> Population.add_tuple "leads" (v "m1", v "p2")
+
+let violations pop = Eval.violations schema pop
+
+let has_broken id pop =
+  List.exists
+    (function Eval.Broken (id', _) -> id' = id | _ -> false)
+    (violations pop)
+
+let test_witness_is_model () =
+  Alcotest.check (Alcotest.list Alcotest.string) "clean witness" []
+    (List.map (Format.asprintf "%a" Eval.pp_violation) (violations witness))
+
+let test_mutations () =
+  (* 1. Untyped tuple component. *)
+  let m = Population.add_tuple "works_on" (v "ghost", v "p1") witness in
+  bool "untyped component detected" true
+    (List.exists
+       (function Eval.Untyped_component _ -> true | _ -> false)
+       (violations m));
+  (* 2. Subtype not subset. *)
+  let m = Population.add_object "Manager" (v "outsider") witness in
+  bool "subtype violation detected" true
+    (List.exists
+       (function Eval.Subtype_not_subset ("Manager", "Employee") -> true | _ -> false)
+       (violations m));
+  (* 3. Strictness: make Manager = Employee. *)
+  let m = Population.add_object "Manager" (v "e1") witness in
+  bool "strictness violation detected" true
+    (List.exists
+       (function Eval.Subtype_not_strict ("Manager", "Employee") -> true | _ -> false)
+       (violations m));
+  (* 4. Mandatory: an employee working on nothing. *)
+  let m = Population.add_object "Employee" (v "idle") witness in
+  bool "mandatory violation detected" true (has_broken "c1" m);
+  (* 5. Uniqueness: the manager leads two projects. *)
+  let m = Population.add_tuple "leads" (v "m1", v "p1") witness in
+  bool "uniqueness violation detected" true (has_broken "c2" m);
+  (* 6. Subset: a lead without a matching works_on. *)
+  let m =
+    witness
+    |> Population.add_object "Manager" (v "m2")
+    |> Population.add_object "Employee" (v "m2")
+    |> Population.add_object "Employee" (v "pad")
+    |> Population.add_tuple "works_on" (v "pad", v "p1")
+    |> Population.add_tuple "leads" (v "m2", v "p2")
+  in
+  bool "subset violation detected" true (has_broken "c3" m);
+  (* 7. Value constraint: a project outside the admitted set. *)
+  let m = Population.add_object "Project" (v "p9") witness in
+  bool "value violation detected" true (has_broken "c4" m);
+  (* 8. Implicit exclusion: an unrelated family sharing a value. *)
+  let s2 = Schema.add_object_type "Alien" schema in
+  let m = Population.add_object "Alien" (v "e1") witness in
+  bool "implicit exclusion detected" true
+    (List.exists
+       (function Eval.Implicit_exclusion _ -> true | _ -> false)
+       (Eval.violations s2 m))
+
+(* Removing any works_on tuple from the hand-built witness must break a
+   constraint: each player occurs exactly once there, so the mandatory
+   constraint (or, for the lead, the subset) loses its support. *)
+let test_removal_property () =
+  let all_tuples = Population.tuples witness "works_on" in
+  bool "witness populates works_on" true (all_tuples <> []);
+  List.iter
+    (fun removed ->
+      let m =
+        Population.empty
+        |> Population.add_objects "Employee"
+             (Value.Set.elements (Population.extension witness "Employee"))
+        |> Population.add_object "Manager" (v "m1")
+        |> Population.add_objects "Project"
+             (Value.Set.elements (Population.extension witness "Project"))
+        |> fun base ->
+        List.fold_left
+          (fun acc t ->
+            if t = removed then acc else Population.add_tuple "works_on" t acc)
+          base all_tuples
+        |> Population.add_tuple "leads" (v "m1", v "p2")
+      in
+      bool "removal breaks a constraint" true (not (Eval.satisfies schema m)))
+    all_tuples
+
+let suite =
+  [
+    Alcotest.test_case "witness is a model" `Quick test_witness_is_model;
+    Alcotest.test_case "targeted mutations" `Quick test_mutations;
+    Alcotest.test_case "tuple removals break constraints" `Slow test_removal_property;
+  ]

@@ -1,0 +1,390 @@
+(* Unit tests of individual patterns beyond the paper's figures: negative
+   controls, refinements, and engine settings (the Fig. 15 validator
+   toggles). *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Settings = Orm_patterns.Settings
+module Diagnostic = Orm_patterns.Diagnostic
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let fired report =
+  List.sort_uniq Int.compare
+    (List.filter_map Diagnostic.pattern_number report.Engine.diagnostics)
+
+(* --- Pattern 1 ------------------------------------------------------- *)
+
+let test_p1_diamond_ok () =
+  (* Multiple supertypes with a shared ancestor are fine. *)
+  let s =
+    Schema.empty "p1"
+    |> Schema.add_subtype ~sub:"B" ~super:"A"
+    |> Schema.add_subtype ~sub:"C" ~super:"A"
+    |> Schema.add_subtype ~sub:"D" ~super:"B"
+    |> Schema.add_subtype ~sub:"D" ~super:"C"
+  in
+  int "diamond clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p1_deep_common () =
+  (* The common supertype sits several levels up. *)
+  let s =
+    Schema.empty "p1"
+    |> Schema.add_subtype ~sub:"M1" ~super:"Top"
+    |> Schema.add_subtype ~sub:"M2" ~super:"Top"
+    |> Schema.add_subtype ~sub:"L1" ~super:"M1"
+    |> Schema.add_subtype ~sub:"L2" ~super:"M2"
+    |> Schema.add_subtype ~sub:"X" ~super:"L1"
+    |> Schema.add_subtype ~sub:"X" ~super:"L2"
+  in
+  int "deep common supertype clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p1_three_supers () =
+  (* Two supertypes share an ancestor, the third does not. *)
+  let s =
+    Schema.empty "p1"
+    |> Schema.add_subtype ~sub:"B" ~super:"A"
+    |> Schema.add_subtype ~sub:"C" ~super:"A"
+    |> Schema.add_object_type "Alien"
+    |> Schema.add_subtype ~sub:"X" ~super:"B"
+    |> Schema.add_subtype ~sub:"X" ~super:"C"
+    |> Schema.add_subtype ~sub:"X" ~super:"Alien"
+  in
+  let report = Engine.check s in
+  bool "pattern 1 fires" true (List.mem 1 (fired report));
+  bool "X flagged" true (Ids.String_set.mem "X" report.unsat_types)
+
+(* --- Pattern 2 ------------------------------------------------------- *)
+
+let test_p2_exclusion_with_own_subtype () =
+  (* An exclusion between a type and its own subtype empties the subtype. *)
+  let s =
+    Schema.empty "p2"
+    |> Schema.add_subtype ~sub:"B" ~super:"A"
+    |> Schema.add (Type_exclusion [ "A"; "B" ])
+  in
+  let report = Engine.check s in
+  bool "B flagged" true (Ids.String_set.mem "B" report.unsat_types);
+  bool "A not flagged" false (Ids.String_set.mem "A" report.unsat_types)
+
+let test_p2_deep_descendant () =
+  let s =
+    Schema.empty "p2"
+    |> Schema.add_subtype ~sub:"B" ~super:"A"
+    |> Schema.add_subtype ~sub:"C" ~super:"A"
+    |> Schema.add_subtype ~sub:"D" ~super:"B"
+    |> Schema.add_subtype ~sub:"E" ~super:"D"
+    |> Schema.add_subtype ~sub:"E" ~super:"C"
+    |> Schema.add (Type_exclusion [ "B"; "C" ])
+  in
+  let report = Engine.check s in
+  bool "deep descendant E flagged" true (Ids.String_set.mem "E" report.unsat_types);
+  bool "D untouched" false (Ids.String_set.mem "D" report.unsat_types)
+
+(* --- Pattern 3 ------------------------------------------------------- *)
+
+let test_p3_unrelated_players_ok () =
+  (* Exclusion with a mandatory role is fine when the other role's player is
+     unrelated. *)
+  let s =
+    Schema.empty "p3"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "C" "D")
+    |> Schema.add (Mandatory (Ids.first "f"))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ])
+  in
+  int "unrelated players clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p3_supertype_player_ok () =
+  (* The excluded partner's player is a SUPERtype of the mandatory one:
+     instances outside the subtype can still play it. *)
+  let s =
+    Schema.empty "p3"
+    |> Schema.add_subtype ~sub:"Sub" ~super:"Super"
+    |> Schema.add_fact (Fact_type.make "f" "Sub" "B")
+    |> Schema.add_fact (Fact_type.make "g" "Super" "C")
+    |> Schema.add (Mandatory (Ids.first "f"))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ])
+  in
+  int "supertype partner clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p3_second_roles () =
+  (* The pattern applies to second-side roles just as well. *)
+  let s =
+    Schema.empty "p3"
+    |> Schema.add_fact (Fact_type.make "f" "B" "A")
+    |> Schema.add_fact (Fact_type.make "g" "C" "A")
+    |> Schema.add (Mandatory (Ids.second "f"))
+    |> Schema.add (Role_exclusion [ Single (Ids.second "f"); Single (Ids.second "g") ])
+  in
+  let report = Engine.check s in
+  bool "g.2 flagged" true (Ids.Role_set.mem (Ids.second "g") report.unsat_roles)
+
+(* --- Pattern 4/5 ----------------------------------------------------- *)
+
+let test_p4_inherited_value_set () =
+  (* The value bound comes from a supertype; only the effective-value-set
+     refinement sees it. *)
+  let s =
+    Schema.empty "p4"
+    |> Schema.add_subtype ~sub:"SmallB" ~super:"B"
+    |> Schema.add_fact (Fact_type.make "f" "A" "SmallB")
+    |> Schema.add (Value_constraint ("B", Value.Constraint.of_strings [ "x"; "y" ]))
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:5 3))
+  in
+  bool "refined mode catches it" true (List.mem 4 (fired (Engine.check s)));
+  let paper =
+    Engine.check ~settings:{ Settings.default with effective_value_sets = false } s
+  in
+  bool "paper mode misses it (direct constraint only)" false (List.mem 4 (fired paper))
+
+let test_p4_boundary () =
+  (* Exactly enough values: satisfiable. *)
+  let s =
+    Schema.empty "p4"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Value_constraint ("B", Value.Constraint.of_strings [ "x"; "y"; "z" ]))
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:5 3))
+  in
+  int "boundary clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p5_requires_all_three () =
+  (* The paper stresses that any two of the three constraints are fine. *)
+  let base =
+    Schema.empty "p5"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "C")
+  in
+  let value = Constraints.make "v" (Value_constraint ("A", Value.Constraint.of_strings [ "a1"; "a2" ])) in
+  let freq =
+    Constraints.make "q"
+      (Frequency (Single (Ids.second "f"), Constraints.frequency ~max:2 2))
+  in
+  let excl =
+    Constraints.make "x"
+      (Role_exclusion [ Ids.Single (Ids.first "f"); Ids.Single (Ids.first "g") ])
+  in
+  let with_constraints cs = List.fold_left (fun s c -> Schema.add_constraint c s) base cs in
+  int "value+freq only" 0
+    (List.length (Engine.check (with_constraints [ value; freq ])).diagnostics);
+  int "value+exclusion only" 0
+    (List.length (Engine.check (with_constraints [ value; excl ])).diagnostics);
+  int "freq+exclusion only" 0
+    (List.length (Engine.check (with_constraints [ freq; excl ])).diagnostics);
+  bool "all three fire" true
+    (List.mem 5 (fired (Engine.check (with_constraints [ value; freq; excl ]))))
+
+let test_p5_different_players_skipped () =
+  let s =
+    Schema.empty "p5"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A2" "C")
+    |> Schema.add (Value_constraint ("A", Value.Constraint.of_strings [ "a1" ]))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ])
+  in
+  bool "different players: no pattern 5" false (List.mem 5 (fired (Engine.check s)))
+
+(* --- Pattern 6 ------------------------------------------------------- *)
+
+let test_p6_transitive_path () =
+  (* The SetPath is a two-step chain f <= g <= h against exclusion f/h. *)
+  let s =
+    Schema.empty "p6"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add_fact (Fact_type.make "h" "A" "B")
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Subset (Ids.whole_predicate "g", Ids.whole_predicate "h"))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "h") ])
+  in
+  bool "transitive SetPath detected" true (List.mem 6 (fired (Engine.check s)))
+
+let test_p6_equality_both_sides () =
+  (* With an equality, both predicates are provably empty even in refined
+     mode. *)
+  let s =
+    Schema.empty "p6"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add (Equality (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ])
+  in
+  let refined =
+    Engine.check ~settings:{ Settings.patterns_only with paper_faithful = false } s
+  in
+  bool "f empty" true (Ids.Role_set.mem (Ids.first "f") refined.unsat_roles);
+  bool "g empty" true (Ids.Role_set.mem (Ids.first "g") refined.unsat_roles)
+
+let test_p6_refined_one_side () =
+  (* With a subset, refined mode only condemns the sub side. *)
+  let refined =
+    Engine.check
+      ~settings:{ Settings.patterns_only with paper_faithful = false }
+      Figures.fig8
+  in
+  bool "sub side empty" true (Ids.Role_set.mem (Ids.first "f1") refined.unsat_roles);
+  bool "super side spared" false (Ids.Role_set.mem (Ids.first "f2") refined.unsat_roles)
+
+let test_p6_role_level_subset () =
+  (* Exclusion between roles contradicted by a role-level subset. *)
+  let s =
+    Schema.empty "p6"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "C")
+    |> Schema.add (Subset (Single (Ids.first "f"), Single (Ids.first "g")))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ])
+  in
+  bool "role-level SetPath detected" true (List.mem 6 (fired (Engine.check s)))
+
+let test_p6_implied_role_subset () =
+  (* Fig. 9's implication: a predicate-level subset implies role-level
+     subsets, which contradict a role-level exclusion. *)
+  let s =
+    Schema.empty "p6"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Role_exclusion [ Single (Ids.second "f"); Single (Ids.second "g") ])
+  in
+  bool "implied role subset detected" true (List.mem 6 (fired (Engine.check s)))
+
+let test_p6_subset_loop_ok () =
+  (* A loop of subsets merely forces equality; RIDL-A's S2 is NOT an
+     unsatisfiability rule (Section 3). *)
+  let s =
+    Schema.empty "p6"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Subset (Ids.whole_predicate "g", Ids.whole_predicate "f"))
+  in
+  int "subset loop clean" 0 (List.length (Engine.check s).diagnostics)
+
+(* --- Pattern 7 ------------------------------------------------------- *)
+
+let test_p7_min_one_ok () =
+  (* FC(1-n) with a uniqueness constraint is redundant but satisfiable —
+     the paper's loosening of formation rule 3. *)
+  let s =
+    Schema.empty "p7"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Uniqueness (Single (Ids.first "f")))
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency ~max:5 1))
+  in
+  int "FC(1-5) with UC clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p7_spanning_frequency () =
+  (* FC(min>1) over a whole predicate contradicts set semantics even
+     without an explicit uniqueness constraint (formation rule 2). *)
+  let s =
+    Schema.empty "p7"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Frequency (Ids.whole_predicate "f", Constraints.frequency ~max:3 2))
+  in
+  bool "spanning FC(2-3) fires" true (List.mem 7 (fired (Engine.check s)))
+
+(* --- Pattern 8 ------------------------------------------------------- *)
+
+let test_p8_compatible_pair_ok () =
+  let s =
+    Schema.empty "p8"
+    |> Schema.add_fact (Fact_type.make "r" "A" "A")
+    |> Schema.add (Ring (Ring.Irreflexive, "r"))
+    |> Schema.add (Ring (Ring.Symmetric, "r"))
+  in
+  int "ir+sym clean" 0 (List.length (Engine.check s).diagnostics)
+
+let test_p8_triple () =
+  let s =
+    Schema.empty "p8"
+    |> Schema.add_fact (Fact_type.make "r" "A" "A")
+    |> Schema.add (Ring (Ring.Antisymmetric, "r"))
+    |> Schema.add (Ring (Ring.Symmetric, "r"))
+    |> Schema.add (Ring (Ring.Irreflexive, "r"))
+  in
+  bool "ans+sym+ir fires" true (List.mem 8 (fired (Engine.check s)))
+
+(* --- Pattern 9 ------------------------------------------------------- *)
+
+let test_p9_self_loop () =
+  let s = Schema.empty "p9" |> Schema.add_subtype ~sub:"A" ~super:"A" in
+  let report = Engine.check s in
+  bool "self subtype fires" true (List.mem 9 (fired report));
+  bool "A flagged" true (Ids.String_set.mem "A" report.unsat_types)
+
+let test_p9_below_loop_propagates () =
+  let s =
+    Schema.empty "p9"
+    |> Schema.add_subtype ~sub:"A" ~super:"B"
+    |> Schema.add_subtype ~sub:"B" ~super:"A"
+    |> Schema.add_subtype ~sub:"Below" ~super:"A"
+  in
+  let report = Engine.check s in
+  bool "type below the loop flagged by propagation" true
+    (Ids.String_set.mem "Below" report.unsat_types);
+  let no_prop = Engine.check ~settings:Settings.patterns_only s in
+  bool "not flagged without propagation" false
+    (Ids.String_set.mem "Below" no_prop.unsat_types)
+
+(* --- Settings (Fig. 15) ---------------------------------------------- *)
+
+let test_settings_toggle () =
+  let s = Figures.fig13 in
+  let off = Engine.check ~settings:(Settings.disable 9 Settings.default) s in
+  int "pattern 9 disabled: silent" 0 (List.length off.diagnostics);
+  let on = Engine.check ~settings:(Settings.enable 9 (Settings.disable 9 Settings.default)) s in
+  bool "re-enabled: fires" true (on.diagnostics <> []);
+  bool "is_enabled" true (Settings.is_enabled 9 Settings.default);
+  bool "disabled" false (Settings.is_enabled 9 (Settings.disable 9 Settings.default));
+  let only_2 = Settings.with_patterns [ 2 ] Settings.default in
+  bool "with_patterns restricts" true
+    (fired (Engine.check ~settings:only_2 Figures.fig1) = [ 2 ])
+
+let test_run_pattern_bounds () =
+  Alcotest.check_raises "pattern 0 rejected"
+    (Invalid_argument "Engine.run_pattern: no pattern 0") (fun () ->
+      ignore (Engine.run_pattern 0 Figures.fig1));
+  Alcotest.check_raises "pattern 13 rejected"
+    (Invalid_argument "Engine.run_pattern: no pattern 13") (fun () ->
+      ignore (Engine.run_pattern 13 Figures.fig1))
+
+let test_propagation_co_role () =
+  (* An unsatisfiable role empties the co-role through the shared fact. *)
+  let report = Engine.check Figures.fig5 in
+  bool "co-role flagged" true (Ids.Role_set.mem (Ids.second "f1") report.unsat_roles)
+
+let suite =
+  [
+    Alcotest.test_case "p1: diamond is clean" `Quick test_p1_diamond_ok;
+    Alcotest.test_case "p1: deep common supertype" `Quick test_p1_deep_common;
+    Alcotest.test_case "p1: three supertypes" `Quick test_p1_three_supers;
+    Alcotest.test_case "p2: exclusion with own subtype" `Quick
+      test_p2_exclusion_with_own_subtype;
+    Alcotest.test_case "p2: deep descendant" `Quick test_p2_deep_descendant;
+    Alcotest.test_case "p3: unrelated players" `Quick test_p3_unrelated_players_ok;
+    Alcotest.test_case "p3: supertype partner" `Quick test_p3_supertype_player_ok;
+    Alcotest.test_case "p3: second-side roles" `Quick test_p3_second_roles;
+    Alcotest.test_case "p4: inherited value set" `Quick test_p4_inherited_value_set;
+    Alcotest.test_case "p4: boundary" `Quick test_p4_boundary;
+    Alcotest.test_case "p5: needs all three constraints" `Quick
+      test_p5_requires_all_three;
+    Alcotest.test_case "p5: different players skipped" `Quick
+      test_p5_different_players_skipped;
+    Alcotest.test_case "p6: transitive path" `Quick test_p6_transitive_path;
+    Alcotest.test_case "p6: equality condemns both" `Quick test_p6_equality_both_sides;
+    Alcotest.test_case "p6: refined condemns one side" `Quick test_p6_refined_one_side;
+    Alcotest.test_case "p6: role-level subset" `Quick test_p6_role_level_subset;
+    Alcotest.test_case "p6: implied role subset" `Quick test_p6_implied_role_subset;
+    Alcotest.test_case "p6: subset loop is satisfiable" `Quick test_p6_subset_loop_ok;
+    Alcotest.test_case "p7: FC(1-n) tolerated" `Quick test_p7_min_one_ok;
+    Alcotest.test_case "p7: spanning frequency" `Quick test_p7_spanning_frequency;
+    Alcotest.test_case "p8: compatible pair" `Quick test_p8_compatible_pair_ok;
+    Alcotest.test_case "p8: incompatible triple" `Quick test_p8_triple;
+    Alcotest.test_case "p9: self loop" `Quick test_p9_self_loop;
+    Alcotest.test_case "p9: propagation below loop" `Quick
+      test_p9_below_loop_propagates;
+    Alcotest.test_case "settings toggles (fig. 15)" `Quick test_settings_toggle;
+    Alcotest.test_case "run_pattern bounds" `Quick test_run_pattern_bounds;
+    Alcotest.test_case "propagation to co-role" `Quick test_propagation_co_role;
+  ]

@@ -1,0 +1,116 @@
+(* Repair suggestions: candidates come from culprits and hierarchy edges,
+   rankings reflect diagnostics fixed, and the greedy loop restores
+   pattern-cleanliness on every injectable fault. *)
+
+open Orm
+module Repair = Orm_repair.Repair
+module Engine = Orm_patterns.Engine
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let test_clean_schema_no_suggestions () =
+  Alcotest.check Alcotest.int "no suggestions on a clean schema" 0
+    (List.length (Repair.suggestions Figures.fig14))
+
+let test_fig1_suggestions () =
+  let suggestions = Repair.suggestions Figures.fig1 in
+  bool "some suggestion" true (suggestions <> []);
+  (* Both dropping the exclusion and cutting one of PhDStudent's subtype
+     links must appear. *)
+  let actions = List.map (fun (s : Repair.suggestion) -> s.action) suggestions in
+  bool "drop exclusive constraint offered" true
+    (List.exists (function Repair.Drop_constraint _ -> true | _ -> false) actions);
+  bool "cut subtype offered" true
+    (List.exists
+       (function
+         | Repair.Cut_subtype ("PhDStudent", _) -> true
+         | Repair.Cut_subtype _ | Repair.Drop_constraint _ -> false)
+       actions);
+  (* Every suggestion on fig1 resolves its single diagnostic. *)
+  List.iter
+    (fun (s : Repair.suggestion) -> int "fixes all" 0 s.remaining)
+    suggestions
+
+let test_fig13_loop_repair () =
+  let suggestions = Repair.suggestions Figures.fig13 in
+  bool "loop edges offered" true
+    (List.exists
+       (function Repair.Cut_subtype _ -> true | Repair.Drop_constraint _ -> false)
+       (List.map (fun (s : Repair.suggestion) -> s.action) suggestions));
+  let repaired, actions = Repair.repair Figures.fig13 in
+  int "one cut suffices" 1 (List.length actions);
+  int "clean afterwards" 0 (List.length (Engine.check repaired).diagnostics)
+
+let test_repair_all_figures () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let repaired, _ = Repair.repair e.schema in
+      int (e.figure ^ " repaired to clean") 0
+        (List.length (Engine.check repaired).diagnostics))
+    Figures.all
+
+let test_repair_injected =
+  QCheck.Test.make ~count:60 ~name:"greedy repair cleans every injected fault"
+    QCheck.(pair (int_range 0 5_000) (int_range 1 9))
+    (fun (seed, p) ->
+      let faulted =
+        (Orm_generator.Faults.inject ~seed p (Orm_generator.Gen.clean ~seed ())).schema
+      in
+      let repaired, actions = Repair.repair faulted in
+      (Engine.check repaired).diagnostics = [] && actions <> [])
+
+let test_repair_all_nine_at_once () =
+  let faulted =
+    List.fold_left
+      (fun s p -> (Orm_generator.Faults.inject ~seed:7 p s).Orm_generator.Faults.schema)
+      (Orm_generator.Gen.clean ~seed:7 ())
+      Orm_generator.Faults.all_patterns
+  in
+  let repaired, actions = Repair.repair faulted in
+  int "clean after repairing all nine" 0 (List.length (Engine.check repaired).diagnostics);
+  bool "at most one action per fault plus slack" true (List.length actions <= 12)
+
+let test_max_steps () =
+  let faulted =
+    List.fold_left
+      (fun s p -> (Orm_generator.Faults.inject ~seed:9 p s).Orm_generator.Faults.schema)
+      (Orm_generator.Gen.clean ~seed:9 ())
+      Orm_generator.Faults.all_patterns
+  in
+  let _, actions = Repair.repair ~max_steps:2 faulted in
+  int "respects the step bound" 2 (List.length actions)
+
+let test_ranking () =
+  (* A schema where one constraint causes two diagnostics and another causes
+     one: the double-culprit must rank first. *)
+  let s =
+    Schema.empty "rank"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "C")
+    |> Schema.add_fact (Fact_type.make "h" "A" "D")
+    (* one diagnostic: uniqueness vs frequency on h *)
+    |> Schema.add (Uniqueness (Single (Ids.first "h")))
+    |> Schema.add (Frequency (Single (Ids.first "h"), Constraints.frequency ~max:4 2))
+    (* two diagnostics from one mandatory: exclusion partner roles die *)
+    |> Schema.add (Mandatory (Ids.first "f"))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ])
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "h") ])
+  in
+  match Repair.suggestions s with
+  | [] -> Alcotest.fail "expected suggestions"
+  | (best : Repair.suggestion) :: _ ->
+      bool "the shared mandatory ranks first" true
+        (best.action = Repair.Drop_constraint "c3" && best.fixes >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "clean schema" `Quick test_clean_schema_no_suggestions;
+    Alcotest.test_case "fig1 suggestions" `Quick test_fig1_suggestions;
+    Alcotest.test_case "fig13 loop repair" `Quick test_fig13_loop_repair;
+    Alcotest.test_case "all figures repairable" `Quick test_repair_all_figures;
+    QCheck_alcotest.to_alcotest test_repair_injected;
+    Alcotest.test_case "all nine faults at once" `Quick test_repair_all_nine_at_once;
+    Alcotest.test_case "max_steps respected" `Quick test_max_steps;
+    Alcotest.test_case "ranking by fixes" `Quick test_ranking;
+  ]

@@ -1,0 +1,132 @@
+(* Ring constraints: the witness theorem behind Table 1 is cross-validated
+   against brute-force enumeration of every relation over domains of size
+   up to 3, and the Fig. 12 implications are checked semantically. *)
+
+open Orm
+
+let check = Alcotest.check
+let bool = Alcotest.check Alcotest.bool
+
+(* All relations over {0..n-1}: subsets of the n*n pairs. *)
+let all_relations n =
+  let cells =
+    List.concat_map (fun a -> List.init n (fun b -> (a, b))) (List.init n Fun.id)
+  in
+  List.fold_left
+    (fun acc cell -> acc @ List.map (fun rel -> cell :: rel) acc)
+    [ [] ] cells
+
+let relations3 = lazy (all_relations 3)
+
+let brute_compatible ks =
+  List.exists
+    (fun rel -> rel <> [] && Ring.satisfies_all ks rel)
+    (Lazy.force relations3)
+
+let test_witness_theorem () =
+  List.iter
+    (fun (ks, verdict) ->
+      bool
+        (Format.asprintf "combination %a" Ring.pp_set ks)
+        (brute_compatible ks) verdict)
+    Ring.table1
+
+let test_paper_examples () =
+  let combo abbrevs =
+    Ring.Kind_set.of_list (List.filter_map Ring.of_abbrev abbrevs)
+  in
+  (* Section 2's worked examples of incompatible combinations. *)
+  bool "(sym,it,ans)" false (Ring.compatible (combo [ "sym"; "it"; "ans" ]));
+  bool "(sym,it,ac)" false (Ring.compatible (combo [ "sym"; "it"; "ac" ]));
+  bool "(ans,it,ir,sym)" false (Ring.compatible (combo [ "ans"; "it"; "ir"; "sym" ]));
+  bool "acyclic+symmetric" false (Ring.compatible (combo [ "ac"; "sym" ]));
+  (* And compatible ones. *)
+  bool "(sym,it)" true (Ring.compatible (combo [ "sym"; "it" ]));
+  bool "(ans,sym)" true (Ring.compatible (combo [ "ans"; "sym" ]));
+  bool "(ir)" true (Ring.compatible (combo [ "ir" ]))
+
+(* Fig. 12's Euler-diagram structure, semantically. *)
+let test_implications () =
+  let implies a b = Ring.implies a b in
+  bool "ac => as" true (implies Acyclic Asymmetric);
+  bool "ac => ir" true (implies Acyclic Irreflexive);
+  bool "ac => ans" true (implies Acyclic Antisymmetric);
+  bool "as => ir" true (implies Asymmetric Irreflexive);
+  bool "as => ans" true (implies Asymmetric Antisymmetric);
+  bool "it => ir" true (implies Intransitive Irreflexive);
+  bool "as !=> ac" false (implies Asymmetric Acyclic);
+  bool "ir !=> it" false (implies Irreflexive Intransitive);
+  bool "ans !=> ir" false (implies Antisymmetric Irreflexive);
+  bool "sym !=> ans" false (implies Symmetric Antisymmetric);
+  bool "ir !=> as" false (implies Irreflexive Asymmetric)
+
+(* Brute-force validation of [implies] itself over domain 3. *)
+let test_implications_brute () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let brute =
+            List.for_all
+              (fun rel -> (not (Ring.holds a rel)) || Ring.holds b rel)
+              (Lazy.force relations3)
+          in
+          bool
+            (Printf.sprintf "%s => %s" (Ring.to_string a) (Ring.to_string b))
+            brute (Ring.implies a b))
+        Ring.all)
+    Ring.all
+
+let test_holds_units () =
+  let two_cycle = [ (0, 1); (1, 0) ] in
+  let chain = [ (0, 1); (1, 2); (0, 2) ] in
+  bool "2-cycle symmetric" true (Ring.holds Symmetric two_cycle);
+  bool "2-cycle not asymmetric" false (Ring.holds Asymmetric two_cycle);
+  bool "2-cycle not acyclic" false (Ring.holds Acyclic two_cycle);
+  bool "2-cycle intransitive" true (Ring.holds Intransitive two_cycle);
+  bool "chain acyclic" true (Ring.holds Acyclic chain);
+  bool "chain not intransitive" false (Ring.holds Intransitive chain);
+  bool "loop not irreflexive" false (Ring.holds Irreflexive [ (2, 2) ]);
+  bool "loop antisymmetric" true (Ring.holds Antisymmetric [ (2, 2) ]);
+  bool "loop not acyclic" false (Ring.holds Acyclic [ (2, 2) ]);
+  bool "empty satisfies everything" true
+    (Ring.satisfies_all (Ring.Kind_set.of_list Ring.all) [])
+
+let test_table_shape () =
+  check Alcotest.int "64 combinations" 64 (List.length Ring.table1);
+  (* 36 non-empty compatible combinations plus the vacuous empty one. *)
+  check Alcotest.int "37 compatible" 37 (List.length Ring.compatible_combinations);
+  (* Compatibility is antitone: adding a constraint never repairs an
+     incompatible combination. *)
+  List.iter
+    (fun (ks, ok) ->
+      if not ok then
+        List.iter
+          (fun k ->
+            bool "superset stays incompatible" false
+              (Ring.compatible (Ring.Kind_set.add k ks)))
+          Ring.all)
+    Ring.table1
+
+let test_abbrev_roundtrip () =
+  List.iter
+    (fun k ->
+      check
+        (Alcotest.option Alcotest.string)
+        (Ring.to_string k) (Some (Ring.to_string k))
+        (Option.map Ring.to_string (Ring.of_abbrev (Ring.abbrev k))))
+    Ring.all;
+  check (Alcotest.option Alcotest.string) "unknown abbrev" None
+    (Option.map Ring.to_string (Ring.of_abbrev "xyz"))
+
+let suite =
+  [
+    Alcotest.test_case "witness theorem vs brute force (table 1)" `Slow
+      test_witness_theorem;
+    Alcotest.test_case "paper's example combinations" `Quick test_paper_examples;
+    Alcotest.test_case "fig. 12 implications" `Quick test_implications;
+    Alcotest.test_case "implications vs brute force" `Slow test_implications_brute;
+    Alcotest.test_case "holds on concrete relations" `Quick test_holds_units;
+    Alcotest.test_case "table shape and antitonicity" `Quick test_table_shape;
+    Alcotest.test_case "abbreviation round trip" `Quick test_abbrev_roundtrip;
+  ]

@@ -1,0 +1,192 @@
+(* The SAT stack: DPLL solver units, cardinality encodings, and the key
+   differential property - the propositional route and the explicit model
+   finder decide the bounded ORM question identically. *)
+
+open Orm
+module D = Orm_sat.Dpll
+module B = Orm_sat.Cnf_builder
+module Encode = Orm_sat.Encode
+module Finder = Orm_reasoner.Finder
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let is_sat = function D.Sat _ -> true | D.Unsat | D.Timeout -> false
+
+let test_dpll_basics () =
+  bool "empty cnf" true (is_sat (D.solve ~nvars:0 []));
+  bool "unit" true (is_sat (D.solve ~nvars:1 [ [ 1 ] ]));
+  bool "contradiction" false (is_sat (D.solve ~nvars:1 [ [ 1 ]; [ -1 ] ]));
+  bool "empty clause" false (is_sat (D.solve ~nvars:1 [ [] ]));
+  bool "2sat chain" true
+    (is_sat (D.solve ~nvars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; 3 ]; [ -3; 1 ] ]));
+  (* A satisfying assignment verifies. *)
+  (match D.solve ~nvars:4 [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3; 4 ] ] with
+  | D.Sat a -> bool "model verifies" true (D.verify [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3; 4 ] ] a)
+  | D.Unsat | D.Timeout -> Alcotest.fail "expected sat");
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Dpll.solve: literal out of range") (fun () ->
+      ignore (D.solve ~nvars:1 [ [ 2 ] ]))
+
+(* Pigeonhole PHP(n+1, n) is unsatisfiable and exercises backtracking. *)
+let pigeonhole pigeons holes =
+  let var p h = (p * holes) + h + 1 in
+  let per_pigeon =
+    List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+  in
+  let conflicts =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun p' -> if p < p' then Some [ -var p h; -var p' h ] else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  (pigeons * holes, per_pigeon @ conflicts)
+
+let test_pigeonhole () =
+  let nvars, cnf = pigeonhole 4 3 in
+  bool "php(4,3) unsat" false (is_sat (D.solve ~nvars cnf));
+  let nvars, cnf = pigeonhole 3 3 in
+  bool "php(3,3) sat" true (is_sat (D.solve ~nvars cnf))
+
+let count_true lits a =
+  List.length (List.filter (fun l -> a.(abs l)) lits)
+
+let test_cardinality_encodings () =
+  (* at_most k: enumerate all assignments of the free vars by solving with
+     forced patterns. *)
+  List.iter
+    (fun (n, k) ->
+      let b = B.create () in
+      let lits = List.init n (fun i -> B.var b (Printf.sprintf "x%d" i)) in
+      B.at_most b k lits;
+      (* Can we have exactly k true?  Force k of them. *)
+      List.iteri (fun i l -> if i < k then B.add b [ l ]) lits;
+      (match B.solve b with
+      | D.Sat a -> bool (Printf.sprintf "≤%d of %d: %d ok" k n k) true (count_true lits a <= k)
+      | D.Unsat | D.Timeout -> Alcotest.failf "at_most %d of %d should allow %d" k n k);
+      (* Forcing k+1 must be unsat. *)
+      let b2 = B.create () in
+      let lits2 = List.init n (fun i -> B.var b2 (Printf.sprintf "x%d" i)) in
+      B.at_most b2 k lits2;
+      List.iteri (fun i l -> if i <= k then B.add b2 [ l ]) lits2;
+      bool (Printf.sprintf "≤%d of %d: %d too many" k n (k + 1)) false (is_sat (B.solve b2)))
+    [ (4, 1); (4, 2); (5, 3); (6, 2) ]
+
+let test_at_least () =
+  let b = B.create () in
+  let lits = List.init 5 (fun i -> B.var b (Printf.sprintf "y%d" i)) in
+  B.at_least b 3 lits;
+  (match B.solve b with
+  | D.Sat a -> bool "≥3 of 5 honoured" true (count_true lits a >= 3)
+  | D.Unsat | D.Timeout -> Alcotest.fail "at_least 3 of 5 is satisfiable");
+  let b2 = B.create () in
+  let lits2 = List.init 3 (fun i -> B.var b2 (Printf.sprintf "y%d" i)) in
+  B.at_least b2 4 lits2;
+  bool "≥4 of 3 impossible" false (is_sat (B.solve b2))
+
+let test_guarded_cardinality () =
+  (* unless-guarded at_least: disabled when the guard is true. *)
+  let b = B.create () in
+  let guard = B.var b "g" in
+  let lits = List.init 4 (fun i -> B.var b (Printf.sprintf "z%d" i)) in
+  B.at_least ~unless:guard b 3 lits;
+  B.add b [ guard ];
+  List.iter (fun l -> B.add b [ -l ]) lits;
+  bool "guard disables the constraint" true (is_sat (B.solve b));
+  let b2 = B.create () in
+  let guard2 = B.var b2 "g" in
+  let lits2 = List.init 4 (fun i -> B.var b2 (Printf.sprintf "z%d" i)) in
+  B.at_least ~unless:guard2 b2 3 lits2;
+  B.add b2 [ -guard2 ];
+  List.iter (fun l -> B.add b2 [ -l ]) lits2;
+  bool "unguarded constraint bites" false (is_sat (B.solve b2))
+
+(* --- Differential: Encode vs Finder on the paper's figures ----------- *)
+
+let agree fig schema query =
+  let sat_says = Encode.solve ~budget:400_000 schema query in
+  let finder_query : Finder.query =
+    match (query : Encode.query) with
+    | Schema_satisfiable -> Schema_satisfiable
+    | Type_satisfiable t -> Type_satisfiable t
+    | Role_satisfiable r -> Role_satisfiable r
+    | All_populated rs -> All_populated rs
+    | Strongly_satisfiable -> Strongly_satisfiable
+  in
+  let finder_says = Finder.solve ~budget:250_000 schema finder_query in
+  match (sat_says, finder_says) with
+  | Encode.Model _, Finder.Model _ | Encode.No_model, Finder.No_model -> ()
+  | Encode.Timeout, _ | _, Finder.Budget_exceeded -> ()  (* inconclusive *)
+  | Encode.Model pop, Finder.No_model ->
+      Alcotest.failf "%s: SAT finds a model the finder refutes:@.%a" fig
+        Orm_semantics.Population.pp pop
+  | Encode.No_model, Finder.Model pop ->
+      Alcotest.failf "%s: finder finds a model SAT refutes:@.%a" fig
+        Orm_semantics.Population.pp pop
+
+let test_figures_differential () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      agree e.figure e.schema Schema_satisfiable;
+      List.iter (fun t -> agree e.figure e.schema (Type_satisfiable t)) e.unsat_types;
+      List.iter (fun r -> agree e.figure e.schema (Role_satisfiable r)) e.unsat_roles;
+      (* And one satisfiable element per figure as a positive control. *)
+      match Schema.object_types e.schema with
+      | t :: _ when not (List.mem t e.unsat_types) ->
+          agree e.figure e.schema (Type_satisfiable t)
+      | _ -> ())
+    Figures.all
+
+let test_random_differential =
+  QCheck.Test.make ~count:8 ~name:"SAT route = finder on faulted schemas"
+    QCheck.(pair (int_range 0 300) (int_range 1 9))
+    (fun (seed, p) ->
+      let schema =
+        (Orm_generator.Faults.inject ~seed p
+           (Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized 2) ~seed ()))
+          .schema
+      in
+      let report = Orm_patterns.Engine.check schema in
+      (* Check the flagged elements plus strong satisfiability. *)
+      Ids.String_set.iter
+        (fun t -> agree "rand" schema (Type_satisfiable t))
+        report.unsat_types;
+      Ids.Role_set.iter
+        (fun r -> agree "rand" schema (Role_satisfiable r))
+        report.unsat_roles;
+      true)
+
+let test_stats () =
+  ignore (Encode.solve Figures.fig1 (Type_satisfiable "PhDStudent"));
+  let stats = Encode.last_stats () in
+  bool "variables allocated" true (stats.variables > 0);
+  bool "clauses emitted" true (stats.clauses > 0)
+
+let test_fig5_sat_verdicts () =
+  (* The canonical frequency-value contradiction, end to end on the SAT
+     route alone. *)
+  (match Encode.solve Figures.fig5 (Role_satisfiable (Ids.first "f1")) with
+  | Encode.No_model -> ()
+  | Encode.Model _ -> Alcotest.fail "fig5 f1.1 should be refuted"
+  | Encode.Timeout -> Alcotest.fail "timeout");
+  match Encode.solve Figures.fig5 Schema_satisfiable with
+  | Encode.Model _ -> ()
+  | Encode.No_model | Encode.Timeout -> Alcotest.fail "fig5 is weakly satisfiable"
+
+let suite =
+  [
+    Alcotest.test_case "dpll basics" `Quick test_dpll_basics;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+    Alcotest.test_case "cardinality encodings" `Quick test_cardinality_encodings;
+    Alcotest.test_case "at_least" `Quick test_at_least;
+    Alcotest.test_case "guarded cardinality" `Quick test_guarded_cardinality;
+    Alcotest.test_case "figures differential vs finder" `Slow test_figures_differential;
+    QCheck_alcotest.to_alcotest ~long:true test_random_differential;
+    Alcotest.test_case "encoding statistics" `Quick test_stats;
+    Alcotest.test_case "fig5 on the SAT route" `Quick test_fig5_sat_verdicts;
+  ]

@@ -1,0 +1,164 @@
+(* Schema construction, editing, derived queries and well-formedness. *)
+
+open Orm
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+let strings = Alcotest.check (Alcotest.list Alcotest.string)
+
+let sample =
+  Schema.empty "sample"
+  |> Schema.add_subtype ~sub:"B" ~super:"A"
+  |> Schema.add_fact (Fact_type.make "f" "A" "C")
+  |> Schema.add_fact (Fact_type.make "g" "B" "C")
+  |> Schema.add (Mandatory (Ids.first "f"))
+  |> Schema.add (Uniqueness (Single (Ids.first "f")))
+  |> Schema.add (Value_constraint ("C", Value.Constraint.of_strings [ "x"; "y"; "z" ]))
+  |> Schema.add (Frequency (Single (Ids.second "g"), Constraints.frequency 2))
+
+let test_accessors () =
+  strings "object types" [ "A"; "B"; "C" ] (Schema.object_types sample);
+  int "fact types" 2 (List.length (Schema.fact_types sample));
+  int "constraints" 4 (List.length (Schema.constraints sample));
+  int "roles" 4 (List.length (Schema.all_roles sample));
+  Alcotest.check (Alcotest.option Alcotest.string) "player f.1" (Some "A")
+    (Schema.player sample (Ids.first "f"));
+  Alcotest.check (Alcotest.option Alcotest.string) "player g.2" (Some "C")
+    (Schema.player sample (Ids.second "g"));
+  strings "roles played by C" [ "f.2"; "g.2" ]
+    (List.map Ids.role_to_string (Schema.roles_played_by sample "C"));
+  bool "f.1 mandatory" true (Schema.is_mandatory sample (Ids.first "f"));
+  bool "g.1 not mandatory" false (Schema.is_mandatory sample (Ids.first "g"));
+  bool "uniqueness on f.1" true (Schema.has_uniqueness sample (Single (Ids.first "f")));
+  int "min frequency g.2" 2 (Schema.min_frequency sample (Ids.second "g"));
+  int "min frequency default" 1 (Schema.min_frequency sample (Ids.first "g"))
+
+let test_fresh_ids () =
+  let ids = List.map (fun (c : Constraints.t) -> c.id) (Schema.constraints sample) in
+  strings "generated ids" [ "c1"; "c2"; "c3"; "c4" ] ids;
+  (* Fresh ids keep counting after removals: no accidental reuse. *)
+  let s = Schema.remove_constraint "c4" sample |> Schema.add (Mandatory (Ids.first "g")) in
+  let ids = List.map (fun (c : Constraints.t) -> c.id) (Schema.constraints s) in
+  strings "no id reuse" [ "c1"; "c2"; "c3"; "c5" ] ids
+
+let test_effective_value_sets () =
+  let s =
+    Schema.empty "vals"
+    |> Schema.add_subtype ~sub:"Sub" ~super:"Super"
+    |> Schema.add (Value_constraint ("Super", Value.Constraint.of_range 1 10))
+    |> Schema.add (Value_constraint ("Sub", Value.Constraint.of_range 5 20))
+  in
+  (match Schema.effective_value_set s "Sub" with
+  | Some vs -> int "intersection 5..10" 6 (Value.Constraint.cardinal vs)
+  | None -> Alcotest.fail "expected an effective value set");
+  (match Schema.effective_value_set s "Super" with
+  | Some vs -> int "super unchanged" 10 (Value.Constraint.cardinal vs)
+  | None -> Alcotest.fail "expected a value set");
+  Alcotest.check Alcotest.bool "unconstrained type" true
+    (Schema.effective_value_set s "Unrelated" = None)
+
+let test_removals () =
+  (* Removing a fact drops the constraints that mention its roles. *)
+  let s = Schema.remove_fact "f" sample in
+  int "f's constraints gone" 2 (List.length (Schema.constraints s));
+  bool "fact gone" true (Schema.find_fact s "f" = None);
+  (* Removing an object type cascades to facts it plays in. *)
+  let s = Schema.remove_object_type "C" sample in
+  int "both facts gone" 0 (List.length (Schema.fact_types s));
+  strings "types left" [ "A"; "B" ] (Schema.object_types s);
+  (* Removing a subtype edge keeps the types. *)
+  let s = Schema.remove_subtype ~sub:"B" ~super:"A" sample in
+  strings "types kept" [ "A"; "B"; "C" ] (Schema.object_types s);
+  bool "edge gone" true (Subtype_graph.edges (Schema.graph s) = [])
+
+let test_validation_clean () =
+  Alcotest.check Alcotest.int "sample is well-formed" 0
+    (List.length (Schema.validate sample))
+
+let test_validation_errors () =
+  let expect_error name schema pred =
+    match List.filter pred (Schema.validate schema) with
+    | [] -> Alcotest.failf "%s: expected a validation error" name
+    | _ -> ()
+  in
+  expect_error "undeclared player"
+    (Schema.add (Mandatory (Ids.first "nofact")) (Schema.empty "e"))
+    (function Schema.Undeclared_fact_type ("nofact", _) -> true | _ -> false);
+  expect_error "bad pair"
+    (Schema.empty "e"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add (Uniqueness (Pair (Ids.first "f", Ids.second "g"))))
+    (function Schema.Invalid_pair _ -> true | _ -> false);
+  expect_error "arity mismatch"
+    (Schema.empty "e"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Subset (Single (Ids.first "f"), Ids.whole_predicate "f")))
+    (function Schema.Arity_mismatch _ -> true | _ -> false);
+  expect_error "exclusion too small"
+    (Schema.empty "e"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f") ]))
+    (function Schema.Exclusion_too_small _ -> true | _ -> false);
+  expect_error "empty value set"
+    (Schema.empty "e"
+    |> Schema.add_object_type "A"
+    |> Schema.add (Value_constraint ("A", Value.Constraint.of_list [])))
+    (function Schema.Empty_value_set _ -> true | _ -> false);
+  expect_error "frequency minimum 0"
+    (Schema.empty "e"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Frequency (Single (Ids.first "f"), Constraints.frequency 0)))
+    (function Schema.Bad_frequency _ -> true | _ -> false);
+  expect_error "ring players unrelated"
+    (Schema.empty "e"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add (Ring (Ring.Irreflexive, "f")))
+    (function Schema.Ring_players_unrelated _ -> true | _ -> false);
+  expect_error "duplicate id"
+    (Schema.empty "e"
+    |> Schema.add_object_type "A"
+    |> Schema.add_constraint (Constraints.make "dup" (Type_exclusion [ "A"; "A" ]))
+    |> Schema.add_constraint (Constraints.make "dup" (Type_exclusion [ "A"; "A" ])))
+    (function Schema.Duplicate_constraint_id "dup" -> true | _ -> false)
+
+let test_ring_via_supertype () =
+  (* Ring constraints are allowed when the players share a supertype. *)
+  let s =
+    Schema.empty "e"
+    |> Schema.add_subtype ~sub:"Man" ~super:"Person"
+    |> Schema.add_subtype ~sub:"Woman" ~super:"Person"
+    |> Schema.add_fact (Fact_type.make "married_to" "Man" "Woman")
+    |> Schema.add (Ring (Ring.Irreflexive, "married_to"))
+  in
+  Alcotest.check Alcotest.int "valid" 0 (List.length (Schema.validate s))
+
+let test_stats () =
+  let stats = Schema.stats sample in
+  int "stat object-types" 3 (List.assoc "object-types" stats);
+  int "stat fact-types" 2 (List.assoc "fact-types" stats);
+  int "stat constraints" 4 (List.assoc "constraints" stats);
+  int "stat mandatory" 1 (List.assoc "mandatory" stats)
+
+let test_frequency_validation () =
+  Alcotest.check_raises "max < min"
+    (Invalid_argument "Constraints.frequency: max < min") (fun () ->
+      ignore (Constraints.frequency ~max:1 3));
+  Alcotest.check_raises "negative min"
+    (Invalid_argument "Constraints.frequency: negative min") (fun () ->
+      ignore (Constraints.frequency (-1)))
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "fresh constraint ids" `Quick test_fresh_ids;
+    Alcotest.test_case "effective value sets" `Quick test_effective_value_sets;
+    Alcotest.test_case "removal cascades" `Quick test_removals;
+    Alcotest.test_case "validation accepts sample" `Quick test_validation_clean;
+    Alcotest.test_case "validation rejects malformed schemas" `Quick
+      test_validation_errors;
+    Alcotest.test_case "ring allowed via common supertype" `Quick
+      test_ring_via_supertype;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "frequency construction" `Quick test_frequency_validation;
+  ]

@@ -1,0 +1,67 @@
+(* End-to-end on the shipped .orm files: parse from disk, validate, check,
+   and compare against the expected verdicts.  Exercises the same code path
+   as `ormcheck check FILE`. *)
+
+open Orm
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let load name =
+  match Orm_dsl.Parser.parse_file (Filename.concat "schemas" name) with
+  | Ok schema ->
+      int (name ^ " well-formed") 0 (List.length (Schema.validate schema));
+      schema
+  | Error msg -> Alcotest.failf "%s failed to parse: %s" name msg
+
+let fired schema =
+  List.sort_uniq Int.compare
+    (List.filter_map Orm_patterns.Diagnostic.pattern_number
+       (Orm_patterns.Engine.check schema).diagnostics)
+
+let test_phd () =
+  let schema = load "phd.orm" in
+  Alcotest.check (Alcotest.list Alcotest.int) "pattern 2" [ 2 ] (fired schema);
+  bool "PhDStudent dead" true
+    (Ids.String_set.mem "PhDStudent"
+       (Orm_patterns.Engine.check schema).unsat_types)
+
+let test_library () =
+  let schema = load "library.orm" in
+  Alcotest.check (Alcotest.list Alcotest.int) "clean" [] (fired schema);
+  match Orm_reasoner.Finder.solve schema Schema_satisfiable with
+  | Model _ -> ()
+  | No_model | Budget_exceeded -> Alcotest.fail "library.orm should be satisfiable"
+
+let test_broken_grades () =
+  let schema = load "broken_grades.orm" in
+  Alcotest.check (Alcotest.list Alcotest.int) "pattern 4" [ 4 ] (fired schema);
+  (* The explicit constraint id from the file shows up in culprits. *)
+  bool "named culprit" true
+    (List.exists
+       (fun (d : Orm_patterns.Diagnostic.t) -> List.mem "fc" d.culprits)
+       (Orm_patterns.Engine.check schema).diagnostics)
+
+let test_org_chart () =
+  let schema = load "org_chart.orm" in
+  Alcotest.check (Alcotest.list Alcotest.int) "pattern 8" [ 8 ] (fired schema)
+
+let test_roundtrip_files () =
+  List.iter
+    (fun name ->
+      let schema = load name in
+      match Orm_dsl.Parser.parse (Orm_dsl.Printer.to_string schema) with
+      | Ok reparsed ->
+          bool (name ^ " round trips") true
+            (Orm_dsl.Printer.to_string schema = Orm_dsl.Printer.to_string reparsed)
+      | Error msg -> Alcotest.failf "%s reprint failed: %s" name msg)
+    [ "phd.orm"; "library.orm"; "broken_grades.orm"; "org_chart.orm" ]
+
+let suite =
+  [
+    Alcotest.test_case "phd.orm" `Quick test_phd;
+    Alcotest.test_case "library.orm" `Quick test_library;
+    Alcotest.test_case "broken_grades.orm" `Quick test_broken_grades;
+    Alcotest.test_case "org_chart.orm" `Quick test_org_chart;
+    Alcotest.test_case "files round trip" `Quick test_roundtrip_files;
+  ]

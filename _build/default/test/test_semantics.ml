@@ -1,0 +1,265 @@
+(* The model checker: each constraint kind is exercised with a satisfying
+   and a violating population, plus the two implicit ORM rules (type-family
+   exclusion and strict subtyping). *)
+
+open Orm
+open Orm_semantics
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+
+let v = Value.str
+let sat schema pop = Eval.satisfies schema pop
+let n_violations schema pop = List.length (Eval.violations schema pop)
+
+let fact_schema extra =
+  let s =
+    Schema.empty "m"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+  in
+  List.fold_left (fun s body -> Schema.add body s) s extra
+
+let base_pop =
+  Population.empty
+  |> Population.add_objects "A" [ v "a1"; v "a2" ]
+  |> Population.add_objects "B" [ v "b1"; v "b2" ]
+
+let test_typing () =
+  let s = fact_schema [] in
+  bool "well-typed" true (sat s (Population.add_tuple "f" (v "a1", v "b1") base_pop));
+  (* a value playing a role without being in the player's extension *)
+  bool "untyped component" false
+    (sat s (Population.add_tuple "f" (v "ghost", v "b1") base_pop));
+  int "two bad components" 2
+    (n_violations s (Population.add_tuple "f" (v "ghost", v "phantom") base_pop))
+
+let test_mandatory () =
+  let s = fact_schema [ Mandatory (Ids.first "f") ] in
+  bool "all A play" true
+    (sat s
+       (base_pop
+       |> Population.add_tuples "f" [ (v "a1", v "b1"); (v "a2", v "b1") ]));
+  bool "a2 misses" false
+    (sat s (Population.add_tuple "f" (v "a1", v "b1") base_pop));
+  bool "empty population fine" true (sat s Population.empty)
+
+let test_disjunctive_mandatory () =
+  let s =
+    fact_schema [ Disjunctive_mandatory [ Ids.first "f"; Ids.first "g" ] ]
+  in
+  bool "split over both roles" true
+    (sat s
+       (base_pop
+       |> Population.add_tuple "f" (v "a1", v "b1")
+       |> Population.add_tuple "g" (v "a2", v "b2")));
+  bool "a2 plays neither" false
+    (sat s (Population.add_tuple "f" (v "a1", v "b1") base_pop))
+
+let test_uniqueness () =
+  let s = fact_schema [ Uniqueness (Single (Ids.first "f")) ] in
+  bool "unique" true
+    (sat s
+       (base_pop
+       |> Population.add_tuples "f" [ (v "a1", v "b1"); (v "a2", v "b1") ]));
+  bool "a1 twice" false
+    (sat s
+       (base_pop
+       |> Population.add_tuples "f" [ (v "a1", v "b1"); (v "a1", v "b2") ]))
+
+let test_frequency () =
+  let s =
+    fact_schema [ Frequency (Single (Ids.first "f"), Constraints.frequency ~max:2 2) ]
+  in
+  bool "a1 plays twice" true
+    (sat s
+       (base_pop
+       |> Population.add_tuples "f" [ (v "a1", v "b1"); (v "a1", v "b2") ]));
+  bool "a1 plays once (below min)" false
+    (sat s (Population.add_tuple "f" (v "a1", v "b1") base_pop));
+  bool "absent player unconstrained" true (sat s base_pop);
+  let s3 =
+    fact_schema [ Frequency (Single (Ids.first "f"), Constraints.frequency ~max:1 1) ]
+  in
+  bool "above max" false
+    (sat s3
+       (base_pop
+       |> Population.add_tuples "f" [ (v "a1", v "b1"); (v "a1", v "b2") ]))
+
+let test_value_constraint () =
+  let s =
+    fact_schema [ Value_constraint ("B", Value.Constraint.of_strings [ "b1"; "b2" ]) ]
+  in
+  bool "inside the set" true (sat s base_pop);
+  bool "outside the set" false (sat s (Population.add_object "B" (v "b3") base_pop))
+
+let test_role_exclusion () =
+  let s =
+    fact_schema
+      [ Role_exclusion [ Single (Ids.first "f"); Single (Ids.first "g") ] ]
+  in
+  bool "disjoint" true
+    (sat s
+       (base_pop
+       |> Population.add_tuple "f" (v "a1", v "b1")
+       |> Population.add_tuple "g" (v "a2", v "b1")));
+  bool "overlap" false
+    (sat s
+       (base_pop
+       |> Population.add_tuple "f" (v "a1", v "b1")
+       |> Population.add_tuple "g" (v "a1", v "b2")))
+
+let test_subset_equality () =
+  let sub = fact_schema [ Subset (Ids.whole_predicate "f", Ids.whole_predicate "g") ] in
+  let pop_ok =
+    base_pop
+    |> Population.add_tuple "f" (v "a1", v "b1")
+    |> Population.add_tuples "g" [ (v "a1", v "b1"); (v "a2", v "b2") ]
+  in
+  bool "subset holds" true (sat sub pop_ok);
+  bool "subset broken" false
+    (sat sub (Population.add_tuple "f" (v "a1", v "b1") base_pop));
+  let eq = fact_schema [ Equality (Ids.whole_predicate "f", Ids.whole_predicate "g") ] in
+  bool "equality broken one way" false (sat eq pop_ok);
+  bool "equality holds" true
+    (sat eq
+       (base_pop
+       |> Population.add_tuple "f" (v "a1", v "b1")
+       |> Population.add_tuple "g" (v "a1", v "b1")))
+
+let test_type_exclusion () =
+  let s =
+    Schema.empty "m"
+    |> Schema.add_subtype ~sub:"A" ~super:"Top"
+    |> Schema.add_subtype ~sub:"B" ~super:"Top"
+    |> Schema.add (Type_exclusion [ "A"; "B" ])
+  in
+  bool "disjoint" true
+    (Eval.satisfies s
+       (Population.empty
+       |> Population.add_objects "Top" [ v "x"; v "y" ]
+       |> Population.add_object "A" (v "x")
+       |> Population.add_object "B" (v "y")));
+  bool "overlap" false
+    (Eval.satisfies s
+       (Population.empty
+       |> Population.add_object "Top" (v "x")
+       |> Population.add_object "A" (v "x")
+       |> Population.add_object "B" (v "x")))
+
+let test_total_subtypes () =
+  let s =
+    Schema.empty "m"
+    |> Schema.add_subtype ~sub:"A" ~super:"Top"
+    |> Schema.add_subtype ~sub:"B" ~super:"Top"
+    |> Schema.add (Total_subtypes ("Top", [ "A"; "B" ]))
+  in
+  bool "covered" true
+    (Eval.satisfies s
+       (Population.empty
+       |> Population.add_objects "Top" [ v "x"; v "y" ]
+       |> Population.add_object "A" (v "x")
+       |> Population.add_object "B" (v "y")));
+  bool "x uncovered" false
+    (Eval.satisfies s
+       (Population.empty
+       |> Population.add_objects "Top" [ v "x"; v "y" ]
+       |> Population.add_object "A" (v "y")))
+
+let test_ring_eval () =
+  let s =
+    Schema.empty "m"
+    |> Schema.add_fact (Fact_type.make "r" "A" "A")
+    |> Schema.add (Ring (Ring.Irreflexive, "r"))
+  in
+  let pop = Population.add_objects "A" [ v "x"; v "y" ] Population.empty in
+  bool "irreflexive ok" true
+    (Eval.satisfies s (Population.add_tuple "r" (v "x", v "y") pop));
+  bool "loop violates" false
+    (Eval.satisfies s (Population.add_tuple "r" (v "x", v "x") pop))
+
+let test_implicit_exclusion () =
+  let s =
+    Schema.empty "m" |> Schema.add_object_type "A" |> Schema.add_object_type "B"
+  in
+  let shared =
+    Population.empty |> Population.add_object "A" (v "x") |> Population.add_object "B" (v "x")
+  in
+  bool "unrelated types may not overlap" false (Eval.satisfies s shared);
+  bool "overlap allowed when disabled" true
+    (Eval.satisfies
+       ~config:{ Eval.default_config with implicit_type_exclusion = false }
+       s shared);
+  (* Under a common supertype the overlap is legal. *)
+  let s' =
+    Schema.empty "m"
+    |> Schema.add_subtype ~sub:"A" ~super:"Top"
+    |> Schema.add_subtype ~sub:"B" ~super:"Top"
+  in
+  let shared' = Population.add_objects "Top" [ v "x" ] shared in
+  bool "related types may overlap" true
+    (Eval.satisfies s'
+       (Population.add_object "Top" (v "y") shared'))
+
+let test_strict_subtyping () =
+  let s = Schema.empty "m" |> Schema.add_subtype ~sub:"Sub" ~super:"Super" in
+  let equal_pop =
+    Population.empty
+    |> Population.add_object "Super" (v "x")
+    |> Population.add_object "Sub" (v "x")
+  in
+  bool "equal populations violate strictness" false (Eval.satisfies s equal_pop);
+  bool "strictness can be disabled" true
+    (Eval.satisfies ~config:{ Eval.default_config with strict_subtyping = false } s
+       equal_pop);
+  bool "proper subset fine" true
+    (Eval.satisfies s (Population.add_object "Super" (v "y") equal_pop));
+  bool "both empty fine" true (Eval.satisfies s Population.empty);
+  bool "not a subset" false
+    (Eval.satisfies s (Population.add_object "Sub" (v "z") equal_pop))
+
+let test_check_strong () =
+  let s = fact_schema [] in
+  let full =
+    base_pop
+    |> Population.add_tuple "f" (v "a1", v "b1")
+    |> Population.add_tuple "g" (v "a2", v "b2")
+  in
+  (match Eval.check_strong s full with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "expected a strong witness: %s" why);
+  (match Eval.check_strong s base_pop with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "roles are unpopulated, should not be strong")
+
+let test_population_basics () =
+  let pop = Population.add_tuple "f" (v "a", v "b") Population.empty in
+  int "idempotent tuples" 1
+    (List.length (Population.tuples (Population.add_tuple "f" (v "a", v "b") pop) "f"));
+  int "cardinality" 1 (Population.cardinality pop);
+  bool "is_empty empty" true (Population.is_empty Population.empty);
+  bool "is_empty nonempty" false (Population.is_empty pop);
+  Alcotest.check (Alcotest.list Alcotest.string) "seq population pair"
+    [ "'b'"; "'a'" ]
+    (List.map Value.to_string
+       (List.concat
+          (Population.seq_population pop (Pair (Ids.second "f", Ids.first "f")))))
+
+let suite =
+  [
+    Alcotest.test_case "tuple typing" `Quick test_typing;
+    Alcotest.test_case "mandatory" `Quick test_mandatory;
+    Alcotest.test_case "disjunctive mandatory" `Quick test_disjunctive_mandatory;
+    Alcotest.test_case "uniqueness" `Quick test_uniqueness;
+    Alcotest.test_case "frequency" `Quick test_frequency;
+    Alcotest.test_case "value constraint" `Quick test_value_constraint;
+    Alcotest.test_case "role exclusion" `Quick test_role_exclusion;
+    Alcotest.test_case "subset and equality" `Quick test_subset_equality;
+    Alcotest.test_case "type exclusion" `Quick test_type_exclusion;
+    Alcotest.test_case "total subtypes" `Quick test_total_subtypes;
+    Alcotest.test_case "ring constraints" `Quick test_ring_eval;
+    Alcotest.test_case "implicit type exclusion" `Quick test_implicit_exclusion;
+    Alcotest.test_case "strict subtyping" `Quick test_strict_subtyping;
+    Alcotest.test_case "check_strong" `Quick test_check_strong;
+    Alcotest.test_case "population basics" `Quick test_population_basics;
+  ]

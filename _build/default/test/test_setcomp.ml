@@ -1,0 +1,82 @@
+(* The SetPath closure (paper Fig. 9) in isolation: direct edges, equality
+   as two subsets, component-wise implications, transitive chains, and
+   culprit tracking. *)
+
+open Orm
+module Setcomp = Orm_patterns.Setcomp
+
+let bool = Alcotest.check Alcotest.bool
+
+let schema =
+  Schema.empty "sc"
+  |> Schema.add_fact (Fact_type.make "f" "A" "B")
+  |> Schema.add_fact (Fact_type.make "g" "A" "B")
+  |> Schema.add_fact (Fact_type.make "h" "A" "B")
+  |> Schema.add_constraint
+       (Constraints.make "s1" (Subset (Ids.whole_predicate "f", Ids.whole_predicate "g")))
+  |> Schema.add_constraint
+       (Constraints.make "s2" (Subset (Ids.whole_predicate "g", Ids.whole_predicate "h")))
+  |> Schema.add_constraint
+       (Constraints.make "e1" (Equality (Single (Ids.first "h"), Single (Ids.first "f"))))
+
+let g = Setcomp.build schema
+
+let path a b = Setcomp.set_path g a b
+
+let test_direct () =
+  bool "f <= g" true (path (Ids.whole_predicate "f") (Ids.whole_predicate "g") <> None);
+  bool "no reverse" true
+    (path (Ids.whole_predicate "g") (Ids.whole_predicate "f") = None);
+  bool "no self path" true
+    (path (Ids.whole_predicate "f") (Ids.whole_predicate "f") = None)
+
+let test_transitive () =
+  match path (Ids.whole_predicate "f") (Ids.whole_predicate "h") with
+  | Some ids ->
+      Alcotest.check (Alcotest.list Alcotest.string) "culprits along the chain"
+        [ "s1"; "s2" ] (List.sort String.compare ids)
+  | None -> Alcotest.fail "transitive path expected"
+
+let test_componentwise () =
+  (* Pair subsets imply role subsets (Fig. 9). *)
+  bool "f.1 <= g.1 implied" true
+    (path (Single (Ids.first "f")) (Single (Ids.first "g")) <> None);
+  bool "f.2 <= g.2 implied" true
+    (path (Single (Ids.second "f")) (Single (Ids.second "g")) <> None);
+  (* ... but role subsets do NOT imply pair subsets. *)
+  let role_only =
+    Schema.empty "ro"
+    |> Schema.add_fact (Fact_type.make "f" "A" "B")
+    |> Schema.add_fact (Fact_type.make "g" "A" "B")
+    |> Schema.add (Subset (Single (Ids.first "f"), Single (Ids.first "g")))
+  in
+  let g' = Setcomp.build role_only in
+  bool "no pair path from role subset" true
+    (Setcomp.set_path g' (Ids.whole_predicate "f") (Ids.whole_predicate "g") = None)
+
+let test_equality_both_ways () =
+  bool "h.1 <= f.1" true (path (Single (Ids.first "h")) (Single (Ids.first "f")) <> None);
+  bool "f.1 <= h.1" true (path (Single (Ids.first "f")) (Single (Ids.first "h")) <> None)
+
+let test_mixed_chain () =
+  (* f.1 <= g.1 (implied) ... g <= h gives g.1 <= h.1; h.1 = f.1 closes a
+     cycle; any_path must find something in either direction. *)
+  bool "any_path f.1 g.1" true
+    (Setcomp.any_path g (Single (Ids.first "f")) (Single (Ids.first "g")) <> None);
+  bool "any_path g.1 f.1 (via h)" true
+    (Setcomp.any_path g (Single (Ids.first "g")) (Single (Ids.first "f")) <> None)
+
+let test_empty_graph () =
+  let g' = Setcomp.build (Schema.empty "none") in
+  bool "no paths in empty graph" true
+    (Setcomp.set_path g' (Single (Ids.first "f")) (Single (Ids.first "g")) = None)
+
+let suite =
+  [
+    Alcotest.test_case "direct edges" `Quick test_direct;
+    Alcotest.test_case "transitive chain with culprits" `Quick test_transitive;
+    Alcotest.test_case "component-wise implication" `Quick test_componentwise;
+    Alcotest.test_case "equality is two subsets" `Quick test_equality_both_ways;
+    Alcotest.test_case "mixed chains" `Quick test_mixed_chain;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+  ]

@@ -1,0 +1,116 @@
+(* Subtype graph: reachability, common-supertype queries, cycle detection
+   and the topological comparison used by the model finder. *)
+
+open Orm
+
+let bool = Alcotest.check Alcotest.bool
+let strings = Alcotest.check (Alcotest.list Alcotest.string)
+
+let diamond =
+  (* D < B < A, D < C < A *)
+  Subtype_graph.of_edges [ ("B", "A"); ("C", "A"); ("D", "B"); ("D", "C") ]
+
+let forest = Subtype_graph.of_edges [ ("B", "A"); ("C", "A"); ("Y", "X") ]
+
+let looped = Subtype_graph.of_edges [ ("A", "B"); ("B", "C"); ("C", "A"); ("E", "D") ]
+
+let test_reachability () =
+  strings "supers of D" [ "A"; "B"; "C" ]
+    (Ids.String_set.elements (Subtype_graph.supertypes diamond "D"));
+  strings "subs of A" [ "B"; "C"; "D" ]
+    (Ids.String_set.elements (Subtype_graph.subtypes diamond "A"));
+  strings "supers of A" [] (Ids.String_set.elements (Subtype_graph.supertypes diamond "A"));
+  strings "direct supers of D" [ "B"; "C" ] (Subtype_graph.direct_supertypes diamond "D");
+  bool "D subtype of A" true (Subtype_graph.is_subtype_of diamond ~sub:"D" ~super:"A");
+  bool "A not subtype of D" false (Subtype_graph.is_subtype_of diamond ~sub:"A" ~super:"D");
+  bool "reflexive subtyping" true (Subtype_graph.is_subtype_of diamond ~sub:"D" ~super:"D")
+
+let test_related () =
+  bool "siblings related" true (Subtype_graph.related diamond "B" "C");
+  bool "cross-family unrelated" false (Subtype_graph.related forest "B" "Y");
+  bool "self related" true (Subtype_graph.related forest "B" "B");
+  bool "ancestor related" true (Subtype_graph.related diamond "A" "D")
+
+let test_cycles () =
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "one 3-cycle"
+    [ [ "A"; "B"; "C" ] ]
+    (Subtype_graph.cycles looped);
+  bool "A on cycle" true (Subtype_graph.on_cycle looped "A");
+  bool "E not on cycle" false (Subtype_graph.on_cycle looped "E");
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "diamond acyclic" [] (Subtype_graph.cycles diamond);
+  (* A self-loop is a cycle of length one. *)
+  let self = Subtype_graph.of_edges [ ("S", "S") ] in
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "self loop" [ [ "S" ] ] (Subtype_graph.cycles self)
+
+let test_two_cycles () =
+  let g = Subtype_graph.of_edges [ ("A", "B"); ("B", "A"); ("C", "D"); ("D", "C") ] in
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "two disjoint 2-cycles"
+    [ [ "A"; "B" ]; [ "C"; "D" ] ]
+    (Subtype_graph.cycles g)
+
+let test_height_order () =
+  let cmp = Subtype_graph.compare_height diamond in
+  bool "A before B" true (cmp "A" "B" < 0);
+  bool "B before D" true (cmp "B" "D" < 0);
+  bool "A before D" true (cmp "A" "D" < 0);
+  bool "antisymmetric" true (cmp "D" "A" > 0);
+  bool "equal" true (cmp "C" "C" = 0);
+  (* Siblings fall back to name order. *)
+  bool "B before C" true (cmp "B" "C" < 0)
+
+(* Property: transitive supertypes computed by BFS coincide with naive
+   fixpoint iteration of direct supertypes. *)
+let test_closure_property =
+  QCheck.Test.make ~count:200 ~name:"supertypes = naive closure"
+    QCheck.(list (pair (int_range 0 8) (int_range 0 8)))
+    (fun raw_edges ->
+      let name i = Printf.sprintf "N%d" i in
+      let edges = List.map (fun (a, b) -> (name a, name b)) raw_edges in
+      let g = Subtype_graph.of_edges edges in
+      (* Naive closure: start from the direct supertypes, then saturate.
+         The start node itself is included exactly when some edge reaches
+         back to it. *)
+      let naive start =
+        let step set =
+          Ids.String_set.fold
+            (fun t acc ->
+              List.fold_left
+                (fun acc (sub, super) ->
+                  if sub = t then Ids.String_set.add super acc else acc)
+                acc edges)
+            set set
+        in
+        let direct =
+          List.fold_left
+            (fun acc (sub, super) ->
+              if sub = start then Ids.String_set.add super acc else acc)
+            Ids.String_set.empty edges
+        in
+        let rec fix set =
+          let next = step set in
+          if Ids.String_set.equal next set then set else fix next
+        in
+        fix direct
+      in
+      List.for_all
+        (fun i ->
+          Ids.String_set.equal (Subtype_graph.supertypes g (name i)) (naive (name i)))
+        (List.init 9 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "related (common supertype)" `Quick test_related;
+    Alcotest.test_case "cycle detection" `Quick test_cycles;
+    Alcotest.test_case "multiple cycles" `Quick test_two_cycles;
+    Alcotest.test_case "topological height order" `Quick test_height_order;
+    QCheck_alcotest.to_alcotest test_closure_property;
+  ]

@@ -1,0 +1,62 @@
+(* The Value module: ordering, set operations, ranges, printing. *)
+
+open Orm
+
+let bool = Alcotest.check Alcotest.bool
+let int = Alcotest.check Alcotest.int
+let string = Alcotest.check Alcotest.string
+
+let test_compare () =
+  bool "str < int ordering is total" true
+    (Value.compare (Value.str "a") (Value.int 1) <> 0);
+  bool "antisymmetric" true
+    (Value.compare (Value.str "a") (Value.int 1)
+    = -Value.compare (Value.int 1) (Value.str "a"));
+  int "equal strings" 0 (Value.compare (Value.str "x") (Value.str "x"));
+  bool "int order" true (Value.compare (Value.int 1) (Value.int 2) < 0);
+  bool "equal" true (Value.equal (Value.int 5) (Value.int 5));
+  bool "not equal across kinds" false (Value.equal (Value.str "1") (Value.int 1))
+
+let test_printing () =
+  string "string quoted" "'x1'" (Value.to_string (Value.str "x1"));
+  string "int bare" "42" (Value.to_string (Value.int 42))
+
+let test_ranges () =
+  let r = Value.Constraint.of_range 3 7 in
+  int "cardinal 3..7" 5 (Value.Constraint.cardinal r);
+  bool "mem lower" true (Value.Constraint.mem (Value.int 3) r);
+  bool "mem upper" true (Value.Constraint.mem (Value.int 7) r);
+  bool "not mem outside" false (Value.Constraint.mem (Value.int 8) r);
+  int "singleton range" 1 (Value.Constraint.cardinal (Value.Constraint.of_range 5 5));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Value.Constraint.of_range: lo > hi") (fun () ->
+      ignore (Value.Constraint.of_range 7 3))
+
+let test_set_ops () =
+  let a = Value.Constraint.of_range 1 5 in
+  let b = Value.Constraint.of_range 4 8 in
+  int "union" 8 (Value.Constraint.cardinal (Value.Constraint.union a b));
+  int "inter" 2 (Value.Constraint.cardinal (Value.Constraint.inter a b));
+  bool "empty inter" true
+    (Value.Constraint.is_empty
+       (Value.Constraint.inter a (Value.Constraint.of_range 10 12)));
+  bool "dedup in of_list" true
+    (Value.Constraint.cardinal (Value.Constraint.of_strings [ "x"; "x"; "y" ]) = 2);
+  bool "equal is extensional" true
+    (Value.Constraint.equal
+       (Value.Constraint.of_list [ Value.int 2; Value.int 1 ])
+       (Value.Constraint.of_list [ Value.int 1; Value.int 2 ]))
+
+let test_pp_sorted () =
+  string "elements print sorted" "{1, 2, 3}"
+    (Format.asprintf "%a" Value.Constraint.pp (Value.Constraint.of_list
+       [ Value.int 3; Value.int 1; Value.int 2 ]))
+
+let suite =
+  [
+    Alcotest.test_case "comparison" `Quick test_compare;
+    Alcotest.test_case "printing" `Quick test_printing;
+    Alcotest.test_case "ranges" `Quick test_ranges;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "canonical printing" `Quick test_pp_sorted;
+  ]

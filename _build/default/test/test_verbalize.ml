@@ -1,0 +1,101 @@
+(* Verbalization: each constraint kind has a sentence, and the key phrases
+   land where domain experts expect them. *)
+
+open Orm
+module V = Orm_verbalize.Verbalize
+
+let contains = Str_split_contains.contains
+let bool = Alcotest.check Alcotest.bool
+
+let schema =
+  Schema.empty "verb"
+  |> Schema.add_subtype ~sub:"Employee" ~super:"Person"
+  |> Schema.add_fact (Fact_type.make ~reading:"works for" "works_for" "Employee" "Company")
+  |> Schema.add_fact (Fact_type.make ~reading:"audits" "audits" "Employee" "Company")
+  |> Schema.add_fact (Fact_type.make ~reading:"mentors" "mentors" "Employee" "Employee")
+
+let sentence body =
+  V.constraint_ schema (Constraints.make "c" body)
+
+let test_fact_and_subtype () =
+  bool "fact reading" true
+    (contains
+       (V.fact_type (Option.get (Schema.find_fact schema "works_for")))
+       "Each Employee works for some-or-no Company.");
+  bool "subtype" true
+    (V.subtype ~sub:"Employee" ~super:"Person" = "Each Employee is a Person.")
+
+let test_constraint_sentences () =
+  let checks =
+    [
+      ( Constraints.Mandatory (Ids.first "works_for"),
+        "Each Employee works for at least one Company" );
+      ( Constraints.Uniqueness (Single (Ids.first "works_for")),
+        "works for at most one Company" );
+      ( Constraints.Uniqueness (Single (Ids.second "works_for")),
+        "is works for by at most one Employee" );
+      ( Constraints.Frequency (Single (Ids.first "works_for"), Constraints.frequency ~max:5 2),
+        "at least 2 and at most 5" );
+      ( Constraints.Frequency (Single (Ids.first "works_for"), Constraints.frequency 3),
+        "at least 3" );
+      ( Constraints.Frequency
+          (Single (Ids.first "works_for"), Constraints.frequency ~max:2 2),
+        "exactly 2" );
+      ( Constraints.Value_constraint ("Company", Value.Constraint.of_strings [ "acme" ]),
+        "The possible values of Company are 'acme'." );
+      ( Constraints.Role_exclusion
+          [ Ids.Single (Ids.first "works_for"); Ids.Single (Ids.first "audits") ],
+        "No object works for some Company and also audits some Company." );
+      ( Constraints.Subset (Single (Ids.first "audits"), Single (Ids.first "works_for")),
+        "Whatever audits some Company also works for some Company." );
+      ( Constraints.Equality
+          (Ids.whole_predicate "works_for", Ids.whole_predicate "audits"),
+        "Exactly the same objects" );
+      (Constraints.Type_exclusion [ "Person"; "Company" ], "No object is more than one of");
+      ( Constraints.Total_subtypes ("Person", [ "Employee" ]),
+        "Each Person is at least one of: Employee." );
+      ( Constraints.Disjunctive_mandatory [ Ids.first "works_for"; Ids.first "audits" ],
+        "works for some Company or audits some Company" );
+      (Constraints.Ring (Ring.Irreflexive, "mentors"), "No object mentors itself.");
+      (Constraints.Ring (Ring.Symmetric, "mentors"), "If x mentors y, then y mentors x.");
+      ( Constraints.Ring (Ring.Acyclic, "mentors"),
+        "No chain of 'mentors' links loops back to its start." );
+      ( Constraints.Ring (Ring.Intransitive, "mentors"),
+        "then x does not mentors z" );
+      ( Constraints.Ring (Ring.Antisymmetric, "mentors"),
+        "x and y are the same object" );
+      ( Constraints.Ring (Ring.Asymmetric, "mentors"),
+        "then y does not mentors x" );
+    ]
+  in
+  List.iter
+    (fun (body, expected) ->
+      let s = sentence body in
+      bool (Printf.sprintf "%S in %S" expected s) true (contains s expected))
+    checks
+
+let test_schema_verbalization_complete () =
+  (* One sentence per fact, subtype edge and constraint. *)
+  let s =
+    schema
+    |> Schema.add (Mandatory (Ids.first "works_for"))
+    |> Schema.add (Uniqueness (Single (Ids.first "works_for")))
+  in
+  Alcotest.check Alcotest.int "sentence count"
+    (3 (* facts *) + 1 (* subtype *) + 2 (* constraints *))
+    (List.length (V.schema s))
+
+let test_default_reading () =
+  (* Fact types without an explicit reading fall back to the name with
+     underscores replaced. *)
+  let ft = Fact_type.make "reports_to" "A" "B" in
+  bool "underscores become spaces" true (Fact_type.reading_text ft = "reports to")
+
+let suite =
+  [
+    Alcotest.test_case "facts and subtypes" `Quick test_fact_and_subtype;
+    Alcotest.test_case "constraint sentences" `Quick test_constraint_sentences;
+    Alcotest.test_case "whole-schema verbalization" `Quick
+      test_schema_verbalization_complete;
+    Alcotest.test_case "default reading" `Quick test_default_reading;
+  ]
