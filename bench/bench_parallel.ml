@@ -1,0 +1,112 @@
+(* Sequential-vs-parallel benchmark, persisted as BENCH_parallel.json.
+
+   Two workloads, matching Engine_par's two modes:
+
+   - per figure schema: one Engine.check against the pattern-fanning
+     Engine_par.check (figures are tiny, so this mostly measures the pool
+     floor — small on many cores, visible on few);
+   - per generated-schema batch: a List.map Engine.check baseline against
+     Engine_par.check_batch at several domain counts over >= 100 schemas.
+
+   Times are best-of-[repeats] monotonic wall times; the host's recommended
+   domain count is recorded so a reader can tell a 1-core container's ~1x
+   "speedup" from a real multicore run. *)
+
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Metrics = Orm_telemetry.Metrics
+
+let repeats = 5
+
+let best_of_ns f =
+  let best = ref max_int in
+  for _ = 1 to repeats do
+    let (_ : unit), ns = Metrics.time f in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+
+let json_arr items = "[" ^ String.concat "," items ^ "]"
+
+let figure_rows ~domains =
+  List.map
+    (fun (e : Orm.Figures.expectation) ->
+      let seq_ns = best_of_ns (fun () -> ignore (Engine.check e.schema)) in
+      let par_ns =
+        best_of_ns (fun () -> ignore (Engine_par.check ~domains e.schema))
+      in
+      json_obj
+        [
+          ("figure", Printf.sprintf "%S" e.figure);
+          ("sequential_ns", string_of_int seq_ns);
+          ("parallel_fan_ns", string_of_int par_ns);
+          ("domains", string_of_int domains);
+        ])
+    Orm.Figures.all
+
+let batch_schemas ~n ~size =
+  List.init n (fun i ->
+      let base = Orm_generator.Gen.clean ~config:(Orm_generator.Gen.sized size) ~seed:(500 + i) () in
+      if i mod 3 = 0 then
+        (Orm_generator.Faults.inject ~seed:(500 + i) (1 + (i mod 9)) base)
+          .Orm_generator.Faults.schema
+      else base)
+
+let batch_rows ~domain_counts ~n ~size =
+  let schemas = batch_schemas ~n ~size in
+  let seq_ns = best_of_ns (fun () -> ignore (List.map Engine.check schemas)) in
+  List.map
+    (fun domains ->
+      let par_ns =
+        best_of_ns (fun () -> ignore (Engine_par.check_batch ~domains schemas))
+      in
+      json_obj
+        [
+          ("schemas", string_of_int n);
+          ("size", string_of_int size);
+          ("domains", string_of_int domains);
+          ("sequential_ns", string_of_int seq_ns);
+          ("parallel_ns", string_of_int par_ns);
+          ("speedup", Printf.sprintf "%.3f" (float_of_int seq_ns /. float_of_int par_ns));
+        ])
+    domain_counts
+
+let run ?(file = "BENCH_parallel.json") () =
+  let recommended = Domain.recommended_domain_count () in
+  let fan_domains = max 2 (min 4 recommended) in
+  let figures = figure_rows ~domains:fan_domains in
+  let batches =
+    batch_rows ~domain_counts:[ 1; 2; 4; 8 ] ~n:120 ~size:12
+    @ batch_rows ~domain_counts:[ 1; 2; 4; 8 ] ~n:200 ~size:6
+  in
+  let doc =
+    json_obj
+      [
+        ("host_recommended_domains", string_of_int recommended);
+        ("repeats", string_of_int repeats);
+        ( "note",
+          Printf.sprintf
+            "%S"
+            (if recommended <= 1 then
+               "host exposes a single core: domain parallelism cannot beat the \
+                sequential engine here; speedups > 1 require \
+                host_recommended_domains >= 2 (the differential test suite \
+                still proves report equivalence at every domain count)"
+             else "speedup = sequential_ns / parallel_ns; > 1 means the pool wins") );
+        ("figures", json_arr figures);
+        ("batches", json_arr batches);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n==== parallel batch engine (best of %d, %d recommended domain(s)) ====\n"
+    repeats recommended;
+  Printf.printf "wrote %s\n" file;
+  List.iter
+    (fun row -> Printf.printf "  %s\n" row)
+    batches

@@ -147,4 +147,5 @@ let run_bechamel () =
 let () =
   Experiments.run_all ();
   run_bechamel ();
+  Bench_parallel.run ();
   print_newline ()

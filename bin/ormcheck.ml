@@ -16,7 +16,9 @@
 
 open Cmdliner
 module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
 module Settings = Orm_patterns.Settings
+module Metrics = Orm_telemetry.Metrics
 
 let load file =
   match Orm_dsl.Parser.parse_file file with
@@ -62,23 +64,120 @@ let settings_term =
   in
   Term.(const make $ refined $ no_propagate $ extensions $ disabled)
 
+(* Shared by check and batch: --jobs selects the domain count (0 = the
+   runtime's recommendation), --stats prints a telemetry table on stderr,
+   --stats-json writes the snapshot to a file. *)
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Check on $(docv) domains: a batch spreads schemas across the pool, \
+           a single check fans the enabled patterns.  $(docv)=1 is the \
+           sequential engine; 0 means the runtime's recommended domain count; \
+           omitted means sequential for a single schema and the recommended \
+           count for a batch.")
+
+let stats_term =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-pattern telemetry (wall time, fire counts) on stderr.")
+
+let stats_json_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE" ~doc:"Write the telemetry snapshot to $(docv) as JSON.")
+
+let resolve_jobs = function
+  | Some 0 -> Some (Engine_par.default_domains ())
+  | Some n when n < 0 -> None
+  | j -> j
+
+let emit_stats ~stats ~stats_json metrics =
+  Option.iter
+    (fun m ->
+      let snap = Metrics.snapshot m in
+      if stats then Format.eprintf "%a@." Metrics.pp snap;
+      Option.iter
+        (fun file ->
+          match open_out file with
+          | oc ->
+              output_string oc (Metrics.to_json snap);
+              output_char oc '\n';
+              close_out oc
+          | exception Sys_error msg ->
+              prerr_endline ("ormcheck: cannot write --stats-json file: " ^ msg);
+              exit 2)
+        stats_json)
+    metrics
+
 let check_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Render domain-expert explanations (verbalized culprit constraints) instead of the raw report.")
   in
-  let run file settings explain =
+  let run file settings explain jobs stats stats_json =
     let schema = or_die (load file) in
-    let report = Engine.check ~settings schema in
+    let metrics =
+      if stats || stats_json <> None then Some (Metrics.create ()) else None
+    in
+    let report =
+      match resolve_jobs jobs with
+      | Some n when n > 1 -> Engine_par.check ~domains:n ~settings ?metrics schema
+      | _ -> Engine.check ~settings ?metrics schema
+    in
     if explain then
       List.iter
         (fun e -> Format.printf "%a@.@." Orm_explain.Explain.pp e)
         (Orm_explain.Explain.report schema report)
     else Format.printf "%a@." Engine.pp_report report;
+    emit_stats ~stats ~stats_json metrics;
     if report.diagnostics = [] then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the nine unsatisfiability patterns over a schema.")
-    Term.(const run $ file_arg $ settings_term $ explain)
+    Term.(const run $ file_arg $ settings_term $ explain $ jobs_term $ stats_term $ stats_json_term)
+
+(* ---- batch ----------------------------------------------------------- *)
+
+let batch_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Schema files (.orm); repeatable.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only the per-file verdict line, no diagnostics.")
+  in
+  let run files settings jobs stats stats_json quiet =
+    let schemas = List.map (fun f -> (f, or_die (load f))) files in
+    let metrics =
+      if stats || stats_json <> None then Some (Metrics.create ()) else None
+    in
+    let domains =
+      match resolve_jobs jobs with Some n -> n | None -> Engine_par.default_domains ()
+    in
+    let reports =
+      Engine_par.check_batch ~domains ~settings ?metrics (List.map snd schemas)
+    in
+    let n_unsat = ref 0 in
+    List.iter2
+      (fun (file, _) (report : Engine.report) ->
+        let n = List.length report.diagnostics in
+        if n = 0 then Printf.printf "%s: clean\n" file
+        else begin
+          incr n_unsat;
+          Printf.printf "%s: %d diagnostic(s)\n" file n;
+          if not quiet then Format.printf "%a@." Engine.pp_report report
+        end)
+      schemas reports;
+    Printf.printf "%d/%d schema(s) clean\n" (List.length files - !n_unsat) (List.length files);
+    emit_stats ~stats ~stats_json metrics;
+    if !n_unsat = 0 then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Check many schemas concurrently on a domain pool (see --jobs).")
+    Term.(const run $ files_arg $ settings_term $ jobs_term $ stats_term $ stats_json_term $ quiet)
 
 (* ---- verbalize ------------------------------------------------------ *)
 
@@ -365,4 +464,4 @@ let gen_cmd =
 let () =
   let doc = "Unsatisfiability reasoning for ORM conceptual schemas" in
   let info = Cmd.info "ormcheck" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd ]))

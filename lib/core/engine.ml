@@ -22,8 +22,15 @@ let pattern_check = function
   | 12 -> P12_acyclic_mandatory.check
   | n -> invalid_arg (Printf.sprintf "Engine.run_pattern: no pattern %d" n)
 
-let run_pattern n ?(settings = Settings.default) schema =
-  pattern_check n settings schema
+module Metrics = Orm_telemetry.Metrics
+
+let run_pattern n ?(settings = Settings.default) ?metrics schema =
+  match metrics with
+  | None -> pattern_check n settings schema
+  | Some m ->
+      let diagnostics, time_ns = Metrics.time (fun () -> pattern_check n settings schema) in
+      Metrics.record_pattern m ~pattern:n ~time_ns ~fired:(List.length diagnostics);
+      diagnostics
 
 (* Downward propagation (a refinement over the paper): an unsatisfiable
    object type empties its strict subtypes and the roles it plays; an
@@ -84,22 +91,48 @@ let propagate schema (types, roles) =
 let aggregate diagnostics =
   (Diagnostic.affected_types diagnostics, Diagnostic.affected_roles diagnostics)
 
-let assemble ?(settings = Settings.default) schema diagnostics =
+let assemble ?(settings = Settings.default) ?metrics schema diagnostics =
   let types, roles = aggregate diagnostics in
   let joint = Diagnostic.joint_groups diagnostics in
   if not settings.propagate then
     { diagnostics; unsat_types = types; unsat_roles = roles; joint }
-  else
-    let types, roles, derived = propagate schema (types, roles) in
-    { diagnostics = diagnostics @ derived; unsat_types = types; unsat_roles = roles; joint }
+  else begin
+    match metrics with
+    | None ->
+        let types, roles, derived = propagate schema (types, roles) in
+        { diagnostics = diagnostics @ derived; unsat_types = types; unsat_roles = roles; joint }
+    | Some m ->
+        let (types, roles, derived), time_ns =
+          Metrics.time (fun () -> propagate schema (types, roles))
+        in
+        Metrics.record_propagation m ~time_ns ~derived:(List.length derived);
+        { diagnostics = diagnostics @ derived; unsat_types = types; unsat_roles = roles; joint }
+  end
 
-let check ?(settings = Settings.default) schema =
-  let diagnostics =
-    List.concat_map
-      (fun n -> pattern_check n settings schema)
-      (List.sort_uniq Int.compare settings.enabled)
-  in
-  assemble ~settings schema diagnostics
+let enabled_patterns settings =
+  List.sort_uniq Int.compare settings.Settings.enabled
+
+let check ?(settings = Settings.default) ?metrics schema =
+  match metrics with
+  | None ->
+      let diagnostics =
+        List.concat_map
+          (fun n -> pattern_check n settings schema)
+          (enabled_patterns settings)
+      in
+      assemble ~settings schema diagnostics
+  | Some m ->
+      let report, time_ns =
+        Metrics.time (fun () ->
+            let diagnostics =
+              List.concat_map
+                (fun n -> run_pattern n ~settings ~metrics:m schema)
+                (enabled_patterns settings)
+            in
+            assemble ~settings ~metrics:m schema diagnostics)
+      in
+      Metrics.record_check m ~time_ns;
+      report
 
 let is_strongly_satisfiable_candidate ?settings schema =
   (check ?settings schema).diagnostics = []

@@ -19,20 +19,40 @@ type report = {
           member unsatisfiable) *)
 }
 
-val check : ?settings:Settings.t -> Schema.t -> report
+val check :
+  ?settings:Settings.t -> ?metrics:Orm_telemetry.Metrics.t -> Schema.t -> report
 (** Runs the enabled patterns (then propagation if
-    {!Settings.t.propagate}) and aggregates the verdicts. *)
+    {!Settings.t.propagate}) and aggregates the verdicts.
 
-val assemble : ?settings:Settings.t -> Schema.t -> Diagnostic.t list -> report
+    When [metrics] is given, per-pattern wall time and fire counts, the
+    propagation phase and the whole check are recorded into it; the report
+    itself is unaffected.  Without [metrics] the engine performs no timing
+    and allocates nothing for telemetry. *)
+
+val assemble :
+  ?settings:Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  Schema.t ->
+  Diagnostic.t list ->
+  report
 (** Aggregates pattern diagnostics into a report, applying the propagation
     phase when enabled.  [check] is [assemble] over the output of the
     enabled patterns; incremental callers (the interactive session) use it
     to combine cached per-pattern diagnostics. *)
 
-val run_pattern : int -> ?settings:Settings.t -> Schema.t -> Diagnostic.t list
+val run_pattern :
+  int ->
+  ?settings:Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  Schema.t ->
+  Diagnostic.t list
 (** Runs a single pattern regardless of the enabled set: 1–9 are the
     paper's patterns, 10–12 the {!Settings.extension_patterns}.
     @raise Invalid_argument for other numbers. *)
+
+val enabled_patterns : Settings.t -> int list
+(** The enabled pattern numbers, deduplicated and ascending — the order
+    [check] runs them in. *)
 
 val is_strongly_satisfiable_candidate : ?settings:Settings.t -> Schema.t -> bool
 (** [true] when no pattern fires — a {e candidate} because the patterns are

@@ -1,0 +1,70 @@
+(** Parallel batch checking on OCaml 5 domains.
+
+    The pattern engine is the {e fast} half of the paper's fast-vs-complete
+    pair, meant to run on every edit; serving many schemas (or one huge
+    schema) under load additionally wants the hardware's cores.  This module
+    runs {!Engine.check} over a batch of schemas on a small fixed-size
+    domain pool fed by a work queue, and can alternatively fan the enabled
+    patterns of a {e single} schema across the pool.
+
+    Reports are bit-for-bit identical to the sequential engine's: each
+    schema is still checked by the unmodified [Engine.check] (batch mode),
+    or its per-pattern diagnostics are reassembled in pattern order before
+    {!Engine.assemble} (fan mode), so diagnostic order, propagation and
+    joint verdicts never depend on domain scheduling.  The differential
+    test suite ([test/test_parallel_diff.ml]) enforces this across settings
+    and domain counts.
+
+    Schemas are immutable and the pattern checks are pure, so sharing one
+    schema between domains is safe. *)
+
+open Orm
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when
+    [?domains] is omitted. *)
+
+val check_batch :
+  ?domains:int ->
+  ?settings:Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  Schema.t list ->
+  Engine.report list
+(** [check_batch schemas] checks every schema and returns the reports in
+    input order.  [domains] bounds the pool size (clamped to at least 1 and
+    at most the batch size); [domains <= 1] degrades to a plain sequential
+    loop with no domain spawned.  [metrics] is shared by all workers — its
+    counters are atomic, so per-pattern totals aggregate correctly — and
+    additionally receives one {!Orm_telemetry.Metrics.record_batch} entry
+    with the batch wall time.
+
+    An exception raised by any check is re-raised in the caller after the
+    pool has drained. *)
+
+val check :
+  ?domains:int ->
+  ?settings:Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  Schema.t ->
+  Engine.report
+(** Fans the enabled patterns of one schema across the pool, then assembles
+    exactly as the sequential engine would.  Worth it only when individual
+    patterns are expensive (large schemas); for small schemas the pool
+    overhead dominates. *)
+
+(** The underlying fixed-size domain pool, exposed for reuse by later
+    scaling work (sharded stores, concurrent sessions).  Work items are
+    thunks; the pool is not reusable after {!Pool.shutdown}. *)
+module Pool : sig
+  type t
+
+  val create : int -> t
+  (** [create n] spawns [n] worker domains ([n >= 1]). *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueues a task.  Tasks must not raise (wrap them).
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Drains the queue, waits for running tasks and joins the workers. *)
+end

@@ -2,12 +2,14 @@ open Orm
 module Engine = Orm_patterns.Engine
 module Settings = Orm_patterns.Settings
 module Diagnostic = Orm_patterns.Diagnostic
+module Metrics = Orm_telemetry.Metrics
 
 module Imap = Map.Make (Int)
 
 type t = {
   schema : Schema.t;
   session_settings : Settings.t;
+  metrics : Metrics.t option;
   cache : Diagnostic.t list Imap.t;  (* pattern number -> its diagnostics *)
   report : Engine.report;
   past : (Edit.t * t) list;  (* newest first: edit together with the state before it *)
@@ -16,22 +18,26 @@ type t = {
 
 let enabled settings = List.sort_uniq Int.compare settings.Settings.enabled
 
-let rebuild_report settings schema cache =
+let rebuild_report ?metrics settings schema cache =
   let diagnostics = List.concat_map snd (Imap.bindings cache) in
-  Engine.assemble ~settings schema diagnostics
+  Engine.assemble ~settings ?metrics schema diagnostics
 
-let full_cache settings schema =
+let full_cache ?metrics settings schema =
   List.fold_left
-    (fun cache n -> Imap.add n (Engine.run_pattern n ~settings schema) cache)
+    (fun cache n -> Imap.add n (Engine.run_pattern n ~settings ?metrics schema) cache)
     Imap.empty (enabled settings)
 
-let create ?(settings = Settings.default) schema =
-  let cache = full_cache settings schema in
+let create ?(settings = Settings.default) ?metrics schema =
+  let cache = full_cache ?metrics settings schema in
+  Option.iter
+    (fun m -> Metrics.record_cache_miss m (List.length (enabled settings)))
+    metrics;
   {
     schema;
     session_settings = settings;
+    metrics;
     cache;
-    report = rebuild_report settings schema cache;
+    report = rebuild_report ?metrics settings schema cache;
     past = [];
     last_rechecked = enabled settings;
   }
@@ -46,18 +52,27 @@ let apply edit t =
       (fun n -> List.mem n (enabled t.session_settings))
       (Edit.affected_patterns t.schema edit)
   in
+  Option.iter
+    (fun m ->
+      Metrics.record_cache_miss m (List.length affected);
+      Metrics.record_cache_hit m
+        (List.length (enabled t.session_settings) - List.length affected))
+    t.metrics;
   let schema = Edit.apply edit t.schema in
   let cache =
     List.fold_left
       (fun cache n ->
-        Imap.add n (Engine.run_pattern n ~settings:t.session_settings schema) cache)
+        Imap.add n
+          (Engine.run_pattern n ~settings:t.session_settings ?metrics:t.metrics schema)
+          cache)
       t.cache affected
   in
   {
     schema;
     session_settings = t.session_settings;
+    metrics = t.metrics;
     cache;
-    report = rebuild_report t.session_settings schema cache;
+    report = rebuild_report ?metrics:t.metrics t.session_settings schema cache;
     past = (edit, t) :: t.past;
     last_rechecked = affected;
   }

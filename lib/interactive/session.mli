@@ -13,8 +13,13 @@ open Orm
 
 type t
 
-val create : ?settings:Orm_patterns.Settings.t -> Schema.t -> t
-(** Fresh session; performs one full check. *)
+val create :
+  ?settings:Orm_patterns.Settings.t -> ?metrics:Orm_telemetry.Metrics.t -> Schema.t -> t
+(** Fresh session; performs one full check.  When [metrics] is given, every
+    subsequent {!apply} records which pattern results were served from the
+    cache ([record_cache_hit]) versus recomputed ([record_cache_miss]), on
+    top of the engine's own per-pattern timers; the initial full check
+    counts as all misses. *)
 
 val schema : t -> Schema.t
 val settings : t -> Orm_patterns.Settings.t

@@ -1,0 +1,424 @@
+let now_ns = Monotonic_clock.now
+
+let time f =
+  let t0 = now_ns () in
+  let v = f () in
+  let t1 = now_ns () in
+  (v, Int64.to_int (Int64.sub t1 t0))
+
+let max_pattern = 12
+
+(* Slot 0 collects out-of-range pattern numbers: telemetry must never turn a
+   successful check into an exception. *)
+type t = {
+  pattern_runs : int Atomic.t array;  (* length max_pattern + 1 *)
+  pattern_fires : int Atomic.t array;
+  pattern_time_ns : int Atomic.t array;
+  checks : int Atomic.t;
+  check_time_ns : int Atomic.t;
+  propagation_runs : int Atomic.t;
+  propagation_time_ns : int Atomic.t;
+  propagation_derived : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  batches : int Atomic.t;
+  batch_schemas : int Atomic.t;
+  batch_domains : int Atomic.t;
+  batch_time_ns : int Atomic.t;
+}
+
+let atomic_array () = Array.init (max_pattern + 1) (fun _ -> Atomic.make 0)
+
+let create () =
+  {
+    pattern_runs = atomic_array ();
+    pattern_fires = atomic_array ();
+    pattern_time_ns = atomic_array ();
+    checks = Atomic.make 0;
+    check_time_ns = Atomic.make 0;
+    propagation_runs = Atomic.make 0;
+    propagation_time_ns = Atomic.make 0;
+    propagation_derived = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    batches = Atomic.make 0;
+    batch_schemas = Atomic.make 0;
+    batch_domains = Atomic.make 0;
+    batch_time_ns = Atomic.make 0;
+  }
+
+let reset t =
+  let zero a = Atomic.set a 0 in
+  Array.iter zero t.pattern_runs;
+  Array.iter zero t.pattern_fires;
+  Array.iter zero t.pattern_time_ns;
+  List.iter zero
+    [
+      t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
+      t.propagation_derived; t.cache_hits; t.cache_misses; t.batches;
+      t.batch_schemas; t.batch_domains; t.batch_time_ns;
+    ]
+
+let bump a n = ignore (Atomic.fetch_and_add a n)
+
+let record_pattern t ~pattern ~time_ns ~fired =
+  let p = if pattern >= 1 && pattern <= max_pattern then pattern else 0 in
+  bump t.pattern_runs.(p) 1;
+  bump t.pattern_fires.(p) fired;
+  bump t.pattern_time_ns.(p) time_ns
+
+let record_check t ~time_ns =
+  bump t.checks 1;
+  bump t.check_time_ns time_ns
+
+let record_propagation t ~time_ns ~derived =
+  bump t.propagation_runs 1;
+  bump t.propagation_time_ns time_ns;
+  bump t.propagation_derived derived
+
+let record_cache_hit t n = bump t.cache_hits n
+let record_cache_miss t n = bump t.cache_misses n
+
+let record_batch t ~schemas ~domains ~time_ns =
+  bump t.batches 1;
+  bump t.batch_schemas schemas;
+  Atomic.set t.batch_domains domains;
+  bump t.batch_time_ns time_ns
+
+type pattern_stat = { pattern : int; runs : int; fires : int; time_ns : int }
+
+type snapshot = {
+  patterns : pattern_stat list;
+  checks : int;
+  check_time_ns : int;
+  propagation_runs : int;
+  propagation_time_ns : int;
+  propagation_derived : int;
+  cache_hits : int;
+  cache_misses : int;
+  batches : int;
+  batch_schemas : int;
+  batch_domains : int;
+  batch_time_ns : int;
+}
+
+let snapshot t =
+  let patterns = ref [] in
+  for p = max_pattern downto 0 do
+    let runs = Atomic.get t.pattern_runs.(p) in
+    if runs > 0 then
+      patterns :=
+        {
+          pattern = p;
+          runs;
+          fires = Atomic.get t.pattern_fires.(p);
+          time_ns = Atomic.get t.pattern_time_ns.(p);
+        }
+        :: !patterns
+  done;
+  {
+    patterns = !patterns;
+    checks = Atomic.get t.checks;
+    check_time_ns = Atomic.get t.check_time_ns;
+    propagation_runs = Atomic.get t.propagation_runs;
+    propagation_time_ns = Atomic.get t.propagation_time_ns;
+    propagation_derived = Atomic.get t.propagation_derived;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    batches = Atomic.get t.batches;
+    batch_schemas = Atomic.get t.batch_schemas;
+    batch_domains = Atomic.get t.batch_domains;
+    batch_time_ns = Atomic.get t.batch_time_ns;
+  }
+
+let zero =
+  {
+    patterns = [];
+    checks = 0;
+    check_time_ns = 0;
+    propagation_runs = 0;
+    propagation_time_ns = 0;
+    propagation_derived = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    batches = 0;
+    batch_schemas = 0;
+    batch_domains = 0;
+    batch_time_ns = 0;
+  }
+
+let add a b =
+  let merge_patterns pa pb =
+    let tbl = Hashtbl.create 16 in
+    let feed { pattern; runs; fires; time_ns } =
+      let prev =
+        Option.value ~default:{ pattern; runs = 0; fires = 0; time_ns = 0 }
+          (Hashtbl.find_opt tbl pattern)
+      in
+      Hashtbl.replace tbl pattern
+        {
+          pattern;
+          runs = prev.runs + runs;
+          fires = prev.fires + fires;
+          time_ns = prev.time_ns + time_ns;
+        }
+    in
+    List.iter feed pa;
+    List.iter feed pb;
+    Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+    |> List.sort (fun a b -> compare a.pattern b.pattern)
+  in
+  {
+    patterns = merge_patterns a.patterns b.patterns;
+    checks = a.checks + b.checks;
+    check_time_ns = a.check_time_ns + b.check_time_ns;
+    propagation_runs = a.propagation_runs + b.propagation_runs;
+    propagation_time_ns = a.propagation_time_ns + b.propagation_time_ns;
+    propagation_derived = a.propagation_derived + b.propagation_derived;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    batches = a.batches + b.batches;
+    batch_schemas = a.batch_schemas + b.batch_schemas;
+    batch_domains = (if b.batches > 0 then b.batch_domains else a.batch_domains);
+    batch_time_ns = a.batch_time_ns + b.batch_time_ns;
+  }
+
+let equal (a : snapshot) (b : snapshot) = a = b
+
+let total_pattern_time_ns s =
+  List.fold_left (fun acc p -> acc + p.time_ns) 0 s.patterns
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Format.fprintf ppf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf ppf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf ppf "%.2f us" (f /. 1e3)
+  else Format.fprintf ppf "%d ns" ns
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "checks: %d (" s.checks;
+  pp_ns ppf s.check_time_ns;
+  Format.fprintf ppf " total)@,";
+  if s.patterns <> [] then begin
+    Format.fprintf ppf "%-10s %8s %8s %12s@," "pattern" "runs" "fires" "time";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "%-10d %8d %8d %12s@," p.pattern p.runs p.fires
+          (Format.asprintf "%a" pp_ns p.time_ns))
+      s.patterns
+  end;
+  if s.propagation_runs > 0 then begin
+    Format.fprintf ppf "propagation: %d run(s), %d derived diagnostic(s), "
+      s.propagation_runs s.propagation_derived;
+    pp_ns ppf s.propagation_time_ns;
+    Format.fprintf ppf "@,"
+  end;
+  if s.cache_hits + s.cache_misses > 0 then
+    Format.fprintf ppf "session cache: %d hit(s), %d miss(es)@," s.cache_hits
+      s.cache_misses;
+  if s.batches > 0 then begin
+    Format.fprintf ppf "batches: %d (%d schema(s), %d domain(s), " s.batches
+      s.batch_schemas s.batch_domains;
+    pp_ns ppf s.batch_time_ns;
+    Format.fprintf ppf ")@,"
+  end;
+  Format.fprintf ppf "@]"
+
+(* ---- JSON ------------------------------------------------------------ *)
+
+let to_json s =
+  let buf = Buffer.create 512 in
+  let field first k v =
+    if not first then Buffer.add_char buf ',';
+    Buffer.add_string buf (Printf.sprintf "%S:%s" k v)
+  in
+  Buffer.add_char buf '{';
+  field true "checks" (string_of_int s.checks);
+  field false "check_time_ns" (string_of_int s.check_time_ns);
+  field false "propagation_runs" (string_of_int s.propagation_runs);
+  field false "propagation_time_ns" (string_of_int s.propagation_time_ns);
+  field false "propagation_derived" (string_of_int s.propagation_derived);
+  field false "cache_hits" (string_of_int s.cache_hits);
+  field false "cache_misses" (string_of_int s.cache_misses);
+  field false "batches" (string_of_int s.batches);
+  field false "batch_schemas" (string_of_int s.batch_schemas);
+  field false "batch_domains" (string_of_int s.batch_domains);
+  field false "batch_time_ns" (string_of_int s.batch_time_ns);
+  field false "patterns"
+    ("["
+    ^ String.concat ","
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "{\"pattern\":%d,\"runs\":%d,\"fires\":%d,\"time_ns\":%d}"
+               p.pattern p.runs p.fires p.time_ns)
+           s.patterns)
+    ^ "]");
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* A minimal JSON reader covering what to_json emits: objects, arrays,
+   integers and strings.  No floats, no escapes beyond the printer's. *)
+module Json_reader = struct
+  type value =
+    | Int of int
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  exception Bad of string
+
+  type state = { src : string; mutable pos : int }
+
+  let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        st.pos <- st.pos + 1;
+        skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    skip_ws st;
+    match peek st with
+    | Some d when d = c -> st.pos <- st.pos + 1
+    | _ -> error st (Printf.sprintf "expected %c" c)
+
+  let parse_string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek st with
+      | None -> error st "unterminated string"
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' -> (
+          st.pos <- st.pos + 1;
+          match peek st with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char buf c;
+              st.pos <- st.pos + 1;
+              loop ()
+          | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
+          | _ -> error st "unsupported escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          st.pos <- st.pos + 1;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+
+  let parse_int st =
+    let start = st.pos in
+    (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
+    let rec digits () =
+      match peek st with
+      | Some ('0' .. '9') ->
+          st.pos <- st.pos + 1;
+          digits ()
+      | _ -> ()
+    in
+    digits ();
+    if st.pos = start then error st "expected integer";
+    int_of_string (String.sub st.src start (st.pos - start))
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
+        else
+          let rec members acc =
+            let k = (skip_ws st; parse_string st) in
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
+            | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
+            | _ -> error st "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
+            | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
+            | _ -> error st "expected , or ]"
+          in
+          elems []
+    | Some '"' -> Str (parse_string st)
+    | Some ('-' | '0' .. '9') -> Int (parse_int st)
+    | _ -> error st "expected value"
+
+  let parse src =
+    let st = { src; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then error st "trailing input";
+    v
+end
+
+let of_json src =
+  let open Json_reader in
+  try
+    match parse src with
+    | Obj fields ->
+        let int k default =
+          match List.assoc_opt k fields with
+          | Some (Int n) -> n
+          | Some _ -> raise (Bad (k ^ ": expected integer"))
+          | None -> default
+        in
+        let patterns =
+          match List.assoc_opt "patterns" fields with
+          | None -> []
+          | Some (Arr items) ->
+              List.map
+                (function
+                  | Obj pf ->
+                      let pint k =
+                        match List.assoc_opt k pf with
+                        | Some (Int n) -> n
+                        | _ -> raise (Bad ("patterns." ^ k ^ ": expected integer"))
+                      in
+                      {
+                        pattern = pint "pattern";
+                        runs = pint "runs";
+                        fires = pint "fires";
+                        time_ns = pint "time_ns";
+                      }
+                  | _ -> raise (Bad "patterns: expected objects"))
+                items
+          | Some _ -> raise (Bad "patterns: expected array")
+        in
+        Ok
+          {
+            patterns;
+            checks = int "checks" 0;
+            check_time_ns = int "check_time_ns" 0;
+            propagation_runs = int "propagation_runs" 0;
+            propagation_time_ns = int "propagation_time_ns" 0;
+            propagation_derived = int "propagation_derived" 0;
+            cache_hits = int "cache_hits" 0;
+            cache_misses = int "cache_misses" 0;
+            batches = int "batches" 0;
+            batch_schemas = int "batch_schemas" 0;
+            batch_domains = int "batch_domains" 0;
+            batch_time_ns = int "batch_time_ns" 0;
+          }
+    | _ -> Error "expected a JSON object"
+  with Bad msg -> Error msg

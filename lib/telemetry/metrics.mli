@@ -1,0 +1,103 @@
+(** Engine telemetry: monotonic-clock timers and lock-free counters.
+
+    A {!t} is a bundle of [Atomic] counters shared by every domain that
+    participates in a check, so per-pattern wall time, fire counts and the
+    interactive session's cache statistics aggregate correctly under the
+    parallel batch engine without locks.  The counters are recorded through
+    an optional [?metrics] argument on the engine entry points; when absent
+    the hot path performs no timing and no allocation.
+
+    {!snapshot} freezes the counters into plain data, printable as a table
+    ({!pp}) or exportable as JSON ({!to_json} / {!of_json}) for the CLI's
+    [--stats-json] and the benchmark harness. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock reading in nanoseconds ([CLOCK_MONOTONIC]; never goes
+    backwards, unaffected by wall-clock adjustments). *)
+
+val time : (unit -> 'a) -> 'a * int
+(** [time f] runs [f ()] and returns its result with the elapsed monotonic
+    nanoseconds. *)
+
+type t
+(** A live counter bundle.  Safe to share across domains. *)
+
+val create : unit -> t
+(** Fresh bundle, all counters zero. *)
+
+val reset : t -> unit
+
+val max_pattern : int
+(** Highest pattern number tracked (12: the paper's nine plus the three
+    extension patterns). *)
+
+(** {1 Recording} *)
+
+val record_pattern : t -> pattern:int -> time_ns:int -> fired:int -> unit
+(** One run of pattern [pattern] that took [time_ns] and produced [fired]
+    diagnostics.  Out-of-range pattern numbers are counted under pattern 0
+    rather than raising (telemetry must never break a check). *)
+
+val record_check : t -> time_ns:int -> unit
+(** One whole-schema check. *)
+
+val record_propagation : t -> time_ns:int -> derived:int -> unit
+(** One propagation phase deriving [derived] extra diagnostics. *)
+
+val record_cache_hit : t -> int -> unit
+(** [n] pattern results served from the interactive session's cache. *)
+
+val record_cache_miss : t -> int -> unit
+(** [n] pattern results the session had to recompute. *)
+
+val record_batch : t -> schemas:int -> domains:int -> time_ns:int -> unit
+(** One parallel batch: [schemas] checked on [domains] domains in
+    [time_ns] wall nanoseconds. *)
+
+(** {1 Snapshots} *)
+
+type pattern_stat = {
+  pattern : int;
+  runs : int;  (** times the pattern was executed *)
+  fires : int;  (** diagnostics it produced, summed over runs *)
+  time_ns : int;  (** wall time spent in it, summed over runs *)
+}
+
+type snapshot = {
+  patterns : pattern_stat list;  (** only patterns with [runs > 0], ascending *)
+  checks : int;
+  check_time_ns : int;
+  propagation_runs : int;
+  propagation_time_ns : int;
+  propagation_derived : int;
+  cache_hits : int;
+  cache_misses : int;
+  batches : int;
+  batch_schemas : int;
+  batch_domains : int;  (** domains of the most recent batch *)
+  batch_time_ns : int;
+}
+
+val snapshot : t -> snapshot
+
+val zero : snapshot
+(** What {!snapshot} returns on a fresh bundle. *)
+
+val add : snapshot -> snapshot -> snapshot
+(** Counter-wise sum (pattern rows merged by number; [batch_domains] takes
+    the right operand's when it has batches). *)
+
+val equal : snapshot -> snapshot -> bool
+
+val total_pattern_time_ns : snapshot -> int
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable table (the CLI's [--stats] output). *)
+
+val to_json : snapshot -> string
+(** Single-line JSON object. *)
+
+val of_json : string -> (snapshot, string) result
+(** Parses what {!to_json} printed (and any JSON object with the same
+    fields; unknown fields are ignored).  [Error] describes the first
+    offending position. *)

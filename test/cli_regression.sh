@@ -1,0 +1,56 @@
+#!/bin/sh
+# CLI regression for the parallel/telemetry flags: for every schema in
+# test/schemas/, `ormcheck check --jobs 4 --stats` must exit with the same
+# status and print the same diagnostics (stdout) as the default invocation;
+# --stats must write its table to stderr only, and --stats-json must emit a
+# parseable snapshot (smoke-checked for the "checks" field).  The batch
+# subcommand must agree with the worst per-file status.
+set -u
+
+ORMCHECK=$1
+shift
+schemas=$*
+
+fail() {
+    echo "cli_regression: $1" >&2
+    exit 1
+}
+
+worst=0
+for schema in $schemas; do
+    base_out=$("$ORMCHECK" check "$schema" 2>/dev/null)
+    base_status=$?
+    [ "$base_status" -gt "$worst" ] && worst=$base_status
+
+    par_out=$("$ORMCHECK" check --jobs 4 --stats "$schema" 2>/dev/null)
+    par_status=$?
+
+    [ "$base_status" -eq "$par_status" ] ||
+        fail "$schema: exit $base_status (default) vs $par_status (--jobs 4 --stats)"
+    [ "$base_out" = "$par_out" ] ||
+        fail "$schema: stdout differs between default and --jobs 4 --stats"
+
+    stats_err=$("$ORMCHECK" check --jobs 4 --stats "$schema" 2>&1 >/dev/null)
+    case "$stats_err" in
+        *checks:*) : ;;
+        *) fail "$schema: --stats printed no telemetry on stderr" ;;
+    esac
+
+    json_file=$(mktemp)
+    "$ORMCHECK" check --jobs 2 --stats-json "$json_file" "$schema" >/dev/null 2>&1
+    json_status=$?
+    [ "$base_status" -eq "$json_status" ] ||
+        fail "$schema: exit $base_status (default) vs $json_status (--stats-json)"
+    case "$(cat "$json_file")" in
+        *'"checks":1'*) : ;;
+        *) fail "$schema: --stats-json wrote no snapshot" ;;
+    esac
+    rm -f "$json_file"
+done
+
+"$ORMCHECK" batch --jobs 4 --quiet $schemas >/dev/null 2>&1
+batch_status=$?
+[ "$batch_status" -eq "$worst" ] ||
+    fail "batch exit $batch_status but worst per-file status is $worst"
+
+echo "cli_regression: ok ($(echo $schemas | wc -w) schema(s))"

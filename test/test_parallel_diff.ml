@@ -1,0 +1,209 @@
+(* Differential harness for the parallel batch engine: over ~200 generated
+   schemas (clean, single-fault, multi-fault, arbitrary; several sizes),
+   Engine_par must produce reports equivalent to the sequential Engine.check
+   under every Settings variation, and identically so for every domain
+   count.  "Equivalent" is deliberately strict: same diagnostics modulo
+   order, same unsat_types / unsat_roles sets, same joint groups. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Settings = Orm_patterns.Settings
+module Diagnostic = Orm_patterns.Diagnostic
+module Gen = Orm_generator.Gen
+module Faults = Orm_generator.Faults
+
+(* ---- the corpus ------------------------------------------------------ *)
+
+let clean ~size ~seed = Gen.clean ~config:(Gen.sized size) ~seed ()
+
+let faulted ~size ~seed pattern =
+  (Faults.inject ~seed pattern (clean ~size ~seed)).Faults.schema
+
+let multi_faulted ~size ~seed patterns =
+  List.fold_left
+    (fun s p -> (Faults.inject ~seed p s).Faults.schema)
+    (clean ~size ~seed) patterns
+
+(* 5 + 108 + 54 + 18 + 15 = 200 schemas. *)
+let corpus =
+  lazy
+    (List.concat
+       [
+         (* clean, growing sizes *)
+         List.map (fun (size, seed) -> clean ~size ~seed)
+           [ (2, 1); (4, 2); (8, 3); (12, 4); (16, 5) ];
+         (* every single fault (paper patterns and extensions) at 3 sizes,
+            3 seeds *)
+         List.concat_map
+           (fun pattern ->
+             List.concat_map
+               (fun size ->
+                 List.map (fun seed -> faulted ~size ~seed pattern) [ 7; 8; 9 ])
+               [ 3; 6; 10 ])
+           (Faults.all_patterns @ Faults.extension_patterns);
+         (* pairs of faults interacting *)
+         List.concat_map
+           (fun (p1, p2) ->
+             List.map
+               (fun seed -> multi_faulted ~size:6 ~seed [ p1; p2 ])
+               [ 11; 12; 13 ])
+           [ (1, 3); (2, 9); (3, 5); (4, 7); (5, 6); (6, 8); (7, 1); (8, 2); (9, 4);
+             (1, 2); (2, 3); (3, 4); (4, 5); (5, 7); (6, 9); (7, 8); (8, 9); (9, 1) ];
+         (* everything at once *)
+         List.map
+           (fun seed -> multi_faulted ~size:8 ~seed Faults.all_patterns)
+           [ 20; 21; 22; 23; 24; 25 ]
+         @ List.map
+             (fun seed ->
+               multi_faulted ~size:8 ~seed
+                 (Faults.all_patterns @ Faults.extension_patterns))
+             [ 26; 27; 28; 29; 30; 31; 32; 33; 34; 35; 36; 37 ];
+         (* uncurated constraint mixes *)
+         List.map (fun seed -> Gen.arbitrary ~config:(Gen.sized 4) ~seed ())
+           [ 41; 42; 43; 44; 45; 46; 47; 48; 49; 50; 51; 52; 53; 54; 55 ];
+       ])
+
+(* The issue's settings matrix: propagation on/off x extensions on/off. *)
+let settings_variants =
+  [
+    ("default", Settings.default);
+    ("no-propagation", Settings.patterns_only);
+    ("extensions", Settings.(with_extensions default));
+    ("extensions-no-propagation", Settings.(with_extensions patterns_only));
+  ]
+
+let domain_counts = [ 1; 2; 8 ]
+
+(* ---- report equivalence ---------------------------------------------- *)
+
+let compare_diagnostic (a : Diagnostic.t) (b : Diagnostic.t) = compare a b
+
+let sorted_diagnostics (r : Engine.report) =
+  List.sort compare_diagnostic r.diagnostics
+
+let sorted_joint (r : Engine.report) =
+  List.sort Ids.Role_set.compare r.joint
+
+let equivalent (a : Engine.report) (b : Engine.report) =
+  List.equal (fun x y -> compare_diagnostic x y = 0) (sorted_diagnostics a)
+    (sorted_diagnostics b)
+  && Ids.String_set.equal a.unsat_types b.unsat_types
+  && Ids.Role_set.equal a.unsat_roles b.unsat_roles
+  && List.equal Ids.Role_set.equal (sorted_joint a) (sorted_joint b)
+
+let identical (a : Engine.report) (b : Engine.report) = compare a b = 0
+
+let pp_mismatch name i seq par =
+  Alcotest.failf "%s: schema %d diverges@.sequential:@.%a@.parallel:@.%a" name i
+    Engine.pp_report seq Engine.pp_report par
+
+(* ---- tests ----------------------------------------------------------- *)
+
+let test_corpus_size () =
+  Alcotest.(check int) "corpus has 200 schemas" 200 (List.length (Lazy.force corpus))
+
+(* check_batch vs a sequential map, for every settings variant and domain
+   count. *)
+let test_batch_equivalence (sname, settings) domains () =
+  let schemas = Lazy.force corpus in
+  let sequential = List.map (Engine.check ~settings) schemas in
+  let parallel = Engine_par.check_batch ~domains ~settings schemas in
+  List.iteri
+    (fun i (seq, par) ->
+      if not (equivalent seq par) then
+        pp_mismatch (Printf.sprintf "%s/domains=%d" sname domains) i seq par;
+      (* batch mode runs the unmodified sequential check per schema, so the
+         reports must in fact be bit-identical, not just set-equal *)
+      if not (identical seq par) then
+        Alcotest.failf "%s/domains=%d: schema %d equivalent but not identical"
+          sname domains i)
+    (List.combine sequential parallel)
+
+(* Fanning the patterns of one schema across domains must also reproduce
+   the sequential report exactly (diagnostics are reassembled in pattern
+   order before propagation). *)
+let test_fan_equivalence (sname, settings) domains () =
+  let schemas = Lazy.force corpus in
+  List.iteri
+    (fun i schema ->
+      if i mod 4 = 0 then begin
+        let seq = Engine.check ~settings schema in
+        let par = Engine_par.check ~domains ~settings schema in
+        if not (identical seq par) then
+          pp_mismatch (Printf.sprintf "fan/%s/domains=%d" sname domains) i seq par
+      end)
+    schemas
+
+(* Determinism: the same batch on 1, 2 and 8 domains returns the same
+   reports, run-to-run and count-to-count. *)
+let test_determinism () =
+  let schemas = Lazy.force corpus in
+  let settings = Settings.(with_extensions default) in
+  let runs =
+    List.concat_map
+      (fun domains ->
+        [
+          Engine_par.check_batch ~domains ~settings schemas;
+          Engine_par.check_batch ~domains ~settings schemas;
+        ])
+      domain_counts
+  in
+  match runs with
+  | [] -> assert false
+  | reference :: rest ->
+      List.iteri
+        (fun run reports ->
+          List.iteri
+            (fun i (a, b) ->
+              if not (identical a b) then
+                Alcotest.failf "run %d: schema %d differs from reference" run i)
+            (List.combine reference reports))
+        rest
+
+(* Report order follows input order, including duplicates of the same
+   schema value shared between domains. *)
+let test_input_order () =
+  let s1 = clean ~size:4 ~seed:2 in
+  let s2 = faulted ~size:6 ~seed:7 3 in
+  let batch = [ s1; s2; s1; s2; s2; s1 ] in
+  let reports = Engine_par.check_batch ~domains:8 batch in
+  let expect = List.map Engine.check batch in
+  List.iteri
+    (fun i (a, b) ->
+      if not (identical a b) then Alcotest.failf "position %d out of order" i)
+    (List.combine expect reports)
+
+(* An exception inside one check is re-raised in the caller and does not
+   wedge the pool. *)
+let test_exception_propagation () =
+  let schemas = List.map (fun seed -> clean ~size:3 ~seed) [ 1; 2; 3; 4 ] in
+  let bad_settings = Settings.with_patterns [ 99 ] Settings.default in
+  (match Engine_par.check_batch ~domains:2 ~settings:bad_settings schemas with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  (* the pool machinery must still work afterwards *)
+  let reports = Engine_par.check_batch ~domains:2 schemas in
+  Alcotest.(check int) "pool survives" (List.length schemas) (List.length reports)
+
+let suite =
+  let variant_tests make =
+    List.concat_map
+      (fun ((sname, _) as variant) ->
+        List.map
+          (fun domains ->
+            Alcotest.test_case
+              (Printf.sprintf "%s, domains=%d" sname domains)
+              `Slow
+              (make variant domains))
+          domain_counts)
+      settings_variants
+  in
+  [
+    Alcotest.test_case "corpus size" `Quick test_corpus_size;
+    Alcotest.test_case "input order preserved" `Quick test_input_order;
+    Alcotest.test_case "exceptions propagate" `Quick test_exception_propagation;
+    Alcotest.test_case "deterministic across domain counts" `Slow test_determinism;
+  ]
+  @ variant_tests (fun variant domains -> test_batch_equivalence variant domains)
+  @ variant_tests (fun variant domains -> test_fan_equivalence variant domains)

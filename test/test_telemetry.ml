@@ -1,0 +1,199 @@
+(* Telemetry: counters must aggregate exactly (including across domains,
+   where several workers bump the same atomics), snapshots must survive a
+   JSON round-trip, and — crucially — the disabled-metrics path must return
+   reports identical to the instrumented one, i.e. telemetry observes the
+   engine without perturbing it. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Settings = Orm_patterns.Settings
+module Metrics = Orm_telemetry.Metrics
+module Gen = Orm_generator.Gen
+
+let schemas ~n ~size = List.init n (fun i -> Gen.clean ~config:(Gen.sized size) ~seed:(100 + i) ())
+
+(* ---- counter exactness ------------------------------------------------ *)
+
+let test_sequential_counts () =
+  let m = Metrics.create () in
+  let batch = schemas ~n:7 ~size:4 in
+  List.iter (fun s -> ignore (Engine.check ~metrics:m s)) batch;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "checks" 7 snap.checks;
+  let enabled = List.length (Engine.enabled_patterns Settings.default) in
+  List.iter
+    (fun (p : Metrics.pattern_stat) ->
+      Alcotest.(check int) (Printf.sprintf "pattern %d runs" p.pattern) 7 p.runs)
+    snap.patterns;
+  Alcotest.(check int) "one row per enabled pattern" enabled
+    (List.length snap.patterns);
+  Alcotest.(check int) "propagation ran per check" 7 snap.propagation_runs;
+  Alcotest.(check bool) "clock advanced" true (snap.check_time_ns > 0)
+
+let test_fire_counts () =
+  let m = Metrics.create () in
+  let schema =
+    (Orm_generator.Faults.inject ~seed:3 4
+       (Gen.clean ~config:(Gen.sized 5) ~seed:3 ()))
+      .Orm_generator.Faults.schema
+  in
+  let report = Engine.check ~metrics:m schema in
+  let snap = Metrics.snapshot m in
+  let direct_diagnostics =
+    List.length
+      (List.filter
+         (fun d -> Orm_patterns.Diagnostic.pattern_number d <> None)
+         report.diagnostics)
+  in
+  let total_fires =
+    List.fold_left (fun acc (p : Metrics.pattern_stat) -> acc + p.fires) 0 snap.patterns
+  in
+  Alcotest.(check int) "fires = direct diagnostics" direct_diagnostics total_fires;
+  Alcotest.(check int) "derived = propagation diagnostics"
+    (List.length report.diagnostics - direct_diagnostics)
+    snap.propagation_derived
+
+(* The same totals must come out when the checks run on 4 domains bumping
+   one shared bundle. *)
+let test_cross_domain_aggregation () =
+  let batch = schemas ~n:24 ~size:4 in
+  let seq = Metrics.create () in
+  List.iter (fun s -> ignore (Engine.check ~metrics:seq s)) batch;
+  let par = Metrics.create () in
+  ignore (Engine_par.check_batch ~domains:4 ~metrics:par batch);
+  let s = Metrics.snapshot seq and p = Metrics.snapshot par in
+  Alcotest.(check int) "checks agree" s.checks p.checks;
+  Alcotest.(check int) "propagation runs agree" s.propagation_runs p.propagation_runs;
+  Alcotest.(check int) "propagation derived agree" s.propagation_derived
+    p.propagation_derived;
+  List.iter2
+    (fun (a : Metrics.pattern_stat) (b : Metrics.pattern_stat) ->
+      Alcotest.(check int) (Printf.sprintf "pattern %d runs agree" a.pattern)
+        a.runs b.runs;
+      Alcotest.(check int) (Printf.sprintf "pattern %d fires agree" a.pattern)
+        a.fires b.fires)
+    s.patterns p.patterns;
+  Alcotest.(check int) "one batch recorded" 1 p.batches;
+  Alcotest.(check int) "batch schema count" 24 p.batch_schemas;
+  Alcotest.(check int) "batch domain count" 4 p.batch_domains
+
+let test_session_cache_counters () =
+  let schema = Gen.clean ~config:(Gen.sized 10) ~seed:5 () in
+  let m = Metrics.create () in
+  let session = Orm_interactive.Session.create ~metrics:m schema in
+  let enabled = List.length (Engine.enabled_patterns Settings.default) in
+  let snap0 = Metrics.snapshot m in
+  Alcotest.(check int) "initial check is all misses" enabled snap0.cache_misses;
+  Alcotest.(check int) "no hits yet" 0 snap0.cache_hits;
+  let fact =
+    match Schema.fact_types schema with
+    | ft :: _ -> ft.Fact_type.name
+    | [] -> Alcotest.fail "generated schema has no facts"
+  in
+  let edit = Orm_interactive.Edit.Add (Uniqueness (Single (Ids.first fact))) in
+  let session' = Orm_interactive.Session.apply edit session in
+  let snap1 = Metrics.snapshot m in
+  let rechecked = List.length (Orm_interactive.Session.last_rechecked session') in
+  Alcotest.(check int) "misses grew by the rechecked patterns"
+    (enabled + rechecked) snap1.cache_misses;
+  Alcotest.(check int) "hits grew by the cached patterns" (enabled - rechecked)
+    snap1.cache_hits
+
+(* ---- snapshot algebra and JSON ---------------------------------------- *)
+
+let test_reset_and_zero () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "fresh = zero" true
+    (Metrics.equal Metrics.zero (Metrics.snapshot m));
+  ignore (Engine.check ~metrics:m (Gen.clean ~config:(Gen.sized 3) ~seed:1 ()));
+  Alcotest.(check bool) "used <> zero" false
+    (Metrics.equal Metrics.zero (Metrics.snapshot m));
+  Metrics.reset m;
+  Alcotest.(check bool) "reset = zero" true
+    (Metrics.equal Metrics.zero (Metrics.snapshot m))
+
+let test_add () =
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let batch1 = schemas ~n:3 ~size:3 and batch2 = schemas ~n:5 ~size:5 in
+  List.iter (fun s -> ignore (Engine.check ~metrics:m1 s)) batch1;
+  List.iter (fun s -> ignore (Engine.check ~metrics:m2 s)) batch2;
+  let both = Metrics.create () in
+  List.iter (fun s -> ignore (Engine.check ~metrics:both s)) (batch1 @ batch2);
+  let sum = Metrics.add (Metrics.snapshot m1) (Metrics.snapshot m2) in
+  let direct = Metrics.snapshot both in
+  (* times differ run to run; compare the discrete counters *)
+  Alcotest.(check int) "checks add up" direct.checks sum.checks;
+  Alcotest.(check int) "propagation adds up" direct.propagation_runs
+    sum.propagation_runs;
+  List.iter2
+    (fun (a : Metrics.pattern_stat) (b : Metrics.pattern_stat) ->
+      Alcotest.(check int) "pattern number" a.pattern b.pattern;
+      Alcotest.(check int) "runs add up" a.runs b.runs;
+      Alcotest.(check int) "fires add up" a.fires b.fires)
+    direct.patterns sum.patterns
+
+let test_json_roundtrip () =
+  let m = Metrics.create () in
+  let batch = schemas ~n:6 ~size:4 in
+  ignore (Engine_par.check_batch ~domains:2 ~metrics:m batch);
+  ignore
+    (Orm_interactive.Session.create ~metrics:m
+       (Gen.clean ~config:(Gen.sized 4) ~seed:9 ()));
+  let snap = Metrics.snapshot m in
+  match Metrics.of_json (Metrics.to_json snap) with
+  | Ok back ->
+      Alcotest.(check bool) "round-trips exactly" true (Metrics.equal snap back)
+  | Error msg -> Alcotest.failf "of_json failed: %s" msg
+
+let test_json_roundtrip_zero () =
+  match Metrics.of_json (Metrics.to_json Metrics.zero) with
+  | Ok back -> Alcotest.(check bool) "zero round-trips" true (Metrics.equal Metrics.zero back)
+  | Error msg -> Alcotest.failf "of_json failed: %s" msg
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Metrics.of_json src with
+      | Ok _ -> Alcotest.failf "accepted %S" src
+      | Error _ -> ())
+    [ ""; "[1,2]"; "{\"checks\":"; "{\"checks\":\"many\"}"; "{} trailing" ]
+
+(* ---- non-perturbation ------------------------------------------------- *)
+
+(* On every paper figure, the report with metrics enabled must be identical
+   to the plain engine's (which itself is pinned by test_figures), in both
+   paper mode and default mode, sequential and parallel. *)
+let test_figures_unperturbed () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      List.iter
+        (fun settings ->
+          let plain = Engine.check ~settings e.schema in
+          let m = Metrics.create () in
+          let instrumented = Engine.check ~settings ~metrics:m e.schema in
+          if compare plain instrumented <> 0 then
+            Alcotest.failf "%s: metrics perturb the sequential report" e.figure;
+          let m2 = Metrics.create () in
+          let fanned = Engine_par.check ~domains:2 ~settings ~metrics:m2 e.schema in
+          if compare plain fanned <> 0 then
+            Alcotest.failf "%s: metrics perturb the fanned report" e.figure)
+        [ Settings.default; Settings.patterns_only; Settings.(with_extensions default) ])
+    Figures.all
+
+let suite =
+  [
+    Alcotest.test_case "sequential counters exact" `Quick test_sequential_counts;
+    Alcotest.test_case "fire counts match diagnostics" `Quick test_fire_counts;
+    Alcotest.test_case "counters aggregate across domains" `Quick
+      test_cross_domain_aggregation;
+    Alcotest.test_case "session cache hit/miss counters" `Quick
+      test_session_cache_counters;
+    Alcotest.test_case "reset and zero" `Quick test_reset_and_zero;
+    Alcotest.test_case "snapshot addition" `Quick test_add;
+    Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "JSON round-trip (zero)" `Quick test_json_roundtrip_zero;
+    Alcotest.test_case "JSON rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "metrics do not perturb reports" `Quick
+      test_figures_unperturbed;
+  ]
