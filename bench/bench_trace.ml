@@ -1,0 +1,119 @@
+(* Tracing-overhead benchmark, persisted as BENCH_trace.json.
+
+   The tracer's design promise is "off costs nothing, on costs little":
+   the disabled path is the engine's original code (no closures, no
+   timestamps — enforced by test_trace's Gc guard), and the enabled path
+   is two monotonic-clock reads plus one ring write per span.  This
+   benchmark quantifies both halves of the promise on the same workloads
+   BENCH_parallel.json uses:
+
+   - per figure schema: Engine.check with tracing off vs on;
+   - per generated batch: Engine_par.check_batch at a couple of domain
+     counts, off vs on, plus the event volume a traced batch produces.
+
+   Times are best-of-[repeats] monotonic wall times; the host's
+   recommended domain count is recorded because on a single-core container
+   the batch rows measure the pool floor, not parallel tracing. *)
+
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+
+let repeats = 5
+
+let best_of_ns f =
+  let best = ref max_int in
+  for _ = 1 to repeats do
+    let (_ : unit), ns = Metrics.time f in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+
+let json_arr items = "[" ^ String.concat "," items ^ "]"
+
+let overhead off on =
+  Printf.sprintf "%.3f" (float_of_int on /. float_of_int off)
+
+(* The tracer is created (and its ring first written, which allocates the
+   per-domain buffer) outside the timed region: a tracer lives for a whole
+   session, so the rows price the marginal per-span cost, not the one-time
+   ring allocation. *)
+let figure_rows () =
+  List.map
+    (fun (e : Orm.Figures.expectation) ->
+      let off_ns = best_of_ns (fun () -> ignore (Engine.check e.schema)) in
+      let tracer = Trace.create () in
+      ignore (Engine.check ~tracer e.schema);
+      let on_ns = best_of_ns (fun () -> ignore (Engine.check ~tracer e.schema)) in
+      json_obj
+        [
+          ("figure", Printf.sprintf "%S" e.figure);
+          ("untraced_ns", string_of_int off_ns);
+          ("traced_ns", string_of_int on_ns);
+          ("overhead", overhead off_ns on_ns);
+        ])
+    Orm.Figures.all
+
+let batch_rows ~domain_counts ~n ~size =
+  let schemas = Bench_parallel.batch_schemas ~n ~size in
+  List.map
+    (fun domains ->
+      let off_ns =
+        best_of_ns (fun () -> ignore (Engine_par.check_batch ~domains schemas))
+      in
+      (* one long-lived tracer, as in a real session; each batch call still
+         spawns fresh worker domains, so their ring registration is part of
+         the honest traced cost *)
+      let tracer = Trace.create () in
+      ignore (Engine_par.check_batch ~domains ~tracer schemas);
+      let on_ns =
+        best_of_ns (fun () ->
+            ignore (Engine_par.check_batch ~domains ~tracer schemas))
+      in
+      (* event volume of one traced run, for the ring-sizing discussion in
+         docs/OBSERVABILITY.md *)
+      let tracer = Trace.create () in
+      ignore (Engine_par.check_batch ~domains ~tracer schemas);
+      json_obj
+        [
+          ("schemas", string_of_int n);
+          ("size", string_of_int size);
+          ("domains", string_of_int domains);
+          ("untraced_ns", string_of_int off_ns);
+          ("traced_ns", string_of_int on_ns);
+          ("overhead", overhead off_ns on_ns);
+          ("events", string_of_int (List.length (Trace.events tracer)));
+          ("dropped", string_of_int (Trace.dropped tracer));
+        ])
+    domain_counts
+
+let run ?(file = "BENCH_trace.json") () =
+  let recommended = Domain.recommended_domain_count () in
+  let figures = figure_rows () in
+  let batches = batch_rows ~domain_counts:[ 1; 2; 4 ] ~n:120 ~size:12 in
+  let doc =
+    json_obj
+      [
+        ("host_recommended_domains", string_of_int recommended);
+        ("repeats", string_of_int repeats);
+        ( "note",
+          Printf.sprintf "%S"
+            "overhead = traced_ns / untraced_ns; tracing off is the engine's \
+             original path (the test suite pins it allocation-free), tracing \
+             on pays two clock reads and a ring write per span" );
+        ("figures", json_arr figures);
+        ("batches", json_arr batches);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n==== tracing overhead (best of %d, %d recommended domain(s)) ====\n"
+    repeats recommended;
+  Printf.printf "wrote %s\n" file;
+  List.iter (fun row -> Printf.printf "  %s\n" row) batches

@@ -148,4 +148,5 @@ let () =
   Experiments.run_all ();
   run_bechamel ();
   Bench_parallel.run ();
+  Bench_trace.run ();
   print_newline ()

@@ -2,6 +2,10 @@
 
    Subcommands:
      check      run the unsatisfiability patterns over a .orm schema file
+     batch      check many schemas concurrently on a domain pool
+     reason     fast patterns + the complete backends (tableau, SAT) side by side
+     doctor     full triage: lint + patterns (with extensions) + repair ranking
+     profile    summarize a --trace file (per-span count/total/p50/p95/max)
      verbalize  pseudo-natural-language reading of a schema
      dlr        ORM -> DLR translation and tableau verdicts
      model      bounded witness search (explicit finder or SAT encoding)
@@ -19,6 +23,8 @@ module Engine = Orm_patterns.Engine
 module Engine_par = Orm_patterns.Engine_par
 module Settings = Orm_patterns.Settings
 module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+module Log = Orm_trace.Log
 
 let load file =
   match Orm_dsl.Parser.parse_file file with
@@ -93,6 +99,51 @@ let resolve_jobs = function
   | Some n when n < 0 -> None
   | j -> j
 
+(* --trace FILE writes a Chrome trace-event file (one track per domain);
+   --log-level overrides ORMCHECK_LOG for the stderr logger. *)
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file to $(docv): one track per domain, \
+           spans for engine phases and per-pattern runs.  Open it in Perfetto \
+           or chrome://tracing, or summarize it with $(b,ormcheck profile).")
+
+let log_level_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Stderr log verbosity: $(b,off), $(b,error), $(b,warn), $(b,info) \
+           or $(b,debug).  Overrides the ORMCHECK_LOG environment variable.")
+
+let apply_log_level = function
+  | None -> ()
+  | Some s -> (
+      match Log.level_of_string s with
+      | Ok l -> Log.set_level l
+      | Error msg ->
+          prerr_endline ("ormcheck: " ^ msg);
+          exit 2)
+
+let make_tracer = function None -> None | Some _file -> Some (Trace.create ())
+
+let emit_trace file tracer =
+  match (file, tracer) with
+  | Some f, Some tr -> (
+      match Trace.write_chrome tr f with
+      | () ->
+          Log.info "trace: wrote %s (%d event(s), %d domain(s), %d dropped)" f
+            (List.length (Trace.events tr))
+            (Trace.domain_count tr) (Trace.dropped tr)
+      | exception Sys_error msg ->
+          prerr_endline ("ormcheck: cannot write --trace file: " ^ msg);
+          exit 2)
+  | _ -> ()
+
 let emit_stats ~stats ~stats_json metrics =
   Option.iter
     (fun m ->
@@ -115,15 +166,18 @@ let check_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Render domain-expert explanations (verbalized culprit constraints) instead of the raw report.")
   in
-  let run file settings explain jobs stats stats_json =
+  let run file settings explain jobs stats stats_json trace log_level =
+    apply_log_level log_level;
     let schema = or_die (load file) in
     let metrics =
       if stats || stats_json <> None then Some (Metrics.create ()) else None
     in
+    let tracer = make_tracer trace in
     let report =
       match resolve_jobs jobs with
-      | Some n when n > 1 -> Engine_par.check ~domains:n ~settings ?metrics schema
-      | _ -> Engine.check ~settings ?metrics schema
+      | Some n when n > 1 ->
+          Engine_par.check ~domains:n ~settings ?metrics ?tracer schema
+      | _ -> Engine.check ~settings ?metrics ?tracer schema
     in
     if explain then
       List.iter
@@ -131,11 +185,12 @@ let check_cmd =
         (Orm_explain.Explain.report schema report)
     else Format.printf "%a@." Engine.pp_report report;
     emit_stats ~stats ~stats_json metrics;
+    emit_trace trace tracer;
     if report.diagnostics = [] then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the nine unsatisfiability patterns over a schema.")
-    Term.(const run $ file_arg $ settings_term $ explain $ jobs_term $ stats_term $ stats_json_term)
+    Term.(const run $ file_arg $ settings_term $ explain $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
 
 (* ---- batch ----------------------------------------------------------- *)
 
@@ -148,16 +203,18 @@ let batch_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only the per-file verdict line, no diagnostics.")
   in
-  let run files settings jobs stats stats_json quiet =
+  let run files settings jobs stats stats_json trace log_level quiet =
+    apply_log_level log_level;
     let schemas = List.map (fun f -> (f, or_die (load f))) files in
     let metrics =
       if stats || stats_json <> None then Some (Metrics.create ()) else None
     in
+    let tracer = make_tracer trace in
     let domains =
       match resolve_jobs jobs with Some n -> n | None -> Engine_par.default_domains ()
     in
     let reports =
-      Engine_par.check_batch ~domains ~settings ?metrics (List.map snd schemas)
+      Engine_par.check_batch ~domains ~settings ?metrics ?tracer (List.map snd schemas)
     in
     let n_unsat = ref 0 in
     List.iter2
@@ -172,12 +229,177 @@ let batch_cmd =
       schemas reports;
     Printf.printf "%d/%d schema(s) clean\n" (List.length files - !n_unsat) (List.length files);
     emit_stats ~stats ~stats_json metrics;
+    emit_trace trace tracer;
     if !n_unsat = 0 then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Check many schemas concurrently on a domain pool (see --jobs).")
-    Term.(const run $ files_arg $ settings_term $ jobs_term $ stats_term $ stats_json_term $ quiet)
+    Term.(const run $ files_arg $ settings_term $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term $ quiet)
+
+(* ---- reason ---------------------------------------------------------- *)
+
+(* The full reasoning stack over one schema: the fast-but-incomplete
+   pattern engine first, then the complete procedures (DLR tableau and/or
+   SAT) to confirm or extend its verdicts.  This is the subcommand where a
+   --trace shows the tableau and DPLL internals. *)
+let reason_cmd =
+  let budget =
+    Arg.(
+      value & opt int 50_000
+      & info [ "budget" ] ~docv:"N" ~doc:"Tableau rule-application budget per query.")
+  in
+  let sat_budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "sat-budget" ] ~docv:"N" ~doc:"DPLL step budget (decisions + propagations).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ]) `Both
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Complete procedure(s) to run after the patterns: $(b,dlr) \
+             (tableau), $(b,sat) (CNF + DPLL, strong satisfiability) or \
+             $(b,both).")
+  in
+  let run file settings jobs stats stats_json trace log_level budget sat_budget backend =
+    apply_log_level log_level;
+    let schema = or_die (load file) in
+    let metrics =
+      if stats || stats_json <> None then Some (Metrics.create ()) else None
+    in
+    let tracer = make_tracer trace in
+    let report =
+      match resolve_jobs jobs with
+      | Some n when n > 1 ->
+          Engine_par.check ~domains:n ~settings ?metrics ?tracer schema
+      | _ -> Engine.check ~settings ?metrics ?tracer schema
+    in
+    Format.printf "== pattern engine (fast, incomplete) ==@.%a@." Engine.pp_report report;
+    let dlr_unsat = ref 0 in
+    if backend <> `Sat then begin
+      let result = Orm_dlr.Dlr_check.check ~budget ?tracer schema in
+      Format.printf "@.== DLR tableau (complete for the mapped fragment) ==@.%a@."
+        Orm_dlr.Dlr_check.pp result;
+      dlr_unsat :=
+        List.length (Orm_dlr.Dlr_check.unsat_types result)
+        + List.length (Orm_dlr.Dlr_check.unsat_roles result)
+    end;
+    let sat_no_model = ref false in
+    if backend <> `Dlr then begin
+      let outcome =
+        Orm_sat.Encode.solve ~budget:sat_budget ?tracer schema
+          Orm_sat.Encode.Strongly_satisfiable
+      in
+      Format.printf "@.== SAT encoding (bounded, strong satisfiability) ==@.%a@."
+        Orm_sat.Encode.pp_outcome outcome;
+      let s = Orm_sat.Encode.last_stats () in
+      Format.printf
+        "(%d variables, %d clauses, %d DPLL steps, %d propagation(s), %d backtrack(s))@."
+        s.variables s.clauses s.decisions
+        (Orm_sat.Dpll.stats_last_propagations ())
+        (Orm_sat.Dpll.stats_last_backtracks ());
+      match outcome with
+      | No_model -> sat_no_model := true
+      | Model _ | Timeout -> ()
+    end;
+    emit_stats ~stats ~stats_json metrics;
+    emit_trace trace tracer;
+    if report.diagnostics = [] && !dlr_unsat = 0 && not !sat_no_model then exit 0
+    else exit 1
+  in
+  Cmd.v
+    (Cmd.info "reason"
+       ~doc:
+         "Run the fast patterns and the complete backends (DLR tableau, SAT) \
+          side by side.")
+    Term.(
+      const run $ file_arg $ settings_term $ jobs_term $ stats_term
+      $ stats_json_term $ trace_term $ log_level_term $ budget $ sat_budget
+      $ backend)
+
+(* ---- doctor ---------------------------------------------------------- *)
+
+(* One-stop triage: style lint, the pattern engine with the extension
+   patterns enabled, and the repair ranking for whatever fired. *)
+let doctor_cmd =
+  let run file jobs stats stats_json trace log_level =
+    apply_log_level log_level;
+    let schema = or_die (load file) in
+    let metrics =
+      if stats || stats_json <> None then Some (Metrics.create ()) else None
+    in
+    let tracer = make_tracer trace in
+    let settings = Settings.with_extensions Settings.default in
+    let findings = Orm_lint.Lint.check schema in
+    Format.printf "== lint (%d finding(s)) ==@." (List.length findings);
+    if findings = [] then print_endline "no style findings"
+    else
+      List.iter (fun f -> Format.printf "%a@." Orm_lint.Lint.pp_finding f) findings;
+    let report =
+      match resolve_jobs jobs with
+      | Some n when n > 1 ->
+          Engine_par.check ~domains:n ~settings ?metrics ?tracer schema
+      | _ -> Engine.check ~settings ?metrics ?tracer schema
+    in
+    Format.printf "@.== patterns (extensions on, %d diagnostic(s)) ==@.%a@."
+      (List.length report.diagnostics)
+      Engine.pp_report report;
+    if report.diagnostics <> [] then begin
+      Format.printf "@.== suggested repairs ==@.";
+      match Orm_repair.Repair.suggestions schema with
+      | [] -> print_endline "no single-constraint removal helps"
+      | suggestions ->
+          List.iter
+            (fun (s : Orm_repair.Repair.suggestion) ->
+              Format.printf "%a  (fixes %d diagnostic(s), %d left)@."
+                Orm_repair.Repair.pp_action s.action s.fixes s.remaining)
+            suggestions
+    end;
+    emit_stats ~stats ~stats_json metrics;
+    emit_trace trace tracer;
+    if findings = [] && report.diagnostics = [] then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Full triage: lint, patterns with extensions enabled, and repair \
+          suggestions for anything that fired.")
+    Term.(
+      const run $ file_arg $ jobs_term $ stats_term $ stats_json_term
+      $ trace_term $ log_level_term)
+
+(* ---- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let trace_file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Chrome trace-event file written by --trace.")
+  in
+  let run file =
+    let contents =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg ->
+          prerr_endline ("ormcheck: cannot read trace file: " ^ msg);
+          exit 2
+    in
+    match Trace.of_chrome_json contents with
+    | Error msg ->
+        prerr_endline ("ormcheck: " ^ file ^ ": not a parseable trace: " ^ msg);
+        exit 2
+    | Ok events ->
+        Format.printf "%a@." Trace.pp_summary (Trace.summary_of_events events)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Summarize a --trace file: per-span count, total time and \
+          p50/p95/max durations.")
+    Term.(const run $ trace_file)
 
 (* ---- verbalize ------------------------------------------------------ *)
 
@@ -464,4 +686,4 @@ let gen_cmd =
 let () =
   let doc = "Unsatisfiability reasoning for ORM conceptual schemas" in
   let info = Cmd.info "ormcheck" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd ]))

@@ -23,13 +23,27 @@ let pattern_check = function
   | n -> invalid_arg (Printf.sprintf "Engine.run_pattern: no pattern %d" n)
 
 module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
 
-let run_pattern n ?(settings = Settings.default) ?metrics schema =
-  match metrics with
-  | None -> pattern_check n settings schema
-  | Some m ->
+(* Span names are preallocated so the instrumented path does not build a
+   string per pattern run. *)
+let pattern_span =
+  Array.init (Metrics.max_pattern + 1) (fun i -> "pattern." ^ string_of_int i)
+
+let span_of_pattern n =
+  if n >= 0 && n <= Metrics.max_pattern then pattern_span.(n) else "pattern.?"
+
+let run_pattern n ?(settings = Settings.default) ?metrics ?tracer schema =
+  match (metrics, tracer) with
+  | None, None -> pattern_check n settings schema
+  | _ ->
+      Option.iter (fun tr -> Trace.begin_span tr (span_of_pattern n)) tracer;
       let diagnostics, time_ns = Metrics.time (fun () -> pattern_check n settings schema) in
-      Metrics.record_pattern m ~pattern:n ~time_ns ~fired:(List.length diagnostics);
+      Option.iter
+        (fun m ->
+          Metrics.record_pattern m ~pattern:n ~time_ns ~fired:(List.length diagnostics))
+        metrics;
+      Option.iter (fun tr -> Trace.end_span tr (span_of_pattern n)) tracer;
       diagnostics
 
 (* Downward propagation (a refinement over the paper): an unsatisfiable
@@ -91,47 +105,53 @@ let propagate schema (types, roles) =
 let aggregate diagnostics =
   (Diagnostic.affected_types diagnostics, Diagnostic.affected_roles diagnostics)
 
-let assemble ?(settings = Settings.default) ?metrics schema diagnostics =
+let assemble ?(settings = Settings.default) ?metrics ?tracer schema diagnostics =
   let types, roles = aggregate diagnostics in
   let joint = Diagnostic.joint_groups diagnostics in
   if not settings.propagate then
     { diagnostics; unsat_types = types; unsat_roles = roles; joint }
   else begin
-    match metrics with
-    | None ->
+    match (metrics, tracer) with
+    | None, None ->
         let types, roles, derived = propagate schema (types, roles) in
         { diagnostics = diagnostics @ derived; unsat_types = types; unsat_roles = roles; joint }
-    | Some m ->
+    | _ ->
+        Option.iter (fun tr -> Trace.begin_span tr "engine.propagate") tracer;
         let (types, roles, derived), time_ns =
           Metrics.time (fun () -> propagate schema (types, roles))
         in
-        Metrics.record_propagation m ~time_ns ~derived:(List.length derived);
+        Option.iter
+          (fun m -> Metrics.record_propagation m ~time_ns ~derived:(List.length derived))
+          metrics;
+        Option.iter (fun tr -> Trace.end_span tr "engine.propagate") tracer;
         { diagnostics = diagnostics @ derived; unsat_types = types; unsat_roles = roles; joint }
   end
 
 let enabled_patterns settings =
   List.sort_uniq Int.compare settings.Settings.enabled
 
-let check ?(settings = Settings.default) ?metrics schema =
-  match metrics with
-  | None ->
+let check ?(settings = Settings.default) ?metrics ?tracer schema =
+  match (metrics, tracer) with
+  | None, None ->
       let diagnostics =
         List.concat_map
           (fun n -> pattern_check n settings schema)
           (enabled_patterns settings)
       in
       assemble ~settings schema diagnostics
-  | Some m ->
+  | _ ->
+      Option.iter (fun tr -> Trace.begin_span tr "engine.check") tracer;
       let report, time_ns =
         Metrics.time (fun () ->
             let diagnostics =
               List.concat_map
-                (fun n -> run_pattern n ~settings ~metrics:m schema)
+                (fun n -> run_pattern n ~settings ?metrics ?tracer schema)
                 (enabled_patterns settings)
             in
-            assemble ~settings ~metrics:m schema diagnostics)
+            assemble ~settings ?metrics ?tracer schema diagnostics)
       in
-      Metrics.record_check m ~time_ns;
+      Option.iter (fun m -> Metrics.record_check m ~time_ns) metrics;
+      Option.iter (fun tr -> Trace.end_span tr "engine.check") tracer;
       report
 
 let is_strongly_satisfiable_candidate ?settings schema =

@@ -20,18 +20,25 @@ type report = {
 }
 
 val check :
-  ?settings:Settings.t -> ?metrics:Orm_telemetry.Metrics.t -> Schema.t -> report
+  ?settings:Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
+  Schema.t ->
+  report
 (** Runs the enabled patterns (then propagation if
     {!Settings.t.propagate}) and aggregates the verdicts.
 
     When [metrics] is given, per-pattern wall time and fire counts, the
-    propagation phase and the whole check are recorded into it; the report
-    itself is unaffected.  Without [metrics] the engine performs no timing
-    and allocates nothing for telemetry. *)
+    propagation phase and the whole check are recorded into it; [tracer]
+    additionally records an [engine.check] span enclosing one
+    [pattern.N] span per pattern and an [engine.propagate] span.  The
+    report itself is unaffected either way.  With both absent the engine
+    performs no timing and allocates nothing for observability. *)
 
 val assemble :
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
   Schema.t ->
   Diagnostic.t list ->
   report
@@ -44,6 +51,7 @@ val run_pattern :
   int ->
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
   Schema.t ->
   Diagnostic.t list
 (** Runs a single pattern regardless of the enabled set: 1–9 are the

@@ -1,4 +1,6 @@
 module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+module Log = Orm_trace.Log
 
 let default_domains () = Domain.recommended_domain_count ()
 
@@ -74,7 +76,7 @@ end
    stays negligible even when the individual checks are microsecond-sized.
    The first exception (in input order) is re-raised after all tasks
    finished, so a failing schema cannot leave detached domains behind. *)
-let ordered_map ~domains f inputs =
+let ordered_map ~domains ?tracer f inputs =
   let n = Array.length inputs in
   let out = Array.make n None in
   let run i =
@@ -90,16 +92,23 @@ let ordered_map ~domains f inputs =
       run i
     done
   else begin
+    Log.debug "pool: spawning %d domain(s) for %d item(s)" domains n;
     let pool = Pool.create domains in
     (* 4 chunks per domain balances load without fine-grained contention *)
     let chunk = max 1 ((n + (domains * 4) - 1) / (domains * 4)) in
     let i = ref 0 in
     while !i < n do
       let lo = !i and hi = min n (!i + chunk) - 1 in
+      (* The submit instant lands on the caller's track and the chunk span
+         on whichever worker picked it up, so a trace viewer shows the
+         pool's scheduling: queueing delay, imbalance, idle domains. *)
+      Option.iter (fun tr -> Trace.instant tr "pool.submit") tracer;
       Pool.submit pool (fun () ->
+          Option.iter (fun tr -> Trace.begin_span tr "pool.chunk") tracer;
           for j = lo to hi do
             run j
-          done);
+          done;
+          Option.iter (fun tr -> Trace.end_span tr "pool.chunk") tracer);
       i := hi + 1
     done;
     Pool.shutdown pool
@@ -111,34 +120,39 @@ let ordered_map ~domains f inputs =
       | None -> assert false)
     out
 
-let check_batch ?domains ?settings ?metrics schemas =
+let check_batch ?domains ?settings ?metrics ?tracer schemas =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let inputs = Array.of_list schemas in
+  Option.iter (fun tr -> Trace.begin_span tr "engine.batch") tracer;
   let reports, time_ns =
-    Metrics.time (fun () -> ordered_map ~domains (Engine.check ?settings ?metrics) inputs)
+    Metrics.time (fun () ->
+        ordered_map ~domains ?tracer (Engine.check ?settings ?metrics ?tracer) inputs)
   in
   Option.iter
     (fun m ->
       Metrics.record_batch m ~schemas:(Array.length inputs) ~domains ~time_ns)
     metrics;
+  Option.iter (fun tr -> Trace.end_span tr "engine.batch") tracer;
   Array.to_list reports
 
-let check ?domains ?settings ?metrics schema =
+let check ?domains ?settings ?metrics ?tracer schema =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let settings = Option.value ~default:Settings.default settings in
   let patterns = Array.of_list (Engine.enabled_patterns settings) in
   let run () =
     let per_pattern =
-      ordered_map ~domains
-        (fun n -> Engine.run_pattern n ~settings ?metrics schema)
+      ordered_map ~domains ?tracer
+        (fun n -> Engine.run_pattern n ~settings ?metrics ?tracer schema)
         patterns
     in
     let diagnostics = List.concat (Array.to_list per_pattern) in
-    Engine.assemble ~settings ?metrics schema diagnostics
+    Engine.assemble ~settings ?metrics ?tracer schema diagnostics
   in
-  match metrics with
-  | None -> run ()
-  | Some m ->
+  match (metrics, tracer) with
+  | None, None -> run ()
+  | _ ->
+      Option.iter (fun tr -> Trace.begin_span tr "engine.check.fan") tracer;
       let report, time_ns = Metrics.time run in
-      Metrics.record_check m ~time_ns;
+      Option.iter (fun m -> Metrics.record_check m ~time_ns) metrics;
+      Option.iter (fun tr -> Trace.end_span tr "engine.check.fan") tracer;
       report

@@ -28,6 +28,7 @@ val check_batch :
   ?domains:int ->
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
   Schema.t list ->
   Engine.report list
 (** [check_batch schemas] checks every schema and returns the reports in
@@ -39,12 +40,19 @@ val check_batch :
     with the batch wall time.
 
     An exception raised by any check is re-raised in the caller after the
-    pool has drained. *)
+    pool has drained.
+
+    When [tracer] is given, each worker domain records its spans into its
+    own track ([pool.chunk] around every work chunk, the per-schema
+    [engine.check] spans inside), while the caller's track carries the
+    enclosing [engine.batch] span and one [pool.submit] instant per chunk
+    — opening the trace in Perfetto shows the pool's actual schedule. *)
 
 val check :
   ?domains:int ->
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
   Schema.t ->
   Engine.report
 (** Fans the enabled patterns of one schema across the pool, then assembles

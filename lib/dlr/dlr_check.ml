@@ -11,17 +11,25 @@ type result = {
   complete : bool;
 }
 
-let check ?budget schema =
-  let mapping = Mapping.translate schema in
-  let sat c = Tableau.satisfiable ?budget mapping.tbox c in
+module Trace = Orm_trace.Trace
+
+let check ?budget ?tracer schema =
+  let mapping =
+    Trace.span tracer "dlr.translate" (fun () -> Mapping.translate schema)
+  in
+  let sat c = Tableau.satisfiable ?budget ?tracer mapping.tbox c in
   let type_verdicts =
     List.map
-      (fun t -> { element = `Type t; verdict = sat (Mapping.concept_of_type t) })
+      (fun t ->
+        Trace.span tracer "dlr.query.type" (fun () ->
+            { element = `Type t; verdict = sat (Mapping.concept_of_type t) }))
       (Schema.object_types schema)
   in
   let role_verdicts =
     List.map
-      (fun r -> { element = `Role r; verdict = sat (Mapping.plays r) })
+      (fun r ->
+        Trace.span tracer "dlr.query.role" (fun () ->
+            { element = `Role r; verdict = sat (Mapping.plays r) }))
       (Schema.all_roles schema)
   in
   {

@@ -20,9 +20,12 @@ type result = {
           translated fragment *)
 }
 
-val check : ?budget:int -> Schema.t -> result
+val check : ?budget:int -> ?tracer:Orm_trace.Trace.t -> Schema.t -> result
 (** Translates the schema and queries the tableau for every object type
-    ([Atomic t]) and every role ([∃f.⊤] / [∃f⁻.⊤]). *)
+    ([Atomic t]) and every role ([∃f.⊤] / [∃f⁻.⊤]).  [tracer] wraps the
+    translation in a [dlr.translate] span and each query in a
+    [dlr.query.type] / [dlr.query.role] span, with the tableau's own spans
+    and counters nested inside. *)
 
 val unsat_types : result -> Ids.object_type list
 val unsat_roles : result -> Ids.role list

@@ -1,4 +1,6 @@
 open Syntax
+module Trace = Orm_trace.Trace
+module Log = Orm_trace.Log
 
 type verdict = Sat | Unsat | Unknown
 
@@ -168,13 +170,19 @@ type step =
 
 let nodes_of st = List.map fst (Imap.bindings st.labels)
 
-let find_step universal inclusions st =
+let find_step ?tracer universal inclusions st =
+  (* Each expansion phase (one rule family) gets its own span so a trace
+     shows where a blow-up spends its time — the ≤-rule's merge search and
+     the blocking test inside the generating rules are the usual suspects. *)
+  let phase name rule =
+    match tracer with None -> rule () | Some tr -> Trace.with_span tr name rule
+  in
   let try_node x =
     if has_clash st x then Some Clash
     else
       let lbl = label st x in
       (* ⊓-rule *)
-      let conj_rule =
+      let conj_rule () =
         List.find_map
           (fun c ->
             match c with
@@ -273,21 +281,21 @@ let find_step universal inclusions st =
               | _ -> None)
             lbl
       in
-      match conj_rule with
+      match phase "tableau.conj" conj_rule with
       | Some s -> Some s
       | None -> (
-          match disj_rule () with
+          match phase "tableau.disj" disj_rule with
           | Some s -> Some s
           | None -> (
-              match atmost_rule () with
+              match phase "tableau.atmost" atmost_rule with
               | Some s -> Some s
               | None -> (
-                  match forall_rule () with
+                  match phase "tableau.forall" forall_rule with
                   | Some s -> Some s
                   | None -> (
-                      match exists_rule () with
+                      match phase "tableau.exists" exists_rule with
                       | Some s -> Some s
-                      | None -> atleast_rule ()))))
+                      | None -> phase "tableau.atleast" atleast_rule))))
   in
   let rec scan = function
     | [] -> Done
@@ -295,7 +303,7 @@ let find_step universal inclusions st =
   in
   scan (nodes_of st)
 
-let satisfiable ?(budget = 50_000) tbox c =
+let satisfiable ?(budget = 50_000) ?tracer tbox c =
   rules_used := 0;
   let universal =
     List.filter_map
@@ -319,18 +327,40 @@ let satisfiable ?(budget = 50_000) tbox c =
       next = 1;
     }
   in
+  let branches = ref 0 and clashes = ref 0 in
   let rec expand st =
     incr rules_used;
     if !rules_used > budget then raise Give_up;
-    match find_step universal inclusions st with
+    Option.iter (fun tr -> Trace.counter tr "tableau.nodes" st.next) tracer;
+    match find_step ?tracer universal inclusions st with
     | Done -> Sat
-    | Clash -> Unsat
+    | Clash ->
+        incr clashes;
+        Option.iter
+          (fun tr ->
+            Trace.instant tr "tableau.clash";
+            Trace.counter tr "tableau.clashes" !clashes)
+          tracer;
+        Unsat
     | Next st -> expand st
     | Branch alternatives ->
+        incr branches;
+        Option.iter
+          (fun tr ->
+            Trace.instant tr "tableau.branch";
+            Trace.counter tr "tableau.branches" !branches)
+          tracer;
         let rec try_all = function
           | [] -> Unsat
           | st :: rest -> ( match expand st with Sat -> Sat | Unsat | Unknown -> try_all rest)
         in
         try_all alternatives
   in
-  try expand init with Give_up -> Unknown
+  let run () = try expand init with Give_up -> Unknown in
+  match tracer with
+  | None -> run ()
+  | Some tr ->
+      let verdict = Trace.with_span tr "tableau.satisfiable" run in
+      if verdict = Unknown then
+        Log.warn "tableau: budget of %d rule applications exceeded" budget;
+      verdict

@@ -13,10 +13,17 @@ type verdict = Sat | Unsat | Unknown
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-val satisfiable : ?budget:int -> Syntax.tbox -> Syntax.concept -> verdict
+val satisfiable :
+  ?budget:int -> ?tracer:Orm_trace.Trace.t -> Syntax.tbox -> Syntax.concept -> verdict
 (** [satisfiable tbox c] decides whether some model of [tbox] gives [c] a
     non-empty extension.  [budget] (default 50_000) bounds rule
-    applications. *)
+    applications.
+
+    [tracer] records a [tableau.satisfiable] span enclosing one span per
+    expansion phase ([tableau.conj] / [disj] / [atmost] / [forall] /
+    [exists] / [atleast]), instant events at every branch point and clash,
+    and [tableau.nodes] / [branches] / [clashes] counter tracks — the
+    paper's worst-case-exponential half made visible step by step. *)
 
 val stats_last_rules : unit -> int
 (** Rule applications used by the most recent {!satisfiable} call. *)

@@ -3,6 +3,8 @@ module Engine = Orm_patterns.Engine
 module Settings = Orm_patterns.Settings
 module Diagnostic = Orm_patterns.Diagnostic
 module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+module Log = Orm_trace.Log
 
 module Imap = Map.Make (Int)
 
@@ -10,6 +12,7 @@ type t = {
   schema : Schema.t;
   session_settings : Settings.t;
   metrics : Metrics.t option;
+  tracer : Trace.t option;
   cache : Diagnostic.t list Imap.t;  (* pattern number -> its diagnostics *)
   report : Engine.report;
   past : (Edit.t * t) list;  (* newest first: edit together with the state before it *)
@@ -18,64 +21,87 @@ type t = {
 
 let enabled settings = List.sort_uniq Int.compare settings.Settings.enabled
 
-let rebuild_report ?metrics settings schema cache =
+let rebuild_report ?metrics ?tracer settings schema cache =
   let diagnostics = List.concat_map snd (Imap.bindings cache) in
-  Engine.assemble ~settings ?metrics schema diagnostics
+  Engine.assemble ~settings ?metrics ?tracer schema diagnostics
 
-let full_cache ?metrics settings schema =
+let full_cache ?metrics ?tracer settings schema =
   List.fold_left
-    (fun cache n -> Imap.add n (Engine.run_pattern n ~settings ?metrics schema) cache)
+    (fun cache n ->
+      Imap.add n (Engine.run_pattern n ~settings ?metrics ?tracer schema) cache)
     Imap.empty (enabled settings)
 
-let create ?(settings = Settings.default) ?metrics schema =
-  let cache = full_cache ?metrics settings schema in
+let create ?(settings = Settings.default) ?metrics ?tracer schema =
+  Option.iter (fun tr -> Trace.begin_span tr "session.create") tracer;
+  let cache = full_cache ?metrics ?tracer settings schema in
   Option.iter
     (fun m -> Metrics.record_cache_miss m (List.length (enabled settings)))
     metrics;
-  {
-    schema;
-    session_settings = settings;
-    metrics;
-    cache;
-    report = rebuild_report ?metrics settings schema cache;
-    past = [];
-    last_rechecked = enabled settings;
-  }
+  let t =
+    {
+      schema;
+      session_settings = settings;
+      metrics;
+      tracer;
+      cache;
+      report = rebuild_report ?metrics ?tracer settings schema cache;
+      past = [];
+      last_rechecked = enabled settings;
+    }
+  in
+  Option.iter (fun tr -> Trace.end_span tr "session.create") tracer;
+  t
 
 let schema t = t.schema
 let settings t = t.session_settings
 let report t = t.report
 
 let apply edit t =
+  Option.iter (fun tr -> Trace.begin_span tr "session.apply") t.tracer;
   let affected =
     List.filter
       (fun n -> List.mem n (enabled t.session_settings))
       (Edit.affected_patterns t.schema edit)
   in
+  let hits = List.length (enabled t.session_settings) - List.length affected in
   Option.iter
     (fun m ->
       Metrics.record_cache_miss m (List.length affected);
-      Metrics.record_cache_hit m
-        (List.length (enabled t.session_settings) - List.length affected))
+      Metrics.record_cache_hit m hits)
     t.metrics;
+  Option.iter
+    (fun tr ->
+      Trace.counter tr "session.cache_hits" hits;
+      Trace.counter tr "session.cache_misses" (List.length affected))
+    t.tracer;
+  Log.debug "session: edit re-checks %d pattern(s), %d cached"
+    (List.length affected) hits;
   let schema = Edit.apply edit t.schema in
   let cache =
     List.fold_left
       (fun cache n ->
         Imap.add n
-          (Engine.run_pattern n ~settings:t.session_settings ?metrics:t.metrics schema)
+          (Engine.run_pattern n ~settings:t.session_settings ?metrics:t.metrics
+             ?tracer:t.tracer schema)
           cache)
       t.cache affected
   in
-  {
-    schema;
-    session_settings = t.session_settings;
-    metrics = t.metrics;
-    cache;
-    report = rebuild_report ?metrics:t.metrics t.session_settings schema cache;
-    past = (edit, t) :: t.past;
-    last_rechecked = affected;
-  }
+  let t' =
+    {
+      schema;
+      session_settings = t.session_settings;
+      metrics = t.metrics;
+      tracer = t.tracer;
+      cache;
+      report =
+        rebuild_report ?metrics:t.metrics ?tracer:t.tracer t.session_settings schema
+          cache;
+      past = (edit, t) :: t.past;
+      last_rechecked = affected;
+    }
+  in
+  Option.iter (fun tr -> Trace.end_span tr "session.apply") t.tracer;
+  t'
 
 let undo t = match t.past with [] -> None | (_, before) :: _ -> Some before
 

@@ -14,12 +14,18 @@ open Orm
 type t
 
 val create :
-  ?settings:Orm_patterns.Settings.t -> ?metrics:Orm_telemetry.Metrics.t -> Schema.t -> t
+  ?settings:Orm_patterns.Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
+  Schema.t ->
+  t
 (** Fresh session; performs one full check.  When [metrics] is given, every
     subsequent {!apply} records which pattern results were served from the
     cache ([record_cache_hit]) versus recomputed ([record_cache_miss]), on
     top of the engine's own per-pattern timers; the initial full check
-    counts as all misses. *)
+    counts as all misses.  When [tracer] is given, the session records
+    [session.create] / [session.apply] spans and per-edit
+    [session.cache_hits] / [session.cache_misses] counter samples. *)
 
 val schema : t -> Schema.t
 val settings : t -> Orm_patterns.Settings.t

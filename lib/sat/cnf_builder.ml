@@ -94,4 +94,4 @@ let nvars b = b.next - 1
 let clauses b = List.rev b.acc
 let clause_count b = b.count
 
-let solve ?budget b = Dpll.solve ?budget ~nvars:(nvars b) (clauses b)
+let solve ?budget ?tracer b = Dpll.solve ?budget ?tracer ~nvars:(nvars b) (clauses b)

@@ -1,3 +1,5 @@
+module Trace = Orm_trace.Trace
+
 type lit = int
 type clause = lit list
 type cnf = clause list
@@ -11,6 +13,11 @@ exception Give_up
 
 let steps = ref 0
 let stats_last_decisions () = !steps
+
+let propagations = ref 0
+let backtracks = ref 0
+let stats_last_propagations () = !propagations
+let stats_last_backtracks () = !backtracks
 
 (* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
 type state = {
@@ -53,6 +60,7 @@ let propagate ~budget st lit =
     | 1 -> ()
     | -1 -> raise Conflict
     | _ ->
+        incr propagations;
         st.assign.(abs l) <- (if l > 0 then 1 else -1);
         trail := abs l :: !trail;
         Queue.add l queue
@@ -108,8 +116,10 @@ let pick_branch st =
        with Exit -> ());
       if !var = 0 then None else Some !var
 
-let solve ?(budget = 2_000_000) ~nvars cnf =
+let solve ?(budget = 2_000_000) ?tracer ~nvars cnf =
   steps := 0;
+  propagations := 0;
+  backtracks := 0;
   List.iter
     (List.iter (fun lit ->
          if lit = 0 || abs lit > nvars then
@@ -122,8 +132,18 @@ let solve ?(budget = 2_000_000) ~nvars cnf =
       Array.iter (fun lit -> occurs.(abs lit) <- ci :: occurs.(abs lit)) clause)
     clauses;
   let st = { assign = Array.make (nvars + 1) 0; clauses; occurs } in
+  let decisions = ref 0 in
+  (* Counter samples land at decision points only — once per branch, not
+     per propagated literal, so tracing a 2M-step search does not drown the
+     ring in counter events.  [depth] is the current decision depth (this
+     DPLL learns no clauses, so depth is the backjump-relevant quantity). *)
+  let sample tr depth =
+    Trace.counter tr "dpll.decisions" !decisions;
+    Trace.counter tr "dpll.propagations" !propagations;
+    Trace.counter tr "dpll.depth" depth
+  in
   (* Top-level units first. *)
-  let rec search () =
+  let rec search ~depth () =
     incr steps;
     if !steps > budget then raise Give_up;
     (* All clauses satisfied? *)
@@ -153,7 +173,7 @@ let solve ?(budget = 2_000_000) ~nvars cnf =
       match pending_unit with
       | Some u -> (
           match propagate ~budget st u with
-          | Ok trail -> search () || (undo st trail; false)
+          | Ok trail -> search ~depth () || (undo st trail; false)
           | Error trail ->
               undo st trail;
               false)
@@ -161,21 +181,44 @@ let solve ?(budget = 2_000_000) ~nvars cnf =
           match pick_branch st with
           | None -> true
           | Some lit -> (
+              incr decisions;
+              Option.iter
+                (fun tr ->
+                  Trace.instant tr "dpll.decide";
+                  sample tr depth)
+                tracer;
               let try_polarity l =
                 match propagate ~budget st l with
                 | Ok trail ->
-                    if search () then true
+                    if search ~depth:(depth + 1) () then true
                     else begin
+                      incr backtracks;
+                      Option.iter
+                        (fun tr ->
+                          Trace.instant tr "dpll.backtrack";
+                          Trace.counter tr "dpll.backtracks" !backtracks)
+                        tracer;
                       undo st trail;
                       false
                     end
                 | Error trail ->
+                    incr backtracks;
+                    Option.iter
+                      (fun tr ->
+                        Trace.instant tr "dpll.conflict";
+                        Trace.counter tr "dpll.backtracks" !backtracks)
+                      tracer;
                     undo st trail;
                     false
               in
               try_polarity lit || try_polarity (-lit)))
   in
-  match (try search () with Conflict -> false) with
+  let search_root () = try search ~depth:0 () with Conflict -> false in
+  match
+    (match tracer with
+    | None -> search_root ()
+    | Some tr -> Trace.with_span tr "dpll.solve" search_root)
+  with
   | true ->
       (* Unassigned variables are don't-cares; default them to false. *)
       Sat (Array.init (nvars + 1) (fun v -> v > 0 && st.assign.(v) = 1))

@@ -22,10 +22,16 @@ type result =
   | Unsat
   | Timeout  (** decision budget exhausted *)
 
-val solve : ?budget:int -> nvars:int -> cnf -> result
+val solve : ?budget:int -> ?tracer:Orm_trace.Trace.t -> nvars:int -> cnf -> result
 (** [solve ~nvars cnf] decides satisfiability of [cnf] over variables
     [1..nvars].  [budget] (default 2_000_000) bounds the number of
     decisions + propagations.
+
+    [tracer] records a [dpll.solve] span with instant events at every
+    decision, backtrack and conflict, plus [dpll.decisions] /
+    [propagations] / [backtracks] / [depth] counter tracks (sampled at
+    decision points; this solver learns no clauses, so the decision depth
+    is the quantity a blow-up shows).
     @raise Invalid_argument if a clause mentions a variable outside
     [1..nvars] or the literal 0. *)
 
@@ -34,4 +40,12 @@ val verify : cnf -> bool array -> bool
     encoder as a safety net). *)
 
 val stats_last_decisions : unit -> int
-(** Decisions made by the most recent {!solve} call. *)
+(** Decisions + propagations spent by the most recent {!solve} call (the
+    quantity the budget bounds). *)
+
+val stats_last_propagations : unit -> int
+(** Unit propagations alone, for the most recent {!solve} call. *)
+
+val stats_last_backtracks : unit -> int
+(** Backtracks (failed polarities and conflicts) of the most recent
+    {!solve} call. *)

@@ -433,7 +433,7 @@ let decode env assignment =
     (Schema.fact_types env.schema);
   !pop
 
-let solve ?max_fresh ?(budget = 2_000_000) schema query =
+let solve ?max_fresh ?(budget = 2_000_000) ?tracer schema query =
   let max_fresh =
     match max_fresh with Some n -> n | None -> default_fresh schema
   in
@@ -462,11 +462,12 @@ let solve ?max_fresh ?(budget = 2_000_000) schema query =
         p
   in
   let env = { b = B.create (); schema; pool } in
-  define_plays env;
-  encode_structure env;
-  List.iter (encode_constraint env) (Schema.constraints schema);
-  encode_query env query;
-  let result = B.solve ~budget env.b in
+  Orm_trace.Trace.span tracer "sat.encode" (fun () ->
+      define_plays env;
+      encode_structure env;
+      List.iter (encode_constraint env) (Schema.constraints schema);
+      encode_query env query);
+  let result = B.solve ~budget ?tracer env.b in
   last :=
     {
       variables = B.nvars env.b;

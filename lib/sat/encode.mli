@@ -38,7 +38,13 @@ type stats = {
   decisions : int;  (** DPLL decisions + propagations *)
 }
 
-val solve : ?max_fresh:int -> ?budget:int -> Schema.t -> query -> outcome
+val solve :
+  ?max_fresh:int ->
+  ?budget:int ->
+  ?tracer:Orm_trace.Trace.t ->
+  Schema.t ->
+  query ->
+  outcome
 (** [solve schema query] encodes and solves.  [max_fresh] bounds the fresh
     atoms per type family (default: the same heuristic as the finder);
     [budget] bounds DPLL steps (default 2_000_000).  A [Model] outcome is

@@ -8,12 +8,34 @@ let time f =
 
 let max_pattern = 12
 
+(* Log-scale latency histogram: bucket [i] counts runs whose wall time fell
+   in [2^i, 2^(i+1)) ns (bucket 0 additionally catches 0 and 1 ns).  40
+   buckets reach ~18 minutes, far beyond any single pattern run. *)
+let hist_buckets = 40
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let b = ref 0 and v = ref ns in
+    while !v > 1 && !b < hist_buckets - 1 do
+      v := !v lsr 1;
+      incr b
+    done;
+    !b
+  end
+
+(* Midpoint of the bucket, used as the representative when reading
+   quantiles back out: 1.5 * 2^i. *)
+let bucket_mid_ns i = if i = 0 then 1 else (1 lsl i) + (1 lsl (i - 1))
+
 (* Slot 0 collects out-of-range pattern numbers: telemetry must never turn a
    successful check into an exception. *)
 type t = {
   pattern_runs : int Atomic.t array;  (* length max_pattern + 1 *)
   pattern_fires : int Atomic.t array;
   pattern_time_ns : int Atomic.t array;
+  pattern_hist : int Atomic.t array array;  (* per pattern, hist_buckets wide *)
+  pattern_max_ns : int Atomic.t array;
   checks : int Atomic.t;
   check_time_ns : int Atomic.t;
   propagation_runs : int Atomic.t;
@@ -34,6 +56,10 @@ let create () =
     pattern_runs = atomic_array ();
     pattern_fires = atomic_array ();
     pattern_time_ns = atomic_array ();
+    pattern_hist =
+      Array.init (max_pattern + 1) (fun _ ->
+          Array.init hist_buckets (fun _ -> Atomic.make 0));
+    pattern_max_ns = atomic_array ();
     checks = Atomic.make 0;
     check_time_ns = Atomic.make 0;
     propagation_runs = Atomic.make 0;
@@ -52,6 +78,8 @@ let reset t =
   Array.iter zero t.pattern_runs;
   Array.iter zero t.pattern_fires;
   Array.iter zero t.pattern_time_ns;
+  Array.iter (Array.iter zero) t.pattern_hist;
+  Array.iter zero t.pattern_max_ns;
   List.iter zero
     [
       t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
@@ -61,11 +89,17 @@ let reset t =
 
 let bump a n = ignore (Atomic.fetch_and_add a n)
 
+let rec bump_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
 let record_pattern t ~pattern ~time_ns ~fired =
   let p = if pattern >= 1 && pattern <= max_pattern then pattern else 0 in
   bump t.pattern_runs.(p) 1;
   bump t.pattern_fires.(p) fired;
-  bump t.pattern_time_ns.(p) time_ns
+  bump t.pattern_time_ns.(p) time_ns;
+  bump t.pattern_hist.(p).(bucket_of_ns time_ns) 1;
+  bump_max t.pattern_max_ns.(p) time_ns
 
 let record_check t ~time_ns =
   bump t.checks 1;
@@ -85,7 +119,44 @@ let record_batch t ~schemas ~domains ~time_ns =
   Atomic.set t.batch_domains domains;
   bump t.batch_time_ns time_ns
 
-type pattern_stat = { pattern : int; runs : int; fires : int; time_ns : int }
+type pattern_stat = {
+  pattern : int;
+  runs : int;
+  fires : int;
+  time_ns : int;
+  hist : int array;  (* hist_buckets wide; all zeros when never recorded *)
+  max_ns : int;
+}
+
+let empty_hist () = Array.make hist_buckets 0
+
+(* Quantiles read off the log-scale histogram; resolution is the bucket
+   width (a factor of two), which is plenty to tell a 2 us median from a
+   2 ms tail. *)
+let quantile_ns stat q =
+  let total = Array.fold_left ( + ) 0 stat.hist in
+  if total = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (Float.round (q *. float_of_int total))) in
+    let seen = ref 0 and result = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if !seen >= target then begin
+             let mid = bucket_mid_ns i in
+             (* never report past the observed maximum (when we have one:
+                snapshots parsed from pre-histogram JSON carry max_ns = 0) *)
+             result := (if stat.max_ns > 0 then min mid stat.max_ns else mid);
+             raise Exit
+           end)
+         stat.hist
+     with Exit -> ());
+    !result
+  end
+
+let p50_ns stat = quantile_ns stat 0.50
+let p95_ns stat = quantile_ns stat 0.95
 
 type snapshot = {
   patterns : pattern_stat list;
@@ -113,6 +184,8 @@ let snapshot t =
           runs;
           fires = Atomic.get t.pattern_fires.(p);
           time_ns = Atomic.get t.pattern_time_ns.(p);
+          hist = Array.map Atomic.get t.pattern_hist.(p);
+          max_ns = Atomic.get t.pattern_max_ns.(p);
         }
         :: !patterns
   done;
@@ -150,9 +223,18 @@ let zero =
 let add a b =
   let merge_patterns pa pb =
     let tbl = Hashtbl.create 16 in
-    let feed { pattern; runs; fires; time_ns } =
+    let feed { pattern; runs; fires; time_ns; hist; max_ns } =
       let prev =
-        Option.value ~default:{ pattern; runs = 0; fires = 0; time_ns = 0 }
+        Option.value
+          ~default:
+            {
+              pattern;
+              runs = 0;
+              fires = 0;
+              time_ns = 0;
+              hist = empty_hist ();
+              max_ns = 0;
+            }
           (Hashtbl.find_opt tbl pattern)
       in
       Hashtbl.replace tbl pattern
@@ -161,6 +243,8 @@ let add a b =
           runs = prev.runs + runs;
           fires = prev.fires + fires;
           time_ns = prev.time_ns + time_ns;
+          hist = Array.mapi (fun i c -> c + hist.(i)) prev.hist;
+          max_ns = max prev.max_ns max_ns;
         }
     in
     List.iter feed pa;
@@ -201,11 +285,16 @@ let pp ppf s =
   pp_ns ppf s.check_time_ns;
   Format.fprintf ppf " total)@,";
   if s.patterns <> [] then begin
-    Format.fprintf ppf "%-10s %8s %8s %12s@," "pattern" "runs" "fires" "time";
+    Format.fprintf ppf "%-10s %8s %8s %12s %10s %10s %10s@," "pattern" "runs" "fires"
+      "time" "p50" "p95" "max";
     List.iter
       (fun p ->
-        Format.fprintf ppf "%-10d %8d %8d %12s@," p.pattern p.runs p.fires
-          (Format.asprintf "%a" pp_ns p.time_ns))
+        Format.fprintf ppf "%-10d %8d %8d %12s %10s %10s %10s@," p.pattern p.runs
+          p.fires
+          (Format.asprintf "%a" pp_ns p.time_ns)
+          (Format.asprintf "%a" pp_ns (p50_ns p))
+          (Format.asprintf "%a" pp_ns (p95_ns p))
+          (Format.asprintf "%a" pp_ns p.max_ns))
       s.patterns
   end;
   if s.propagation_runs > 0 then begin
@@ -250,9 +339,20 @@ let to_json s =
     ^ String.concat ","
         (List.map
            (fun p ->
+             (* the histogram is emitted trimmed to its last non-empty
+                bucket; of_json pads back to hist_buckets *)
+             let last =
+               let i = ref (Array.length p.hist - 1) in
+               while !i >= 0 && p.hist.(!i) = 0 do decr i done;
+               !i
+             in
+             let hist =
+               String.concat ","
+                 (List.init (last + 1) (fun i -> string_of_int p.hist.(i)))
+             in
              Printf.sprintf
-               "{\"pattern\":%d,\"runs\":%d,\"fires\":%d,\"time_ns\":%d}"
-               p.pattern p.runs p.fires p.time_ns)
+               "{\"pattern\":%d,\"runs\":%d,\"fires\":%d,\"time_ns\":%d,\"max_ns\":%d,\"hist\":[%s]}"
+               p.pattern p.runs p.fires p.time_ns p.max_ns hist)
            s.patterns)
     ^ "]");
   Buffer.add_char buf '}';
@@ -395,11 +495,38 @@ let of_json src =
                         | Some (Int n) -> n
                         | _ -> raise (Bad ("patterns." ^ k ^ ": expected integer"))
                       in
+                      (* hist and max_ns arrived with the latency-histogram
+                         extension; snapshots written before it parse with
+                         empty histograms *)
+                      let pint_opt k default =
+                        match List.assoc_opt k pf with
+                        | Some (Int n) -> n
+                        | Some _ -> raise (Bad ("patterns." ^ k ^ ": expected integer"))
+                        | None -> default
+                      in
+                      let hist =
+                        let h = empty_hist () in
+                        (match List.assoc_opt "hist" pf with
+                        | None -> ()
+                        | Some (Arr counts) ->
+                            List.iteri
+                              (fun i c ->
+                                match c with
+                                | Int n when i < hist_buckets -> h.(i) <- n
+                                | Int _ ->
+                                    raise (Bad "patterns.hist: too many buckets")
+                                | _ -> raise (Bad "patterns.hist: expected integers"))
+                              counts
+                        | Some _ -> raise (Bad "patterns.hist: expected array"));
+                        h
+                      in
                       {
                         pattern = pint "pattern";
                         runs = pint "runs";
                         fires = pint "fires";
                         time_ns = pint "time_ns";
+                        hist;
+                        max_ns = pint_opt "max_ns" 0;
                       }
                   | _ -> raise (Bad "patterns: expected objects"))
                 items

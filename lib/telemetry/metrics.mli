@@ -56,12 +56,29 @@ val record_batch : t -> schemas:int -> domains:int -> time_ns:int -> unit
 
 (** {1 Snapshots} *)
 
+val hist_buckets : int
+(** Width of the per-pattern latency histograms: bucket [i] counts runs
+    whose wall time fell in [2^i, 2^(i+1)) nanoseconds. *)
+
 type pattern_stat = {
   pattern : int;
   runs : int;  (** times the pattern was executed *)
   fires : int;  (** diagnostics it produced, summed over runs *)
   time_ns : int;  (** wall time spent in it, summed over runs *)
+  hist : int array;
+      (** log-scale latency histogram, [hist_buckets] wide; all zeros on
+          snapshots parsed from pre-histogram JSON *)
+  max_ns : int;  (** slowest single run; 0 on pre-histogram snapshots *)
 }
+
+val quantile_ns : pattern_stat -> float -> int
+(** [quantile_ns stat q] reads the [q]-quantile (0 < q <= 1) of the run
+    latency off the histogram.  Resolution is the bucket width (a factor
+    of 2): the bucket midpoint is reported, clamped to [max_ns].  0 when
+    the histogram is empty. *)
+
+val p50_ns : pattern_stat -> int
+val p95_ns : pattern_stat -> int
 
 type snapshot = {
   patterns : pattern_stat list;  (** only patterns with [runs > 0], ascending *)

@@ -1,0 +1,69 @@
+type level = Off | Error | Warn | Info | Debug
+
+let severity = function Off -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let level_to_string = function
+  | Off -> "off"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "none" | "quiet" -> Ok Off
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | other -> Error (Printf.sprintf "unknown log level %S (off|error|warn|info|debug)" other)
+
+let default_level () =
+  match Sys.getenv_opt "ORMCHECK_LOG" with
+  | None -> Warn
+  | Some s -> ( match level_of_string s with Ok l -> l | Error _ -> Warn)
+
+(* -1 = not yet initialized from the environment *)
+let current = Atomic.make (-1)
+
+let level () =
+  match Atomic.get current with
+  | -1 ->
+      let l = default_level () in
+      (* another domain may have raced us; keep whichever landed first *)
+      ignore (Atomic.compare_and_set current (-1) (severity l));
+      (match Atomic.get current with
+      | 0 -> Off
+      | 1 -> Error
+      | 2 -> Warn
+      | 3 -> Info
+      | _ -> Debug)
+  | 0 -> Off
+  | 1 -> Error
+  | 2 -> Warn
+  | 3 -> Info
+  | _ -> Debug
+
+let set_level l = Atomic.set current (severity l)
+
+let enabled l = severity l <= severity (level ()) && l <> Off
+
+let epoch = Monotonic_clock.now ()
+
+let logf l fmt =
+  if enabled l then begin
+    let ms =
+      Int64.to_int (Int64.div (Int64.sub (Monotonic_clock.now ()) epoch) 1_000_000L)
+    in
+    Format.kfprintf
+      (fun ppf -> Format.pp_print_newline ppf ())
+      Format.err_formatter
+      ("ormcheck %s ts=%dms " ^^ fmt)
+      (level_to_string l) ms
+  end
+  else Format.ifprintf Format.err_formatter fmt
+
+let err fmt = logf Error fmt
+let warn fmt = logf Warn fmt
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt

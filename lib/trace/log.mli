@@ -1,0 +1,36 @@
+(** Leveled structured logging to stderr.
+
+    One global level, settable programmatically ({!set_level}), from the
+    [ORMCHECK_LOG] environment variable (read once, on first use) or from
+    the CLI's [--log-level].  Disabled messages cost one atomic load and no
+    formatting ({!logf} routes them through [Format.ifprintf]).
+
+    Lines are written to stderr as
+    [ormcheck <level> ts=<ms since logger init> <message>] so they
+    interleave recognizably with diagnostic output and are trivially
+    greppable by level. *)
+
+type level = Off | Error | Warn | Info | Debug
+
+val level_of_string : string -> (level, string) result
+(** Accepts [off], [error], [warn] (or [warning]), [info], [debug],
+    case-insensitively. *)
+
+val level_to_string : level -> string
+
+val set_level : level -> unit
+
+val level : unit -> level
+(** Current level; defaults to [ORMCHECK_LOG] when set and parseable,
+    [Warn] otherwise. *)
+
+val enabled : level -> bool
+(** Would a message at this level be printed? *)
+
+val logf : level -> ('a, Format.formatter, unit) format -> 'a
+(** [logf lvl fmt ...] prints one line on stderr when [lvl] is enabled. *)
+
+val err : ('a, Format.formatter, unit) format -> 'a
+val warn : ('a, Format.formatter, unit) format -> 'a
+val info : ('a, Format.formatter, unit) format -> 'a
+val debug : ('a, Format.formatter, unit) format -> 'a

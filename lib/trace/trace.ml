@@ -1,0 +1,482 @@
+let now_ns = Monotonic_clock.now
+
+type phase = Begin | End | Instant | Counter
+
+type event = {
+  phase : phase;
+  name : string;
+  ts_ns : int;
+  domain : int;
+  value : int;
+}
+
+let dummy_event = { phase = Instant; name = ""; ts_ns = 0; domain = 0; value = 0 }
+
+(* One ring per domain; [n] counts every event ever written, so the live
+   window is the last [min n capacity] slots and [n - capacity] is the drop
+   count.  Only the owning domain writes, so no synchronization is needed
+   on the hot path. *)
+type buf = {
+  dom : int;
+  ring : event array;
+  mutable n : int;
+}
+
+type t = {
+  id : int;
+  capacity : int;
+  epoch : int64;
+  mutable bufs : buf list;  (* registration order; guarded by [reg] *)
+  reg : Mutex.t;
+}
+
+let next_id = Atomic.make 0
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    capacity;
+    epoch = now_ns ();
+    bufs = [];
+    reg = Mutex.create ();
+  }
+
+(* Domain-local map from tracer id to that domain's buffer.  A domain's
+   first event on a given tracer allocates the ring and registers it (the
+   only locked step); every later event is a plain array store. *)
+let dls : (int * buf) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let buf_for t =
+  let r = Domain.DLS.get dls in
+  match List.assq_opt t.id !r with
+  | Some b -> b
+  | None ->
+      let b =
+        { dom = (Domain.self () :> int); ring = Array.make t.capacity dummy_event; n = 0 }
+      in
+      Mutex.lock t.reg;
+      t.bufs <- b :: t.bufs;
+      Mutex.unlock t.reg;
+      r := (t.id, b) :: !r;
+      b
+
+let elapsed t = Int64.to_int (Int64.sub (now_ns ()) t.epoch)
+
+let record t phase name value =
+  let b = buf_for t in
+  b.ring.(b.n mod t.capacity) <-
+    { phase; name; ts_ns = elapsed t; domain = b.dom; value };
+  b.n <- b.n + 1
+
+let begin_span t name = record t Begin name 0
+let end_span t name = record t End name 0
+let instant t name = record t Instant name 0
+let counter t name value = record t Counter name value
+
+let with_span t name f =
+  begin_span t name;
+  match f () with
+  | v ->
+      end_span t name;
+      v
+  | exception e ->
+      end_span t name;
+      raise e
+
+let span opt name f = match opt with None -> f () | Some t -> with_span t name f
+
+(* ---- inspection ------------------------------------------------------- *)
+
+let live_bufs t =
+  Mutex.lock t.reg;
+  let bufs = List.rev t.bufs in
+  Mutex.unlock t.reg;
+  bufs
+
+let buf_events t b =
+  let k = min b.n t.capacity in
+  let first = b.n - k in
+  List.init k (fun i -> b.ring.((first + i) mod t.capacity))
+
+let events t = List.concat_map (buf_events t) (live_bufs t)
+
+let dropped t =
+  List.fold_left (fun acc b -> acc + max 0 (b.n - t.capacity)) 0 (live_bufs t)
+
+let domain_count t = List.length (live_bufs t)
+
+(* ---- Chrome trace-event export ---------------------------------------- *)
+
+let ph_char = function Begin -> 'B' | End -> 'E' | Instant -> 'i' | Counter -> 'C'
+
+(* ts is microseconds in the trace-event format; three decimals keep the
+   nanosecond exact, so of_chrome_json restores ts_ns losslessly. *)
+let add_event buf e =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":%S,\"ph\":\"%c\",\"ts\":%d.%03d,\"pid\":0,\"tid\":%d"
+       e.name (ph_char e.phase) (e.ts_ns / 1000) (e.ts_ns mod 1000) e.domain);
+  (match e.phase with
+  | Instant -> Buffer.add_string buf ",\"s\":\"t\""
+  | Counter -> Buffer.add_string buf (Printf.sprintf ",\"args\":{\"value\":%d}" e.value)
+  | Begin | End -> ());
+  Buffer.add_char buf '}'
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",";
+  Buffer.add_string buf (Printf.sprintf "\"otherData\":{\"dropped\":%d}," (dropped t));
+  Buffer.add_string buf "\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if !first then first := false else Buffer.add_char buf ',';
+      add_event buf e)
+    (events t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_chrome t file =
+  let oc = open_out file in
+  output_string oc (to_chrome_json t);
+  output_char oc '\n';
+  close_out oc
+
+(* ---- Chrome trace-event import ---------------------------------------- *)
+
+(* A minimal JSON reader covering the trace-event format: objects, arrays,
+   strings, numbers (with fraction), true/false/null. *)
+module Reader = struct
+  type value =
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+    | Bool of bool
+    | Null
+
+  exception Bad of string
+
+  type state = { src : string; mutable pos : int }
+
+  let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        st.pos <- st.pos + 1;
+        skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    skip_ws st;
+    match peek st with
+    | Some d when d = c -> st.pos <- st.pos + 1
+    | _ -> error st (Printf.sprintf "expected %c" c)
+
+  let literal st word v =
+    let n = String.length word in
+    if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+      st.pos <- st.pos + n;
+      v
+    end
+    else error st ("expected " ^ word)
+
+  let parse_string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek st with
+      | None -> error st "unterminated string"
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' -> (
+          st.pos <- st.pos + 1;
+          match peek st with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              st.pos <- st.pos + 1;
+              loop ()
+          | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
+          | _ -> error st "unsupported escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          st.pos <- st.pos + 1;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+
+  let parse_number st =
+    let start = st.pos in
+    let digits () =
+      let moved = ref false in
+      let rec go () =
+        match peek st with
+        | Some '0' .. '9' ->
+            moved := true;
+            st.pos <- st.pos + 1;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      !moved
+    in
+    (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
+    if not (digits ()) then error st "expected number";
+    (match peek st with
+    | Some '.' ->
+        st.pos <- st.pos + 1;
+        if not (digits ()) then error st "expected fraction digits"
+    | _ -> ());
+    (match peek st with
+    | Some ('e' | 'E') ->
+        st.pos <- st.pos + 1;
+        (match peek st with Some ('+' | '-') -> st.pos <- st.pos + 1 | _ -> ());
+        if not (digits ()) then error st "expected exponent digits"
+    | _ -> ());
+    float_of_string (String.sub st.src start (st.pos - start))
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
+        else
+          let rec members acc =
+            skip_ws st;
+            let k = parse_string st in
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
+            | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
+            | _ -> error st "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
+            | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
+            | _ -> error st "expected , or ]"
+          in
+          elems []
+    | Some '"' -> Str (parse_string st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number st)
+    | _ -> error st "expected value"
+
+  let parse src =
+    let st = { src; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then error st "trailing input";
+    v
+end
+
+let event_of_obj fields =
+  let open Reader in
+  let str k = match List.assoc_opt k fields with Some (Str s) -> Some s | _ -> None in
+  let num k = match List.assoc_opt k fields with Some (Num f) -> Some f | _ -> None in
+  match (str "name", str "ph", num "ts") with
+  | Some name, Some ph, Some ts ->
+      let phase =
+        match ph with
+        | "B" -> Some Begin
+        | "E" -> Some End
+        | "i" | "I" -> Some Instant
+        | "C" -> Some Counter
+        | _ -> None
+      in
+      Option.map
+        (fun phase ->
+          let value =
+            match List.assoc_opt "args" fields with
+            | Some (Obj args) -> (
+                match List.assoc_opt "value" args with
+                | Some (Num v) -> int_of_float v
+                | _ -> 0)
+            | _ -> 0
+          in
+          let domain =
+            match num "tid" with Some f -> int_of_float f | None -> 0
+          in
+          {
+            phase;
+            name;
+            ts_ns = int_of_float (Float.round (ts *. 1000.));
+            domain;
+            value;
+          })
+        phase
+  | _ -> None
+
+let of_chrome_json src =
+  let open Reader in
+  try
+    let arr =
+      match parse src with
+      | Arr items -> Ok items
+      | Obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Arr items) -> Ok items
+          | Some _ -> Error "traceEvents: expected an array"
+          | None -> Error "missing traceEvents field")
+      | _ -> Error "expected a JSON object or array"
+    in
+    Result.map
+      (List.filter_map (function Obj fields -> event_of_obj fields | _ -> None))
+      arr
+  with Bad msg -> Error msg
+
+(* ---- summary ---------------------------------------------------------- *)
+
+type span_stat = {
+  span : string;
+  count : int;
+  total_ns : int;
+  p50_ns : int;
+  p95_ns : int;
+  max_ns : int;
+}
+
+type summary = {
+  spans : span_stat list;
+  instants : (string * int) list;
+  counters : (string * int) list;
+  total_events : int;
+  dropped_events : int;
+  domains : int;
+}
+
+let summary_of_events ?(dropped = 0) evs =
+  let durations : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let instants : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let domains = Hashtbl.create 8 in
+  let stacks : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
+  let push tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.add tbl k (ref [ v ])
+  in
+  (* Events arrive grouped by domain and chronological within each group
+     (both [events] and the export preserve buffer order), so a per-domain
+     stack pairs each End with the innermost open Begin.  An End whose
+     Begin fell off the ring has no match on the stack and is skipped. *)
+  List.iter
+    (fun e ->
+      Hashtbl.replace domains e.domain ();
+      match e.phase with
+      | Begin ->
+          let s = stack e.domain in
+          s := (e.name, e.ts_ns) :: !s
+      | End -> (
+          (* pop the innermost matching begin; anything stacked above it is
+             an unclosed inner span, abandoned rather than guessed at *)
+          let s = stack e.domain in
+          let rec pop = function
+            | [] -> None
+            | (n, t0) :: rest when n = e.name -> Some (t0, rest)
+            | _ :: rest -> pop rest
+          in
+          match pop !s with
+          | Some (t0, rest) ->
+              s := rest;
+              push durations e.name (e.ts_ns - t0)
+          | None -> ())
+      | Instant -> (
+          match Hashtbl.find_opt instants e.name with
+          | Some r -> incr r
+          | None -> Hashtbl.add instants e.name (ref 1))
+      | Counter -> Hashtbl.replace counters e.name e.value)
+    evs;
+  let spans =
+    Hashtbl.fold
+      (fun name times acc ->
+        let xs = Array.of_list !times in
+        Array.sort compare xs;
+        let n = Array.length xs in
+        let pct p = xs.(min (n - 1) (p * n / 100)) in
+        {
+          span = name;
+          count = n;
+          total_ns = Array.fold_left ( + ) 0 xs;
+          p50_ns = pct 50;
+          p95_ns = pct 95;
+          max_ns = xs.(n - 1);
+        }
+        :: acc)
+      durations []
+    |> List.sort (fun a b -> compare (b.total_ns, a.span) (a.total_ns, b.span))
+  in
+  {
+    spans;
+    instants =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) instants []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    counters =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    total_events = List.length evs;
+    dropped_events = dropped;
+    domains = Hashtbl.length domains;
+  }
+
+let summary t = summary_of_events ~dropped:(dropped t) (events t)
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Format.fprintf ppf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf ppf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf ppf "%.2f us" (f /. 1e3)
+  else Format.fprintf ppf "%d ns" ns
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>%d event(s) on %d domain(s)" s.total_events s.domains;
+  if s.dropped_events > 0 then Format.fprintf ppf " (%d dropped)" s.dropped_events;
+  Format.fprintf ppf "@,";
+  if s.spans <> [] then begin
+    Format.fprintf ppf "%-24s %8s %12s %12s %12s %12s@," "span" "count" "total" "p50"
+      "p95" "max";
+    List.iter
+      (fun st ->
+        Format.fprintf ppf "%-24s %8d %12s %12s %12s %12s@," st.span st.count
+          (Format.asprintf "%a" pp_ns st.total_ns)
+          (Format.asprintf "%a" pp_ns st.p50_ns)
+          (Format.asprintf "%a" pp_ns st.p95_ns)
+          (Format.asprintf "%a" pp_ns st.max_ns))
+      s.spans
+  end;
+  List.iter
+    (fun (name, n) -> Format.fprintf ppf "instant %-24s %8d@," name n)
+    s.instants;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "counter %-24s %8d (last)@," name v)
+    s.counters;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,122 @@
+(** Span-based tracing with per-domain lock-free ring buffers.
+
+    A {!t} collects begin/end/instant/counter events with monotonic
+    timestamps.  Each domain writes into its own ring buffer, discovered
+    through domain-local storage, so the hot recording path takes no lock
+    and never contends: registration of a new domain's buffer (once per
+    domain per tracer) is the only synchronized operation.  When a buffer
+    fills up the ring wraps and the oldest events are dropped, counted in
+    {!dropped} — tracing bounds its own memory instead of perturbing the
+    workload it observes.
+
+    Like [?metrics], the tracer is threaded as an optional argument through
+    the engine entry points; when absent the instrumented code runs its
+    original, allocation-free path (enforced by the test suite with a
+    [Gc.minor_words] guard).
+
+    Two exporters: {!to_chrome_json} emits the Chrome trace-event format
+    (load the file in Perfetto or [chrome://tracing]; one track per domain)
+    and {!summary} folds the spans into per-name count/total/p50/p95/max
+    rows — the [ormcheck profile] subcommand applies the same fold to a
+    previously written trace file via {!of_chrome_json}.
+
+    Buffers may be inspected ({!events}, {!summary}, exporters) only after
+    the traced work has finished; reading while another domain still
+    records is a benign race but can observe half-written rings. *)
+
+type t
+
+type phase = Begin | End | Instant | Counter
+
+type event = {
+  phase : phase;
+  name : string;
+  ts_ns : int;  (** nanoseconds since the tracer was created *)
+  domain : int;  (** numeric id of the recording domain *)
+  value : int;  (** counter value; 0 for the other phases *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** Fresh tracer.  [capacity] (default 65536) is the ring size {e per
+    domain}, in events. *)
+
+(** {1 Recording}
+
+    All recording entry points take the tracer directly (not an option):
+    instrumented code is expected to branch on the option itself so the
+    disabled path stays free of closures and timestamps. *)
+
+val begin_span : t -> string -> unit
+val end_span : t -> string -> unit
+(** [begin_span]/[end_span] must nest properly per domain (the name of an
+    [end_span] is expected to match the innermost open span). *)
+
+val instant : t -> string -> unit
+(** A point event (branch taken, clash found, chunk submitted...). *)
+
+val counter : t -> string -> int -> unit
+(** A sampled counter value, rendered as its own track by trace viewers. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] wraps [f] in a span; the span is closed on
+    exceptions too. *)
+
+val span : t option -> string -> (unit -> 'a) -> 'a
+(** Convenience for cold paths: [span None name f] is [f ()].  Do not use
+    on hot paths — building the closure allocates even when the tracer is
+    [None]. *)
+
+(** {1 Inspection and export} *)
+
+val events : t -> event list
+(** All recorded events, grouped by domain, chronological within each
+    domain. *)
+
+val dropped : t -> int
+(** Events lost to ring wrap-around, summed over domains. *)
+
+val domain_count : t -> int
+(** Distinct domains that recorded into this tracer. *)
+
+val to_chrome_json : t -> string
+(** The trace in Chrome trace-event JSON ([ph] B/E/i/C, [tid] = domain id,
+    [ts] in microseconds with nanosecond precision). *)
+
+val write_chrome : t -> string -> unit
+(** [write_chrome t file] writes {!to_chrome_json} to [file].
+    @raise Sys_error when the file cannot be written. *)
+
+val of_chrome_json : string -> (event list, string) result
+(** Parses a trace produced by {!to_chrome_json} back into events (also
+    accepts a bare JSON array of event objects, and skips event records
+    whose [ph] this module never emits).  Timestamps are restored exactly:
+    the printer keeps nanosecond precision. *)
+
+(** {1 Self-profile summary} *)
+
+type span_stat = {
+  span : string;
+  count : int;
+  total_ns : int;
+  p50_ns : int;  (** median span duration *)
+  p95_ns : int;
+  max_ns : int;
+}
+
+type summary = {
+  spans : span_stat list;  (** sorted by [total_ns], descending *)
+  instants : (string * int) list;  (** instant name -> occurrences *)
+  counters : (string * int) list;  (** counter name -> last sampled value *)
+  total_events : int;
+  dropped_events : int;
+  domains : int;
+}
+
+val summary : t -> summary
+
+val summary_of_events : ?dropped:int -> event list -> summary
+(** The fold behind {!summary}, reusable on parsed traces.  Unbalanced
+    spans (begins whose end was dropped by ring wrap-around, or vice versa)
+    are ignored rather than guessed at. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,10 +1,12 @@
 #!/bin/sh
-# CLI regression for the parallel/telemetry flags: for every schema in
-# test/schemas/, `ormcheck check --jobs 4 --stats` must exit with the same
+# CLI regression for the parallel/telemetry/tracing flags: for every schema
+# in test/schemas/, `ormcheck check --jobs 4 --stats` must exit with the same
 # status and print the same diagnostics (stdout) as the default invocation;
 # --stats must write its table to stderr only, and --stats-json must emit a
 # parseable snapshot (smoke-checked for the "checks" field).  The batch
-# subcommand must agree with the worst per-file status.
+# subcommand must agree with the worst per-file status.  --trace must write
+# a file that `ormcheck profile` accepts, and `reason --trace` must surface
+# the tableau's spans in the profile.
 set -u
 
 ORMCHECK=$1
@@ -52,5 +54,41 @@ done
 batch_status=$?
 [ "$batch_status" -eq "$worst" ] ||
     fail "batch exit $batch_status but worst per-file status is $worst"
+
+# --trace on check: same verdict as the default run, and the written file
+# must summarize cleanly through `ormcheck profile`.
+first_schema=${schemas%% *}
+trace_file=$(mktemp)
+"$ORMCHECK" check --jobs 2 --trace "$trace_file" "$first_schema" >/dev/null 2>&1
+trace_status=$?
+"$ORMCHECK" check "$first_schema" >/dev/null 2>&1
+[ "$trace_status" -eq "$?" ] ||
+    fail "$first_schema: --trace changed the exit status"
+profile_out=$("$ORMCHECK" profile "$trace_file" 2>&1) ||
+    fail "$first_schema: profile rejected the trace written by check --trace"
+case "$profile_out" in
+    *engine.check*) : ;;
+    *) fail "$first_schema: profile shows no engine.check span" ;;
+esac
+
+# reason --trace: the complete backends must leave their spans behind.
+"$ORMCHECK" reason --trace "$trace_file" --log-level off "$first_schema" >/dev/null 2>&1
+reason_status=$?
+[ "$reason_status" -le 1 ] ||
+    fail "$first_schema: reason exited $reason_status"
+profile_out=$("$ORMCHECK" profile "$trace_file" 2>&1) ||
+    fail "$first_schema: profile rejected the trace written by reason --trace"
+case "$profile_out" in
+    *tableau.satisfiable*) : ;;
+    *) fail "$first_schema: reason trace shows no tableau span" ;;
+esac
+rm -f "$trace_file"
+
+# profile must reject a non-trace file with exit 2.
+not_a_trace=$(mktemp)
+echo 'not json' > "$not_a_trace"
+"$ORMCHECK" profile "$not_a_trace" >/dev/null 2>&1
+[ "$?" -eq 2 ] || fail "profile accepted a non-trace file"
+rm -f "$not_a_trace"
 
 echo "cli_regression: ok ($(echo $schemas | wc -w) schema(s))"

@@ -159,6 +159,80 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ ""; "[1,2]"; "{\"checks\":"; "{\"checks\":\"many\"}"; "{} trailing" ]
 
+(* ---- latency histograms ----------------------------------------------- *)
+
+let test_histogram_totals () =
+  let m = Metrics.create () in
+  List.iter (fun s -> ignore (Engine.check ~metrics:m s)) (schemas ~n:9 ~size:4);
+  let snap = Metrics.snapshot m in
+  List.iter
+    (fun (p : Metrics.pattern_stat) ->
+      let mass = Array.fold_left ( + ) 0 p.hist in
+      Alcotest.(check int)
+        (Printf.sprintf "pattern %d: histogram mass = runs" p.pattern)
+        p.runs mass;
+      Alcotest.(check int)
+        (Printf.sprintf "pattern %d: %d buckets" p.pattern Metrics.hist_buckets)
+        Metrics.hist_buckets (Array.length p.hist);
+      Alcotest.(check bool)
+        (Printf.sprintf "pattern %d: max recorded" p.pattern)
+        true
+        (p.runs = 0 || p.max_ns > 0))
+    snap.patterns
+
+let test_quantiles_ordered () =
+  let m = Metrics.create () in
+  List.iter (fun s -> ignore (Engine.check ~metrics:m s)) (schemas ~n:9 ~size:4);
+  let snap = Metrics.snapshot m in
+  List.iter
+    (fun (p : Metrics.pattern_stat) ->
+      let p50 = Metrics.p50_ns p and p95 = Metrics.p95_ns p in
+      Alcotest.(check bool) "p50 > 0" true (p50 > 0);
+      Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+      Alcotest.(check bool) "p95 <= max" true (p95 <= p.max_ns))
+    snap.patterns
+
+(* Synthetic distribution with a known shape: 99 runs in the lowest bucket
+   and one huge outlier.  The median must sit in the low bucket and p95
+   must not be dragged up to the outlier. *)
+let test_quantile_arithmetic () =
+  let m = Metrics.create () in
+  for _ = 1 to 99 do
+    Metrics.record_pattern m ~pattern:1 ~time_ns:1 ~fired:0
+  done;
+  Metrics.record_pattern m ~pattern:1 ~time_ns:1_000_000 ~fired:0;
+  let snap = Metrics.snapshot m in
+  let p = List.hd snap.patterns in
+  Alcotest.(check int) "runs" 100 p.runs;
+  Alcotest.(check int) "max is the outlier" 1_000_000 p.max_ns;
+  Alcotest.(check bool) "p50 in the low bucket" true (Metrics.p50_ns p < 10);
+  Alcotest.(check bool) "p95 below the outlier" true (Metrics.p95_ns p < 1_000_000);
+  Alcotest.(check bool) "p99.9 would reach the outlier" true
+    (Metrics.quantile_ns p 0.999 > 100_000)
+
+(* Snapshots written by the pre-histogram format (no "max_ns"/"hist"
+   fields) must still parse: hist all-zero, max_ns 0, quantiles harmless. *)
+let test_json_old_format () =
+  let old =
+    "{\"checks\":3,\"check_time_ns\":1000,\"propagation_runs\":3,\
+     \"propagation_time_ns\":10,\"propagation_derived\":0,\"cache_hits\":0,\
+     \"cache_misses\":0,\"batches\":0,\"batch_schemas\":0,\"batch_domains\":0,\
+     \"batch_time_ns\":0,\"patterns\":[{\"pattern\":1,\"runs\":3,\"fires\":1,\
+     \"time_ns\":900}]}"
+  in
+  match Metrics.of_json old with
+  | Error msg -> Alcotest.failf "old snapshot rejected: %s" msg
+  | Ok snap -> (
+      Alcotest.(check int) "checks" 3 snap.checks;
+      match snap.patterns with
+      | [ p ] ->
+          Alcotest.(check int) "runs" 3 p.runs;
+          Alcotest.(check int) "max_ns defaults to 0" 0 p.max_ns;
+          Alcotest.(check int) "hist padded to full width" Metrics.hist_buckets
+            (Array.length p.hist);
+          Alcotest.(check int) "hist is empty" 0 (Array.fold_left ( + ) 0 p.hist)
+      | ps -> Alcotest.failf "expected one pattern row, got %d" (List.length ps))
+
 (* ---- non-perturbation ------------------------------------------------- *)
 
 (* On every paper figure, the report with metrics enabled must be identical
@@ -194,6 +268,12 @@ let suite =
     Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "JSON round-trip (zero)" `Quick test_json_roundtrip_zero;
     Alcotest.test_case "JSON rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "histogram mass equals runs" `Quick test_histogram_totals;
+    Alcotest.test_case "quantiles are ordered" `Quick test_quantiles_ordered;
+    Alcotest.test_case "quantile arithmetic on a known shape" `Quick
+      test_quantile_arithmetic;
+    Alcotest.test_case "pre-histogram JSON still parses" `Quick
+      test_json_old_format;
     Alcotest.test_case "metrics do not perturb reports" `Quick
       test_figures_unperturbed;
   ]

@@ -1,0 +1,222 @@
+(* The tracing layer: spans must nest properly on every domain's track,
+   the Chrome exporter must round-trip losslessly through its own parser,
+   ring overflow must be bounded and counted, and — the contract the whole
+   design hangs on — the disabled path must allocate nothing on the
+   engine's hot loop. *)
+
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Trace = Orm_trace.Trace
+module Log = Orm_trace.Log
+module Gen = Orm_generator.Gen
+
+let schemas ~n ~size =
+  List.init n (fun i -> Gen.clean ~config:(Gen.sized size) ~seed:(300 + i) ())
+
+let traced_batch () =
+  let tr = Trace.create () in
+  ignore (Engine_par.check_batch ~domains:2 ~tracer:tr (schemas ~n:8 ~size:4));
+  tr
+
+(* ---- well-formedness -------------------------------------------------- *)
+
+(* Per domain: every End matches the innermost open Begin, timestamps never
+   go backwards, and nothing is left open once the batch returns. *)
+let test_span_nesting () =
+  let tr = traced_batch () in
+  let events = Trace.events tr in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tr);
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let clocks : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let get tbl dom v =
+    match Hashtbl.find_opt tbl dom with
+    | Some r -> r
+    | None ->
+        let r = v () in
+        Hashtbl.add tbl dom r;
+        r
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let clock = get clocks e.domain (fun () -> ref 0) in
+      if e.ts_ns < !clock then
+        Alcotest.failf "domain %d: clock went backwards (%d after %d)" e.domain
+          e.ts_ns !clock;
+      clock := e.ts_ns;
+      let stack = get stacks e.domain (fun () -> ref []) in
+      match e.phase with
+      | Trace.Begin -> stack := e.name :: !stack
+      | Trace.End -> (
+          match !stack with
+          | top :: rest when top = e.name -> stack := rest
+          | top :: _ ->
+              Alcotest.failf "domain %d: end %S inside span %S" e.domain e.name
+                top
+          | [] -> Alcotest.failf "domain %d: end %S with no open span" e.domain e.name)
+      | Trace.Instant | Trace.Counter -> ())
+    events;
+  Hashtbl.iter
+    (fun dom stack ->
+      if !stack <> [] then
+        Alcotest.failf "domain %d: %d span(s) left open" dom (List.length !stack))
+    stacks;
+  Alcotest.(check bool) "worker domains have their own tracks" true
+    (Trace.domain_count tr >= 2)
+
+let test_with_span_closes_on_exception () =
+  let tr = Trace.create () in
+  (try Trace.with_span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Trace.events tr with
+  | [ b; e ] ->
+      Alcotest.(check bool) "begin then end" true
+        (b.Trace.phase = Trace.Begin && e.Trace.phase = Trace.End)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+(* ---- Chrome JSON round-trip ------------------------------------------- *)
+
+let test_chrome_roundtrip () =
+  let tr = traced_batch () in
+  Trace.instant tr "marker";
+  Trace.counter tr "gauge" 42;
+  let direct = Trace.events tr in
+  match Trace.of_chrome_json (Trace.to_chrome_json tr) with
+  | Error msg -> Alcotest.failf "exporter output rejected: %s" msg
+  | Ok parsed ->
+      Alcotest.(check int) "event count survives" (List.length direct)
+        (List.length parsed);
+      List.iter2
+        (fun (a : Trace.event) (b : Trace.event) ->
+          if a <> b then
+            Alcotest.failf "event differs after round-trip: %s %d vs %s %d"
+              a.name a.ts_ns b.name b.ts_ns)
+        direct parsed;
+      let s = Trace.summary tr and s' = Trace.summary_of_events parsed in
+      Alcotest.(check int) "same span rows" (List.length s.spans)
+        (List.length s'.spans);
+      List.iter2
+        (fun (a : Trace.span_stat) (b : Trace.span_stat) ->
+          Alcotest.(check string) "span name" a.span b.span;
+          Alcotest.(check int) (a.span ^ " count") a.count b.count;
+          Alcotest.(check int) (a.span ^ " total") a.total_ns b.total_ns;
+          Alcotest.(check int) (a.span ^ " p95") a.p95_ns b.p95_ns)
+        s.spans s'.spans
+
+let test_chrome_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Trace.of_chrome_json src with
+      | Ok _ -> Alcotest.failf "accepted %S" src
+      | Error _ -> ())
+    [ ""; "{"; "{\"traceEvents\":}"; "pid=3 nonsense" ]
+
+(* ---- ring overflow ---------------------------------------------------- *)
+
+let test_ring_overflow () =
+  let tr = Trace.create ~capacity:16 () in
+  for i = 1 to 100 do
+    Trace.begin_span tr "tick";
+    Trace.counter tr "i" i;
+    Trace.end_span tr "tick"
+  done;
+  Alcotest.(check int) "ring keeps exactly its capacity" 16
+    (List.length (Trace.events tr));
+  Alcotest.(check int) "the rest is counted as dropped" (300 - 16)
+    (Trace.dropped tr);
+  (* the summary must not invent spans out of half-recorded pairs *)
+  let s = Trace.summary tr in
+  List.iter
+    (fun (st : Trace.span_stat) ->
+      Alcotest.(check bool) "only balanced spans counted" true (st.count <= 8))
+    s.spans;
+  Alcotest.(check int) "dropped surfaces in the summary" (300 - 16)
+    s.dropped_events
+
+(* ---- unbalanced traces ------------------------------------------------ *)
+
+let test_summary_ignores_unbalanced () =
+  let ev phase name ts =
+    { Trace.phase; name; ts_ns = ts; domain = 0; value = 0 }
+  in
+  (* begin a; begin b; end a — b's end was lost; a still measures 30ns *)
+  let events = [ ev Trace.Begin "a" 0; ev Trace.Begin "b" 10; ev Trace.End "a" 30 ] in
+  let s = Trace.summary_of_events events in
+  (match List.find_opt (fun (st : Trace.span_stat) -> st.span = "a") s.spans with
+  | Some st ->
+      Alcotest.(check int) "a counted once" 1 st.count;
+      Alcotest.(check int) "a duration" 30 st.total_ns
+  | None -> Alcotest.fail "span a missing");
+  Alcotest.(check bool) "b not invented" true
+    (not (List.exists (fun (st : Trace.span_stat) -> st.span = "b") s.spans))
+
+(* ---- zero-allocation guard -------------------------------------------- *)
+
+let minor_words f =
+  let before = Gc.minor_words () in
+  f ();
+  int_of_float (Gc.minor_words () -. before)
+
+(* With neither metrics nor tracer, Engine.check must hit its original
+   path: two identical runs allocate identical words, i.e. the
+   instrumentation branches cost no per-event allocation.  (The absolute
+   number varies with the schema, so we pin the delta, not the value.) *)
+let test_disabled_path_allocation_free () =
+  let schema = Gen.clean ~config:(Gen.sized 6) ~seed:77 () in
+  let run () = ignore (Sys.opaque_identity (Engine.check schema)) in
+  run ();
+  (* warm-up: lazy blocks, hashconsing *)
+  let w1 = minor_words run in
+  let w2 = minor_words run in
+  Alcotest.(check int) "plain runs allocate identically" w1 w2;
+  let m = Orm_telemetry.Metrics.create () in
+  let tr = Trace.create () in
+  let instrumented () =
+    ignore (Sys.opaque_identity (Engine.check ~metrics:m ~tracer:tr schema))
+  in
+  instrumented ();
+  let w3 = minor_words run in
+  Alcotest.(check int) "instrumented run does not perturb the plain path" w1 w3
+
+(* Trace.span on [None] is documented as cold-path only because the closure
+   allocates; but a preallocated closure through it must cost nothing. *)
+let test_span_none_free () =
+  let f = Sys.opaque_identity (fun () -> ()) in
+  ignore (Trace.span None "warm" f);
+  let w = minor_words (fun () -> Trace.span None "x" f) in
+  Alcotest.(check int) "span None with shared closure" 0 w
+
+(* ---- logging ---------------------------------------------------------- *)
+
+let test_log_levels () =
+  (match Log.level_of_string "WARNING" with
+  | Ok Log.Warn -> ()
+  | Ok l -> Alcotest.failf "WARNING parsed as %s" (Log.level_to_string l)
+  | Error msg -> Alcotest.fail msg);
+  (match Log.level_of_string "verbose" with
+  | Ok _ -> Alcotest.fail "accepted garbage level"
+  | Error _ -> ());
+  let saved = Log.level () in
+  Log.set_level Log.Error;
+  Alcotest.(check bool) "warn disabled at error" false (Log.enabled Log.Warn);
+  Log.set_level Log.Debug;
+  Alcotest.(check bool) "debug enabled at debug" true (Log.enabled Log.Debug);
+  Log.set_level saved
+
+let suite =
+  [
+    Alcotest.test_case "spans nest per domain" `Quick test_span_nesting;
+    Alcotest.test_case "with_span closes on exception" `Quick
+      test_with_span_closes_on_exception;
+    Alcotest.test_case "Chrome JSON round-trips" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "Chrome parser rejects garbage" `Quick
+      test_chrome_rejects_garbage;
+    Alcotest.test_case "ring overflow is bounded and counted" `Quick
+      test_ring_overflow;
+    Alcotest.test_case "summary ignores unbalanced spans" `Quick
+      test_summary_ignores_unbalanced;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_path_allocation_free;
+    Alcotest.test_case "span None is free with a shared closure" `Quick
+      test_span_none_free;
+    Alcotest.test_case "log levels parse and gate" `Quick test_log_levels;
+  ]
