@@ -26,10 +26,8 @@ let best_of_ns f =
   done;
   !best
 
-let json_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
-
-let json_arr items = "[" ^ String.concat "," items ^ "]"
+let json_obj = Bench_util.json_obj
+let json_arr = Bench_util.json_arr
 
 let figure_rows ~domains =
   List.map
@@ -84,8 +82,8 @@ let run ?(file = "BENCH_parallel.json") () =
   in
   let doc =
     json_obj
-      [
-        ("host_recommended_domains", string_of_int recommended);
+      (Bench_util.host_fields
+      @ [
         ("repeats", string_of_int repeats);
         ( "note",
           Printf.sprintf
@@ -96,14 +94,11 @@ let run ?(file = "BENCH_parallel.json") () =
                 host_recommended_domains >= 2 (the differential test suite \
                 still proves report equivalence at every domain count)"
              else "speedup = sequential_ns / parallel_ns; > 1 means the pool wins") );
-        ("figures", json_arr figures);
-        ("batches", json_arr batches);
-      ]
+          ("figures", json_arr figures);
+          ("batches", json_arr batches);
+        ])
   in
-  let oc = open_out file in
-  output_string oc doc;
-  output_char oc '\n';
-  close_out oc;
+  Bench_util.write_doc ~file doc;
   Printf.printf "\n==== parallel batch engine (best of %d, %d recommended domain(s)) ====\n"
     repeats recommended;
   Printf.printf "wrote %s\n" file;

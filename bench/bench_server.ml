@@ -1,0 +1,100 @@
+(* Checking-service throughput, persisted as BENCH_server.json.
+
+   The server's performance claim is the cache: a cold request pays the full
+   engine, a warm one pays a digest, a hash lookup and a response rebuild.
+   This benchmark drives [Server.handle] directly — the same entry point the
+   socket loop uses, so the numbers price the service (parse, digest, cache,
+   dispatch, print) without socket noise:
+
+   - cold: N check requests over N distinct schemas (every one a miss);
+   - warm: N check requests over [distinct] schemas (first [distinct] miss,
+     the rest hit);
+   - reason-warm: the same warm loop through the full reasoning stack, to
+     show the cache flattening the expensive backends too.
+
+   p50/p95 are read off the telemetry request-latency histogram — the same
+   numbers `ormcheck serve --stats` reports, so EXPERIMENTS.md quotes the
+   production surface, not a bench-only code path. *)
+
+module Metrics = Orm_telemetry.Metrics
+module P = Orm_server.Protocol
+module Server = Orm_server.Server
+
+let requests = 200
+let distinct = 5
+
+let schema_texts ~n ~size =
+  List.map Orm_dsl.Printer.to_string (Bench_parallel.batch_schemas ~n ~size)
+
+(* One fresh server per scenario so cache state and histograms don't leak
+   across rows.  The reason scenario caps its backends ([budget]): the
+   artifact is about warm-vs-cold shape, and uncapped tableau misses at
+   this size run for minutes without changing that shape. *)
+let run_scenario ?budget ?sat_budget ~meth ~texts () =
+  let metrics = Metrics.create () in
+  let server = Server.create ~metrics Server.default_config in
+  let total = List.length texts in
+  let _, elapsed_ns =
+    Metrics.time (fun () ->
+        List.iteri
+          (fun i text ->
+            let line =
+              P.build_request ~id:(string_of_int i) ~schema_text:text ?budget
+                ?sat_budget meth
+            in
+            let resp, _ = Server.handle server line in
+            assert (String.length resp > 0))
+          texts)
+  in
+  let snap = Metrics.snapshot metrics in
+  let req_per_s =
+    float_of_int total *. 1e9 /. float_of_int (max 1 elapsed_ns)
+  in
+  Bench_util.json_obj
+    [
+      ("method", Printf.sprintf "%S" (P.meth_to_string meth));
+      ("requests", string_of_int total);
+      ("cache_hits", string_of_int (Server.cache_hits server));
+      ("cache_misses", string_of_int (Server.cache_misses server));
+      ("elapsed_ns", string_of_int elapsed_ns);
+      ("requests_per_s", Printf.sprintf "%.1f" req_per_s);
+      ("p50_ns", string_of_int (Metrics.request_p50_ns snap));
+      ("p95_ns", string_of_int (Metrics.request_p95_ns snap));
+      ("max_ns", string_of_int snap.Metrics.request_max_ns);
+    ]
+
+let run ?(file = "BENCH_server.json") () =
+  let cold_texts = schema_texts ~n:requests ~size:8 in
+  let warm_base = schema_texts ~n:distinct ~size:8 in
+  let warm_texts =
+    List.init requests (fun i -> List.nth warm_base (i mod distinct))
+  in
+  let rows =
+    [
+      run_scenario ~meth:P.Check ~texts:cold_texts ();
+      run_scenario ~meth:P.Check ~texts:warm_texts ();
+      run_scenario ~meth:P.Reason ~budget:2_000 ~sat_budget:200_000
+        ~texts:warm_texts ();
+    ]
+  in
+  let doc =
+    Bench_util.json_obj
+      (Bench_util.host_fields
+      @ [
+          ("requests", string_of_int requests);
+          ("distinct_schemas_warm", string_of_int distinct);
+          ( "note",
+            Printf.sprintf "%S"
+              "rows: check over all-distinct schemas (cold, every request a \
+               miss), check over few repeated schemas (warm, hit rate \
+               (requests-distinct)/requests), reason over the same warm mix; \
+               p50/p95 from the telemetry request-latency histogram, i.e. \
+               what `ormcheck serve --stats` reports" );
+          ("scenarios", Bench_util.json_arr rows);
+        ])
+  in
+  Bench_util.write_doc ~file doc;
+  Printf.printf "\n==== checking service (%d requests, %d distinct warm) ====\n"
+    requests distinct;
+  Printf.printf "wrote %s\n" file;
+  List.iter (fun row -> Printf.printf "  %s\n" row) rows

@@ -30,10 +30,8 @@ let best_of_ns f =
   done;
   !best
 
-let json_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
-
-let json_arr items = "[" ^ String.concat "," items ^ "]"
+let json_obj = Bench_util.json_obj
+let json_arr = Bench_util.json_arr
 
 let overhead off on =
   Printf.sprintf "%.3f" (float_of_int on /. float_of_int off)
@@ -97,22 +95,19 @@ let run ?(file = "BENCH_trace.json") () =
   let batches = batch_rows ~domain_counts:[ 1; 2; 4 ] ~n:120 ~size:12 in
   let doc =
     json_obj
-      [
-        ("host_recommended_domains", string_of_int recommended);
+      (Bench_util.host_fields
+      @ [
         ("repeats", string_of_int repeats);
         ( "note",
           Printf.sprintf "%S"
             "overhead = traced_ns / untraced_ns; tracing off is the engine's \
              original path (the test suite pins it allocation-free), tracing \
              on pays two clock reads and a ring write per span" );
-        ("figures", json_arr figures);
-        ("batches", json_arr batches);
-      ]
+          ("figures", json_arr figures);
+          ("batches", json_arr batches);
+        ])
   in
-  let oc = open_out file in
-  output_string oc doc;
-  output_char oc '\n';
-  close_out oc;
+  Bench_util.write_doc ~file doc;
   Printf.printf "\n==== tracing overhead (best of %d, %d recommended domain(s)) ====\n"
     repeats recommended;
   Printf.printf "wrote %s\n" file;

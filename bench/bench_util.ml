@@ -1,0 +1,43 @@
+(* Shared plumbing for the BENCH_*.json writers.
+
+   Every artifact records the host it was measured on: the physical core
+   count (from /proc/cpuinfo; the runtime's recommendation as a fallback)
+   next to the runtime's recommended domain count.  The two can differ —
+   cgroup-limited containers typically show many processors but recommend
+   one domain — and a reader needs both to tell a 1-core container's ~1x
+   "speedup" from a real multicore regression. *)
+
+let host_recommended_domains = Domain.recommended_domain_count ()
+
+let host_cores =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> host_recommended_domains
+  | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 9 && String.sub line 0 9 = "processor" then
+             incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      if !n > 0 then !n else host_recommended_domains
+
+(* The fields every BENCH_*.json document leads with. *)
+let host_fields =
+  [
+    ("host_cores", string_of_int host_cores);
+    ("host_recommended_domains", string_of_int host_recommended_domains);
+  ]
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+
+let json_arr items = "[" ^ String.concat "," items ^ "]"
+
+let write_doc ~file doc =
+  let oc = open_out file in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc

@@ -144,9 +144,32 @@ let run_bechamel () =
     (fun (name, est) -> Printf.printf "%-28s %14s\n" name (pretty est))
     (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
 
+(* Sections are selectable so the BENCH_*.json artifacts can be
+   regenerated without sitting through the slow bechamel sweep:
+     bench/main.exe                 everything (the default)
+     bench/main.exe parallel trace  just those artifact writers *)
+let sections =
+  [
+    ("experiments", Experiments.run_all);
+    ("bechamel", run_bechamel);
+    ("parallel", fun () -> Bench_parallel.run ());
+    ("trace", fun () -> Bench_trace.run ());
+    ("server", fun () -> Bench_server.run ());
+  ]
+
 let () =
-  Experiments.run_all ();
-  run_bechamel ();
-  Bench_parallel.run ();
-  Bench_trace.run ();
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst sections
+    | args -> args
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "bench: unknown section %S (known: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    requested;
   print_newline ()

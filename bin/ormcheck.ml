@@ -16,7 +16,9 @@
      json       schema / diagnostics as JSON
      repair     ranked constraint removals restoring pattern-cleanliness
      classify   derived subsumption hierarchy via the DL route
-     gen        emit a random schema (optionally with an injected fault) *)
+     gen        emit a random schema (optionally with an injected fault)
+     serve      long-running checking service (NDJSON over a Unix socket)
+     client     send one request to a running serve and print the response *)
 
 open Cmdliner
 module Engine = Orm_patterns.Engine
@@ -662,6 +664,194 @@ let classify_cmd =
        ~doc:"Derive the subsumption hierarchy from the DLR translation.")
     Term.(const run $ file_arg)
 
+(* ---- serve ----------------------------------------------------------- *)
+
+(* The long-running daemon: newline-delimited JSON over a Unix-domain
+   socket (or stdin/stdout with --stdio), answering check/reason/lint/
+   stats/ping/shutdown with an LRU result cache, per-request deadlines
+   and admission control.  Protocol in docs/SERVER.md. *)
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) (an existing file there is replaced; the socket is removed on exit).")
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ] ~doc:"Serve one session on stdin/stdout instead of a socket (tests, editor integrations).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int Orm_server.Server.default_config.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"Result-cache entries kept (LRU past $(docv)).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int Orm_server.Server.default_config.max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Admission-control bound: requests beyond $(docv) already queued are answered $(b,overloaded).")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline; a request's own $(b,deadline_ms) overrides it.  Omitted means unbounded.")
+  in
+  let run socket stdio cache_capacity max_pending deadline_ms jobs stats
+      stats_json trace log_level =
+    apply_log_level log_level;
+    let mode =
+      match (socket, stdio) with
+      | Some path, false -> `Socket path
+      | None, true -> `Stdio
+      | Some _, true ->
+          prerr_endline "ormcheck serve: --socket and --stdio are exclusive";
+          exit 2
+      | None, false ->
+          prerr_endline "ormcheck serve: need --socket PATH or --stdio";
+          exit 2
+    in
+    let metrics = Some (Metrics.create ()) in
+    let tracer = make_tracer trace in
+    let config =
+      {
+        Orm_server.Server.cache_capacity;
+        max_pending;
+        default_deadline_ms = deadline_ms;
+        default_jobs =
+          (match resolve_jobs jobs with Some n when n > 1 -> n | _ -> 1);
+      }
+    in
+    let server = Orm_server.Server.create ?metrics ?tracer config in
+    Orm_server.Server.serve server mode;
+    emit_stats ~stats ~stats_json metrics;
+    emit_trace trace tracer;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the checking service: newline-delimited JSON requests over a Unix-domain socket (or stdin/stdout), with result caching, per-request deadlines and graceful shutdown.")
+    Term.(const run $ socket $ stdio $ cache_capacity $ max_pending $ deadline_ms $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
+
+(* ---- client ---------------------------------------------------------- *)
+
+(* Thin client for the server above: one request, one response.  The exit
+   code carries the verdict so shell scripts and CI can branch on it:
+   0 ok+clean, 1 ok with findings, 2 error, 3 timeout, 4 overloaded. *)
+let client_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the server listens on.")
+  in
+  let meth_arg =
+    let parse s =
+      match Orm_server.Protocol.meth_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown method %S (expected check, reason, lint, stats, ping or shutdown)" s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Orm_server.Protocol.meth_to_string m) in
+    Arg.(
+      required
+      & pos 0 (some (conv (parse, print))) None
+      & info [] ~docv:"METHOD" ~doc:"One of $(b,check), $(b,reason), $(b,lint), $(b,stats), $(b,ping), $(b,shutdown).")
+  in
+  let schema_arg =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Schema file (.orm); required by check/reason/lint.")
+  in
+  let id =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc:"Tableau rule budget (reason).")
+  in
+  let sat_budget =
+    Arg.(value & opt (some int) None & info [ "sat-budget" ] ~docv:"N" ~doc:"DPLL step budget (reason).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (some (enum [ ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ])) None
+      & info [ "backend" ] ~docv:"B" ~doc:"Complete procedure(s) for reason: $(b,dlr), $(b,sat) or $(b,both).")
+  in
+  let run socket meth schema_file settings jobs id deadline_ms budget sat_budget
+      backend log_level =
+    apply_log_level log_level;
+    let module P = Orm_server.Protocol in
+    let schema_text =
+      match (meth, schema_file) with
+      | (P.Check | P.Reason | P.Lint), None ->
+          prerr_endline
+            (Printf.sprintf "ormcheck client: method %S needs a schema file"
+               (P.meth_to_string meth));
+          exit 2
+      | (P.Check | P.Reason | P.Lint), Some f -> (
+          match In_channel.with_open_text f In_channel.input_all with
+          | text -> Some text
+          | exception Sys_error msg ->
+              prerr_endline ("ormcheck client: " ^ msg);
+              exit 2)
+      | _, _ -> None
+    in
+    let line =
+      P.build_request ?id ?schema_text ~settings
+        ?jobs:(resolve_jobs jobs) ?deadline_ms ?budget ?sat_budget ?backend meth
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        prerr_endline
+          (Printf.sprintf "ormcheck client: cannot connect to %s: %s" socket
+             (Unix.error_message e));
+        exit 2);
+    let out = line ^ "\n" in
+    let rec write_all off =
+      if off < String.length out then
+        write_all (off + Unix.write_substring fd out off (String.length out - off))
+    in
+    write_all 0;
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 65536 in
+    let rec read_line () =
+      match String.index_opt (Buffer.contents buf) '\n' with
+      | Some i -> String.sub (Buffer.contents buf) 0 i
+      | None -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+              prerr_endline "ormcheck client: server closed the connection without answering";
+              exit 2
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              read_line ())
+    in
+    let resp = read_line () in
+    Unix.close fd;
+    print_endline resp;
+    match P.parse_response resp with
+    | Error msg ->
+        prerr_endline ("ormcheck client: bad response: " ^ msg);
+        exit 2
+    | Ok r -> (
+        match r.P.status with
+        | "ok" -> (
+            match P.member "clean" r.P.body with
+            | Some (P.Bool false) -> exit 1
+            | _ -> exit 0)
+        | "timeout" -> exit 3
+        | "overloaded" -> exit 4
+        | _ -> exit 2)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running $(b,ormcheck serve) and print the response line.  Exit: 0 ok (clean), 1 ok with findings, 2 error, 3 timeout, 4 overloaded.")
+    Term.(const run $ socket $ meth_arg $ schema_arg $ settings_term $ jobs_term $ id $ deadline_ms $ budget $ sat_budget $ backend $ log_level_term)
+
 (* ---- gen ------------------------------------------------------------ *)
 
 let gen_cmd =
@@ -686,4 +876,4 @@ let gen_cmd =
 let () =
   let doc = "Unsatisfiability reasoning for ORM conceptual schemas" in
   let info = Cmd.info "ormcheck" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd; serve_cmd; client_cmd ]))

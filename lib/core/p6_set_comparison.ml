@@ -1,14 +1,17 @@
 open Orm
 
 (* For two excluded sequences, the SetPaths that contradict the exclusion:
-   between the sequences themselves and — for single-role exclusions, since
-   a role exclusion implies a predicate exclusion — between the enclosing
-   predicates. *)
+   between the sequences themselves and — for same-position single-role
+   exclusions — between the enclosing predicates.  A role exclusion only
+   implies a predicate exclusion when both roles sit at the same position:
+   a tuple shared by the two predicates puts one element in both
+   position-k roles, but says nothing about roles at different positions
+   (pop(F.1) and pop(G.2) of a shared tuple are different elements). *)
 let contradicting_paths g a b =
   let seq_level = [ (a, b, Setcomp.set_path g a b); (b, a, Setcomp.set_path g b a) ] in
   let pred_level =
     match (a, b) with
-    | Ids.Single ra, Ids.Single rb when ra.fact <> rb.fact ->
+    | Ids.Single ra, Ids.Single rb when ra.fact <> rb.fact && ra.side = rb.side ->
         let pa = Ids.whole_predicate ra.fact and pb = Ids.whole_predicate rb.fact in
         [ (a, b, Setcomp.set_path g pa pb); (b, a, Setcomp.set_path g pb pa) ]
     | _ -> []

@@ -20,10 +20,19 @@ type result = {
           translated fragment *)
 }
 
-val check : ?budget:int -> ?tracer:Orm_trace.Trace.t -> Schema.t -> result
+val check :
+  ?budget:int ->
+  ?deadline_ns:int64 ->
+  ?tracer:Orm_trace.Trace.t ->
+  Schema.t ->
+  result
 (** Translates the schema and queries the tableau for every object type
-    ([Atomic t]) and every role ([∃f.⊤] / [∃f⁻.⊤]).  [tracer] wraps the
-    translation in a [dlr.translate] span and each query in a
+    ([Atomic t]) and every role ([∃f.⊤] / [∃f⁻.⊤]).  [deadline_ns]
+    (absolute, {!Orm_telemetry.Metrics.now_ns} scale) is forwarded to every
+    tableau query: once it passes, the remaining queries all come back
+    [Unknown] almost immediately, so a caller under a deadline gets a
+    partial-but-honest result instead of a stuck process.  [tracer] wraps
+    the translation in a [dlr.translate] span and each query in a
     [dlr.query.type] / [dlr.query.role] span, with the tableau's own spans
     and counters nested inside. *)
 

@@ -303,8 +303,18 @@ let find_step ?tracer universal inclusions st =
   in
   scan (nodes_of st)
 
-let satisfiable ?(budget = 50_000) ?tracer tbox c =
+(* Deadline polling is amortized: one monotonic-clock read every
+   [deadline_poll_mask + 1] rule applications, so a deadline costs nothing
+   measurable on the per-rule hot path. *)
+let deadline_poll_mask = 127
+
+let satisfiable ?(budget = 50_000) ?deadline_ns ?tracer tbox c =
   rules_used := 0;
+  let expired =
+    match deadline_ns with
+    | None -> fun () -> false
+    | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+  in
   let universal =
     List.filter_map
       (function
@@ -331,6 +341,7 @@ let satisfiable ?(budget = 50_000) ?tracer tbox c =
   let rec expand st =
     incr rules_used;
     if !rules_used > budget then raise Give_up;
+    if !rules_used land deadline_poll_mask = 0 && expired () then raise Give_up;
     Option.iter (fun tr -> Trace.counter tr "tableau.nodes" st.next) tracer;
     match find_step ?tracer universal inclusions st with
     | Done -> Sat
@@ -356,7 +367,9 @@ let satisfiable ?(budget = 50_000) ?tracer tbox c =
         in
         try_all alternatives
   in
-  let run () = try expand init with Give_up -> Unknown in
+  let run () =
+    try if expired () then Unknown else expand init with Give_up -> Unknown
+  in
   match tracer with
   | None -> run ()
   | Some tr ->

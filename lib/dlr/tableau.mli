@@ -14,10 +14,19 @@ type verdict = Sat | Unsat | Unknown
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val satisfiable :
-  ?budget:int -> ?tracer:Orm_trace.Trace.t -> Syntax.tbox -> Syntax.concept -> verdict
+  ?budget:int ->
+  ?deadline_ns:int64 ->
+  ?tracer:Orm_trace.Trace.t ->
+  Syntax.tbox ->
+  Syntax.concept ->
+  verdict
 (** [satisfiable tbox c] decides whether some model of [tbox] gives [c] a
     non-empty extension.  [budget] (default 50_000) bounds rule
-    applications.
+    applications; [deadline_ns] is an absolute
+    {!Orm_telemetry.Metrics.now_ns} instant past which the search gives up
+    with [Unknown], polled every few dozen rule applications — the
+    mechanism that lets a serving process abandon a worst-case-exponential
+    query without killing anything.
 
     [tracer] records a [tableau.satisfiable] span enclosing one span per
     expansion phase ([tableau.conj] / [disj] / [atmost] / [forall] /

@@ -52,5 +52,6 @@ val nvars : t -> int
 val clauses : t -> Dpll.cnf
 val clause_count : t -> int
 
-val solve : ?budget:int -> ?tracer:Orm_trace.Trace.t -> t -> Dpll.result
+val solve :
+  ?budget:int -> ?deadline_ns:int64 -> ?tracer:Orm_trace.Trace.t -> t -> Dpll.result
 (** Runs {!Dpll.solve} on the accumulated formula. *)

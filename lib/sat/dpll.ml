@@ -50,9 +50,14 @@ let clause_status st clause =
 
 exception Conflict
 
+(* Deadline polling is amortized to one clock read every
+   [deadline_poll_mask + 1] steps: propagation runs millions of steps per
+   second, so reading the clock on each one would be measurable. *)
+let deadline_poll_mask = 255
+
 (* Assign [lit] true and propagate units; returns the trail of variables
    assigned (for backtracking).  Raises [Conflict] on a falsified clause. *)
-let propagate ~budget st lit =
+let propagate ~budget ~expired st lit =
   let trail = ref [] in
   let queue = Queue.create () in
   let enqueue l =
@@ -70,6 +75,7 @@ let propagate ~budget st lit =
      while not (Queue.is_empty queue) do
        incr steps;
        if !steps > budget then raise Give_up;
+       if !steps land deadline_poll_mask = 0 && expired () then raise Give_up;
        let l = Queue.pop queue in
        List.iter
          (fun ci ->
@@ -116,10 +122,15 @@ let pick_branch st =
        with Exit -> ());
       if !var = 0 then None else Some !var
 
-let solve ?(budget = 2_000_000) ?tracer ~nvars cnf =
+let solve ?(budget = 2_000_000) ?deadline_ns ?tracer ~nvars cnf =
   steps := 0;
   propagations := 0;
   backtracks := 0;
+  let expired =
+    match deadline_ns with
+    | None -> fun () -> false
+    | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+  in
   List.iter
     (List.iter (fun lit ->
          if lit = 0 || abs lit > nvars then
@@ -146,6 +157,7 @@ let solve ?(budget = 2_000_000) ?tracer ~nvars cnf =
   let rec search ~depth () =
     incr steps;
     if !steps > budget then raise Give_up;
+    if !steps land deadline_poll_mask = 0 && expired () then raise Give_up;
     (* All clauses satisfied? *)
     let unresolved =
       Array.exists
@@ -172,7 +184,7 @@ let solve ?(budget = 2_000_000) ?tracer ~nvars cnf =
       in
       match pending_unit with
       | Some u -> (
-          match propagate ~budget st u with
+          match propagate ~budget ~expired st u with
           | Ok trail -> search ~depth () || (undo st trail; false)
           | Error trail ->
               undo st trail;
@@ -188,7 +200,7 @@ let solve ?(budget = 2_000_000) ?tracer ~nvars cnf =
                   sample tr depth)
                 tracer;
               let try_polarity l =
-                match propagate ~budget st l with
+                match propagate ~budget ~expired st l with
                 | Ok trail ->
                     if search ~depth:(depth + 1) () then true
                     else begin
@@ -213,7 +225,10 @@ let solve ?(budget = 2_000_000) ?tracer ~nvars cnf =
               in
               try_polarity lit || try_polarity (-lit)))
   in
-  let search_root () = try search ~depth:0 () with Conflict -> false in
+  let search_root () =
+    if expired () then raise Give_up;
+    try search ~depth:0 () with Conflict -> false
+  in
   match
     (match tracer with
     | None -> search_root ()

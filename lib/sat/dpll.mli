@@ -22,10 +22,19 @@ type result =
   | Unsat
   | Timeout  (** decision budget exhausted *)
 
-val solve : ?budget:int -> ?tracer:Orm_trace.Trace.t -> nvars:int -> cnf -> result
+val solve :
+  ?budget:int ->
+  ?deadline_ns:int64 ->
+  ?tracer:Orm_trace.Trace.t ->
+  nvars:int ->
+  cnf ->
+  result
 (** [solve ~nvars cnf] decides satisfiability of [cnf] over variables
     [1..nvars].  [budget] (default 2_000_000) bounds the number of
-    decisions + propagations.
+    decisions + propagations; [deadline_ns] is an absolute
+    {!Orm_telemetry.Metrics.now_ns} instant past which the search stops
+    with [Timeout], polled every couple hundred steps so the per-step hot
+    path stays clock-free.
 
     [tracer] records a [dpll.solve] span with instant events at every
     decision, backtrack and conflict, plus [dpll.decisions] /

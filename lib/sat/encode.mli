@@ -41,14 +41,17 @@ type stats = {
 val solve :
   ?max_fresh:int ->
   ?budget:int ->
+  ?deadline_ns:int64 ->
   ?tracer:Orm_trace.Trace.t ->
   Schema.t ->
   query ->
   outcome
 (** [solve schema query] encodes and solves.  [max_fresh] bounds the fresh
     atoms per type family (default: the same heuristic as the finder);
-    [budget] bounds DPLL steps (default 2_000_000).  A [Model] outcome is
-    decoded back into a population and re-checked against
+    [budget] bounds DPLL steps (default 2_000_000); [deadline_ns]
+    (absolute, {!Orm_telemetry.Metrics.now_ns} scale) is forwarded to the
+    DPLL search, which answers [Timeout] once it passes.  A [Model] outcome
+    is decoded back into a population and re-checked against
     {!Orm_semantics.Eval} before being returned. *)
 
 val last_stats : unit -> stats

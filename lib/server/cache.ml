@@ -1,0 +1,90 @@
+module Metrics = Orm_telemetry.Metrics
+
+(* Intrusive doubly-linked recency list: [head] is most recently used,
+   [tail] least.  Every node is also indexed by the hash table, so find,
+   add and eviction are all O(1). *)
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards head *)
+  mutable next : 'a node option;  (* towards tail *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  metrics : Metrics.t option;
+}
+
+let create ?metrics ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    head = None;
+    tail = None;
+    hit_count = 0;
+    miss_count = 0;
+    metrics;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+      t.hit_count <- t.hit_count + 1;
+      Option.iter (fun m -> Metrics.record_cache_hit m 1) t.metrics;
+      unlink t node;
+      push_front t node;
+      Some node.value
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      Option.iter (fun m -> Metrics.record_cache_miss m 1) t.metrics;
+      None
+
+let add t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+      node.value <- value;
+      unlink t node;
+      push_front t node
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then
+        Option.iter
+          (fun lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key)
+          t.tail;
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.add t.tbl key node;
+      push_front t node
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let keys_mru_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node.key :: acc) node.next
+  in
+  go [] t.head

@@ -1,0 +1,42 @@
+(** Content-addressed LRU result cache for the checking service.
+
+    Keys are {!Protocol.cache_key} strings — a digest of the schema text
+    plus every request field that can change the answer — so two clients
+    submitting the same schema under the same settings share one computed
+    result, which is what makes a warm server answer editor traffic in
+    microseconds (paper Fig. 15's interactive loop, lifted to a process
+    boundary).
+
+    Every lookup is counted: the cache keeps its own hit/miss totals and,
+    when a {!Orm_telemetry.Metrics.t} is attached, mirrors them into the
+    shared counter bundle ([record_cache_hit] / [record_cache_miss]) so
+    [ormcheck serve --stats] and the [stats] protocol method report them
+    alongside the engine's per-pattern telemetry.
+
+    Plain O(1) mutable LRU (hash table over an intrusive doubly-linked
+    recency list).  Not thread-safe: the server's event loop is the only
+    writer. *)
+
+type 'a t
+
+val create : ?metrics:Orm_telemetry.Metrics.t -> capacity:int -> unit -> 'a t
+(** [capacity] is the maximum number of entries kept; adding past it evicts
+    the least recently used entry.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Looks a key up and, on a hit, marks it most recently used.  Counts a
+    hit or a miss either way. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or replaces) the value for a key as most recently used,
+    evicting the LRU entry when the cache is full.  Counts neither a hit
+    nor a miss. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+
+val keys_mru_first : 'a t -> string list
+(** Recency order, most recent first (tests and debugging). *)

@@ -1,0 +1,453 @@
+module Settings = Orm_patterns.Settings
+
+let version = 1
+
+(* ---- JSON ------------------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+  | Raw of string
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string s);
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            go (Str k);
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+    | Raw s -> Buffer.add_string buf s
+  in
+  go v;
+  Buffer.contents buf
+
+exception Bad of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected %c" c)
+
+let literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then (
+    st.pos <- st.pos + String.length word;
+    value)
+  else error st ("expected " ^ word)
+
+(* UTF-8 encode one code point (what a \uXXXX escape denotes; surrogate
+   pairs outside the BMP are not combined — the protocol never emits them). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some (('"' | '\\' | '/') as c) ->
+            Buffer.add_char buf c;
+            st.pos <- st.pos + 1;
+            loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
+        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; loop ()
+        | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; loop ()
+        | Some 'u' ->
+            if st.pos + 4 >= String.length st.src then error st "truncated \\u escape";
+            let hex = String.sub st.src (st.pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some cp ->
+                add_utf8 buf cp;
+                st.pos <- st.pos + 5;
+                loop ()
+            | None -> error st "bad \\u escape")
+        | _ -> error st "unsupported escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_int st =
+  let start = st.pos in
+  (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
+  let rec digits () =
+    match peek st with
+    | Some ('0' .. '9') ->
+        st.pos <- st.pos + 1;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  if st.pos = start then error st "expected integer";
+  (match peek st with
+  | Some ('.' | 'e' | 'E') -> error st "fractional numbers are not part of the protocol"
+  | _ -> ());
+  match int_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some n -> n
+  | None -> error st "integer out of range"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
+      else
+        let rec members acc =
+          let k = (skip_ws st; parse_string st) in
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
+          | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
+          | _ -> error st "expected , or }"
+        in
+        members []
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
+      else
+        let rec elems acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
+          | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
+          | _ -> error st "expected , or ]"
+        in
+        elems []
+  | Some '"' -> Str (parse_string st)
+  | Some ('-' | '0' .. '9') -> Int (parse_int st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | _ -> error st "expected value"
+
+let json_of_string src =
+  let st = { src; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then error st "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+(* ---- requests ---------------------------------------------------------- *)
+
+type meth = Check | Reason | Lint | Stats | Ping | Shutdown
+
+let meth_to_string = function
+  | Check -> "check"
+  | Reason -> "reason"
+  | Lint -> "lint"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let meth_of_string = function
+  | "check" -> Some Check
+  | "reason" -> Some Reason
+  | "lint" -> Some Lint
+  | "stats" -> Some Stats
+  | "ping" -> Some Ping
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type request = {
+  id : string option;
+  meth : meth;
+  schema_text : string option;
+  settings : Settings.t;
+  jobs : int;
+  deadline_ms : int option;
+  budget : int;
+  sat_budget : int;
+  backend : [ `Dlr | `Sat | `Both ];
+}
+
+let default_budget = 50_000
+let default_sat_budget = 2_000_000
+
+(* The wire carries the CLI's settings surface (--refined, --no-propagate,
+   --extensions, --disable N), not the raw Settings record, so a request is
+   readable and the two front ends cannot diverge. *)
+let settings_of_params params =
+  let flag name =
+    match member name params with
+    | Some (Bool b) -> b
+    | Some _ -> raise (Bad (name ^ ": expected boolean"))
+    | None -> false
+  in
+  let disabled =
+    match member "disable" params with
+    | Some (Arr items) ->
+        List.map
+          (function Int n -> n | _ -> raise (Bad "disable: expected integers"))
+          items
+    | Some _ -> raise (Bad "disable: expected array")
+    | None -> []
+  in
+  let s = Settings.default in
+  let s =
+    { s with Settings.paper_faithful = not (flag "refined"); propagate = not (flag "no_propagate") }
+  in
+  let s = if flag "extensions" then Settings.with_extensions s else s in
+  List.fold_left (fun s n -> Settings.disable n s) s disabled
+
+let parse_request line =
+  match json_of_string line with
+  | Error msg -> Error ("bad JSON: " ^ msg, None)
+  | Ok (Obj _ as o) -> (
+      let id =
+        match member "id" o with
+        | Some (Str s) -> Some s
+        | Some (Int n) -> Some (string_of_int n)
+        | _ -> None
+      in
+      let err msg = Error (msg, id) in
+      match member "ormcheck" o with
+      | None -> err "missing \"ormcheck\" version field"
+      | Some (Int v) when v <> version ->
+          err (Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v version)
+      | Some (Int _) -> (
+          match member "method" o with
+          | Some (Str m) -> (
+              match meth_of_string m with
+              | None -> err (Printf.sprintf "unknown method %S" m)
+              | Some meth -> (
+                  let params =
+                    match member "params" o with Some p -> p | None -> Obj []
+                  in
+                  match
+                    let schema_text =
+                      match member "schema" params with
+                      | Some (Str s) -> Some s
+                      | Some _ -> raise (Bad "schema: expected string")
+                      | None -> None
+                    in
+                    let int name default =
+                      match member name params with
+                      | Some (Int n) -> n
+                      | Some _ -> raise (Bad (name ^ ": expected integer"))
+                      | None -> default
+                    in
+                    let deadline_ms =
+                      match member "deadline_ms" params with
+                      | Some (Int n) -> Some n
+                      | Some _ -> raise (Bad "deadline_ms: expected integer")
+                      | None -> None
+                    in
+                    let backend =
+                      match member "backend" params with
+                      | Some (Str "dlr") -> `Dlr
+                      | Some (Str "sat") -> `Sat
+                      | Some (Str "both") | None -> `Both
+                      | Some _ -> raise (Bad "backend: expected \"dlr\", \"sat\" or \"both\"")
+                    in
+                    {
+                      id;
+                      meth;
+                      schema_text;
+                      settings = settings_of_params params;
+                      jobs = int "jobs" 1;
+                      deadline_ms;
+                      budget = int "budget" default_budget;
+                      sat_budget = int "sat_budget" default_sat_budget;
+                      backend;
+                    }
+                  with
+                  | req -> Ok req
+                  | exception Bad msg -> err msg))
+          | Some _ -> err "method: expected string"
+          | None -> err "missing \"method\" field")
+      | Some _ -> err "ormcheck: expected integer version")
+  | Ok _ -> Error ("request must be a JSON object", None)
+
+let backend_to_string = function `Dlr -> "dlr" | `Sat -> "sat" | `Both -> "both"
+
+let settings_params (s : Settings.t) =
+  let extensions =
+    List.exists (fun p -> Settings.is_enabled p s) Settings.extension_patterns
+  in
+  let base =
+    if extensions then Settings.with_extensions Settings.default
+    else Settings.default
+  in
+  let disabled =
+    List.filter (fun p -> not (Settings.is_enabled p s)) base.Settings.enabled
+  in
+  (if s.Settings.paper_faithful then [] else [ ("refined", Bool true) ])
+  @ (if s.Settings.propagate then [] else [ ("no_propagate", Bool true) ])
+  @ (if extensions then [ ("extensions", Bool true) ] else [])
+  @
+  if disabled = [] then []
+  else [ ("disable", Arr (List.map (fun n -> Int n) disabled)) ]
+
+let build_request ?id ?schema_text ?settings ?jobs ?deadline_ms ?budget
+    ?sat_budget ?backend meth =
+  let params =
+    (match schema_text with Some s -> [ ("schema", Str s) ] | None -> [])
+    @ (match settings with Some s -> settings_params s | None -> [])
+    @ (match jobs with Some j when j <> 1 -> [ ("jobs", Int j) ] | _ -> [])
+    @ (match deadline_ms with Some ms -> [ ("deadline_ms", Int ms) ] | None -> [])
+    @ (match budget with
+      | Some b when b <> default_budget -> [ ("budget", Int b) ]
+      | _ -> [])
+    @ (match sat_budget with
+      | Some b when b <> default_sat_budget -> [ ("sat_budget", Int b) ]
+      | _ -> [])
+    @
+    match backend with
+    | Some ((`Dlr | `Sat) as b) -> [ ("backend", Str (backend_to_string b)) ]
+    | _ -> []
+  in
+  json_to_string
+    (Obj
+       ([ ("ormcheck", Int version) ]
+       @ (match id with Some i -> [ ("id", Str i) ] | None -> [])
+       @ [ ("method", Str (meth_to_string meth)) ]
+       @ if params = [] then [] else [ ("params", Obj params) ]))
+
+let cache_key req =
+  let s = req.settings in
+  let settings_key =
+    Printf.sprintf "e%s;pf%b;pr%b;evs%b"
+      (String.concat "," (List.map string_of_int (List.sort compare s.Settings.enabled)))
+      s.Settings.paper_faithful s.Settings.propagate s.Settings.effective_value_sets
+  in
+  let payload = Option.value ~default:"" req.schema_text in
+  Printf.sprintf "%s:%s:%s:b%d:sb%d:%s"
+    (Digest.to_hex (Digest.string payload))
+    (meth_to_string req.meth) settings_key req.budget req.sat_budget
+    (backend_to_string req.backend)
+
+(* ---- responses --------------------------------------------------------- *)
+
+let response ~id ~status ~cached body =
+  json_to_string
+    (Obj
+       ([ ("ormcheck", Int version) ]
+       @ (match id with Some i -> [ ("id", Str i) ] | None -> [])
+       @ [ ("status", Str status); ("cached", Bool cached) ]
+       @ body))
+
+let ok_response ~id ~cached body = response ~id ~status:"ok" ~cached body
+
+let error_response ~id msg =
+  response ~id ~status:"error" ~cached:false [ ("error", Str msg) ]
+
+let timeout_response ~id ~elapsed_ms =
+  response ~id ~status:"timeout" ~cached:false [ ("elapsed_ms", Int elapsed_ms) ]
+
+let overloaded_response ~id ~max_pending =
+  response ~id ~status:"overloaded" ~cached:false
+    [ ("max_pending", Int max_pending) ]
+
+type parsed_response = {
+  resp_id : string option;
+  status : string;
+  cached : bool;
+  body : json;
+}
+
+let parse_response line =
+  match json_of_string line with
+  | Error msg -> Error ("bad JSON: " ^ msg)
+  | Ok (Obj _ as o) -> (
+      match member "ormcheck" o with
+      | Some (Int v) when v = version -> (
+          match member "status" o with
+          | Some (Str status) ->
+              Ok
+                {
+                  resp_id =
+                    (match member "id" o with Some (Str s) -> Some s | _ -> None);
+                  status;
+                  cached = (match member "cached" o with Some (Bool b) -> b | _ -> false);
+                  body = o;
+                }
+          | _ -> Error "missing \"status\" field")
+      | _ -> Error "missing or unsupported \"ormcheck\" version")
+  | Ok _ -> Error "response must be a JSON object"

@@ -1,0 +1,116 @@
+(** Wire protocol of the checking service ([ormcheck serve]).
+
+    Requests and responses travel as newline-delimited JSON: one object per
+    line, in a versioned envelope.  A request is
+
+    {v
+    {"ormcheck": 1, "id": "r1", "method": "check", "params": {...}}
+    v}
+
+    and the matching response echoes the envelope version and [id]:
+
+    {v
+    {"ormcheck": 1, "id": "r1", "status": "ok", "cached": false, ...}
+    v}
+
+    [status] is one of [ok], [error], [timeout] (the request's deadline
+    expired) or [overloaded] (admission control rejected it).  The full
+    field catalogue is documented in [docs/SERVER.md]; this module is the
+    single place both the server and the bundled [ormcheck client] build
+    and parse those lines, so the two cannot drift apart. *)
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+  | Raw of string
+      (** pre-serialized JSON embedded verbatim when printing (the engine
+          report from {!Orm_export.Json.of_report}, a telemetry snapshot
+          from {!Orm_telemetry.Metrics.to_json}); never produced by
+          {!json_of_string} *)
+
+val json_to_string : json -> string
+
+val json_of_string : string -> (json, string) result
+(** Parses one JSON value (objects, arrays, strings with the usual
+    escapes including [\uXXXX], integers, booleans, [null]; number
+    fractions/exponents are rejected — the protocol never emits them).
+    [Error] carries the offending position. *)
+
+val member : string -> json -> json option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+(** {1 Requests} *)
+
+val version : int
+(** Envelope version this build speaks (1).  Requests carrying any other
+    version are answered with an [error] response. *)
+
+type meth = Check | Reason | Lint | Stats | Ping | Shutdown
+
+val meth_to_string : meth -> string
+val meth_of_string : string -> meth option
+
+type request = {
+  id : string option;  (** echoed verbatim in the response *)
+  meth : meth;
+  schema_text : string option;  (** inline [.orm] source; [check]/[reason]/[lint] *)
+  settings : Orm_patterns.Settings.t;
+  jobs : int;  (** [> 1] checks on that many domains *)
+  deadline_ms : int option;  (** per-request deadline; overrides the server default *)
+  budget : int;  (** tableau rule budget ([reason]) *)
+  sat_budget : int;  (** DPLL step budget ([reason]) *)
+  backend : [ `Dlr | `Sat | `Both ];  (** complete procedure(s) for [reason] *)
+}
+
+val parse_request : string -> (request, string * string option) result
+(** Parses one request line.  [Error (message, id)] carries the request id
+    when the envelope parsed far enough to reveal one, so the error
+    response can still be correlated by the client. *)
+
+val build_request :
+  ?id:string ->
+  ?schema_text:string ->
+  ?settings:Orm_patterns.Settings.t ->
+  ?jobs:int ->
+  ?deadline_ms:int ->
+  ?budget:int ->
+  ?sat_budget:int ->
+  ?backend:[ `Dlr | `Sat | `Both ] ->
+  meth ->
+  string
+(** The client side: one request line (no trailing newline).  Settings and
+    numeric fields are emitted only when they differ from the defaults, so
+    the common case stays short. *)
+
+val cache_key : request -> string
+(** Content-addressed cache key: digest of the schema text plus every
+    request field that can change the answer (method, settings, budgets,
+    backend) — and {e not} [id], [jobs] or [deadline_ms], which cannot.
+    Meaningless (but stable) for requests without a schema. *)
+
+(** {1 Responses} *)
+
+val ok_response :
+  id:string option -> cached:bool -> (string * json) list -> string
+
+val error_response : id:string option -> string -> string
+
+val timeout_response : id:string option -> elapsed_ms:int -> string
+
+val overloaded_response : id:string option -> max_pending:int -> string
+
+type parsed_response = {
+  resp_id : string option;
+  status : string;  (** "ok", "error", "timeout" or "overloaded" *)
+  cached : bool;
+  body : json;  (** the whole response object *)
+}
+
+val parse_response : string -> (parsed_response, string) result
+(** Used by the bundled client and the tests. *)

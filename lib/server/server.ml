@@ -1,0 +1,541 @@
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+module Log = Orm_trace.Log
+module P = Protocol
+
+type config = {
+  cache_capacity : int;
+  max_pending : int;
+  default_deadline_ms : int option;
+  default_jobs : int;
+}
+
+let default_config =
+  {
+    cache_capacity = 512;
+    max_pending = 64;
+    default_deadline_ms = None;
+    default_jobs = 1;
+  }
+
+type t = {
+  config : config;
+  cache : (string * P.json) list Cache.t;
+  metrics : Metrics.t option;
+  tracer : Trace.t option;
+  started_ns : int64;
+  mutable served : int;
+  mutable timeouts : int;
+  mutable overloads : int;
+  stop : bool Atomic.t;  (* set from signal handlers; polled by the loop *)
+}
+
+let create ?metrics ?tracer config =
+  {
+    config;
+    cache = Cache.create ?metrics ~capacity:config.cache_capacity ();
+    metrics;
+    tracer;
+    started_ns = Metrics.now_ns ();
+    served = 0;
+    timeouts = 0;
+    overloads = 0;
+    stop = Atomic.make false;
+  }
+
+let requests_served t = t.served
+let timeouts_total t = t.timeouts
+let overloads_total t = t.overloads
+let cache_length t = Cache.length t.cache
+let cache_hits t = Cache.hits t.cache
+let cache_misses t = Cache.misses t.cache
+
+let instant t name = Option.iter (fun tr -> Trace.instant tr name) t.tracer
+
+(* ---- request dispatch ------------------------------------------------- *)
+
+let load_schema text =
+  match Orm_dsl.Parser.parse text with
+  | Error msg -> Error msg
+  | Ok schema -> (
+      match Orm.Schema.validate schema with
+      | [] -> Ok schema
+      | errs ->
+          Error
+            (Format.asprintf "@[<v>schema is not well-formed:@,%a@]"
+               (Format.pp_print_list Orm.Schema.pp_error)
+               errs))
+
+let run_engine t (req : P.request) schema =
+  let jobs = if req.jobs > 1 then req.jobs else t.config.default_jobs in
+  if jobs > 1 then
+    Engine_par.check ~domains:jobs ~settings:req.settings ?metrics:t.metrics
+      ?tracer:t.tracer schema
+  else
+    Engine.check ~settings:req.settings ?metrics:t.metrics ?tracer:t.tracer
+      schema
+
+let check_body t req schema =
+  let report = run_engine t req schema in
+  [
+    ("clean", P.Bool (report.Engine.diagnostics = []));
+    ("diagnostics", P.Int (List.length report.Engine.diagnostics));
+    ("report", P.Raw (Orm_export.Json.of_report report));
+  ]
+
+let reason_body t (req : P.request) schema ~deadline_ns =
+  let report = run_engine t req schema in
+  let dlr =
+    if req.backend = `Sat then []
+    else begin
+      let result =
+        Orm_dlr.Dlr_check.check ~budget:req.budget ?deadline_ns
+          ?tracer:t.tracer schema
+      in
+      let unsat_types = Orm_dlr.Dlr_check.unsat_types result in
+      let unsat_roles = Orm_dlr.Dlr_check.unsat_roles result in
+      let unknown =
+        List.length
+          (List.filter
+             (fun (v : Orm_dlr.Dlr_check.element_verdict) ->
+               v.verdict = Orm_dlr.Tableau.Unknown)
+             result.verdicts)
+      in
+      [
+        ( "dlr",
+          P.Obj
+            [
+              ("complete", P.Bool result.complete);
+              ("unsat_types", P.Arr (List.map (fun s -> P.Str s) unsat_types));
+              ( "unsat_roles",
+                P.Arr
+                  (List.map
+                     (fun r -> P.Str (Orm.Ids.role_to_string r))
+                     unsat_roles) );
+              ("unknown", P.Int unknown);
+            ] );
+      ]
+    end
+  in
+  let sat =
+    if req.backend = `Dlr then []
+    else begin
+      let outcome =
+        Orm_sat.Encode.solve ~budget:req.sat_budget ?deadline_ns
+          ?tracer:t.tracer schema Orm_sat.Encode.Strongly_satisfiable
+      in
+      let s = Orm_sat.Encode.last_stats () in
+      [
+        ( "sat",
+          P.Obj
+            [
+              ( "outcome",
+                P.Str
+                  (match outcome with
+                  | Orm_sat.Encode.Model _ -> "model"
+                  | No_model -> "no_model"
+                  | Timeout -> "timeout") );
+              ("variables", P.Int s.variables);
+              ("clauses", P.Int s.clauses);
+              ("decisions", P.Int s.decisions);
+            ] );
+      ]
+    end
+  in
+  let dlr_unsat =
+    match List.assoc_opt "dlr" dlr with
+    | Some (P.Obj fields) -> (
+        match
+          (List.assoc_opt "unsat_types" fields, List.assoc_opt "unsat_roles" fields)
+        with
+        | Some (P.Arr ts), Some (P.Arr rs) -> List.length ts + List.length rs
+        | _ -> 0)
+    | _ -> 0
+  in
+  let sat_no_model =
+    match List.assoc_opt "sat" sat with
+    | Some (P.Obj fields) -> List.assoc_opt "outcome" fields = Some (P.Str "no_model")
+    | _ -> false
+  in
+  let clean =
+    report.Engine.diagnostics = [] && dlr_unsat = 0 && not sat_no_model
+  in
+  [
+    ("clean", P.Bool clean);
+    ("diagnostics", P.Int (List.length report.Engine.diagnostics));
+    ("report", P.Raw (Orm_export.Json.of_report report));
+  ]
+  @ dlr @ sat
+
+let lint_body schema =
+  let findings = Orm_lint.Lint.check schema in
+  [
+    ("clean", P.Bool (findings = []));
+    ( "findings",
+      P.Arr
+        (List.map
+           (fun (f : Orm_lint.Lint.finding) ->
+             P.Obj
+               [
+                 ("rule", P.Str f.rule.rule_id);
+                 ( "severity",
+                   P.Str
+                     (match f.rule.severity with
+                     | Orm_lint.Lint.Style -> "style"
+                     | Redundancy -> "redundancy"
+                     | Unsat_risk -> "unsat_risk") );
+                 ("subject", P.Str f.subject);
+                 ("message", P.Str f.message);
+               ])
+           findings) );
+  ]
+
+let stats_body t =
+  let counters =
+    [
+      ( "uptime_ms",
+        P.Int
+          (Int64.to_int (Int64.sub (Metrics.now_ns ()) t.started_ns) / 1_000_000)
+      );
+      ("requests", P.Int t.served);
+      ("timeouts", P.Int t.timeouts);
+      ("overloads", P.Int t.overloads);
+      ( "cache",
+        P.Obj
+          [
+            ("size", P.Int (Cache.length t.cache));
+            ("capacity", P.Int (Cache.capacity t.cache));
+            ("hits", P.Int (Cache.hits t.cache));
+            ("misses", P.Int (Cache.misses t.cache));
+          ] );
+    ]
+  in
+  let metrics =
+    match t.metrics with
+    | None -> []
+    | Some m -> [ ("metrics", P.Raw (Metrics.to_json (Metrics.snapshot m))) ]
+  in
+  [ ("result", P.Obj (counters @ metrics)) ]
+
+(* A request that carries a schema is answered from the cache when the
+   same schema text has already been checked under the same settings;
+   everything else is computed, and computed [ok] results (never timeouts
+   or errors) are what gets cached. *)
+let dispatch t (req : P.request) =
+  let deadline_ms =
+    match req.deadline_ms with
+    | Some ms -> Some ms
+    | None -> t.config.default_deadline_ms
+  in
+  let t0 = Metrics.now_ns () in
+  let deadline_ns =
+    Option.map
+      (fun ms -> Int64.add t0 (Int64.mul (Int64.of_int ms) 1_000_000L))
+      deadline_ms
+  in
+  let expired () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Metrics.now_ns () > d
+  in
+  let elapsed_ms () =
+    Int64.to_int (Int64.sub (Metrics.now_ns ()) t0) / 1_000_000
+  in
+  let timeout () =
+    t.timeouts <- t.timeouts + 1;
+    Option.iter Metrics.record_timeout t.metrics;
+    instant t "server.timeout";
+    (P.timeout_response ~id:req.id ~elapsed_ms:(elapsed_ms ()), `Continue)
+  in
+  (* The cache is consulted on the schema text's digest BEFORE the text is
+     parsed: a warm request pays hash-plus-lookup only, which is the whole
+     point of content addressing.  Safe because only [ok] results are ever
+     cached — a hit proves this exact text parsed, validated and computed
+     cleanly before. *)
+  let with_schema k =
+    match req.schema_text with
+    | None ->
+        ( P.error_response ~id:req.id
+            (Printf.sprintf "method %S requires params.schema"
+               (P.meth_to_string req.meth)),
+          `Continue )
+    | Some text -> (
+        let key = P.cache_key req in
+        match Cache.find t.cache key with
+        | Some body ->
+            instant t "server.cache_hit";
+            (P.ok_response ~id:req.id ~cached:true body, `Continue)
+        | None -> (
+            instant t "server.cache_miss";
+            match load_schema text with
+            | Error msg -> (P.error_response ~id:req.id msg, `Continue)
+            | Ok schema ->
+                let body = k schema in
+                if expired () then timeout ()
+                else begin
+                  Cache.add t.cache key body;
+                  (P.ok_response ~id:req.id ~cached:false body, `Continue)
+                end))
+  in
+  match req.meth with
+  | P.Ping -> (P.ok_response ~id:req.id ~cached:false [ ("result", P.Str "pong") ], `Continue)
+  | P.Stats -> (P.ok_response ~id:req.id ~cached:false (stats_body t), `Continue)
+  | P.Shutdown ->
+      ( P.ok_response ~id:req.id ~cached:false [ ("result", P.Str "draining") ],
+        `Shutdown )
+  | P.Check -> with_schema (check_body t req)
+  | P.Lint -> with_schema lint_body
+  | P.Reason -> with_schema (reason_body t req ~deadline_ns)
+
+let handle t line =
+  let work () =
+    let t0 = Metrics.now_ns () in
+    let result =
+      match P.parse_request line with
+      | Error (msg, id) -> (P.error_response ~id msg, `Continue)
+      | Ok req -> (
+          let span_name = "server." ^ P.meth_to_string req.meth in
+          match t.tracer with
+          | None -> dispatch t req
+          | Some tr -> Trace.with_span tr span_name (fun () -> dispatch t req))
+    in
+    t.served <- t.served + 1;
+    Option.iter
+      (fun m ->
+        Metrics.record_request m
+          ~time_ns:(Int64.to_int (Int64.sub (Metrics.now_ns ()) t0)))
+      t.metrics;
+    result
+  in
+  let guarded () =
+    try work ()
+    with exn ->
+      (* a bug in a backend must produce an error response, not kill the
+         process that other clients are talking to *)
+      Log.err "server: internal error: %s" (Printexc.to_string exn);
+      (P.error_response ~id:None ("internal error: " ^ Printexc.to_string exn), `Continue)
+  in
+  match t.tracer with
+  | None -> guarded ()
+  | Some tr -> Trace.with_span tr "server.request" guarded
+
+let overloaded t line =
+  let id =
+    match P.parse_request line with
+    | Ok req -> req.id
+    | Error (_, id) -> id
+  in
+  t.overloads <- t.overloads + 1;
+  Option.iter Metrics.record_overload t.metrics;
+  instant t "server.overloaded";
+  P.overloaded_response ~id ~max_pending:t.config.max_pending
+
+(* ---- transport: select loop over a Unix socket or stdin/stdout -------- *)
+
+type conn = {
+  fd_in : Unix.file_descr;
+  fd_out : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;  (* bytes accepted but not yet written *)
+  mutable eof : bool;  (* input side exhausted *)
+  mutable dead : bool;  (* write side failed; drop after cleanup *)
+  close_fds : bool;  (* sockets yes, stdio no *)
+}
+
+let make_conn ~close_fds fd_in fd_out =
+  {
+    fd_in;
+    fd_out;
+    inbuf = Buffer.create 4096;
+    out = "";
+    eof = false;
+    dead = false;
+    close_fds;
+  }
+
+let enqueue_response conn resp = conn.out <- conn.out ^ resp ^ "\n"
+
+let flush_conn conn =
+  if conn.out <> "" && not conn.dead then
+    match
+      Unix.write_substring conn.fd_out conn.out 0 (String.length conn.out)
+    with
+    | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        conn.dead <- true
+
+(* Split the connection's input buffer into complete lines, admitting each
+   into the bounded pending queue (or answering [overloaded] on the spot). *)
+let admit t pending conn =
+  let s = Buffer.contents conn.inbuf in
+  let n = String.length s in
+  let consumed = ref 0 in
+  let rec go start =
+    match String.index_from_opt s start '\n' with
+    | None -> ()
+    | Some i ->
+        let line = String.sub s start (i - start) in
+        consumed := i + 1;
+        if String.trim line <> "" then begin
+          if Queue.length pending >= t.config.max_pending then
+            enqueue_response conn (overloaded t line)
+          else Queue.add (conn, line) pending
+        end;
+        go (i + 1)
+  in
+  go 0;
+  if !consumed > 0 then begin
+    Buffer.clear conn.inbuf;
+    Buffer.add_substring conn.inbuf s !consumed (n - !consumed)
+  end
+
+let read_conn t pending conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd_in buf 0 (Bytes.length buf) with
+  | 0 -> conn.eof <- true
+  | n ->
+      Buffer.add_subbytes conn.inbuf buf 0 n;
+      admit t pending conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) ->
+      conn.eof <- true;
+      conn.dead <- true
+
+let close_conn conn =
+  if conn.close_fds then begin
+    (try Unix.close conn.fd_in with Unix.Unix_error _ -> ());
+    if conn.fd_out <> conn.fd_in then
+      try Unix.close conn.fd_out with Unix.Unix_error _ -> ()
+  end
+
+(* Once draining starts the server answers what it has already admitted,
+   flushes, and leaves; it stops reading and accepting.  A client that
+   never drains its responses cannot hold shutdown hostage: the drain is
+   itself bounded. *)
+let drain_grace_s = 5.0
+
+let serve t mode =
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set t.stop true)) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set t.stop true)) in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigpipe old_pipe
+  in
+  let listen_fd, socket_path, conns =
+    match mode with
+    | `Stdio ->
+        Unix.set_nonblock Unix.stdin;
+        (None, None, ref [ make_conn ~close_fds:false Unix.stdin Unix.stdout ])
+    | `Socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX path);
+           Unix.listen fd 64;
+           Unix.set_nonblock fd
+         with exn ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           restore ();
+           raise exn);
+        Log.info "server: listening on %s" path;
+        (Some fd, Some path, ref [])
+  in
+  let pending : (conn * string) Queue.t = Queue.create () in
+  let draining = ref false in
+  let drain_deadline = ref infinity in
+  let start_drain reason =
+    if not !draining then begin
+      draining := true;
+      drain_deadline := Unix.gettimeofday () +. drain_grace_s;
+      Log.info "server: draining (%s): %d pending request(s)" reason
+        (Queue.length pending)
+    end
+  in
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get t.stop then start_drain "signal";
+    (* answer everything already admitted *)
+    while not (Queue.is_empty pending) do
+      let conn, line = Queue.pop pending in
+      Option.iter
+        (fun tr -> Trace.counter tr "server.pending" (Queue.length pending))
+        t.tracer;
+      let resp, verdict = handle t line in
+      enqueue_response conn resp;
+      if verdict = `Shutdown then start_drain "shutdown request"
+    done;
+    List.iter flush_conn !conns;
+    (* reap finished connections *)
+    conns :=
+      List.filter
+        (fun c ->
+          let gone = c.dead || (c.eof && c.out = "") in
+          if gone then close_conn c;
+          not gone)
+        !conns;
+    let all_flushed = List.for_all (fun c -> c.out = "" || c.dead) !conns in
+    let input_exhausted =
+      listen_fd = None && List.for_all (fun c -> c.eof) !conns
+    in
+    if
+      (!draining && all_flushed)
+      || (!draining && Unix.gettimeofday () > !drain_deadline)
+      || (input_exhausted && Queue.is_empty pending && all_flushed)
+    then finished := true
+    else begin
+      let read_fds =
+        if !draining then []
+        else
+          (match listen_fd with Some fd -> [ fd ] | None -> [])
+          @ List.filter_map
+              (fun c -> if c.eof || c.dead then None else Some c.fd_in)
+              !conns
+      in
+      let write_fds =
+        List.filter_map
+          (fun c -> if c.out <> "" && not c.dead then Some c.fd_out else None)
+          !conns
+      in
+      match Unix.select read_fds write_fds [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | ready_r, ready_w, _ ->
+          (match listen_fd with
+          | Some fd when List.mem fd ready_r ->
+              let rec accept_all () =
+                match Unix.accept fd with
+                | client, _ ->
+                    Unix.set_nonblock client;
+                    conns := make_conn ~close_fds:true client client :: !conns;
+                    accept_all ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+                | exception Unix.Unix_error (EINTR, _, _) -> ()
+              in
+              accept_all ()
+          | _ -> ());
+          List.iter
+            (fun c -> if List.mem c.fd_in ready_r then read_conn t pending c)
+            !conns;
+          List.iter
+            (fun c -> if List.mem c.fd_out ready_w then flush_conn c)
+            !conns
+    end
+  done;
+  List.iter
+    (fun c ->
+      flush_conn c;
+      close_conn c)
+    !conns;
+  (match listen_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  (match socket_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  Log.info "server: stopped after %d request(s) (%d timeout(s), %d overload(s))"
+    t.served t.timeouts t.overloads;
+  restore ()

@@ -1,0 +1,82 @@
+(** The long-running checking service behind [ormcheck serve].
+
+    The paper's point is that the pattern checks are cheap enough to run
+    inside a modeling tool's edit loop while the complete DLR route is
+    worst-case exponential; a server is the natural shape for that split —
+    a warm process answers the cheap requests immediately (and repeated
+    ones straight from a content-addressed cache), while the expensive
+    complete checks are bounded by per-request deadlines instead of being
+    allowed to wedge the process.
+
+    One server owns:
+    {ul
+    {- a {!Cache} of finished results keyed by {!Protocol.cache_key}
+       (schema digest + settings), hit/miss counters mirrored into the
+       attached {!Orm_telemetry.Metrics};}
+    {- per-request deadlines ([deadline_ms] in the request, else the
+       configured default) forwarded to the DLR tableau and DPLL backends,
+       which abandon the search cleanly and let the server answer
+       [timeout];}
+    {- admission control: a bounded pending queue; requests beyond
+       [max_pending] are answered [overloaded] without being queued;}
+    {- graceful shutdown: SIGINT/SIGTERM (or a [shutdown] request) stop
+       intake, drain the already-admitted requests, flush the responses and
+       return — the CLI then exits 0.}}
+
+    Request handling is single-threaded by design: the event loop owns all
+    state (no locks), the engine itself can still fan a single check across
+    domains ([jobs] in the request), and a deadline bounds the time any one
+    request can hold the loop.  The transport is newline-delimited JSON
+    over a Unix-domain socket, or stdin/stdout ([`Stdio]) for tests and
+    editor integrations. *)
+
+type config = {
+  cache_capacity : int;  (** LRU entries kept (default 512) *)
+  max_pending : int;  (** admission-control queue bound (default 64) *)
+  default_deadline_ms : int option;
+      (** deadline applied when a request names none; [None] = unbounded *)
+  default_jobs : int;  (** domain count for requests that don't ask (default 1) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?metrics:Orm_telemetry.Metrics.t -> ?tracer:Orm_trace.Trace.t -> config -> t
+(** A fresh server.  [metrics] receives one [record_request] per answered
+    request (with latency histogram), [record_timeout] / [record_overload]
+    per abandoned or rejected one, and the cache's hit/miss counters.
+    [tracer] records a [server.request] span per request with a
+    [server.<method>] span nested inside, plus [server.cache_hit] /
+    [server.cache_miss] / [server.timeout] / [server.overloaded] instants —
+    a server trace profiles with [ormcheck profile] like any other. *)
+
+val handle : t -> string -> string * [ `Continue | `Shutdown ]
+(** [handle t line] answers one request line with one response line
+    (neither carries the ['\n']).  Never raises: internal errors become
+    [error] responses.  [`Shutdown] accompanies a [shutdown] request's
+    response; the transport loop is expected to drain and stop.  Exposed
+    for tests and benchmarks, which drive a server without any socket. *)
+
+val overloaded : t -> string -> string
+(** The [overloaded] response for a request line that admission control
+    rejected (counted and traced; the line is parsed only far enough to
+    echo its [id]). *)
+
+val serve : t -> [ `Socket of string | `Stdio ] -> unit
+(** Runs the event loop until a [shutdown] request, SIGINT/SIGTERM, or (in
+    [`Stdio] mode) end of input.  Installs SIGINT/SIGTERM handlers that
+    trigger the drain, and ignores SIGPIPE (a client hanging up mid-response
+    must not kill the server).  [`Socket path] binds a Unix-domain socket
+    at [path] (an existing file there is replaced) and removes it on the
+    way out. *)
+
+(** {1 Introspection} (the [stats] method and the tests) *)
+
+val requests_served : t -> int
+val timeouts_total : t -> int
+val overloads_total : t -> int
+val cache_length : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int

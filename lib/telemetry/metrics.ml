@@ -47,6 +47,14 @@ type t = {
   batch_schemas : int Atomic.t;
   batch_domains : int Atomic.t;
   batch_time_ns : int Atomic.t;
+  (* the serving layer: one entry per request answered by [ormcheck serve],
+     with the same log-scale latency histogram the patterns get *)
+  requests : int Atomic.t;
+  request_time_ns : int Atomic.t;
+  request_hist : int Atomic.t array;  (* hist_buckets wide *)
+  request_max_ns : int Atomic.t;
+  timeouts : int Atomic.t;
+  overloads : int Atomic.t;
 }
 
 let atomic_array () = Array.init (max_pattern + 1) (fun _ -> Atomic.make 0)
@@ -71,6 +79,12 @@ let create () =
     batch_schemas = Atomic.make 0;
     batch_domains = Atomic.make 0;
     batch_time_ns = Atomic.make 0;
+    requests = Atomic.make 0;
+    request_time_ns = Atomic.make 0;
+    request_hist = Array.init hist_buckets (fun _ -> Atomic.make 0);
+    request_max_ns = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    overloads = Atomic.make 0;
   }
 
 let reset t =
@@ -80,11 +94,13 @@ let reset t =
   Array.iter zero t.pattern_time_ns;
   Array.iter (Array.iter zero) t.pattern_hist;
   Array.iter zero t.pattern_max_ns;
+  Array.iter zero t.request_hist;
   List.iter zero
     [
       t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
       t.propagation_derived; t.cache_hits; t.cache_misses; t.batches;
-      t.batch_schemas; t.batch_domains; t.batch_time_ns;
+      t.batch_schemas; t.batch_domains; t.batch_time_ns; t.requests;
+      t.request_time_ns; t.request_max_ns; t.timeouts; t.overloads;
     ]
 
 let bump a n = ignore (Atomic.fetch_and_add a n)
@@ -119,6 +135,15 @@ let record_batch t ~schemas ~domains ~time_ns =
   Atomic.set t.batch_domains domains;
   bump t.batch_time_ns time_ns
 
+let record_request t ~time_ns =
+  bump t.requests 1;
+  bump t.request_time_ns time_ns;
+  bump t.request_hist.(bucket_of_ns time_ns) 1;
+  bump_max t.request_max_ns time_ns
+
+let record_timeout t = bump t.timeouts 1
+let record_overload t = bump t.overloads 1
+
 type pattern_stat = {
   pattern : int;
   runs : int;
@@ -130,11 +155,11 @@ type pattern_stat = {
 
 let empty_hist () = Array.make hist_buckets 0
 
-(* Quantiles read off the log-scale histogram; resolution is the bucket
+(* Quantiles read off a log-scale histogram; resolution is the bucket
    width (a factor of two), which is plenty to tell a 2 us median from a
    2 ms tail. *)
-let quantile_ns stat q =
-  let total = Array.fold_left ( + ) 0 stat.hist in
+let hist_quantile_ns ~hist ~max_ns q =
+  let total = Array.fold_left ( + ) 0 hist in
   if total = 0 then 0
   else begin
     let target = max 1 (int_of_float (Float.round (q *. float_of_int total))) in
@@ -147,14 +172,15 @@ let quantile_ns stat q =
              let mid = bucket_mid_ns i in
              (* never report past the observed maximum (when we have one:
                 snapshots parsed from pre-histogram JSON carry max_ns = 0) *)
-             result := (if stat.max_ns > 0 then min mid stat.max_ns else mid);
+             result := (if max_ns > 0 then min mid max_ns else mid);
              raise Exit
            end)
-         stat.hist
+         hist
      with Exit -> ());
     !result
   end
 
+let quantile_ns stat q = hist_quantile_ns ~hist:stat.hist ~max_ns:stat.max_ns q
 let p50_ns stat = quantile_ns stat 0.50
 let p95_ns stat = quantile_ns stat 0.95
 
@@ -171,7 +197,16 @@ type snapshot = {
   batch_schemas : int;
   batch_domains : int;
   batch_time_ns : int;
+  requests : int;
+  request_time_ns : int;
+  request_hist : int array;
+  request_max_ns : int;
+  timeouts : int;
+  overloads : int;
 }
+
+let request_p50_ns s = hist_quantile_ns ~hist:s.request_hist ~max_ns:s.request_max_ns 0.50
+let request_p95_ns s = hist_quantile_ns ~hist:s.request_hist ~max_ns:s.request_max_ns 0.95
 
 let snapshot t =
   let patterns = ref [] in
@@ -202,6 +237,12 @@ let snapshot t =
     batch_schemas = Atomic.get t.batch_schemas;
     batch_domains = Atomic.get t.batch_domains;
     batch_time_ns = Atomic.get t.batch_time_ns;
+    requests = Atomic.get t.requests;
+    request_time_ns = Atomic.get t.request_time_ns;
+    request_hist = Array.map Atomic.get t.request_hist;
+    request_max_ns = Atomic.get t.request_max_ns;
+    timeouts = Atomic.get t.timeouts;
+    overloads = Atomic.get t.overloads;
   }
 
 let zero =
@@ -218,6 +259,12 @@ let zero =
     batch_schemas = 0;
     batch_domains = 0;
     batch_time_ns = 0;
+    requests = 0;
+    request_time_ns = 0;
+    request_hist = empty_hist ();
+    request_max_ns = 0;
+    timeouts = 0;
+    overloads = 0;
   }
 
 let add a b =
@@ -265,6 +312,12 @@ let add a b =
     batch_schemas = a.batch_schemas + b.batch_schemas;
     batch_domains = (if b.batches > 0 then b.batch_domains else a.batch_domains);
     batch_time_ns = a.batch_time_ns + b.batch_time_ns;
+    requests = a.requests + b.requests;
+    request_time_ns = a.request_time_ns + b.request_time_ns;
+    request_hist = Array.mapi (fun i c -> c + b.request_hist.(i)) a.request_hist;
+    request_max_ns = max a.request_max_ns b.request_max_ns;
+    timeouts = a.timeouts + b.timeouts;
+    overloads = a.overloads + b.overloads;
   }
 
 let equal (a : snapshot) (b : snapshot) = a = b
@@ -312,6 +365,15 @@ let pp ppf s =
     pp_ns ppf s.batch_time_ns;
     Format.fprintf ppf ")@,"
   end;
+  if s.requests + s.timeouts + s.overloads > 0 then begin
+    Format.fprintf ppf "server: %d request(s) (" s.requests;
+    pp_ns ppf s.request_time_ns;
+    Format.fprintf ppf " total, p50 %s, p95 %s, max %s), %d timeout(s), %d overload(s)@,"
+      (Format.asprintf "%a" pp_ns (request_p50_ns s))
+      (Format.asprintf "%a" pp_ns (request_p95_ns s))
+      (Format.asprintf "%a" pp_ns s.request_max_ns)
+      s.timeouts s.overloads
+  end;
   Format.fprintf ppf "@]"
 
 (* ---- JSON ------------------------------------------------------------ *)
@@ -334,6 +396,21 @@ let to_json s =
   field false "batch_schemas" (string_of_int s.batch_schemas);
   field false "batch_domains" (string_of_int s.batch_domains);
   field false "batch_time_ns" (string_of_int s.batch_time_ns);
+  field false "requests" (string_of_int s.requests);
+  field false "request_time_ns" (string_of_int s.request_time_ns);
+  field false "request_max_ns" (string_of_int s.request_max_ns);
+  field false "timeouts" (string_of_int s.timeouts);
+  field false "overloads" (string_of_int s.overloads);
+  field false "request_hist"
+    (let last =
+       let i = ref (Array.length s.request_hist - 1) in
+       while !i >= 0 && s.request_hist.(!i) = 0 do decr i done;
+       !i
+     in
+     "["
+     ^ String.concat ","
+         (List.init (last + 1) (fun i -> string_of_int s.request_hist.(i)))
+     ^ "]");
   field false "patterns"
     ("["
     ^ String.concat ","
@@ -546,6 +623,27 @@ let of_json src =
             batch_schemas = int "batch_schemas" 0;
             batch_domains = int "batch_domains" 0;
             batch_time_ns = int "batch_time_ns" 0;
+            (* the server section arrived with `ormcheck serve`; snapshots
+               written before it parse as all-zero *)
+            requests = int "requests" 0;
+            request_time_ns = int "request_time_ns" 0;
+            request_hist =
+              (let h = empty_hist () in
+               (match List.assoc_opt "request_hist" fields with
+               | None -> ()
+               | Some (Arr counts) ->
+                   List.iteri
+                     (fun i c ->
+                       match c with
+                       | Int n when i < hist_buckets -> h.(i) <- n
+                       | Int _ -> raise (Bad "request_hist: too many buckets")
+                       | _ -> raise (Bad "request_hist: expected integers"))
+                     counts
+               | Some _ -> raise (Bad "request_hist: expected array"));
+               h);
+            request_max_ns = int "request_max_ns" 0;
+            timeouts = int "timeouts" 0;
+            overloads = int "overloads" 0;
           }
     | _ -> Error "expected a JSON object"
   with Bad msg -> Error msg

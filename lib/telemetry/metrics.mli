@@ -54,6 +54,17 @@ val record_batch : t -> schemas:int -> domains:int -> time_ns:int -> unit
 (** One parallel batch: [schemas] checked on [domains] domains in
     [time_ns] wall nanoseconds. *)
 
+val record_request : t -> time_ns:int -> unit
+(** One request answered by the checking service ([ormcheck serve]),
+    whatever its status; the wall time also lands in the request latency
+    histogram. *)
+
+val record_timeout : t -> unit
+(** One request abandoned because its deadline expired. *)
+
+val record_overload : t -> unit
+(** One request rejected by admission control (pending queue full). *)
+
 (** {1 Snapshots} *)
 
 val hist_buckets : int
@@ -93,7 +104,20 @@ type snapshot = {
   batch_schemas : int;
   batch_domains : int;  (** domains of the most recent batch *)
   batch_time_ns : int;
+  requests : int;  (** requests answered by the checking service *)
+  request_time_ns : int;
+  request_hist : int array;
+      (** request latency histogram, [hist_buckets] wide, same log scale as
+          the per-pattern histograms; all zeros on pre-server snapshots *)
+  request_max_ns : int;
+  timeouts : int;  (** requests whose deadline expired *)
+  overloads : int;  (** requests rejected by admission control *)
 }
+
+val request_p50_ns : snapshot -> int
+val request_p95_ns : snapshot -> int
+(** Request latency quantiles read off [request_hist], with the same
+    bucket-width resolution as {!quantile_ns}. *)
 
 val snapshot : t -> snapshot
 

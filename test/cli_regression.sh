@@ -91,4 +91,108 @@ echo 'not json' > "$not_a_trace"
 [ "$?" -eq 2 ] || fail "profile accepted a non-trace file"
 rm -f "$not_a_trace"
 
+# doctor and reason exit codes must be consistent with check on every
+# fixture: a valid schema never exits >= 2, a pattern-unsat schema (check=1)
+# makes both doctor and reason report findings (exit 1), and a schema that
+# check, lint and the complete backends all accept exits 0 from both.
+sat_schema='' unsat_schema=''
+for schema in $schemas; do
+    "$ORMCHECK" check "$schema" >/dev/null 2>&1
+    check_status=$?
+    "$ORMCHECK" doctor "$schema" >/dev/null 2>&1
+    doctor_status=$?
+    "$ORMCHECK" reason --budget 5000 "$schema" >/dev/null 2>&1
+    reason_status=$?
+    [ "$doctor_status" -le 1 ] ||
+        fail "$schema: doctor exited $doctor_status on a valid schema"
+    [ "$reason_status" -le 1 ] ||
+        fail "$schema: reason exited $reason_status on a valid schema"
+    if [ "$check_status" -eq 1 ]; then
+        [ "$doctor_status" -eq 1 ] ||
+            fail "$schema: check found diagnostics but doctor exited $doctor_status"
+        [ "$reason_status" -eq 1 ] ||
+            fail "$schema: check found diagnostics but reason exited $reason_status"
+        unsat_schema=$schema
+    else
+        sat_schema=$schema
+    fi
+done
+[ -n "$sat_schema" ] || fail "fixture set has no satisfiable schema"
+[ -n "$unsat_schema" ] || fail "fixture set has no unsatisfiable schema"
+# library.orm is the known-satisfiable fixture: reason confirms it (exit 0)
+# while doctor still exits 1 — its lint pass flags style findings, which is
+# exactly the difference between the two subcommands.
+case "$schemas" in
+    *library.orm*)
+        lib=$(echo "$schemas" | tr ' ' '\n' | grep 'library\.orm$' | head -n 1)
+        "$ORMCHECK" reason "$lib" >/dev/null 2>&1
+        [ "$?" -eq 0 ] || fail "library.orm: reason did not confirm satisfiability"
+        "$ORMCHECK" doctor "$lib" >/dev/null 2>&1
+        [ "$?" -eq 1 ] || fail "library.orm: doctor missed the lint findings"
+        ;;
+esac
+# doctor and reason must exit 2, not 0 or 1, on a schema that does not parse.
+bad_schema=$(mktemp)
+echo 'this is not an orm schema' > "$bad_schema"
+"$ORMCHECK" doctor "$bad_schema" >/dev/null 2>&1
+[ "$?" -eq 2 ] || fail "doctor did not exit 2 on an unparseable schema"
+"$ORMCHECK" reason "$bad_schema" >/dev/null 2>&1
+[ "$?" -eq 2 ] || fail "reason did not exit 2 on an unparseable schema"
+rm -f "$bad_schema"
+
+# ---- serve / client round-trip -----------------------------------------
+# A server on a Unix-domain socket must answer ping/check/stats via the
+# bundled client with the documented exit codes, shut down cleanly on the
+# shutdown method, and exit 0 on SIGTERM while requests are in flight.
+server_dir=$(mktemp -d)
+sock="$server_dir/ormcheck.sock"
+"$ORMCHECK" serve --socket "$sock" --log-level off &
+server_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || fail "serve never bound $sock"
+
+"$ORMCHECK" client --socket "$sock" ping >/dev/null 2>&1 ||
+    fail "client ping exited $?"
+"$ORMCHECK" client --socket "$sock" check "$sat_schema" >/dev/null 2>&1
+[ "$?" -eq 0 ] || fail "client check on $sat_schema did not exit 0"
+"$ORMCHECK" client --socket "$sock" check "$unsat_schema" >/dev/null 2>&1
+[ "$?" -eq 1 ] || fail "client check on $unsat_schema did not exit 1"
+# the second identical check must be answered from the cache
+cached=$("$ORMCHECK" client --socket "$sock" check "$sat_schema" 2>/dev/null)
+case "$cached" in
+    *'"cached":true'*) : ;;
+    *) fail "repeated check was not served from the cache" ;;
+esac
+stats_out=$("$ORMCHECK" client --socket "$sock" stats 2>/dev/null) ||
+    fail "client stats failed"
+case "$stats_out" in
+    *'"hits":1'*) : ;;
+    *) fail "server stats do not show the cache hit: $stats_out" ;;
+esac
+"$ORMCHECK" client --socket "$sock" shutdown >/dev/null 2>&1 ||
+    fail "client shutdown exited $?"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "serve did not exit 0 after a shutdown request"
+[ ! -S "$sock" ] || fail "serve left its socket behind"
+
+# SIGTERM during load: the server must drain and exit 0.
+"$ORMCHECK" serve --socket "$sock" --log-level off &
+server_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || fail "serve never rebound $sock"
+(
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+        "$ORMCHECK" client --socket "$sock" check "$sat_schema" >/dev/null 2>&1
+    done
+) &
+load_pid=$!
+sleep 0.3
+kill -TERM "$server_pid"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "serve did not exit 0 on SIGTERM under load"
+wait "$load_pid" 2>/dev/null
+rm -rf "$server_dir"
+
 echo "cli_regression: ok ($(echo $schemas | wc -w) schema(s))"

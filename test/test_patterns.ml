@@ -249,6 +249,28 @@ let test_p6_implied_role_subset () =
   in
   bool "implied role subset detected" true (List.mem 6 (fired (Engine.check s)))
 
+let test_p6_cross_position_exclusion_ok () =
+  (* An exclusion between roles at DIFFERENT positions is not contradicted
+     by a predicate-level equality: a tuple shared by f and g witnesses the
+     same element in both position-1 roles, but f.1 and g.2 hold different
+     components.  {f = g = {(x,y)}, x <> y} is a model (fuzz seed 10712). *)
+  let s =
+    Schema.empty "p6"
+    |> Schema.add_fact (Fact_type.make "f" "A" "A")
+    |> Schema.add_fact (Fact_type.make "g" "A" "A")
+    |> Schema.add (Equality (Ids.whole_predicate "f", Ids.whole_predicate "g"))
+    |> Schema.add (Role_exclusion [ Single (Ids.first "f"); Single (Ids.second "g") ])
+  in
+  bool "cross-position exclusion clean" false (List.mem 6 (fired (Engine.check s)));
+  (* ... and the SAT route agrees there is a model for every role. *)
+  List.iter
+    (fun r ->
+      match Orm_sat.Encode.solve s (Orm_sat.Encode.Role_satisfiable r) with
+      | Orm_sat.Encode.Model _ -> ()
+      | Orm_sat.Encode.No_model | Orm_sat.Encode.Timeout ->
+          Alcotest.failf "no model for %s" (Ids.role_to_string r))
+    [ Ids.first "f"; Ids.second "f"; Ids.first "g"; Ids.second "g" ]
+
 let test_p6_subset_loop_ok () =
   (* A loop of subsets merely forces equality; RIDL-A's S2 is NOT an
      unsatisfiability rule (Section 3). *)
@@ -377,6 +399,8 @@ let suite =
     Alcotest.test_case "p6: role-level subset" `Quick test_p6_role_level_subset;
     Alcotest.test_case "p6: implied role subset" `Quick test_p6_implied_role_subset;
     Alcotest.test_case "p6: subset loop is satisfiable" `Quick test_p6_subset_loop_ok;
+    Alcotest.test_case "p6: cross-position exclusion is satisfiable" `Quick
+      test_p6_cross_position_exclusion_ok;
     Alcotest.test_case "p7: FC(1-n) tolerated" `Quick test_p7_min_one_ok;
     Alcotest.test_case "p7: spanning frequency" `Quick test_p7_spanning_frequency;
     Alcotest.test_case "p8: compatible pair" `Quick test_p8_compatible_pair_ok;

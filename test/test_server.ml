@@ -1,0 +1,359 @@
+(* The checking service: the protocol must round-trip (client builds what
+   the server parses, server prints what the client parses), the LRU cache
+   must behave like one (promotion, eviction, counters), and the server
+   loop's contracts — warm-cache hit rates, per-request deadlines that
+   answer [timeout] instead of wedging the process, admission control,
+   shutdown signalling — must hold when driven through [Server.handle],
+   which is exactly what the socket loop feeds it. *)
+
+module P = Orm_server.Protocol
+module Cache = Orm_server.Cache
+module Server = Orm_server.Server
+module Metrics = Orm_telemetry.Metrics
+module Settings = Orm_patterns.Settings
+module Gen = Orm_generator.Gen
+
+let schema_text ?(seed = 11) ?(size = 5) () =
+  Orm_dsl.Printer.to_string (Gen.clean ~config:(Gen.sized size) ~seed ())
+
+(* ---- protocol JSON ---------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      P.Null;
+      P.Bool true;
+      P.Bool false;
+      P.Int 0;
+      P.Int (-42);
+      P.Str "";
+      P.Str "plain";
+      P.Str "quote\" backslash\\ newline\n tab\t";
+      P.Str "unicode: \xc3\xa9\xe2\x82\xac";
+      P.Arr [ P.Int 1; P.Str "two"; P.Null ];
+      P.Obj [ ("a", P.Int 1); ("nested", P.Obj [ ("b", P.Arr [] ) ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = P.json_to_string j in
+      match P.json_of_string s with
+      | Ok j' ->
+          Alcotest.(check string) ("roundtrip " ^ s) s (P.json_to_string j')
+      | Error msg -> Alcotest.failf "did not parse %s: %s" s msg)
+    cases
+
+let test_json_escapes () =
+  (* \uXXXX escapes decode to UTF-8 *)
+  match P.json_of_string {|"café €"|} with
+  | Ok (P.Str s) -> Alcotest.(check string) "utf8" "caf\xc3\xa9 \xe2\x82\xac" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error msg -> Alcotest.fail msg
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match P.json_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "1.5"; "1e3"; "{\"a\":}"; "tru"; "\"unterminated" ]
+
+(* ---- requests --------------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let settings = Settings.with_extensions { Settings.default with paper_faithful = false } in
+  let line =
+    P.build_request ~id:"r7" ~schema_text:"schema s\n" ~settings ~jobs:4
+      ~deadline_ms:250 ~budget:123 ~sat_budget:456 ~backend:`Sat P.Reason
+  in
+  match P.parse_request line with
+  | Error (msg, _) -> Alcotest.fail msg
+  | Ok req ->
+      Alcotest.(check (option string)) "id" (Some "r7") req.P.id;
+      Alcotest.(check string) "method" "reason" (P.meth_to_string req.P.meth);
+      Alcotest.(check (option string)) "schema" (Some "schema s\n") req.P.schema_text;
+      Alcotest.(check int) "jobs" 4 req.P.jobs;
+      Alcotest.(check (option int)) "deadline" (Some 250) req.P.deadline_ms;
+      Alcotest.(check int) "budget" 123 req.P.budget;
+      Alcotest.(check int) "sat budget" 456 req.P.sat_budget;
+      Alcotest.(check bool) "backend" true (req.P.backend = `Sat);
+      Alcotest.(check bool) "paper_faithful off" false
+        req.P.settings.Settings.paper_faithful;
+      Alcotest.(check bool) "extensions on" true
+        (Settings.is_enabled 10 req.P.settings)
+
+let test_request_envelope () =
+  let expect_err line =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "accepted %s" line
+    | Error _ -> ()
+  in
+  expect_err {|{"id":"x","method":"ping"}|};
+  (* no version *)
+  expect_err {|{"ormcheck":2,"method":"ping"}|};
+  (* wrong version *)
+  expect_err {|{"ormcheck":1,"method":"frobnicate"}|};
+  (* unknown method *)
+  expect_err {|{"ormcheck":1}|};
+  (* no method *)
+  expect_err "not json at all";
+  (* the id survives a recoverable parse error so the response correlates *)
+  match P.parse_request {|{"ormcheck":1,"id":"r9","method":"frobnicate"}|} with
+  | Error (_, Some "r9") -> ()
+  | Error (_, id) ->
+      Alcotest.failf "id not recovered: %s" (Option.value id ~default:"<none>")
+  | Ok _ -> Alcotest.fail "accepted unknown method"
+
+let test_cache_key () =
+  let parse line =
+    match P.parse_request line with
+    | Ok r -> r
+    | Error (m, _) -> Alcotest.fail m
+  in
+  let base ?id ?jobs ?deadline_ms ?budget ?backend ?(schema = "schema a\n") meth =
+    P.cache_key
+      (parse (P.build_request ?id ?jobs ?deadline_ms ?budget ?backend ~schema_text:schema meth))
+  in
+  (* fields that cannot change the answer do not change the key *)
+  Alcotest.(check string) "id irrelevant" (base P.Check) (base ~id:"z" P.Check);
+  Alcotest.(check string) "jobs irrelevant" (base P.Check) (base ~jobs:8 P.Check);
+  Alcotest.(check string) "deadline irrelevant" (base P.Check)
+    (base ~deadline_ms:5 P.Check);
+  (* fields that can, do *)
+  Alcotest.(check bool) "schema matters" false
+    (base P.Check = base ~schema:"schema b\n" P.Check);
+  Alcotest.(check bool) "method matters" false (base P.Check = base P.Lint);
+  Alcotest.(check bool) "budget matters" false
+    (base P.Reason = base ~budget:7 P.Reason);
+  Alcotest.(check bool) "backend matters" false
+    (base P.Reason = base ~backend:`Dlr P.Reason)
+
+(* ---- LRU cache -------------------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  Alcotest.(check (list string)) "mru order" [ "c"; "b"; "a" ]
+    (Cache.keys_mru_first c);
+  (* a hit promotes *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Cache.find c "a");
+  Alcotest.(check (list string)) "promoted" [ "a"; "c"; "b" ]
+    (Cache.keys_mru_first c);
+  (* adding past capacity evicts the LRU entry (b) *)
+  Cache.add c "d" 4;
+  Alcotest.(check (list string)) "evicted lru" [ "d"; "a"; "c" ]
+    (Cache.keys_mru_first c);
+  Alcotest.(check (option int)) "b gone" None (Cache.find c "b");
+  Alcotest.(check int) "length" 3 (Cache.length c);
+  (* replace keeps one entry, updates value *)
+  Cache.add c "a" 10;
+  Alcotest.(check (option int)) "replaced" (Some 10) (Cache.find c "a");
+  Alcotest.(check int) "no duplicate" 3 (Cache.length c);
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_capacity_one () =
+  let c = Cache.create ~capacity:1 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Alcotest.(check (option int)) "a evicted" None (Cache.find c "a");
+  Alcotest.(check (option int)) "b present" (Some 2) (Cache.find c "b");
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Cache.create: capacity must be >= 1") (fun () ->
+      ignore (Cache.create ~capacity:0 ()))
+
+let test_cache_metrics_mirror () =
+  let m = Metrics.create () in
+  let c = Cache.create ~metrics:m ~capacity:4 () in
+  Cache.add c "k" 0;
+  ignore (Cache.find c "k");
+  ignore (Cache.find c "k");
+  ignore (Cache.find c "absent");
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "hits mirrored" 2 snap.Metrics.cache_hits;
+  Alcotest.(check int) "misses mirrored" 1 snap.Metrics.cache_misses
+
+(* ---- server dispatch -------------------------------------------------- *)
+
+let status_of line =
+  match P.parse_response line with
+  | Ok r -> r.P.status
+  | Error msg -> Alcotest.fail msg
+
+let test_ping_stats_shutdown () =
+  let srv = Server.create Server.default_config in
+  let resp, v = Server.handle srv (P.build_request ~id:"p" P.Ping) in
+  Alcotest.(check string) "ping ok" "ok" (status_of resp);
+  Alcotest.(check bool) "ping continues" true (v = `Continue);
+  let resp, _ = Server.handle srv (P.build_request P.Stats) in
+  (match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "stats ok" "ok" r.P.status;
+      (match P.member "result" r.P.body with
+      | Some (P.Obj fields) ->
+          Alcotest.(check bool) "stats has cache" true
+            (List.mem_assoc "cache" fields);
+          Alcotest.(check (option P.(Alcotest.testable (Fmt.of_to_string json_to_string) ( = ))))
+            "requests counted" (Some (P.Int 1))
+            (List.assoc_opt "requests" fields)
+      | _ -> Alcotest.fail "stats result not an object")
+  | Error msg -> Alcotest.fail msg);
+  let resp, v = Server.handle srv (P.build_request ~id:"s" P.Shutdown) in
+  Alcotest.(check string) "shutdown ok" "ok" (status_of resp);
+  Alcotest.(check bool) "shutdown signalled" true (v = `Shutdown)
+
+let test_handle_errors () =
+  let srv = Server.create Server.default_config in
+  let expect_error line =
+    let resp, v = Server.handle srv line in
+    Alcotest.(check string) ("error for " ^ line) "error" (status_of resp);
+    Alcotest.(check bool) "continues" true (v = `Continue)
+  in
+  expect_error "garbage";
+  expect_error {|{"ormcheck":9,"method":"ping"}|};
+  (* check without a schema *)
+  expect_error (P.build_request P.Check);
+  (* schema that does not parse *)
+  expect_error (P.build_request ~schema_text:"this is not orm" P.Check);
+  (* schema that parses but fails validation *)
+  expect_error
+    (P.build_request ~schema_text:"schema s\nfact f (Ghost) reading \"g\"\n"
+       P.Check)
+
+let test_check_verdicts () =
+  let srv = Server.create Server.default_config in
+  let clean = schema_text ~seed:3 () in
+  let resp, _ = Server.handle srv (P.build_request ~schema_text:clean P.Check) in
+  (match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "ok" "ok" r.P.status;
+      Alcotest.(check bool) "not cached" false r.P.cached;
+      Alcotest.(check bool) "clean" true (P.member "clean" r.P.body = Some (P.Bool true))
+  | Error m -> Alcotest.fail m);
+  let broken =
+    Orm_dsl.Printer.to_string
+      (Orm_generator.Faults.inject ~seed:5 1
+         (Gen.clean ~config:(Gen.sized 6) ~seed:3 ()))
+        .schema
+  in
+  let resp, _ = Server.handle srv (P.build_request ~schema_text:broken P.Check) in
+  match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "ok" "ok" r.P.status;
+      Alcotest.(check bool) "unclean" true
+        (P.member "clean" r.P.body = Some (P.Bool false))
+  | Error m -> Alcotest.fail m
+
+(* The acceptance loop: 200 check requests over a handful of distinct
+   schemas against a warm cache must be >= 95% cache hits. *)
+let test_warm_cache_hit_rate () =
+  let m = Metrics.create () in
+  let srv = Server.create ~metrics:m Server.default_config in
+  let schemas = List.init 5 (fun i -> schema_text ~seed:(20 + i) ()) in
+  let requests =
+    List.init 200 (fun i ->
+        P.build_request ~id:(string_of_int i)
+          ~schema_text:(List.nth schemas (i mod 5))
+          P.Check)
+  in
+  List.iter
+    (fun line ->
+      let resp, _ = Server.handle srv line in
+      Alcotest.(check string) "ok" "ok" (status_of resp))
+    requests;
+  Alcotest.(check int) "200 served" 200 (Server.requests_served srv);
+  Alcotest.(check int) "5 distinct entries" 5 (Server.cache_length srv);
+  Alcotest.(check int) "5 misses" 5 (Server.cache_misses srv);
+  Alcotest.(check int) "195 hits" 195 (Server.cache_hits srv);
+  let hit_rate =
+    float_of_int (Server.cache_hits srv)
+    /. float_of_int (Server.cache_hits srv + Server.cache_misses srv)
+  in
+  Alcotest.(check bool) ">= 95% hits" true (hit_rate >= 0.95);
+  (* cached responses carry cached:true and the requester's own id *)
+  let resp, _ =
+    Server.handle srv
+      (P.build_request ~id:"fresh-id" ~schema_text:(List.hd schemas) P.Check)
+  in
+  (match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check bool) "cached flag" true r.P.cached;
+      Alcotest.(check (option string)) "own id" (Some "fresh-id") r.P.resp_id
+  | Error m -> Alcotest.fail m);
+  (* and the telemetry bundle saw every request *)
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "metrics requests" 201 snap.Metrics.requests;
+  Alcotest.(check bool) "latency histogram populated" true
+    (Array.fold_left ( + ) 0 snap.Metrics.request_hist = 201)
+
+(* deadline_ms=1 against a hard tableau problem with an effectively
+   unlimited budget: the deadline, not the budget, must stop the search,
+   and the server answers [timeout] and stays alive. *)
+let test_deadline_timeout () =
+  let m = Metrics.create () in
+  let srv = Server.create ~metrics:m Server.default_config in
+  let hard = schema_text ~seed:7 ~size:40 () in
+  let line =
+    P.build_request ~schema_text:hard ~deadline_ms:1 ~budget:100_000_000
+      ~sat_budget:1_000_000_000 P.Reason
+  in
+  let resp, v = Server.handle srv line in
+  (match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "timeout" "timeout" r.P.status;
+      Alcotest.(check bool) "elapsed reported" true
+        (match P.member "elapsed_ms" r.P.body with
+        | Some (P.Int ms) -> ms >= 0
+        | _ -> false)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "continues" true (v = `Continue);
+  Alcotest.(check int) "timeout counted" 1 (Server.timeouts_total srv);
+  Alcotest.(check int) "metrics timeout" 1 (Metrics.snapshot m).Metrics.timeouts;
+  (* timeouts are not cached: the same schema and budgets resubmitted
+     without a deadline compute (tiny budgets keep this instant — budget
+     exhaustion is an [ok] answer with incomplete verdicts, not a timeout) *)
+  let resp, _ =
+    Server.handle srv
+      (P.build_request ~schema_text:hard ~budget:10 ~sat_budget:100 P.Reason)
+  in
+  match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "recomputed" "ok" r.P.status;
+      Alcotest.(check bool) "not served from cache" false r.P.cached
+  | Error m -> Alcotest.fail m
+
+let test_overloaded () =
+  let m = Metrics.create () in
+  let srv =
+    Server.create ~metrics:m { Server.default_config with max_pending = 2 }
+  in
+  let resp = Server.overloaded srv (P.build_request ~id:"q9" P.Check) in
+  (match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "overloaded" "overloaded" r.P.status;
+      Alcotest.(check (option string)) "id echoed" (Some "q9") r.P.resp_id
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "counted" 1 (Server.overloads_total srv);
+  Alcotest.(check int) "metrics overload" 1
+    (Metrics.snapshot m).Metrics.overloads
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json rejects malformed" `Quick test_json_rejects;
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request envelope" `Quick test_request_envelope;
+    Alcotest.test_case "cache key" `Quick test_cache_key;
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+    Alcotest.test_case "cache capacity 1" `Quick test_cache_capacity_one;
+    Alcotest.test_case "cache mirrors metrics" `Quick test_cache_metrics_mirror;
+    Alcotest.test_case "ping / stats / shutdown" `Quick test_ping_stats_shutdown;
+    Alcotest.test_case "handle never raises" `Quick test_handle_errors;
+    Alcotest.test_case "check verdicts" `Quick test_check_verdicts;
+    Alcotest.test_case "warm cache >= 95% hits" `Quick test_warm_cache_hit_rate;
+    Alcotest.test_case "deadline answers timeout" `Quick test_deadline_timeout;
+    Alcotest.test_case "overload accounting" `Quick test_overloaded;
+  ]
