@@ -63,6 +63,118 @@ let run_scenario ?budget ?sat_budget ~meth ~texts () =
       ("max_ns", string_of_int snap.Metrics.request_max_ns);
     ]
 
+(* Transport pricing: the same warm check mix driven through the network
+   front ends over a loopback socket — NDJSON-over-TCP (one persistent
+   connection) and HTTP/1.1 keep-alive — to be read against the
+   [Server.handle] rows above: the delta is framing plus syscalls.  The
+   serve loop runs on a thread of this process (setting
+   [Server.stop_flag] from another thread is the documented stop path),
+   because by the time this section runs the bechamel/parallel sections
+   have spawned domains and OCaml 5 forbids forking after that.  Prefork
+   sharding (--workers) is deliberately not measured: every worker would
+   share the one core this artifact records in host_cores, so the row
+   would price contention, not sharding — multi-worker behaviour is
+   covered functionally by test/cli_regression.sh and CI. *)
+let run_transport_scenario ~framing ~label ~texts () =
+  let metrics = Metrics.create () in
+  let server = Server.create ~metrics Server.default_config in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let loop =
+    Thread.create
+      (fun () -> Orm_net.Frontend.serve_fd ~server ~framing listen_fd)
+      ()
+  in
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let write_all s =
+    let rec go off =
+      if off < String.length s then
+        go (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    go 0
+  in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let refill () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> failwith "bench server closed the connection"
+    | n -> Buffer.add_subbytes buf chunk 0 n
+  in
+  (* one request in flight at a time, so a complete answer empties the
+     buffer — no consumed-prefix bookkeeping needed *)
+  let await_ndjson_line () =
+    let rec go () =
+      if not (String.contains (Buffer.contents buf) '\n') then begin
+        refill ();
+        go ()
+      end
+    in
+    go ();
+    Buffer.clear buf
+  in
+  let await_http_response () =
+    let rec go () =
+      match Orm_net.Http.parse_response (Buffer.contents buf) with
+      | Ok (Some _) -> Buffer.clear buf
+      | Ok None ->
+          refill ();
+          go ()
+      | Error msg -> failwith ("bench http response: " ^ msg)
+    in
+    go ()
+  in
+  let total = List.length texts in
+  let _, elapsed_ns =
+    Metrics.time (fun () ->
+        List.iteri
+          (fun i text ->
+            match framing with
+            | Orm_net.Listen.Ndjson ->
+                write_all
+                  (P.build_request ~id:(string_of_int i) ~schema_text:text
+                     P.Check
+                  ^ "\n");
+                await_ndjson_line ()
+            | Orm_net.Listen.Http_framing ->
+                let body = P.build_params ~schema_text:text () in
+                write_all
+                  (Printf.sprintf
+                     "POST /v1/check HTTP/1.1\r\nHost: bench\r\n\
+                      Content-Length: %d\r\n\r\n%s"
+                     (String.length body) body);
+                await_http_response ())
+          texts)
+  in
+  Unix.close fd;
+  Atomic.set (Server.stop_flag server) true;
+  Thread.join loop;
+  Unix.close listen_fd;
+  let snap = Metrics.snapshot metrics in
+  let req_per_s =
+    float_of_int total *. 1e9 /. float_of_int (max 1 elapsed_ns)
+  in
+  Bench_util.json_obj
+    [
+      ("transport", Printf.sprintf "%S" label);
+      ("method", "\"check\"");
+      ("requests", string_of_int total);
+      ("cache_hits", string_of_int (Server.cache_hits server));
+      ("cache_misses", string_of_int (Server.cache_misses server));
+      ("elapsed_ns", string_of_int elapsed_ns);
+      ("requests_per_s", Printf.sprintf "%.1f" req_per_s);
+      ("p50_ns", string_of_int (Metrics.request_p50_ns snap));
+      ("p95_ns", string_of_int (Metrics.request_p95_ns snap));
+    ]
+
 let run ?(file = "BENCH_server.json") () =
   let cold_texts = schema_texts ~n:requests ~size:8 in
   let warm_base = schema_texts ~n:distinct ~size:8 in
@@ -75,6 +187,14 @@ let run ?(file = "BENCH_server.json") () =
       run_scenario ~meth:P.Check ~texts:warm_texts ();
       run_scenario ~meth:P.Reason ~budget:2_000 ~sat_budget:200_000
         ~texts:warm_texts ();
+    ]
+  in
+  let transport_rows =
+    [
+      run_transport_scenario ~framing:Orm_net.Listen.Ndjson
+        ~label:"tcp-ndjson" ~texts:warm_texts ();
+      run_transport_scenario ~framing:Orm_net.Listen.Http_framing
+        ~label:"http" ~texts:warm_texts ();
     ]
   in
   let doc =
@@ -91,10 +211,19 @@ let run ?(file = "BENCH_server.json") () =
                p50/p95 from the telemetry request-latency histogram, i.e. \
                what `ormcheck serve --stats` reports" );
           ("scenarios", Bench_util.json_arr rows);
+          ( "transport_note",
+            Printf.sprintf "%S"
+              "transports: the warm check mix over loopback sockets — \
+               tcp-ndjson (persistent NDJSON connection) and http \
+               (HTTP/1.1 keep-alive POST /v1/check); read against the \
+               warm in-process row, the delta prices framing + syscalls. \
+               --workers prefork sharding is not measured: host_cores \
+               records the one core every worker would share" );
+          ("transports", Bench_util.json_arr transport_rows);
         ])
   in
   Bench_util.write_doc ~file doc;
   Printf.printf "\n==== checking service (%d requests, %d distinct warm) ====\n"
     requests distinct;
   Printf.printf "wrote %s\n" file;
-  List.iter (fun row -> Printf.printf "  %s\n" row) rows
+  List.iter (fun row -> Printf.printf "  %s\n" row) (rows @ transport_rows)

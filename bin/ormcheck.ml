@@ -666,20 +666,48 @@ let classify_cmd =
 
 (* ---- serve ----------------------------------------------------------- *)
 
-(* The long-running daemon: newline-delimited JSON over a Unix-domain
-   socket (or stdin/stdout with --stdio), answering check/reason/lint/
-   stats/ping/shutdown with an LRU result cache, per-request deadlines
-   and admission control.  Protocol in docs/SERVER.md. *)
+(* The long-running daemon: the NDJSON protocol over a Unix-domain socket
+   (or stdin/stdout with --stdio), or any of the network transports via
+   --listen unix:PATH|tcp:HOST:PORT|http:HOST:PORT, optionally prefork-
+   sharded across --workers N processes with a shared persistent result
+   store (--disk-cache DIR).  Protocol in docs/SERVER.md. *)
 let serve_cmd =
   let socket =
     Arg.(
       value
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Listen on a Unix-domain socket at $(docv) (an existing file there is replaced; the socket is removed on exit).")
+          ~doc:"Listen on a Unix-domain socket at $(docv) (an existing file there is replaced; the socket is removed on exit).  Shorthand for $(b,--listen) $(b,unix:)$(docv) without worker sharding.")
   in
   let stdio =
     Arg.(value & flag & info [ "stdio" ] ~doc:"Serve one session on stdin/stdout instead of a socket (tests, editor integrations).")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"SPEC"
+          ~doc:"Listen on $(b,unix:PATH), $(b,tcp:HOST:PORT) (both NDJSON framing) or $(b,http:HOST:PORT) (HTTP/1.1: POST /v1/check|batch|reason|lint|stats|ping|shutdown with the request params as the JSON body).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Prefork $(docv) worker processes sharing the $(b,--listen) socket (accept in the child).  Each worker runs the single-threaded loop with its own in-memory cache and metrics; a shared $(b,--disk-cache) makes warm verdicts visible to all of them, and the $(b,stats) method aggregates a cluster view.")
+  in
+  let disk_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "disk-cache" ] ~docv:"DIR"
+          ~doc:"Persistent result store under the in-memory cache: computed verdicts are written to $(docv) (atomic write-rename, content-addressed by schema digest, settings and format version) and survive restarts; all workers share it.")
+  in
+  let disk_cache_mb =
+    Arg.(
+      value
+      & opt int (Orm_server.Disk_cache.default_max_bytes / (1024 * 1024))
+      & info [ "disk-cache-mb" ] ~docv:"MB"
+          ~doc:"Size bound of $(b,--disk-cache); oldest entries are deleted past it.")
   in
   let cache_capacity =
     Arg.(
@@ -698,22 +726,35 @@ let serve_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Default per-request deadline; a request's own $(b,deadline_ms) overrides it.  Omitted means unbounded.")
   in
-  let run socket stdio cache_capacity max_pending deadline_ms jobs stats
-      stats_json trace log_level =
+  let run socket stdio listen workers disk_cache disk_cache_mb cache_capacity
+      max_pending deadline_ms jobs stats stats_json trace log_level =
     apply_log_level log_level;
     let mode =
-      match (socket, stdio) with
-      | Some path, false -> `Socket path
-      | None, true -> `Stdio
-      | Some _, true ->
-          prerr_endline "ormcheck serve: --socket and --stdio are exclusive";
+      match (socket, stdio, listen) with
+      | Some path, false, None -> `Socket path
+      | None, true, None -> `Stdio
+      | None, false, Some spec -> (
+          match Orm_net.Listen.parse spec with
+          | Ok s -> `Listen s
+          | Error msg ->
+              prerr_endline ("ormcheck serve: --listen " ^ spec ^ ": " ^ msg);
+              exit 2)
+      | None, false, None ->
+          prerr_endline
+            "ormcheck serve: need --listen SPEC, --socket PATH or --stdio";
           exit 2
-      | None, false ->
-          prerr_endline "ormcheck serve: need --socket PATH or --stdio";
+      | _ ->
+          prerr_endline
+            "ormcheck serve: --listen, --socket and --stdio are exclusive";
           exit 2
     in
-    let metrics = Some (Metrics.create ()) in
-    let tracer = make_tracer trace in
+    let workers = max 1 workers in
+    (match mode with
+    | `Listen _ -> ()
+    | _ when workers > 1 ->
+        prerr_endline "ormcheck serve: --workers needs --listen";
+        exit 2
+    | _ -> ());
     let config =
       {
         Orm_server.Server.cache_capacity;
@@ -723,16 +764,73 @@ let serve_cmd =
           (match resolve_jobs jobs with Some n when n > 1 -> n | _ -> 1);
       }
     in
-    let server = Orm_server.Server.create ?metrics ?tracer config in
-    Orm_server.Server.serve server mode;
-    emit_stats ~stats ~stats_json metrics;
-    emit_trace trace tracer;
-    exit 0
+    let make_disk_cache metrics =
+      Option.map
+        (fun dir ->
+          Orm_server.Disk_cache.create ?metrics
+            ~max_bytes:(max 1 disk_cache_mb * 1024 * 1024)
+            ~dir ())
+        disk_cache
+    in
+    match mode with
+    | (`Socket _ | `Stdio) as mode ->
+        let metrics = Some (Metrics.create ()) in
+        let tracer = make_tracer trace in
+        let server =
+          Orm_server.Server.create ?metrics ?tracer
+            ?disk_cache:(make_disk_cache metrics) config
+        in
+        Orm_server.Server.serve server mode;
+        emit_stats ~stats ~stats_json metrics;
+        emit_trace trace tracer;
+        exit 0
+    | `Listen spec ->
+        (* Prefork workers each own their metrics; the stats fan-in
+           directory lets any worker answer a cluster-wide [stats].  A
+           trace file cannot be shared across processes, so tracing is
+           single-worker only. *)
+        if workers > 1 && trace <> None then begin
+          prerr_endline "ormcheck serve: --trace is single-worker only";
+          exit 2
+        end;
+        let stats_sink =
+          if workers <= 1 then None
+          else begin
+            let dir =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "ormcheck-stats.%d" (Unix.getpid ()))
+            in
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            Some dir
+          end
+        in
+        let last_metrics = ref None in
+        let last_tracer = ref None in
+        let make_server () =
+          let metrics = Some (Metrics.create ()) in
+          last_metrics := metrics;
+          let tracer = make_tracer trace in
+          last_tracer := tracer;
+          Orm_server.Server.create ?metrics ?tracer
+            ?disk_cache:(make_disk_cache metrics) ?stats_sink config
+        in
+        (match Orm_net.Frontend.run ~workers ~make_server spec with
+        | Ok () -> ()
+        | Error msg ->
+            prerr_endline ("ormcheck serve: " ^ msg);
+            exit 2);
+        if workers <= 1 then begin
+          emit_stats ~stats ~stats_json !last_metrics;
+          emit_trace trace !last_tracer
+        end;
+        exit 0
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the checking service: newline-delimited JSON requests over a Unix-domain socket (or stdin/stdout), with result caching, per-request deadlines and graceful shutdown.")
-    Term.(const run $ socket $ stdio $ cache_capacity $ max_pending $ deadline_ms $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
+       ~doc:"Run the checking service over $(b,--listen) unix:PATH | tcp:HOST:PORT | http:HOST:PORT (or the classic --socket/--stdio): result caching (in-memory LRU plus optional persistent --disk-cache), per-request deadlines, admission control, graceful shutdown, and prefork sharding with --workers.")
+    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ cache_capacity $ max_pending $ deadline_ms $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
 
 (* ---- client ---------------------------------------------------------- *)
 
@@ -742,24 +840,32 @@ let serve_cmd =
 let client_cmd =
   let socket =
     Arg.(
-      required
+      value
       & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the server listens on.")
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket the server listens on (shorthand for $(b,--connect) $(b,unix:)$(docv)).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SPEC"
+          ~doc:"Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT) (NDJSON framing) or $(b,http:HOST:PORT) (the request travels as POST /v1/METHOD).")
   in
   let meth_arg =
     let parse s =
       match Orm_server.Protocol.meth_of_string s with
       | Some m -> Ok m
-      | None -> Error (`Msg (Printf.sprintf "unknown method %S (expected check, reason, lint, stats, ping or shutdown)" s))
+      | None -> Error (`Msg (Printf.sprintf "unknown method %S (expected check, batch, reason, lint, stats, ping or shutdown)" s))
     in
     let print ppf m = Format.pp_print_string ppf (Orm_server.Protocol.meth_to_string m) in
     Arg.(
       required
       & pos 0 (some (conv (parse, print))) None
-      & info [] ~docv:"METHOD" ~doc:"One of $(b,check), $(b,reason), $(b,lint), $(b,stats), $(b,ping), $(b,shutdown).")
+      & info [] ~docv:"METHOD" ~doc:"One of $(b,check), $(b,batch), $(b,reason), $(b,lint), $(b,stats), $(b,ping), $(b,shutdown).")
   in
   let schema_arg =
-    Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Schema file (.orm); required by check/reason/lint.")
+    Arg.(value & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"Schema file(s) (.orm); one required by check/reason/lint, one or more by batch.")
   in
   let id =
     Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
@@ -779,58 +885,102 @@ let client_cmd =
       & opt (some (enum [ ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ])) None
       & info [ "backend" ] ~docv:"B" ~doc:"Complete procedure(s) for reason: $(b,dlr), $(b,sat) or $(b,both).")
   in
-  let run socket meth schema_file settings jobs id deadline_ms budget sat_budget
-      backend log_level =
+  let run socket connect meth schema_files settings jobs id deadline_ms budget
+      sat_budget backend log_level =
     apply_log_level log_level;
     let module P = Orm_server.Protocol in
-    let schema_text =
-      match (meth, schema_file) with
-      | (P.Check | P.Reason | P.Lint), None ->
+    let module Listen = Orm_net.Listen in
+    let spec =
+      match (socket, connect) with
+      | Some path, None -> Listen.Unix_sock path
+      | None, Some s -> (
+          match Listen.parse s with
+          | Ok spec -> spec
+          | Error msg ->
+              prerr_endline ("ormcheck client: --connect " ^ s ^ ": " ^ msg);
+              exit 2)
+      | Some _, Some _ ->
+          prerr_endline "ormcheck client: --socket and --connect are exclusive";
+          exit 2
+      | None, None ->
+          prerr_endline "ormcheck client: need --connect SPEC or --socket PATH";
+          exit 2
+    in
+    let read_file f =
+      match In_channel.with_open_text f In_channel.input_all with
+      | text -> text
+      | exception Sys_error msg ->
+          prerr_endline ("ormcheck client: " ^ msg);
+          exit 2
+    in
+    let schema_text, schema_texts =
+      match (meth, schema_files) with
+      | (P.Check | P.Reason | P.Lint), [ f ] -> (Some (read_file f), None)
+      | (P.Check | P.Reason | P.Lint), _ ->
           prerr_endline
-            (Printf.sprintf "ormcheck client: method %S needs a schema file"
+            (Printf.sprintf
+               "ormcheck client: method %S needs exactly one schema file"
                (P.meth_to_string meth));
           exit 2
-      | (P.Check | P.Reason | P.Lint), Some f -> (
-          match In_channel.with_open_text f In_channel.input_all with
-          | text -> Some text
-          | exception Sys_error msg ->
+      | P.Batch, (_ :: _ as fs) -> (None, Some (List.map read_file fs))
+      | P.Batch, [] ->
+          prerr_endline "ormcheck client: method \"batch\" needs schema files";
+          exit 2
+      | _, _ -> (None, None)
+    in
+    let fd =
+      match Listen.connect spec with
+      | Ok fd -> fd
+      | Error msg ->
+          prerr_endline ("ormcheck client: cannot connect: " ^ msg);
+          exit 2
+    in
+    let write_all out =
+      let rec go off =
+        if off < String.length out then
+          go (off + Unix.write_substring fd out off (String.length out - off))
+      in
+      go 0
+    in
+    let resp =
+      match Listen.framing spec with
+      | Listen.Ndjson ->
+          let line =
+            P.build_request ?id ?schema_text ?schema_texts ~settings
+              ?jobs:(resolve_jobs jobs) ?deadline_ms ?budget ?sat_budget
+              ?backend meth
+          in
+          write_all (line ^ "\n");
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 65536 in
+          let rec read_line () =
+            match String.index_opt (Buffer.contents buf) '\n' with
+            | Some i -> String.sub (Buffer.contents buf) 0 i
+            | None -> (
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 ->
+                    prerr_endline
+                      "ormcheck client: server closed the connection without answering";
+                    exit 2
+                | n ->
+                    Buffer.add_subbytes buf chunk 0 n;
+                    read_line ())
+          in
+          read_line ()
+      | Listen.Http_framing -> (
+          let body =
+            P.build_params ?schema_text ?schema_texts ~settings
+              ?jobs:(resolve_jobs jobs) ?deadline_ms ?budget ?sat_budget
+              ?backend ()
+          in
+          let path = "/v1/" ^ P.meth_to_string meth in
+          write_all (Orm_net.Http.client_request ~path ?id ~body ());
+          match Orm_net.Http.read_response fd with
+          | Ok (_code, body) -> String.trim body
+          | Error msg ->
               prerr_endline ("ormcheck client: " ^ msg);
               exit 2)
-      | _, _ -> None
     in
-    let line =
-      P.build_request ?id ?schema_text ~settings
-        ?jobs:(resolve_jobs jobs) ?deadline_ms ?budget ?sat_budget ?backend meth
-    in
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | () -> ()
-    | exception Unix.Unix_error (e, _, _) ->
-        prerr_endline
-          (Printf.sprintf "ormcheck client: cannot connect to %s: %s" socket
-             (Unix.error_message e));
-        exit 2);
-    let out = line ^ "\n" in
-    let rec write_all off =
-      if off < String.length out then
-        write_all (off + Unix.write_substring fd out off (String.length out - off))
-    in
-    write_all 0;
-    let buf = Buffer.create 4096 in
-    let chunk = Bytes.create 65536 in
-    let rec read_line () =
-      match String.index_opt (Buffer.contents buf) '\n' with
-      | Some i -> String.sub (Buffer.contents buf) 0 i
-      | None -> (
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
-          | 0 ->
-              prerr_endline "ormcheck client: server closed the connection without answering";
-              exit 2
-          | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              read_line ())
-    in
-    let resp = read_line () in
     Unix.close fd;
     print_endline resp;
     match P.parse_response resp with
@@ -849,8 +999,8 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Send one request to a running $(b,ormcheck serve) and print the response line.  Exit: 0 ok (clean), 1 ok with findings, 2 error, 3 timeout, 4 overloaded.")
-    Term.(const run $ socket $ meth_arg $ schema_arg $ settings_term $ jobs_term $ id $ deadline_ms $ budget $ sat_budget $ backend $ log_level_term)
+       ~doc:"Send one request to a running $(b,ormcheck serve) and print the response line.  Works over every transport ($(b,--connect) unix:|tcp:|http:).  Exit: 0 ok (clean), 1 ok with findings, 2 error, 3 timeout, 4 overloaded.")
+    Term.(const run $ socket $ connect $ meth_arg $ schema_arg $ settings_term $ jobs_term $ id $ deadline_ms $ budget $ sat_budget $ backend $ log_level_term)
 
 (* ---- gen ------------------------------------------------------------ *)
 

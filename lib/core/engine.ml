@@ -130,13 +130,33 @@ let assemble ?(settings = Settings.default) ?metrics ?tracer schema diagnostics 
 let enabled_patterns settings =
   List.sort_uniq Int.compare settings.Settings.enabled
 
-let check ?(settings = Settings.default) ?metrics ?tracer schema =
+(* The deadline is polled between pattern runs: a request whose deadline
+   has passed stops burning CPU after the pattern currently running, not
+   after the whole loop.  The report is then partial (possibly empty) —
+   callers that forward deadlines (the checking service) detect the
+   expiry themselves and answer [timeout] instead of trusting it. *)
+let deadline_expired = function
+  | None -> false
+  | Some d -> Metrics.now_ns () > d
+
+let run_enabled ~settings ?tracer ~deadline_ns f =
+  let rec go acc = function
+    | [] -> List.concat (List.rev acc)
+    | n :: rest ->
+        if deadline_expired deadline_ns then begin
+          Option.iter (fun tr -> Trace.instant tr "engine.deadline") tracer;
+          List.concat (List.rev acc)
+        end
+        else go (f n :: acc) rest
+  in
+  go [] (enabled_patterns settings)
+
+let check ?(settings = Settings.default) ?metrics ?tracer ?deadline_ns schema =
   match (metrics, tracer) with
   | None, None ->
       let diagnostics =
-        List.concat_map
-          (fun n -> pattern_check n settings schema)
-          (enabled_patterns settings)
+        run_enabled ~settings ~deadline_ns (fun n ->
+            pattern_check n settings schema)
       in
       assemble ~settings schema diagnostics
   | _ ->
@@ -144,9 +164,8 @@ let check ?(settings = Settings.default) ?metrics ?tracer schema =
       let report, time_ns =
         Metrics.time (fun () ->
             let diagnostics =
-              List.concat_map
-                (fun n -> run_pattern n ~settings ?metrics ?tracer schema)
-                (enabled_patterns settings)
+              run_enabled ~settings ?tracer ~deadline_ns (fun n ->
+                  run_pattern n ~settings ?metrics ?tracer schema)
             in
             assemble ~settings ?metrics ?tracer schema diagnostics)
       in

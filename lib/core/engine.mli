@@ -23,6 +23,7 @@ val check :
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
   ?tracer:Orm_trace.Trace.t ->
+  ?deadline_ns:int64 ->
   Schema.t ->
   report
 (** Runs the enabled patterns (then propagation if
@@ -33,7 +34,13 @@ val check :
     additionally records an [engine.check] span enclosing one
     [pattern.N] span per pattern and an [engine.propagate] span.  The
     report itself is unaffected either way.  With both absent the engine
-    performs no timing and allocates nothing for observability. *)
+    performs no timing and allocates nothing for observability.
+
+    [deadline_ns] is an absolute {!Orm_telemetry.Metrics.now_ns} instant,
+    polled between pattern runs: once it has passed, the remaining
+    patterns are skipped and the report is {e partial} (the checking
+    service detects the expiry and answers [timeout] rather than serving
+    it).  Without a deadline the report is always complete. *)
 
 val assemble :
   ?settings:Settings.t ->

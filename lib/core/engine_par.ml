@@ -120,13 +120,15 @@ let ordered_map ~domains ?tracer f inputs =
       | None -> assert false)
     out
 
-let check_batch ?domains ?settings ?metrics ?tracer schemas =
+let check_batch ?domains ?settings ?metrics ?tracer ?deadline_ns schemas =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let inputs = Array.of_list schemas in
   Option.iter (fun tr -> Trace.begin_span tr "engine.batch") tracer;
   let reports, time_ns =
     Metrics.time (fun () ->
-        ordered_map ~domains ?tracer (Engine.check ?settings ?metrics ?tracer) inputs)
+        ordered_map ~domains ?tracer
+          (Engine.check ?settings ?metrics ?tracer ?deadline_ns)
+          inputs)
   in
   Option.iter
     (fun m ->
@@ -135,14 +137,24 @@ let check_batch ?domains ?settings ?metrics ?tracer schemas =
   Option.iter (fun tr -> Trace.end_span tr "engine.batch") tracer;
   Array.to_list reports
 
-let check ?domains ?settings ?metrics ?tracer schema =
+let check ?domains ?settings ?metrics ?tracer ?deadline_ns schema =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let settings = Option.value ~default:Settings.default settings in
   let patterns = Array.of_list (Engine.enabled_patterns settings) in
+  let expired () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Metrics.now_ns () > d
+  in
   let run () =
     let per_pattern =
       ordered_map ~domains ?tracer
-        (fun n -> Engine.run_pattern n ~settings ?metrics ?tracer schema)
+        (fun n ->
+          (* polled per pattern, exactly like the sequential loop: an
+             expired deadline turns the remaining fan-out items into
+             no-ops instead of letting them finish on other domains *)
+          if expired () then []
+          else Engine.run_pattern n ~settings ?metrics ?tracer schema)
         patterns
     in
     let diagnostics = List.concat (Array.to_list per_pattern) in

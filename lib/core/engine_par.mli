@@ -29,6 +29,7 @@ val check_batch :
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
   ?tracer:Orm_trace.Trace.t ->
+  ?deadline_ns:int64 ->
   Schema.t list ->
   Engine.report list
 (** [check_batch schemas] checks every schema and returns the reports in
@@ -46,19 +47,25 @@ val check_batch :
     own track ([pool.chunk] around every work chunk, the per-schema
     [engine.check] spans inside), while the caller's track carries the
     enclosing [engine.batch] span and one [pool.submit] instant per chunk
-    — opening the trace in Perfetto shows the pool's actual schedule. *)
+    — opening the trace in Perfetto shows the pool's actual schedule.
+
+    [deadline_ns] is forwarded into every {!Engine.check}: once it has
+    passed, not-yet-run patterns (and hence entire remaining schemas)
+    are skipped and the corresponding reports are partial. *)
 
 val check :
   ?domains:int ->
   ?settings:Settings.t ->
   ?metrics:Orm_telemetry.Metrics.t ->
   ?tracer:Orm_trace.Trace.t ->
+  ?deadline_ns:int64 ->
   Schema.t ->
   Engine.report
 (** Fans the enabled patterns of one schema across the pool, then assembles
     exactly as the sequential engine would.  Worth it only when individual
     patterns are expensive (large schemas); for small schemas the pool
-    overhead dominates. *)
+    overhead dominates.  [deadline_ns] is polled per fanned pattern, as in
+    {!Engine.check}. *)
 
 (** The underlying fixed-size domain pool, exposed for reuse by later
     scaling work (sharded stores, concurrent sessions).  Work items are

@@ -1,0 +1,358 @@
+module P = Orm_server.Protocol
+module Server = Orm_server.Server
+module Log = Orm_trace.Log
+
+(* ---- connections ------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  framing : Listen.framing;
+  inbuf : Buffer.t;
+  mutable out : string;  (* bytes accepted but not yet written *)
+  mutable eof : bool;
+  mutable dead : bool;  (* write side failed; drop after cleanup *)
+  mutable close_after : bool;  (* close once [out] drains (HTTP) *)
+}
+
+let make_conn ~framing fd =
+  {
+    fd;
+    framing;
+    inbuf = Buffer.create 4096;
+    out = "";
+    eof = false;
+    dead = false;
+    close_after = false;
+  }
+
+(* One admitted request: the envelope line to dispatch plus how to frame
+   its response.  [http_keep_alive = None] marks an NDJSON request. *)
+type pending_item = {
+  conn : conn;
+  line : string;
+  http_keep_alive : bool option;
+}
+
+let send conn bytes = conn.out <- conn.out ^ bytes
+
+let send_http conn ~keep_alive ~code body =
+  send conn (Http.serialize ~keep_alive ~code body);
+  if not keep_alive then conn.close_after <- true
+
+let flush_conn conn =
+  if conn.out <> "" && not conn.dead then
+    match Unix.write_substring conn.fd conn.out 0 (String.length conn.out) with
+    | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        conn.dead <- true
+
+let close_conn conn =
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* ---- admission --------------------------------------------------------- *)
+
+(* NDJSON framing: split complete lines off the input buffer, admitting
+   each into the bounded queue (or answering [overloaded] on the spot). *)
+let admit_ndjson server pending max_pending conn =
+  let s = Buffer.contents conn.inbuf in
+  let n = String.length s in
+  let consumed = ref 0 in
+  let rec go start =
+    match String.index_from_opt s start '\n' with
+    | None -> ()
+    | Some i ->
+        let line = String.sub s start (i - start) in
+        consumed := i + 1;
+        if String.trim line <> "" then begin
+          if Queue.length pending >= max_pending then
+            send conn (Server.overloaded server line ^ "\n")
+          else Queue.add { conn; line; http_keep_alive = None } pending
+        end;
+        go (i + 1)
+  in
+  go 0;
+  if !consumed > 0 then begin
+    Buffer.clear conn.inbuf;
+    Buffer.add_substring conn.inbuf s !consumed (n - !consumed)
+  end
+
+(* HTTP framing: drain every complete (possibly pipelined) request off
+   the buffer.  Transport-level rejects are answered immediately; a
+   reject that loses framing closes the connection after the flush.
+   Once draining, everything newly parsed is answered 503 — the admitted
+   requests ahead of it still get their real answers. *)
+let admit_http ~max_body ~draining server pending max_pending conn =
+  let progress = ref true in
+  while !progress && not conn.close_after do
+    progress := false;
+    let s = Buffer.contents conn.inbuf in
+    match Http.parse ~max_body s with
+    | Http.Incomplete -> ()
+    | Http.Reject { code; reason; close; consumed } ->
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf s consumed (String.length s - consumed);
+        send_http conn ~keep_alive:(not close) ~code (Http.error_body reason);
+        progress := not close
+    | Http.Request (req, consumed) -> (
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf s consumed (String.length s - consumed);
+        progress := true;
+        if draining () then
+          send_http conn ~keep_alive:false ~code:503
+            (Http.error_body "server is draining")
+        else
+          match Http.envelope_of_request req with
+          | Error (code, reason) ->
+              send_http conn ~keep_alive:req.Http.keep_alive ~code
+                (Http.error_body reason)
+          | Ok line ->
+              if Queue.length pending >= max_pending then
+                let resp = Server.overloaded server line in
+                send_http conn ~keep_alive:req.Http.keep_alive
+                  ~code:(Http.code_of_response resp) resp
+              else
+                Queue.add
+                  { conn; line; http_keep_alive = Some req.Http.keep_alive }
+                  pending)
+  done
+
+let read_conn ~max_body ~draining server pending max_pending conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> conn.eof <- true
+  | n -> (
+      Buffer.add_subbytes conn.inbuf buf 0 n;
+      match conn.framing with
+      | Listen.Ndjson -> admit_ndjson server pending max_pending conn
+      | Listen.Http_framing ->
+          admit_http ~max_body ~draining server pending max_pending conn)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) ->
+      conn.eof <- true;
+      conn.dead <- true
+
+(* ---- the loop ---------------------------------------------------------- *)
+
+(* Bounded drain, as in [Server.serve]: a client that never reads its
+   responses cannot hold shutdown hostage. *)
+let drain_grace_s = 5.0
+
+let serve_fd ?(max_body = Http.default_max_body) ~server ~framing listen_fd =
+  let stop = Server.stop_flag server in
+  let old_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigpipe old_pipe
+  in
+  let max_pending = (Server.config server).Server.max_pending in
+  let conns = ref [] in
+  let pending : pending_item Queue.t = Queue.create () in
+  let draining = ref false in
+  let drain_deadline = ref infinity in
+  let start_drain reason =
+    if not !draining then begin
+      draining := true;
+      drain_deadline := Unix.gettimeofday () +. drain_grace_s;
+      Log.info "net: draining (%s): %d pending request(s)" reason
+        (Queue.length pending)
+    end
+  in
+  let is_draining () = !draining in
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get stop then start_drain "signal";
+    (* answer everything already admitted *)
+    let answered = not (Queue.is_empty pending) in
+    while not (Queue.is_empty pending) do
+      let item = Queue.pop pending in
+      let resp, verdict = Server.handle server item.line in
+      (match item.http_keep_alive with
+      | None -> send item.conn (resp ^ "\n")
+      | Some keep_alive ->
+          send_http item.conn ~keep_alive ~code:(Http.code_of_response resp)
+            resp);
+      if verdict = `Shutdown then start_drain "shutdown request"
+    done;
+    (* keep the stats fan-in fresh for prefork siblings (no-op without a
+       sink); once per processed batch, not per request *)
+    if answered then Server.flush_stats server;
+    List.iter flush_conn !conns;
+    (* reap finished connections *)
+    conns :=
+      List.filter
+        (fun c ->
+          let gone = c.dead || ((c.eof || c.close_after) && c.out = "") in
+          if gone then close_conn c;
+          not gone)
+        !conns;
+    let all_flushed = List.for_all (fun c -> c.out = "" || c.dead) !conns in
+    if !draining && (all_flushed || Unix.gettimeofday () > !drain_deadline)
+    then finished := true
+    else begin
+      (* while draining: no accepts, no NDJSON reads (their queued lines
+         were already admitted), but HTTP conns are still read so late
+         pipelined requests get their 503 instead of a silent close *)
+      let readable c =
+        (not (c.eof || c.dead || c.close_after))
+        && ((not !draining) || c.framing = Listen.Http_framing)
+      in
+      let read_fds =
+        (if !draining then [] else [ listen_fd ])
+        @ List.filter_map
+            (fun c -> if readable c then Some c.fd else None)
+            !conns
+      in
+      let write_fds =
+        List.filter_map
+          (fun c -> if c.out <> "" && not c.dead then Some c.fd else None)
+          !conns
+      in
+      match Unix.select read_fds write_fds [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | ready_r, ready_w, _ ->
+          if (not !draining) && List.mem listen_fd ready_r then begin
+            let rec accept_all () =
+              match Unix.accept listen_fd with
+              | client, _ ->
+                  Unix.set_nonblock client;
+                  conns := make_conn ~framing client :: !conns;
+                  accept_all ()
+              | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+              | exception Unix.Unix_error (EINTR, _, _) -> ()
+            in
+            accept_all ()
+          end;
+          List.iter
+            (fun c ->
+              if List.mem c.fd ready_r then
+                read_conn ~max_body ~draining:is_draining server pending
+                  max_pending c)
+            !conns;
+          List.iter (fun c -> if List.mem c.fd ready_w then flush_conn c) !conns
+    end
+  done;
+  List.iter
+    (fun c ->
+      flush_conn c;
+      close_conn c)
+    !conns;
+  Server.flush_stats server;
+  Log.info "net: worker stopped after %d request(s) (%d timeout(s), %d \
+            overload(s))"
+    (Server.requests_served server)
+    (Server.timeouts_total server)
+    (Server.overloads_total server);
+  restore ()
+
+(* ---- prefork supervisor ------------------------------------------------ *)
+
+(* A deterministic crash-on-first-request bug must terminate the fleet,
+   not respawn forever; the bound is generous enough that sporadic
+   crashes under load still heal. *)
+let max_respawns = 64
+
+let supervise ~spawn ~workers =
+  let children = Hashtbl.create workers in
+  let stopping = ref false in
+  let handle _ = stopping := true in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handle) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handle) in
+  for slot = 0 to workers - 1 do
+    Hashtbl.replace children (spawn slot) slot
+  done;
+  let forwarded = ref false in
+  let forward () =
+    if not !forwarded then begin
+      forwarded := true;
+      Hashtbl.iter
+        (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+        children
+    end
+  in
+  let respawns = ref 0 in
+  while Hashtbl.length children > 0 do
+    if !stopping then forward ();
+    match Unix.waitpid [] (-1) with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (ECHILD, _, _) -> Hashtbl.reset children
+    | pid, status -> (
+        match Hashtbl.find_opt children pid with
+        | None -> ()
+        | Some slot -> (
+            Hashtbl.remove children pid;
+            match status with
+            | _ when !stopping -> ()
+            | Unix.WEXITED 0 ->
+                (* voluntary exit — a shutdown request reached this
+                   worker; drain the rest of the fleet too *)
+                Log.info "net: worker %d shut down; stopping the fleet" pid;
+                stopping := true;
+                forward ()
+            | status ->
+                let signal_name s =
+                  (* OCaml's Sys signal numbers are negative internals *)
+                  if s = Sys.sigkill then "SIGKILL"
+                  else if s = Sys.sigsegv then "SIGSEGV"
+                  else if s = Sys.sigterm then "SIGTERM"
+                  else if s = Sys.sigint then "SIGINT"
+                  else if s = Sys.sigabrt then "SIGABRT"
+                  else Printf.sprintf "signal %d" s
+                in
+                let describe = function
+                  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+                  | Unix.WSIGNALED s ->
+                      Printf.sprintf "killed by %s" (signal_name s)
+                  | Unix.WSTOPPED s ->
+                      Printf.sprintf "stopped by %s" (signal_name s)
+                in
+                if !respawns >= max_respawns then begin
+                  Log.err
+                    "net: worker %d %s; respawn budget exhausted, stopping"
+                    pid (describe status);
+                  stopping := true;
+                  forward ()
+                end
+                else begin
+                  incr respawns;
+                  Log.warn "net: worker %d %s; respawning (%d/%d)" pid
+                    (describe status) !respawns max_respawns;
+                  Hashtbl.replace children (spawn slot) slot
+                end))
+  done;
+  Sys.set_signal Sys.sigterm old_term;
+  Sys.set_signal Sys.sigint old_int
+
+let run ?(workers = 1) ?max_body ~make_server spec =
+  match Listen.bind spec with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+      let framing = Listen.framing spec in
+      Log.info "net: listening on %s (%d worker(s))" (Listen.describe spec)
+        (max 1 workers);
+      if workers <= 1 then
+        serve_fd ?max_body ~server:(make_server ()) ~framing listen_fd
+      else
+        supervise ~workers ~spawn:(fun _slot ->
+            match Unix.fork () with
+            | 0 ->
+                (* the child builds its own server: caches, metrics and
+                   disk-cache handles must not be shared through fork *)
+                (try
+                   serve_fd ?max_body ~server:(make_server ()) ~framing
+                     listen_fd
+                 with exn ->
+                   Log.err "net: worker crashed: %s" (Printexc.to_string exn);
+                   exit 1);
+                exit 0
+            | pid -> pid);
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Listen.cleanup spec;
+      Ok ()

@@ -1,0 +1,57 @@
+(** The network front end: one select loop serving a bound socket with
+    either NDJSON or HTTP/1.1 framing, and a prefork supervisor that
+    shards that loop across worker processes.
+
+    The loop reuses the transport-agnostic pieces of
+    {!Orm_server.Server} — [handle] for dispatch, [overloaded] for
+    admission control, [stop_flag] for drain — so every behaviour the
+    Unix-socket service already has (bounded pending queue, per-request
+    deadlines, graceful drain on SIGINT/SIGTERM or a [shutdown] request)
+    holds identically over TCP and HTTP.  Framing differences live
+    entirely here:
+
+    {ul
+    {- {e NDJSON} connections carry one envelope per line, answered by
+       one response line, exactly like the built-in loop;}
+    {- {e HTTP} connections are parsed by {!Http} (keep-alive,
+       pipelining, [Content-Length]); each request maps to an envelope,
+       each response line is wrapped with the status mapping 200 [ok] /
+       400 [error] / 408 [timeout] / 429 [overloaded], and a draining
+       server answers 503 to requests that arrive after the drain
+       started.  A transport-level violation (oversized body, malformed
+       head) is answered on the spot and, when framing is lost, the
+       connection is closed — other connections keep being served.}} *)
+
+val serve_fd :
+  ?max_body:int ->
+  server:Orm_server.Server.t ->
+  framing:Listen.framing ->
+  Unix.file_descr ->
+  unit
+(** Runs the loop on a listening socket until drained: SIGTERM/SIGINT
+    (handlers installed for the duration), a [shutdown] request, or
+    another thread setting {!Orm_server.Server.stop_flag}.  The caller
+    owns the socket — {!serve_fd} does not close it, so prefork workers
+    can share one bound descriptor. *)
+
+val run :
+  ?workers:int ->
+  ?max_body:int ->
+  make_server:(unit -> Orm_server.Server.t) ->
+  Listen.spec ->
+  (unit, string) result
+(** Binds the spec and serves it.
+
+    [workers <= 1] (default): {!serve_fd} in this process.
+
+    [workers > 1]: prefork sharding — forks [workers] children that each
+    build their own server ([make_server] runs {e in the child}, so
+    caches, metrics and disk-cache handles are per-worker) and accept on
+    the shared socket.  The parent only supervises: SIGTERM/SIGINT fan
+    out to the children (which drain and exit 0), a crashed child is
+    respawned (bounded, so a deterministic crash loop terminates the
+    fleet instead of spinning), and a child exiting 0 voluntarily — a
+    [shutdown] request — drains the whole fleet.  Returns once the
+    socket is closed (and, for [unix:] specs, unlinked).
+
+    [Error] is a bind failure; everything after binding is handled. *)

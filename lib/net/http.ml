@@ -1,0 +1,301 @@
+module P = Orm_server.Protocol
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+  keep_alive : bool;
+}
+
+let default_max_body = 8 * 1024 * 1024
+let max_head = 8 * 1024
+
+type parsed =
+  | Incomplete
+  | Request of request * int
+  | Reject of { code : int; reason : string; close : bool; consumed : int }
+
+(* End of the header block: CRLFCRLF per the RFC, bare LFLF tolerated.
+   Returns (first byte past the blank line). *)
+let head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] <> '\n' then go (i + 1)
+    else if i + 1 < n && s.[i + 1] = '\n' then Some (i + 2)
+    else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then Some (i + 3)
+    else go (i + 1)
+  in
+  go 0
+
+let split_lines head =
+  String.split_on_char '\n' head
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  |> List.filter (fun l -> l <> "")
+
+let parse ?(max_body = default_max_body) s =
+  match head_end s with
+  | None ->
+      if String.length s > max_head then
+        Reject
+          {
+            code = 431;
+            reason = "request header block too large";
+            close = true;
+            consumed = String.length s;
+          }
+      else Incomplete
+  | Some body_start -> (
+      let head = String.sub s 0 body_start in
+      match split_lines head with
+      | [] ->
+          Reject
+            { code = 400; reason = "empty request"; close = true; consumed = body_start }
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth; path; version ]
+            when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." -> (
+              let headers =
+                List.filter_map
+                  (fun line ->
+                    match String.index_opt line ':' with
+                    | None -> None
+                    | Some i ->
+                        Some
+                          ( String.lowercase_ascii (String.sub line 0 i),
+                            String.trim
+                              (String.sub line (i + 1) (String.length line - i - 1)) ))
+                  header_lines
+              in
+              let header name = List.assoc_opt name headers in
+              let keep_alive =
+                match Option.map String.lowercase_ascii (header "connection") with
+                | Some "close" -> false
+                | Some "keep-alive" -> true
+                | _ -> version <> "HTTP/1.0"
+              in
+              if header "transfer-encoding" <> None then
+                Reject
+                  {
+                    code = 501;
+                    reason = "chunked transfer encoding is not supported";
+                    close = true;
+                    consumed = String.length s;
+                  }
+              else
+                match
+                  match header "content-length" with
+                  | None -> Some 0
+                  | Some v -> (
+                      match int_of_string_opt (String.trim v) with
+                      | Some n when n >= 0 -> Some n
+                      | _ -> None)
+                with
+                | None ->
+                    Reject
+                      {
+                        code = 400;
+                        reason = "malformed Content-Length";
+                        close = true;
+                        consumed = String.length s;
+                      }
+                | Some len when len > max_body ->
+                    Reject
+                      {
+                        code = 413;
+                        reason =
+                          Printf.sprintf "request body exceeds %d bytes" max_body;
+                        close = true;
+                        consumed = String.length s;
+                      }
+                | Some len ->
+                    if String.length s - body_start < len then Incomplete
+                    else
+                      Request
+                        ( {
+                            meth;
+                            path;
+                            headers;
+                            body = String.sub s body_start len;
+                            keep_alive;
+                          },
+                          body_start + len ))
+          | [ _; _; _ ] ->
+              Reject
+                {
+                  code = 505;
+                  reason = "only HTTP/1.x is supported";
+                  close = true;
+                  consumed = String.length s;
+                }
+          | _ ->
+              Reject
+                {
+                  code = 400;
+                  reason = "malformed request line";
+                  close = true;
+                  consumed = String.length s;
+                }))
+
+(* ---- envelope mapping -------------------------------------------------- *)
+
+let meth_of_path path =
+  match path with
+  | "/v1/check" -> Some "check"
+  | "/v1/batch" -> Some "batch"
+  | "/v1/reason" -> Some "reason"
+  | "/v1/lint" -> Some "lint"
+  | "/v1/stats" -> Some "stats"
+  | "/v1/ping" -> Some "ping"
+  | "/v1/shutdown" -> Some "shutdown"
+  | _ -> None
+
+let envelope_of_request (r : request) =
+  match meth_of_path r.path with
+  | None -> Error (404, Printf.sprintf "unknown path %S" r.path)
+  | Some meth -> (
+      let verb_ok =
+        match r.meth with
+        | "POST" -> true
+        | "GET" -> meth = "ping" || meth = "stats"
+        | _ -> false
+      in
+      if not verb_ok then
+        Error
+          (405, Printf.sprintf "method %s is not allowed on %s" r.meth r.path)
+      else
+        (* the body must parse as a JSON object before it is spliced in as
+           [params]: anything else could smuggle extra envelope fields *)
+        let params =
+          if String.trim r.body = "" then Ok None
+          else
+            match P.json_of_string r.body with
+            | Ok (P.Obj _ as o) -> Ok (Some o)
+            | Ok _ -> Error "request body must be a JSON object"
+            | Error msg -> Error ("request body is not valid JSON: " ^ msg)
+        in
+        match params with
+        | Error msg -> Error (400, msg)
+        | Ok params ->
+            let id =
+              match List.assoc_opt "x-request-id" r.headers with
+              | Some v when v <> "" -> [ ("id", P.Str v) ]
+              | _ -> []
+            in
+            Ok
+              (P.json_to_string
+                 (P.Obj
+                    ([ ("ormcheck", P.Int P.version) ]
+                    @ id
+                    @ [ ("method", P.Str meth) ]
+                    @
+                    match params with
+                    | Some o -> [ ("params", o) ]
+                    | None -> []))))
+
+let code_of_response line =
+  match P.json_of_string line with
+  | Ok (P.Obj _ as o) -> (
+      match P.member "status" o with
+      | Some (P.Str "ok") -> 200
+      | Some (P.Str "error") -> 400
+      | Some (P.Str "timeout") -> 408
+      | Some (P.Str "overloaded") -> 429
+      | _ -> 500)
+  | _ -> 500
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 505 -> "HTTP Version Not Supported"
+  | _ -> "Internal Server Error"
+
+let serialize ~keep_alive ~code body =
+  let body = body ^ "\n" in
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: \
+     %d\r\nConnection: %s\r\n\r\n%s"
+    code (reason_phrase code) (String.length body)
+    (if keep_alive then "keep-alive" else "close")
+    body
+
+let error_body msg = P.error_response ~id:None msg
+
+(* ---- client ------------------------------------------------------------ *)
+
+let client_request ~path ?id ~body () =
+  let id_header =
+    match id with Some i -> Printf.sprintf "X-Request-Id: %s\r\n" i | None -> ""
+  in
+  Printf.sprintf
+    "POST %s HTTP/1.1\r\nHost: ormcheck\r\nContent-Type: \
+     application/json\r\n%sContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    path id_header (String.length body) body
+
+(* [(code, body)] once the buffer holds a complete response; [None] while
+   it does not.  Requires Content-Length, which {!serialize} always
+   writes. *)
+let parse_response s =
+  match head_end s with
+  | None -> Ok None
+  | Some body_start -> (
+      match split_lines (String.sub s 0 body_start) with
+      | [] -> Error "empty response"
+      | status_line :: header_lines -> (
+          let code =
+            match String.split_on_char ' ' status_line with
+            | version :: code :: _
+              when String.length version >= 7 && String.sub version 0 7 = "HTTP/1."
+              ->
+                int_of_string_opt code
+            | _ -> None
+          in
+          match code with
+          | None -> Error ("malformed status line: " ^ status_line)
+          | Some code -> (
+              let content_length =
+                List.find_map
+                  (fun line ->
+                    match String.index_opt line ':' with
+                    | Some i
+                      when String.lowercase_ascii (String.sub line 0 i)
+                           = "content-length" ->
+                        int_of_string_opt
+                          (String.trim
+                             (String.sub line (i + 1) (String.length line - i - 1)))
+                    | _ -> None)
+                  header_lines
+              in
+              match content_length with
+              | None -> Error "response carries no Content-Length"
+              | Some len ->
+                  if String.length s - body_start < len then Ok None
+                  else Ok (Some (code, String.sub s body_start len)))))
+
+let read_response fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec fill () =
+    match parse_response (Buffer.contents buf) with
+    | Error _ as e -> e
+    | Ok (Some (code, body)) -> Ok (code, body)
+    | Ok None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed before a full response arrived"
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            fill ()
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  fill ()

@@ -1,0 +1,79 @@
+(** Minimal hand-rolled HTTP/1.1 adapter over the NDJSON protocol.
+
+    The service's native wire format is one {!Orm_server.Protocol}
+    envelope per line; this module maps HTTP messages onto exactly those
+    envelopes so the HTTP front end reuses {!Orm_server.Server.handle}
+    unchanged:
+
+    {v
+    POST /v1/check HTTP/1.1          {"ormcheck":1,"method":"check",
+    Content-Length: 27          ->    "params":{"schema":"..."}}
+    {"schema":"..."}
+    v}
+
+    The request body {e is} the envelope's [params] object (validated to
+    be a JSON object before splicing, so a hostile body cannot smuggle
+    extra envelope fields); the response body is the response envelope
+    line verbatim, with the HTTP status derived from its [status] field:
+    [ok] 200, [error] 400, [timeout] 408, [overloaded] 429.  A draining
+    server answers 503.  Methods: [POST /v1/check|batch|reason|lint|
+    stats|ping|shutdown]; [GET] is additionally accepted for [/v1/ping]
+    and [/v1/stats] (probes).  An [X-Request-Id] header becomes the
+    envelope [id].
+
+    Supported framing: [Content-Length] bodies, HTTP/1.1 keep-alive and
+    pipelining, [Connection: close].  Deliberately rejected: chunked
+    transfer encoding (501), bodies over {!default_max_body} (413),
+    heads over 8 KiB (431), non-1.x versions (505). *)
+
+type request = {
+  meth : string;  (** upper-case verb as sent *)
+  path : string;
+  headers : (string * string) list;  (** names lower-cased *)
+  body : string;
+  keep_alive : bool;  (** version default adjusted by [Connection] *)
+}
+
+val default_max_body : int
+(** 8 MiB. *)
+
+type parsed =
+  | Incomplete  (** need more bytes; nothing consumed *)
+  | Request of request * int  (** one full message; [int] bytes consumed *)
+  | Reject of { code : int; reason : string; close : bool; consumed : int }
+      (** an answerable protocol violation; [close] when framing is lost
+          and the connection cannot be reused *)
+
+val parse : ?max_body:int -> string -> parsed
+(** Parses one request from the front of the buffer.  Call repeatedly to
+    drain pipelined requests. *)
+
+val envelope_of_request : request -> (string, int * string) result
+(** The NDJSON envelope line for a parsed request, or [(status, reason)]
+    for routing/body errors (404 unknown path, 405 verb, 400 non-object
+    body). *)
+
+val code_of_response : string -> int
+(** HTTP status for a response envelope line, from its [status] field. *)
+
+val serialize : keep_alive:bool -> code:int -> string -> string
+(** One HTTP/1.1 response carrying [body] (a trailing newline is added
+    and counted) as [application/json] with an exact [Content-Length]. *)
+
+val error_body : string -> string
+(** A response-envelope [error] line for transport-level rejects, so
+    HTTP errors carry the same JSON shape as protocol errors. *)
+
+(** {1 Client side} (the bundled [ormcheck client] and the tests) *)
+
+val client_request : path:string -> ?id:string -> body:string -> unit -> string
+(** A serialized [POST] ([Connection: close]) for [body]. *)
+
+val parse_response : string -> ((int * string) option, string) result
+(** [(status, body)] once the buffer holds one complete response,
+    [None] while it does not (read more) — the incremental core of
+    {!read_response}, exposed for pipelined readers and the tests.
+    Requires [Content-Length] (which {!serialize} always writes). *)
+
+val read_response : Unix.file_descr -> (int * string, string) result
+(** Reads one complete response off a blocking socket: [(status, body)]. *)

@@ -1,0 +1,119 @@
+type spec =
+  | Unix_sock of string
+  | Tcp of string * int
+  | Http of string * int
+
+let usage =
+  "expected unix:PATH, tcp:HOST:PORT or http:HOST:PORT"
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error usage
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" -> if rest = "" then Error usage else Ok (Unix_sock rest)
+      | "tcp" | "http" -> (
+          (* HOST:PORT — split on the last colon so a future bracketed
+             IPv6 host keeps parsing; the port must be all digits *)
+          match String.rindex_opt rest ':' with
+          | None -> Error usage
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p < 65536 && host <> "" ->
+                  Ok (if scheme = "tcp" then Tcp (host, p) else Http (host, p))
+              | _ -> Error usage))
+      | _ -> Error usage)
+
+let describe = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+  | Http (h, p) -> Printf.sprintf "http:%s:%d" h p
+
+type framing = Ndjson | Http_framing
+
+let framing = function
+  | Unix_sock _ | Tcp _ -> Ndjson
+  | Http _ -> Http_framing
+
+let resolve host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | [] -> Error (Printf.sprintf "cannot resolve %s:%d" host port)
+  | ai :: _ -> Ok ai
+
+let with_socket_errors f spec =
+  match f () with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "%s: %s" (describe spec) (Unix.error_message e))
+
+let bind spec =
+  match spec with
+  | Unix_sock path ->
+      with_socket_errors
+        (fun () ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try
+             Unix.bind fd (Unix.ADDR_UNIX path);
+             Unix.listen fd 64;
+             Unix.set_nonblock fd
+           with exn ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise exn);
+          fd)
+        spec
+  | Tcp (host, port) | Http (host, port) -> (
+      match resolve host port with
+      | Error _ as e -> e
+      | Ok ai ->
+          with_socket_errors
+            (fun () ->
+              let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+              (try
+                 Unix.setsockopt fd Unix.SO_REUSEADDR true;
+                 Unix.bind fd ai.Unix.ai_addr;
+                 Unix.listen fd 64;
+                 Unix.set_nonblock fd
+               with exn ->
+                 (try Unix.close fd with Unix.Unix_error _ -> ());
+                 raise exn);
+              fd)
+            spec)
+
+let connect spec =
+  match spec with
+  | Unix_sock path ->
+      with_socket_errors
+        (fun () ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX path)
+           with exn ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise exn);
+          fd)
+        spec
+  | Tcp (host, port) | Http (host, port) -> (
+      match resolve host port with
+      | Error _ as e -> e
+      | Ok ai ->
+          with_socket_errors
+            (fun () ->
+              let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+              (try Unix.connect fd ai.Unix.ai_addr
+               with exn ->
+                 (try Unix.close fd with Unix.Unix_error _ -> ());
+                 raise exn);
+              fd)
+            spec)
+
+let cleanup = function
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ | Http _ -> ()

@@ -1,0 +1,45 @@
+(** Listen/connect address specs of the network front end.
+
+    One textual syntax serves [ormcheck serve --listen] and
+    [ormcheck client --connect]:
+
+    {v
+    unix:PATH        Unix-domain socket, NDJSON framing
+    tcp:HOST:PORT    TCP socket, NDJSON framing
+    http:HOST:PORT   TCP socket, HTTP/1.1 framing (see {!Http})
+    v}
+
+    The spec decides both the address family and the connection framing:
+    [unix:] and [tcp:] speak the newline-delimited {!Orm_server.Protocol}
+    envelopes verbatim, [http:] wraps the same envelopes in HTTP/1.1
+    request/response messages. *)
+
+type spec =
+  | Unix_sock of string  (** [unix:PATH] *)
+  | Tcp of string * int  (** [tcp:HOST:PORT] *)
+  | Http of string * int  (** [http:HOST:PORT] *)
+
+val parse : string -> (spec, string) result
+(** Parses the [--listen]/[--connect] syntax above.  [Error] carries a
+    usage message naming the three accepted forms. *)
+
+val describe : spec -> string
+(** The spec back in its textual syntax (for logs and errors). *)
+
+type framing = Ndjson | Http_framing
+
+val framing : spec -> framing
+
+val bind : spec -> (Unix.file_descr, string) result
+(** Binds and listens (backlog 64), returning a non-blocking listening
+    socket ready for {!Frontend.serve_fd}.  A Unix-domain spec replaces
+    any existing file at its path; TCP/HTTP sockets set [SO_REUSEADDR]
+    and resolve [HOST] via [getaddrinfo] (so [localhost], [0.0.0.0] and
+    names all work).  [Error] carries the failing address and reason. *)
+
+val connect : spec -> (Unix.file_descr, string) result
+(** Client side of {!bind}: a connected (blocking) socket. *)
+
+val cleanup : spec -> unit
+(** Removes the socket file of a [Unix_sock] spec; a no-op otherwise.
+    Call after closing the listening socket. *)

@@ -1,0 +1,130 @@
+module Metrics = Orm_telemetry.Metrics
+module Log = Orm_trace.Log
+
+type t = {
+  dir : string;
+  max_bytes : int;
+  metrics : Metrics.t option;
+  mutable approx_bytes : int;
+      (* running estimate, refreshed by every GC rescan; per-process, so
+         prefork workers sharing one directory drift a little between GCs —
+         harmless, the GC recomputes the truth before deleting anything *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+(* Every entry is one file: <hex digest of key>.json, whose first line is
+   the full key (read back and compared, so a digest collision or a
+   truncated write degrades to a miss, never a wrong answer) and whose
+   remainder is the stored value verbatim. *)
+let path_of t key = Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".json")
+
+let entry_files t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".json")
+      |> List.filter_map (fun n ->
+             let path = Filename.concat t.dir n in
+             match Unix.stat path with
+             | { st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                 Some (path, st_mtime, st_size)
+             | _ | (exception Unix.Unix_error _) -> None)
+
+let scan_bytes t = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 (entry_files t)
+
+let create ?metrics ?(max_bytes = default_max_bytes) ~dir () =
+  if max_bytes < 1 then invalid_arg "Disk_cache.create: max_bytes must be positive";
+  mkdir_p dir;
+  let t = { dir; max_bytes; metrics; approx_bytes = 0; hits = 0; misses = 0 } in
+  t.approx_bytes <- scan_bytes t;
+  t
+
+let dir t = t.dir
+let max_bytes t = t.max_bytes
+let hits t = t.hits
+let misses t = t.misses
+let entries t = List.length (entry_files t)
+let bytes t = scan_bytes t
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+let remove path = try Sys.remove path with Sys_error _ -> ()
+
+let miss t =
+  t.misses <- t.misses + 1;
+  Option.iter (fun m -> Metrics.record_disk_miss m 1) t.metrics;
+  None
+
+let find t key =
+  let path = path_of t key in
+  match read_file path with
+  | None -> miss t
+  | Some content -> (
+      match String.index_opt content '\n' with
+      | None ->
+          (* no key line: a corrupt or foreign file squatting on the slot *)
+          remove path;
+          miss t
+      | Some i ->
+          let stored_key = String.sub content 0 i in
+          if stored_key <> key then miss t
+          else begin
+            (* bump the mtime so the size-bound GC evicts in LRU-ish order *)
+            (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+            t.hits <- t.hits + 1;
+            Option.iter (fun m -> Metrics.record_disk_hit m 1) t.metrics;
+            Some (String.sub content (i + 1) (String.length content - i - 1))
+          end)
+
+(* Rescan, then delete oldest-first down to 90% of the bound, so each GC
+   buys headroom instead of firing on every subsequent write. *)
+let gc t =
+  let files =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) (entry_files t)
+  in
+  let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 files in
+  let target = t.max_bytes * 9 / 10 in
+  let remaining =
+    List.fold_left
+      (fun remaining (path, _, sz) ->
+        if remaining > target then begin
+          remove path;
+          remaining - sz
+        end
+        else remaining)
+      total files
+  in
+  t.approx_bytes <- remaining
+
+let add t key value =
+  let path = path_of t key in
+  (* pid-unique temp name: prefork workers racing on the same key each
+     rename their own complete file into place (last writer wins) *)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  match
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc key;
+        Out_channel.output_char oc '\n';
+        Out_channel.output_string oc value);
+    Unix.rename tmp path
+  with
+  | () ->
+      t.approx_bytes <- t.approx_bytes + String.length key + 1 + String.length value;
+      if t.approx_bytes > t.max_bytes then gc t
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      (* the store is an accelerator: a full disk or unwritable directory
+         must never turn a computed answer into an error *)
+      remove tmp;
+      Log.warn "disk cache: failed to persist entry under %s" t.dir

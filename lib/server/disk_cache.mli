@@ -1,0 +1,58 @@
+(** Persistent content-addressed result store: the disk tier under the
+    checking service's in-memory {!Cache}.
+
+    A warm in-memory LRU dies with the process; the point of this store is
+    that a {e restarted} server still answers a previously-checked schema
+    without recomputing it.  Keys are {!Protocol.cache_key} strings — they
+    already fold in the schema digest, method, settings, budgets, backend
+    and the build's {!Protocol.format_version}, so an entry written by an
+    incompatible binary simply never gets looked up.
+
+    Layout: one regular file per entry, named by the hex digest of the key,
+    holding the full key on the first line (compared on read, so digest
+    collisions and truncated writes degrade to misses) and the serialized
+    response body after it.  Writes go to a pid-unique temp file renamed
+    into place, so concurrent prefork workers sharing one directory never
+    expose a half-written entry.  When the store grows past [max_bytes], a
+    mtime-ordered sweep deletes oldest entries down to 90% of the bound;
+    {!find} bumps the entry's mtime, making the sweep approximately LRU.
+
+    Failures are absorbed: an unreadable, corrupt or foreign file is a miss
+    (corrupt ones are deleted), and a failed write is logged and dropped —
+    the store accelerates the service but can never fail a request. *)
+
+type t
+
+val default_max_bytes : int
+(** 64 MiB. *)
+
+val create :
+  ?metrics:Orm_telemetry.Metrics.t -> ?max_bytes:int -> dir:string -> unit -> t
+(** Opens (creating directories as needed) the store rooted at [dir].
+    [metrics] mirrors the hit/miss counters via
+    {!Orm_telemetry.Metrics.record_disk_hit} / [record_disk_miss].
+    @raise Invalid_argument when [max_bytes < 1]. *)
+
+val find : t -> string -> string option
+(** [find t key] returns the stored value and refreshes the entry's mtime.
+    Counts a hit or a miss either way. *)
+
+val add : t -> string -> string -> unit
+(** [add t key value] persists atomically (write-to-temp, rename), then
+    garbage-collects if the store outgrew [max_bytes].  Never raises. *)
+
+(** {1 Introspection} (the [stats] method and the tests) *)
+
+val dir : t -> string
+val max_bytes : t -> int
+
+val hits : t -> int
+(** Hits served by {e this} handle — per-process, not per-directory. *)
+
+val misses : t -> int
+
+val entries : t -> int
+(** Entries currently on disk (a directory scan). *)
+
+val bytes : t -> int
+(** Bytes currently on disk (a directory scan). *)

@@ -2,6 +2,12 @@ module Settings = Orm_patterns.Settings
 
 let version = 1
 
+(* Bumped whenever the schema format or the meaning of a serialized result
+   changes between binaries.  Folded into every cache key, so a persistent
+   store written by an older build misses cleanly instead of serving a
+   result the current engine would compute differently. *)
+let format_version = 1
+
 (* ---- JSON ------------------------------------------------------------- *)
 
 type json =
@@ -216,10 +222,11 @@ let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 
 (* ---- requests ---------------------------------------------------------- *)
 
-type meth = Check | Reason | Lint | Stats | Ping | Shutdown
+type meth = Check | Batch | Reason | Lint | Stats | Ping | Shutdown
 
 let meth_to_string = function
   | Check -> "check"
+  | Batch -> "batch"
   | Reason -> "reason"
   | Lint -> "lint"
   | Stats -> "stats"
@@ -228,6 +235,7 @@ let meth_to_string = function
 
 let meth_of_string = function
   | "check" -> Some Check
+  | "batch" -> Some Batch
   | "reason" -> Some Reason
   | "lint" -> Some Lint
   | "stats" -> Some Stats
@@ -239,6 +247,7 @@ type request = {
   id : string option;
   meth : meth;
   schema_text : string option;
+  schema_texts : string list option;
   settings : Settings.t;
   jobs : int;
   deadline_ms : int option;
@@ -307,6 +316,18 @@ let parse_request line =
                       | Some _ -> raise (Bad "schema: expected string")
                       | None -> None
                     in
+                    let schema_texts =
+                      match member "schemas" params with
+                      | Some (Arr items) ->
+                          Some
+                            (List.map
+                               (function
+                                 | Str s -> s
+                                 | _ -> raise (Bad "schemas: expected strings"))
+                               items)
+                      | Some _ -> raise (Bad "schemas: expected array")
+                      | None -> None
+                    in
                     let int name default =
                       match member name params with
                       | Some (Int n) -> n
@@ -330,6 +351,7 @@ let parse_request line =
                       id;
                       meth;
                       schema_text;
+                      schema_texts;
                       settings = settings_of_params params;
                       jobs = int "jobs" 1;
                       deadline_ms;
@@ -365,23 +387,38 @@ let settings_params (s : Settings.t) =
   if disabled = [] then []
   else [ ("disable", Arr (List.map (fun n -> Int n) disabled)) ]
 
-let build_request ?id ?schema_text ?settings ?jobs ?deadline_ms ?budget
-    ?sat_budget ?backend meth =
+let params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
+    ?budget ?sat_budget ?backend () =
+  (match schema_text with Some s -> [ ("schema", Str s) ] | None -> [])
+  @ (match schema_texts with
+    | Some texts -> [ ("schemas", Arr (List.map (fun s -> Str s) texts)) ]
+    | None -> [])
+  @ (match settings with Some s -> settings_params s | None -> [])
+  @ (match jobs with Some j when j <> 1 -> [ ("jobs", Int j) ] | _ -> [])
+  @ (match deadline_ms with Some ms -> [ ("deadline_ms", Int ms) ] | None -> [])
+  @ (match budget with
+    | Some b when b <> default_budget -> [ ("budget", Int b) ]
+    | _ -> [])
+  @ (match sat_budget with
+    | Some b when b <> default_sat_budget -> [ ("sat_budget", Int b) ]
+    | _ -> [])
+  @
+  match backend with
+  | Some ((`Dlr | `Sat) as b) -> [ ("backend", Str (backend_to_string b)) ]
+  | _ -> []
+
+let build_params ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
+    ?budget ?sat_budget ?backend () =
+  json_to_string
+    (Obj
+       (params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
+          ?budget ?sat_budget ?backend ()))
+
+let build_request ?id ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
+    ?budget ?sat_budget ?backend meth =
   let params =
-    (match schema_text with Some s -> [ ("schema", Str s) ] | None -> [])
-    @ (match settings with Some s -> settings_params s | None -> [])
-    @ (match jobs with Some j when j <> 1 -> [ ("jobs", Int j) ] | _ -> [])
-    @ (match deadline_ms with Some ms -> [ ("deadline_ms", Int ms) ] | None -> [])
-    @ (match budget with
-      | Some b when b <> default_budget -> [ ("budget", Int b) ]
-      | _ -> [])
-    @ (match sat_budget with
-      | Some b when b <> default_sat_budget -> [ ("sat_budget", Int b) ]
-      | _ -> [])
-    @
-    match backend with
-    | Some ((`Dlr | `Sat) as b) -> [ ("backend", Str (backend_to_string b)) ]
-    | _ -> []
+    params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
+      ?budget ?sat_budget ?backend ()
   in
   json_to_string
     (Obj
@@ -390,18 +427,26 @@ let build_request ?id ?schema_text ?settings ?jobs ?deadline_ms ?budget
        @ [ ("method", Str (meth_to_string meth)) ]
        @ if params = [] then [] else [ ("params", Obj params) ]))
 
-let cache_key req =
+let cache_key_with ~format_version req =
   let s = req.settings in
   let settings_key =
     Printf.sprintf "e%s;pf%b;pr%b;evs%b"
       (String.concat "," (List.map string_of_int (List.sort compare s.Settings.enabled)))
       s.Settings.paper_faithful s.Settings.propagate s.Settings.effective_value_sets
   in
-  let payload = Option.value ~default:"" req.schema_text in
-  Printf.sprintf "%s:%s:%s:b%d:sb%d:%s"
+  (* NUL never appears in schema source, so the joined batch payload cannot
+     collide with a differently-split batch of the same concatenation. *)
+  let payload =
+    match req.schema_texts with
+    | Some texts -> String.concat "\x00" texts
+    | None -> Option.value ~default:"" req.schema_text
+  in
+  Printf.sprintf "v%d:%s:%s:%s:b%d:sb%d:%s" format_version
     (Digest.to_hex (Digest.string payload))
     (meth_to_string req.meth) settings_key req.budget req.sat_budget
     (backend_to_string req.backend)
+
+let cache_key req = cache_key_with ~format_version req
 
 (* ---- responses --------------------------------------------------------- *)
 

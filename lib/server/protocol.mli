@@ -51,7 +51,13 @@ val version : int
 (** Envelope version this build speaks (1).  Requests carrying any other
     version are answered with an [error] response. *)
 
-type meth = Check | Reason | Lint | Stats | Ping | Shutdown
+val format_version : int
+(** Schema-format / result-encoding version of this build, folded into
+    every {!cache_key}.  Bump it whenever the [.orm] format or the meaning
+    of a serialized result changes, so persistent stores written by older
+    builds miss instead of serving stale answers. *)
+
+type meth = Check | Batch | Reason | Lint | Stats | Ping | Shutdown
 
 val meth_to_string : meth -> string
 val meth_of_string : string -> meth option
@@ -60,6 +66,8 @@ type request = {
   id : string option;  (** echoed verbatim in the response *)
   meth : meth;
   schema_text : string option;  (** inline [.orm] source; [check]/[reason]/[lint] *)
+  schema_texts : string list option;
+      (** inline sources of a [batch] request, checked in order *)
   settings : Orm_patterns.Settings.t;
   jobs : int;  (** [> 1] checks on that many domains *)
   deadline_ms : int option;  (** per-request deadline; overrides the server default *)
@@ -76,6 +84,7 @@ val parse_request : string -> (request, string * string option) result
 val build_request :
   ?id:string ->
   ?schema_text:string ->
+  ?schema_texts:string list ->
   ?settings:Orm_patterns.Settings.t ->
   ?jobs:int ->
   ?deadline_ms:int ->
@@ -88,11 +97,32 @@ val build_request :
     numeric fields are emitted only when they differ from the defaults, so
     the common case stays short. *)
 
+val build_params :
+  ?schema_text:string ->
+  ?schema_texts:string list ->
+  ?settings:Orm_patterns.Settings.t ->
+  ?jobs:int ->
+  ?deadline_ms:int ->
+  ?budget:int ->
+  ?sat_budget:int ->
+  ?backend:[ `Dlr | `Sat | `Both ] ->
+  unit ->
+  string
+(** Just the [params] object of {!build_request}, serialized — the HTTP
+    transport carries it as the request body ([POST /v1/<method>]) and
+    rebuilds the envelope server-side, so both transports share one
+    params encoding. *)
+
 val cache_key : request -> string
-(** Content-addressed cache key: digest of the schema text plus every
+(** Content-addressed cache key: the build's {!format_version} plus a
+    digest of the schema text (or the NUL-joined batch texts) plus every
     request field that can change the answer (method, settings, budgets,
     backend) — and {e not} [id], [jobs] or [deadline_ms], which cannot.
     Meaningless (but stable) for requests without a schema. *)
+
+val cache_key_with : format_version:int -> request -> string
+(** {!cache_key} under an explicit format version — exposed so tests can
+    prove that a version bump misses the cache. *)
 
 (** {1 Responses} *)
 

@@ -23,6 +23,8 @@ let default_config =
 type t = {
   config : config;
   cache : (string * P.json) list Cache.t;
+  disk : Disk_cache.t option;  (* persistent tier under the LRU *)
+  stats_sink : string option;  (* dir of per-worker metrics snapshots *)
   metrics : Metrics.t option;
   tracer : Trace.t option;
   started_ns : int64;
@@ -32,10 +34,12 @@ type t = {
   stop : bool Atomic.t;  (* set from signal handlers; polled by the loop *)
 }
 
-let create ?metrics ?tracer config =
+let create ?metrics ?tracer ?disk_cache ?stats_sink config =
   {
     config;
     cache = Cache.create ?metrics ~capacity:config.cache_capacity ();
+    disk = disk_cache;
+    stats_sink;
     metrics;
     tracer;
     started_ns = Metrics.now_ns ();
@@ -45,12 +49,33 @@ let create ?metrics ?tracer config =
     stop = Atomic.make false;
   }
 
+let config t = t.config
 let requests_served t = t.served
 let timeouts_total t = t.timeouts
 let overloads_total t = t.overloads
 let cache_length t = Cache.length t.cache
 let cache_hits t = Cache.hits t.cache
 let cache_misses t = Cache.misses t.cache
+let disk_hits t = match t.disk with Some d -> Disk_cache.hits d | None -> 0
+let disk_misses t = match t.disk with Some d -> Disk_cache.misses d | None -> 0
+let stop_flag t = t.stop
+
+(* Each worker of a sharded server periodically drops its own metrics
+   snapshot into the sink directory (atomically: temp + rename, keyed by
+   pid); the [stats] method then aggregates every file it finds there, so
+   any one worker can answer for the whole fleet.  Files of dead workers
+   persist deliberately — their counters stay part of the cluster total. *)
+let flush_stats t =
+  match (t.stats_sink, t.metrics) with
+  | Some dir, Some m -> (
+      let path = Filename.concat dir (string_of_int (Unix.getpid ()) ^ ".json") in
+      let tmp = path ^ ".tmp" in
+      try
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (Metrics.to_json (Metrics.snapshot m)));
+        Unix.rename tmp path
+      with Sys_error _ | Unix.Unix_error _ -> ())
+  | _ -> ()
 
 let instant t name = Option.iter (fun tr -> Trace.instant tr name) t.tracer
 
@@ -68,25 +93,41 @@ let load_schema text =
                (Format.pp_print_list Orm.Schema.pp_error)
                errs))
 
-let run_engine t (req : P.request) schema =
-  let jobs = if req.jobs > 1 then req.jobs else t.config.default_jobs in
+let effective_jobs t (req : P.request) =
+  if req.jobs > 1 then req.jobs else t.config.default_jobs
+
+let run_engine t (req : P.request) ~deadline_ns schema =
+  let jobs = effective_jobs t req in
   if jobs > 1 then
     Engine_par.check ~domains:jobs ~settings:req.settings ?metrics:t.metrics
-      ?tracer:t.tracer schema
+      ?tracer:t.tracer ?deadline_ns schema
   else
     Engine.check ~settings:req.settings ?metrics:t.metrics ?tracer:t.tracer
-      schema
+      ?deadline_ns schema
 
-let check_body t req schema =
-  let report = run_engine t req schema in
+let report_fields report =
   [
     ("clean", P.Bool (report.Engine.diagnostics = []));
     ("diagnostics", P.Int (List.length report.Engine.diagnostics));
     ("report", P.Raw (Orm_export.Json.of_report report));
   ]
 
+let check_body t req ~deadline_ns schema =
+  report_fields (run_engine t req ~deadline_ns schema)
+
+let batch_body t (req : P.request) ~deadline_ns schemas =
+  let reports =
+    Engine_par.check_batch ~domains:(effective_jobs t req)
+      ~settings:req.settings ?metrics:t.metrics ?tracer:t.tracer ?deadline_ns
+      schemas
+  in
+  [
+    ("clean", P.Bool (List.for_all (fun r -> r.Engine.diagnostics = []) reports));
+    ("results", P.Arr (List.map (fun r -> P.Obj (report_fields r)) reports));
+  ]
+
 let reason_body t (req : P.request) schema ~deadline_ns =
-  let report = run_engine t req schema in
+  let report = run_engine t req ~deadline_ns schema in
   let dlr =
     if req.backend = `Sat then []
     else begin
@@ -212,12 +253,64 @@ let stats_body t =
           ] );
     ]
   in
+  let disk =
+    match t.disk with
+    | None -> []
+    | Some d ->
+        [
+          ( "disk_cache",
+            P.Obj
+              [
+                ("dir", P.Str (Disk_cache.dir d));
+                ("entries", P.Int (Disk_cache.entries d));
+                ("bytes", P.Int (Disk_cache.bytes d));
+                ("max_bytes", P.Int (Disk_cache.max_bytes d));
+                ("hits", P.Int (Disk_cache.hits d));
+                ("misses", P.Int (Disk_cache.misses d));
+              ] );
+        ]
+  in
+  let cluster =
+    match t.stats_sink with
+    | None -> []
+    | Some dir -> (
+        (* make sure this worker's own counters are part of the answer *)
+        flush_stats t;
+        match Sys.readdir dir with
+        | exception Sys_error _ -> []
+        | names ->
+            let snaps =
+              Array.to_list names
+              |> List.filter (fun n -> Filename.check_suffix n ".json")
+              |> List.filter_map (fun n ->
+                     match
+                       In_channel.with_open_bin (Filename.concat dir n)
+                         In_channel.input_all
+                     with
+                     | exception Sys_error _ -> None
+                     | content -> (
+                         match Metrics.of_json content with
+                         | Ok snap -> Some snap
+                         | Error _ -> None))
+            in
+            [
+              ( "cluster",
+                P.Obj
+                  [
+                    ("workers", P.Int (List.length snaps));
+                    ( "metrics",
+                      P.Raw
+                        (Metrics.to_json
+                           (List.fold_left Metrics.add Metrics.zero snaps)) );
+                  ] );
+            ])
+  in
   let metrics =
     match t.metrics with
     | None -> []
     | Some m -> [ ("metrics", P.Raw (Metrics.to_json (Metrics.snapshot m))) ]
   in
-  [ ("result", P.Obj (counters @ metrics)) ]
+  [ ("result", P.Obj (counters @ disk @ cluster @ metrics)) ]
 
 (* A request that carries a schema is answered from the cache when the
    same schema text has already been checked under the same settings;
@@ -249,11 +342,54 @@ let dispatch t (req : P.request) =
     instant t "server.timeout";
     (P.timeout_response ~id:req.id ~elapsed_ms:(elapsed_ms ()), `Continue)
   in
-  (* The cache is consulted on the schema text's digest BEFORE the text is
-     parsed: a warm request pays hash-plus-lookup only, which is the whole
-     point of content addressing.  Safe because only [ok] results are ever
-     cached — a hit proves this exact text parsed, validated and computed
-     cleanly before. *)
+  (* The caches are consulted on the schema text's digest BEFORE the text
+     is parsed: a warm request pays hash-plus-lookup only, which is the
+     whole point of content addressing.  Safe because only [ok] results are
+     ever cached — a hit proves this exact text parsed, validated and
+     computed cleanly before.  Tiering: in-memory LRU first, then the
+     persistent store; a disk hit is promoted into the LRU, a computed
+     result is written to both. *)
+  let disk_find key =
+    match t.disk with
+    | None -> None
+    | Some d -> (
+        match Disk_cache.find d key with
+        | None -> None
+        | Some serialized -> (
+            (* the value is the response body re-parsed; anything that does
+               not round-trip is a corrupt entry and counts as a miss *)
+            match P.json_of_string serialized with
+            | Ok (P.Obj body) -> Some body
+            | Ok _ | Error _ -> None))
+  in
+  let disk_add key body =
+    Option.iter
+      (fun d -> Disk_cache.add d key (P.json_to_string (P.Obj body)))
+      t.disk
+  in
+  let cached_or_compute key compute =
+    match Cache.find t.cache key with
+    | Some body ->
+        instant t "server.cache_hit";
+        (P.ok_response ~id:req.id ~cached:true body, `Continue)
+    | None -> (
+        match disk_find key with
+        | Some body ->
+            instant t "server.disk_hit";
+            Cache.add t.cache key body;
+            (P.ok_response ~id:req.id ~cached:true body, `Continue)
+        | None -> (
+            instant t "server.cache_miss";
+            match compute () with
+            | Error msg -> (P.error_response ~id:req.id msg, `Continue)
+            | Ok body ->
+                if expired () then timeout ()
+                else begin
+                  Cache.add t.cache key body;
+                  disk_add key body;
+                  (P.ok_response ~id:req.id ~cached:false body, `Continue)
+                end))
+  in
   let with_schema k =
     match req.schema_text with
     | None ->
@@ -261,23 +397,30 @@ let dispatch t (req : P.request) =
             (Printf.sprintf "method %S requires params.schema"
                (P.meth_to_string req.meth)),
           `Continue )
-    | Some text -> (
-        let key = P.cache_key req in
-        match Cache.find t.cache key with
-        | Some body ->
-            instant t "server.cache_hit";
-            (P.ok_response ~id:req.id ~cached:true body, `Continue)
-        | None -> (
-            instant t "server.cache_miss";
-            match load_schema text with
-            | Error msg -> (P.error_response ~id:req.id msg, `Continue)
-            | Ok schema ->
-                let body = k schema in
-                if expired () then timeout ()
-                else begin
-                  Cache.add t.cache key body;
-                  (P.ok_response ~id:req.id ~cached:false body, `Continue)
-                end))
+    | Some text ->
+        cached_or_compute (P.cache_key req) (fun () ->
+            Result.map k (load_schema text))
+  in
+  let with_schemas k =
+    match req.schema_texts with
+    | None | Some [] ->
+        ( P.error_response ~id:req.id
+            "method \"batch\" requires a non-empty params.schemas array",
+          `Continue )
+    | Some texts ->
+        cached_or_compute (P.cache_key req) (fun () ->
+            (* all schemas must load: the response is per-schema results in
+               input order, so a single bad schema fails the whole batch
+               with its position rather than shifting everyone's indices *)
+            let rec load i = function
+              | [] -> Ok []
+              | text :: rest -> (
+                  match load_schema text with
+                  | Error msg -> Error (Printf.sprintf "schemas[%d]: %s" i msg)
+                  | Ok schema ->
+                      Result.map (fun tl -> schema :: tl) (load (i + 1) rest))
+            in
+            Result.map k (load 0 texts))
   in
   match req.meth with
   | P.Ping -> (P.ok_response ~id:req.id ~cached:false [ ("result", P.Str "pong") ], `Continue)
@@ -285,7 +428,8 @@ let dispatch t (req : P.request) =
   | P.Shutdown ->
       ( P.ok_response ~id:req.id ~cached:false [ ("result", P.Str "draining") ],
         `Shutdown )
-  | P.Check -> with_schema (check_body t req)
+  | P.Check -> with_schema (check_body t req ~deadline_ns)
+  | P.Batch -> with_schemas (batch_body t req ~deadline_ns)
   | P.Lint -> with_schema lint_body
   | P.Reason -> with_schema (reason_body t req ~deadline_ns)
 

@@ -11,8 +11,12 @@
     One server owns:
     {ul
     {- a {!Cache} of finished results keyed by {!Protocol.cache_key}
-       (schema digest + settings), hit/miss counters mirrored into the
-       attached {!Orm_telemetry.Metrics};}
+       (format version + schema digest + settings), hit/miss counters
+       mirrored into the attached {!Orm_telemetry.Metrics};}
+    {- optionally a persistent {!Disk_cache} tier under the LRU: a miss
+       falls through to disk before computing, a disk hit is promoted into
+       the LRU, a computed [ok] result is written to both — so a restarted
+       server still answers previously-checked schemas without recomputing;}
     {- per-request deadlines ([deadline_ms] in the request, else the
        configured default) forwarded to the DLR tableau and DPLL backends,
        which abandon the search cleanly and let the server answer
@@ -43,14 +47,30 @@ val default_config : config
 type t
 
 val create :
-  ?metrics:Orm_telemetry.Metrics.t -> ?tracer:Orm_trace.Trace.t -> config -> t
+  ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
+  ?disk_cache:Disk_cache.t ->
+  ?stats_sink:string ->
+  config ->
+  t
 (** A fresh server.  [metrics] receives one [record_request] per answered
     request (with latency histogram), [record_timeout] / [record_overload]
     per abandoned or rejected one, and the cache's hit/miss counters.
     [tracer] records a [server.request] span per request with a
     [server.<method>] span nested inside, plus [server.cache_hit] /
-    [server.cache_miss] / [server.timeout] / [server.overloaded] instants —
-    a server trace profiles with [ormcheck profile] like any other. *)
+    [server.disk_hit] / [server.cache_miss] / [server.timeout] /
+    [server.overloaded] instants — a server trace profiles with
+    [ormcheck profile] like any other.
+
+    [disk_cache] adds the persistent tier under the in-memory LRU.
+    [stats_sink] names the directory where {!flush_stats} drops this
+    process's metrics snapshot and where the [stats] method aggregates a
+    [cluster] view over every worker's snapshot (prefork sharding). *)
+
+val config : t -> config
+(** The configuration the server was created with — the network front
+    end reads [max_pending] to run the same admission control as the
+    built-in loop. *)
 
 val handle : t -> string -> string * [ `Continue | `Shutdown ]
 (** [handle t line] answers one request line with one response line
@@ -72,6 +92,17 @@ val serve : t -> [ `Socket of string | `Stdio ] -> unit
     at [path] (an existing file there is replaced) and removes it on the
     way out. *)
 
+val flush_stats : t -> unit
+(** Writes this process's metrics snapshot into the [stats_sink] directory
+    (atomically, keyed by pid); a no-op without a sink or metrics.  The
+    network front end calls it periodically and on drain so the [stats]
+    method's [cluster] aggregate stays fresh across prefork workers. *)
+
+val stop_flag : t -> bool Atomic.t
+(** The flag {!serve} polls: setting it from a signal handler (or another
+    transport loop) starts the drain.  Exposed for the network front end,
+    which owns its own signal handling. *)
+
 (** {1 Introspection} (the [stats] method and the tests) *)
 
 val requests_served : t -> int
@@ -80,3 +111,8 @@ val overloads_total : t -> int
 val cache_length : t -> int
 val cache_hits : t -> int
 val cache_misses : t -> int
+
+val disk_hits : t -> int
+(** Hits served by the persistent tier; 0 when the server has none. *)
+
+val disk_misses : t -> int

@@ -43,6 +43,8 @@ type t = {
   propagation_derived : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
+  disk_hits : int Atomic.t;
+  disk_misses : int Atomic.t;
   batches : int Atomic.t;
   batch_schemas : int Atomic.t;
   batch_domains : int Atomic.t;
@@ -75,6 +77,8 @@ let create () =
     propagation_derived = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    disk_misses = Atomic.make 0;
     batches = Atomic.make 0;
     batch_schemas = Atomic.make 0;
     batch_domains = Atomic.make 0;
@@ -98,7 +102,8 @@ let reset t =
   List.iter zero
     [
       t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
-      t.propagation_derived; t.cache_hits; t.cache_misses; t.batches;
+      t.propagation_derived; t.cache_hits; t.cache_misses; t.disk_hits;
+      t.disk_misses; t.batches;
       t.batch_schemas; t.batch_domains; t.batch_time_ns; t.requests;
       t.request_time_ns; t.request_max_ns; t.timeouts; t.overloads;
     ]
@@ -128,6 +133,8 @@ let record_propagation t ~time_ns ~derived =
 
 let record_cache_hit t n = bump t.cache_hits n
 let record_cache_miss t n = bump t.cache_misses n
+let record_disk_hit t n = bump t.disk_hits n
+let record_disk_miss t n = bump t.disk_misses n
 
 let record_batch t ~schemas ~domains ~time_ns =
   bump t.batches 1;
@@ -193,6 +200,8 @@ type snapshot = {
   propagation_derived : int;
   cache_hits : int;
   cache_misses : int;
+  disk_hits : int;
+  disk_misses : int;
   batches : int;
   batch_schemas : int;
   batch_domains : int;
@@ -233,6 +242,8 @@ let snapshot t =
     propagation_derived = Atomic.get t.propagation_derived;
     cache_hits = Atomic.get t.cache_hits;
     cache_misses = Atomic.get t.cache_misses;
+    disk_hits = Atomic.get t.disk_hits;
+    disk_misses = Atomic.get t.disk_misses;
     batches = Atomic.get t.batches;
     batch_schemas = Atomic.get t.batch_schemas;
     batch_domains = Atomic.get t.batch_domains;
@@ -255,6 +266,8 @@ let zero =
     propagation_derived = 0;
     cache_hits = 0;
     cache_misses = 0;
+    disk_hits = 0;
+    disk_misses = 0;
     batches = 0;
     batch_schemas = 0;
     batch_domains = 0;
@@ -308,6 +321,8 @@ let add a b =
     propagation_derived = a.propagation_derived + b.propagation_derived;
     cache_hits = a.cache_hits + b.cache_hits;
     cache_misses = a.cache_misses + b.cache_misses;
+    disk_hits = a.disk_hits + b.disk_hits;
+    disk_misses = a.disk_misses + b.disk_misses;
     batches = a.batches + b.batches;
     batch_schemas = a.batch_schemas + b.batch_schemas;
     batch_domains = (if b.batches > 0 then b.batch_domains else a.batch_domains);
@@ -359,6 +374,9 @@ let pp ppf s =
   if s.cache_hits + s.cache_misses > 0 then
     Format.fprintf ppf "session cache: %d hit(s), %d miss(es)@," s.cache_hits
       s.cache_misses;
+  if s.disk_hits + s.disk_misses > 0 then
+    Format.fprintf ppf "disk cache: %d hit(s), %d miss(es)@," s.disk_hits
+      s.disk_misses;
   if s.batches > 0 then begin
     Format.fprintf ppf "batches: %d (%d schema(s), %d domain(s), " s.batches
       s.batch_schemas s.batch_domains;
@@ -392,6 +410,8 @@ let to_json s =
   field false "propagation_derived" (string_of_int s.propagation_derived);
   field false "cache_hits" (string_of_int s.cache_hits);
   field false "cache_misses" (string_of_int s.cache_misses);
+  field false "disk_hits" (string_of_int s.disk_hits);
+  field false "disk_misses" (string_of_int s.disk_misses);
   field false "batches" (string_of_int s.batches);
   field false "batch_schemas" (string_of_int s.batch_schemas);
   field false "batch_domains" (string_of_int s.batch_domains);
@@ -619,6 +639,10 @@ let of_json src =
             propagation_derived = int "propagation_derived" 0;
             cache_hits = int "cache_hits" 0;
             cache_misses = int "cache_misses" 0;
+            (* the disk-tier counters arrived with the persistent store;
+               snapshots written before it parse as zero *)
+            disk_hits = int "disk_hits" 0;
+            disk_misses = int "disk_misses" 0;
             batches = int "batches" 0;
             batch_schemas = int "batch_schemas" 0;
             batch_domains = int "batch_domains" 0;

@@ -50,6 +50,13 @@ val record_cache_hit : t -> int -> unit
 val record_cache_miss : t -> int -> unit
 (** [n] pattern results the session had to recompute. *)
 
+val record_disk_hit : t -> int -> unit
+(** [n] results the checking service found in the persistent on-disk
+    store (after missing the in-memory LRU). *)
+
+val record_disk_miss : t -> int -> unit
+(** [n] results absent from the on-disk store too — fully computed. *)
+
 val record_batch : t -> schemas:int -> domains:int -> time_ns:int -> unit
 (** One parallel batch: [schemas] checked on [domains] domains in
     [time_ns] wall nanoseconds. *)
@@ -100,6 +107,10 @@ type snapshot = {
   propagation_derived : int;
   cache_hits : int;
   cache_misses : int;
+  disk_hits : int;
+      (** results served from the persistent on-disk store; 0 on snapshots
+          written before the disk tier existed *)
+  disk_misses : int;
   batches : int;
   batch_schemas : int;
   batch_domains : int;  (** domains of the most recent batch *)

@@ -195,4 +195,150 @@ wait "$server_pid"
 wait "$load_pid" 2>/dev/null
 rm -rf "$server_dir"
 
+# ---- network transports -------------------------------------------------
+# The TCP (NDJSON) and HTTP front ends must answer the same client requests
+# with the same exit codes as the Unix socket; the HTTP server must also
+# answer plain pipelined POSTs written by hand.
+net_dir=$(mktemp -d)
+port=$((21000 + $$ % 20000))
+
+"$ORMCHECK" serve --listen "tcp:127.0.0.1:$port" --log-level off &
+server_pid=$!
+i=0
+until "$ORMCHECK" client --connect "tcp:127.0.0.1:$port" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "tcp serve never answered ping"
+    sleep 0.1
+done
+"$ORMCHECK" client --connect "tcp:127.0.0.1:$port" check "$sat_schema" >/dev/null 2>&1
+[ "$?" -eq 0 ] || fail "tcp check on $sat_schema did not exit 0"
+"$ORMCHECK" client --connect "tcp:127.0.0.1:$port" check "$unsat_schema" >/dev/null 2>&1
+[ "$?" -eq 1 ] || fail "tcp check on $unsat_schema did not exit 1"
+# the batch verdict aggregates per-schema clean, so the client's exit
+# must match the worst per-file status the offline runs established
+batch_out=$("$ORMCHECK" client --connect "tcp:127.0.0.1:$port" batch $schemas 2>/dev/null)
+net_batch_status=$?
+[ "$net_batch_status" -eq "$worst" ] ||
+    fail "tcp batch exited $net_batch_status but worst per-file status is $worst"
+case "$batch_out" in
+    *'"results":'*) : ;;
+    *) fail "tcp batch returned no results array" ;;
+esac
+kill -TERM "$server_pid"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "tcp serve did not exit 0 on SIGTERM"
+
+port=$((port + 1))
+"$ORMCHECK" serve --listen "http:127.0.0.1:$port" --log-level off &
+server_pid=$!
+i=0
+until "$ORMCHECK" client --connect "http:127.0.0.1:$port" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "http serve never answered ping"
+    sleep 0.1
+done
+"$ORMCHECK" client --connect "http:127.0.0.1:$port" check "$sat_schema" >/dev/null 2>&1
+[ "$?" -eq 0 ] || fail "http check on $sat_schema did not exit 0"
+"$ORMCHECK" client --connect "http:127.0.0.1:$port" check "$unsat_schema" >/dev/null 2>&1
+[ "$?" -eq 1 ] || fail "http check on $unsat_schema did not exit 1"
+batch_out=$("$ORMCHECK" client --connect "http:127.0.0.1:$port" batch $schemas 2>/dev/null)
+net_batch_status=$?
+[ "$net_batch_status" -eq "$worst" ] ||
+    fail "http batch exited $net_batch_status but worst per-file status is $worst"
+case "$batch_out" in
+    *'"results":'*) : ;;
+    *) fail "http batch returned no results array" ;;
+esac
+# curl, when the environment has one, exercises the raw HTTP surface too
+if command -v curl >/dev/null 2>&1; then
+    http_out=$(curl -fsS "http://127.0.0.1:$port/v1/ping" 2>/dev/null) ||
+        fail "curl GET /v1/ping failed"
+    case "$http_out" in
+        *pong*) : ;;
+        *) fail "curl ping returned no pong: $http_out" ;;
+    esac
+    http_code=$(curl -s -o /dev/null -w '%{http_code}' \
+        "http://127.0.0.1:$port/v1/nonsense" 2>/dev/null)
+    [ "$http_code" = "404" ] || fail "unknown path answered $http_code, not 404"
+fi
+kill -TERM "$server_pid"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "http serve did not exit 0 on SIGTERM"
+
+# ---- prefork sharding ----------------------------------------------------
+# --workers 2: both workers accept on the shared socket, the stats method
+# aggregates a cluster view, and SIGTERM drains the whole fleet to exit 0.
+port=$((port + 1))
+"$ORMCHECK" serve --listen "http:127.0.0.1:$port" --workers 2 --log-level off &
+server_pid=$!
+i=0
+until "$ORMCHECK" client --connect "http:127.0.0.1:$port" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "prefork serve never answered ping"
+    sleep 0.1
+done
+for _ in 1 2 3 4 5 6; do
+    "$ORMCHECK" client --connect "http:127.0.0.1:$port" check "$sat_schema" >/dev/null 2>&1
+    [ "$?" -eq 0 ] || fail "prefork check did not exit 0"
+done
+stats_out=$("$ORMCHECK" client --connect "http:127.0.0.1:$port" stats 2>/dev/null) ||
+    fail "prefork stats failed"
+case "$stats_out" in
+    *'"cluster"'*) : ;;
+    *) fail "prefork stats carry no cluster aggregate: $stats_out" ;;
+esac
+kill -TERM "$server_pid"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "prefork serve did not exit 0 on SIGTERM"
+
+# ---- persistent disk cache across a restart ------------------------------
+# A verdict computed before shutdown must be answered (identically, and
+# visibly from the disk tier) by a freshly-started server over the same
+# --disk-cache directory.
+port=$((port + 1))
+store="$net_dir/store"
+"$ORMCHECK" serve --listen "http:127.0.0.1:$port" --disk-cache "$store" --log-level off &
+server_pid=$!
+i=0
+until "$ORMCHECK" client --connect "http:127.0.0.1:$port" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "disk-cache serve never answered ping"
+    sleep 0.1
+done
+first=$("$ORMCHECK" client --connect "http:127.0.0.1:$port" check "$sat_schema" 2>/dev/null)
+[ "$?" -eq 0 ] || fail "disk-cache check did not exit 0"
+kill -TERM "$server_pid"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "disk-cache serve did not exit 0 on SIGTERM"
+
+"$ORMCHECK" serve --listen "http:127.0.0.1:$port" --disk-cache "$store" --log-level off &
+server_pid=$!
+i=0
+until "$ORMCHECK" client --connect "http:127.0.0.1:$port" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "restarted serve never answered ping"
+    sleep 0.1
+done
+second=$("$ORMCHECK" client --connect "http:127.0.0.1:$port" check "$sat_schema" 2>/dev/null)
+[ "$?" -eq 0 ] || fail "restarted check did not exit 0"
+case "$second" in
+    *'"cached":true'*) : ;;
+    *) fail "restarted server recomputed instead of hitting the disk cache" ;;
+esac
+# the verdicts must be identical modulo the cached flag
+norm_first=$(printf '%s' "$first" | sed 's/"cached":false/"cached":X/')
+norm_second=$(printf '%s' "$second" | sed 's/"cached":true/"cached":X/')
+[ "$norm_first" = "$norm_second" ] ||
+    fail "disk-cache verdict differs across restart"
+stats_out=$("$ORMCHECK" client --connect "http:127.0.0.1:$port" stats 2>/dev/null) ||
+    fail "disk-cache stats failed"
+case "$stats_out" in
+    *'"disk_cache"'*'"hits":1'*) : ;;
+    *) fail "disk-cache hit not visible in stats: $stats_out" ;;
+esac
+kill -TERM "$server_pid"
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "restarted serve did not exit 0 on SIGTERM"
+rm -rf "$net_dir"
+
 echo "cli_regression: ok ($(echo $schemas | wc -w) schema(s))"

@@ -1,0 +1,91 @@
+(* The checked-in half of the fuzz suite: test_fuzz.ml sweeps random
+   seeds (and only under long tests), this file replays a fixed corpus of
+   generator seeds on every run.  Each seed is a schema nobody curated;
+   the engine's verdicts on it must be refuted by the complete SAT route.
+   Seeds that once broke the engine (pattern 6's cross-position
+   counterexample, seed 10712) live in the corpus so the regression is
+   re-proved on every `dune runtest`, not just when a randomized sweep
+   happens to rediscover it. *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Gen = Orm_generator.Gen
+
+type entry = { seed : int; extensions : bool }
+
+let corpus_file = Filename.concat "corpus" "engine_vs_sat.txt"
+
+let load_corpus () =
+  let ic = open_in corpus_file in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ seed ] -> go ({ seed = int_of_string seed; extensions = false } :: acc)
+          | [ seed; "ext" ] ->
+              go ({ seed = int_of_string seed; extensions = true } :: acc)
+          | _ -> Alcotest.failf "malformed corpus line %S" line)
+  in
+  go []
+
+let check_entry { seed; extensions } =
+  let schema = Gen.arbitrary ~config:(Gen.sized 3) ~seed () in
+  let settings =
+    if extensions then Orm_patterns.Settings.(with_extensions default)
+    else Orm_patterns.Settings.default
+  in
+  let report = Engine.check ~settings schema in
+  let refuted query =
+    match Orm_sat.Encode.solve ~budget:300_000 schema query with
+    | Orm_sat.Encode.Model _ -> false
+    | Orm_sat.Encode.No_model | Orm_sat.Encode.Timeout -> true
+  in
+  let fail kind name =
+    Alcotest.failf
+      "seed %d%s: engine condemned %s %s but SAT found a model" seed
+      (if extensions then " (ext)" else "")
+      kind name
+  in
+  List.iter
+    (fun t -> if not (refuted (Type_satisfiable t)) then fail "type" t)
+    (Ids.String_set.elements report.unsat_types);
+  List.iter
+    (fun r ->
+      if not (refuted (Role_satisfiable r)) then
+        fail "role" (Ids.role_to_string r))
+    (Ids.Role_set.elements report.unsat_roles);
+  List.iter
+    (fun group ->
+      let roles = Ids.Role_set.elements group in
+      if not (refuted (All_populated roles)) then
+        fail "joint group"
+          (String.concat "," (List.map Ids.role_to_string roles)))
+    report.joint
+
+let test_corpus () =
+  let entries = load_corpus () in
+  if List.length entries < 10 then
+    Alcotest.failf "corpus suspiciously small (%d entries) — truncated?"
+      (List.length entries);
+  List.iter check_entry entries
+
+(* The historical counterexample also asserted directly, so a corpus-file
+   edit cannot silently drop the one seed this suite exists for. *)
+let test_seed_10712_pinned () =
+  check_entry { seed = 10712; extensions = true };
+  let entries = load_corpus () in
+  Alcotest.(check bool) "seed 10712 (ext) is in the corpus" true
+    (List.exists (fun e -> e.seed = 10712 && e.extensions) entries)
+
+let suite =
+  [
+    Alcotest.test_case "replay engine-vs-SAT corpus" `Quick test_corpus;
+    Alcotest.test_case "pattern-6 seed 10712 pinned" `Quick
+      test_seed_10712_pinned;
+  ]

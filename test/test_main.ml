@@ -1,4 +1,7 @@
 let () = Alcotest.run "orm-unsat" [
+      (* first: the live network tests fork server processes, which OCaml 5
+         forbids once any other suite has spawned domains *)
+      ("net", Test_net.suite);
       ("value", Test_value.suite);
       ("ring", Test_ring.suite);
       ("subtype-graph", Test_subtype_graph.suite);
@@ -30,5 +33,6 @@ let () = Alcotest.run "orm-unsat" [
       ("trace", Test_trace.suite);
       ("parallel-diff", Test_parallel_diff.suite);
       ("fuzz", Test_fuzz.suite);
+      ("fuzz-corpus", Test_fuzz_corpus.suite);
       ("server", Test_server.suite);
     ]

@@ -1,0 +1,461 @@
+(* The network front end: spec parsing, the hand-rolled HTTP/1.1 adapter
+   (framing, envelope mapping, status mapping), and the live select loop
+   over a real TCP socket — keep-alive pipelining, per-request transport
+   errors that must not kill the connection (let alone the server),
+   oversized bodies, mid-request disconnects, and SIGTERM draining to
+   exit 0.  Live tests fork a child running [Frontend.serve_fd] on an
+   ephemeral loopback port; the socket is bound and listening before the
+   fork, so the parent can connect immediately. *)
+
+module Listen = Orm_net.Listen
+module Http = Orm_net.Http
+module Frontend = Orm_net.Frontend
+module P = Orm_server.Protocol
+module Server = Orm_server.Server
+module Gen = Orm_generator.Gen
+
+let schema_text ?(seed = 11) ?(size = 5) () =
+  Orm_dsl.Printer.to_string (Gen.clean ~config:(Gen.sized size) ~seed ())
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ---- listen specs ------------------------------------------------------ *)
+
+let test_spec_parse () =
+  (match Listen.parse "unix:/tmp/x.sock" with
+  | Ok (Listen.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix spec");
+  (match Listen.parse "tcp:127.0.0.1:8080" with
+  | Ok (Listen.Tcp ("127.0.0.1", 8080)) -> ()
+  | _ -> Alcotest.fail "tcp spec");
+  (match Listen.parse "http:localhost:80" with
+  | Ok (Listen.Http ("localhost", 80)) -> ()
+  | _ -> Alcotest.fail "http spec");
+  List.iter
+    (fun s ->
+      match Listen.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "unix:"; "tcp:nohost"; "tcp:host:notaport"; "tcp:host:0";
+      "tcp::8080"; "ftp:host:21"; "http:host:65536"; "plainstring" ];
+  List.iter
+    (fun s ->
+      match Listen.parse s with
+      | Ok spec -> Alcotest.(check string) "describe" s (Listen.describe spec)
+      | Error m -> Alcotest.fail m)
+    [ "unix:/a/b"; "tcp:h:1"; "http:h:2" ]
+
+(* ---- HTTP parsing ------------------------------------------------------ *)
+
+let req body =
+  Printf.sprintf
+    "POST /v1/check HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+    (String.length body) body
+
+let test_http_parse () =
+  (* happy path *)
+  (match Http.parse (req "{\"a\":1}") with
+  | Http.Request (r, consumed) ->
+      Alcotest.(check string) "meth" "POST" r.Http.meth;
+      Alcotest.(check string) "path" "/v1/check" r.Http.path;
+      Alcotest.(check string) "body" "{\"a\":1}" r.Http.body;
+      Alcotest.(check bool) "keep-alive by default" true r.Http.keep_alive;
+      Alcotest.(check int) "consumed everything" (String.length (req "{\"a\":1}")) consumed
+  | _ -> Alcotest.fail "happy path did not parse");
+  (* incomplete head, incomplete body *)
+  (match Http.parse "POST /v1/check HTTP/1.1\r\nContent-Le" with
+  | Http.Incomplete -> ()
+  | _ -> Alcotest.fail "partial head must be Incomplete");
+  (match Http.parse "POST /v1/check HTTP/1.1\r\nContent-Length: 10\r\n\r\n{par" with
+  | Http.Incomplete -> ()
+  | _ -> Alcotest.fail "partial body must be Incomplete");
+  (* pipelining: two requests in one buffer parse one at a time *)
+  let two = req "{}" ^ req "{\"b\":2}" in
+  (match Http.parse two with
+  | Http.Request (r1, c1) -> (
+      Alcotest.(check string) "first body" "{}" r1.Http.body;
+      match Http.parse (String.sub two c1 (String.length two - c1)) with
+      | Http.Request (r2, _) ->
+          Alcotest.(check string) "second body" "{\"b\":2}" r2.Http.body
+      | _ -> Alcotest.fail "second pipelined request did not parse")
+  | _ -> Alcotest.fail "first pipelined request did not parse");
+  (* Connection: close and HTTP/1.0 defaults *)
+  (match
+     Http.parse "POST /v1/ping HTTP/1.1\r\nConnection: close\r\n\r\n"
+   with
+  | Http.Request (r, _) ->
+      Alcotest.(check bool) "close honoured" false r.Http.keep_alive
+  | _ -> Alcotest.fail "close request");
+  (match Http.parse "GET /v1/ping HTTP/1.0\r\n\r\n" with
+  | Http.Request (r, _) ->
+      Alcotest.(check bool) "1.0 defaults to close" false r.Http.keep_alive
+  | _ -> Alcotest.fail "1.0 request")
+
+let expect_reject ?(close = true) name code input =
+  match Http.parse input with
+  | Http.Reject r ->
+      Alcotest.(check int) (name ^ " code") code r.code;
+      Alcotest.(check bool) (name ^ " close") close r.close
+  | _ -> Alcotest.failf "%s: expected reject %d" name code
+
+let test_http_rejects () =
+  expect_reject "bad content-length" 400
+    "POST /v1/check HTTP/1.1\r\nContent-Length: xyz\r\n\r\n";
+  expect_reject "chunked" 501
+    "POST /v1/check HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  expect_reject "oversized body" 413
+    (Printf.sprintf "POST /v1/check HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+       (Http.default_max_body + 1));
+  expect_reject "http/2 preface" 505 "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
+  expect_reject "malformed request line" 400 "GARBAGE\r\n\r\n";
+  (* an over-long head without a terminator is rejected, not buffered *)
+  expect_reject "unterminated head" 431
+    ("POST /v1/check HTTP/1.1\r\nX-Junk: " ^ String.make 9000 'j');
+  (* a small custom bound rejects without waiting for the body *)
+  (match
+     Http.parse ~max_body:10
+       "POST /v1/check HTTP/1.1\r\nContent-Length: 11\r\n\r\n"
+   with
+  | Http.Reject { code = 413; _ } -> ()
+  | _ -> Alcotest.fail "custom max_body not honoured")
+
+let test_envelope_mapping () =
+  let parse_exn input =
+    match Http.parse input with
+    | Http.Request (r, _) -> r
+    | _ -> Alcotest.fail "request did not parse"
+  in
+  (* body becomes params, header becomes id, path becomes method *)
+  let r =
+    parse_exn
+      "POST /v1/check HTTP/1.1\r\nX-Request-Id: r42\r\nContent-Length: \
+       16\r\n\r\n{\"schema\":\"s x\"}"
+  in
+  (match Http.envelope_of_request r with
+  | Ok line -> (
+      match P.parse_request line with
+      | Ok req ->
+          Alcotest.(check (option string)) "id" (Some "r42") req.P.id;
+          Alcotest.(check string) "method" "check"
+            (P.meth_to_string req.P.meth);
+          Alcotest.(check (option string)) "schema" (Some "s x")
+            req.P.schema_text
+      | Error (m, _) -> Alcotest.fail m)
+  | Error (code, m) -> Alcotest.failf "mapped to %d: %s" code m);
+  (* GET is a probe verb: fine on ping/stats, 405 elsewhere *)
+  (match Http.envelope_of_request (parse_exn "GET /v1/ping HTTP/1.1\r\n\r\n") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "GET ping must map");
+  (match Http.envelope_of_request (parse_exn "GET /v1/check HTTP/1.1\r\n\r\n") with
+  | Error (405, _) -> ()
+  | _ -> Alcotest.fail "GET check must be 405");
+  (match Http.envelope_of_request (parse_exn "POST /v2/check HTTP/1.1\r\n\r\n") with
+  | Error (404, _) -> ()
+  | _ -> Alcotest.fail "unknown path must be 404");
+  (* a non-object body cannot smuggle envelope fields *)
+  (match
+     Http.envelope_of_request
+       (parse_exn "POST /v1/check HTTP/1.1\r\nContent-Length: 7\r\n\r\n[1,2,3]")
+   with
+  | Error (400, _) -> ()
+  | _ -> Alcotest.fail "array body must be 400");
+  match
+    Http.envelope_of_request
+      (parse_exn "POST /v1/check HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!")
+  with
+  | Error (400, _) -> ()
+  | _ -> Alcotest.fail "malformed body must be 400"
+
+let test_status_mapping () =
+  Alcotest.(check int) "ok" 200
+    (Http.code_of_response (P.ok_response ~id:None ~cached:false []));
+  Alcotest.(check int) "error" 400
+    (Http.code_of_response (P.error_response ~id:None "boom"));
+  Alcotest.(check int) "timeout" 408
+    (Http.code_of_response (P.timeout_response ~id:None ~elapsed_ms:1));
+  Alcotest.(check int) "overloaded" 429
+    (Http.code_of_response (P.overloaded_response ~id:None ~max_pending:1));
+  Alcotest.(check int) "garbage" 500 (Http.code_of_response "not json")
+
+let test_serialize_roundtrip () =
+  let body = P.ok_response ~id:(Some "x") ~cached:true [] in
+  let wire = Http.serialize ~keep_alive:true ~code:200 body in
+  (match Http.parse_response wire with
+  | Ok (Some (200, b)) -> Alcotest.(check string) "body" (body ^ "\n") b
+  | Ok (Some (c, _)) -> Alcotest.failf "code %d" c
+  | Ok None -> Alcotest.fail "incomplete"
+  | Error m -> Alcotest.fail m);
+  (* truncated wire is incomplete, not an error *)
+  match Http.parse_response (String.sub wire 0 (String.length wire - 3)) with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "truncated response must be incomplete"
+
+(* ---- live loop over TCP ------------------------------------------------ *)
+
+(* Bind-listen-fork: the child serves, the parent talks to the port.
+   Returns the child's exit status after [f] ran and SIGTERM was sent. *)
+let with_live_server ?max_body ?(framing = Listen.Http_framing) f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  match Unix.fork () with
+  | 0 ->
+      (* the child must not re-enter alcotest on exit *)
+      let server = Server.create Server.default_config in
+      (try Frontend.serve_fd ?max_body ~server ~framing fd
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      Unix.close fd;
+      let result =
+        try Ok (f port)
+        with exn ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Error exn
+      in
+      (match result with
+      | Error exn -> raise exn
+      | Ok () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          let _, status = Unix.waitpid [] pid in
+          status)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* a wedged server must fail the test, not hang it *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  fd
+
+let write_all fd s =
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  go 0
+
+let one_shot port ~path body =
+  let fd = connect port in
+  write_all fd (Http.client_request ~path ~body ());
+  let r = Http.read_response fd in
+  Unix.close fd;
+  match r with Ok res -> res | Error m -> Alcotest.fail m
+
+let test_live_http_roundtrip () =
+  let status =
+    with_live_server (fun port ->
+        let code, body = one_shot port ~path:"/v1/ping" "" in
+        Alcotest.(check int) "ping 200" 200 code;
+        Alcotest.(check bool) "pong" true
+          (contains body "pong");
+        (* cold then warm: the second identical check is served cached *)
+        let params = P.build_params ~schema_text:(schema_text ()) () in
+        let code, body = one_shot port ~path:"/v1/check" params in
+        Alcotest.(check int) "check 200" 200 code;
+        Alcotest.(check bool) "cold" true
+          (contains body "\"cached\":false");
+        let code, body = one_shot port ~path:"/v1/check" params in
+        Alcotest.(check int) "warm 200" 200 code;
+        Alcotest.(check bool) "warm" true
+          (contains body "\"cached\":true");
+        (* batch over HTTP *)
+        let params =
+          P.build_params ~schema_texts:[ schema_text (); schema_text ~seed:12 () ] ()
+        in
+        let code, body = one_shot port ~path:"/v1/batch" params in
+        Alcotest.(check int) "batch 200" 200 code;
+        Alcotest.(check bool) "batch results" true
+          (contains body "\"results\":");
+        (* routing errors answered per request *)
+        let code, _ = one_shot port ~path:"/v1/nope" "" in
+        Alcotest.(check int) "404" 404 code)
+  in
+  Alcotest.(check bool) "SIGTERM exits 0" true (status = Unix.WEXITED 0)
+
+(* Reads [n] pipelined responses off one connection, in order.  The
+   serialized head always ends in CRLFCRLF and the body length equals the
+   response's [Content-Length], so consumed = head end + body length. *)
+let read_n_responses fd n =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let head_len s =
+    let rec go i =
+      if i + 3 >= String.length s then Alcotest.fail "no head terminator"
+      else if
+        s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then i + 4
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match Http.parse_response (Buffer.contents buf) with
+      | Ok (Some (code, body)) ->
+          (* drop the parsed response off the front of the buffer *)
+          let s = Buffer.contents buf in
+          let consumed = head_len s + String.length body in
+          Buffer.clear buf;
+          Buffer.add_string buf (String.sub s consumed (String.length s - consumed));
+          go ((code, body) :: acc) (n - 1)
+      | Ok None -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Alcotest.fail "connection closed mid-pipeline"
+          | r ->
+              Buffer.add_subbytes buf chunk 0 r;
+              go acc n)
+      | Error m -> Alcotest.fail m
+  in
+  go [] n
+
+let keep_alive_post ~path ?id body =
+  let id_header =
+    match id with Some i -> Printf.sprintf "X-Request-Id: %s\r\n" i | None -> ""
+  in
+  Printf.sprintf
+    "POST %s HTTP/1.1\r\nHost: t\r\n%sContent-Length: %d\r\n\r\n%s" path
+    id_header (String.length body) body
+
+let test_live_pipelined_keepalive () =
+  ignore
+    (with_live_server (fun port ->
+         let fd = connect port in
+         (* three requests in one write; responses must come back in
+            order on the same connection *)
+         write_all fd
+           (keep_alive_post ~path:"/v1/ping" ~id:"a" ""
+           ^ keep_alive_post ~path:"/v1/check" ~id:"b"
+               (P.build_params ~schema_text:(schema_text ()) ())
+           ^ keep_alive_post ~path:"/v1/ping" ~id:"c" "");
+         match read_n_responses fd 3 with
+         | [ (c1, b1); (c2, b2); (c3, b3) ] ->
+             Alcotest.(check int) "first 200" 200 c1;
+             Alcotest.(check int) "second 200" 200 c2;
+             Alcotest.(check int) "third 200" 200 c3;
+             Alcotest.(check bool) "order a" true
+               (contains b1 "\"id\":\"a\"");
+             Alcotest.(check bool) "order b" true
+               (contains b2 "\"id\":\"b\"");
+             Alcotest.(check bool) "order c" true
+               (contains b3 "\"id\":\"c\"");
+             Unix.close fd
+         | _ -> Alcotest.fail "expected three responses"))
+
+let test_live_malformed_body_keeps_connection () =
+  ignore
+    (with_live_server (fun port ->
+         let fd = connect port in
+         (* malformed JSON: a 400 for that request, then the same
+            connection keeps serving *)
+         write_all fd (keep_alive_post ~path:"/v1/check" "{not json");
+         write_all fd (keep_alive_post ~path:"/v1/ping" "");
+         (match read_n_responses fd 2 with
+         | [ (c1, b1); (c2, b2) ] ->
+             Alcotest.(check int) "malformed 400" 400 c1;
+             Alcotest.(check bool) "error status" true
+               (contains b1 "\"status\":\"error\"");
+             Alcotest.(check int) "still serving" 200 c2;
+             Alcotest.(check bool) "pong" true
+               (contains b2 "pong")
+         | _ -> Alcotest.fail "expected two responses");
+         Unix.close fd))
+
+let test_live_oversized_body () =
+  ignore
+    (with_live_server ~max_body:64 (fun port ->
+         let fd = connect port in
+         write_all fd (keep_alive_post ~path:"/v1/check" (String.make 100 'x'));
+         (match Http.read_response fd with
+         | Ok (413, _) -> ()
+         | Ok (c, _) -> Alcotest.failf "expected 413, got %d" c
+         | Error m -> Alcotest.fail m);
+         (* framing is lost: the server closes this connection... *)
+         (match Unix.read fd (Bytes.create 1) 0 1 with
+         | 0 -> ()
+         | _ -> Alcotest.fail "connection not closed after 413"
+         | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+         Unix.close fd;
+         (* ...but a fresh connection is served immediately *)
+         let code, _ = one_shot port ~path:"/v1/ping" "" in
+         Alcotest.(check int) "fresh connection works" 200 code))
+
+let test_live_mid_request_disconnect () =
+  ignore
+    (with_live_server (fun port ->
+         (* a client that dies mid-request must not wedge the loop *)
+         let fd = connect port in
+         write_all fd "POST /v1/check HTTP/1.1\r\nContent-Length: 1000\r\n\r\n{\"par";
+         Unix.close fd;
+         let code, _ = one_shot port ~path:"/v1/ping" "" in
+         Alcotest.(check int) "still serving" 200 code))
+
+let test_live_ndjson_tcp () =
+  let status =
+    with_live_server ~framing:Listen.Ndjson (fun port ->
+        let fd = connect port in
+        write_all fd (P.build_request ~id:"n1" P.Ping ^ "\n");
+        write_all fd
+          (P.build_request ~id:"n2" ~schema_text:(schema_text ()) P.Check ^ "\n");
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let rec read_lines () =
+          let lines = String.split_on_char '\n' (Buffer.contents buf) in
+          if List.length lines > 2 then lines
+          else
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Alcotest.fail "connection closed early"
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_lines ()
+        in
+        (match read_lines () with
+        | l1 :: l2 :: _ ->
+            (match P.parse_response l1 with
+            | Ok r ->
+                Alcotest.(check (option string)) "first id" (Some "n1") r.P.resp_id
+            | Error m -> Alcotest.fail m);
+            (match P.parse_response l2 with
+            | Ok r ->
+                Alcotest.(check string) "check ok" "ok" r.P.status;
+                Alcotest.(check (option string)) "second id" (Some "n2") r.P.resp_id
+            | Error m -> Alcotest.fail m)
+        | _ -> Alcotest.fail "expected two lines");
+        Unix.close fd)
+  in
+  Alcotest.(check bool) "SIGTERM exits 0" true (status = Unix.WEXITED 0)
+
+let suite =
+  [
+    Alcotest.test_case "listen spec parse" `Quick test_spec_parse;
+    Alcotest.test_case "http parse" `Quick test_http_parse;
+    Alcotest.test_case "http rejects" `Quick test_http_rejects;
+    Alcotest.test_case "envelope mapping" `Quick test_envelope_mapping;
+    Alcotest.test_case "status mapping" `Quick test_status_mapping;
+    Alcotest.test_case "serialize round-trip" `Quick test_serialize_roundtrip;
+    Alcotest.test_case "live: http round-trip + SIGTERM" `Quick
+      test_live_http_roundtrip;
+    Alcotest.test_case "live: pipelined keep-alive" `Quick
+      test_live_pipelined_keepalive;
+    Alcotest.test_case "live: malformed body keeps connection" `Quick
+      test_live_malformed_body_keeps_connection;
+    Alcotest.test_case "live: oversized body" `Quick test_live_oversized_body;
+    Alcotest.test_case "live: mid-request disconnect" `Quick
+      test_live_mid_request_disconnect;
+    Alcotest.test_case "live: ndjson over tcp" `Quick test_live_ndjson_tcp;
+  ]

@@ -339,6 +339,261 @@ let test_overloaded () =
   Alcotest.(check int) "metrics overload" 1
     (Metrics.snapshot m).Metrics.overloads
 
+(* ---- batch dispatch --------------------------------------------------- *)
+
+let test_batch_dispatch () =
+  let srv = Server.create Server.default_config in
+  let texts =
+    [ schema_text ~seed:31 (); schema_text ~seed:32 (); schema_text ~seed:33 () ]
+  in
+  let line = P.build_request ~id:"b1" ~schema_texts:texts P.Batch in
+  let resp, v = Server.handle srv line in
+  Alcotest.(check bool) "continues" true (v = `Continue);
+  (match P.parse_response resp with
+  | Ok r -> (
+      Alcotest.(check string) "ok" "ok" r.P.status;
+      Alcotest.(check bool) "cold" false r.P.cached;
+      match P.member "results" r.P.body with
+      | Some (P.Arr results) ->
+          Alcotest.(check int) "one result per schema" (List.length texts)
+            (List.length results);
+          List.iter
+            (fun result ->
+              Alcotest.(check bool) "each result has a verdict" true
+                (P.member "clean" result <> None))
+            results
+      | _ -> Alcotest.fail "no results array")
+  | Error m -> Alcotest.fail m);
+  (* the whole batch is one cache entry: the same batch repeats warm *)
+  let resp, _ = Server.handle srv (P.build_request ~schema_texts:texts P.Batch) in
+  (match P.parse_response resp with
+  | Ok r ->
+      Alcotest.(check string) "warm ok" "ok" r.P.status;
+      Alcotest.(check bool) "warm cached" true r.P.cached
+  | Error m -> Alcotest.fail m);
+  (* a bad schema fails the whole batch, naming its input position *)
+  let resp, _ =
+    Server.handle srv
+      (P.build_request
+         ~schema_texts:[ schema_text ~seed:31 (); "this is not orm" ]
+         P.Batch)
+  in
+  (match P.parse_response resp with
+  | Ok r -> (
+      Alcotest.(check string) "error" "error" r.P.status;
+      match P.member "error" r.P.body with
+      | Some (P.Str msg) ->
+          Alcotest.(check bool) "position named" true
+            (let rec infix i =
+               i + 10 <= String.length msg
+               && (String.sub msg i 10 = "schemas[1]" || infix (i + 1))
+             in
+             infix 0)
+      | _ -> Alcotest.fail "no error message")
+  | Error m -> Alcotest.fail m);
+  (* and an empty batch is a request error, not an empty answer *)
+  let resp, _ = Server.handle srv (P.build_request ~schema_texts:[] P.Batch) in
+  Alcotest.(check string) "empty batch rejected" "error" (status_of resp)
+
+(* ---- persistent disk tier --------------------------------------------- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "ormcheck-test" ".store" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with _ -> ()
+      end)
+    (fun () -> f dir)
+
+module Disk = Orm_server.Disk_cache
+
+let test_disk_cache_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let d = Disk.create ~dir () in
+      Alcotest.(check (option string)) "cold miss" None (Disk.find d "k1");
+      Disk.add d "k1" "value one";
+      Disk.add d "k2" "value two";
+      Alcotest.(check (option string)) "k1" (Some "value one") (Disk.find d "k1");
+      Alcotest.(check (option string)) "k2" (Some "value two") (Disk.find d "k2");
+      Alcotest.(check int) "entries" 2 (Disk.entries d);
+      Alcotest.(check int) "hits" 2 (Disk.hits d);
+      Alcotest.(check int) "misses" 1 (Disk.misses d);
+      (* overwrite replaces, never duplicates *)
+      Disk.add d "k1" "value one prime";
+      Alcotest.(check (option string)) "replaced" (Some "value one prime")
+        (Disk.find d "k1");
+      Alcotest.(check int) "still 2 entries" 2 (Disk.entries d);
+      Alcotest.check_raises "max_bytes 0 rejected"
+        (Invalid_argument "Disk_cache.create: max_bytes must be positive")
+        (fun () -> ignore (Disk.create ~max_bytes:0 ~dir ())))
+
+let test_disk_cache_persists_across_handles () =
+  with_tmp_dir (fun dir ->
+      let d1 = Disk.create ~dir () in
+      Disk.add d1 "key" "survives";
+      (* a second handle over the same directory — a restarted process —
+         sees the entry; counters are per-handle *)
+      let d2 = Disk.create ~dir () in
+      Alcotest.(check (option string)) "entry survives" (Some "survives")
+        (Disk.find d2 "key");
+      Alcotest.(check int) "fresh handle hits" 1 (Disk.hits d2);
+      Alcotest.(check int) "writer handle unaffected" 0 (Disk.hits d1))
+
+let test_disk_cache_corrupt_entry () =
+  with_tmp_dir (fun dir ->
+      let d = Disk.create ~dir () in
+      Disk.add d "key" "good";
+      (* clobber the entry file on disk with a truncated write (no key
+         line): the read degrades to a miss and the squatter is removed *)
+      Array.iter
+        (fun name ->
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc "corrupt garbage with no key line";
+          close_out oc)
+        (Sys.readdir dir);
+      Alcotest.(check (option string)) "corrupt entry is a miss" None
+        (Disk.find d "key");
+      Alcotest.(check int) "corrupt entry deleted" 0 (Disk.entries d);
+      (* the store still works after absorbing the corruption *)
+      Disk.add d "key" "fresh";
+      Alcotest.(check (option string)) "recovered" (Some "fresh")
+        (Disk.find d "key"))
+
+let test_disk_cache_gc_bound () =
+  with_tmp_dir (fun dir ->
+      let max_bytes = 4096 in
+      let d = Disk.create ~max_bytes ~dir () in
+      let payload = String.make 256 'x' in
+      for i = 1 to 64 do
+        Disk.add d (Printf.sprintf "key-%03d" i) payload
+      done;
+      Alcotest.(check bool) "stayed under the bound" true
+        (Disk.bytes d <= max_bytes);
+      Alcotest.(check bool) "kept a useful fraction" true (Disk.entries d > 0);
+      (* the survivors are the newest entries (mtime-ordered sweep) *)
+      Alcotest.(check (option string)) "newest survives" (Some payload)
+        (Disk.find d "key-064");
+      Alcotest.(check (option string)) "oldest swept" None (Disk.find d "key-001"))
+
+(* The tentpole's acceptance bar: a restarted server answers a
+   previously-checked schema from the persistent tier — same verdict,
+   visible hit counter — without recomputing. *)
+let test_disk_tier_survives_restart () =
+  with_tmp_dir (fun dir ->
+      let text = schema_text ~seed:41 () in
+      let line = P.build_request ~schema_text:text P.Check in
+      let verdict_of resp =
+        match P.parse_response resp with
+        | Ok r -> (r.P.status, r.P.cached, P.member "clean" r.P.body)
+        | Error m -> Alcotest.fail m
+      in
+      let srv1 =
+        Server.create ~disk_cache:(Disk.create ~dir ()) Server.default_config
+      in
+      let resp1, _ = Server.handle srv1 line in
+      let status1, cached1, clean1 = verdict_of resp1 in
+      Alcotest.(check string) "computed ok" "ok" status1;
+      Alcotest.(check bool) "computed cold" false cached1;
+      (* a fresh server over the same directory: in-memory LRU is empty,
+         the disk tier answers *)
+      let srv2 =
+        Server.create ~disk_cache:(Disk.create ~dir ()) Server.default_config
+      in
+      let resp2, _ = Server.handle srv2 line in
+      let status2, cached2, clean2 = verdict_of resp2 in
+      Alcotest.(check string) "restart ok" "ok" status2;
+      Alcotest.(check bool) "restart served cached" true cached2;
+      Alcotest.(check bool) "identical verdict" true (clean1 = clean2);
+      Alcotest.(check int) "disk hit counted" 1 (Server.disk_hits srv2);
+      Alcotest.(check int) "lru did not hit" 0 (Server.cache_hits srv2);
+      (* the hit surfaces in the stats method *)
+      let resp, _ = Server.handle srv2 (P.build_request P.Stats) in
+      match P.parse_response resp with
+      | Ok r -> (
+          match P.member "result" r.P.body with
+          | Some result -> (
+              match P.member "disk_cache" result with
+              | Some disk ->
+                  Alcotest.(check bool) "stats disk hits" true
+                    (P.member "hits" disk = Some (P.Int 1))
+              | None -> Alcotest.fail "stats has no disk_cache section")
+          | None -> Alcotest.fail "stats has no result")
+      | Error m -> Alcotest.fail m)
+
+(* A format bump must miss: an entry persisted by an older binary is never
+   served once the result encoding changes. *)
+let test_format_version_bump_misses () =
+  let req =
+    match P.parse_request (P.build_request ~schema_text:"schema s\n" P.Check) with
+    | Ok r -> r
+    | Error (m, _) -> Alcotest.fail m
+  in
+  Alcotest.(check string) "cache_key is cache_key_with current"
+    (P.cache_key req)
+    (P.cache_key_with ~format_version:P.format_version req);
+  Alcotest.(check bool) "bumped version changes the key" false
+    (P.cache_key req = P.cache_key_with ~format_version:(P.format_version + 1) req);
+  with_tmp_dir (fun dir ->
+      let d = Disk.create ~dir () in
+      Disk.add d (P.cache_key req) "old-format result";
+      Alcotest.(check (option string)) "same version hits"
+        (Some "old-format result")
+        (Disk.find d (P.cache_key req));
+      Alcotest.(check (option string)) "bumped version misses" None
+        (Disk.find d (P.cache_key_with ~format_version:(P.format_version + 1) req)))
+
+(* ---- engine deadline regression --------------------------------------- *)
+
+(* The deadline is polled BETWEEN patterns: an already-expired deadline on
+   a large faulted schema must come back (partial, near-empty) immediately
+   instead of running the full pattern sweep, and a generous deadline must
+   not change the report at all. *)
+let test_engine_deadline_mid_pattern () =
+  let module Engine = Orm_patterns.Engine in
+  let module Engine_par = Orm_patterns.Engine_par in
+  let schema =
+    (Orm_generator.Faults.inject ~seed:9 3
+       (Gen.clean ~config:(Gen.sized 60) ~seed:8 ()))
+      .schema
+  in
+  let settings = Settings.with_extensions Settings.default in
+  let full = Engine.check ~settings schema in
+  Alcotest.(check bool) "faulted schema diagnoses" true
+    (full.Engine.diagnostics <> []);
+  let expired = Int64.sub (Metrics.now_ns ()) 1L in
+  let partial = Engine.check ~settings ~deadline_ns:expired schema in
+  Alcotest.(check (list string)) "expired deadline skips every pattern" []
+    (List.map
+       (fun d -> Format.asprintf "%a" Orm_patterns.Diagnostic.pp d)
+       partial.Engine.diagnostics);
+  let generous =
+    Int64.add (Metrics.now_ns ()) 60_000_000_000L (* 60 s *)
+  in
+  let timed = Engine.check ~settings ~deadline_ns:generous schema in
+  Alcotest.(check int) "generous deadline changes nothing"
+    (List.length full.Engine.diagnostics)
+    (List.length timed.Engine.diagnostics);
+  Alcotest.(check bool) "unsat sets identical" true
+    (Orm.Ids.String_set.equal full.Engine.unsat_types timed.Engine.unsat_types
+    && Orm.Ids.Role_set.equal full.Engine.unsat_roles timed.Engine.unsat_roles);
+  (* the parallel batch engine forwards the deadline into every check *)
+  let batch = [ schema; schema ] in
+  let partials =
+    Engine_par.check_batch ~domains:2 ~settings ~deadline_ns:expired batch
+  in
+  Alcotest.(check int) "batch answered" 2 (List.length partials);
+  List.iter
+    (fun (r : Engine.report) ->
+      Alcotest.(check int) "batch reports partial under expired deadline" 0
+        (List.length r.Engine.diagnostics))
+    partials
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -356,4 +611,17 @@ let suite =
     Alcotest.test_case "warm cache >= 95% hits" `Quick test_warm_cache_hit_rate;
     Alcotest.test_case "deadline answers timeout" `Quick test_deadline_timeout;
     Alcotest.test_case "overload accounting" `Quick test_overloaded;
+    Alcotest.test_case "batch dispatch" `Quick test_batch_dispatch;
+    Alcotest.test_case "disk cache round-trip" `Quick test_disk_cache_roundtrip;
+    Alcotest.test_case "disk cache persists across handles" `Quick
+      test_disk_cache_persists_across_handles;
+    Alcotest.test_case "disk cache absorbs corruption" `Quick
+      test_disk_cache_corrupt_entry;
+    Alcotest.test_case "disk cache GC bound" `Quick test_disk_cache_gc_bound;
+    Alcotest.test_case "disk tier survives restart" `Quick
+      test_disk_tier_survives_restart;
+    Alcotest.test_case "format version bump misses" `Quick
+      test_format_version_bump_misses;
+    Alcotest.test_case "engine deadline mid-pattern" `Quick
+      test_engine_deadline_mid_pattern;
   ]
