@@ -1,0 +1,62 @@
+(* Parse/print throughput of the shared JSON core (lib/json), on the two
+   payload shapes the server actually sees: a typical request envelope and
+   a nested check response.  Run directly:
+
+     dune exec bench/bench_json.exe
+
+   Numbers land in docs/EXPERIMENTS.md; record the host core count next to
+   them (the bench itself is single-threaded). *)
+
+module J = Orm_json
+
+let envelope =
+  {|{"ormcheck": 1, "id": "req-00042", "method": "check", "params": {"schema_text": "schema S\nobject Person\nobject Committee\nfact chairs Person Committee\nconstraint c1 mandatory chairs.1\nconstraint c2 frequency chairs.2 2..2\n", "jobs": 2, "deadline_ms": 250}}|}
+
+let nested =
+  let diag i =
+    Printf.sprintf
+      {|{"origin":{"kind":"pattern","number":%d},"certainty":"element","affected":[{"kind":"role","role":{"fact":"chairs","side":%d}}],"culprits":["c%d","c%d"],"message":"role is unsatisfiable: frequency 2..2 conflicts with uniqueness"}|}
+      (1 + (i mod 9))
+      (i mod 2) i (i + 1)
+  in
+  Printf.sprintf
+    {|{"ormcheck":1,"id":"req-00042","status":"ok","cached":false,"result":{"diagnostics":[%s],"unsat_types":["Person","Committee"],"unsat_roles":[{"fact":"chairs","side":0},{"fact":"chairs","side":1}],"joint":[[{"fact":"chairs","side":0}]]}}|}
+    (String.concat "," (List.init 8 diag))
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let bench name src =
+  let parse () =
+    match J.of_string src with Ok v -> v | Error e -> failwith e
+  in
+  let v = parse () in
+  (* calibrate the iteration count to ~0.5 s of work *)
+  let iters =
+    let probe = 1000 in
+    let ns = time_ns (fun () -> for _ = 1 to probe do ignore (parse ()) done) in
+    max 10_000 (int_of_float (5e8 /. (ns /. float_of_int probe)))
+  in
+  let parse_ns =
+    time_ns (fun () -> for _ = 1 to iters do ignore (parse ()) done)
+    /. float_of_int iters
+  in
+  let print_ns =
+    time_ns (fun () -> for _ = 1 to iters do ignore (J.to_string v) done)
+    /. float_of_int iters
+  in
+  let bytes = float_of_int (String.length src) in
+  Printf.printf
+    "%-10s %5d B  parse %8.2f us  %7.1f MB/s   print %8.2f us  %7.1f MB/s\n"
+    name (String.length src) (parse_ns /. 1e3)
+    (bytes /. parse_ns *. 1e3)
+    (print_ns /. 1e3)
+    (bytes /. print_ns *. 1e3)
+
+let () =
+  Printf.printf "orm_json throughput (%d core(s) visible)\n"
+    (Domain.recommended_domain_count ());
+  bench "envelope" envelope;
+  bench "nested" nested

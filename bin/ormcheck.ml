@@ -726,9 +726,26 @@ let serve_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Default per-request deadline; a request's own $(b,deadline_ms) overrides it.  Omitted means unbounded.")
   in
+  let config_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"FILE"
+          ~doc:"JSON config file layered over the flags (fields: $(b,deadline_ms), $(b,budget), $(b,sat_budget), $(b,cache_capacity), $(b,max_pending), $(b,disk_cache_mb), $(b,log_level); only the fields present override).  Re-read on SIGHUP, so a running service retunes without a restart; a reload that fails to parse keeps the current settings.")
+  in
   let run socket stdio listen workers disk_cache disk_cache_mb cache_capacity
-      max_pending deadline_ms jobs stats stats_json trace log_level =
+      max_pending deadline_ms config_file jobs stats stats_json trace log_level =
     apply_log_level log_level;
+    (* a broken --config is a startup error, not a logged warning — only
+       SIGHUP-time reloads degrade softly *)
+    (match config_file with
+    | None -> ()
+    | Some path -> (
+        match Orm_server.Server_config.load path with
+        | Ok _ -> ()
+        | Error msg ->
+            prerr_endline ("ormcheck serve: --config " ^ msg);
+            exit 2));
     let mode =
       match (socket, stdio, listen) with
       | Some path, false, None -> `Socket path
@@ -757,7 +774,8 @@ let serve_cmd =
     | _ -> ());
     let config =
       {
-        Orm_server.Server.cache_capacity;
+        Orm_server.Server.default_config with
+        cache_capacity;
         max_pending;
         default_deadline_ms = deadline_ms;
         default_jobs =
@@ -772,15 +790,22 @@ let serve_cmd =
             ~dir ())
         disk_cache
     in
+    (* the config file's overrides land on top of the flags, both at
+       startup and again on every SIGHUP *)
+    let apply_config server =
+      Option.iter (Orm_server.Server.reload_config_file server) config_file;
+      server
+    in
     match mode with
     | (`Socket _ | `Stdio) as mode ->
         let metrics = Some (Metrics.create ()) in
         let tracer = make_tracer trace in
         let server =
-          Orm_server.Server.create ?metrics ?tracer
-            ?disk_cache:(make_disk_cache metrics) config
+          apply_config
+            (Orm_server.Server.create ?metrics ?tracer
+               ?disk_cache:(make_disk_cache metrics) config)
         in
-        Orm_server.Server.serve server mode;
+        Orm_server.Server.serve ?config_file server mode;
         emit_stats ~stats ~stats_json metrics;
         emit_trace trace tracer;
         exit 0
@@ -813,10 +838,11 @@ let serve_cmd =
           last_metrics := metrics;
           let tracer = make_tracer trace in
           last_tracer := tracer;
-          Orm_server.Server.create ?metrics ?tracer
-            ?disk_cache:(make_disk_cache metrics) ?stats_sink config
+          apply_config
+            (Orm_server.Server.create ?metrics ?tracer
+               ?disk_cache:(make_disk_cache metrics) ?stats_sink config)
         in
-        (match Orm_net.Frontend.run ~workers ~make_server spec with
+        (match Orm_net.Frontend.run ~workers ?config_file ~make_server spec with
         | Ok () -> ()
         | Error msg ->
             prerr_endline ("ormcheck serve: " ^ msg);
@@ -830,7 +856,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the checking service over $(b,--listen) unix:PATH | tcp:HOST:PORT | http:HOST:PORT (or the classic --socket/--stdio): result caching (in-memory LRU plus optional persistent --disk-cache), per-request deadlines, admission control, graceful shutdown, and prefork sharding with --workers.")
-    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ cache_capacity $ max_pending $ deadline_ms $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
+    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ cache_capacity $ max_pending $ deadline_ms $ config_file $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
 
 (* ---- client ---------------------------------------------------------- *)
 

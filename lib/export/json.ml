@@ -1,32 +1,20 @@
 open Orm
+module J = Orm_json
 
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* A thin schema→value mapping over the shared JSON core: this module
+   decides the shape of the export, Orm_json does all printing/escaping. *)
 
-let str s = Printf.sprintf "\"%s\"" (escape_string s)
-let arr items = "[" ^ String.concat "," items ^ "]"
-let obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+let escape_string = J.escape_string
+let str s = J.String s
+let arr items = J.List items
+let obj fields = J.Obj fields
 
 let of_value = function
   | Value.Str s -> str s
-  | Value.Int i -> string_of_int i
+  | Value.Int i -> J.Int i
 
 let of_role (r : Ids.role) =
-  obj [ ("fact", str r.fact); ("side", string_of_int (Ids.side_index r.side)) ]
+  obj [ ("fact", str r.fact); ("side", J.Int (Ids.side_index r.side)) ]
 
 let of_seq = function
   | Ids.Single r -> obj [ ("kind", str "role"); ("role", of_role r) ]
@@ -35,8 +23,8 @@ let of_seq = function
 
 let of_frequency (f : Constraints.frequency) =
   obj
-    (("min", string_of_int f.min)
-    :: (match f.max with Some m -> [ ("max", string_of_int m) ] | None -> []))
+    (("min", J.Int f.min)
+    :: (match f.max with Some m -> [ ("max", J.Int m) ] | None -> []))
 
 let of_body = function
   | Constraints.Mandatory r -> obj [ ("kind", str "mandatory"); ("role", of_role r) ]
@@ -62,22 +50,22 @@ let of_body = function
   | Constraints.Equality (a, b) ->
       obj [ ("kind", str "equality"); ("left", of_seq a); ("right", of_seq b) ]
   | Constraints.Type_exclusion ots ->
-      obj [ ("kind", str "type_exclusion"); ("types", arr (List.map str ots)) ]
+      obj [ ("kind", str "type_exclusion"); ("types", J.strings ots) ]
   | Constraints.Total_subtypes (super, subs) ->
       obj
         [
           ("kind", str "total_subtypes");
           ("super", str super);
-          ("subs", arr (List.map str subs));
+          ("subs", J.strings subs);
         ]
   | Constraints.Ring (k, fact) ->
       obj [ ("kind", str "ring"); ("ring", str (Ring.abbrev k)); ("fact", str fact) ]
 
-let of_schema schema =
+let schema_value schema =
   obj
     [
       ("name", str (Schema.name schema));
-      ("object_types", arr (List.map str (Schema.object_types schema)));
+      ("object_types", J.strings (Schema.object_types schema));
       ( "subtypes",
         arr
           (List.map
@@ -115,7 +103,7 @@ let of_element = function
 let of_diagnostic (d : Orm_patterns.Diagnostic.t) =
   let origin =
     match d.origin with
-    | Pattern n -> obj [ ("kind", str "pattern"); ("number", string_of_int n) ]
+    | Pattern n -> obj [ ("kind", str "pattern"); ("number", J.Int n) ]
     | Propagation e -> obj [ ("kind", str "propagation"); ("from", of_element e) ]
   in
   obj
@@ -127,15 +115,15 @@ let of_diagnostic (d : Orm_patterns.Diagnostic.t) =
           | Element_unsatisfiable -> "element"
           | Jointly_unsatisfiable -> "joint") );
       ("affected", arr (List.map of_element d.affected));
-      ("culprits", arr (List.map str d.culprits));
+      ("culprits", J.strings d.culprits);
       ("message", str d.message);
     ]
 
-let of_report (r : Orm_patterns.Engine.report) =
+let report_value (r : Orm_patterns.Engine.report) =
   obj
     [
       ("diagnostics", arr (List.map of_diagnostic r.diagnostics));
-      ("unsat_types", arr (List.map str (Ids.String_set.elements r.unsat_types)));
+      ("unsat_types", J.strings (Ids.String_set.elements r.unsat_types));
       ( "unsat_roles",
         arr (List.map of_role (Ids.Role_set.elements r.unsat_roles)) );
       ( "joint",
@@ -144,3 +132,6 @@ let of_report (r : Orm_patterns.Engine.report) =
              (fun group -> arr (List.map of_role (Ids.Role_set.elements group)))
              r.joint) );
     ]
+
+let of_schema schema = J.to_string (schema_value schema)
+let of_report r = J.to_string (report_value r)

@@ -1,19 +1,26 @@
 (** JSON export of schemas and diagnostic reports.
 
-    A dependency-free JSON serializer (the container has no json library)
-    for integrating the checker with external tooling — e.g. an editor
-    plugin consuming diagnostics, the use case behind the paper's footnote
-    about re-implementing the patterns in Protégé. *)
+    A thin schema→value mapping over the repository's shared JSON core
+    ({!Orm_json}) for integrating the checker with external tooling —
+    e.g. an editor plugin consuming diagnostics, the use case behind the
+    paper's footnote about re-implementing the patterns in Protégé. *)
 
 open Orm
 
-val of_schema : Schema.t -> string
-(** The schema as a JSON object: [{name, object_types, subtypes, facts,
+val schema_value : Schema.t -> Orm_json.t
+(** The schema as a JSON value: [{name, object_types, subtypes, facts,
     constraints}] with constraints rendered structurally. *)
 
-val of_report : Orm_patterns.Engine.report -> string
+val report_value : Orm_patterns.Engine.report -> Orm_json.t
 (** The engine report: diagnostics with origin/certainty/affected/culprits,
-    plus the aggregated unsatisfiable element lists. *)
+    plus the aggregated unsatisfiable element lists.  The checking
+    service splices this value into its response bodies. *)
+
+val of_schema : Schema.t -> string
+(** [schema_value] compactly printed. *)
+
+val of_report : Orm_patterns.Engine.report -> string
+(** [report_value] compactly printed. *)
 
 val escape_string : string -> string
-(** JSON string escaping (exposed for tests). *)
+(** {!Orm_json.escape_string} (exposed for tests). *)

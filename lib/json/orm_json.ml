@@ -1,0 +1,444 @@
+(* Orm_json — the repository's single JSON core.
+
+   Every other JSON producer/consumer (the NDJSON protocol envelope, the
+   schema exporter, metrics snapshots, Chrome traces, the HTTP body
+   validator, the server config file) is a thin layer over this module.
+   It is deliberately dependency-free so anything can link it.
+
+   The parser is strict RFC 8259: leading zeros, unescaped control
+   characters, lone UTF-16 surrogates, non-finite numbers and trailing
+   input are all rejected, with byte-offset error positions.  Depth and
+   input-size limits are configurable so untrusted network bodies cannot
+   blow the stack or the heap.
+
+   The printer standardizes float formatting on shortest-round-trip
+   output (the legacy stacks disagreed between %g and hand-rolled
+   formats); integers print as integers, and [Float] values always carry
+   a '.' or exponent so they re-parse as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { offset : int; message : string }
+
+let error_to_string e = Printf.sprintf "at %d: %s" e.offset e.message
+
+(* ---- printing ---------------------------------------------------------- *)
+
+(* Shortest decimal representation that round-trips through
+   [float_of_string].  %.15g suffices for most doubles; the rest need 16
+   or (worst case) 17 significant digits.  Integral values get a ".0"
+   suffix so they stay floats across a round-trip. *)
+let float_repr f =
+  if f <> f then invalid_arg "Orm_json: cannot print nan";
+  if f = infinity || f = neg_infinity then
+    invalid_arg "Orm_json: cannot print infinity";
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.16g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* Byte-compatible with the legacy protocol/export escaping: named escapes
+   for the common controls, \u00xx for the rest.  CESU/WTF-8-encoded
+   UTF-16 surrogates (0xED 0xA0..0xBF ..) are rejected rather than
+   emitted: they are not valid UTF-8 and downstream consumers (browsers,
+   jq) refuse them. *)
+let escape_string s =
+  let n = String.length s in
+  let buf = Buffer.create (n + 2) in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '"' -> Buffer.add_string buf "\\\""
+    | '\\' -> Buffer.add_string buf "\\\\"
+    | '\n' -> Buffer.add_string buf "\\n"
+    | '\t' -> Buffer.add_string buf "\\t"
+    | '\r' -> Buffer.add_string buf "\\r"
+    | '\xed' when i + 1 < n && Char.code s.[i + 1] >= 0xa0 ->
+        invalid_arg "Orm_json: lone UTF-16 surrogate in string"
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+    | c -> Buffer.add_char buf c
+  done;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let to_string_pretty ?(indent = 2) v =
+  let buf = Buffer.create 256 in
+  let pad d = Buffer.add_string buf (String.make (d * indent) ' ') in
+  let rec go d = function
+    | List [] -> Buffer.add_string buf "[]"
+    | Obj [] -> Buffer.add_string buf "{}"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            go (d + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_string buf "\": ";
+            go (d + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf '}'
+    | scalar -> write buf scalar
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+exception Fail of error
+
+let fail pos msg = raise (Fail { offset = pos; message = msg })
+
+type state = { src : string; mutable pos : int; max_depth : int }
+
+let peek st =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st.pos (Printf.sprintf "expected %c" c)
+
+let literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then (
+    st.pos <- st.pos + String.length word;
+    value)
+  else fail st.pos ("expected " ^ word)
+
+(* UTF-8 encode one code point (already surrogate-free: pairs are
+   combined and lone surrogates rejected before we get here). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+(* Four hex digits, validated by hand: [int_of_string "0x…"] would also
+   accept underscores. *)
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st.pos "truncated \\u escape";
+  let digit i =
+    match st.src.[st.pos + i] with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> fail (st.pos + i) "bad \\u escape"
+  in
+  let v = (digit 0 lsl 12) lor (digit 1 lsl 8) lor (digit 2 lsl 4) lor digit 3 in
+  st.pos <- st.pos + 4;
+  v
+
+let parse_escape st buf =
+  match peek st with
+  | Some (('"' | '\\' | '/') as c) ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1
+  | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1
+  | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1
+  | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1
+  | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1
+  | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1
+  | Some 'u' ->
+      let escape_start = st.pos - 1 in
+      st.pos <- st.pos + 1;
+      let cp = hex4 st in
+      if cp >= 0xD800 && cp <= 0xDBFF then begin
+        (* High surrogate: must be followed by \uDC00-\uDFFF; combine. *)
+        if
+          st.pos + 2 <= String.length st.src
+          && st.src.[st.pos] = '\\'
+          && st.src.[st.pos + 1] = 'u'
+        then begin
+          st.pos <- st.pos + 2;
+          let lo = hex4 st in
+          if lo >= 0xDC00 && lo <= 0xDFFF then
+            add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+          else fail escape_start "lone high surrogate"
+        end
+        else fail escape_start "lone high surrogate"
+      end
+      else if cp >= 0xDC00 && cp <= 0xDFFF then
+        fail escape_start "lone low surrogate"
+      else add_utf8 buf cp
+  | _ -> fail st.pos "unsupported escape"
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+        st.pos <- st.pos + 1;
+        parse_escape st buf;
+        loop ()
+    | Some c when Char.code c < 0x20 ->
+        fail st.pos "unescaped control character in string"
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
+  let digits () =
+    let d0 = st.pos in
+    let rec go () =
+      match peek st with
+      | Some ('0' .. '9') ->
+          st.pos <- st.pos + 1;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if st.pos = d0 then fail st.pos "expected digit"
+  in
+  (match peek st with
+  | Some '0' -> (
+      st.pos <- st.pos + 1;
+      match peek st with
+      | Some ('0' .. '9') -> fail st.pos "leading zeros are not allowed"
+      | _ -> ())
+  | Some ('1' .. '9') ->
+      st.pos <- st.pos + 1;
+      (let rec go () =
+         match peek st with
+         | Some ('0' .. '9') ->
+             st.pos <- st.pos + 1;
+             go ()
+         | _ -> ()
+       in
+       go ())
+  | _ -> fail st.pos "expected digit");
+  let is_float = ref false in
+  (match peek st with
+  | Some '.' ->
+      is_float := true;
+      st.pos <- st.pos + 1;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some ('+' | '-') -> st.pos <- st.pos + 1
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if not !is_float then
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+        (* Integer literal beyond native int range: degrade to float. *)
+        match float_of_string_opt text with
+        | Some f when Float.is_finite f -> Float f
+        | _ -> fail start "number out of range")
+  else
+    match float_of_string_opt text with
+    | Some f when Float.is_finite f -> Float f
+    | Some _ -> fail start "number out of range"
+    | None -> fail start "bad number"
+
+let rec parse_value st depth =
+  (* [depth] containers surround the value being parsed (root = 0); a
+     document may nest at most [max_depth] container levels, and only
+     opening a container deepens — scalars sit inside the innermost one *)
+  skip_ws st;
+  match peek st with
+  | Some '{' ->
+      if depth >= st.max_depth then fail st.pos "nesting too deep";
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then (
+        st.pos <- st.pos + 1;
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          expect st ':';
+          let v = parse_value st (depth + 1) in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail st.pos "expected , or }"
+        in
+        members []
+  | Some '[' ->
+      if depth >= st.max_depth then fail st.pos "nesting too deep";
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then (
+        st.pos <- st.pos + 1;
+        List [])
+      else
+        let rec elems acc =
+          let v = parse_value st (depth + 1) in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List (List.rev (v :: acc))
+          | _ -> fail st.pos "expected , or ]"
+        in
+        elems []
+  | Some '"' -> String (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | _ -> fail st.pos "expected value"
+
+let default_max_depth = 512
+
+let parse ?(max_depth = default_max_depth) ?max_size src =
+  match max_size with
+  | Some limit when String.length src > limit ->
+      Error
+        {
+          offset = 0;
+          message = Printf.sprintf "input exceeds %d bytes" limit;
+        }
+  | _ -> (
+      let st = { src; pos = 0; max_depth } in
+      match
+        let v = parse_value st 0 in
+        skip_ws st;
+        if st.pos <> String.length src then fail st.pos "trailing input";
+        v
+      with
+      | v -> Ok v
+      | exception Fail e -> Error e)
+
+let of_string ?max_depth ?max_size src =
+  match parse ?max_depth ?max_size src with
+  | Ok v -> Ok v
+  | Error e -> Error (error_to_string e)
+
+(* ---- accessors --------------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_int_opt = function Int n -> Some n | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List items -> Some items | _ -> None
+let to_obj_opt = function Obj fields -> Some fields | _ -> None
+
+let bool_member k v = Option.bind (member k v) to_bool_opt
+let int_member k v = Option.bind (member k v) to_int_opt
+let float_member k v = Option.bind (member k v) to_float_opt
+let string_member k v = Option.bind (member k v) to_string_opt
+let list_member k v = Option.bind (member k v) to_list_opt
+
+(* ---- builders ---------------------------------------------------------- *)
+
+(* Field-list combinators for building objects with optional/conditional
+   members: [obj (field "a" x @ field_opt "b" maybe @ field_if cond "c" y)]. *)
+let obj fields = Obj fields
+let field k v = [ (k, v) ]
+let field_opt k = function Some v -> [ (k, v) ] | None -> []
+let field_if cond k v = if cond then [ (k, v) ] else []
+let strings items = List (List.map (fun s -> String s) items)
+let ints items = List (List.map (fun n -> Int n) items)

@@ -1,0 +1,95 @@
+(** The repository's single JSON core.
+
+    Every JSON producer/consumer in the tree — the NDJSON protocol
+    envelope ({!Orm_server.Protocol}), the schema exporter
+    ({!Orm_export.Json}), metrics snapshots, Chrome traces, the HTTP
+    body validator, and the server config file — is a thin layer over
+    this module.  It has no dependencies so anything can link it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Compact printing: no whitespace, [{"k":v,...}].  Strings are escaped
+    per RFC 8259 ([\n]/[\t]/[\r] named, other control characters as
+    [\u00xx]).  Raises [Invalid_argument] on non-finite floats and on
+    strings containing WTF-8-encoded UTF-16 surrogates — neither has a
+    valid JSON representation. *)
+
+val to_string_pretty : ?indent:int -> t -> string
+(** Human-readable printing with [indent]-space (default 2) nesting. *)
+
+val float_repr : float -> string
+(** Shortest decimal representation that round-trips through
+    [float_of_string].  Integral values render with a trailing [.0] so
+    they stay [Float] across a round-trip.  Raises [Invalid_argument] on
+    nan/infinity. *)
+
+val escape_string : string -> string
+(** The string-escaping used by {!to_string}, without the surrounding
+    quotes. *)
+
+(** {1 Parsing} *)
+
+type error = { offset : int; message : string }
+(** A parse error at a byte offset into the input. *)
+
+val error_to_string : error -> string
+(** ["at <offset>: <message>"]. *)
+
+val default_max_depth : int
+
+val parse : ?max_depth:int -> ?max_size:int -> string -> (t, error) result
+(** Strict RFC 8259 parsing of a complete value: leading zeros,
+    unescaped control characters in strings, lone UTF-16 surrogate
+    escapes, non-finite numbers and trailing input are all rejected.
+    Surrogate pairs combine into one code point.  Numbers without a
+    fraction or exponent parse as [Int] when they fit the native int
+    range (degrading to [Float] beyond it); all others parse as [Float].
+    [max_depth] bounds container nesting (default
+    {!default_max_depth}); [max_size] (default unlimited) rejects
+    oversized inputs before scanning them. *)
+
+val of_string : ?max_depth:int -> ?max_size:int -> string -> (t, string) result
+(** {!parse} with the error rendered by {!error_to_string}. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_bool_opt : t -> bool option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts [Int] as well as [Float]. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option
+
+val bool_member : string -> t -> bool option
+val int_member : string -> t -> int option
+val float_member : string -> t -> float option
+val string_member : string -> t -> string option
+val list_member : string -> t -> t list option
+
+(** {1 Builders}
+
+    Field-list combinators for objects with optional or conditional
+    members: [obj (field "a" x @ field_opt "b" maybe @ field_if c "d" y)]. *)
+
+val obj : (string * t) list -> t
+val field : string -> t -> (string * t) list
+val field_opt : string -> t option -> (string * t) list
+val field_if : bool -> string -> t -> (string * t) list
+val strings : string list -> t
+val ints : int list -> t

@@ -138,21 +138,36 @@ let read_conn ~max_body ~draining server pending max_pending conn =
    responses cannot hold shutdown hostage. *)
 let drain_grace_s = 5.0
 
-let serve_fd ?(max_body = Http.default_max_body) ~server ~framing listen_fd =
+let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
+    listen_fd =
   let stop = Server.stop_flag server in
+  let reload = Server.reload_flag server in
   let old_term =
     Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true))
   in
   let old_int =
     Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
   in
+  let old_hup =
+    Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set reload true))
+  in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let restore () =
     Sys.set_signal Sys.sigterm old_term;
     Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sighup old_hup;
     Sys.set_signal Sys.sigpipe old_pipe
   in
-  let max_pending = (Server.config server).Server.max_pending in
+  let maybe_reload () =
+    if Atomic.get reload then begin
+      Atomic.set reload false;
+      match config_file with
+      | Some path -> Server.reload_config_file server path
+      | None -> Log.info "net: SIGHUP ignored (no --config file to reload)"
+    end
+  in
+  (* re-read per iteration: a SIGHUP reload can change the bound *)
+  let max_pending () = (Server.config server).Server.max_pending in
   let conns = ref [] in
   let pending : pending_item Queue.t = Queue.create () in
   let draining = ref false in
@@ -169,6 +184,7 @@ let serve_fd ?(max_body = Http.default_max_body) ~server ~framing listen_fd =
   let finished = ref false in
   while not !finished do
     if Atomic.get stop then start_drain "signal";
+    maybe_reload ();
     (* answer everything already admitted *)
     let answered = not (Queue.is_empty pending) in
     while not (Queue.is_empty pending) do
@@ -234,7 +250,7 @@ let serve_fd ?(max_body = Http.default_max_body) ~server ~framing listen_fd =
             (fun c ->
               if List.mem c.fd ready_r then
                 read_conn ~max_body ~draining:is_draining server pending
-                  max_pending c)
+                  (max_pending ()) c)
             !conns;
           List.iter (fun c -> if List.mem c.fd ready_w then flush_conn c) !conns
     end
@@ -262,9 +278,11 @@ let max_respawns = 64
 let supervise ~spawn ~workers =
   let children = Hashtbl.create workers in
   let stopping = ref false in
+  let hup = ref false in
   let handle _ = stopping := true in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handle) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handle) in
+  let old_hup = Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> hup := true)) in
   for slot = 0 to workers - 1 do
     Hashtbl.replace children (spawn slot) slot
   done;
@@ -277,9 +295,21 @@ let supervise ~spawn ~workers =
         children
     end
   in
+  (* hot config reload fans out through the existing signal path: every
+     worker re-reads its own config file (the supervisor holds no server) *)
+  let forward_hup () =
+    if !hup then begin
+      hup := false;
+      Log.info "net: forwarding SIGHUP to %d worker(s)" (Hashtbl.length children);
+      Hashtbl.iter
+        (fun pid _ -> try Unix.kill pid Sys.sighup with Unix.Unix_error _ -> ())
+        children
+    end
+  in
   let respawns = ref 0 in
   while Hashtbl.length children > 0 do
     if !stopping then forward ();
+    forward_hup ();
     match Unix.waitpid [] (-1) with
     | exception Unix.Unix_error (EINTR, _, _) -> ()
     | exception Unix.Unix_error (ECHILD, _, _) -> Hashtbl.reset children
@@ -328,9 +358,10 @@ let supervise ~spawn ~workers =
                 end))
   done;
   Sys.set_signal Sys.sigterm old_term;
-  Sys.set_signal Sys.sigint old_int
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sighup old_hup
 
-let run ?(workers = 1) ?max_body ~make_server spec =
+let run ?(workers = 1) ?max_body ?config_file ~make_server spec =
   match Listen.bind spec with
   | Error _ as e -> e
   | Ok listen_fd ->
@@ -338,7 +369,8 @@ let run ?(workers = 1) ?max_body ~make_server spec =
       Log.info "net: listening on %s (%d worker(s))" (Listen.describe spec)
         (max 1 workers);
       if workers <= 1 then
-        serve_fd ?max_body ~server:(make_server ()) ~framing listen_fd
+        serve_fd ?max_body ?config_file ~server:(make_server ()) ~framing
+          listen_fd
       else
         supervise ~workers ~spawn:(fun _slot ->
             match Unix.fork () with
@@ -346,8 +378,8 @@ let run ?(workers = 1) ?max_body ~make_server spec =
                 (* the child builds its own server: caches, metrics and
                    disk-cache handles must not be shared through fork *)
                 (try
-                   serve_fd ?max_body ~server:(make_server ()) ~framing
-                     listen_fd
+                   serve_fd ?max_body ?config_file ~server:(make_server ())
+                     ~framing listen_fd
                  with exn ->
                    Log.err "net: worker crashed: %s" (Printexc.to_string exn);
                    exit 1);

@@ -24,19 +24,24 @@
 
 val serve_fd :
   ?max_body:int ->
+  ?config_file:string ->
   server:Orm_server.Server.t ->
   framing:Listen.framing ->
   Unix.file_descr ->
   unit
 (** Runs the loop on a listening socket until drained: SIGTERM/SIGINT
     (handlers installed for the duration), a [shutdown] request, or
-    another thread setting {!Orm_server.Server.stop_flag}.  The caller
-    owns the socket — {!serve_fd} does not close it, so prefork workers
-    can share one bound descriptor. *)
+    another thread setting {!Orm_server.Server.stop_flag}.  A SIGHUP
+    re-reads [config_file] between requests (hot reload, same semantics
+    as {!Orm_server.Server.serve}); without a [config_file] the signal
+    is logged and ignored.  The caller owns the socket — {!serve_fd}
+    does not close it, so prefork workers can share one bound
+    descriptor. *)
 
 val run :
   ?workers:int ->
   ?max_body:int ->
+  ?config_file:string ->
   make_server:(unit -> Orm_server.Server.t) ->
   Listen.spec ->
   (unit, string) result
@@ -50,8 +55,10 @@ val run :
     the shared socket.  The parent only supervises: SIGTERM/SIGINT fan
     out to the children (which drain and exit 0), a crashed child is
     respawned (bounded, so a deterministic crash loop terminates the
-    fleet instead of spinning), and a child exiting 0 voluntarily — a
-    [shutdown] request — drains the whole fleet.  Returns once the
-    socket is closed (and, for [unix:] specs, unlinked).
+    fleet instead of spinning), a SIGHUP fans out to every live worker
+    (each re-reads [config_file] itself — the supervisor holds no server
+    state), and a child exiting 0 voluntarily — a [shutdown] request —
+    drains the whole fleet.  Returns once the socket is closed (and, for
+    [unix:] specs, unlinked).
 
     [Error] is a bind failure; everything after binding is handled. *)

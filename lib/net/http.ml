@@ -48,6 +48,16 @@ let parse ?(max_body = default_max_body) s =
             consumed = String.length s;
           }
       else Incomplete
+  | Some body_start when body_start > max_head ->
+      (* the bound holds even when the whole head arrives in one read —
+         the buffering path above only catches heads still growing *)
+      Reject
+        {
+          code = 431;
+          reason = "request header block too large";
+          close = true;
+          consumed = body_start;
+        }
   | Some body_start -> (
       let head = String.sub s 0 body_start in
       match split_lines head with
@@ -182,7 +192,7 @@ let envelope_of_request (r : request) =
         | Ok params ->
             let id =
               match List.assoc_opt "x-request-id" r.headers with
-              | Some v when v <> "" -> [ ("id", P.Str v) ]
+              | Some v when v <> "" -> [ ("id", P.String v) ]
               | _ -> []
             in
             Ok
@@ -190,7 +200,7 @@ let envelope_of_request (r : request) =
                  (P.Obj
                     ([ ("ormcheck", P.Int P.version) ]
                     @ id
-                    @ [ ("method", P.Str meth) ]
+                    @ [ ("method", P.String meth) ]
                     @
                     match params with
                     | Some o -> [ ("params", o) ]
@@ -200,10 +210,10 @@ let code_of_response line =
   match P.json_of_string line with
   | Ok (P.Obj _ as o) -> (
       match P.member "status" o with
-      | Some (P.Str "ok") -> 200
-      | Some (P.Str "error") -> 400
-      | Some (P.Str "timeout") -> 408
-      | Some (P.Str "overloaded") -> 429
+      | Some (P.String "ok") -> 200
+      | Some (P.String "error") -> 400
+      | Some (P.String "timeout") -> 408
+      | Some (P.String "overloaded") -> 429
       | _ -> 500)
   | _ -> 500
 

@@ -11,7 +11,7 @@ type 'a node = {
 }
 
 type 'a t = {
-  cap : int;
+  mutable cap : int;
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;
   mutable tail : 'a node option;
@@ -79,6 +79,19 @@ let add t key value =
 
 let length t = Hashtbl.length t.tbl
 let capacity t = t.cap
+
+(* Hot config reload: shrinking evicts least-recently-used entries down to
+   the new bound immediately, growing just raises the bound. *)
+let set_capacity t capacity =
+  if capacity < 1 then invalid_arg "Cache.set_capacity: capacity must be >= 1";
+  t.cap <- capacity;
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.tbl lru.key
+    | None -> assert false
+  done
 let hits t = t.hit_count
 let misses t = t.miss_count
 

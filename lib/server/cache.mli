@@ -35,6 +35,12 @@ val add : 'a t -> string -> 'a -> unit
 
 val length : 'a t -> int
 val capacity : 'a t -> int
+
+val set_capacity : 'a t -> int -> unit
+(** Hot config reload: shrinking below the current size evicts
+    least-recently-used entries immediately, growing raises the bound.
+    @raise Invalid_argument when the new capacity is [< 1]. *)
+
 val hits : 'a t -> int
 val misses : 'a t -> int
 

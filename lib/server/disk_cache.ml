@@ -3,7 +3,7 @@ module Log = Orm_trace.Log
 
 type t = {
   dir : string;
-  max_bytes : int;
+  mutable max_bytes : int;  (* hot-reloadable via set_max_bytes *)
   metrics : Metrics.t option;
   mutable approx_bytes : int;
       (* running estimate, refreshed by every GC rescan; per-process, so
@@ -21,30 +21,87 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
   end
 
-(* Every entry is one file: <hex digest of key>.json, whose first line is
-   the full key (read back and compared, so a digest collision or a
-   truncated write degrades to a miss, never a wrong answer) and whose
-   remainder is the stored value verbatim. *)
-let path_of t key = Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".json")
+(* Entries are sharded by the first two hex characters of the key digest:
+   <dir>/ab/cdef….json.  A flat directory degrades past ~100k entries
+   (every sweep rescans everything); 256 shards keep each scan's working
+   set small and let the sweep proceed one shard at a time.  The file's
+   first line is the full key (read back and compared, so a digest
+   collision or a truncated write degrades to a miss, never a wrong
+   answer) and the remainder is the stored value verbatim. *)
+let shard_of_hex hex = String.sub hex 0 2
+let is_hex_name n = String.length n = 2 && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) n
 
-let entry_files t =
+let path_of t key =
+  let hex = Digest.to_hex (Digest.string key) in
+  Filename.concat (Filename.concat t.dir (shard_of_hex hex))
+    (String.sub hex 2 (String.length hex - 2) ^ ".json")
+
+let shard_dirs t =
   match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter is_hex_name
+      |> List.filter_map (fun n ->
+             let p = Filename.concat t.dir n in
+             if try Sys.is_directory p with Sys_error _ -> false then Some p
+             else None)
+
+let files_in dir =
+  match Sys.readdir dir with
   | exception Sys_error _ -> []
   | names ->
       Array.to_list names
       |> List.filter (fun n -> Filename.check_suffix n ".json")
       |> List.filter_map (fun n ->
-             let path = Filename.concat t.dir n in
+             let path = Filename.concat dir n in
              match Unix.stat path with
              | { st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
                  Some (path, st_mtime, st_size)
              | _ | (exception Unix.Unix_error _) -> None)
 
+let entry_files t = List.concat_map files_in (shard_dirs t)
 let scan_bytes t = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 (entry_files t)
+
+(* A store written by the pre-shard layout keeps its entries directly under
+   [dir] as <32 hex chars>.json.  Move each into its shard on first open so
+   one binary upgrade never orphans a warm cache.  (The key line inside the
+   file still names the old format_version, so migrated entries miss
+   cleanly under the new one and age out via the sweep.) *)
+let migrate_flat_layout dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let moved =
+        Array.fold_left
+          (fun moved n ->
+            if
+              Filename.check_suffix n ".json"
+              && String.length n = 32 + 5
+              && String.for_all
+                   (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+                   (Filename.chop_suffix n ".json")
+            then begin
+              let shard = Filename.concat dir (shard_of_hex n) in
+              mkdir_p shard;
+              let dst =
+                Filename.concat shard (String.sub n 2 (String.length n - 2))
+              in
+              match Unix.rename (Filename.concat dir n) dst with
+              | () -> moved + 1
+              | exception Unix.Unix_error _ -> moved
+            end
+            else moved)
+          0 names
+      in
+      if moved > 0 then
+        Log.info "disk cache: migrated %d flat-layout entr%s into shards under %s"
+          moved (if moved = 1 then "y" else "ies") dir
 
 let create ?metrics ?(max_bytes = default_max_bytes) ~dir () =
   if max_bytes < 1 then invalid_arg "Disk_cache.create: max_bytes must be positive";
   mkdir_p dir;
+  migrate_flat_layout dir;
   let t = { dir; max_bytes; metrics; approx_bytes = 0; hits = 0; misses = 0 } in
   t.approx_bytes <- scan_bytes t;
   t
@@ -89,7 +146,11 @@ let find t key =
           end)
 
 (* Rescan, then delete oldest-first down to 90% of the bound, so each GC
-   buys headroom instead of firing on every subsequent write. *)
+   buys headroom instead of firing on every subsequent write.  The scan is
+   amortized per shard — 256 small readdirs instead of one directory scan
+   whose cost grows with the whole store (the flat layout's failure mode
+   past ~100k entries); only the light (path, mtime, size) tuples are held
+   across shards for the global LRU order. *)
 let gc t =
   let files =
     List.sort (fun (_, a, _) (_, b, _) -> compare a b) (entry_files t)
@@ -108,8 +169,14 @@ let gc t =
   in
   t.approx_bytes <- remaining
 
+let set_max_bytes t max_bytes =
+  if max_bytes < 1 then invalid_arg "Disk_cache.set_max_bytes: max_bytes must be positive";
+  t.max_bytes <- max_bytes;
+  if t.approx_bytes > t.max_bytes then gc t
+
 let add t key value =
   let path = path_of t key in
+  mkdir_p (Filename.dirname path);
   (* pid-unique temp name: prefork workers racing on the same key each
      rename their own complete file into place (last writer wins) *)
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in

@@ -8,14 +8,18 @@
     and the build's {!Protocol.format_version}, so an entry written by an
     incompatible binary simply never gets looked up.
 
-    Layout: one regular file per entry, named by the hex digest of the key,
-    holding the full key on the first line (compared on read, so digest
-    collisions and truncated writes degrade to misses) and the serialized
-    response body after it.  Writes go to a pid-unique temp file renamed
-    into place, so concurrent prefork workers sharing one directory never
-    expose a half-written entry.  When the store grows past [max_bytes], a
-    mtime-ordered sweep deletes oldest entries down to 90% of the bound;
-    {!find} bumps the entry's mtime, making the sweep approximately LRU.
+    Layout: one regular file per entry, sharded by the first two hex
+    characters of the key digest ([<dir>/ab/cdef….json]) so directory
+    scans stay fast past 100k entries; a store written by the old flat
+    layout is migrated into shards on first open.  Each file holds the
+    full key on the first line (compared on read, so digest collisions
+    and truncated writes degrade to misses) and the serialized response
+    body after it.  Writes go to a pid-unique temp file renamed into
+    place, so concurrent prefork workers sharing one directory never
+    expose a half-written entry.  When the store grows past [max_bytes],
+    a mtime-ordered sweep deletes oldest entries down to 90% of the
+    bound, processing one shard's listing at a time; {!find} bumps the
+    entry's mtime, making the sweep approximately LRU.
 
     Failures are absorbed: an unreadable, corrupt or foreign file is a miss
     (corrupt ones are deleted), and a failed write is logged and dropped —
@@ -45,6 +49,11 @@ val add : t -> string -> string -> unit
 
 val dir : t -> string
 val max_bytes : t -> int
+
+val set_max_bytes : t -> int -> unit
+(** Hot config reload: shrinking below the store's current size triggers
+    an immediate sweep.
+    @raise Invalid_argument when the new bound is [< 1]. *)
 
 val hits : t -> int
 (** Hits served by {e this} handle — per-process, not per-directory. *)

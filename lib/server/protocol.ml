@@ -5,220 +5,34 @@ let version = 1
 (* Bumped whenever the schema format or the meaning of a serialized result
    changes between binaries.  Folded into every cache key, so a persistent
    store written by an older build misses cleanly instead of serving a
-   result the current engine would compute differently. *)
-let format_version = 1
+   result the current engine would compute differently.
+   v2: unified JSON core (Orm_json) — shortest-round-trip float printing
+   and a sharded disk-cache layout. *)
+let format_version = 2
 
-(* ---- JSON ------------------------------------------------------------- *)
+(* ---- JSON -------------------------------------------------------------- *)
 
-type json =
+(* The envelope speaks the repository-wide JSON type.  The equation keeps
+   the constructors usable as [Protocol.String], [Protocol.Obj], … so the
+   server, the HTTP adapter and the CLI all build values without naming
+   Orm_json directly. *)
+type json = Orm_json.t =
   | Null
   | Bool of bool
   | Int of int
-  | Str of string
-  | Arr of json list
+  | Float of float
+  | String of string
+  | List of json list
   | Obj of (string * json) list
-  | Raw of string
 
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_to_string = Orm_json.to_string
 
-let json_to_string v =
-  let buf = Buffer.create 256 in
-  let rec go = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Str s ->
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape_string s);
-        Buffer.add_char buf '"'
-    | Arr items ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i item ->
-            if i > 0 then Buffer.add_char buf ',';
-            go item)
-          items;
-        Buffer.add_char buf ']'
-    | Obj fields ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char buf ',';
-            go (Str k);
-            Buffer.add_char buf ':';
-            go v)
-          fields;
-        Buffer.add_char buf '}'
-    | Raw s -> Buffer.add_string buf s
-  in
-  go v;
-  Buffer.contents buf
+(* Envelope lines arrive over the network; bound nesting well below the
+   parser's default so a hostile request cannot probe stack limits. *)
+let json_of_string s = Orm_json.of_string ~max_depth:64 s
+let member = Orm_json.member
 
 exception Bad of string
-
-type state = { src : string; mutable pos : int }
-
-let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let rec skip_ws st =
-  match peek st with
-  | Some (' ' | '\t' | '\n' | '\r') ->
-      st.pos <- st.pos + 1;
-      skip_ws st
-  | _ -> ()
-
-let expect st c =
-  skip_ws st;
-  match peek st with
-  | Some d when d = c -> st.pos <- st.pos + 1
-  | _ -> error st (Printf.sprintf "expected %c" c)
-
-let literal st word value =
-  if
-    st.pos + String.length word <= String.length st.src
-    && String.sub st.src st.pos (String.length word) = word
-  then (
-    st.pos <- st.pos + String.length word;
-    value)
-  else error st ("expected " ^ word)
-
-(* UTF-8 encode one code point (what a \uXXXX escape denotes; surrogate
-   pairs outside the BMP are not combined — the protocol never emits them). *)
-let add_utf8 buf cp =
-  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
-  else if cp < 0x800 then begin
-    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-  else begin
-    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
-    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-
-let parse_string st =
-  expect st '"';
-  let buf = Buffer.create 16 in
-  let rec loop () =
-    match peek st with
-    | None -> error st "unterminated string"
-    | Some '"' -> st.pos <- st.pos + 1
-    | Some '\\' -> (
-        st.pos <- st.pos + 1;
-        match peek st with
-        | Some (('"' | '\\' | '/') as c) ->
-            Buffer.add_char buf c;
-            st.pos <- st.pos + 1;
-            loop ()
-        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
-        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
-        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
-        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; loop ()
-        | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; loop ()
-        | Some 'u' ->
-            if st.pos + 4 >= String.length st.src then error st "truncated \\u escape";
-            let hex = String.sub st.src (st.pos + 1) 4 in
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some cp ->
-                add_utf8 buf cp;
-                st.pos <- st.pos + 5;
-                loop ()
-            | None -> error st "bad \\u escape")
-        | _ -> error st "unsupported escape")
-    | Some c ->
-        Buffer.add_char buf c;
-        st.pos <- st.pos + 1;
-        loop ()
-  in
-  loop ();
-  Buffer.contents buf
-
-let parse_int st =
-  let start = st.pos in
-  (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
-  let rec digits () =
-    match peek st with
-    | Some ('0' .. '9') ->
-        st.pos <- st.pos + 1;
-        digits ()
-    | _ -> ()
-  in
-  digits ();
-  if st.pos = start then error st "expected integer";
-  (match peek st with
-  | Some ('.' | 'e' | 'E') -> error st "fractional numbers are not part of the protocol"
-  | _ -> ());
-  match int_of_string_opt (String.sub st.src start (st.pos - start)) with
-  | Some n -> n
-  | None -> error st "integer out of range"
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | Some '{' ->
-      st.pos <- st.pos + 1;
-      skip_ws st;
-      if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
-      else
-        let rec members acc =
-          let k = (skip_ws st; parse_string st) in
-          expect st ':';
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
-          | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
-          | _ -> error st "expected , or }"
-        in
-        members []
-  | Some '[' ->
-      st.pos <- st.pos + 1;
-      skip_ws st;
-      if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
-      else
-        let rec elems acc =
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
-          | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
-          | _ -> error st "expected , or ]"
-        in
-        elems []
-  | Some '"' -> Str (parse_string st)
-  | Some ('-' | '0' .. '9') -> Int (parse_int st)
-  | Some 't' -> literal st "true" (Bool true)
-  | Some 'f' -> literal st "false" (Bool false)
-  | Some 'n' -> literal st "null" Null
-  | _ -> error st "expected value"
-
-let json_of_string src =
-  let st = { src; pos = 0 } in
-  match
-    let v = parse_value st in
-    skip_ws st;
-    if st.pos <> String.length src then error st "trailing input";
-    v
-  with
-  | v -> Ok v
-  | exception Bad msg -> Error msg
-
-let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 
 (* ---- requests ---------------------------------------------------------- *)
 
@@ -271,7 +85,7 @@ let settings_of_params params =
   in
   let disabled =
     match member "disable" params with
-    | Some (Arr items) ->
+    | Some (List items) ->
         List.map
           (function Int n -> n | _ -> raise (Bad "disable: expected integers"))
           items
@@ -291,7 +105,7 @@ let parse_request line =
   | Ok (Obj _ as o) -> (
       let id =
         match member "id" o with
-        | Some (Str s) -> Some s
+        | Some (String s) -> Some s
         | Some (Int n) -> Some (string_of_int n)
         | _ -> None
       in
@@ -302,7 +116,7 @@ let parse_request line =
           err (Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v version)
       | Some (Int _) -> (
           match member "method" o with
-          | Some (Str m) -> (
+          | Some (String m) -> (
               match meth_of_string m with
               | None -> err (Printf.sprintf "unknown method %S" m)
               | Some meth -> (
@@ -312,17 +126,17 @@ let parse_request line =
                   match
                     let schema_text =
                       match member "schema" params with
-                      | Some (Str s) -> Some s
+                      | Some (String s) -> Some s
                       | Some _ -> raise (Bad "schema: expected string")
                       | None -> None
                     in
                     let schema_texts =
                       match member "schemas" params with
-                      | Some (Arr items) ->
+                      | Some (List items) ->
                           Some
                             (List.map
                                (function
-                                 | Str s -> s
+                                 | String s -> s
                                  | _ -> raise (Bad "schemas: expected strings"))
                                items)
                       | Some _ -> raise (Bad "schemas: expected array")
@@ -342,9 +156,9 @@ let parse_request line =
                     in
                     let backend =
                       match member "backend" params with
-                      | Some (Str "dlr") -> `Dlr
-                      | Some (Str "sat") -> `Sat
-                      | Some (Str "both") | None -> `Both
+                      | Some (String "dlr") -> `Dlr
+                      | Some (String "sat") -> `Sat
+                      | Some (String "both") | None -> `Both
                       | Some _ -> raise (Bad "backend: expected \"dlr\", \"sat\" or \"both\"")
                     in
                     {
@@ -385,13 +199,13 @@ let settings_params (s : Settings.t) =
   @ (if extensions then [ ("extensions", Bool true) ] else [])
   @
   if disabled = [] then []
-  else [ ("disable", Arr (List.map (fun n -> Int n) disabled)) ]
+  else [ ("disable", Orm_json.ints disabled) ]
 
 let params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
     ?budget ?sat_budget ?backend () =
-  (match schema_text with Some s -> [ ("schema", Str s) ] | None -> [])
+  (match schema_text with Some s -> [ ("schema", String s) ] | None -> [])
   @ (match schema_texts with
-    | Some texts -> [ ("schemas", Arr (List.map (fun s -> Str s) texts)) ]
+    | Some texts -> [ ("schemas", Orm_json.strings texts) ]
     | None -> [])
   @ (match settings with Some s -> settings_params s | None -> [])
   @ (match jobs with Some j when j <> 1 -> [ ("jobs", Int j) ] | _ -> [])
@@ -404,7 +218,7 @@ let params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
     | _ -> [])
   @
   match backend with
-  | Some ((`Dlr | `Sat) as b) -> [ ("backend", Str (backend_to_string b)) ]
+  | Some ((`Dlr | `Sat) as b) -> [ ("backend", String (backend_to_string b)) ]
   | _ -> []
 
 let build_params ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
@@ -423,8 +237,8 @@ let build_request ?id ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
   json_to_string
     (Obj
        ([ ("ormcheck", Int version) ]
-       @ (match id with Some i -> [ ("id", Str i) ] | None -> [])
-       @ [ ("method", Str (meth_to_string meth)) ]
+       @ (match id with Some i -> [ ("id", String i) ] | None -> [])
+       @ [ ("method", String (meth_to_string meth)) ]
        @ if params = [] then [] else [ ("params", Obj params) ]))
 
 let cache_key_with ~format_version req =
@@ -454,14 +268,14 @@ let response ~id ~status ~cached body =
   json_to_string
     (Obj
        ([ ("ormcheck", Int version) ]
-       @ (match id with Some i -> [ ("id", Str i) ] | None -> [])
-       @ [ ("status", Str status); ("cached", Bool cached) ]
+       @ (match id with Some i -> [ ("id", String i) ] | None -> [])
+       @ [ ("status", String status); ("cached", Bool cached) ]
        @ body))
 
 let ok_response ~id ~cached body = response ~id ~status:"ok" ~cached body
 
 let error_response ~id msg =
-  response ~id ~status:"error" ~cached:false [ ("error", Str msg) ]
+  response ~id ~status:"error" ~cached:false [ ("error", String msg) ]
 
 let timeout_response ~id ~elapsed_ms =
   response ~id ~status:"timeout" ~cached:false [ ("elapsed_ms", Int elapsed_ms) ]
@@ -484,11 +298,11 @@ let parse_response line =
       match member "ormcheck" o with
       | Some (Int v) when v = version -> (
           match member "status" o with
-          | Some (Str status) ->
+          | Some (String status) ->
               Ok
                 {
                   resp_id =
-                    (match member "id" o with Some (Str s) -> Some s | _ -> None);
+                    (match member "id" o with Some (String s) -> Some s | _ -> None);
                   status;
                   cached = (match member "cached" o with Some (Bool b) -> b | _ -> false);
                   body = o;

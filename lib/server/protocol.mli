@@ -21,26 +21,26 @@
 
 (** {1 JSON} *)
 
-type json =
+type json = Orm_json.t =
   | Null
   | Bool of bool
   | Int of int
-  | Str of string
-  | Arr of json list
+  | Float of float
+  | String of string
+  | List of json list
   | Obj of (string * json) list
-  | Raw of string
-      (** pre-serialized JSON embedded verbatim when printing (the engine
-          report from {!Orm_export.Json.of_report}, a telemetry snapshot
-          from {!Orm_telemetry.Metrics.to_json}); never produced by
-          {!json_of_string} *)
+      (** the repository-wide JSON type ({!Orm_json.t}), re-exported so
+          protocol values can be built and matched without naming
+          [Orm_json] *)
 
 val json_to_string : json -> string
+(** {!Orm_json.to_string}: compact printing. *)
 
 val json_of_string : string -> (json, string) result
-(** Parses one JSON value (objects, arrays, strings with the usual
-    escapes including [\uXXXX], integers, booleans, [null]; number
-    fractions/exponents are rejected — the protocol never emits them).
-    [Error] carries the offending position. *)
+(** Strict RFC 8259 parsing via {!Orm_json.of_string}, with nesting
+    bounded at 64 levels — envelope lines arrive over the network.
+    [Error] carries the offending byte offset.  Integer-typed envelope
+    fields still reject [Float] values individually. *)
 
 val member : string -> json -> json option
 (** Field lookup on an [Obj]; [None] on other constructors. *)
@@ -56,6 +56,12 @@ val format_version : int
     every {!cache_key}.  Bump it whenever the [.orm] format or the meaning
     of a serialized result changes, so persistent stores written by older
     builds miss instead of serving stale answers. *)
+
+val default_budget : int
+(** Tableau rule budget a request carries when the wire names none. *)
+
+val default_sat_budget : int
+(** DPLL step budget a request carries when the wire names none. *)
 
 type meth = Check | Batch | Reason | Lint | Stats | Ping | Shutdown
 

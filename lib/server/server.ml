@@ -10,6 +10,8 @@ type config = {
   max_pending : int;
   default_deadline_ms : int option;
   default_jobs : int;
+  default_budget : int;
+  default_sat_budget : int;
 }
 
 let default_config =
@@ -18,10 +20,12 @@ let default_config =
     max_pending = 64;
     default_deadline_ms = None;
     default_jobs = 1;
+    default_budget = P.default_budget;
+    default_sat_budget = P.default_sat_budget;
   }
 
 type t = {
-  config : config;
+  mutable config : config;  (* replaced whole on hot reload *)
   cache : (string * P.json) list Cache.t;
   disk : Disk_cache.t option;  (* persistent tier under the LRU *)
   stats_sink : string option;  (* dir of per-worker metrics snapshots *)
@@ -32,6 +36,7 @@ type t = {
   mutable timeouts : int;
   mutable overloads : int;
   stop : bool Atomic.t;  (* set from signal handlers; polled by the loop *)
+  reload : bool Atomic.t;  (* set by SIGHUP; polled by the loop *)
 }
 
 let create ?metrics ?tracer ?disk_cache ?stats_sink config =
@@ -47,9 +52,54 @@ let create ?metrics ?tracer ?disk_cache ?stats_sink config =
     timeouts = 0;
     overloads = 0;
     stop = Atomic.make false;
+    reload = Atomic.make false;
   }
 
 let config t = t.config
+
+(* Hot config reload: only the overrides present in [c] change anything.
+   The LRU and the disk tier resize in place (shrinking evicts/sweeps
+   immediately); deadline, budgets and admission bound apply to the next
+   request admitted. *)
+let reconfigure t (c : Server_config.t) =
+  let cfg = t.config in
+  t.config <-
+    {
+      cfg with
+      cache_capacity = Option.value ~default:cfg.cache_capacity c.cache_capacity;
+      max_pending = Option.value ~default:cfg.max_pending c.max_pending;
+      default_deadline_ms =
+        (match c.deadline_ms with Some _ as d -> d | None -> cfg.default_deadline_ms);
+      default_budget = Option.value ~default:cfg.default_budget c.budget;
+      default_sat_budget =
+        Option.value ~default:cfg.default_sat_budget c.sat_budget;
+    };
+  Option.iter (Cache.set_capacity t.cache) c.cache_capacity;
+  (match (t.disk, c.disk_cache_mb) with
+  | Some d, Some mb -> Disk_cache.set_max_bytes d (mb * 1024 * 1024)
+  | _ -> ());
+  Option.iter Log.set_level c.log_level
+
+let reload_flag t = t.reload
+
+let reload_config_file t path =
+  match Server_config.load path with
+  | Ok c ->
+      reconfigure t c;
+      Log.info "server: config reloaded from %s (%s)" path
+        (Server_config.describe c)
+  | Error msg ->
+      (* a broken file must not take down a running service: keep the
+         current settings and say so *)
+      Log.err "server: config reload failed, keeping current settings: %s" msg
+
+let maybe_reload t config_file =
+  if Atomic.get t.reload then begin
+    Atomic.set t.reload false;
+    match config_file with
+    | Some path -> reload_config_file t path
+    | None -> Log.info "server: SIGHUP ignored (no --config file to reload)"
+  end
 let requests_served t = t.served
 let timeouts_total t = t.timeouts
 let overloads_total t = t.overloads
@@ -109,7 +159,7 @@ let report_fields report =
   [
     ("clean", P.Bool (report.Engine.diagnostics = []));
     ("diagnostics", P.Int (List.length report.Engine.diagnostics));
-    ("report", P.Raw (Orm_export.Json.of_report report));
+    ("report", Orm_export.Json.report_value report);
   ]
 
 let check_body t req ~deadline_ns schema =
@@ -123,7 +173,7 @@ let batch_body t (req : P.request) ~deadline_ns schemas =
   in
   [
     ("clean", P.Bool (List.for_all (fun r -> r.Engine.diagnostics = []) reports));
-    ("results", P.Arr (List.map (fun r -> P.Obj (report_fields r)) reports));
+    ("results", P.List (List.map (fun r -> P.Obj (report_fields r)) reports));
   ]
 
 let reason_body t (req : P.request) schema ~deadline_ns =
@@ -149,12 +199,10 @@ let reason_body t (req : P.request) schema ~deadline_ns =
           P.Obj
             [
               ("complete", P.Bool result.complete);
-              ("unsat_types", P.Arr (List.map (fun s -> P.Str s) unsat_types));
+              ("unsat_types", Orm_json.strings unsat_types);
               ( "unsat_roles",
-                P.Arr
-                  (List.map
-                     (fun r -> P.Str (Orm.Ids.role_to_string r))
-                     unsat_roles) );
+                Orm_json.strings (List.map Orm.Ids.role_to_string unsat_roles)
+              );
               ("unknown", P.Int unknown);
             ] );
       ]
@@ -173,7 +221,7 @@ let reason_body t (req : P.request) schema ~deadline_ns =
           P.Obj
             [
               ( "outcome",
-                P.Str
+                P.String
                   (match outcome with
                   | Orm_sat.Encode.Model _ -> "model"
                   | No_model -> "no_model"
@@ -191,13 +239,14 @@ let reason_body t (req : P.request) schema ~deadline_ns =
         match
           (List.assoc_opt "unsat_types" fields, List.assoc_opt "unsat_roles" fields)
         with
-        | Some (P.Arr ts), Some (P.Arr rs) -> List.length ts + List.length rs
+        | Some (P.List ts), Some (P.List rs) -> List.length ts + List.length rs
         | _ -> 0)
     | _ -> 0
   in
   let sat_no_model =
     match List.assoc_opt "sat" sat with
-    | Some (P.Obj fields) -> List.assoc_opt "outcome" fields = Some (P.Str "no_model")
+    | Some (P.Obj fields) ->
+        List.assoc_opt "outcome" fields = Some (P.String "no_model")
     | _ -> false
   in
   let clean =
@@ -206,7 +255,7 @@ let reason_body t (req : P.request) schema ~deadline_ns =
   [
     ("clean", P.Bool clean);
     ("diagnostics", P.Int (List.length report.Engine.diagnostics));
-    ("report", P.Raw (Orm_export.Json.of_report report));
+    ("report", Orm_export.Json.report_value report);
   ]
   @ dlr @ sat
 
@@ -215,22 +264,44 @@ let lint_body schema =
   [
     ("clean", P.Bool (findings = []));
     ( "findings",
-      P.Arr
+      P.List
         (List.map
            (fun (f : Orm_lint.Lint.finding) ->
              P.Obj
                [
-                 ("rule", P.Str f.rule.rule_id);
+                 ("rule", P.String f.rule.rule_id);
                  ( "severity",
-                   P.Str
+                   P.String
                      (match f.rule.severity with
                      | Orm_lint.Lint.Style -> "style"
                      | Redundancy -> "redundancy"
                      | Unsat_risk -> "unsat_risk") );
-                 ("subject", P.Str f.subject);
-                 ("message", P.Str f.message);
+                 ("subject", P.String f.subject);
+                 ("message", P.String f.message);
                ])
            findings) );
+  ]
+
+let config_fields t =
+  let cfg = t.config in
+  [
+    ( "config",
+      P.Obj
+        [
+          ( "deadline_ms",
+            match cfg.default_deadline_ms with
+            | Some ms -> P.Int ms
+            | None -> P.Null );
+          ("budget", P.Int cfg.default_budget);
+          ("sat_budget", P.Int cfg.default_sat_budget);
+          ("cache_capacity", P.Int (Cache.capacity t.cache));
+          ("max_pending", P.Int cfg.max_pending);
+          ( "disk_cache_mb",
+            match t.disk with
+            | Some d -> P.Int (Disk_cache.max_bytes d / (1024 * 1024))
+            | None -> P.Null );
+          ("log_level", P.String (Log.level_to_string (Log.level ())));
+        ] );
   ]
 
 let stats_body t =
@@ -252,6 +323,7 @@ let stats_body t =
             ("misses", P.Int (Cache.misses t.cache));
           ] );
     ]
+    @ config_fields t
   in
   let disk =
     match t.disk with
@@ -261,7 +333,7 @@ let stats_body t =
           ( "disk_cache",
             P.Obj
               [
-                ("dir", P.Str (Disk_cache.dir d));
+                ("dir", P.String (Disk_cache.dir d));
                 ("entries", P.Int (Disk_cache.entries d));
                 ("bytes", P.Int (Disk_cache.bytes d));
                 ("max_bytes", P.Int (Disk_cache.max_bytes d));
@@ -299,16 +371,15 @@ let stats_body t =
                   [
                     ("workers", P.Int (List.length snaps));
                     ( "metrics",
-                      P.Raw
-                        (Metrics.to_json
-                           (List.fold_left Metrics.add Metrics.zero snaps)) );
+                      Metrics.to_value
+                        (List.fold_left Metrics.add Metrics.zero snaps) );
                   ] );
             ])
   in
   let metrics =
     match t.metrics with
     | None -> []
-    | Some m -> [ ("metrics", P.Raw (Metrics.to_json (Metrics.snapshot m))) ]
+    | Some m -> [ ("metrics", Metrics.to_value (Metrics.snapshot m)) ]
   in
   [ ("result", P.Obj (counters @ disk @ cluster @ metrics)) ]
 
@@ -316,7 +387,25 @@ let stats_body t =
    same schema text has already been checked under the same settings;
    everything else is computed, and computed [ok] results (never timeouts
    or errors) are what gets cached. *)
+(* Server-side defaults from the (possibly hot-reloaded) config.  The wire
+   elides fields at their protocol defaults, so a parsed request carrying
+   exactly the protocol default means the client did not ask — substitute
+   the server's default before the cache key is computed, so a reloaded
+   budget cannot serve results computed under the old one. *)
+let apply_config_defaults t (req : P.request) =
+  let budget =
+    if req.budget = P.default_budget then t.config.default_budget
+    else req.budget
+  in
+  let sat_budget =
+    if req.sat_budget = P.default_sat_budget then t.config.default_sat_budget
+    else req.sat_budget
+  in
+  if budget = req.budget && sat_budget = req.sat_budget then req
+  else { req with budget; sat_budget }
+
 let dispatch t (req : P.request) =
+  let req = apply_config_defaults t req in
   let deadline_ms =
     match req.deadline_ms with
     | Some ms -> Some ms
@@ -423,10 +512,13 @@ let dispatch t (req : P.request) =
             Result.map k (load 0 texts))
   in
   match req.meth with
-  | P.Ping -> (P.ok_response ~id:req.id ~cached:false [ ("result", P.Str "pong") ], `Continue)
+  | P.Ping ->
+      ( P.ok_response ~id:req.id ~cached:false [ ("result", P.String "pong") ],
+        `Continue )
   | P.Stats -> (P.ok_response ~id:req.id ~cached:false (stats_body t), `Continue)
   | P.Shutdown ->
-      ( P.ok_response ~id:req.id ~cached:false [ ("result", P.Str "draining") ],
+      ( P.ok_response ~id:req.id ~cached:false
+          [ ("result", P.String "draining") ],
         `Shutdown )
   | P.Check -> with_schema (check_body t req ~deadline_ns)
   | P.Batch -> with_schemas (batch_body t req ~deadline_ns)
@@ -561,14 +653,18 @@ let close_conn conn =
    itself bounded. *)
 let drain_grace_s = 5.0
 
-let serve t mode =
+let serve ?config_file t mode =
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set t.stop true)) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set t.stop true)) in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_hup =
+    Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set t.reload true))
+  in
   let restore () =
     Sys.set_signal Sys.sigterm old_term;
     Sys.set_signal Sys.sigint old_int;
-    Sys.set_signal Sys.sigpipe old_pipe
+    Sys.set_signal Sys.sigpipe old_pipe;
+    Sys.set_signal Sys.sighup old_hup
   in
   let listen_fd, socket_path, conns =
     match mode with
@@ -603,6 +699,9 @@ let serve t mode =
   let finished = ref false in
   while not !finished do
     if Atomic.get t.stop then start_drain "signal";
+    (* reload between requests, never mid-dispatch: an in-flight request
+       finishes under the settings it was admitted with *)
+    maybe_reload t config_file;
     (* answer everything already admitted *)
     while not (Queue.is_empty pending) do
       let conn, line = Queue.pop pending in

@@ -40,6 +40,10 @@ type config = {
   default_deadline_ms : int option;
       (** deadline applied when a request names none; [None] = unbounded *)
   default_jobs : int;  (** domain count for requests that don't ask (default 1) *)
+  default_budget : int;
+      (** tableau budget for requests at the protocol default *)
+  default_sat_budget : int;
+      (** DPLL budget for requests at the protocol default *)
 }
 
 val default_config : config
@@ -68,9 +72,29 @@ val create :
     [cluster] view over every worker's snapshot (prefork sharding). *)
 
 val config : t -> config
-(** The configuration the server was created with — the network front
+(** The server's current configuration (initially what it was created
+    with, possibly changed since by {!reconfigure}) — the network front
     end reads [max_pending] to run the same admission control as the
     built-in loop. *)
+
+(** {1 Hot config reload} *)
+
+val reconfigure : t -> Server_config.t -> unit
+(** Applies the overrides present in a loaded config: deadline, budgets
+    and [max_pending] take effect for the next request admitted, the LRU
+    and disk tier resize in place (shrinking evicts/sweeps immediately),
+    and the log level switches globally.  In-flight requests finish under
+    the settings they were admitted with. *)
+
+val reload_config_file : t -> string -> unit
+(** {!Server_config.load} + {!reconfigure}, logging the outcome.  A file
+    that fails to load keeps the current settings (logged as an error) —
+    a typo in a config edit must not take down a running service. *)
+
+val reload_flag : t -> bool Atomic.t
+(** The flag a SIGHUP handler sets; transport loops poll it between
+    requests and re-read their config file when it is up.  {!serve} wires
+    this itself; the network front end owns its own signal handling. *)
 
 val handle : t -> string -> string * [ `Continue | `Shutdown ]
 (** [handle t line] answers one request line with one response line
@@ -84,13 +108,15 @@ val overloaded : t -> string -> string
     rejected (counted and traced; the line is parsed only far enough to
     echo its [id]). *)
 
-val serve : t -> [ `Socket of string | `Stdio ] -> unit
+val serve : ?config_file:string -> t -> [ `Socket of string | `Stdio ] -> unit
 (** Runs the event loop until a [shutdown] request, SIGINT/SIGTERM, or (in
     [`Stdio] mode) end of input.  Installs SIGINT/SIGTERM handlers that
-    trigger the drain, and ignores SIGPIPE (a client hanging up mid-response
-    must not kill the server).  [`Socket path] binds a Unix-domain socket
-    at [path] (an existing file there is replaced) and removes it on the
-    way out. *)
+    trigger the drain, a SIGHUP handler that re-reads [config_file]
+    between requests (hot reload; without a [config_file] the signal is
+    logged and ignored), and ignores SIGPIPE (a client hanging up
+    mid-response must not kill the server).  [`Socket path] binds a
+    Unix-domain socket at [path] (an existing file there is replaced) and
+    removes it on the way out. *)
 
 val flush_stats : t -> unit
 (** Writes this process's metrics snapshot into the [stats_sink] directory

@@ -1,0 +1,109 @@
+module Log = Orm_trace.Log
+module J = Orm_json
+
+(* A config file names only what it wants to change; every field is
+   optional so the same file works for initial load and SIGHUP reload,
+   layered over whatever the CLI flags established. *)
+type t = {
+  deadline_ms : int option;
+  budget : int option;
+  sat_budget : int option;
+  cache_capacity : int option;
+  max_pending : int option;
+  disk_cache_mb : int option;
+  log_level : Log.level option;
+}
+
+let empty =
+  {
+    deadline_ms = None;
+    budget = None;
+    sat_budget = None;
+    cache_capacity = None;
+    max_pending = None;
+    disk_cache_mb = None;
+    log_level = None;
+  }
+
+let known_fields =
+  [
+    "deadline_ms"; "budget"; "sat_budget"; "cache_capacity"; "max_pending";
+    "disk_cache_mb"; "log_level";
+  ]
+
+let of_json v =
+  match v with
+  | J.Obj fields -> (
+      match
+        List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields
+      with
+      | Some (k, _) ->
+          Error
+            (Printf.sprintf "unknown config field %S (expected one of %s)" k
+               (String.concat ", " known_fields))
+      | None -> (
+          let positive name =
+            match J.member name v with
+            | None | Some J.Null -> Ok None
+            | Some (J.Int n) when n > 0 -> Ok (Some n)
+            | Some (J.Int n) ->
+                Error (Printf.sprintf "%s: must be positive (got %d)" name n)
+            | Some _ -> Error (name ^ ": expected a positive integer")
+          in
+          let ( let* ) = Result.bind in
+          match
+            let* deadline_ms = positive "deadline_ms" in
+            let* budget = positive "budget" in
+            let* sat_budget = positive "sat_budget" in
+            let* cache_capacity = positive "cache_capacity" in
+            let* max_pending = positive "max_pending" in
+            let* disk_cache_mb = positive "disk_cache_mb" in
+            let* log_level =
+              match J.member "log_level" v with
+              | None | Some J.Null -> Ok None
+              | Some (J.String s) -> Result.map Option.some (Log.level_of_string s)
+              | Some _ -> Error "log_level: expected a string"
+            in
+            Ok
+              {
+                deadline_ms;
+                budget;
+                sat_budget;
+                cache_capacity;
+                max_pending;
+                disk_cache_mb;
+                log_level;
+              }
+          with
+          | Ok _ as ok -> ok
+          | Error _ as e -> e))
+  | _ -> Error "config must be a JSON object"
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | content -> (
+      match J.of_string ~max_size:(1 lsl 20) content with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok v -> (
+          match of_json v with
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+          | Ok _ as ok -> ok))
+
+let describe c =
+  let int name = Option.map (fun n -> Printf.sprintf "%s=%d" name n) in
+  let parts =
+    List.filter_map Fun.id
+      [
+        int "deadline_ms" c.deadline_ms;
+        int "budget" c.budget;
+        int "sat_budget" c.sat_budget;
+        int "cache_capacity" c.cache_capacity;
+        int "max_pending" c.max_pending;
+        int "disk_cache_mb" c.disk_cache_mb;
+        Option.map
+          (fun l -> "log_level=" ^ Log.level_to_string l)
+          c.log_level;
+      ]
+  in
+  if parts = [] then "no overrides" else String.concat " " parts

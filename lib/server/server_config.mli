@@ -1,0 +1,38 @@
+(** JSON config file for the checking service, loadable at startup
+    ([ormcheck serve --config FILE]) and re-read on SIGHUP while the
+    server keeps running (hot reload — prefork supervisors forward the
+    signal to every worker).
+
+    The file is one JSON object; every field is optional, and only the
+    fields present override the values the CLI flags established:
+
+    {v
+    {"deadline_ms": 2500, "cache_capacity": 1024, "log_level": "info"}
+    v}
+
+    Unknown fields are rejected (a typo must not silently configure
+    nothing), as are non-positive numbers. *)
+
+type t = {
+  deadline_ms : int option;  (** default per-request deadline *)
+  budget : int option;  (** default tableau rule budget ([reason]) *)
+  sat_budget : int option;  (** default DPLL step budget ([reason]) *)
+  cache_capacity : int option;  (** in-memory LRU entries *)
+  max_pending : int option;  (** admission-control queue bound *)
+  disk_cache_mb : int option;  (** persistent tier size bound *)
+  log_level : Orm_trace.Log.level option;
+}
+
+val empty : t
+(** No overrides. *)
+
+val of_json : Orm_json.t -> (t, string) result
+
+val load : string -> (t, string) result
+(** Reads and parses a config file.  [Error] carries a message naming the
+    path; the caller decides whether that is fatal (startup) or logged
+    and ignored (reload). *)
+
+val describe : t -> string
+(** One-line [field=value …] rendering of the overrides present, for the
+    reload log line. *)

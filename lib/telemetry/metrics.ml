@@ -396,200 +396,95 @@ let pp ppf s =
 
 (* ---- JSON ------------------------------------------------------------ *)
 
-let to_json s =
-  let buf = Buffer.create 512 in
-  let field first k v =
-    if not first then Buffer.add_char buf ',';
-    Buffer.add_string buf (Printf.sprintf "%S:%s" k v)
+module J = Orm_json
+
+(* Histograms are emitted trimmed to their last non-empty bucket;
+   [of_value] pads back to [hist_buckets]. *)
+let trimmed_hist h =
+  let last =
+    let i = ref (Array.length h - 1) in
+    while !i >= 0 && h.(!i) = 0 do decr i done;
+    !i
   in
-  Buffer.add_char buf '{';
-  field true "checks" (string_of_int s.checks);
-  field false "check_time_ns" (string_of_int s.check_time_ns);
-  field false "propagation_runs" (string_of_int s.propagation_runs);
-  field false "propagation_time_ns" (string_of_int s.propagation_time_ns);
-  field false "propagation_derived" (string_of_int s.propagation_derived);
-  field false "cache_hits" (string_of_int s.cache_hits);
-  field false "cache_misses" (string_of_int s.cache_misses);
-  field false "disk_hits" (string_of_int s.disk_hits);
-  field false "disk_misses" (string_of_int s.disk_misses);
-  field false "batches" (string_of_int s.batches);
-  field false "batch_schemas" (string_of_int s.batch_schemas);
-  field false "batch_domains" (string_of_int s.batch_domains);
-  field false "batch_time_ns" (string_of_int s.batch_time_ns);
-  field false "requests" (string_of_int s.requests);
-  field false "request_time_ns" (string_of_int s.request_time_ns);
-  field false "request_max_ns" (string_of_int s.request_max_ns);
-  field false "timeouts" (string_of_int s.timeouts);
-  field false "overloads" (string_of_int s.overloads);
-  field false "request_hist"
-    (let last =
-       let i = ref (Array.length s.request_hist - 1) in
-       while !i >= 0 && s.request_hist.(!i) = 0 do decr i done;
-       !i
-     in
-     "["
-     ^ String.concat ","
-         (List.init (last + 1) (fun i -> string_of_int s.request_hist.(i)))
-     ^ "]");
-  field false "patterns"
-    ("["
-    ^ String.concat ","
-        (List.map
-           (fun p ->
-             (* the histogram is emitted trimmed to its last non-empty
-                bucket; of_json pads back to hist_buckets *)
-             let last =
-               let i = ref (Array.length p.hist - 1) in
-               while !i >= 0 && p.hist.(!i) = 0 do decr i done;
-               !i
-             in
-             let hist =
-               String.concat ","
-                 (List.init (last + 1) (fun i -> string_of_int p.hist.(i)))
-             in
-             Printf.sprintf
-               "{\"pattern\":%d,\"runs\":%d,\"fires\":%d,\"time_ns\":%d,\"max_ns\":%d,\"hist\":[%s]}"
-               p.pattern p.runs p.fires p.time_ns p.max_ns hist)
-           s.patterns)
-    ^ "]");
-  Buffer.add_char buf '}';
-  Buffer.contents buf
+  J.List (List.init (last + 1) (fun i -> J.Int h.(i)))
 
-(* A minimal JSON reader covering what to_json emits: objects, arrays,
-   integers and strings.  No floats, no escapes beyond the printer's. *)
-module Json_reader = struct
-  type value =
-    | Int of int
-    | Str of string
-    | Arr of value list
-    | Obj of (string * value) list
+let to_value s =
+  J.Obj
+    [
+      ("checks", J.Int s.checks);
+      ("check_time_ns", J.Int s.check_time_ns);
+      ("propagation_runs", J.Int s.propagation_runs);
+      ("propagation_time_ns", J.Int s.propagation_time_ns);
+      ("propagation_derived", J.Int s.propagation_derived);
+      ("cache_hits", J.Int s.cache_hits);
+      ("cache_misses", J.Int s.cache_misses);
+      ("disk_hits", J.Int s.disk_hits);
+      ("disk_misses", J.Int s.disk_misses);
+      ("batches", J.Int s.batches);
+      ("batch_schemas", J.Int s.batch_schemas);
+      ("batch_domains", J.Int s.batch_domains);
+      ("batch_time_ns", J.Int s.batch_time_ns);
+      ("requests", J.Int s.requests);
+      ("request_time_ns", J.Int s.request_time_ns);
+      ("request_max_ns", J.Int s.request_max_ns);
+      ("timeouts", J.Int s.timeouts);
+      ("overloads", J.Int s.overloads);
+      ("request_hist", trimmed_hist s.request_hist);
+      ( "patterns",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("pattern", J.Int p.pattern);
+                   ("runs", J.Int p.runs);
+                   ("fires", J.Int p.fires);
+                   ("time_ns", J.Int p.time_ns);
+                   ("max_ns", J.Int p.max_ns);
+                   ("hist", trimmed_hist p.hist);
+                 ])
+             s.patterns) );
+    ]
 
-  exception Bad of string
+let to_json s = J.to_string (to_value s)
 
-  type state = { src : string; mutable pos : int }
+exception Bad of string
 
-  let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
-  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-  let rec skip_ws st =
-    match peek st with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        st.pos <- st.pos + 1;
-        skip_ws st
-    | _ -> ()
-
-  let expect st c =
-    skip_ws st;
-    match peek st with
-    | Some d when d = c -> st.pos <- st.pos + 1
-    | _ -> error st (Printf.sprintf "expected %c" c)
-
-  let parse_string st =
-    expect st '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      match peek st with
-      | None -> error st "unterminated string"
-      | Some '"' -> st.pos <- st.pos + 1
-      | Some '\\' -> (
-          st.pos <- st.pos + 1;
-          match peek st with
-          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
-              Buffer.add_char buf c;
-              st.pos <- st.pos + 1;
-              loop ()
-          | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
-          | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
-          | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
-          | _ -> error st "unsupported escape")
-      | Some c ->
-          Buffer.add_char buf c;
-          st.pos <- st.pos + 1;
-          loop ()
-    in
-    loop ();
-    Buffer.contents buf
-
-  let parse_int st =
-    let start = st.pos in
-    (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
-    let rec digits () =
-      match peek st with
-      | Some ('0' .. '9') ->
-          st.pos <- st.pos + 1;
-          digits ()
-      | _ -> ()
-    in
-    digits ();
-    if st.pos = start then error st "expected integer";
-    int_of_string (String.sub st.src start (st.pos - start))
-
-  let rec parse_value st =
-    skip_ws st;
-    match peek st with
-    | Some '{' ->
-        st.pos <- st.pos + 1;
-        skip_ws st;
-        if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
-        else
-          let rec members acc =
-            let k = (skip_ws st; parse_string st) in
-            expect st ':';
-            let v = parse_value st in
-            skip_ws st;
-            match peek st with
-            | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
-            | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
-            | _ -> error st "expected , or }"
-          in
-          members []
-    | Some '[' ->
-        st.pos <- st.pos + 1;
-        skip_ws st;
-        if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
-        else
-          let rec elems acc =
-            let v = parse_value st in
-            skip_ws st;
-            match peek st with
-            | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
-            | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
-            | _ -> error st "expected , or ]"
-          in
-          elems []
-    | Some '"' -> Str (parse_string st)
-    | Some ('-' | '0' .. '9') -> Int (parse_int st)
-    | _ -> error st "expected value"
-
-  let parse src =
-    let st = { src; pos = 0 } in
-    let v = parse_value st in
-    skip_ws st;
-    if st.pos <> String.length src then error st "trailing input";
-    v
-end
-
-let of_json src =
-  let open Json_reader in
+let of_value v =
   try
-    match parse src with
-    | Obj fields ->
+    match v with
+    | J.Obj fields ->
         let int k default =
           match List.assoc_opt k fields with
-          | Some (Int n) -> n
+          | Some (J.Int n) -> n
           | Some _ -> raise (Bad (k ^ ": expected integer"))
           | None -> default
+        in
+        let hist_of name counts =
+          let h = empty_hist () in
+          (match counts with
+          | None -> ()
+          | Some (J.List counts) ->
+              List.iteri
+                (fun i c ->
+                  match c with
+                  | J.Int n when i < hist_buckets -> h.(i) <- n
+                  | J.Int _ -> raise (Bad (name ^ ": too many buckets"))
+                  | _ -> raise (Bad (name ^ ": expected integers")))
+                counts
+          | Some _ -> raise (Bad (name ^ ": expected array")));
+          h
         in
         let patterns =
           match List.assoc_opt "patterns" fields with
           | None -> []
-          | Some (Arr items) ->
+          | Some (J.List items) ->
               List.map
                 (function
-                  | Obj pf ->
+                  | J.Obj pf ->
                       let pint k =
                         match List.assoc_opt k pf with
-                        | Some (Int n) -> n
+                        | Some (J.Int n) -> n
                         | _ -> raise (Bad ("patterns." ^ k ^ ": expected integer"))
                       in
                       (* hist and max_ns arrived with the latency-histogram
@@ -597,32 +492,16 @@ let of_json src =
                          empty histograms *)
                       let pint_opt k default =
                         match List.assoc_opt k pf with
-                        | Some (Int n) -> n
+                        | Some (J.Int n) -> n
                         | Some _ -> raise (Bad ("patterns." ^ k ^ ": expected integer"))
                         | None -> default
-                      in
-                      let hist =
-                        let h = empty_hist () in
-                        (match List.assoc_opt "hist" pf with
-                        | None -> ()
-                        | Some (Arr counts) ->
-                            List.iteri
-                              (fun i c ->
-                                match c with
-                                | Int n when i < hist_buckets -> h.(i) <- n
-                                | Int _ ->
-                                    raise (Bad "patterns.hist: too many buckets")
-                                | _ -> raise (Bad "patterns.hist: expected integers"))
-                              counts
-                        | Some _ -> raise (Bad "patterns.hist: expected array"));
-                        h
                       in
                       {
                         pattern = pint "pattern";
                         runs = pint "runs";
                         fires = pint "fires";
                         time_ns = pint "time_ns";
-                        hist;
+                        hist = hist_of "patterns.hist" (List.assoc_opt "hist" pf);
                         max_ns = pint_opt "max_ns" 0;
                       }
                   | _ -> raise (Bad "patterns: expected objects"))
@@ -651,23 +530,15 @@ let of_json src =
                written before it parse as all-zero *)
             requests = int "requests" 0;
             request_time_ns = int "request_time_ns" 0;
-            request_hist =
-              (let h = empty_hist () in
-               (match List.assoc_opt "request_hist" fields with
-               | None -> ()
-               | Some (Arr counts) ->
-                   List.iteri
-                     (fun i c ->
-                       match c with
-                       | Int n when i < hist_buckets -> h.(i) <- n
-                       | Int _ -> raise (Bad "request_hist: too many buckets")
-                       | _ -> raise (Bad "request_hist: expected integers"))
-                     counts
-               | Some _ -> raise (Bad "request_hist: expected array"));
-               h);
+            request_hist = hist_of "request_hist" (List.assoc_opt "request_hist" fields);
             request_max_ns = int "request_max_ns" 0;
             timeouts = int "timeouts" 0;
             overloads = int "overloads" 0;
           }
     | _ -> Error "expected a JSON object"
   with Bad msg -> Error msg
+
+let of_json src =
+  match J.of_string src with
+  | Error msg -> Error msg
+  | Ok v -> of_value v

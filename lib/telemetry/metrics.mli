@@ -146,10 +146,19 @@ val total_pattern_time_ns : snapshot -> int
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable table (the CLI's [--stats] output). *)
 
+val to_value : snapshot -> Orm_json.t
+(** The snapshot as a JSON value (histograms trimmed to their last
+    non-empty bucket) — the checking service splices it into [stats]
+    responses. *)
+
 val to_json : snapshot -> string
-(** Single-line JSON object. *)
+(** {!to_value} compactly printed: a single-line JSON object. *)
+
+val of_value : Orm_json.t -> (snapshot, string) result
+(** Reads what {!to_value} built (and any JSON object with the same
+    fields; unknown fields are ignored, missing ones default to zero so
+    snapshots from older builds still parse). *)
 
 val of_json : string -> (snapshot, string) result
-(** Parses what {!to_json} printed (and any JSON object with the same
-    fields; unknown fields are ignored).  [Error] describes the first
-    offending position. *)
+(** {!Orm_json.of_string} + {!of_value}.  [Error] describes the first
+    offending byte offset. *)

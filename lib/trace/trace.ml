@@ -111,33 +111,38 @@ let domain_count t = List.length (live_bufs t)
 
 (* ---- Chrome trace-event export ---------------------------------------- *)
 
+module J = Orm_json
+
 let ph_char = function Begin -> 'B' | End -> 'E' | Instant -> 'i' | Counter -> 'C'
 
-(* ts is microseconds in the trace-event format; three decimals keep the
-   nanosecond exact, so of_chrome_json restores ts_ns losslessly. *)
-let add_event buf e =
-  Buffer.add_string buf
-    (Printf.sprintf "{\"name\":%S,\"ph\":\"%c\",\"ts\":%d.%03d,\"pid\":0,\"tid\":%d"
-       e.name (ph_char e.phase) (e.ts_ns / 1000) (e.ts_ns mod 1000) e.domain);
-  (match e.phase with
-  | Instant -> Buffer.add_string buf ",\"s\":\"t\""
-  | Counter -> Buffer.add_string buf (Printf.sprintf ",\"args\":{\"value\":%d}" e.value)
-  | Begin | End -> ());
-  Buffer.add_char buf '}'
+(* ts is microseconds in the trace-event format.  Exported as a float of
+   the exact nanosecond count / 1000: the quotient has at most ~0.5 ulp of
+   error and the importer rounds back, so of_chrome_json restores ts_ns
+   losslessly for any timestamp a 63-bit clock can produce. *)
+let event_value e =
+  J.Obj
+    ([
+       ("name", J.String e.name);
+       ("ph", J.String (String.make 1 (ph_char e.phase)));
+       ("ts", J.Float (float_of_int e.ts_ns /. 1000.));
+       ("pid", J.Int 0);
+       ("tid", J.Int e.domain);
+     ]
+    @
+    match e.phase with
+    | Instant -> [ ("s", J.String "t") ]
+    | Counter -> [ ("args", J.Obj [ ("value", J.Int e.value) ]) ]
+    | Begin | End -> [])
 
-let to_chrome_json t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",";
-  Buffer.add_string buf (Printf.sprintf "\"otherData\":{\"dropped\":%d}," (dropped t));
-  Buffer.add_string buf "\"traceEvents\":[";
-  let first = ref true in
-  List.iter
-    (fun e ->
-      if !first then first := false else Buffer.add_char buf ',';
-      add_event buf e)
-    (events t);
-  Buffer.add_string buf "]}";
-  Buffer.contents buf
+let to_value t =
+  J.Obj
+    [
+      ("displayTimeUnit", J.String "ns");
+      ("otherData", J.Obj [ ("dropped", J.Int (dropped t)) ]);
+      ("traceEvents", J.List (List.map event_value (events t)));
+    ]
+
+let to_chrome_json t = J.to_string (to_value t)
 
 let write_chrome t file =
   let oc = open_out file in
@@ -147,155 +152,8 @@ let write_chrome t file =
 
 (* ---- Chrome trace-event import ---------------------------------------- *)
 
-(* A minimal JSON reader covering the trace-event format: objects, arrays,
-   strings, numbers (with fraction), true/false/null. *)
-module Reader = struct
-  type value =
-    | Num of float
-    | Str of string
-    | Arr of value list
-    | Obj of (string * value) list
-    | Bool of bool
-    | Null
-
-  exception Bad of string
-
-  type state = { src : string; mutable pos : int }
-
-  let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
-  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-  let rec skip_ws st =
-    match peek st with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        st.pos <- st.pos + 1;
-        skip_ws st
-    | _ -> ()
-
-  let expect st c =
-    skip_ws st;
-    match peek st with
-    | Some d when d = c -> st.pos <- st.pos + 1
-    | _ -> error st (Printf.sprintf "expected %c" c)
-
-  let literal st word v =
-    let n = String.length word in
-    if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
-      st.pos <- st.pos + n;
-      v
-    end
-    else error st ("expected " ^ word)
-
-  let parse_string st =
-    expect st '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      match peek st with
-      | None -> error st "unterminated string"
-      | Some '"' -> st.pos <- st.pos + 1
-      | Some '\\' -> (
-          st.pos <- st.pos + 1;
-          match peek st with
-          | Some (('"' | '\\' | '/') as c) ->
-              Buffer.add_char buf c;
-              st.pos <- st.pos + 1;
-              loop ()
-          | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
-          | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
-          | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
-          | _ -> error st "unsupported escape")
-      | Some c ->
-          Buffer.add_char buf c;
-          st.pos <- st.pos + 1;
-          loop ()
-    in
-    loop ();
-    Buffer.contents buf
-
-  let parse_number st =
-    let start = st.pos in
-    let digits () =
-      let moved = ref false in
-      let rec go () =
-        match peek st with
-        | Some '0' .. '9' ->
-            moved := true;
-            st.pos <- st.pos + 1;
-            go ()
-        | _ -> ()
-      in
-      go ();
-      !moved
-    in
-    (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
-    if not (digits ()) then error st "expected number";
-    (match peek st with
-    | Some '.' ->
-        st.pos <- st.pos + 1;
-        if not (digits ()) then error st "expected fraction digits"
-    | _ -> ());
-    (match peek st with
-    | Some ('e' | 'E') ->
-        st.pos <- st.pos + 1;
-        (match peek st with Some ('+' | '-') -> st.pos <- st.pos + 1 | _ -> ());
-        if not (digits ()) then error st "expected exponent digits"
-    | _ -> ());
-    float_of_string (String.sub st.src start (st.pos - start))
-
-  let rec parse_value st =
-    skip_ws st;
-    match peek st with
-    | Some '{' ->
-        st.pos <- st.pos + 1;
-        skip_ws st;
-        if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
-        else
-          let rec members acc =
-            skip_ws st;
-            let k = parse_string st in
-            expect st ':';
-            let v = parse_value st in
-            skip_ws st;
-            match peek st with
-            | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
-            | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
-            | _ -> error st "expected , or }"
-          in
-          members []
-    | Some '[' ->
-        st.pos <- st.pos + 1;
-        skip_ws st;
-        if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
-        else
-          let rec elems acc =
-            let v = parse_value st in
-            skip_ws st;
-            match peek st with
-            | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
-            | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
-            | _ -> error st "expected , or ]"
-          in
-          elems []
-    | Some '"' -> Str (parse_string st)
-    | Some 't' -> literal st "true" (Bool true)
-    | Some 'f' -> literal st "false" (Bool false)
-    | Some 'n' -> literal st "null" Null
-    | Some ('-' | '0' .. '9') -> Num (parse_number st)
-    | _ -> error st "expected value"
-
-  let parse src =
-    let st = { src; pos = 0 } in
-    let v = parse_value st in
-    skip_ws st;
-    if st.pos <> String.length src then error st "trailing input";
-    v
-end
-
-let event_of_obj fields =
-  let open Reader in
-  let str k = match List.assoc_opt k fields with Some (Str s) -> Some s | _ -> None in
-  let num k = match List.assoc_opt k fields with Some (Num f) -> Some f | _ -> None in
-  match (str "name", str "ph", num "ts") with
+let event_of_value v =
+  match (J.string_member "name" v, J.string_member "ph" v, J.float_member "ts" v) with
   | Some name, Some ph, Some ts ->
       let phase =
         match ph with
@@ -308,16 +166,11 @@ let event_of_obj fields =
       Option.map
         (fun phase ->
           let value =
-            match List.assoc_opt "args" fields with
-            | Some (Obj args) -> (
-                match List.assoc_opt "value" args with
-                | Some (Num v) -> int_of_float v
-                | _ -> 0)
-            | _ -> 0
+            match Option.bind (J.member "args" v) (J.int_member "value") with
+            | Some n -> n
+            | None -> 0
           in
-          let domain =
-            match num "tid" with Some f -> int_of_float f | None -> 0
-          in
+          let domain = Option.value (J.int_member "tid" v) ~default:0 in
           {
             phase;
             name;
@@ -329,22 +182,23 @@ let event_of_obj fields =
   | _ -> None
 
 let of_chrome_json src =
-  let open Reader in
-  try
-    let arr =
-      match parse src with
-      | Arr items -> Ok items
-      | Obj fields -> (
-          match List.assoc_opt "traceEvents" fields with
-          | Some (Arr items) -> Ok items
-          | Some _ -> Error "traceEvents: expected an array"
-          | None -> Error "missing traceEvents field")
-      | _ -> Error "expected a JSON object or array"
-    in
-    Result.map
-      (List.filter_map (function Obj fields -> event_of_obj fields | _ -> None))
-      arr
-  with Bad msg -> Error msg
+  match J.of_string src with
+  | Error msg -> Error msg
+  | Ok v ->
+      let arr =
+        match v with
+        | J.List items -> Ok items
+        | J.Obj _ -> (
+            match J.member "traceEvents" v with
+            | Some (J.List items) -> Ok items
+            | Some _ -> Error "traceEvents: expected an array"
+            | None -> Error "missing traceEvents field")
+        | _ -> Error "expected a JSON object or array"
+      in
+      Result.map
+        (List.filter_map (fun item ->
+             match item with J.Obj _ -> event_of_value item | _ -> None))
+        arr
 
 (* ---- summary ---------------------------------------------------------- *)
 

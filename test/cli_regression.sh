@@ -341,4 +341,63 @@ wait "$server_pid"
 [ "$?" -eq 0 ] || fail "restarted serve did not exit 0 on SIGTERM"
 rm -rf "$net_dir"
 
+# ---- hot config reload (SIGHUP) ------------------------------------------
+# A server started with --config must show the file's overrides in its
+# stats, pick up an edited file on SIGHUP without restarting, and keep its
+# current settings (and its life) when the edit is broken.
+cfg_dir=$(mktemp -d)
+cfg="$cfg_dir/server.json"
+sock="$cfg_dir/ormcheck.sock"
+printf '{"deadline_ms": 5000}\n' > "$cfg"
+"$ORMCHECK" serve --socket "$sock" --config "$cfg" --log-level off &
+server_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || fail "config serve never bound $sock"
+stats_out=$("$ORMCHECK" client --socket "$sock" stats 2>/dev/null) ||
+    fail "config stats failed"
+case "$stats_out" in
+    *'"deadline_ms":5000'*) : ;;
+    *) fail "--config overrides not visible in stats: $stats_out" ;;
+esac
+
+printf '{"deadline_ms": 123, "cache_capacity": 9}\n' > "$cfg"
+kill -HUP "$server_pid"
+i=0
+reloaded=''
+while [ "$i" -lt 50 ]; do
+    stats_out=$("$ORMCHECK" client --socket "$sock" stats 2>/dev/null)
+    case "$stats_out" in
+        *'"deadline_ms":123'*) reloaded=yes; break ;;
+    esac
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$reloaded" ] || fail "SIGHUP did not apply the edited config: $stats_out"
+case "$stats_out" in
+    *'"cache_capacity":9'*) : ;;
+    *) fail "SIGHUP applied only part of the config: $stats_out" ;;
+esac
+"$ORMCHECK" client --socket "$sock" check "$sat_schema" >/dev/null 2>&1
+[ "$?" -eq 0 ] || fail "check failed after a config reload"
+
+# a broken edit is logged and ignored: settings and the process survive
+printf 'not json at all' > "$cfg"
+kill -HUP "$server_pid"
+sleep 0.3
+stats_out=$("$ORMCHECK" client --socket "$sock" stats 2>/dev/null) ||
+    fail "server died reloading a broken config"
+case "$stats_out" in
+    *'"deadline_ms":123'*) : ;;
+    *) fail "broken config changed the settings: $stats_out" ;;
+esac
+"$ORMCHECK" client --socket "$sock" shutdown >/dev/null 2>&1
+wait "$server_pid"
+[ "$?" -eq 0 ] || fail "config serve did not exit 0 after shutdown"
+
+# a broken --config at startup is a hard error (exit 2), unlike a reload
+"$ORMCHECK" serve --socket "$sock" --config "$cfg" --log-level off >/dev/null 2>&1
+[ "$?" -eq 2 ] || fail "broken --config at startup did not exit 2"
+rm -rf "$cfg_dir"
+
 echo "cli_regression: ok ($(echo $schemas | wc -w) schema(s))"

@@ -1,0 +1,175 @@
+(* Fuzzing the HTTP/1.1 request parser (lib/net/http.ml), plus a
+   checked-in seed corpus under corpus/http/ replayed on every run.
+
+   The parser reads bytes straight off the network, so the properties are
+   transport-shaped: it must never raise, never consume more than it was
+   given, never consume anything while reporting [Incomplete], and every
+   envelope it derives must stay a single valid JSON line no matter what
+   the headers contained (a hostile [X-Request-Id] must not break framing
+   or smuggle envelope fields).
+
+   Corpus files are raw request bytes; the file name prefix pins the
+   expected outcome: ok-* parse to [Request], bad-* to [Reject], partial-*
+   to [Incomplete].  Any byte sequence that ever crashes or misframes the
+   parser belongs here, named for the bug it re-proves. *)
+
+module Http = Orm_net.Http
+module P = Orm_server.Protocol
+
+let classify src =
+  match Http.parse src with
+  | v -> v
+  | exception e ->
+      Alcotest.failf "Http.parse raised %s on %S" (Printexc.to_string e) src
+
+let check_invariants src =
+  match classify src with
+  | Http.Incomplete -> ()
+  | Http.Request (r, consumed) ->
+      if consumed <= 0 || consumed > String.length src then
+        Alcotest.failf "Request consumed %d of %d bytes" consumed
+          (String.length src);
+      (match List.assoc_opt "content-length" r.Http.headers with
+      | Some cl -> (
+          match int_of_string_opt (String.trim cl) with
+          | Some n ->
+              if String.length r.Http.body <> n then
+                Alcotest.failf "body %d bytes under Content-Length %d"
+                  (String.length r.Http.body) n
+          | None -> Alcotest.failf "Request with unparseable Content-Length %S" cl)
+      | None -> ());
+      (* whatever the request carried, the envelope must stay one valid
+         JSON line — this is the CRLF-injection / field-smuggling bar *)
+      (match Http.envelope_of_request r with
+      | Error _ -> ()
+      | Ok line ->
+          if String.contains line '\n' || String.contains line '\r' then
+            Alcotest.failf "envelope is not a single line: %S" line;
+          (match P.json_of_string line with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "envelope not JSON (%s): %S" msg line))
+  | Http.Reject { consumed; _ } ->
+      if consumed < 0 || consumed > String.length src then
+        Alcotest.failf "Reject consumed %d of %d bytes" consumed
+          (String.length src)
+
+(* ---- generators -------------------------------------------------------- *)
+
+(* Raw noise: any bytes at all, weighted toward the characters HTTP heads
+   are made of so the generator reaches past the request line. *)
+let gen_noise =
+  QCheck.Gen.(
+    map
+      (fun chunks -> String.concat "" chunks)
+      (list_size (int_bound 40)
+         (oneof
+            [
+              oneofl
+                [
+                  "GET "; "POST "; "/v1/check"; "/v1/ping"; " HTTP/1.1";
+                  " HTTP/1.0"; " HTTP/2.0"; "\r\n"; "\n"; "\r"; "\r\n\r\n";
+                  "Content-Length: "; "Transfer-Encoding: chunked";
+                  "Connection: close"; "X-Request-Id: "; ": "; "{}"; "0"; "17";
+                ];
+              map (String.make 1) (char_range '\000' '\255');
+              map (String.make 1) printable;
+            ])))
+
+(* Structured: a mostly-plausible request with hostile corners — verbs the
+   router refuses, paths outside /v1, lying Content-Length, header values
+   full of JSON metacharacters. *)
+let gen_structured =
+  QCheck.Gen.(
+    let* verb = oneofl [ "GET"; "POST"; "PUT"; "DELETE"; "get"; "" ] in
+    let* path =
+      oneofl
+        [ "/v1/check"; "/v1/ping"; "/v1/stats"; "/"; "/etc/passwd"; "/v1/nope" ]
+    in
+    let* version = oneofl [ "HTTP/1.1"; "HTTP/1.0"; "HTTP/9.9"; "HTTP" ] in
+    let* body = oneofl [ ""; "{}"; "{\"jobs\":2}"; "[1,2]"; "not json" ] in
+    let* cl_lie = oneofl [ 0; 1; -1 ] in
+    let* id =
+      oneofl
+        [
+          "plain"; "\"quoted\""; "back\\slash"; "comma,\"id\":\"evil\"";
+          "sp ace"; "{\"ormcheck\":9}";
+        ]
+    in
+    let* extra =
+      oneofl
+        [
+          [];
+          [ "Connection: close" ];
+          [ "Transfer-Encoding: chunked" ];
+          [ "Content-Length: 4" ];
+        ]
+    in
+    let headers =
+      [
+        Printf.sprintf "Content-Length: %d" (String.length body + cl_lie);
+        Printf.sprintf "X-Request-Id: %s" id;
+      ]
+      @ extra
+    in
+    let* cut = int_bound 4 in
+    let full =
+      Printf.sprintf "%s %s %s\r\n%s\r\n\r\n%s" verb path version
+        (String.concat "\r\n" headers)
+        body
+    in
+    (* sometimes truncate: exercises Incomplete on every boundary *)
+    return
+      (if cut = 0 then String.sub full 0 (String.length full / 2) else full))
+
+let fuzz_case name gen count =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name (QCheck.make gen) (fun src ->
+         check_invariants src;
+         true))
+
+(* ---- corpus replay ----------------------------------------------------- *)
+
+let corpus_dir = Filename.concat "corpus" "http"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_corpus () =
+  let entries = Sys.readdir corpus_dir in
+  Array.sort compare entries;
+  Alcotest.(check bool) "corpus is not empty" true (Array.length entries > 0);
+  Array.iter
+    (fun name ->
+      let src = read_file (Filename.concat corpus_dir name) in
+      check_invariants src;
+      let expect_of prefix = String.length name >= String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix
+      in
+      let outcome = classify src in
+      let describe = function
+        | Http.Incomplete -> "Incomplete"
+        | Http.Request _ -> "Request"
+        | Http.Reject { code; _ } -> Printf.sprintf "Reject %d" code
+      in
+      let fail want =
+        Alcotest.failf "%s: expected %s, parsed %s" name want (describe outcome)
+      in
+      if expect_of "ok-" then (
+        match outcome with Http.Request _ -> () | _ -> fail "Request")
+      else if expect_of "bad-" then (
+        match outcome with Http.Reject _ -> () | _ -> fail "Reject")
+      else if expect_of "partial-" then (
+        match outcome with Http.Incomplete -> () | _ -> fail "Incomplete")
+      else Alcotest.failf "%s: corpus files must be named ok-/bad-/partial-" name)
+    entries
+
+let suite =
+  [
+    fuzz_case "random bytes never crash the parser" gen_noise 1000;
+    fuzz_case "structured requests hold the invariants" gen_structured 1000;
+    Alcotest.test_case "seed corpus replays" `Quick test_corpus;
+  ]

@@ -1,0 +1,467 @@
+(* The shared JSON core (lib/json), tested three ways:
+
+   - differentially against the envelope reader it replaced: an embedded
+     copy of the old [Protocol.json_of_string] / [json_to_string] is the
+     reference implementation, and on the wire subset the two stacks must
+     accept the same inputs, build the same values, and print the same
+     bytes — that byte equality is what lets the cache keys, the CI greps
+     and the fixtures survive the swap;
+   - on the documented divergences (floats, leading zeros, lone
+     surrogates), pinned one by one so they stay deliberate;
+   - on float formatting: shortest round-trip printing, pinned. *)
+
+module J = Orm_json
+module P = Orm_server.Protocol
+
+(* ---- the legacy envelope reader, verbatim ------------------------------ *)
+
+(* The integers-only JSON stack protocol.ml carried before lib/json
+   existed (PR "network front-end", lib/server/protocol.ml).  Kept here
+   as the differential reference; do not modernize it. *)
+module Legacy = struct
+  type json =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  let escape_string s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_to_string v =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Str s ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string s);
+          Buffer.add_char buf '"'
+      | Arr items ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i item ->
+              if i > 0 then Buffer.add_char buf ',';
+              go item)
+            items;
+          Buffer.add_char buf ']'
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              go (Str k);
+              Buffer.add_char buf ':';
+              go v)
+            fields;
+          Buffer.add_char buf '}'
+    in
+    go v;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  type state = { src : string; mutable pos : int }
+
+  let error st msg = raise (Bad (Printf.sprintf "at %d: %s" st.pos msg))
+
+  let peek st =
+    if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        st.pos <- st.pos + 1;
+        skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    skip_ws st;
+    match peek st with
+    | Some d when d = c -> st.pos <- st.pos + 1
+    | _ -> error st (Printf.sprintf "expected %c" c)
+
+  let literal st word value =
+    if
+      st.pos + String.length word <= String.length st.src
+      && String.sub st.src st.pos (String.length word) = word
+    then (
+      st.pos <- st.pos + String.length word;
+      value)
+    else error st ("expected " ^ word)
+
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+
+  let parse_string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek st with
+      | None -> error st "unterminated string"
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' -> (
+          st.pos <- st.pos + 1;
+          match peek st with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              st.pos <- st.pos + 1;
+              loop ()
+          | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
+          | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; loop ()
+          | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; loop ()
+          | Some 'u' ->
+              if st.pos + 4 >= String.length st.src then
+                error st "truncated \\u escape";
+              let hex = String.sub st.src (st.pos + 1) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some cp ->
+                  add_utf8 buf cp;
+                  st.pos <- st.pos + 5;
+                  loop ()
+              | None -> error st "bad \\u escape")
+          | _ -> error st "unsupported escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          st.pos <- st.pos + 1;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+
+  let parse_int st =
+    let start = st.pos in
+    (match peek st with Some '-' -> st.pos <- st.pos + 1 | _ -> ());
+    let rec digits () =
+      match peek st with
+      | Some '0' .. '9' ->
+          st.pos <- st.pos + 1;
+          digits ()
+      | _ -> ()
+    in
+    digits ();
+    if st.pos = start then error st "expected integer";
+    (match peek st with
+    | Some ('.' | 'e' | 'E') ->
+        error st "fractional numbers are not part of the protocol"
+    | _ -> ());
+    match int_of_string_opt (String.sub st.src start (st.pos - start)) with
+    | Some n -> n
+    | None -> error st "integer out of range"
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
+        else
+          let rec members acc =
+            let k = (skip_ws st; parse_string st) in
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
+            | Some '}' -> st.pos <- st.pos + 1; Obj (List.rev ((k, v) :: acc))
+            | _ -> error st "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some ']' then (st.pos <- st.pos + 1; Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' -> st.pos <- st.pos + 1; elems (v :: acc)
+            | Some ']' -> st.pos <- st.pos + 1; Arr (List.rev (v :: acc))
+            | _ -> error st "expected , or ]"
+          in
+          elems []
+    | Some '"' -> Str (parse_string st)
+    | Some ('-' | '0' .. '9') -> Int (parse_int st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | _ -> error st "expected value"
+
+  let json_of_string src =
+    let st = { src; pos = 0 } in
+    match
+      let v = parse_value st in
+      skip_ws st;
+      if st.pos <> String.length src then error st "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let rec to_orm = function
+    | Null -> J.Null
+    | Bool b -> J.Bool b
+    | Int n -> J.Int n
+    | Str s -> J.String s
+    | Arr items -> J.List (List.map to_orm items)
+    | Obj fields -> J.Obj (List.map (fun (k, v) -> (k, to_orm v)) fields)
+end
+
+(* ---- generator for the common wire subset ------------------------------ *)
+
+(* Values both stacks speak: no floats, strings over printable ASCII and
+   the escapes both sides decode identically. *)
+let gen_wire_value =
+  QCheck.Gen.(
+    let str =
+      map
+        (fun chunks -> String.concat "" chunks)
+        (small_list
+           (oneof
+              [
+                map (String.make 1) (char_range 'a' 'z');
+                map (String.make 1) (char_range '0' '9');
+                oneofl [ "\""; "\\"; "\n"; "\t"; "\r"; "\b"; "\012" ];
+                oneofl [ " "; "{"; "}"; "["; "]"; ":"; ","; "é"; "€" ];
+              ]))
+    in
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Legacy.Null;
+              map (fun b -> Legacy.Bool b) bool;
+              map (fun i -> Legacy.Int i) small_signed_int;
+              map (fun i -> Legacy.Int i) int;
+              map (fun s -> Legacy.Str s) str;
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (3, scalar);
+              (1, map (fun l -> Legacy.Arr l) (small_list (self (n / 4))));
+              ( 1,
+                map
+                  (fun ps -> Legacy.Obj ps)
+                  (small_list (pair str (self (n / 4)))) );
+            ]))
+
+let arbitrary_wire =
+  QCheck.make ~print:Legacy.json_to_string gen_wire_value
+
+let test_differential_print_parse =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"both stacks agree on the wire subset"
+       arbitrary_wire (fun v ->
+         let bytes = Legacy.json_to_string v in
+         (* the new printer produces the exact same bytes *)
+         let reprinted = J.to_string (Legacy.to_orm v) in
+         if reprinted <> bytes then
+           QCheck.Test.fail_reportf "printers diverge:\n  legacy %s\n  new    %s"
+             bytes reprinted;
+         (* both parsers accept them and build the same value *)
+         (match (Legacy.json_of_string bytes, J.of_string bytes) with
+         | Ok l, Ok o when Legacy.to_orm l <> o ->
+             QCheck.Test.fail_reportf "parses diverge on %s" bytes
+         | Ok _, Ok _ -> ()
+         | Ok _, Error msg ->
+             QCheck.Test.fail_reportf "new parser rejects %s: %s" bytes msg
+         | Error msg, _ ->
+             QCheck.Test.fail_reportf "legacy parser rejects its own output %s: %s"
+               bytes msg);
+         true))
+
+(* Same agreement on real envelope lines, which exercise the builders. *)
+let test_differential_envelopes () =
+  let lines =
+    [
+      P.build_request ~id:"r1" ~schema_text:"schema S\nobject A\n" P.Check;
+      P.build_request ~id:"é \"q\" \\" ~schema_texts:[ "a"; "b" ] ~jobs:4
+        P.Batch;
+      P.build_request ~schema_text:"schema S\n" ~deadline_ms:250 ~budget:9
+        ~sat_budget:7 ~backend:`Both P.Reason;
+      P.build_request P.Ping;
+      P.ok_response ~id:(Some "r1") ~cached:true [ ("result", P.String "pong") ];
+      P.error_response ~id:None "control \x01 char";
+      P.timeout_response ~id:(Some "t") ~elapsed_ms:12;
+    ]
+  in
+  List.iter
+    (fun line ->
+      match (Legacy.json_of_string line, P.json_of_string line) with
+      | Ok l, Ok o ->
+          Alcotest.(check string)
+            ("reprint " ^ line)
+            (Legacy.json_to_string l) (P.json_to_string o);
+          if Legacy.to_orm l <> o then Alcotest.failf "values diverge on %s" line
+      | Error msg, _ -> Alcotest.failf "legacy rejects %s: %s" line msg
+      | _, Error msg -> Alcotest.failf "new stack rejects %s: %s" line msg)
+    lines
+
+(* The divergences are features; pin each direction. *)
+let test_documented_divergences () =
+  let new_only = [ "1.5"; "1e3"; "-0.25"; "1E-2" ] in
+  List.iter
+    (fun s ->
+      (match Legacy.json_of_string s with
+      | Ok _ -> Alcotest.failf "legacy accepted %s" s
+      | Error _ -> ());
+      match J.of_string s with
+      | Ok (J.Float _) -> ()
+      | Ok j -> Alcotest.failf "%s parsed to %s" s (J.to_string j)
+      | Error msg -> Alcotest.failf "new stack rejects %s: %s" s msg)
+    new_only;
+  let legacy_only =
+    (* leading zeros and lone surrogates: the old reader waved them
+       through, strict RFC 8259 refuses *)
+    [ "01"; "-042"; "{\"a\":01}"; "\"\\ud800\""; "\"\\udfff\"" ]
+  in
+  List.iter
+    (fun s ->
+      (match Legacy.json_of_string s with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "legacy rejected %s: %s" s msg);
+      match J.of_string s with
+      | Ok _ -> Alcotest.failf "new stack accepted %s" s
+      | Error _ -> ())
+    legacy_only;
+  (* surrogate pairs: only the new stack combines them *)
+  match J.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (J.String s) ->
+      Alcotest.(check string) "astral escape" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error msg -> Alcotest.fail msg
+
+(* ---- float formatting (pinned) ----------------------------------------- *)
+
+let test_float_formatting () =
+  List.iter
+    (fun (f, expect) ->
+      Alcotest.(check string)
+        (Printf.sprintf "repr of %h" f)
+        expect
+        (J.to_string (J.Float f)))
+    [
+      (0., "0.0");
+      (1., "1.0");
+      (-1., "-1.0");
+      (1.5, "1.5");
+      (0.1, "0.1");
+      (-0.25, "-0.25");
+      (3.141592653589793, "3.141592653589793");
+      (1e22, "1e+22");
+      (* smallest denormal: %.15g already round-trips, so shortest wins
+         over the prettier literal 5e-324 *)
+      (5e-324, "4.94065645841247e-324");
+      (1.7976931348623157e308, "1.7976931348623157e+308");
+      (123456789012345678., "1.2345678901234568e+17");
+    ];
+  List.iter
+    (fun f ->
+      match J.to_string (J.Float f) with
+      | s -> Alcotest.failf "%h printed as %s" f s
+      | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_float_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"floats round-trip shortest"
+       QCheck.float (fun f ->
+         QCheck.assume (Float.is_finite f);
+         match J.of_string (J.to_string (J.Float f)) with
+         | Ok (J.Float f') -> Int64.bits_of_float f = Int64.bits_of_float f'
+         | Ok (J.Int n) -> float_of_int n = f
+         | Ok _ | Error _ -> false))
+
+(* ---- strictness and limits --------------------------------------------- *)
+
+let offset_of s =
+  match J.parse s with
+  | Error e -> Some e.J.offset
+  | Ok _ -> None
+
+let test_error_offsets () =
+  List.iter
+    (fun (src, off) ->
+      Alcotest.(check (option int)) ("offset in " ^ src) (Some off)
+        (offset_of src))
+    [
+      ("", 0);
+      ("[1,]", 3);
+      ("{\"a\":1,}", 7);
+      ("\"ab\x01\"", 3);
+      ("[1] trailing", 4);
+    ]
+
+let test_limits () =
+  let deep n = String.make n '[' ^ String.make n ']' in
+  (match J.of_string ~max_depth:8 (deep 8) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 8 under limit 8: %s" msg);
+  (match J.of_string ~max_depth:8 (deep 9) with
+  | Ok _ -> Alcotest.fail "depth 9 accepted under limit 8"
+  | Error _ -> ());
+  (* only containers deepen: a scalar inside the innermost level is fine *)
+  (match J.of_string ~max_depth:8 (String.make 8 '[' ^ "1" ^ String.make 8 ']') with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "scalar at the depth limit rejected: %s" msg);
+  (match J.of_string ~max_size:4 "[1,2,3]" with
+  | Ok _ -> Alcotest.fail "max_size ignored"
+  | Error _ -> ());
+  (* the envelope path caps nesting at 64 *)
+  match P.json_of_string (deep 65) with
+  | Ok _ -> Alcotest.fail "envelope nesting cap gone"
+  | Error _ -> ()
+
+let test_printer_rejects_lone_surrogate () =
+  (* WTF-8 encoded lone surrogate (what the legacy reader produced for
+     "\ud800") must not be emitted as broken UTF-8 *)
+  Alcotest.check_raises "surrogate refused"
+    (Invalid_argument "Orm_json: lone UTF-16 surrogate in string")
+    (fun () -> ignore (J.to_string (J.String "\xed\xa0\x80")))
+
+let suite =
+  [
+    test_differential_print_parse;
+    Alcotest.test_case "envelope fixtures agree" `Quick
+      test_differential_envelopes;
+    Alcotest.test_case "documented divergences" `Quick
+      test_documented_divergences;
+    Alcotest.test_case "float formatting pinned" `Quick test_float_formatting;
+    test_float_roundtrip;
+    Alcotest.test_case "error offsets" `Quick test_error_offsets;
+    Alcotest.test_case "depth and size limits" `Quick test_limits;
+    Alcotest.test_case "printer rejects lone surrogates" `Quick
+      test_printer_rejects_lone_surrogate;
+  ]

@@ -34,5 +34,7 @@ let () = Alcotest.run "orm-unsat" [
       ("parallel-diff", Test_parallel_diff.suite);
       ("fuzz", Test_fuzz.suite);
       ("fuzz-corpus", Test_fuzz_corpus.suite);
+      ("json", Test_json.suite);
       ("server", Test_server.suite);
+      ("http-fuzz", Test_http_fuzz.suite);
     ]

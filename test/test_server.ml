@@ -26,12 +26,12 @@ let test_json_roundtrip () =
       P.Bool false;
       P.Int 0;
       P.Int (-42);
-      P.Str "";
-      P.Str "plain";
-      P.Str "quote\" backslash\\ newline\n tab\t";
-      P.Str "unicode: \xc3\xa9\xe2\x82\xac";
-      P.Arr [ P.Int 1; P.Str "two"; P.Null ];
-      P.Obj [ ("a", P.Int 1); ("nested", P.Obj [ ("b", P.Arr [] ) ]) ];
+      P.String "";
+      P.String "plain";
+      P.String "quote\" backslash\\ newline\n tab\t";
+      P.String "unicode: \xc3\xa9\xe2\x82\xac";
+      P.List [ P.Int 1; P.String "two"; P.Null ];
+      P.Obj [ ("a", P.Int 1); ("nested", P.Obj [ ("b", P.List [] ) ]) ];
     ]
   in
   List.iter
@@ -46,7 +46,7 @@ let test_json_roundtrip () =
 let test_json_escapes () =
   (* \uXXXX escapes decode to UTF-8 *)
   match P.json_of_string {|"café €"|} with
-  | Ok (P.Str s) -> Alcotest.(check string) "utf8" "caf\xc3\xa9 \xe2\x82\xac" s
+  | Ok (P.String s) -> Alcotest.(check string) "utf8" "caf\xc3\xa9 \xe2\x82\xac" s
   | Ok _ -> Alcotest.fail "not a string"
   | Error msg -> Alcotest.fail msg
 
@@ -56,7 +56,16 @@ let test_json_rejects () =
       match P.json_of_string s with
       | Ok _ -> Alcotest.failf "accepted %s" s
       | Error _ -> ())
-    [ ""; "{"; "[1,"; "1.5"; "1e3"; "{\"a\":}"; "tru"; "\"unterminated" ]
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "01"; "1." ];
+  (* floats are first-class since the shared core replaced the
+     integers-only envelope reader *)
+  List.iter
+    (fun (s, f) ->
+      match P.json_of_string s with
+      | Ok (P.Float f') when f' = f -> ()
+      | Ok j -> Alcotest.failf "%s parsed to %s" s (P.json_to_string j)
+      | Error msg -> Alcotest.failf "rejected %s: %s" s msg)
+    [ ("1.5", 1.5); ("1e3", 1000.); ("-0.25", -0.25) ]
 
 (* ---- requests --------------------------------------------------------- *)
 
@@ -354,7 +363,7 @@ let test_batch_dispatch () =
       Alcotest.(check string) "ok" "ok" r.P.status;
       Alcotest.(check bool) "cold" false r.P.cached;
       match P.member "results" r.P.body with
-      | Some (P.Arr results) ->
+      | Some (P.List results) ->
           Alcotest.(check int) "one result per schema" (List.length texts)
             (List.length results);
           List.iter
@@ -382,7 +391,7 @@ let test_batch_dispatch () =
   | Ok r -> (
       Alcotest.(check string) "error" "error" r.P.status;
       match P.member "error" r.P.body with
-      | Some (P.Str msg) ->
+      | Some (P.String msg) ->
           Alcotest.(check bool) "position named" true
             (let rec infix i =
                i + 10 <= String.length msg
@@ -397,18 +406,27 @@ let test_batch_dispatch () =
 
 (* ---- persistent disk tier --------------------------------------------- *)
 
+(* the store shards entries into two-hex-char subdirectories, so cleanup
+   (and the corruption test's clobbering) walk the tree *)
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Unix.rmdir path with _ -> ())
+  | false -> ( try Sys.remove path with _ -> ())
+  | exception Sys_error _ -> ()
+
+let rec iter_files f path =
+  if Sys.is_directory path then
+    Array.iter (fun n -> iter_files f (Filename.concat path n)) (Sys.readdir path)
+  else f path
+
 let with_tmp_dir f =
   let dir = Filename.temp_file "ormcheck-test" ".store" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter
-          (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
-          (Sys.readdir dir);
-        try Unix.rmdir dir with _ -> ()
-      end)
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
     (fun () -> f dir)
 
 module Disk = Orm_server.Disk_cache
@@ -451,12 +469,12 @@ let test_disk_cache_corrupt_entry () =
       Disk.add d "key" "good";
       (* clobber the entry file on disk with a truncated write (no key
          line): the read degrades to a miss and the squatter is removed *)
-      Array.iter
-        (fun name ->
-          let oc = open_out (Filename.concat dir name) in
+      iter_files
+        (fun path ->
+          let oc = open_out path in
           output_string oc "corrupt garbage with no key line";
           close_out oc)
-        (Sys.readdir dir);
+        dir;
       Alcotest.(check (option string)) "corrupt entry is a miss" None
         (Disk.find d "key");
       Alcotest.(check int) "corrupt entry deleted" 0 (Disk.entries d);
