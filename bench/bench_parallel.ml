@@ -38,7 +38,7 @@ let figure_rows ~domains =
       in
       json_obj
         [
-          ("figure", Printf.sprintf "%S" e.figure);
+          ("figure", Bench_util.json_str e.figure);
           ("sequential_ns", string_of_int seq_ns);
           ("parallel_fan_ns", string_of_int par_ns);
           ("domains", string_of_int domains);
@@ -86,8 +86,7 @@ let run ?(file = "BENCH_parallel.json") () =
       @ [
         ("repeats", string_of_int repeats);
         ( "note",
-          Printf.sprintf
-            "%S"
+          Bench_util.json_str
             (if recommended <= 1 then
                "host exposes a single core: domain parallelism cannot beat the \
                 sequential engine here; speedups > 1 require \

@@ -30,7 +30,7 @@ let schema_texts ~n ~size =
    across rows.  The reason scenario caps its backends ([budget]): the
    artifact is about warm-vs-cold shape, and uncapped tableau misses at
    this size run for minutes without changing that shape. *)
-let run_scenario ?budget ?sat_budget ~meth ~texts () =
+let run_scenario ?budget ?sat_budget ?backend ?mix ~meth ~texts () =
   let metrics = Metrics.create () in
   let server = Server.create ~metrics Server.default_config in
   let total = List.length texts in
@@ -40,7 +40,7 @@ let run_scenario ?budget ?sat_budget ~meth ~texts () =
           (fun i text ->
             let line =
               P.build_request ~id:(string_of_int i) ~schema_text:text ?budget
-                ?sat_budget meth
+                ?sat_budget ?backend meth
             in
             let resp, _ = Server.handle server line in
             assert (String.length resp > 0))
@@ -50,18 +50,39 @@ let run_scenario ?budget ?sat_budget ~meth ~texts () =
   let req_per_s =
     float_of_int total *. 1e9 /. float_of_int (max 1 elapsed_ns)
   in
+  let backend_field =
+    match backend with
+    | None -> []
+    | Some b ->
+        let s =
+          match b with
+          | `Auto -> "auto"
+          | `Dlr -> "dlr"
+          | `Sat -> "sat"
+          | `Both -> "both"
+        in
+        [ ("backend", Bench_util.json_str s) ]
+  in
+  let mix_field =
+    match mix with
+    | None -> []
+    | Some m -> [ ("mix", Bench_util.json_str m) ]
+  in
   Bench_util.json_obj
-    [
-      ("method", Printf.sprintf "%S" (P.meth_to_string meth));
-      ("requests", string_of_int total);
-      ("cache_hits", string_of_int (Server.cache_hits server));
-      ("cache_misses", string_of_int (Server.cache_misses server));
-      ("elapsed_ns", string_of_int elapsed_ns);
-      ("requests_per_s", Printf.sprintf "%.1f" req_per_s);
-      ("p50_ns", string_of_int (Metrics.request_p50_ns snap));
-      ("p95_ns", string_of_int (Metrics.request_p95_ns snap));
-      ("max_ns", string_of_int snap.Metrics.request_max_ns);
-    ]
+    (("method", Bench_util.json_str (P.meth_to_string meth))
+     :: (backend_field @ mix_field)
+    @ [
+        ("requests", string_of_int total);
+        ("cache_hits", string_of_int (Server.cache_hits server));
+        ("cache_misses", string_of_int (Server.cache_misses server));
+        ("elapsed_ns", string_of_int elapsed_ns);
+        ("requests_per_s", Printf.sprintf "%.1f" req_per_s);
+        ("p50_ns", string_of_int (Metrics.request_p50_ns snap));
+        ("p95_ns", string_of_int (Metrics.request_p95_ns snap));
+        ("max_ns", string_of_int snap.Metrics.request_max_ns);
+        ("plan_patterns_only", string_of_int snap.Metrics.plan_patterns_only);
+        ("plan_races", string_of_int snap.Metrics.plan_races);
+      ])
 
 (* Transport pricing: the same warm check mix driven through the network
    front ends over a loopback socket — NDJSON-over-TCP (one persistent
@@ -164,7 +185,7 @@ let run_transport_scenario ~framing ~label ~texts () =
   in
   Bench_util.json_obj
     [
-      ("transport", Printf.sprintf "%S" label);
+      ("transport", Bench_util.json_str label);
       ("method", "\"check\"");
       ("requests", string_of_int total);
       ("cache_hits", string_of_int (Server.cache_hits server));
@@ -181,12 +202,31 @@ let run ?(file = "BENCH_server.json") () =
   let warm_texts =
     List.init requests (fun i -> List.nth warm_base (i mod distinct))
   in
+  (* every schema pattern-conclusive, every request a miss: this subset
+     prices the planner's short-circuit — `reason --backend auto` must cost
+     about a `check` here, because the complete backends never run *)
+  let conclusive_texts =
+    List.init requests (fun i ->
+        Orm_dsl.Printer.to_string
+          (Orm_generator.Faults.inject ~seed:(900 + i)
+             (1 + (i mod 9))
+             (Orm_generator.Gen.clean
+                ~config:(Orm_generator.Gen.sized 8) ~seed:(900 + i) ()))
+            .schema)
+  in
   let rows =
     [
       run_scenario ~meth:P.Check ~texts:cold_texts ();
       run_scenario ~meth:P.Check ~texts:warm_texts ();
       run_scenario ~meth:P.Reason ~budget:2_000 ~sat_budget:200_000
-        ~texts:warm_texts ();
+        ~backend:`Both ~texts:warm_texts ();
+      run_scenario ~meth:P.Reason ~budget:2_000 ~sat_budget:200_000
+        ~backend:`Auto ~texts:warm_texts ();
+      run_scenario ~meth:P.Check ~mix:"pattern-conclusive cold"
+        ~texts:conclusive_texts ();
+      run_scenario ~meth:P.Reason ~budget:2_000 ~sat_budget:200_000
+        ~backend:`Auto ~mix:"pattern-conclusive cold" ~texts:conclusive_texts
+        ();
     ]
   in
   let transport_rows =
@@ -204,15 +244,19 @@ let run ?(file = "BENCH_server.json") () =
           ("requests", string_of_int requests);
           ("distinct_schemas_warm", string_of_int distinct);
           ( "note",
-            Printf.sprintf "%S"
+            Bench_util.json_str
               "rows: check over all-distinct schemas (cold, every request a \
                miss), check over few repeated schemas (warm, hit rate \
-               (requests-distinct)/requests), reason over the same warm mix; \
-               p50/p95 from the telemetry request-latency histogram, i.e. \
-               what `ormcheck serve --stats` reports" );
+               (requests-distinct)/requests), reason (forced both, then \
+               backend auto) over the same warm mix, then check vs reason \
+               auto over a cold pattern-conclusive mix — the planner \
+               short-circuits there, so auto p50 must sit within a small \
+               factor of check p50; p50/p95 from the telemetry \
+               request-latency histogram, i.e. what `ormcheck serve \
+               --stats` reports" );
           ("scenarios", Bench_util.json_arr rows);
           ( "transport_note",
-            Printf.sprintf "%S"
+            Bench_util.json_str
               "transports: the warm check mix over loopback sockets — \
                tcp-ndjson (persistent NDJSON connection) and http \
                (HTTP/1.1 keep-alive POST /v1/check); read against the \

@@ -49,7 +49,7 @@ let figure_rows () =
       let on_ns = best_of_ns (fun () -> ignore (Engine.check ~tracer e.schema)) in
       json_obj
         [
-          ("figure", Printf.sprintf "%S" e.figure);
+          ("figure", Bench_util.json_str e.figure);
           ("untraced_ns", string_of_int off_ns);
           ("traced_ns", string_of_int on_ns);
           ("overhead", overhead off_ns on_ns);
@@ -99,7 +99,7 @@ let run ?(file = "BENCH_trace.json") () =
       @ [
         ("repeats", string_of_int repeats);
         ( "note",
-          Printf.sprintf "%S"
+          Bench_util.json_str
             "overhead = traced_ns / untraced_ns; tracing off is the engine's \
              original path (the test suite pins it allocation-free), tracing \
              on pays two clock reads and a ring write per span" );

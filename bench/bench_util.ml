@@ -31,8 +31,16 @@ let host_fields =
     ("host_recommended_domains", string_of_int host_recommended_domains);
   ]
 
+(* OCaml's %S is not a JSON escaper: it renders non-ASCII bytes as decimal
+   escapes (\226...), which JSON parsers reject.  Route every string value
+   through the JSON library's own escaper instead. *)
+let json_str s = "\"" ^ Orm_json.escape_string s ^ "\""
+
 let json_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_str k) v) fields)
+  ^ "}"
 
 let json_arr items = "[" ^ String.concat "," items ^ "]"
 

@@ -259,68 +259,83 @@ let reason_cmd =
   let backend =
     Arg.(
       value
-      & opt (enum [ ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ]) `Both
+      & opt
+          (enum
+             [ ("auto", `Auto); ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ])
+          `Auto
       & info [ "backend" ] ~docv:"B"
           ~doc:
-            "Complete procedure(s) to run after the patterns: $(b,dlr) \
-             (tableau), $(b,sat) (CNF + DPLL, strong satisfiability) or \
-             $(b,both).")
+            "Complete procedure(s) to run after the patterns: $(b,auto) (the \
+             planner picks — skips them when patterns are conclusive, races \
+             both otherwise; the default), $(b,dlr) (tableau), $(b,sat) (CNF \
+             + DPLL, strong satisfiability) or $(b,both).")
   in
-  let run file settings jobs stats stats_json trace log_level budget sat_budget backend =
+  let fresh =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fresh" ] ~docv:"K"
+          ~doc:"Fresh atoms per type family in the SAT value pool.")
+  in
+  let run file settings jobs stats stats_json trace log_level budget sat_budget backend fresh =
     apply_log_level log_level;
     let schema = or_die (load file) in
     let metrics =
       if stats || stats_json <> None then Some (Metrics.create ()) else None
     in
     let tracer = make_tracer trace in
-    let report =
-      match resolve_jobs jobs with
-      | Some n when n > 1 ->
-          Engine_par.check ~domains:n ~settings ?metrics ?tracer schema
-      | _ -> Engine.check ~settings ?metrics ?tracer schema
+    let jobs = Option.value ~default:1 (resolve_jobs jobs) in
+    let r =
+      Orm_planner.Reason.run ~settings ?metrics ?tracer ~budget ~sat_budget
+        ?max_fresh:fresh ~jobs ~backend schema
     in
+    let report = r.Orm_planner.Reason.report in
     Format.printf "== pattern engine (fast, incomplete) ==@.%a@." Engine.pp_report report;
-    let dlr_unsat = ref 0 in
-    if backend <> `Sat then begin
-      let result = Orm_dlr.Dlr_check.check ~budget ?tracer schema in
-      Format.printf "@.== DLR tableau (complete for the mapped fragment) ==@.%a@."
-        Orm_dlr.Dlr_check.pp result;
-      dlr_unsat :=
-        List.length (Orm_dlr.Dlr_check.unsat_types result)
-        + List.length (Orm_dlr.Dlr_check.unsat_roles result)
-    end;
-    let sat_no_model = ref false in
-    if backend <> `Dlr then begin
-      let outcome =
-        Orm_sat.Encode.solve ~budget:sat_budget ?tracer schema
-          Orm_sat.Encode.Strongly_satisfiable
-      in
-      Format.printf "@.== SAT encoding (bounded, strong satisfiability) ==@.%a@."
-        Orm_sat.Encode.pp_outcome outcome;
-      let s = Orm_sat.Encode.last_stats () in
-      Format.printf
-        "(%d variables, %d clauses, %d DPLL steps, %d propagation(s), %d backtrack(s))@."
-        s.variables s.clauses s.decisions
-        (Orm_sat.Dpll.stats_last_propagations ())
-        (Orm_sat.Dpll.stats_last_backtracks ());
-      match outcome with
-      | No_model -> sat_no_model := true
-      | Model _ | Timeout -> ()
-    end;
+    Option.iter
+      (fun (plan : Orm_planner.Planner.plan) ->
+        Format.printf "@.== planner ==@.decision: %s@."
+          (Orm_planner.Planner.decision_name plan.decision);
+        Format.printf "features: %a@." Orm_planner.Features.pp plan.features;
+        Format.printf "estimates: %a; %a@." Orm_planner.Cost.pp plan.dlr
+          Orm_planner.Cost.pp plan.sat;
+        Option.iter
+          (fun w -> Format.printf "winner: %s@." (Orm_planner.Cost.name w))
+          r.Orm_planner.Reason.winner;
+        if r.Orm_planner.Reason.short_circuit then
+          Format.printf
+            "note: patterns already prove unsatisfiability; complete \
+             backends skipped@.")
+      r.Orm_planner.Reason.plan;
+    Option.iter
+      (fun (d : Orm_planner.Reason.dlr_run) ->
+        Format.printf "@.== DLR tableau (complete for the mapped fragment) ==@.%a@."
+          Orm_dlr.Dlr_check.pp d.result;
+        if d.cancelled then
+          Format.printf "(race lost: cancelled after %d ns)@." d.time_ns)
+      r.Orm_planner.Reason.dlr;
+    Option.iter
+      (fun (s : Orm_planner.Reason.sat_run) ->
+        Format.printf "@.== SAT encoding (bounded, strong satisfiability) ==@.%a@."
+          Orm_sat.Encode.pp_outcome s.outcome;
+        Format.printf
+          "(%d variables, %d clauses, %d DPLL steps)@."
+          s.stats.variables s.stats.clauses s.stats.decisions;
+        if s.cancelled then
+          Format.printf "(race lost: cancelled after %d ns)@." s.time_ns)
+      r.Orm_planner.Reason.sat;
     emit_stats ~stats ~stats_json metrics;
     emit_trace trace tracer;
-    if report.diagnostics = [] && !dlr_unsat = 0 && not !sat_no_model then exit 0
-    else exit 1
+    if r.Orm_planner.Reason.clean then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "reason"
        ~doc:
-         "Run the fast patterns and the complete backends (DLR tableau, SAT) \
-          side by side.")
+         "Run the fast patterns, then the complete backends (DLR tableau, \
+          SAT) — planned, raced or forced via --backend.")
     Term.(
       const run $ file_arg $ settings_term $ jobs_term $ stats_term
       $ stats_json_term $ trace_term $ log_level_term $ budget $ sat_budget
-      $ backend)
+      $ backend $ fresh)
 
 (* ---- doctor ---------------------------------------------------------- *)
 
@@ -349,6 +364,20 @@ let doctor_cmd =
     Format.printf "@.== patterns (extensions on, %d diagnostic(s)) ==@.%a@."
       (List.length report.diagnostics)
       Engine.pp_report report;
+    (* what `reason` (backend auto) would do with this schema, as triage
+       advice: conclusive patterns mean the complete backends are never
+       needed; otherwise show the planner's cost estimates *)
+    let plan =
+      Orm_planner.Planner.decide
+        ?stats:(Option.map Metrics.snapshot metrics)
+        ~patterns_conclusive:(report.diagnostics <> [])
+        (Orm_planner.Features.extract schema)
+    in
+    Format.printf "@.== planner (what `reason' would run) ==@.decision: %s@."
+      (Orm_planner.Planner.decision_name plan.decision);
+    Format.printf "features: %a@." Orm_planner.Features.pp plan.features;
+    Format.printf "estimates: %a; %a@." Orm_planner.Cost.pp plan.dlr
+      Orm_planner.Cost.pp plan.sat;
     if report.diagnostics <> [] then begin
       Format.printf "@.== suggested repairs ==@.";
       match Orm_repair.Repair.suggestions schema with
@@ -908,8 +937,15 @@ let client_cmd =
   let backend =
     Arg.(
       value
-      & opt (some (enum [ ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ])) None
-      & info [ "backend" ] ~docv:"B" ~doc:"Complete procedure(s) for reason: $(b,dlr), $(b,sat) or $(b,both).")
+      & opt
+          (some
+             (enum
+                [ ("auto", `Auto); ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ]))
+          None
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Complete procedure(s) for reason: $(b,auto) (server-side \
+             planner), $(b,dlr), $(b,sat) or $(b,both).")
   in
   let run socket connect meth schema_files settings jobs id deadline_ms budget
       sat_budget backend log_level =

@@ -13,11 +13,13 @@ type result = {
 
 module Trace = Orm_trace.Trace
 
-let check ?budget ?deadline_ns ?tracer schema =
+let check ?budget ?deadline_ns ?cancel ?tracer schema =
   let mapping =
     Trace.span tracer "dlr.translate" (fun () -> Mapping.translate schema)
   in
-  let sat c = Tableau.satisfiable ?budget ?deadline_ns ?tracer mapping.tbox c in
+  let sat c =
+    Tableau.satisfiable ?budget ?deadline_ns ?cancel ?tracer mapping.tbox c
+  in
   let type_verdicts =
     List.map
       (fun t ->

@@ -23,6 +23,7 @@ type result = {
 val check :
   ?budget:int ->
   ?deadline_ns:int64 ->
+  ?cancel:(unit -> bool) ->
   ?tracer:Orm_trace.Trace.t ->
   Schema.t ->
   result
@@ -31,7 +32,10 @@ val check :
     (absolute, {!Orm_telemetry.Metrics.now_ns} scale) is forwarded to every
     tableau query: once it passes, the remaining queries all come back
     [Unknown] almost immediately, so a caller under a deadline gets a
-    partial-but-honest result instead of a stuck process.  [tracer] wraps
+    partial-but-honest result instead of a stuck process.  [cancel] works
+    the same way through the tableau's poll sites — once it flips, every
+    remaining query returns [Unknown] at its first poll, which is what lets
+    the planner's race abandon a losing DLR run mid-schema.  [tracer] wraps
     the translation in a [dlr.translate] span and each query in a
     [dlr.query.type] / [dlr.query.role] span, with the tableau's own spans
     and counters nested inside. *)

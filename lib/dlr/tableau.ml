@@ -308,12 +308,17 @@ let find_step ?tracer universal inclusions st =
    measurable on the per-rule hot path. *)
 let deadline_poll_mask = 127
 
-let satisfiable ?(budget = 50_000) ?deadline_ns ?tracer tbox c =
+let satisfiable ?(budget = 50_000) ?deadline_ns ?cancel ?tracer tbox c =
   rules_used := 0;
   let expired =
-    match deadline_ns with
-    | None -> fun () -> false
-    | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+    let past_deadline =
+      match deadline_ns with
+      | None -> fun () -> false
+      | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+    in
+    match cancel with
+    | None -> past_deadline
+    | Some cancelled -> fun () -> cancelled () || past_deadline ()
   in
   let universal =
     List.filter_map

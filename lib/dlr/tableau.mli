@@ -16,6 +16,7 @@ val pp_verdict : Format.formatter -> verdict -> unit
 val satisfiable :
   ?budget:int ->
   ?deadline_ns:int64 ->
+  ?cancel:(unit -> bool) ->
   ?tracer:Orm_trace.Trace.t ->
   Syntax.tbox ->
   Syntax.concept ->
@@ -26,7 +27,9 @@ val satisfiable :
     {!Orm_telemetry.Metrics.now_ns} instant past which the search gives up
     with [Unknown], polled every few dozen rule applications — the
     mechanism that lets a serving process abandon a worst-case-exponential
-    query without killing anything.
+    query without killing anything.  [cancel], polled at the same sites,
+    gives up with [Unknown] too once it returns [true] — how the planner's
+    portfolio race stops a tableau that lost to the SAT backend.
 
     [tracer] records a [tableau.satisfiable] span enclosing one span per
     expansion phase ([tableau.conj] / [disj] / [atmost] / [forall] /

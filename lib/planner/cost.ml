@@ -1,0 +1,66 @@
+module Metrics = Orm_telemetry.Metrics
+
+type backend = Dlr | Sat
+
+let slot = function Dlr -> 1 | Sat -> 2
+let name = function Dlr -> "dlr" | Sat -> "sat"
+
+let of_name = function
+  | "dlr" -> Some Dlr
+  | "sat" -> Some Sat
+  | _ -> None
+
+type estimate = {
+  backend : backend;
+  static_ns : int;
+  observed_p95_ns : int option;
+  cost_ns : int;
+}
+
+(* Static polynomials, calibrated against the bench corpus (sizes 2–16):
+   the tableau answers one query per object type and per role, each roughly
+   linear in the translated axiom count; the SAT route pays one encoding
+   over the value-pool grid plus a DPLL search whose practical cost on
+   these bounded instances tracks variables x clauses.  Both lean
+   pessimistic — over-estimating keeps hopeless backends out of tight
+   deadlines, and racing covers the slack when the budget is roomy. *)
+let static_ns (f : Features.t) = function
+  | Dlr ->
+      let queries = f.object_types + f.roles in
+      let axioms = 1 + f.constraints + f.subtype_edges in
+      50_000 + (3_000 * queries * axioms)
+  | Sat ->
+      let atoms = 1 + f.object_types + (2 * f.fact_types) in
+      let clauses = 1 + f.constraints + (2 * f.fact_types) in
+      200_000 + (40_000 * atoms * clauses)
+
+let min_observations = 5
+
+let observed_p95 stats b =
+  match stats with
+  | None -> None
+  | Some (s : Metrics.snapshot) -> (
+      match
+        List.find_opt
+          (fun (row : Metrics.pattern_stat) -> row.pattern = slot b)
+          s.backends
+      with
+      | Some row when row.runs >= min_observations -> Some (Metrics.p95_ns row)
+      | Some _ | None -> None)
+
+let estimate ?stats f b =
+  let static_ns = static_ns f b in
+  let observed_p95_ns = observed_p95 stats b in
+  let cost_ns =
+    match observed_p95_ns with
+    | Some p95 -> (static_ns + (3 * p95)) / 4
+    | None -> static_ns
+  in
+  { backend = b; static_ns; observed_p95_ns; cost_ns }
+
+let pp ppf e =
+  Format.fprintf ppf "%s: %d ns static%a -> %d ns" (name e.backend) e.static_ns
+    (fun ppf -> function
+      | None -> ()
+      | Some p95 -> Format.fprintf ppf ", %d ns observed p95" p95)
+    e.observed_p95_ns e.cost_ns

@@ -1,0 +1,37 @@
+(** The planner's cost model: how long is each complete backend likely to
+    take on a schema with these features?
+
+    Estimates start from a static polynomial in the feature counts
+    (documented in [docs/PLANNER.md]) and are refined online: once a
+    backend has enough recorded runs in the {!Orm_telemetry.Metrics}
+    per-backend latency histograms, the observed p95 is blended in with
+    three times the weight of the static guess.  The estimates only need to
+    be right about {e admission} — "does this backend fit in the remaining
+    deadline budget?" — not about absolute wall time. *)
+
+type backend = Dlr | Sat
+
+val slot : backend -> int
+(** The backend's {!Orm_telemetry.Metrics.record_backend} slot. *)
+
+val name : backend -> string
+(** ["dlr"] / ["sat"] — the wire and CLI spelling. *)
+
+val of_name : string -> backend option
+
+type estimate = {
+  backend : backend;
+  static_ns : int;  (** the polynomial alone *)
+  observed_p95_ns : int option;
+      (** p95 of recorded runs, once at least {!min_observations} exist *)
+  cost_ns : int;  (** the blend — what admission decisions use *)
+}
+
+val min_observations : int
+(** Recorded runs a backend needs before its histogram outvotes the static
+    model (5). *)
+
+val estimate :
+  ?stats:Orm_telemetry.Metrics.snapshot -> Features.t -> backend -> estimate
+
+val pp : Format.formatter -> estimate -> unit

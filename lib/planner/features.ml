@@ -1,0 +1,115 @@
+open Orm
+
+type t = {
+  object_types : int;
+  fact_types : int;
+  roles : int;
+  constraints : int;
+  subtype_edges : int;
+  subtype_depth : int;
+  uniqueness : int;
+  mandatory : int;
+  frequency : int;
+  set_comparisons : int;
+  exclusions : int;
+  total_subtypes : int;
+  rings : int;
+  value_constraints : int;
+}
+
+(* Longest subtype chain by iterated relaxation over the edge list.  A DAG
+   converges in at most [n] rounds; a cycle would relax forever, so rounds
+   are capped at [n + 1], which bounds the reported depth instead of
+   looping and keeps the extractor total.  Adding edges or types can only
+   raise heights (more relaxations, higher cap), so the feature stays
+   monotone under growth. *)
+let subtype_depth g ~n_types =
+  let edges = Subtype_graph.edges g in
+  if edges = [] then 0
+  else begin
+    let h = Hashtbl.create 16 in
+    let height t = Option.value ~default:0 (Hashtbl.find_opt h t) in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds <= n_types do
+      changed := false;
+      incr rounds;
+      List.iter
+        (fun (sub, super) ->
+          let d = height super + 1 in
+          if d > height sub then begin
+            Hashtbl.replace h sub d;
+            changed := true
+          end)
+        edges
+    done;
+    Hashtbl.fold (fun _ d acc -> max acc d) h 0
+  end
+
+let extract schema =
+  let uniqueness = ref 0
+  and mandatory = ref 0
+  and frequency = ref 0
+  and set_comparisons = ref 0
+  and exclusions = ref 0
+  and total_subtypes = ref 0
+  and rings = ref 0
+  and value_constraints = ref 0 in
+  List.iter
+    (fun (c : Constraints.t) ->
+      match c.body with
+      | Mandatory _ | Disjunctive_mandatory _ -> incr mandatory
+      | Uniqueness _ | External_uniqueness _ -> incr uniqueness
+      | Frequency _ -> incr frequency
+      | Subset _ | Equality _ -> incr set_comparisons
+      | Role_exclusion _ | Type_exclusion _ -> incr exclusions
+      | Total_subtypes _ -> incr total_subtypes
+      | Ring _ -> incr rings
+      | Value_constraint _ -> incr value_constraints)
+    (Schema.constraints schema);
+  let g = Schema.graph schema in
+  let object_types = List.length (Schema.object_types schema) in
+  {
+    object_types;
+    fact_types = List.length (Schema.fact_types schema);
+    roles = List.length (Schema.all_roles schema);
+    constraints = List.length (Schema.constraints schema);
+    subtype_edges = List.length (Subtype_graph.edges g);
+    subtype_depth = subtype_depth g ~n_types:object_types;
+    uniqueness = !uniqueness;
+    mandatory = !mandatory;
+    frequency = !frequency;
+    set_comparisons = !set_comparisons;
+    exclusions = !exclusions;
+    total_subtypes = !total_subtypes;
+    rings = !rings;
+    value_constraints = !value_constraints;
+  }
+
+let non_dlr f = f.rings + f.value_constraints
+let size f = f.object_types + f.fact_types + f.constraints
+
+let to_fields f =
+  [
+    ("object_types", f.object_types);
+    ("fact_types", f.fact_types);
+    ("roles", f.roles);
+    ("constraints", f.constraints);
+    ("subtype_edges", f.subtype_edges);
+    ("subtype_depth", f.subtype_depth);
+    ("uniqueness", f.uniqueness);
+    ("mandatory", f.mandatory);
+    ("frequency", f.frequency);
+    ("set_comparisons", f.set_comparisons);
+    ("exclusions", f.exclusions);
+    ("total_subtypes", f.total_subtypes);
+    ("rings", f.rings);
+    ("value_constraints", f.value_constraints);
+  ]
+
+let pp ppf f =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    (to_fields f)

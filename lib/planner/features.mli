@@ -1,0 +1,45 @@
+(** Schema features the planner's cost model is built from.
+
+    Every field is a non-negative count, and every field is monotone under
+    schema growth: adding an object type, fact type, subtype edge or
+    constraint to a schema never decreases any feature (the property/fuzz
+    suite enforces this).  Extraction is total — it never raises, whatever
+    the generator produces — because a planner that crashes on exotic input
+    is worse than one that mispredicts. *)
+
+open Orm
+
+type t = {
+  object_types : int;
+  fact_types : int;  (** all binary, per the paper's restriction *)
+  roles : int;  (** 2 x fact types — the tableau queries each one *)
+  constraints : int;  (** total constraint count, all kinds *)
+  subtype_edges : int;
+  subtype_depth : int;
+      (** longest subtype chain (edges); cycles are counted capped at the
+          number of object types rather than looping *)
+  uniqueness : int;  (** internal + external uniqueness *)
+  mandatory : int;  (** simple + disjunctive mandatory *)
+  frequency : int;
+  set_comparisons : int;  (** subset + equality *)
+  exclusions : int;  (** role + type exclusions *)
+  total_subtypes : int;
+  rings : int;  (** outside the DLR fragment *)
+  value_constraints : int;  (** nominals — outside the DLR fragment *)
+}
+
+val extract : Schema.t -> t
+
+val non_dlr : t -> int
+(** [rings + value_constraints]: constructs the DLR mapping skips, so a
+    positive count means tableau [Sat] verdicts are only relative to the
+    translated fragment. *)
+
+val size : t -> int
+(** [object_types + fact_types + constraints] — the coarse schema size the
+    monotonicity property is stated against. *)
+
+val to_fields : t -> (string * int) list
+(** Field-name/value pairs, in declaration order (for JSON and logs). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module J = Orm_json
+
+type decision =
+  | Patterns_only
+  | Backend of Cost.backend
+  | Race of Cost.backend * Cost.backend
+
+let decision_name = function
+  | Patterns_only -> "patterns_only"
+  | Backend b -> Cost.name b
+  | Race (a, b) -> Printf.sprintf "race:%s+%s" (Cost.name a) (Cost.name b)
+
+type plan = {
+  decision : decision;
+  features : Features.t;
+  dlr : Cost.estimate;
+  sat : Cost.estimate;
+  budget_ns : int option;
+  admits_dlr : bool;
+  admits_sat : bool;
+}
+
+let admits budget cost =
+  match budget with None -> true | Some b -> cost <= b
+
+let decide ?stats ?budget_ns ~patterns_conclusive features =
+  let dlr = Cost.estimate ?stats features Cost.Dlr in
+  let sat = Cost.estimate ?stats features Cost.Sat in
+  let admits_dlr = admits budget_ns dlr.cost_ns in
+  let admits_sat = admits budget_ns sat.cost_ns in
+  let decision =
+    if patterns_conclusive then Patterns_only
+    else if admits_dlr && admits_sat then Race (Cost.Dlr, Cost.Sat)
+    else if admits_sat then Backend Cost.Sat
+    else if admits_dlr then Backend Cost.Dlr
+    else Backend (if dlr.cost_ns <= sat.cost_ns then Cost.Dlr else Cost.Sat)
+  in
+  { decision; features; dlr; sat; budget_ns; admits_dlr; admits_sat }
+
+let estimate_fields (e : Cost.estimate) =
+  J.Obj
+    ([ ("static_ns", J.Int e.static_ns) ]
+    @ (match e.observed_p95_ns with
+      | Some p95 -> [ ("observed_p95_ns", J.Int p95) ]
+      | None -> [])
+    @ [ ("cost_ns", J.Int e.cost_ns) ])
+
+let to_fields plan =
+  [
+    ("decision", J.String (decision_name plan.decision));
+    ( "features",
+      J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Features.to_fields plan.features))
+    );
+    ( "estimates",
+      J.Obj
+        [
+          ("dlr", estimate_fields plan.dlr); ("sat", estimate_fields plan.sat);
+        ] );
+    ( "budget_ns",
+      match plan.budget_ns with Some b -> J.Int b | None -> J.Null );
+    ("admits_dlr", J.Bool plan.admits_dlr);
+    ("admits_sat", J.Bool plan.admits_sat);
+  ]

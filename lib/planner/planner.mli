@@ -1,0 +1,56 @@
+(** The decision procedure: which complete backend(s), if any, should a
+    [reason] request run after the pattern engine?
+
+    The paper's economics drive the shape of the answer.  Patterns are
+    linear-to-quadratic and {e sound}: every diagnostic is a proof of
+    unsatisfiability, so when they fire there is nothing left for a
+    complete backend to decide — {!Patterns_only}.  When they stay silent
+    the complete procedures must run, and under a roomy deadline the best
+    portfolio is to race them: the tableau tends to reach [Unsat] verdicts
+    fast, bounded SAT is the only confirmer of strong satisfiability, and
+    whichever answers definitively first wins while the loser is cancelled
+    through the solvers' polling hooks.  Racing burns a core, so it is only
+    chosen when the deadline budget admits {e both} cost estimates (no
+    deadline admits everything) — the property the fuzz suite enforces. *)
+
+type decision =
+  | Patterns_only
+      (** the pattern report already proves unsatisfiability; skip the
+          complete backends entirely *)
+  | Backend of Cost.backend  (** run exactly one complete backend *)
+  | Race of Cost.backend * Cost.backend
+      (** run both on the domain pool, first definitive verdict wins *)
+
+val decision_name : decision -> string
+(** ["patterns_only"], ["dlr"], ["sat"] or ["race:dlr+sat"] — the spelling
+    used in server responses and decision logs. *)
+
+type plan = {
+  decision : decision;
+  features : Features.t;
+  dlr : Cost.estimate;
+  sat : Cost.estimate;
+  budget_ns : int option;
+      (** deadline budget remaining at decision time; [None] = no deadline *)
+  admits_dlr : bool;
+  admits_sat : bool;
+}
+
+val decide :
+  ?stats:Orm_telemetry.Metrics.snapshot ->
+  ?budget_ns:int ->
+  patterns_conclusive:bool ->
+  Features.t ->
+  plan
+(** [decide ~patterns_conclusive features] picks the backend strategy.
+    [stats] supplies the latency histograms that refine the static cost
+    estimates; [budget_ns] is the remaining deadline budget (omit for no
+    deadline).  Policy: patterns conclusive → {!Patterns_only}; both
+    estimates fit the budget → {!Race} (tableau as unsat-sprinter, SAT as
+    confirmer); exactly one fits → that {!Backend}; neither fits → the
+    cheaper {!Backend} as a best effort (it will usually hit the deadline
+    and surface as a timeout). *)
+
+val to_fields : plan -> (string * Orm_json.t) list
+(** The plan as JSON fields ([decision], [features], [estimates],
+    [budget_ns]) — spliced into server responses and the decision log. *)

@@ -1,0 +1,292 @@
+module Engine = Orm_patterns.Engine
+module Engine_par = Orm_patterns.Engine_par
+module Settings = Orm_patterns.Settings
+module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+module Dlr_check = Orm_dlr.Dlr_check
+module Encode = Orm_sat.Encode
+
+type backend_request = [ `Auto | `Dlr | `Sat | `Both ]
+
+type dlr_run = {
+  result : Dlr_check.result;
+  time_ns : int;
+  cancelled : bool;
+}
+
+type sat_run = {
+  outcome : Encode.outcome;
+  stats : Encode.stats;
+  time_ns : int;
+  cancelled : bool;
+}
+
+type t = {
+  report : Engine.report;
+  patterns_time_ns : int;
+  plan : Planner.plan option;
+  plan_time_ns : int;
+  short_circuit : bool;
+  dlr : dlr_run option;
+  sat : sat_run option;
+  winner : Cost.backend option;
+  clean : bool;
+  conclusive : bool;
+}
+
+let dlr_unsat t =
+  match t.dlr with
+  | None -> 0
+  | Some { result; _ } ->
+      List.length (Dlr_check.unsat_types result)
+      + List.length (Dlr_check.unsat_roles result)
+
+let sat_no_model t =
+  match t.sat with Some { outcome = Encode.No_model; _ } -> true | _ -> false
+
+(* ---- single-backend runs --------------------------------------------- *)
+
+(* Each returns (run, definitive): definitive means the caller can act on
+   the verdict without consulting the other backend.  A tableau [Sat] is
+   never definitive for strong satisfiability (joint constraints and
+   skipped axioms are invisible to per-element queries); an [Unsat] always
+   is.  SAT is definitive either way, except on [Timeout]. *)
+
+let run_dlr ?metrics ?tracer ?deadline_ns ?cancel ~budget schema =
+  let result, time_ns =
+    Metrics.time (fun () ->
+        Dlr_check.check ~budget ?deadline_ns ?cancel ?tracer schema)
+  in
+  let definitive =
+    Dlr_check.unsat_types result <> [] || Dlr_check.unsat_roles result <> []
+  in
+  Option.iter
+    (fun m ->
+      Metrics.record_backend m ~backend:(Cost.slot Cost.Dlr) ~time_ns ~definitive)
+    metrics;
+  ({ result; time_ns; cancelled = false }, definitive)
+
+let run_sat ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh ~sat_budget schema =
+  let (outcome, stats), time_ns =
+    Metrics.time (fun () ->
+        let outcome =
+          Encode.solve ?max_fresh ~budget:sat_budget ?deadline_ns ?cancel
+            ?tracer schema Encode.Strongly_satisfiable
+        in
+        (* captured here, inside the same task, so a concurrent tableau (or
+           a later race) can never interleave with the solver's globals *)
+        (outcome, Encode.last_stats ()))
+  in
+  let definitive =
+    match outcome with Encode.Model _ | No_model -> true | Timeout -> false
+  in
+  Option.iter
+    (fun m ->
+      Metrics.record_backend m ~backend:(Cost.slot Cost.Sat) ~time_ns ~definitive)
+    metrics;
+  ({ outcome; stats; time_ns; cancelled = false }, definitive)
+
+(* ---- the race -------------------------------------------------------- *)
+
+(* Created on first use, never at module load: a prefork server forks its
+   workers at startup, and OCaml 5 forbids forking after a domain has been
+   spawned.  Two domains — one per racer — reused across races for the
+   lifetime of the process. *)
+let race_pool = lazy (Engine_par.Pool.create 2)
+
+type 'a slot = Pending | Done of 'a * bool | Failed of exn
+
+let race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget ~sat_budget schema =
+  let pool = Lazy.force race_pool in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let cancel_dlr = Atomic.make false in
+  let cancel_sat = Atomic.make false in
+  let dlr_slot = ref Pending in
+  let sat_slot = ref Pending in
+  let winner = ref None in
+  let loser_cancelled = ref false in
+  (* Called with [m] held after a racer stored its result: the first
+     definitive finisher wins and flips the loser's cancel flag (polled at
+     the solvers' amortized deadline-check sites). *)
+  let settle which other_pending other_cancel =
+    (match (!winner : Cost.backend option) with
+    | None ->
+        winner := Some which;
+        if other_pending () then begin
+          Atomic.set other_cancel true;
+          loser_cancelled := true
+        end
+    | Some _ -> ());
+    Condition.broadcast cv
+  in
+  Engine_par.Pool.submit pool (fun () ->
+      let outcome =
+        try
+          let run, definitive =
+            run_dlr ?metrics ?tracer ?deadline_ns
+              ~cancel:(fun () -> Atomic.get cancel_dlr)
+              ~budget schema
+          in
+          Done (run, definitive)
+        with exn -> Failed exn
+      in
+      Mutex.lock m;
+      dlr_slot := outcome;
+      (match outcome with
+      | Done (_, true) ->
+          settle Cost.Dlr (fun () -> !sat_slot = Pending) cancel_sat
+      | _ -> Condition.broadcast cv);
+      Mutex.unlock m);
+  Engine_par.Pool.submit pool (fun () ->
+      let outcome =
+        try
+          let run, definitive =
+            run_sat ?metrics ?tracer ?deadline_ns
+              ~cancel:(fun () -> Atomic.get cancel_sat)
+              ?max_fresh ~sat_budget schema
+          in
+          Done (run, definitive)
+        with exn -> Failed exn
+      in
+      Mutex.lock m;
+      sat_slot := outcome;
+      (match outcome with
+      | Done (_, true) ->
+          settle Cost.Sat (fun () -> !dlr_slot = Pending) cancel_dlr
+      | _ -> Condition.broadcast cv);
+      Mutex.unlock m);
+  (* Join BOTH racers before returning — the loser is cancelled, not
+     abandoned, so no task ever outlives its request and the next race (or
+     a sequential solve on the main domain) can't overlap the solvers'
+     per-run statistics. *)
+  Mutex.lock m;
+  while !dlr_slot = Pending || !sat_slot = Pending do
+    Condition.wait cv m
+  done;
+  let dlr_out = !dlr_slot and sat_out = !sat_slot in
+  let w = !winner and cancelled = !loser_cancelled in
+  Mutex.unlock m;
+  if cancelled then
+    Option.iter (fun mx -> Metrics.record_race_cancelled mx) metrics;
+  let dlr_run =
+    match dlr_out with
+    | Done (run, _) -> { run with cancelled = Atomic.get cancel_dlr }
+    | Failed exn -> raise exn
+    | Pending -> assert false
+  in
+  let sat_run =
+    match sat_out with
+    | Done (run, _) -> { run with cancelled = Atomic.get cancel_sat }
+    | Failed exn -> raise exn
+    | Pending -> assert false
+  in
+  (dlr_run, sat_run, w)
+
+(* ---- the orchestrator ------------------------------------------------ *)
+
+let run ?(settings = Settings.default) ?metrics ?tracer ?deadline_ns
+    ?(budget = 50_000) ?(sat_budget = 2_000_000) ?max_fresh ?(jobs = 1)
+    ~backend schema =
+  let report, patterns_time_ns =
+    Metrics.time (fun () ->
+        if jobs > 1 then
+          Engine_par.check ~domains:jobs ~settings ?metrics ?tracer
+            ?deadline_ns schema
+        else Engine.check ~settings ?metrics ?tracer ?deadline_ns schema)
+  in
+  let patterns_conclusive = report.Engine.diagnostics <> [] in
+  let plan, plan_time_ns =
+    match backend with
+    | `Dlr | `Sat | `Both -> (None, 0)
+    | `Auto ->
+        let plan, t =
+          Metrics.time (fun () ->
+              Trace.span tracer "planner.decide" (fun () ->
+                  let stats = Option.map Metrics.snapshot metrics in
+                  let budget_ns =
+                    Option.map
+                      (fun d ->
+                        Int64.to_int (Int64.sub d (Metrics.now_ns ())))
+                      deadline_ns
+                  in
+                  let features = Features.extract schema in
+                  Planner.decide ?stats ?budget_ns ~patterns_conclusive
+                    features))
+        in
+        Option.iter
+          (fun m ->
+            Metrics.record_plan m
+              (match plan.Planner.decision with
+              | Planner.Patterns_only -> `Patterns_only
+              | Planner.Backend Cost.Dlr -> `Backend_dlr
+              | Planner.Backend Cost.Sat -> `Backend_sat
+              | Planner.Race _ -> `Race))
+          metrics;
+        (Some plan, t)
+  in
+  let want_dlr, want_sat, want_race =
+    match backend with
+    | `Dlr -> (true, false, false)
+    | `Sat -> (false, true, false)
+    | `Both -> (true, true, false)
+    | `Auto -> (
+        match (Option.get plan).Planner.decision with
+        | Planner.Patterns_only -> (false, false, false)
+        | Planner.Backend Cost.Dlr -> (true, false, false)
+        | Planner.Backend Cost.Sat -> (false, true, false)
+        | Planner.Race _ -> (false, false, true))
+  in
+  let dlr, sat, winner =
+    if want_race then
+      let d, s, w =
+        Trace.span tracer "planner.race" (fun () ->
+            race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget ~sat_budget
+              schema)
+      in
+      (Some d, Some s, w)
+    else begin
+      let dlr =
+        if want_dlr then
+          Some (fst (run_dlr ?metrics ?tracer ?deadline_ns ~budget schema))
+        else None
+      in
+      let sat =
+        if want_sat then
+          Some
+            (fst
+               (run_sat ?metrics ?tracer ?deadline_ns ?max_fresh ~sat_budget
+                  schema))
+        else None
+      in
+      (dlr, sat, None)
+    end
+  in
+  let short_circuit =
+    match backend with `Auto -> patterns_conclusive | _ -> false
+  in
+  let t =
+    {
+      report;
+      patterns_time_ns;
+      plan;
+      plan_time_ns;
+      short_circuit;
+      dlr;
+      sat;
+      winner;
+      clean = false;
+      conclusive = false;
+    }
+  in
+  let clean =
+    report.Engine.diagnostics = [] && dlr_unsat t = 0 && not (sat_no_model t)
+  in
+  let conclusive =
+    patterns_conclusive
+    || dlr_unsat t > 0
+    || (match t.sat with
+       | Some { outcome = Encode.Model _ | Encode.No_model; _ } -> true
+       | _ -> false)
+  in
+  { t with clean; conclusive }

@@ -1,0 +1,78 @@
+(** The shared [reason] orchestrator: patterns first, then whatever
+    complete backends the request (or the planner) calls for.
+
+    This is the single implementation behind the CLI's [ormcheck reason],
+    the checking service's [reason] method and the differential test
+    suite, so all three agree on verdict semantics: [clean] means the
+    patterns found nothing, no tableau element came back unsatisfiable and
+    SAT did not refute strong satisfiability.
+
+    In [`Auto] mode the {!Planner} picks the strategy.  A {!Planner.Race}
+    submits both complete backends to a lazily-created two-domain pool
+    (lazy because prefork servers must not spawn domains before forking);
+    the first {e definitive} verdict — tableau [Unsat], SAT [Model] or
+    [No_model] — wins, and the loser is cancelled through the solvers'
+    [?cancel] polling hooks.  The race always joins both tasks before
+    returning: that keeps the solvers' per-run statistics race-free and
+    guarantees no task outlives the request that spawned it. *)
+
+module Engine := Orm_patterns.Engine
+
+type backend_request = [ `Auto | `Dlr | `Sat | `Both ]
+
+type dlr_run = {
+  result : Orm_dlr.Dlr_check.result;
+  time_ns : int;
+  cancelled : bool;  (** lost a race and was actively cancelled *)
+}
+
+type sat_run = {
+  outcome : Orm_sat.Encode.outcome;
+  stats : Orm_sat.Encode.stats;
+  time_ns : int;
+  cancelled : bool;
+}
+
+type t = {
+  report : Engine.report;  (** the pattern engine's verdicts *)
+  patterns_time_ns : int;
+  plan : Planner.plan option;  (** [Some] iff the request was [`Auto] *)
+  plan_time_ns : int;
+  short_circuit : bool;
+      (** the planner skipped the complete backends because the pattern
+          report already proves unsatisfiability *)
+  dlr : dlr_run option;
+  sat : sat_run option;
+  winner : Cost.backend option;
+      (** in a race: who produced the first definitive verdict *)
+  clean : bool;
+  conclusive : bool;
+      (** some definitive evidence exists: a pattern diagnostic, a tableau
+          [Unsat], or a SAT [Model]/[No_model] *)
+}
+
+val dlr_unsat : t -> int
+(** Elements the tableau proved unsatisfiable (0 when DLR did not run). *)
+
+val sat_no_model : t -> bool
+
+val run :
+  ?settings:Orm_patterns.Settings.t ->
+  ?metrics:Orm_telemetry.Metrics.t ->
+  ?tracer:Orm_trace.Trace.t ->
+  ?deadline_ns:int64 ->
+  ?budget:int ->
+  ?sat_budget:int ->
+  ?max_fresh:int ->
+  ?jobs:int ->
+  backend:backend_request ->
+  Orm.Schema.t ->
+  t
+(** [run ~backend schema] is the whole reasoning pipeline.  [budget]
+    (default 50_000) bounds each tableau query, [sat_budget] (default
+    2_000_000) the DPLL search; [jobs > 1] fans the pattern engine across
+    that many domains first.  Forced backends ([`Dlr] / [`Sat] / [`Both])
+    run unconditionally — even when patterns already fired — preserving
+    the side-by-side comparison semantics; only [`Auto] short-circuits.
+    [metrics] receives per-backend latencies ({!Orm_telemetry.Metrics.record_backend})
+    in every mode and planner decision counters in [`Auto] mode. *)

@@ -132,8 +132,23 @@ let iter_subsets ~large_first elems k =
 (* Search                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let solve ?(config = Eval.default_config) ?max_fresh ?(budget = 200_000) schema query =
+(* Deadline/cancel polling is amortized like the tableau's: one check every
+   [poll_mask + 1] search nodes. *)
+let poll_mask = 127
+
+let solve ?(config = Eval.default_config) ?max_fresh ?(budget = 200_000)
+    ?deadline_ns ?cancel schema query =
   nodes_explored := 0;
+  let stop =
+    let past_deadline =
+      match deadline_ns with
+      | None -> fun () -> false
+      | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+    in
+    match cancel with
+    | None -> past_deadline
+    | Some cancelled -> fun () -> cancelled () || past_deadline ()
+  in
   let max_fresh =
     match max_fresh with Some n -> n | None -> default_fresh schema
   in
@@ -191,7 +206,8 @@ let solve ?(config = Eval.default_config) ?max_fresh ?(budget = 200_000) schema 
   in
   let tick () =
     incr nodes_explored;
-    if !nodes_explored > budget then raise Out_of_budget
+    if !nodes_explored > budget then raise Out_of_budget;
+    if !nodes_explored land poll_mask = 0 && stop () then raise Out_of_budget
   in
   let goal pop =
     match query with

@@ -40,13 +40,18 @@ val solve :
   ?config:Eval.config ->
   ?max_fresh:int ->
   ?budget:int ->
+  ?deadline_ns:int64 ->
+  ?cancel:(unit -> bool) ->
   Schema.t ->
   query ->
   outcome
 (** [solve schema query] searches for a witness.  [max_fresh] (default 2)
     bounds the fresh atoms added per type family beyond the values admitted
     by value constraints; [budget] (default 200_000) bounds the number of
-    search nodes. *)
+    search nodes.  [deadline_ns] (absolute,
+    {!Orm_telemetry.Metrics.now_ns} scale) and [cancel] stop the search
+    with [Budget_exceeded], polled every couple hundred nodes like the
+    other backends' deadline hooks. *)
 
 val stats_last_nodes : unit -> int
 (** Number of search nodes explored by the most recent {!solve} call (for

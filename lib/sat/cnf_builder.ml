@@ -94,5 +94,5 @@ let nvars b = b.next - 1
 let clauses b = List.rev b.acc
 let clause_count b = b.count
 
-let solve ?budget ?deadline_ns ?tracer b =
-  Dpll.solve ?budget ?deadline_ns ?tracer ~nvars:(nvars b) (clauses b)
+let solve ?budget ?deadline_ns ?cancel ?tracer b =
+  Dpll.solve ?budget ?deadline_ns ?cancel ?tracer ~nvars:(nvars b) (clauses b)

@@ -53,5 +53,6 @@ val clauses : t -> Dpll.cnf
 val clause_count : t -> int
 
 val solve :
-  ?budget:int -> ?deadline_ns:int64 -> ?tracer:Orm_trace.Trace.t -> t -> Dpll.result
+  ?budget:int -> ?deadline_ns:int64 -> ?cancel:(unit -> bool) ->
+  ?tracer:Orm_trace.Trace.t -> t -> Dpll.result
 (** Runs {!Dpll.solve} on the accumulated formula. *)

@@ -122,14 +122,19 @@ let pick_branch st =
        with Exit -> ());
       if !var = 0 then None else Some !var
 
-let solve ?(budget = 2_000_000) ?deadline_ns ?tracer ~nvars cnf =
+let solve ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer ~nvars cnf =
   steps := 0;
   propagations := 0;
   backtracks := 0;
   let expired =
-    match deadline_ns with
-    | None -> fun () -> false
-    | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+    let past_deadline =
+      match deadline_ns with
+      | None -> fun () -> false
+      | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+    in
+    match cancel with
+    | None -> past_deadline
+    | Some cancelled -> fun () -> cancelled () || past_deadline ()
   in
   List.iter
     (List.iter (fun lit ->

@@ -25,6 +25,7 @@ type result =
 val solve :
   ?budget:int ->
   ?deadline_ns:int64 ->
+  ?cancel:(unit -> bool) ->
   ?tracer:Orm_trace.Trace.t ->
   nvars:int ->
   cnf ->
@@ -34,7 +35,9 @@ val solve :
     decisions + propagations; [deadline_ns] is an absolute
     {!Orm_telemetry.Metrics.now_ns} instant past which the search stops
     with [Timeout], polled every couple hundred steps so the per-step hot
-    path stays clock-free.
+    path stays clock-free.  [cancel] is polled at the same amortized sites:
+    once it returns [true] the search stops with [Timeout] — the hook the
+    planner's portfolio racing uses to abandon the losing backend.
 
     [tracer] records a [dpll.solve] span with instant events at every
     decision, backtrack and conflict, plus [dpll.decisions] /

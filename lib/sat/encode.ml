@@ -433,7 +433,7 @@ let decode env assignment =
     (Schema.fact_types env.schema);
   !pop
 
-let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?tracer schema query =
+let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer schema query =
   let max_fresh =
     match max_fresh with Some n -> n | None -> default_fresh schema
   in
@@ -467,7 +467,7 @@ let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?tracer schema query =
       encode_structure env;
       List.iter (encode_constraint env) (Schema.constraints schema);
       encode_query env query);
-  let result = B.solve ~budget ?deadline_ns ?tracer env.b in
+  let result = B.solve ~budget ?deadline_ns ?cancel ?tracer env.b in
   last :=
     {
       variables = B.nvars env.b;

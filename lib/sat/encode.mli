@@ -42,6 +42,7 @@ val solve :
   ?max_fresh:int ->
   ?budget:int ->
   ?deadline_ns:int64 ->
+  ?cancel:(unit -> bool) ->
   ?tracer:Orm_trace.Trace.t ->
   Schema.t ->
   query ->
@@ -50,7 +51,9 @@ val solve :
     atoms per type family (default: the same heuristic as the finder);
     [budget] bounds DPLL steps (default 2_000_000); [deadline_ns]
     (absolute, {!Orm_telemetry.Metrics.now_ns} scale) is forwarded to the
-    DPLL search, which answers [Timeout] once it passes.  A [Model] outcome
+    DPLL search, which answers [Timeout] once it passes; [cancel] is the
+    cooperative-cancellation hook forwarded the same way (the planner's
+    race uses it to stop the losing backend).  A [Model] outcome
     is decoded back into a population and re-checked against
     {!Orm_semantics.Eval} before being returned. *)
 

@@ -67,7 +67,7 @@ type request = {
   deadline_ms : int option;
   budget : int;
   sat_budget : int;
-  backend : [ `Dlr | `Sat | `Both ];
+  backend : [ `Auto | `Dlr | `Sat | `Both ];
 }
 
 let default_budget = 50_000
@@ -156,10 +156,15 @@ let parse_request line =
                     in
                     let backend =
                       match member "backend" params with
+                      | Some (String "auto") -> `Auto
                       | Some (String "dlr") -> `Dlr
                       | Some (String "sat") -> `Sat
                       | Some (String "both") | None -> `Both
-                      | Some _ -> raise (Bad "backend: expected \"dlr\", \"sat\" or \"both\"")
+                      | Some _ ->
+                          raise
+                            (Bad
+                               "backend: expected \"auto\", \"dlr\", \"sat\" \
+                                or \"both\"")
                     in
                     {
                       id;
@@ -181,7 +186,11 @@ let parse_request line =
       | Some _ -> err "ormcheck: expected integer version")
   | Ok _ -> Error ("request must be a JSON object", None)
 
-let backend_to_string = function `Dlr -> "dlr" | `Sat -> "sat" | `Both -> "both"
+let backend_to_string = function
+  | `Auto -> "auto"
+  | `Dlr -> "dlr"
+  | `Sat -> "sat"
+  | `Both -> "both"
 
 let settings_params (s : Settings.t) =
   let extensions =
@@ -218,7 +227,8 @@ let params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
     | _ -> [])
   @
   match backend with
-  | Some ((`Dlr | `Sat) as b) -> [ ("backend", String (backend_to_string b)) ]
+  | Some ((`Auto | `Dlr | `Sat) as b) ->
+      [ ("backend", String (backend_to_string b)) ]
   | _ -> []
 
 let build_params ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms

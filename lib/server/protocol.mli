@@ -79,7 +79,10 @@ type request = {
   deadline_ms : int option;  (** per-request deadline; overrides the server default *)
   budget : int;  (** tableau rule budget ([reason]) *)
   sat_budget : int;  (** DPLL step budget ([reason]) *)
-  backend : [ `Dlr | `Sat | `Both ];  (** complete procedure(s) for [reason] *)
+  backend : [ `Auto | `Dlr | `Sat | `Both ];
+      (** complete procedure(s) for [reason]; [`Auto] delegates the choice
+          to the planner (the wire default stays ["both"] for
+          compatibility — older clients keep their semantics) *)
 }
 
 val parse_request : string -> (request, string * string option) result
@@ -96,7 +99,7 @@ val build_request :
   ?deadline_ms:int ->
   ?budget:int ->
   ?sat_budget:int ->
-  ?backend:[ `Dlr | `Sat | `Both ] ->
+  ?backend:[ `Auto | `Dlr | `Sat | `Both ] ->
   meth ->
   string
 (** The client side: one request line (no trailing newline).  Settings and
@@ -111,7 +114,7 @@ val build_params :
   ?deadline_ms:int ->
   ?budget:int ->
   ?sat_budget:int ->
-  ?backend:[ `Dlr | `Sat | `Both ] ->
+  ?backend:[ `Auto | `Dlr | `Sat | `Both ] ->
   unit ->
   string
 (** Just the [params] object of {!build_request}, serialized — the HTTP

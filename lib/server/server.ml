@@ -177,87 +177,104 @@ let batch_body t (req : P.request) ~deadline_ns schemas =
   ]
 
 let reason_body t (req : P.request) schema ~deadline_ns =
-  let report = run_engine t req ~deadline_ns schema in
+  let r =
+    Orm_planner.Reason.run ~settings:req.settings ?metrics:t.metrics
+      ?tracer:t.tracer ?deadline_ns ~budget:req.budget
+      ~sat_budget:req.sat_budget ~jobs:(effective_jobs t req)
+      ~backend:req.backend schema
+  in
   let dlr =
-    if req.backend = `Sat then []
-    else begin
-      let result =
-        Orm_dlr.Dlr_check.check ~budget:req.budget ?deadline_ns
-          ?tracer:t.tracer schema
-      in
-      let unsat_types = Orm_dlr.Dlr_check.unsat_types result in
-      let unsat_roles = Orm_dlr.Dlr_check.unsat_roles result in
-      let unknown =
-        List.length
-          (List.filter
-             (fun (v : Orm_dlr.Dlr_check.element_verdict) ->
-               v.verdict = Orm_dlr.Tableau.Unknown)
-             result.verdicts)
-      in
-      [
-        ( "dlr",
-          P.Obj
-            [
-              ("complete", P.Bool result.complete);
-              ("unsat_types", Orm_json.strings unsat_types);
-              ( "unsat_roles",
-                Orm_json.strings (List.map Orm.Ids.role_to_string unsat_roles)
-              );
-              ("unknown", P.Int unknown);
-            ] );
-      ]
-    end
+    match r.Orm_planner.Reason.dlr with
+    | None -> []
+    | Some { result; time_ns; cancelled } ->
+        let unsat_types = Orm_dlr.Dlr_check.unsat_types result in
+        let unsat_roles = Orm_dlr.Dlr_check.unsat_roles result in
+        let unknown =
+          List.length
+            (List.filter
+               (fun (v : Orm_dlr.Dlr_check.element_verdict) ->
+                 v.verdict = Orm_dlr.Tableau.Unknown)
+               result.verdicts)
+        in
+        [
+          ( "dlr",
+            P.Obj
+              ([
+                 ("complete", P.Bool result.complete);
+                 ("unsat_types", Orm_json.strings unsat_types);
+                 ( "unsat_roles",
+                   Orm_json.strings
+                     (List.map Orm.Ids.role_to_string unsat_roles) );
+                 ("unknown", P.Int unknown);
+                 ("time_ns", P.Int time_ns);
+               ]
+              @ if cancelled then [ ("cancelled", P.Bool true) ] else []) );
+        ]
   in
   let sat =
-    if req.backend = `Dlr then []
-    else begin
-      let outcome =
-        Orm_sat.Encode.solve ~budget:req.sat_budget ?deadline_ns
-          ?tracer:t.tracer schema Orm_sat.Encode.Strongly_satisfiable
-      in
-      let s = Orm_sat.Encode.last_stats () in
-      [
-        ( "sat",
-          P.Obj
-            [
-              ( "outcome",
-                P.String
-                  (match outcome with
-                  | Orm_sat.Encode.Model _ -> "model"
-                  | No_model -> "no_model"
-                  | Timeout -> "timeout") );
-              ("variables", P.Int s.variables);
-              ("clauses", P.Int s.clauses);
-              ("decisions", P.Int s.decisions);
-            ] );
-      ]
-    end
+    match r.Orm_planner.Reason.sat with
+    | None -> []
+    | Some { outcome; stats; time_ns; cancelled } ->
+        [
+          ( "sat",
+            P.Obj
+              ([
+                 ( "outcome",
+                   P.String
+                     (match outcome with
+                     | Orm_sat.Encode.Model _ -> "model"
+                     | No_model -> "no_model"
+                     | Timeout -> "timeout") );
+                 ("variables", P.Int stats.variables);
+                 ("clauses", P.Int stats.clauses);
+                 ("decisions", P.Int stats.decisions);
+                 ("time_ns", P.Int time_ns);
+               ]
+              @ if cancelled then [ ("cancelled", P.Bool true) ] else []) );
+        ]
   in
-  let dlr_unsat =
-    match List.assoc_opt "dlr" dlr with
-    | Some (P.Obj fields) -> (
-        match
-          (List.assoc_opt "unsat_types" fields, List.assoc_opt "unsat_roles" fields)
-        with
-        | Some (P.List ts), Some (P.List rs) -> List.length ts + List.length rs
-        | _ -> 0)
-    | _ -> 0
+  let planner =
+    match r.Orm_planner.Reason.plan with
+    | None -> []
+    | Some plan ->
+        [
+          ( "planner",
+            P.Obj
+              (Orm_planner.Planner.to_fields plan
+              @ (match r.Orm_planner.Reason.winner with
+                | Some b -> [ ("winner", P.String (Orm_planner.Cost.name b)) ]
+                | None -> [])
+              @ (if r.Orm_planner.Reason.short_circuit then
+                   [
+                     ( "note",
+                       P.String
+                         "patterns conclusive; complete backends skipped" );
+                   ]
+                 else [])
+              @ [
+                  ( "timings",
+                    P.Obj
+                      ([
+                         ("patterns_ns", P.Int r.Orm_planner.Reason.patterns_time_ns);
+                         ("plan_ns", P.Int r.Orm_planner.Reason.plan_time_ns);
+                       ]
+                      @ (match r.Orm_planner.Reason.dlr with
+                        | Some d -> [ ("dlr_ns", P.Int d.time_ns) ]
+                        | None -> [])
+                      @
+                      match r.Orm_planner.Reason.sat with
+                      | Some s -> [ ("sat_ns", P.Int s.time_ns) ]
+                      | None -> []) );
+                ]) );
+        ]
   in
-  let sat_no_model =
-    match List.assoc_opt "sat" sat with
-    | Some (P.Obj fields) ->
-        List.assoc_opt "outcome" fields = Some (P.String "no_model")
-    | _ -> false
-  in
-  let clean =
-    report.Engine.diagnostics = [] && dlr_unsat = 0 && not sat_no_model
-  in
+  let report = r.Orm_planner.Reason.report in
   [
-    ("clean", P.Bool clean);
+    ("clean", P.Bool r.Orm_planner.Reason.clean);
     ("diagnostics", P.Int (List.length report.Engine.diagnostics));
     ("report", Orm_export.Json.report_value report);
   ]
-  @ dlr @ sat
+  @ dlr @ sat @ planner
 
 let lint_body schema =
   let findings = Orm_lint.Lint.check schema in

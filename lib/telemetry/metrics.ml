@@ -8,6 +8,16 @@ let time f =
 
 let max_pattern = 12
 
+(* Complete-backend slots for the planner's cost model: 1 = the DLR tableau
+   route, 2 = the bounded SAT route.  Slot 0 collects out-of-range indices,
+   mirroring the pattern convention. *)
+let max_backend = 2
+
+let backend_name = function
+  | 1 -> "dlr"
+  | 2 -> "sat"
+  | _ -> "other"
+
 (* Log-scale latency histogram: bucket [i] counts runs whose wall time fell
    in [2^i, 2^(i+1)) ns (bucket 0 additionally catches 0 and 1 ns).  40
    buckets reach ~18 minutes, far beyond any single pattern run. *)
@@ -57,9 +67,22 @@ type t = {
   request_max_ns : int Atomic.t;
   timeouts : int Atomic.t;
   overloads : int Atomic.t;
+  (* the planner: complete-backend latency histograms (the online feedback
+     refining the static cost model) and decision counters *)
+  backend_runs : int Atomic.t array;  (* length max_backend + 1 *)
+  backend_definitive : int Atomic.t array;
+  backend_time_ns : int Atomic.t array;
+  backend_hist : int Atomic.t array array;  (* per backend, hist_buckets wide *)
+  backend_max_ns : int Atomic.t array;
+  plan_patterns_only : int Atomic.t;
+  plan_backend_dlr : int Atomic.t;
+  plan_backend_sat : int Atomic.t;
+  plan_races : int Atomic.t;
+  plan_cancelled : int Atomic.t;
 }
 
 let atomic_array () = Array.init (max_pattern + 1) (fun _ -> Atomic.make 0)
+let backend_array () = Array.init (max_backend + 1) (fun _ -> Atomic.make 0)
 
 let create () =
   {
@@ -89,6 +112,18 @@ let create () =
     request_max_ns = Atomic.make 0;
     timeouts = Atomic.make 0;
     overloads = Atomic.make 0;
+    backend_runs = backend_array ();
+    backend_definitive = backend_array ();
+    backend_time_ns = backend_array ();
+    backend_hist =
+      Array.init (max_backend + 1) (fun _ ->
+          Array.init hist_buckets (fun _ -> Atomic.make 0));
+    backend_max_ns = backend_array ();
+    plan_patterns_only = Atomic.make 0;
+    plan_backend_dlr = Atomic.make 0;
+    plan_backend_sat = Atomic.make 0;
+    plan_races = Atomic.make 0;
+    plan_cancelled = Atomic.make 0;
   }
 
 let reset t =
@@ -99,6 +134,11 @@ let reset t =
   Array.iter (Array.iter zero) t.pattern_hist;
   Array.iter zero t.pattern_max_ns;
   Array.iter zero t.request_hist;
+  Array.iter zero t.backend_runs;
+  Array.iter zero t.backend_definitive;
+  Array.iter zero t.backend_time_ns;
+  Array.iter (Array.iter zero) t.backend_hist;
+  Array.iter zero t.backend_max_ns;
   List.iter zero
     [
       t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
@@ -106,6 +146,8 @@ let reset t =
       t.disk_misses; t.batches;
       t.batch_schemas; t.batch_domains; t.batch_time_ns; t.requests;
       t.request_time_ns; t.request_max_ns; t.timeouts; t.overloads;
+      t.plan_patterns_only; t.plan_backend_dlr; t.plan_backend_sat;
+      t.plan_races; t.plan_cancelled;
     ]
 
 let bump a n = ignore (Atomic.fetch_and_add a n)
@@ -151,6 +193,25 @@ let record_request t ~time_ns =
 let record_timeout t = bump t.timeouts 1
 let record_overload t = bump t.overloads 1
 
+let record_backend t ~backend ~time_ns ~definitive =
+  let b = if backend >= 1 && backend <= max_backend then backend else 0 in
+  bump t.backend_runs.(b) 1;
+  if definitive then bump t.backend_definitive.(b) 1;
+  bump t.backend_time_ns.(b) time_ns;
+  bump t.backend_hist.(b).(bucket_of_ns time_ns) 1;
+  bump_max t.backend_max_ns.(b) time_ns
+
+let record_plan t decision =
+  bump
+    (match decision with
+    | `Patterns_only -> t.plan_patterns_only
+    | `Backend_dlr -> t.plan_backend_dlr
+    | `Backend_sat -> t.plan_backend_sat
+    | `Race -> t.plan_races)
+    1
+
+let record_race_cancelled t = bump t.plan_cancelled 1
+
 type pattern_stat = {
   pattern : int;
   runs : int;
@@ -193,6 +254,14 @@ let p95_ns stat = quantile_ns stat 0.95
 
 type snapshot = {
   patterns : pattern_stat list;
+  backends : pattern_stat list;
+      (* complete-backend rows reusing the pattern_stat shape: [pattern] is
+         the backend index, [fires] counts definitive verdicts *)
+  plan_patterns_only : int;
+  plan_backend_dlr : int;
+  plan_backend_sat : int;
+  plan_races : int;
+  plan_cancelled : int;
   checks : int;
   check_time_ns : int;
   propagation_runs : int;
@@ -233,8 +302,29 @@ let snapshot t =
         }
         :: !patterns
   done;
+  let backends = ref [] in
+  for b = max_backend downto 0 do
+    let runs = Atomic.get t.backend_runs.(b) in
+    if runs > 0 then
+      backends :=
+        {
+          pattern = b;
+          runs;
+          fires = Atomic.get t.backend_definitive.(b);
+          time_ns = Atomic.get t.backend_time_ns.(b);
+          hist = Array.map Atomic.get t.backend_hist.(b);
+          max_ns = Atomic.get t.backend_max_ns.(b);
+        }
+        :: !backends
+  done;
   {
     patterns = !patterns;
+    backends = !backends;
+    plan_patterns_only = Atomic.get t.plan_patterns_only;
+    plan_backend_dlr = Atomic.get t.plan_backend_dlr;
+    plan_backend_sat = Atomic.get t.plan_backend_sat;
+    plan_races = Atomic.get t.plan_races;
+    plan_cancelled = Atomic.get t.plan_cancelled;
     checks = Atomic.get t.checks;
     check_time_ns = Atomic.get t.check_time_ns;
     propagation_runs = Atomic.get t.propagation_runs;
@@ -259,6 +349,12 @@ let snapshot t =
 let zero =
   {
     patterns = [];
+    backends = [];
+    plan_patterns_only = 0;
+    plan_backend_dlr = 0;
+    plan_backend_sat = 0;
+    plan_races = 0;
+    plan_cancelled = 0;
     checks = 0;
     check_time_ns = 0;
     propagation_runs = 0;
@@ -314,6 +410,12 @@ let add a b =
   in
   {
     patterns = merge_patterns a.patterns b.patterns;
+    backends = merge_patterns a.backends b.backends;
+    plan_patterns_only = a.plan_patterns_only + b.plan_patterns_only;
+    plan_backend_dlr = a.plan_backend_dlr + b.plan_backend_dlr;
+    plan_backend_sat = a.plan_backend_sat + b.plan_backend_sat;
+    plan_races = a.plan_races + b.plan_races;
+    plan_cancelled = a.plan_cancelled + b.plan_cancelled;
     checks = a.checks + b.checks;
     check_time_ns = a.check_time_ns + b.check_time_ns;
     propagation_runs = a.propagation_runs + b.propagation_runs;
@@ -383,6 +485,28 @@ let pp ppf s =
     pp_ns ppf s.batch_time_ns;
     Format.fprintf ppf ")@,"
   end;
+  if s.backends <> [] then begin
+    Format.fprintf ppf "%-10s %8s %8s %12s %10s %10s %10s@," "backend" "runs"
+      "definite" "time" "p50" "p95" "max";
+    List.iter
+      (fun b ->
+        Format.fprintf ppf "%-10s %8d %8d %12s %10s %10s %10s@,"
+          (backend_name b.pattern) b.runs b.fires
+          (Format.asprintf "%a" pp_ns b.time_ns)
+          (Format.asprintf "%a" pp_ns (p50_ns b))
+          (Format.asprintf "%a" pp_ns (p95_ns b))
+          (Format.asprintf "%a" pp_ns b.max_ns))
+      s.backends
+  end;
+  if
+    s.plan_patterns_only + s.plan_backend_dlr + s.plan_backend_sat
+    + s.plan_races > 0
+  then
+    Format.fprintf ppf
+      "planner: %d patterns-only, %d dlr, %d sat, %d race(s) (%d loser(s) \
+       cancelled)@,"
+      s.plan_patterns_only s.plan_backend_dlr s.plan_backend_sat s.plan_races
+      s.plan_cancelled;
   if s.requests + s.timeouts + s.overloads > 0 then begin
     Format.fprintf ppf "server: %d request(s) (" s.requests;
     pp_ns ppf s.request_time_ns;
@@ -429,6 +553,11 @@ let to_value s =
       ("request_max_ns", J.Int s.request_max_ns);
       ("timeouts", J.Int s.timeouts);
       ("overloads", J.Int s.overloads);
+      ("plan_patterns_only", J.Int s.plan_patterns_only);
+      ("plan_backend_dlr", J.Int s.plan_backend_dlr);
+      ("plan_backend_sat", J.Int s.plan_backend_sat);
+      ("plan_races", J.Int s.plan_races);
+      ("plan_cancelled", J.Int s.plan_cancelled);
       ("request_hist", trimmed_hist s.request_hist);
       ( "patterns",
         J.List
@@ -444,6 +573,20 @@ let to_value s =
                    ("hist", trimmed_hist p.hist);
                  ])
              s.patterns) );
+      ( "backends",
+        J.List
+          (List.map
+             (fun b ->
+               J.Obj
+                 [
+                   ("backend", J.Int b.pattern);
+                   ("runs", J.Int b.runs);
+                   ("definitive", J.Int b.fires);
+                   ("time_ns", J.Int b.time_ns);
+                   ("max_ns", J.Int b.max_ns);
+                   ("hist", trimmed_hist b.hist);
+                 ])
+             s.backends) );
     ]
 
 let to_json s = J.to_string (to_value s)
@@ -508,9 +651,43 @@ let of_value v =
                 items
           | Some _ -> raise (Bad "patterns: expected array")
         in
+        (* the planner section arrived with `--backend auto`; snapshots
+           written before it parse with no backend rows and zero plans *)
+        let backends =
+          match List.assoc_opt "backends" fields with
+          | None -> []
+          | Some (J.List items) ->
+              List.map
+                (function
+                  | J.Obj bf ->
+                      let bint k =
+                        match List.assoc_opt k bf with
+                        | Some (J.Int n) -> n
+                        | Some _ ->
+                            raise (Bad ("backends." ^ k ^ ": expected integer"))
+                        | None -> 0
+                      in
+                      {
+                        pattern = bint "backend";
+                        runs = bint "runs";
+                        fires = bint "definitive";
+                        time_ns = bint "time_ns";
+                        hist = hist_of "backends.hist" (List.assoc_opt "hist" bf);
+                        max_ns = bint "max_ns";
+                      }
+                  | _ -> raise (Bad "backends: expected objects"))
+                items
+          | Some _ -> raise (Bad "backends: expected array")
+        in
         Ok
           {
             patterns;
+            backends;
+            plan_patterns_only = int "plan_patterns_only" 0;
+            plan_backend_dlr = int "plan_backend_dlr" 0;
+            plan_backend_sat = int "plan_backend_sat" 0;
+            plan_races = int "plan_races" 0;
+            plan_cancelled = int "plan_cancelled" 0;
             checks = int "checks" 0;
             check_time_ns = int "check_time_ns" 0;
             propagation_runs = int "propagation_runs" 0;

@@ -72,6 +72,28 @@ val record_timeout : t -> unit
 val record_overload : t -> unit
 (** One request rejected by admission control (pending queue full). *)
 
+val max_backend : int
+(** Highest complete-backend slot tracked (2: 1 = DLR tableau, 2 = bounded
+    SAT). *)
+
+val backend_name : int -> string
+(** ["dlr"], ["sat"], or ["other"] for out-of-range slots. *)
+
+val record_backend : t -> backend:int -> time_ns:int -> definitive:bool -> unit
+(** One whole run of complete backend [backend] (a {!max_backend} slot)
+    that took [time_ns] and produced ([definitive]) a verdict the caller
+    could act on without consulting the other backend.  These latency
+    histograms are the online feedback that refines the planner's static
+    cost estimates.  Out-of-range slots land under 0 rather than raising. *)
+
+val record_plan :
+  t -> [ `Patterns_only | `Backend_dlr | `Backend_sat | `Race ] -> unit
+(** One planner decision of the given shape. *)
+
+val record_race_cancelled : t -> unit
+(** One race whose losing backend was actively cancelled (as opposed to
+    finishing on its own just after the winner). *)
+
 (** {1 Snapshots} *)
 
 val hist_buckets : int
@@ -100,6 +122,16 @@ val p95_ns : pattern_stat -> int
 
 type snapshot = {
   patterns : pattern_stat list;  (** only patterns with [runs > 0], ascending *)
+  backends : pattern_stat list;
+      (** complete-backend rows reusing the [pattern_stat] shape:
+          [pattern] is the backend slot ({!backend_name}), [fires] counts
+          definitive verdicts; empty on snapshots written before the
+          planner existed *)
+  plan_patterns_only : int;  (** planner answered from patterns alone *)
+  plan_backend_dlr : int;  (** planner picked the tableau outright *)
+  plan_backend_sat : int;  (** planner picked bounded SAT outright *)
+  plan_races : int;  (** planner raced both complete backends *)
+  plan_cancelled : int;  (** races whose loser was actively cancelled *)
   checks : int;
   check_time_ns : int;
   propagation_runs : int;

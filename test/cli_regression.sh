@@ -72,7 +72,9 @@ case "$profile_out" in
 esac
 
 # reason --trace: the complete backends must leave their spans behind.
-"$ORMCHECK" reason --trace "$trace_file" --log-level off "$first_schema" >/dev/null 2>&1
+# Forced to --backend both: the default (auto) legitimately skips the
+# backends when the patterns are already conclusive.
+"$ORMCHECK" reason --backend both --trace "$trace_file" --log-level off "$first_schema" >/dev/null 2>&1
 reason_status=$?
 [ "$reason_status" -le 1 ] ||
     fail "$first_schema: reason exited $reason_status"
@@ -83,6 +85,30 @@ case "$profile_out" in
     *) fail "$first_schema: reason trace shows no tableau span" ;;
 esac
 rm -f "$trace_file"
+
+# reason --backend auto (the default) must short-circuit on a schema the
+# patterns already prove unsatisfiable: an explicit note, no complete
+# backend sections, and the exit code unchanged from --backend both.
+for schema in $schemas; do
+    "$ORMCHECK" check "$schema" >/dev/null 2>&1
+    if [ "$?" -eq 1 ]; then
+        auto_out=$("$ORMCHECK" reason "$schema" 2>&1)
+        auto_status=$?
+        [ "$auto_status" -eq 1 ] ||
+            fail "$schema: reason (auto) exited $auto_status on a pattern-unsat schema"
+        case "$auto_out" in
+            *'complete backends skipped'*) : ;;
+            *) fail "$schema: reason (auto) did not announce the short-circuit" ;;
+        esac
+        case "$auto_out" in
+            *'== DLR tableau'*|*'== SAT encoding'*)
+                fail "$schema: reason (auto) ran a complete backend despite conclusive patterns" ;;
+        esac
+        "$ORMCHECK" reason --backend both "$schema" >/dev/null 2>&1
+        [ "$?" -eq 1 ] ||
+            fail "$schema: reason --backend both disagrees with auto on exit code"
+    fi
+done
 
 # profile must reject a non-trace file with exit 2.
 not_a_trace=$(mktemp)

@@ -32,6 +32,7 @@ let () = Alcotest.run "orm-unsat" [
       ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
       ("parallel-diff", Test_parallel_diff.suite);
+      ("planner", Test_planner.suite);
       ("fuzz", Test_fuzz.suite);
       ("fuzz-corpus", Test_fuzz_corpus.suite);
       ("json", Test_json.suite);

@@ -1,0 +1,336 @@
+(* Differential suite for the cost-based backend planner: over the same
+   200-schema corpus the parallel-diff harness replays (plus the checked-in
+   .orm fixtures), [`Auto] must agree with the forced backends on the
+   verdict; racing must be deterministic in the verdict (never in the
+   winner); a cancelled race loser must leave no stuck domain and no cancel
+   or deadline state behind for the next request.  Property tests pin the
+   cost model itself: feature extraction is total and monotone under schema
+   growth, and [Race] is only ever chosen when the deadline budget admits
+   both backends.  Counterexample seeds live in corpus/planner.txt and are
+   replayed on every run. *)
+
+module Gen = Orm_generator.Gen
+module Faults = Orm_generator.Faults
+module Features = Orm_planner.Features
+module Cost = Orm_planner.Cost
+module Planner = Orm_planner.Planner
+module Reason = Orm_planner.Reason
+module Metrics = Orm_telemetry.Metrics
+
+(* Capped budgets (tableau nodes, DPLL steps, SAT value-pool size) keep
+   200 schemas x 4 modes fast; the verdict-consistency argument does not
+   depend on the budgets, only on all modes sharing them. *)
+let budget = 40
+let sat_budget = 2_000
+let max_fresh = 2
+
+let run ?deadline_ns backend schema =
+  Reason.run ?deadline_ns ~budget ~sat_budget ~max_fresh ~backend schema
+
+let file_fixtures =
+  lazy
+    (Sys.readdir "schemas" |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".orm")
+    |> List.sort compare
+    |> List.filter_map (fun name ->
+           match Orm_dsl.Parser.parse_file (Filename.concat "schemas" name) with
+           | Ok s -> Some s
+           | Error _ -> None))
+
+(* ---- the differential ------------------------------------------------- *)
+
+(* Verdict agreement.  [clean] is the one verdict all modes share (no
+   pattern diagnostic, no tableau Unsat, no SAT refutation), and the
+   backends' definitive verdicts are mutually consistent by construction
+   (a SAT model is Eval-verified, so it refutes any tableau Unsat claim) —
+   so auto must equal forced-[`Both] exactly, and equal the conjunction of
+   the two single-backend verdicts. *)
+let test_differential () =
+  let schemas =
+    Lazy.force Test_parallel_diff.corpus @ Lazy.force file_fixtures
+  in
+  Alcotest.(check bool) ">= 200 schemas" true (List.length schemas >= 200);
+  let seen_patterns_only = ref 0 and seen_race = ref 0 in
+  List.iteri
+    (fun i schema ->
+      let auto = run `Auto schema in
+      let dlr = run `Dlr schema in
+      let sat = run `Sat schema in
+      (match auto.Reason.plan with
+      | None -> Alcotest.failf "schema %d: auto produced no plan" i
+      | Some plan -> (
+          match plan.Planner.decision with
+          | Planner.Patterns_only ->
+              incr seen_patterns_only;
+              if not auto.Reason.short_circuit then
+                Alcotest.failf "schema %d: Patterns_only did not short-circuit" i;
+              if auto.Reason.dlr <> None || auto.Reason.sat <> None then
+                Alcotest.failf "schema %d: short-circuit ran a backend" i
+          | Planner.Race _ -> incr seen_race
+          | Planner.Backend _ ->
+              Alcotest.failf "schema %d: Backend decision without a deadline" i));
+      (* the forced side-by-side mode on every third schema: it repeats the
+         two single-backend runs back to back, so sampling it keeps the
+         suite's wall-clock in check without losing mode coverage *)
+      if i mod 3 = 0 then begin
+        let both = run `Both schema in
+        if auto.Reason.clean <> both.Reason.clean then
+          Alcotest.failf "schema %d: auto clean=%b but both clean=%b" i
+            auto.Reason.clean both.Reason.clean
+      end;
+      if auto.Reason.clean <> (dlr.Reason.clean && sat.Reason.clean) then
+        Alcotest.failf "schema %d: auto clean=%b but dlr=%b, sat=%b" i
+          auto.Reason.clean dlr.Reason.clean sat.Reason.clean;
+      (* forced backends never contradict each other either *)
+      let sat_model =
+        match sat.Reason.sat with
+        | Some { outcome = Orm_sat.Encode.Model _; _ } -> true
+        | _ -> false
+      in
+      if Reason.dlr_unsat dlr > 0 && sat_model then
+        Alcotest.failf "schema %d: tableau Unsat coexists with a SAT model" i)
+    schemas;
+  Alcotest.(check bool) "corpus exercises Patterns_only" true
+    (!seen_patterns_only > 0);
+  Alcotest.(check bool) "corpus exercises Race" true (!seen_race > 0)
+
+(* Racing may cancel either loser depending on scheduling, but the verdict
+   must not depend on who won. *)
+let test_race_determinism () =
+  let schemas =
+    [
+      Test_parallel_diff.clean ~size:6 ~seed:2;
+      Test_parallel_diff.clean ~size:10 ~seed:4;
+      Gen.arbitrary ~config:(Gen.sized 4) ~seed:41 ();
+    ]
+  in
+  List.iteri
+    (fun i schema ->
+      let reference = run `Auto schema in
+      for attempt = 1 to 3 do
+        let r = run `Auto schema in
+        if
+          r.Reason.clean <> reference.Reason.clean
+          || r.Reason.conclusive <> reference.Reason.conclusive
+        then
+          Alcotest.failf "schema %d attempt %d: race verdict changed" i attempt
+      done)
+    schemas
+
+(* A cancelled loser must leave nothing behind: after race churn (including
+   a starved run and an already-expired deadline) the pool still answers
+   definitively and agrees with a forced run. *)
+let test_race_cleanup () =
+  let clean = Test_parallel_diff.clean ~size:8 ~seed:3 in
+  for _ = 1 to 8 do
+    ignore (run `Auto clean)
+  done;
+  ignore (Reason.run ~budget:1 ~sat_budget:1 ~backend:`Auto clean);
+  let expired = Int64.sub (Metrics.now_ns ()) 1_000_000L in
+  ignore
+    (Reason.run ~deadline_ns:expired ~budget:1_000 ~sat_budget:10_000
+       ~backend:`Auto clean);
+  (* SAT must reach a definitive verdict, proving no cancel flag or
+     deadline leaked into this request *)
+  let r = run `Auto clean in
+  Alcotest.(check bool) "pool still reaches a definitive verdict" true
+    (r.Reason.winner <> None);
+  let both = run `Both clean in
+  Alcotest.(check bool) "verdicts agree after churn" true
+    (r.Reason.clean = both.Reason.clean)
+
+(* ---- the decision policy ---------------------------------------------- *)
+
+let test_decision_policy () =
+  let f = Features.extract (Test_parallel_diff.clean ~size:8 ~seed:3) in
+  (match (Planner.decide ~patterns_conclusive:true f).Planner.decision with
+  | Planner.Patterns_only -> ()
+  | d ->
+      Alcotest.failf "conclusive patterns chose %s" (Planner.decision_name d));
+  (match (Planner.decide ~patterns_conclusive:false f).Planner.decision with
+  | Planner.Race (Cost.Dlr, Cost.Sat) -> ()
+  | d -> Alcotest.failf "no deadline chose %s" (Planner.decision_name d));
+  let dlr_cost = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
+  let sat_cost = (Cost.estimate f Cost.Sat).Cost.cost_ns in
+  Alcotest.(check bool) "tableau is the cheaper sprinter" true
+    (dlr_cost < sat_cost);
+  let mid = (dlr_cost + sat_cost) / 2 in
+  (match (Planner.decide ~budget_ns:mid ~patterns_conclusive:false f).Planner.decision with
+  | Planner.Backend Cost.Dlr -> ()
+  | d ->
+      Alcotest.failf "budget admitting only the tableau chose %s"
+        (Planner.decision_name d));
+  match (Planner.decide ~budget_ns:0 ~patterns_conclusive:false f).Planner.decision with
+  | Planner.Backend Cost.Dlr -> ()
+  | d ->
+      Alcotest.failf "starved budget chose %s instead of the cheaper backend"
+        (Planner.decision_name d)
+
+(* End to end: a deadline below the SAT estimate must produce a
+   single-backend plan, run only the tableau, and still return. *)
+let test_backend_decision_end_to_end () =
+  let schema = Test_parallel_diff.clean ~size:8 ~seed:3 in
+  let f = Features.extract schema in
+  let dlr_cost = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
+  let sat_cost = (Cost.estimate f Cost.Sat).Cost.cost_ns in
+  let headroom = dlr_cost + ((sat_cost - dlr_cost) / 2) in
+  let deadline = Int64.add (Metrics.now_ns ()) (Int64.of_int headroom) in
+  let r = run ~deadline_ns:deadline `Auto schema in
+  (match r.Reason.plan with
+  | Some { Planner.decision = Planner.Backend _; _ } -> ()
+  | Some p ->
+      Alcotest.failf "expected a single-backend plan, got %s"
+        (Planner.decision_name p.Planner.decision)
+  | None -> Alcotest.fail "auto produced no plan");
+  Alcotest.(check bool) "only the tableau ran" true
+    (r.Reason.dlr <> None && r.Reason.sat = None)
+
+(* The online half of the cost model: enough recorded runs blend the
+   observed p95 in, fewer than [min_observations] leave the static
+   polynomial alone. *)
+let test_cost_online_blend () =
+  let f = Features.extract (Test_parallel_diff.clean ~size:4 ~seed:1) in
+  let static = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
+  let m = Metrics.create () in
+  for _ = 1 to 2 * Cost.min_observations do
+    Metrics.record_backend m ~backend:(Cost.slot Cost.Dlr)
+      ~time_ns:1_000_000_000 ~definitive:true
+  done;
+  let e = Cost.estimate ~stats:(Metrics.snapshot m) f Cost.Dlr in
+  Alcotest.(check bool) "observed p95 present" true
+    (e.Cost.observed_p95_ns <> None);
+  Alcotest.(check bool) "slow observations raise the estimate" true
+    (e.Cost.cost_ns > static);
+  let m' = Metrics.create () in
+  for _ = 1 to Cost.min_observations - 1 do
+    Metrics.record_backend m' ~backend:(Cost.slot Cost.Dlr)
+      ~time_ns:1_000_000_000 ~definitive:true
+  done;
+  let e' = Cost.estimate ~stats:(Metrics.snapshot m') f Cost.Dlr in
+  Alcotest.(check bool) "too few observations keep the static estimate" true
+    (e'.Cost.observed_p95_ns = None && e'.Cost.cost_ns = static)
+
+(* ---- properties ------------------------------------------------------- *)
+
+let arbitrary seed = Gen.arbitrary ~config:(Gen.sized 3) ~seed ()
+
+let test_extract_total =
+  QCheck.Test.make ~count:200 ~name:"feature extraction total, non-negative"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let f = Features.extract (arbitrary seed) in
+      List.for_all (fun (_, v) -> v >= 0) (Features.to_fields f)
+      && Features.size f >= 0
+      && Features.non_dlr f >= 0)
+
+let grows_into a b =
+  List.for_all2
+    (fun (k, va) (k', vb) -> k = k' && va <= vb)
+    (Features.to_fields a) (Features.to_fields b)
+
+let test_extract_monotone =
+  QCheck.Test.make ~count:100 ~name:"features monotone under schema growth"
+    QCheck.(pair (int_range 0 50_000) (int_range 1 12))
+    (fun (seed, pattern) ->
+      let base = Gen.clean ~config:(Gen.sized 5) ~seed () in
+      let grown = (Faults.inject ~seed pattern base).Faults.schema in
+      grows_into (Features.extract base) (Features.extract grown))
+
+let test_race_admission =
+  QCheck.Test.make ~count:200
+    ~name:"Race only when the budget admits both backends"
+    QCheck.(pair (int_range 0 50_000) (option (int_range 0 1_000_000_000)))
+    (fun (seed, budget_ns) ->
+      let f = Features.extract (arbitrary seed) in
+      let plan = Planner.decide ?budget_ns ~patterns_conclusive:false f in
+      match plan.Planner.decision with
+      | Planner.Race (a, b) ->
+          let fits backend =
+            match budget_ns with
+            | None -> true
+            | Some budget ->
+                (Cost.estimate f backend).Cost.cost_ns <= budget
+          in
+          plan.Planner.admits_dlr && plan.Planner.admits_sat && fits a && fits b
+      | Planner.Patterns_only -> false (* patterns were not conclusive *)
+      | Planner.Backend _ -> budget_ns <> None)
+
+(* ---- the corpus ------------------------------------------------------- *)
+
+let corpus_file = Filename.concat "corpus" "planner.txt"
+
+let load_corpus () =
+  let ic = open_in corpus_file in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match int_of_string_opt line with
+          | Some seed -> go (seed :: acc)
+          | None -> Alcotest.failf "malformed corpus line %S" line)
+  in
+  go []
+
+let test_corpus_replay () =
+  let seeds = load_corpus () in
+  if List.length seeds < 8 then
+    Alcotest.failf "planner corpus suspiciously small (%d seeds) — truncated?"
+      (List.length seeds);
+  List.iter
+    (fun seed ->
+      let f = Features.extract (arbitrary seed) in
+      List.iter
+        (fun (k, v) ->
+          if v < 0 then Alcotest.failf "seed %d: feature %s negative" seed k)
+        (Features.to_fields f);
+      let base = Gen.clean ~config:(Gen.sized 4) ~seed () in
+      let fb = Features.extract base in
+      List.iter
+        (fun pattern ->
+          let grown =
+            Features.extract (Faults.inject ~seed pattern base).Faults.schema
+          in
+          if not (grows_into fb grown) then
+            Alcotest.failf "seed %d: fault %d shrinks a feature" seed pattern)
+        (Faults.all_patterns @ Faults.extension_patterns);
+      let dlr_cost = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
+      let sat_cost = (Cost.estimate f Cost.Sat).Cost.cost_ns in
+      List.iter
+        (fun budget_ns ->
+          let plan = Planner.decide ?budget_ns ~patterns_conclusive:false f in
+          match (plan.Planner.decision, budget_ns) with
+          | Planner.Race _, Some b when dlr_cost > b || sat_cost > b ->
+              Alcotest.failf "seed %d: race without admission at budget %d"
+                seed b
+          | _ -> ())
+        [
+          None;
+          Some 0;
+          Some dlr_cost;
+          Some ((dlr_cost + sat_cost) / 2);
+          Some (2 * sat_cost);
+        ])
+    seeds
+
+let suite =
+  [
+    Alcotest.test_case "decision policy" `Quick test_decision_policy;
+    Alcotest.test_case "cost model online blend" `Quick test_cost_online_blend;
+    Alcotest.test_case "deadline forces single backend" `Quick
+      test_backend_decision_end_to_end;
+    Alcotest.test_case "replay planner corpus" `Quick test_corpus_replay;
+    Alcotest.test_case "race deterministic in verdict" `Slow
+      test_race_determinism;
+    Alcotest.test_case "cancelled loser leaves no state" `Slow
+      test_race_cleanup;
+    Alcotest.test_case "auto agrees with forced backends (200 schemas)" `Slow
+      test_differential;
+    QCheck_alcotest.to_alcotest test_extract_total;
+    QCheck_alcotest.to_alcotest test_extract_monotone;
+    QCheck_alcotest.to_alcotest test_race_admission;
+  ]

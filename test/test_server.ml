@@ -612,6 +612,166 @@ let test_engine_deadline_mid_pattern () =
         (List.length r.Engine.diagnostics))
     partials
 
+(* ---- the planner over the wire ---------------------------------------- *)
+
+(* "backend": "auto" must round-trip the planner's choice into the
+   response envelope: the decision, the cost estimates and the
+   per-request timings. *)
+let test_reason_auto_roundtrip () =
+  let srv = Server.create Server.default_config in
+  let line =
+    P.build_request ~id:"a1" ~schema_text:(schema_text ~seed:3 ())
+      ~backend:`Auto ~budget:150 ~sat_budget:2_000 P.Reason
+  in
+  let resp, v = Server.handle srv line in
+  Alcotest.(check bool) "continues" true (v = `Continue);
+  (match P.parse_response resp with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+      Alcotest.(check string) "ok" "ok" r.P.status;
+      match P.member "planner" r.P.body with
+      | Some (P.Obj fields) -> (
+          (match List.assoc_opt "decision" fields with
+          | Some (P.String d) ->
+              Alcotest.(check string) "race decision" "race:dlr+sat" d
+          | _ -> Alcotest.fail "planner.decision missing");
+          Alcotest.(check bool) "estimates present" true
+            (List.mem_assoc "estimates" fields);
+          match List.assoc_opt "timings" fields with
+          | Some (P.Obj t) ->
+              Alcotest.(check bool) "patterns_ns reported" true
+                (List.mem_assoc "patterns_ns" t);
+              Alcotest.(check bool) "plan_ns reported" true
+                (List.mem_assoc "plan_ns" t)
+          | _ -> Alcotest.fail "planner.timings missing")
+      | _ -> Alcotest.fail "response has no planner object"));
+  (* a pattern-conclusive schema short-circuits, with the note in the
+     envelope and no backend sections *)
+  let broken =
+    Orm_dsl.Printer.to_string
+      (Orm_generator.Faults.inject ~seed:5 1
+         (Gen.clean ~config:(Gen.sized 6) ~seed:3 ()))
+        .schema
+  in
+  let resp, _ =
+    Server.handle srv (P.build_request ~schema_text:broken ~backend:`Auto P.Reason)
+  in
+  (match P.parse_response resp with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+      Alcotest.(check bool) "unclean" true
+        (P.member "clean" r.P.body = Some (P.Bool false));
+      Alcotest.(check bool) "no dlr section" true (P.member "dlr" r.P.body = None);
+      Alcotest.(check bool) "no sat section" true (P.member "sat" r.P.body = None);
+      match P.member "planner" r.P.body with
+      | Some (P.Obj fields) ->
+          (match List.assoc_opt "decision" fields with
+          | Some (P.String d) ->
+              Alcotest.(check string) "patterns_only" "patterns_only" d
+          | _ -> Alcotest.fail "planner.decision missing");
+          Alcotest.(check bool) "short-circuit note" true
+            (List.mem_assoc "note" fields)
+      | _ -> Alcotest.fail "short-circuited response has no planner object"));
+  (* forced backends answer without a planner object: the wire default is
+     unchanged *)
+  let resp, _ =
+    Server.handle srv
+      (P.build_request ~schema_text:broken ~backend:`Both ~budget:150
+         ~sat_budget:2_000 P.Reason)
+  in
+  match P.parse_response resp with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      Alcotest.(check bool) "no planner object when forced" true
+        (P.member "planner" r.P.body = None);
+      Alcotest.(check bool) "dlr ran" true (P.member "dlr" r.P.body <> None);
+      Alcotest.(check bool) "sat ran" true (P.member "sat" r.P.body <> None)
+
+(* An auto race that exhausts deadline_ms must answer [timeout] — the
+   planner's cancellation hooks stop both racers — and the server must
+   survive to serve the next request.  The latency histograms are warmed
+   with fast runs first, so the blended cost estimates admit both backends
+   under the tight deadline and the planner genuinely races. *)
+let test_reason_auto_race_deadline () =
+  let m = Metrics.create () in
+  for _ = 1 to 6 do
+    Metrics.record_backend m ~backend:1 ~time_ns:1_000_000 ~definitive:true;
+    Metrics.record_backend m ~backend:2 ~time_ns:1_000_000 ~definitive:true
+  done;
+  let srv = Server.create ~metrics:m Server.default_config in
+  let hard = schema_text ~seed:7 ~size:40 () in
+  let line =
+    P.build_request ~schema_text:hard ~deadline_ms:300 ~budget:100_000_000
+      ~sat_budget:1_000_000_000 ~backend:`Auto P.Reason
+  in
+  let resp, v = Server.handle srv line in
+  (match P.parse_response resp with
+  | Ok r -> Alcotest.(check string) "timeout" "timeout" r.P.status
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "survives" true (v = `Continue);
+  Alcotest.(check int) "timeout counted" 1 (Server.timeouts_total srv);
+  (* the 2 s budget admitted both backends, so the planner really raced *)
+  Alcotest.(check int) "planner raced" 1 (Metrics.snapshot m).Metrics.plan_races;
+  let resp, _ =
+    Server.handle srv
+      (P.build_request ~schema_text:(schema_text ()) ~backend:`Auto ~budget:150
+         ~sat_budget:2_000 P.Reason)
+  in
+  match P.parse_response resp with
+  | Ok r -> Alcotest.(check string) "next request answered" "ok" r.P.status
+  | Error msg -> Alcotest.fail msg
+
+(* Planner counters flow into the stats method and survive the snapshot
+   JSON round-trip. *)
+let test_stats_planner_counters () =
+  let m = Metrics.create () in
+  let srv = Server.create ~metrics:m Server.default_config in
+  let broken =
+    Orm_dsl.Printer.to_string
+      (Orm_generator.Faults.inject ~seed:5 1
+         (Gen.clean ~config:(Gen.sized 6) ~seed:3 ()))
+        .schema
+  in
+  let reason ?(backend = `Auto) text =
+    ignore
+      (Server.handle srv
+         (P.build_request ~schema_text:text ~backend ~budget:150
+            ~sat_budget:2_000 P.Reason))
+  in
+  reason broken;
+  (* distinct schemas so the cache does not absorb the requests *)
+  reason (schema_text ~seed:3 ());
+  reason (schema_text ~seed:4 ());
+  let resp, _ = Server.handle srv (P.build_request P.Stats) in
+  let snap =
+    match P.parse_response resp with
+    | Error m -> Alcotest.fail m
+    | Ok r -> (
+        match P.member "result" r.P.body with
+        | Some result -> (
+            match Orm_json.member "metrics" result with
+            | Some v -> (
+                match Metrics.of_value v with
+                | Ok snap -> snap
+                | Error e -> Alcotest.failf "stats metrics do not parse: %s" e)
+            | None -> Alcotest.fail "stats result has no metrics")
+        | None -> Alcotest.fail "stats has no result")
+  in
+  Alcotest.(check int) "patterns-only counted" 1 snap.Metrics.plan_patterns_only;
+  Alcotest.(check int) "races counted" 2 snap.Metrics.plan_races;
+  Alcotest.(check bool) "backend latency rows present" true
+    (snap.Metrics.backends <> []);
+  (* and the snapshot itself round-trips *)
+  match Metrics.of_value (Metrics.to_value snap) with
+  | Error e -> Alcotest.failf "snapshot does not round-trip: %s" e
+  | Ok snap' ->
+      Alcotest.(check int) "plan_patterns_only round-trips"
+        snap.Metrics.plan_patterns_only snap'.Metrics.plan_patterns_only;
+      Alcotest.(check int) "plan_races round-trips" snap.Metrics.plan_races
+        snap'.Metrics.plan_races;
+      Alcotest.(check int) "plan_cancelled round-trips"
+        snap.Metrics.plan_cancelled snap'.Metrics.plan_cancelled
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -642,4 +802,10 @@ let suite =
       test_format_version_bump_misses;
     Alcotest.test_case "engine deadline mid-pattern" `Quick
       test_engine_deadline_mid_pattern;
+    Alcotest.test_case "reason auto round-trips planner" `Quick
+      test_reason_auto_roundtrip;
+    Alcotest.test_case "auto race respects deadline" `Quick
+      test_reason_auto_race_deadline;
+    Alcotest.test_case "stats carries planner counters" `Quick
+      test_stats_planner_counters;
   ]
