@@ -755,16 +755,54 @@ let serve_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Default per-request deadline; a request's own $(b,deadline_ms) overrides it.  Omitted means unbounded.")
   in
+  let audit_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:"Append one NDJSON audit record per handled request to $(docv) (id, method, schema digest, cache tier, planner decision, verdict, per-phase latency, deadline slack, worker pid).  Requests slower than the rolling p95 or timed out additionally embed a trace dump (tail sampling).  Prefork workers share the file (single atomic append per record).  Summarize with $(b,ormcheck audit) $(docv).")
+  in
+  let audit_log_mb =
+    Arg.(
+      value
+      & opt int (Orm_obs.Audit.default_max_bytes / (1024 * 1024))
+      & info [ "audit-log-mb" ] ~docv:"MB"
+          ~doc:"Rotate $(b,--audit-log) past $(docv) MB (renamed to $(i,FILE).1; one generation kept).")
+  in
   let config_file =
     Arg.(
       value
       & opt (some string) None
       & info [ "config" ] ~docv:"FILE"
-          ~doc:"JSON config file layered over the flags (fields: $(b,deadline_ms), $(b,budget), $(b,sat_budget), $(b,cache_capacity), $(b,max_pending), $(b,disk_cache_mb), $(b,log_level); only the fields present override).  Re-read on SIGHUP, so a running service retunes without a restart; a reload that fails to parse keeps the current settings.")
+          ~doc:"JSON config file layered over the flags (fields: $(b,deadline_ms), $(b,budget), $(b,sat_budget), $(b,cache_capacity), $(b,max_pending), $(b,disk_cache_mb), $(b,log_level), $(b,slo_p95_ms), $(b,slo_goal), $(b,drain_linger_ms); only the fields present override).  Re-read on SIGHUP, so a running service retunes without a restart; a reload that fails to parse keeps the current settings.")
   in
   let run socket stdio listen workers disk_cache disk_cache_mb cache_capacity
-      max_pending deadline_ms config_file jobs stats stats_json trace log_level =
+      max_pending deadline_ms audit_log audit_log_mb config_file jobs stats
+      stats_json trace log_level =
     apply_log_level log_level;
+    (* validate the audit path up front — a worker discovering an
+       unwritable path after the fork could only log about it *)
+    let make_audit () =
+      Option.map
+        (fun path ->
+          match
+            Orm_obs.Audit.create
+              ~max_bytes:(max 1 audit_log_mb * 1024 * 1024)
+              path
+          with
+          | Ok a ->
+              (* records are buffered a little; a drained worker must not
+                 exit with its last requests still in memory *)
+              at_exit (fun () -> Orm_obs.Audit.close a);
+              a
+          | Error msg ->
+              prerr_endline ("ormcheck serve: --audit-log " ^ msg);
+              exit 2)
+        audit_log
+    in
+    (match make_audit () with
+    | Some probe -> Orm_obs.Audit.close probe
+    | None -> ());
     (* a broken --config is a startup error, not a logged warning — only
        SIGHUP-time reloads degrade softly *)
     (match config_file with
@@ -832,7 +870,8 @@ let serve_cmd =
         let server =
           apply_config
             (Orm_server.Server.create ?metrics ?tracer
-               ?disk_cache:(make_disk_cache metrics) config)
+               ?disk_cache:(make_disk_cache metrics) ?audit:(make_audit ())
+               config)
         in
         Orm_server.Server.serve ?config_file server mode;
         emit_stats ~stats ~stats_json metrics;
@@ -869,7 +908,8 @@ let serve_cmd =
           last_tracer := tracer;
           apply_config
             (Orm_server.Server.create ?metrics ?tracer
-               ?disk_cache:(make_disk_cache metrics) ?stats_sink config)
+               ?disk_cache:(make_disk_cache metrics) ?stats_sink
+               ?audit:(make_audit ()) config)
         in
         (match Orm_net.Frontend.run ~workers ?config_file ~make_server spec with
         | Ok () -> ()
@@ -885,7 +925,117 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the checking service over $(b,--listen) unix:PATH | tcp:HOST:PORT | http:HOST:PORT (or the classic --socket/--stdio): result caching (in-memory LRU plus optional persistent --disk-cache), per-request deadlines, admission control, graceful shutdown, and prefork sharding with --workers.")
-    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ cache_capacity $ max_pending $ deadline_ms $ config_file $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
+    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ cache_capacity $ max_pending $ deadline_ms $ audit_log $ audit_log_mb $ config_file $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
+
+(* ---- audit ----------------------------------------------------------- *)
+
+(* Reads an --audit-log back: status / cache-tier / planner-decision mix,
+   exact latency quantiles, slowest schema digests, deadline misses and
+   how many records carry a sampled trace. *)
+let audit_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Audit log written by $(b,serve --audit-log).")
+  in
+  let slo_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slo-ms" ] ~docv:"MS"
+          ~doc:"Also report the fraction of requests at or under $(docv) ms (SLO attainment).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Slowest digests listed (default 10).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let run file slo_ms top json =
+    match Orm_obs.Audit.summarize ?target_p95_ms:slo_ms ~top file with
+    | Error msg ->
+        prerr_endline ("ormcheck audit: " ^ msg);
+        exit 2
+    | Ok s ->
+        if json then begin
+          let module J = Orm_json in
+          let counts rows =
+            J.Obj (List.map (fun (k, v) -> (k, J.Int v)) rows)
+          in
+          print_endline
+            (J.to_string
+               (J.obj
+                  (J.field "records" (J.Int s.Orm_obs.Audit.records)
+                  @ J.field "malformed" (J.Int s.malformed)
+                  @ J.field "statuses" (counts s.statuses)
+                  @ J.field "tiers" (counts s.tiers)
+                  @ J.field "decisions" (counts s.decisions)
+                  @ J.field "p50_ns" (J.Int s.s_p50_ns)
+                  @ J.field "p95_ns" (J.Int s.s_p95_ns)
+                  @ J.field "max_ns" (J.Int s.s_max_ns)
+                  @ J.field "deadline_misses" (J.Int s.deadline_misses)
+                  @ J.field "sampled_traces" (J.Int s.sampled_traces)
+                  @ J.field_opt "slo_attained"
+                      (Option.map (fun f -> J.Float f) s.slo_attained)
+                  @ J.field "slow_digests"
+                      (J.List
+                         (List.map
+                            (fun (r : Orm_obs.Audit.digest_row) ->
+                              J.Obj
+                                [
+                                  ("digest", J.String r.d_digest);
+                                  ("count", J.Int r.d_count);
+                                  ("max_ns", J.Int r.d_max_ns);
+                                  ("total_ns", J.Int r.d_total_ns);
+                                ])
+                            s.slow_digests)))))
+        end
+        else Format.printf "%a@." Orm_obs.Audit.pp_summary s;
+        exit (if s.Orm_obs.Audit.records = 0 && s.malformed > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Summarize a $(b,serve --audit-log) file: status and cache-tier mix, planner decisions, latency quantiles, slowest digests, deadline misses, sampled traces.")
+    Term.(const run $ file $ slo_ms $ top $ json)
+
+(* ---- metrics-lint ---------------------------------------------------- *)
+
+(* Validates a /metrics scrape the way promtool check metrics would:
+   grammar, escapes, TYPE discipline, histogram shape.  CI runs it over
+   the exposition it curls from the smoke-test server. *)
+let metrics_lint_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Prometheus text exposition to validate ($(b,-) reads stdin).")
+  in
+  let run file =
+    let body =
+      if file = "-" then In_channel.input_all In_channel.stdin
+      else
+        match In_channel.with_open_bin file In_channel.input_all with
+        | body -> body
+        | exception Sys_error msg ->
+            prerr_endline ("ormcheck metrics-lint: " ^ msg);
+            exit 2
+    in
+    match Orm_obs.Prometheus.lint body with
+    | Ok () ->
+        print_endline "metrics exposition is well-formed";
+        exit 0
+    | Error msg ->
+        prerr_endline ("ormcheck metrics-lint: " ^ msg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics-lint"
+       ~doc:"Validate a Prometheus text exposition (as scraped from $(b,GET /metrics)): grammar, label escaping, TYPE discipline, histogram bucket shape.")
+    Term.(const run $ file)
 
 (* ---- client ---------------------------------------------------------- *)
 
@@ -1088,4 +1238,4 @@ let gen_cmd =
 let () =
   let doc = "Unsatisfiability reasoning for ORM conceptual schemas" in
   let info = Cmd.info "ormcheck" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd; serve_cmd; client_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd; serve_cmd; client_cmd; audit_cmd; metrics_lint_cmd ]))

@@ -1,6 +1,7 @@
 module P = Orm_server.Protocol
 module Server = Orm_server.Server
 module Log = Orm_trace.Log
+module Metrics = Orm_telemetry.Metrics
 
 (* ---- connections ------------------------------------------------------- *)
 
@@ -35,8 +36,8 @@ type pending_item = {
 
 let send conn bytes = conn.out <- conn.out ^ bytes
 
-let send_http conn ~keep_alive ~code body =
-  send conn (Http.serialize ~keep_alive ~code body);
+let send_http ?content_type conn ~keep_alive ~code body =
+  send conn (Http.serialize ?content_type ~keep_alive ~code body);
   if not keep_alive then conn.close_after <- true
 
 let flush_conn conn =
@@ -77,6 +78,27 @@ let admit_ndjson server pending max_pending conn =
     Buffer.add_substring conn.inbuf s !consumed (n - !consumed)
   end
 
+(* Operational endpoints, answered before the envelope mapping so a scrape
+   never counts as a protocol request.  [/healthz] is pure liveness (the
+   loop is running), [/readyz] is routability, [/metrics] the Prometheus
+   exposition over the (cluster-folded) telemetry.  All three keep
+   answering while the front end drains — that window is exactly when a
+   load balancer needs [/readyz] to say 503. *)
+let text_plain = "text/plain; charset=utf-8"
+
+let ops_response ~draining ~pending server (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/metrics" ->
+      Some (200, Orm_obs.Prometheus.content_type, Server.metrics_body server)
+  | "GET", "/healthz" -> Some (200, text_plain, "ok")
+  | "GET", "/readyz" -> (
+      match Server.readiness server ~draining ~pending with
+      | Ok () -> Some (200, text_plain, "ready")
+      | Error reason -> Some (503, text_plain, "not ready: " ^ reason))
+  | _, ("/metrics" | "/healthz" | "/readyz") ->
+      Some (405, text_plain, "method not allowed")
+  | _ -> None
+
 (* HTTP framing: drain every complete (possibly pipelined) request off
    the buffer.  Transport-level rejects are answered immediately; a
    reject that loses framing closes the connection after the flush.
@@ -98,6 +120,14 @@ let admit_http ~max_body ~draining server pending max_pending conn =
         Buffer.clear conn.inbuf;
         Buffer.add_substring conn.inbuf s consumed (String.length s - consumed);
         progress := true;
+        match
+          ops_response ~draining:(draining ()) ~pending:(Queue.length pending)
+            server req
+        with
+        | Some (code, content_type, body) ->
+            send_http conn ~content_type ~keep_alive:req.Http.keep_alive ~code
+              body
+        | None -> (
         if draining () then
           send_http conn ~keep_alive:false ~code:503
             (Http.error_body "server is draining")
@@ -114,7 +144,7 @@ let admit_http ~max_body ~draining server pending max_pending conn =
               else
                 Queue.add
                   { conn; line; http_keep_alive = Some req.Http.keep_alive }
-                  pending)
+                  pending))
   done
 
 let read_conn ~max_body ~draining server pending max_pending conn =
@@ -171,14 +201,32 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
   let conns = ref [] in
   let pending : pending_item Queue.t = Queue.create () in
   let draining = ref false in
-  let drain_deadline = ref infinity in
+  (* monotonic, not wall clock: an NTP step mid-drain must neither cut
+     the grace short nor extend it *)
+  let drain_deadline = ref Int64.max_int in
+  let accept_deadline = ref Int64.max_int in
   let start_drain reason =
     if not !draining then begin
       draining := true;
-      drain_deadline := Unix.gettimeofday () +. drain_grace_s;
+      let now = Metrics.now_ns () in
+      (* [drain_linger_ms] keeps the listeners open (answering 503 on
+         /readyz) so load balancers observe the drain before the port
+         goes away *)
+      let linger_ns =
+        Int64.mul
+          (Int64.of_int (Server.config server).Server.drain_linger_ms)
+          1_000_000L
+      in
+      accept_deadline := Int64.add now linger_ns;
+      drain_deadline :=
+        Int64.add now
+          (Int64.max (Int64.of_float (drain_grace_s *. 1e9)) linger_ns);
       Log.info "net: draining (%s): %d pending request(s)" reason
         (Queue.length pending)
     end
+  in
+  let accepting () =
+    (not !draining) || Metrics.now_ns () < !accept_deadline
   in
   let is_draining () = !draining in
   let finished = ref false in
@@ -210,7 +258,10 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
           not gone)
         !conns;
     let all_flushed = List.for_all (fun c -> c.out = "" || c.dead) !conns in
-    if !draining && (all_flushed || Unix.gettimeofday () > !drain_deadline)
+    if
+      !draining
+      && ((all_flushed && not (accepting ()))
+         || Metrics.now_ns () > !drain_deadline)
     then finished := true
     else begin
       (* while draining: no accepts, no NDJSON reads (their queued lines
@@ -221,7 +272,7 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
         && ((not !draining) || c.framing = Listen.Http_framing)
       in
       let read_fds =
-        (if !draining then [] else [ listen_fd ])
+        (if accepting () then [ listen_fd ] else [])
         @ List.filter_map
             (fun c -> if readable c then Some c.fd else None)
             !conns
@@ -234,7 +285,7 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
       match Unix.select read_fds write_fds [] 0.2 with
       | exception Unix.Unix_error (EINTR, _, _) -> ()
       | ready_r, ready_w, _ ->
-          if (not !draining) && List.mem listen_fd ready_r then begin
+          if accepting () && List.mem listen_fd ready_r then begin
             let rec accept_all () =
               match Unix.accept listen_fd with
               | client, _ ->

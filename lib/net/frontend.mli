@@ -20,7 +20,20 @@
        server answers 503 to requests that arrive after the drain
        started.  A transport-level violation (oversized body, malformed
        head) is answered on the spot and, when framing is lost, the
-       connection is closed — other connections keep being served.}} *)
+       connection is closed — other connections keep being served.}}
+
+    HTTP listeners additionally answer the operational endpoints before
+    the envelope mapping (so probes and scrapes never count as protocol
+    requests): [GET /metrics] is the Prometheus exposition
+    ({!Orm_server.Server.metrics_body} — cluster-folded under prefork),
+    [GET /healthz] unconditional liveness, [GET /readyz] routability
+    ({!Orm_server.Server.readiness}; 503 while draining, at the admission
+    bound, or with an unwritable cache directory).  When the server
+    config's [drain_linger_ms] is positive, a draining worker keeps its
+    listener open for that long — answering 503 on [/readyz] and to new
+    protocol requests — so load balancers observe the drain before the
+    port goes away.  Drain deadlines are measured on the monotonic
+    clock. *)
 
 val serve_fd :
   ?max_body:int ->

@@ -231,12 +231,16 @@ let reason_phrase = function
   | 505 -> "HTTP Version Not Supported"
   | _ -> "Internal Server Error"
 
-let serialize ~keep_alive ~code body =
-  let body = body ^ "\n" in
+let serialize ?(content_type = "application/json") ~keep_alive ~code body =
+  (* responses end in exactly one newline, whatever the caller passed *)
+  let body =
+    if String.length body > 0 && body.[String.length body - 1] = '\n' then body
+    else body ^ "\n"
+  in
   Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: \
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: \
      %d\r\nConnection: %s\r\n\r\n%s"
-    code (reason_phrase code) (String.length body)
+    code (reason_phrase code) content_type (String.length body)
     (if keep_alive then "keep-alive" else "close")
     body
 

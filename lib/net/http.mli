@@ -56,9 +56,12 @@ val envelope_of_request : request -> (string, int * string) result
 val code_of_response : string -> int
 (** HTTP status for a response envelope line, from its [status] field. *)
 
-val serialize : keep_alive:bool -> code:int -> string -> string
-(** One HTTP/1.1 response carrying [body] (a trailing newline is added
-    and counted) as [application/json] with an exact [Content-Length]. *)
+val serialize :
+  ?content_type:string -> keep_alive:bool -> code:int -> string -> string
+(** One HTTP/1.1 response carrying [body] (newline-terminated; one is
+    added when missing and counted) with an exact [Content-Length].
+    [content_type] defaults to [application/json] — the operational
+    endpoints pass the Prometheus text type and [text/plain]. *)
 
 val error_body : string -> string
 (** A response-envelope [error] line for transport-level rejects, so

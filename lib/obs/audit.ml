@@ -1,0 +1,463 @@
+(* Per-request audit log: one NDJSON line per request, with size-based
+   rotation and tail-sampled trace dumps.
+
+   The writer opens the file with O_APPEND and batches whole lines in a
+   buffer, flushed as a single write(2) when the buffer passes
+   [flush_bytes] or [flush_interval_ns] has elapsed — so prefork workers
+   can share one path without interleaving lines (O_APPEND keeps each
+   flush contiguous), and the steady-state cost per record is a buffer
+   append, not a syscall.  Rotation renames the live file to
+   [path ^ ".1"] and reopens; because a sibling worker may have rotated
+   underneath us, the writer re-checks the inode every few flushes and
+   follows the rename.  A failed write disables the log (sticky) rather
+   than failing requests: auditing must never take the service down. *)
+
+module J = Orm_json
+module Trace = Orm_trace.Trace
+
+type t = {
+  path : string;
+  max_bytes : int;
+  mutable fd : Unix.file_descr option;  (* None once disabled by an error *)
+  mutable flushes : int;
+  mutable file_bytes : int;  (* our view of the live file's size *)
+  mutable last_flush_ns : int64;
+  buf : Buffer.t;  (* complete lines not yet written *)
+  scratch : Buffer.t;  (* one record being serialized (reused) *)
+  mutex : Mutex.t;
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+let flush_bytes = 8 * 1024
+let flush_interval_ns = 1_000_000_000L
+
+let open_append path =
+  Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+
+let create ?(max_bytes = default_max_bytes) path =
+  match open_append path with
+  | fd ->
+      Ok
+        {
+          path;
+          max_bytes;
+          fd = Some fd;
+          flushes = 0;
+          file_bytes = (Unix.fstat fd).Unix.st_size;
+          last_flush_ns = 0L;
+          buf = Buffer.create flush_bytes;
+          scratch = Buffer.create 512;
+          mutex = Mutex.create ();
+        }
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+
+let path t = t.path
+
+(* With [t.mutex] held: push the buffered lines out in one write. *)
+let flush_locked t fd =
+  let n = Buffer.length t.buf in
+  if n > 0 then begin
+    let s = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    if Unix.write_substring fd s 0 n <> n then begin
+      t.fd <- None;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+    else t.file_bytes <- t.file_bytes + n
+  end;
+  t.last_flush_ns <- Orm_telemetry.Metrics.now_ns ()
+
+let flush t =
+  Mutex.lock t.mutex;
+  (match t.fd with
+  | None -> ()
+  | Some fd -> ( try flush_locked t fd with Unix.Unix_error _ -> t.fd <- None));
+  Mutex.unlock t.mutex
+
+let close t =
+  flush t;
+  Mutex.lock t.mutex;
+  (match t.fd with
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  Mutex.unlock t.mutex
+
+(* With [t.mutex] held. *)
+let rotate_locked t fd =
+  (try Unix.rename t.path (t.path ^ ".1") with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let fd = open_append t.path in
+  t.fd <- Some fd;
+  t.file_bytes <- (Unix.fstat fd).Unix.st_size;
+  fd
+
+(* With [t.mutex] held: follow a sibling worker's rotation, and re-sync
+   our size estimate with what siblings have appended meanwhile. *)
+let refresh_locked t fd =
+  match (Unix.fstat fd, Unix.stat t.path) with
+  | cur, live when cur.Unix.st_ino <> live.Unix.st_ino ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let fd = open_append t.path in
+      t.fd <- Some fd;
+      t.file_bytes <- (Unix.fstat fd).Unix.st_size;
+      fd
+  | cur, _ ->
+      t.file_bytes <- cur.Unix.st_size;
+      fd
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      (* someone rotated but nobody reopened yet *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let fd = open_append t.path in
+      t.fd <- Some fd;
+      t.file_bytes <- (Unix.fstat fd).Unix.st_size;
+      fd
+
+(* With [t.mutex] held: the serialized line sits in [t.scratch]; queue
+   it, rotating when the live file would pass [max_bytes] and flushing
+   when the buffer is full or stale. *)
+let queue_scratch_locked t fd =
+  let len = Buffer.length t.scratch in
+  let pending = t.file_bytes + Buffer.length t.buf in
+  let fd =
+    if pending > 0 && pending + len > t.max_bytes then begin
+      flush_locked t fd;
+      rotate_locked t fd
+    end
+    else fd
+  in
+  Buffer.add_buffer t.buf t.scratch;
+  let now = Orm_telemetry.Metrics.now_ns () in
+  if
+    Buffer.length t.buf >= flush_bytes
+    || Int64.sub now t.last_flush_ns > flush_interval_ns
+  then begin
+    t.flushes <- t.flushes + 1;
+    let fd = if t.flushes mod 32 = 0 then refresh_locked t fd else fd in
+    match t.fd with
+    | Some _ -> flush_locked t fd
+    | None -> ()
+  end
+
+(* ---- records ----------------------------------------------------------- *)
+
+type record = {
+  ts : float;  (* wall clock, unix seconds: operators correlate with logs *)
+  id : string option;
+  meth : string;
+  digest : string option;
+  status : string;
+  cached : bool;
+  tier : string;  (* "memory" | "disk" | "none" *)
+  planner : J.t option;  (* the response's planner object, verbatim *)
+  phases : (string * int) list;  (* phase name -> wall ns *)
+  elapsed_ns : int;
+  deadline_ms : int option;
+  deadline_slack_ms : int option;  (* deadline - elapsed; negative = missed *)
+  worker_pid : int;
+  trace : Trace.event list option;  (* tail-sampled span dump *)
+}
+
+let phase_char = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
+
+let trace_value events =
+  J.List
+    (List.map
+       (fun (e : Trace.event) ->
+         J.Obj
+           ([
+              ("ph", J.String (phase_char e.Trace.phase));
+              ("name", J.String e.Trace.name);
+              ("ts_ns", J.Int e.Trace.ts_ns);
+              ("dom", J.Int e.Trace.domain);
+            ]
+           @
+           match e.Trace.phase with
+           | Trace.Counter -> [ ("value", J.Int e.Trace.value) ]
+           | _ -> []))
+       events)
+
+let record_to_value r =
+  J.obj
+    (J.field "ts" (J.Float r.ts)
+    @ J.field_opt "id" (Option.map (fun s -> J.String s) r.id)
+    @ J.field "method" (J.String r.meth)
+    @ J.field_opt "digest" (Option.map (fun s -> J.String s) r.digest)
+    @ J.field "status" (J.String r.status)
+    @ J.field "cached" (J.Bool r.cached)
+    @ J.field "tier" (J.String r.tier)
+    @ J.field_opt "planner" r.planner
+    @ J.field "phases"
+        (J.Obj (List.map (fun (k, ns) -> (k, J.Int ns)) r.phases))
+    @ J.field "elapsed_ns" (J.Int r.elapsed_ns)
+    @ J.field_opt "deadline_ms" (Option.map (fun n -> J.Int n) r.deadline_ms)
+    @ J.field_opt "deadline_slack_ms"
+        (Option.map (fun n -> J.Int n) r.deadline_slack_ms)
+    @ J.field "pid" (J.Int r.worker_pid)
+    @ J.field_opt "trace" (Option.map trace_value r.trace))
+
+(* The hot path serializes by hand into a buffer rather than building a
+   {!J.t} tree per request: the shape is flat and fixed, and the generic
+   printer costs several microseconds the audit budget doesn't have.
+   [record_to_value] remains the reference shape — the two must agree
+   field for field (the parser in [summarize] reads either). *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let emit_record buf r =
+  let str_field name v =
+    Buffer.add_char buf ',';
+    Buffer.add_string buf name;
+    Buffer.add_char buf ':';
+    add_json_string buf v
+  and int_field name v =
+    Buffer.add_char buf ',';
+    Buffer.add_string buf name;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int v)
+  in
+  Buffer.add_string buf "{\"ts\":";
+  (* unix seconds at microsecond precision, without the cost of float
+     formatting *)
+  let sec = int_of_float r.ts in
+  let usec = int_of_float (((r.ts -. float_of_int sec) *. 1e6) +. 0.5) in
+  let sec, usec = if usec >= 1_000_000 then (sec + 1, 0) else (sec, usec) in
+  Buffer.add_string buf (string_of_int sec);
+  Buffer.add_char buf '.';
+  let u = string_of_int usec in
+  for _ = String.length u to 5 do
+    Buffer.add_char buf '0'
+  done;
+  Buffer.add_string buf u;
+  (match r.id with None -> () | Some id -> str_field "\"id\"" id);
+  str_field "\"method\"" r.meth;
+  (match r.digest with None -> () | Some d -> str_field "\"digest\"" d);
+  str_field "\"status\"" r.status;
+  Buffer.add_string buf ",\"cached\":";
+  Buffer.add_string buf (if r.cached then "true" else "false");
+  str_field "\"tier\"" r.tier;
+  (match r.planner with
+  | None -> ()
+  | Some p ->
+      Buffer.add_string buf ",\"planner\":";
+      Buffer.add_string buf (J.to_string p));
+  Buffer.add_string buf ",\"phases\":{";
+  List.iteri
+    (fun i (k, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int ns))
+    r.phases;
+  Buffer.add_char buf '}';
+  int_field "\"elapsed_ns\"" r.elapsed_ns;
+  (match r.deadline_ms with
+  | None -> ()
+  | Some d -> int_field "\"deadline_ms\"" d);
+  (match r.deadline_slack_ms with
+  | None -> ()
+  | Some d -> int_field "\"deadline_slack_ms\"" d);
+  int_field "\"pid\"" r.worker_pid;
+  (match r.trace with
+  | None -> ()
+  | Some events ->
+      Buffer.add_string buf ",\"trace\":";
+      Buffer.add_string buf (J.to_string (trace_value events)));
+  Buffer.add_string buf "}\n"
+
+let write t r =
+  Mutex.lock t.mutex;
+  (match t.fd with
+  | None -> ()
+  | Some fd -> (
+      try
+        Buffer.clear t.scratch;
+        emit_record t.scratch r;
+        queue_scratch_locked t fd
+      with Unix.Unix_error _ -> t.fd <- None));
+  Mutex.unlock t.mutex
+
+(* ---- summarizing ------------------------------------------------------- *)
+
+type digest_row = {
+  d_digest : string;
+  d_count : int;
+  d_max_ns : int;
+  d_total_ns : int;
+}
+
+type summary = {
+  records : int;
+  malformed : int;
+  statuses : (string * int) list;  (* descending by count *)
+  tiers : (string * int) list;
+  decisions : (string * int) list;  (* planner decision mix *)
+  s_p50_ns : int;  (* exact quantiles over all records *)
+  s_p95_ns : int;
+  s_max_ns : int;
+  slow_digests : digest_row list;  (* descending by max elapsed *)
+  sampled_traces : int;
+  deadline_misses : int;
+  slo_attained : float option;  (* fraction under target, when given *)
+}
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb))
+
+let summarize ?target_p95_ms ?(top = 10) path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let statuses = Hashtbl.create 8 in
+      let tiers = Hashtbl.create 8 in
+      let decisions = Hashtbl.create 8 in
+      let digests : (string, digest_row) Hashtbl.t = Hashtbl.create 64 in
+      let elapsed = ref [] in
+      let records = ref 0 and malformed = ref 0 in
+      let sampled = ref 0 and misses = ref 0 and under_target = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match J.of_string line with
+             | Error _ -> incr malformed
+             | Ok v ->
+                 incr records;
+                 let status =
+                   Option.value ~default:"?" (J.string_member "status" v)
+                 in
+                 bump statuses status;
+                 bump tiers (Option.value ~default:"none" (J.string_member "tier" v));
+                 (match Option.bind (J.member "planner" v) (J.string_member "decision") with
+                 | Some d -> bump decisions d
+                 | None -> ());
+                 let ns =
+                   Option.value ~default:0 (J.int_member "elapsed_ns" v)
+                 in
+                 elapsed := ns :: !elapsed;
+                 (match target_p95_ms with
+                 | Some t when ns <= t * 1_000_000 -> incr under_target
+                 | _ -> ());
+                 (* one miss per record, however it shows: negative slack
+                    and a timeout verdict usually arrive together *)
+                 let missed =
+                   (match J.int_member "deadline_slack_ms" v with
+                   | Some s -> s < 0
+                   | None -> false)
+                   || status = "timeout"
+                 in
+                 if missed then incr misses;
+                 if J.member "trace" v <> None then incr sampled;
+                 (match J.string_member "digest" v with
+                 | None -> ()
+                 | Some d ->
+                     let prev =
+                       Option.value
+                         ~default:
+                           { d_digest = d; d_count = 0; d_max_ns = 0; d_total_ns = 0 }
+                         (Hashtbl.find_opt digests d)
+                     in
+                     Hashtbl.replace digests d
+                       {
+                         d_digest = d;
+                         d_count = prev.d_count + 1;
+                         d_max_ns = max prev.d_max_ns ns;
+                         d_total_ns = prev.d_total_ns + ns;
+                       })
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let xs = Array.of_list !elapsed in
+      Array.sort compare xs;
+      let n = Array.length xs in
+      let pct p = if n = 0 then 0 else xs.(min (n - 1) (p * n / 100)) in
+      let slow =
+        Hashtbl.fold (fun _ r acc -> r :: acc) digests []
+        |> List.sort (fun a b -> compare (b.d_max_ns, a.d_digest) (a.d_max_ns, b.d_digest))
+        |> List.filteri (fun i _ -> i < top)
+      in
+      Ok
+        {
+          records = !records;
+          malformed = !malformed;
+          statuses = sorted_counts statuses;
+          tiers = sorted_counts tiers;
+          decisions = sorted_counts decisions;
+          s_p50_ns = pct 50;
+          s_p95_ns = pct 95;
+          s_max_ns = (if n = 0 then 0 else xs.(n - 1));
+          slow_digests = slow;
+          sampled_traces = !sampled;
+          deadline_misses = !misses;
+          slo_attained =
+            (match target_p95_ms with
+            | None -> None
+            | Some _ when !records = 0 -> None
+            | Some _ -> Some (float_of_int !under_target /. float_of_int !records));
+        }
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Format.fprintf ppf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf ppf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf ppf "%.2f us" (f /. 1e3)
+  else Format.fprintf ppf "%d ns" ns
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>%d record(s)" s.records;
+  if s.malformed > 0 then Format.fprintf ppf " (%d malformed line(s) skipped)" s.malformed;
+  Format.fprintf ppf "@,";
+  Format.fprintf ppf "latency: p50 %a, p95 %a, max %a@," pp_ns s.s_p50_ns pp_ns
+    s.s_p95_ns pp_ns s.s_max_ns;
+  Format.fprintf ppf "deadline misses: %d; sampled traces: %d@," s.deadline_misses
+    s.sampled_traces;
+  (match s.slo_attained with
+  | Some f -> Format.fprintf ppf "SLO attainment (under target): %.2f%%@," (100. *. f)
+  | None -> ());
+  let counts label rows =
+    if rows <> [] then begin
+      Format.fprintf ppf "%s:" label;
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) rows;
+      Format.fprintf ppf "@,"
+    end
+  in
+  counts "status" s.statuses;
+  counts "cache tier" s.tiers;
+  counts "planner decision" s.decisions;
+  if s.slow_digests <> [] then begin
+    Format.fprintf ppf "%-18s %8s %12s %12s@," "slowest digests" "count" "max" "total";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%-18s %8d %12s %12s@,"
+          (if String.length r.d_digest > 16 then String.sub r.d_digest 0 16
+           else r.d_digest)
+          r.d_count
+          (Format.asprintf "%a" pp_ns r.d_max_ns)
+          (Format.asprintf "%a" pp_ns r.d_total_ns))
+      s.slow_digests
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,88 @@
+(** Per-request NDJSON audit log with size-based rotation and tail-sampled
+    trace dumps.
+
+    One {!record} per request.  Records are buffered as complete lines
+    and flushed as a single [write(2)] on an [O_APPEND] descriptor —
+    when the buffer passes a few KiB or about a second has elapsed, and
+    always on {!flush} and {!close} — so prefork workers can share one
+    path without interleaving lines while the steady-state cost per
+    record stays a buffer append.  When the file would exceed
+    [max_bytes] it is renamed to [path ^ ".1"] and reopened (one
+    rotation generation is kept); the writer follows rotations performed
+    by sibling workers by re-checking the inode periodically.  Write
+    errors disable the log for the rest of the process instead of
+    failing requests.
+
+    [ormcheck audit FILE] reads the log back through {!summarize}. *)
+
+type t
+
+val default_max_bytes : int
+(** 64 MiB. *)
+
+val create : ?max_bytes:int -> string -> (t, string) result
+(** Open (or create) the audit log at the given path. *)
+
+val path : t -> string
+
+val flush : t -> unit
+(** Pushes buffered lines to the file now. *)
+
+val close : t -> unit
+(** Flushes, then closes the descriptor; further writes are dropped. *)
+
+type record = {
+  ts : float;  (** wall-clock unix seconds (for log correlation) *)
+  id : string option;  (** client-supplied request id *)
+  meth : string;
+  digest : string option;  (** schema digest (the cache key's subject) *)
+  status : string;  (** ok | error | timeout | overloaded *)
+  cached : bool;
+  tier : string;  (** which cache tier answered: memory | disk | none *)
+  planner : Orm_json.t option;  (** the response's planner object, verbatim *)
+  phases : (string * int) list;  (** per-phase wall ns (parse, compute, ...) *)
+  elapsed_ns : int;
+  deadline_ms : int option;
+  deadline_slack_ms : int option;  (** deadline - elapsed; negative = missed *)
+  worker_pid : int;
+  trace : Orm_trace.Trace.event list option;
+      (** tail-sampled span dump: present when the request ran slower than
+          the rolling p95 or timed out *)
+}
+
+val trace_value : Orm_trace.Trace.event list -> Orm_json.t
+val record_to_value : record -> Orm_json.t
+val write : t -> record -> unit
+
+(** {1 Summarizing} *)
+
+type digest_row = {
+  d_digest : string;
+  d_count : int;
+  d_max_ns : int;
+  d_total_ns : int;
+}
+
+type summary = {
+  records : int;
+  malformed : int;
+  statuses : (string * int) list;  (** descending by count *)
+  tiers : (string * int) list;
+  decisions : (string * int) list;  (** planner decision mix *)
+  s_p50_ns : int;  (** exact quantiles over every record's elapsed_ns *)
+  s_p95_ns : int;
+  s_max_ns : int;
+  slow_digests : digest_row list;  (** descending by max elapsed *)
+  sampled_traces : int;
+  deadline_misses : int;
+  slo_attained : float option;
+      (** fraction of records at or under [target_p95_ms], when given *)
+}
+
+val summarize :
+  ?target_p95_ms:int -> ?top:int -> string -> (summary, string) result
+(** Reads an audit file back.  Malformed lines are counted, not fatal
+    (a crash mid-write truncates at most one line).  [top] bounds
+    [slow_digests] (default 10). *)
+
+val pp_summary : Format.formatter -> summary -> unit

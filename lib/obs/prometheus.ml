@@ -1,0 +1,481 @@
+(* Prometheus text exposition format 0.0.4 over a telemetry snapshot.
+
+   The renderer is deliberately dependency-free: families are written in a
+   fixed order with # HELP/# TYPE headers, the log-scale latency
+   histograms are re-read as cumulative `_bucket` series (le in seconds,
+   the open-ended last bucket as +Inf), and label values are escaped per
+   the format (backslash, double-quote, newline).  [lint] is the matching
+   hand-rolled `promtool check metrics` stand-in used by the tests and the
+   CI smoke step, so the scrape is validated even where promtool is not
+   installed. *)
+
+module Metrics = Orm_telemetry.Metrics
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label v ^ "\"") labels)
+      ^ "}"
+
+let sample ~name ?(labels = []) value =
+  name ^ render_labels labels ^ " " ^ value
+
+(* Go's strconv.ParseFloat accepts both; %.10g keeps sub-bucket precision
+   (2^-30 s) while printing small integers exactly. *)
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.10g" f
+
+let seconds_of_ns ns = float_of_int ns /. 1e9
+
+type family = {
+  f_name : string;
+  f_typ : string;  (* "counter" | "gauge" | "histogram" *)
+  f_help : string;
+  f_samples : (string * (string * string) list * string) list;
+      (* suffix ("" or "_bucket"/"_sum"/"_count"), labels, value *)
+}
+
+let family ~name ~typ ~help samples =
+  {
+    f_name = name;
+    f_typ = typ;
+    f_help = help;
+    f_samples = List.map (fun (labels, v) -> ("", labels, v)) samples;
+  }
+
+(* One histogram series under [labels]: cumulative buckets, then sum and
+   count.  [hist] is a telemetry log-scale histogram (per-bucket counts). *)
+let histogram_samples ~labels ~hist ~sum_ns =
+  let running = ref 0 in
+  let buckets =
+    List.init (Array.length hist) (fun i ->
+        running := !running + hist.(i);
+        let le =
+          match Metrics.bucket_upper_ns i with
+          | None -> "+Inf"
+          | Some ns -> fmt_float (seconds_of_ns ns)
+        in
+        ("_bucket", labels @ [ ("le", le) ], string_of_int !running))
+  in
+  buckets
+  @ [
+      ("_sum", labels, fmt_float (seconds_of_ns sum_ns));
+      ("_count", labels, string_of_int !running);
+    ]
+
+let histogram_family ~name ~help series =
+  {
+    f_name = name;
+    f_typ = "histogram";
+    f_help = help;
+    f_samples =
+      List.concat_map
+        (fun (labels, hist, sum_ns) -> histogram_samples ~labels ~hist ~sum_ns)
+        series;
+  }
+
+let print_family buf f =
+  Buffer.add_string buf ("# HELP " ^ f.f_name ^ " " ^ escape_help f.f_help ^ "\n");
+  Buffer.add_string buf ("# TYPE " ^ f.f_name ^ " " ^ f.f_typ ^ "\n");
+  List.iter
+    (fun (suffix, labels, value) ->
+      Buffer.add_string buf (sample ~name:(f.f_name ^ suffix) ~labels value);
+      Buffer.add_char buf '\n')
+    f.f_samples
+
+let pattern_stat_rows key stats name_of =
+  List.concat_map
+    (fun (p : Metrics.pattern_stat) -> [ ([ (key, name_of p.Metrics.pattern) ], p) ])
+    stats
+
+let int_sample v = string_of_int v
+
+let render ?workers ?uptime_s ?slo (s : Metrics.snapshot) =
+  let gauges_prefix =
+    (match uptime_s with
+    | None -> []
+    | Some up ->
+        [
+          family ~name:"ormcheck_uptime_seconds" ~typ:"gauge"
+            ~help:"Seconds since this server process started."
+            [ ([], fmt_float up) ];
+        ])
+    @
+    match workers with
+    | None -> []
+    | Some w ->
+        [
+          family ~name:"ormcheck_workers" ~typ:"gauge"
+            ~help:"Prefork worker processes serving this endpoint."
+            [ ([], int_sample w) ];
+        ]
+  in
+  let backend_rows = pattern_stat_rows "backend" s.Metrics.backends Metrics.backend_name in
+  let pattern_rows =
+    pattern_stat_rows "pattern" s.Metrics.patterns string_of_int
+  in
+  let families =
+    gauges_prefix
+    @ [
+        family ~name:"ormcheck_requests_total" ~typ:"counter"
+          ~help:"Protocol requests answered by the checking service."
+          [ ([], int_sample s.Metrics.requests) ];
+        histogram_family ~name:"ormcheck_request_seconds"
+          ~help:"Request wall time (log-scale telemetry histogram)."
+          [ ([], s.Metrics.request_hist, s.Metrics.request_time_ns) ];
+        family ~name:"ormcheck_timeouts_total" ~typ:"counter"
+          ~help:"Requests abandoned because their deadline expired."
+          [ ([], int_sample s.Metrics.timeouts) ];
+        family ~name:"ormcheck_overloads_total" ~typ:"counter"
+          ~help:"Requests rejected by admission control."
+          [ ([], int_sample s.Metrics.overloads) ];
+        family ~name:"ormcheck_internal_errors_total" ~typ:"counter"
+          ~help:"Requests answered with a generic internal error."
+          [ ([], int_sample s.Metrics.internal_errors) ];
+        family ~name:"ormcheck_checks_total" ~typ:"counter"
+          ~help:"Whole-schema checks executed by the engine."
+          [ ([], int_sample s.Metrics.checks) ];
+        family ~name:"ormcheck_batches_total" ~typ:"counter"
+          ~help:"Parallel batch requests executed."
+          [ ([], int_sample s.Metrics.batches) ];
+        family ~name:"ormcheck_cache_hits_total" ~typ:"counter"
+          ~help:"Result-cache hits by tier."
+          [
+            ([ ("tier", "memory") ], int_sample s.Metrics.cache_hits);
+            ([ ("tier", "disk") ], int_sample s.Metrics.disk_hits);
+          ];
+        family ~name:"ormcheck_cache_misses_total" ~typ:"counter"
+          ~help:"Result-cache misses by tier."
+          [
+            ([ ("tier", "memory") ], int_sample s.Metrics.cache_misses);
+            ([ ("tier", "disk") ], int_sample s.Metrics.disk_misses);
+          ];
+        family ~name:"ormcheck_plan_decisions_total" ~typ:"counter"
+          ~help:"Backend-planner decisions by shape."
+          [
+            ([ ("decision", "patterns_only") ], int_sample s.Metrics.plan_patterns_only);
+            ([ ("decision", "dlr") ], int_sample s.Metrics.plan_backend_dlr);
+            ([ ("decision", "sat") ], int_sample s.Metrics.plan_backend_sat);
+            ([ ("decision", "race") ], int_sample s.Metrics.plan_races);
+          ];
+        family ~name:"ormcheck_plan_cancelled_total" ~typ:"counter"
+          ~help:"Races whose losing backend was actively cancelled."
+          [ ([], int_sample s.Metrics.plan_cancelled) ];
+      ]
+    @ (if backend_rows = [] then []
+       else
+         [
+           family ~name:"ormcheck_backend_runs_total" ~typ:"counter"
+             ~help:"Complete-backend runs."
+             (List.map
+                (fun (l, (p : Metrics.pattern_stat)) -> (l, int_sample p.Metrics.runs))
+                backend_rows);
+           family ~name:"ormcheck_backend_definitive_total" ~typ:"counter"
+             ~help:"Complete-backend runs that produced a definitive verdict."
+             (List.map
+                (fun (l, (p : Metrics.pattern_stat)) -> (l, int_sample p.Metrics.fires))
+                backend_rows);
+           histogram_family ~name:"ormcheck_backend_seconds"
+             ~help:"Complete-backend wall time by backend."
+             (List.map
+                (fun (l, (p : Metrics.pattern_stat)) ->
+                  (l, p.Metrics.hist, p.Metrics.time_ns))
+                backend_rows);
+         ])
+    @ (if pattern_rows = [] then []
+       else
+         [
+           family ~name:"ormcheck_pattern_runs_total" ~typ:"counter"
+             ~help:"Unsatisfiability-pattern executions by pattern number."
+             (List.map
+                (fun (l, (p : Metrics.pattern_stat)) -> (l, int_sample p.Metrics.runs))
+                pattern_rows);
+           family ~name:"ormcheck_pattern_fires_total" ~typ:"counter"
+             ~help:"Diagnostics produced by pattern number."
+             (List.map
+                (fun (l, (p : Metrics.pattern_stat)) -> (l, int_sample p.Metrics.fires))
+                pattern_rows);
+           family ~name:"ormcheck_pattern_seconds_total" ~typ:"counter"
+             ~help:"Wall seconds spent in each pattern."
+             (List.map
+                (fun (l, (p : Metrics.pattern_stat)) ->
+                  (l, fmt_float (seconds_of_ns p.Metrics.time_ns)))
+                pattern_rows);
+         ])
+    @
+    match slo with
+    | None -> []
+    | Some (r : Slo.report) ->
+        let per_window f =
+          List.map
+            (fun (w : Slo.window_report) ->
+              ([ ("window", Slo.window_label w.Slo.minutes) ], f w))
+            r.Slo.windows
+        in
+        [
+          family ~name:"ormcheck_request_rate" ~typ:"gauge"
+            ~help:"Recent request rate (requests per second)."
+            (per_window (fun w -> fmt_float w.Slo.rate));
+          family ~name:"ormcheck_request_recent_p50_seconds" ~typ:"gauge"
+            ~help:"Recent request latency p50 from the rolling ring."
+            (per_window (fun w -> fmt_float (seconds_of_ns w.Slo.p50_ns)));
+          family ~name:"ormcheck_request_recent_p95_seconds" ~typ:"gauge"
+            ~help:"Recent request latency p95 from the rolling ring."
+            (per_window (fun w -> fmt_float (seconds_of_ns w.Slo.p95_ns)));
+          family ~name:"ormcheck_deadline_miss_ratio" ~typ:"gauge"
+            ~help:"Recent fraction of requests whose deadline expired."
+            (per_window (fun w -> fmt_float w.Slo.deadline_miss_ratio));
+          family ~name:"ormcheck_overload_ratio" ~typ:"gauge"
+            ~help:"Recent fraction of requests shed by admission control."
+            (per_window (fun w -> fmt_float w.Slo.overload_ratio));
+          family ~name:"ormcheck_slo_error_budget_remaining" ~typ:"gauge"
+            ~help:"Remaining error budget in the window (1 = untouched)."
+            (per_window (fun w -> fmt_float w.Slo.error_budget_remaining));
+          family ~name:"ormcheck_slo_target_p95_seconds" ~typ:"gauge"
+            ~help:"Configured p95 latency target."
+            [
+              ( [],
+                fmt_float
+                  (float_of_int r.Slo.config.Slo.target_p95_ms /. 1e3) );
+            ];
+          family ~name:"ormcheck_slo_goal_ratio" ~typ:"gauge"
+            ~help:"Configured fraction of requests that must be good."
+            [ ([], fmt_float r.Slo.config.Slo.goal) ];
+        ]
+  in
+  let buf = Buffer.create 8192 in
+  List.iter (print_family buf) families;
+  Buffer.contents buf
+
+(* ---- lint -------------------------------------------------------------- *)
+
+(* A promtool-flavoured validator for the text format: metric/label name
+   grammar, label-value quoting and escapes, float-parsable sample values,
+   TYPE-before-sample and single-TYPE-per-name, no duplicate series, and
+   histogram shape (cumulative buckets nondecreasing in le, +Inf bucket
+   present and equal to _count). *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+let base_name name =
+  let strip suffix =
+    let n = String.length name and k = String.length suffix in
+    if n > k && String.sub name (n - k) k = suffix then
+      Some (String.sub name 0 (n - k))
+    else None
+  in
+  match strip "_bucket" with
+  | Some b -> b
+  | None -> (
+      match strip "_sum" with
+      | Some b -> b
+      | None -> ( match strip "_count" with Some b -> b | None -> name))
+
+exception Lint of string
+
+(* Parses `name{k="v",...} value` into (name, labels, value).  Positions
+   are byte offsets into [line]. *)
+let parse_sample ~lineno line =
+  let fail msg = raise (Lint (Printf.sprintf "line %d: %s" lineno msg)) in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  let name = String.sub line 0 !i in
+  if not (valid_name name) then fail ("invalid metric name " ^ String.escaped name);
+  let labels = ref [] in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let parsing = ref true in
+    while !parsing do
+      if !i >= n then fail "unterminated label set";
+      if line.[!i] = '}' then begin
+        incr i;
+        parsing := false
+      end
+      else begin
+        let start = !i in
+        while !i < n && is_name_char line.[!i] do incr i done;
+        let lname = String.sub line start (!i - start) in
+        if not (valid_name lname) then fail ("invalid label name " ^ String.escaped lname);
+        if !i >= n || line.[!i] <> '=' then fail "expected = after label name";
+        incr i;
+        if !i >= n || line.[!i] <> '"' then fail "expected quoted label value";
+        incr i;
+        let v = Buffer.create 16 in
+        let in_value = ref true in
+        while !in_value do
+          if !i >= n then fail "unterminated label value";
+          (match line.[!i] with
+          | '"' -> in_value := false
+          | '\\' ->
+              if !i + 1 >= n then fail "dangling backslash in label value";
+              (match line.[!i + 1] with
+              | '\\' -> Buffer.add_char v '\\'
+              | '"' -> Buffer.add_char v '"'
+              | 'n' -> Buffer.add_char v '\n'
+              | c -> fail (Printf.sprintf "bad escape \\%c in label value" c));
+              incr i
+          | c -> Buffer.add_char v c);
+          incr i
+        done;
+        labels := (lname, Buffer.contents v) :: !labels;
+        if !i < n && line.[!i] = ',' then incr i
+        else if !i >= n || line.[!i] <> '}' then fail "expected , or } in label set"
+      end
+    done
+  end;
+  if !i >= n || line.[!i] <> ' ' then fail "expected space before sample value";
+  while !i < n && line.[!i] = ' ' do incr i done;
+  let rest = String.sub line !i (n - !i) in
+  let value =
+    match String.index_opt rest ' ' with
+    | None -> rest
+    | Some sp -> String.sub rest 0 sp  (* optional timestamp follows *)
+  in
+  (match value with
+  | "+Inf" | "-Inf" | "NaN" -> ()
+  | v -> (
+      match float_of_string_opt v with
+      | Some _ -> ()
+      | None -> fail ("unparsable sample value " ^ String.escaped v)));
+  (name, List.rev !labels, value)
+
+let lint text =
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let sampled : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* histogram bookkeeping: (base, non-le labels) -> le buckets in order,
+     and the matching _count values *)
+  let buckets : (string * (string * string) list, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let counts : (string * (string * string) list, float) Hashtbl.t = Hashtbl.create 16 in
+  try
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        let fail msg = raise (Lint (Printf.sprintf "line %d: %s" lineno msg)) in
+        if line = "" then ()
+        else if String.length line >= 1 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ typ ] ->
+              if not (valid_name name) then fail ("invalid TYPE name " ^ name);
+              (match typ with
+              | "counter" | "gauge" | "histogram" | "summary" | "untyped" -> ()
+              | t -> fail ("unknown TYPE " ^ t));
+              if Hashtbl.mem types name then fail ("duplicate TYPE for " ^ name);
+              if Hashtbl.mem sampled name then
+                fail ("TYPE for " ^ name ^ " after its samples");
+              Hashtbl.replace types name typ
+          | "#" :: "TYPE" :: _ -> fail "malformed TYPE comment"
+          | "#" :: "HELP" :: name :: _ ->
+              if not (valid_name name) then fail ("invalid HELP name " ^ name)
+          | _ -> ()  (* free-form comment *)
+        end
+        else begin
+          let name, labels, value = parse_sample ~lineno line in
+          let base = base_name name in
+          Hashtbl.replace sampled base ();
+          let series_key =
+            name ^ render_labels (List.sort compare labels)
+          in
+          if Hashtbl.mem sampled ("series:" ^ series_key) then
+            fail ("duplicate sample " ^ series_key);
+          Hashtbl.replace sampled ("series:" ^ series_key) ();
+          match Hashtbl.find_opt types base with
+          | Some "histogram" ->
+              let non_le = List.filter (fun (k, _) -> k <> "le") labels in
+              let key = (base, List.sort compare non_le) in
+              let fvalue =
+                match value with
+                | "+Inf" -> infinity
+                | "-Inf" -> neg_infinity
+                | "NaN" -> nan
+                | v -> float_of_string v
+              in
+              if name = base ^ "_bucket" then begin
+                let le =
+                  match List.assoc_opt "le" labels with
+                  | None -> fail (base ^ "_bucket without le label")
+                  | Some "+Inf" -> infinity
+                  | Some le -> (
+                      match float_of_string_opt le with
+                      | Some f -> f
+                      | None -> fail ("unparsable le " ^ le))
+                in
+                match Hashtbl.find_opt buckets key with
+                | Some r -> r := (le, fvalue) :: !r
+                | None -> Hashtbl.replace buckets key (ref [ (le, fvalue) ])
+              end
+              else if name = base ^ "_count" then
+                Hashtbl.replace counts key fvalue
+              else if name = base then
+                fail ("histogram " ^ base ^ " has a bare sample")
+          | Some _ when name <> base ->
+              fail (name ^ " conflicts with TYPE of " ^ base)
+          | Some _ | None ->
+              if not (Hashtbl.mem types name) then
+                fail ("sample " ^ name ^ " without preceding TYPE")
+        end)
+      (String.split_on_char '\n' text);
+    (* histogram shape checks *)
+    Hashtbl.iter
+      (fun (base, labels) r ->
+        let bs = List.rev !r in
+        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) bs in
+        if bs <> sorted then
+          raise (Lint (base ^ ": buckets out of le order"));
+        let rec monotone = function
+          | (_, a) :: ((_, b) :: _ as rest) ->
+              if b < a then
+                raise (Lint (base ^ ": bucket counts decrease with le"));
+              monotone rest
+          | _ -> ()
+        in
+        monotone bs;
+        (match List.rev bs with
+        | (le, last) :: _ ->
+            if le <> infinity then raise (Lint (base ^ ": missing +Inf bucket"));
+            (match Hashtbl.find_opt counts (base, labels) with
+            | Some c when c <> last ->
+                raise (Lint (base ^ ": _count differs from +Inf bucket"))
+            | Some _ -> ()
+            | None -> raise (Lint (base ^ ": missing _count")))
+        | [] -> raise (Lint (base ^ ": empty histogram"))))
+      buckets;
+    Ok ()
+  with Lint msg -> Error msg

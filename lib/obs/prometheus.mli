@@ -1,0 +1,39 @@
+(** Prometheus text exposition (format 0.0.4) over a telemetry snapshot,
+    plus a hand-rolled [promtool check metrics]-style linter.
+
+    {!render} writes every family with [# HELP]/[# TYPE] headers; the
+    telemetry log-scale latency histograms come out as cumulative
+    [_bucket]/[_sum]/[_count] series with [le] in seconds and the
+    open-ended last bucket as [+Inf].  In prefork mode the caller folds
+    the per-worker snapshots with [Metrics.add] first, so one scrape sees
+    the cluster. *)
+
+val content_type : string
+
+val escape_label : string -> string
+(** Label-value escaping: backslash doubles, double-quote and newline are
+    escaped. *)
+
+val escape_help : string -> string
+(** HELP-text escaping: backslash doubles, newline is escaped. *)
+
+val sample : name:string -> ?labels:(string * string) list -> string -> string
+(** One exposition line (no trailing newline): name, then the label set
+    in braces when non-empty, then a space and the value. *)
+
+val render :
+  ?workers:int ->
+  ?uptime_s:float ->
+  ?slo:Slo.report ->
+  Orm_telemetry.Metrics.snapshot ->
+  string
+(** The full scrape body.  [workers] and [uptime_s] become gauges when
+    given; [slo] adds the rolling-window gauges (rate, recent quantiles,
+    miss/overload ratios, remaining error budget) per window. *)
+
+val lint : string -> (unit, string) result
+(** Validates an exposition body: name and label grammar, quoting and
+    escapes, float-parsable values, TYPE-before-sample, no duplicate
+    series, histogram buckets cumulative and nondecreasing in [le] with a
+    [+Inf] bucket equal to [_count].  [Error] carries the first offence
+    with its line number. *)

@@ -1,0 +1,106 @@
+(* Rolling-window SLO evaluation over the telemetry ring.
+
+   The service-level objective is stated as "goal fraction of requests
+   good", where a request is bad when it timed out, was shed by admission
+   control, or died on an internal error.  The error budget of a window is
+   the allowed bad fraction (1 - goal); what remains is reported as a
+   0..1 gauge so an operator can alert on budget exhaustion rather than on
+   instantaneous spikes.  A separate latency target (p95 <= target_p95_ms)
+   is evaluated per window against the ring's histogram quantile. *)
+
+module Metrics = Orm_telemetry.Metrics
+module J = Orm_json
+
+type config = {
+  target_p95_ms : int;  (* recent p95 must sit at or below this *)
+  goal : float;  (* fraction of requests that must be good, e.g. 0.99 *)
+}
+
+let default = { target_p95_ms = 250; goal = 0.99 }
+
+type window_report = {
+  minutes : int;
+  requests : int;
+  rate : float;  (* requests per second *)
+  p50_ns : int;
+  p95_ns : int;
+  timeouts : int;
+  overloads : int;
+  internal_errors : int;
+  deadline_miss_ratio : float;
+  overload_ratio : float;
+  error_budget_remaining : float;  (* 0..1; 1 = untouched budget *)
+  p95_ok : bool;
+}
+
+type report = { config : config; windows : window_report list }
+
+let windows_minutes = [ 1; 5; 15 ]
+
+let ratio num den = if den <= 0 then 0.0 else float_of_int num /. float_of_int den
+
+let window_report config ~minutes (w : Metrics.window_stat) =
+  let bad = w.Metrics.w_timeouts + w.Metrics.w_overloads + w.Metrics.w_internal_errors in
+  (* overloads are rejected before being counted as requests, so the
+     denominator is every admission decision, not just answered requests *)
+  let total = w.Metrics.w_requests + w.Metrics.w_overloads in
+  let bad_ratio = ratio bad total in
+  let budget = 1.0 -. config.goal in
+  let remaining =
+    if budget <= 0.0 then (if bad > 0 then 0.0 else 1.0)
+    else Float.max 0.0 (1.0 -. (bad_ratio /. budget))
+  in
+  {
+    minutes;
+    requests = w.Metrics.w_requests;
+    rate = w.Metrics.w_rate;
+    p50_ns = w.Metrics.w_p50_ns;
+    p95_ns = w.Metrics.w_p95_ns;
+    timeouts = w.Metrics.w_timeouts;
+    overloads = w.Metrics.w_overloads;
+    internal_errors = w.Metrics.w_internal_errors;
+    deadline_miss_ratio = ratio w.Metrics.w_timeouts total;
+    overload_ratio = ratio w.Metrics.w_overloads total;
+    error_budget_remaining = remaining;
+    p95_ok = w.Metrics.w_p95_ns <= config.target_p95_ms * 1_000_000;
+  }
+
+let evaluate config ~now_ns snapshot =
+  {
+    config;
+    windows =
+      List.map
+        (fun minutes ->
+          window_report config ~minutes
+            (Metrics.window snapshot ~now_ns ~minutes))
+        windows_minutes;
+  }
+
+let window_label minutes = string_of_int minutes ^ "m"
+
+let to_value r =
+  J.Obj
+    [
+      ("target_p95_ms", J.Int r.config.target_p95_ms);
+      ("goal", J.Float r.config.goal);
+      ( "windows",
+        J.List
+          (List.map
+             (fun w ->
+               J.Obj
+                 [
+                   ("window", J.String (window_label w.minutes));
+                   ("requests", J.Int w.requests);
+                   ("rate_per_s", J.Float w.rate);
+                   ("p50_ns", J.Int w.p50_ns);
+                   ("p95_ns", J.Int w.p95_ns);
+                   ("timeouts", J.Int w.timeouts);
+                   ("overloads", J.Int w.overloads);
+                   ("internal_errors", J.Int w.internal_errors);
+                   ("deadline_miss_ratio", J.Float w.deadline_miss_ratio);
+                   ("overload_ratio", J.Float w.overload_ratio);
+                   ("error_budget_remaining", J.Float w.error_budget_remaining);
+                   ("p95_ok", J.Bool w.p95_ok);
+                 ])
+             r.windows) );
+    ]

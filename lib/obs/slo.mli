@@ -1,0 +1,48 @@
+(** Rolling-window SLO evaluation over the telemetry per-minute ring.
+
+    A request is {e bad} when it timed out, was shed by admission control,
+    or raised inside the server; the objective says at least [goal] of
+    all admission decisions in a window must be good, and the recent p95
+    must sit at or below [target_p95_ms].  {!evaluate} folds the ring
+    into 1m/5m/15m {!window_report}s; the [error_budget_remaining] gauge
+    is 1 with an untouched budget and 0 when the window's bad fraction
+    has consumed the whole allowance (1 - goal). *)
+
+type config = {
+  target_p95_ms : int;
+  goal : float;  (** fraction of requests that must be good, e.g. 0.99 *)
+}
+
+val default : config
+(** 250 ms p95 target, 0.99 goal — overridden by the [slo_p95_ms] /
+    [slo_goal] server-config keys. *)
+
+type window_report = {
+  minutes : int;
+  requests : int;
+  rate : float;  (** requests per second over the window *)
+  p50_ns : int;
+  p95_ns : int;
+  timeouts : int;
+  overloads : int;
+  internal_errors : int;
+  deadline_miss_ratio : float;
+  overload_ratio : float;
+  error_budget_remaining : float;  (** 0..1 *)
+  p95_ok : bool;
+}
+
+type report = { config : config; windows : window_report list }
+
+val windows_minutes : int list
+(** The windows {!evaluate} reports: [1; 5; 15]. *)
+
+val window_label : int -> string
+(** ["1m"], ["5m"], ["15m"] — the [window] label value used by both the
+    [slo] stats section and the Prometheus gauges. *)
+
+val evaluate :
+  config -> now_ns:int64 -> Orm_telemetry.Metrics.snapshot -> report
+
+val to_value : report -> Orm_json.t
+(** The [slo] section of a [stats] response. *)

@@ -272,6 +272,15 @@ let cache_key_with ~format_version req =
 
 let cache_key req = cache_key_with ~format_version req
 
+(* The schema digest alone (the cache key's subject), for audit records:
+   hex MD5 of the schema text, or of the NUL-joined batch texts. *)
+let schema_digest req =
+  match (req.schema_texts, req.schema_text) with
+  | Some texts, _ ->
+      Some (Digest.to_hex (Digest.string (String.concat "\x00" texts)))
+  | None, Some text -> Some (Digest.to_hex (Digest.string text))
+  | None, None -> None
+
 (* ---- responses --------------------------------------------------------- *)
 
 let response ~id ~status ~cached body =

@@ -133,6 +133,11 @@ val cache_key_with : format_version:int -> request -> string
 (** {!cache_key} under an explicit format version — exposed so tests can
     prove that a version bump misses the cache. *)
 
+val schema_digest : request -> string option
+(** The digest component alone (hex MD5 of the schema text, or of the
+    NUL-joined batch texts) — what audit records report as the request's
+    subject.  [None] for requests that carry no schema. *)
+
 (** {1 Responses} *)
 
 val ok_response :

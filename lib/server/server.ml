@@ -4,6 +4,9 @@ module Metrics = Orm_telemetry.Metrics
 module Trace = Orm_trace.Trace
 module Log = Orm_trace.Log
 module P = Protocol
+module Slo = Orm_obs.Slo
+module Audit = Orm_obs.Audit
+module Prometheus = Orm_obs.Prometheus
 
 type config = {
   cache_capacity : int;
@@ -12,6 +15,9 @@ type config = {
   default_jobs : int;
   default_budget : int;
   default_sat_budget : int;
+  slo : Slo.config;  (* rolling-window objectives the slo section reports *)
+  drain_linger_ms : int;
+      (* how long a draining front end keeps answering 503 before exit *)
 }
 
 let default_config =
@@ -22,6 +28,8 @@ let default_config =
     default_jobs = 1;
     default_budget = P.default_budget;
     default_sat_budget = P.default_sat_budget;
+    slo = Slo.default;
+    drain_linger_ms = 0;
   }
 
 type t = {
@@ -37,9 +45,34 @@ type t = {
   mutable overloads : int;
   stop : bool Atomic.t;  (* set from signal handlers; polled by the loop *)
   reload : bool Atomic.t;  (* set by SIGHUP; polled by the loop *)
+  audit : Audit.t option;
+  audit_pid : int;  (* getpid once: servers are built post-fork *)
+  mutable fail_next : bool;  (* test hook: next dispatch raises *)
+  (* rolling p95 the tail sampler compares against, refreshed at most once
+     a second (reading it costs a snapshot) *)
+  mutable audit_p95 : int;
+  mutable audit_p95_read_ns : int64;
+  (* cached /readyz disk-probe result *)
+  mutable ready_probe_ns : int64;
+  mutable ready_probe_ok : bool;
+  (* per-request audit context.  The event loop is single-threaded, so
+     plain mutation is safe: exactly one request is between reset and
+     write at any time. *)
+  mutable cx_tier : string;
+  mutable cx_planner : P.json option;
+  mutable cx_phases : (string * int) list;
+  mutable cx_deadline_ms : int option;
 }
 
-let create ?metrics ?tracer ?disk_cache ?stats_sink config =
+let create ?metrics ?tracer ?disk_cache ?stats_sink ?audit config =
+  Printexc.record_backtrace true;
+  (* tail sampling needs spans to dump: a server that audits without an
+     explicit tracer records into a private one *)
+  let tracer =
+    match (tracer, audit) with
+    | Some _, _ | None, None -> tracer
+    | None, Some _ -> Some (Trace.create ~capacity:8192 ())
+  in
   {
     config;
     cache = Cache.create ?metrics ~capacity:config.cache_capacity ();
@@ -53,6 +86,17 @@ let create ?metrics ?tracer ?disk_cache ?stats_sink config =
     overloads = 0;
     stop = Atomic.make false;
     reload = Atomic.make false;
+    audit;
+    audit_pid = Unix.getpid ();
+    fail_next = false;
+    audit_p95 = 0;
+    audit_p95_read_ns = 0L;
+    ready_probe_ns = 0L;
+    ready_probe_ok = true;
+    cx_tier = "none";
+    cx_planner = None;
+    cx_phases = [];
+    cx_deadline_ms = None;
   }
 
 let config t = t.config
@@ -73,6 +117,14 @@ let reconfigure t (c : Server_config.t) =
       default_budget = Option.value ~default:cfg.default_budget c.budget;
       default_sat_budget =
         Option.value ~default:cfg.default_sat_budget c.sat_budget;
+      slo =
+        {
+          Slo.target_p95_ms =
+            Option.value ~default:cfg.slo.Slo.target_p95_ms c.slo_p95_ms;
+          goal = Option.value ~default:cfg.slo.Slo.goal c.slo_goal;
+        };
+      drain_linger_ms =
+        Option.value ~default:cfg.drain_linger_ms c.drain_linger_ms;
     };
   Option.iter (Cache.set_capacity t.cache) c.cache_capacity;
   (match (t.disk, c.disk_cache_mb) with
@@ -128,6 +180,14 @@ let flush_stats t =
   | _ -> ()
 
 let instant t name = Option.iter (fun tr -> Trace.instant tr name) t.tracer
+
+let reset_audit_ctx t =
+  t.cx_tier <- "none";
+  t.cx_planner <- None;
+  t.cx_phases <- [];
+  t.cx_deadline_ms <- None
+
+let add_phase t name ns = t.cx_phases <- (name, ns) :: t.cx_phases
 
 (* ---- request dispatch ------------------------------------------------- *)
 
@@ -237,10 +297,9 @@ let reason_body t (req : P.request) schema ~deadline_ns =
     match r.Orm_planner.Reason.plan with
     | None -> []
     | Some plan ->
-        [
-          ( "planner",
-            P.Obj
-              (Orm_planner.Planner.to_fields plan
+        let obj =
+          P.Obj
+            (Orm_planner.Planner.to_fields plan
               @ (match r.Orm_planner.Reason.winner with
                 | Some b -> [ ("winner", P.String (Orm_planner.Cost.name b)) ]
                 | None -> [])
@@ -265,8 +324,10 @@ let reason_body t (req : P.request) schema ~deadline_ns =
                       match r.Orm_planner.Reason.sat with
                       | Some s -> [ ("sat_ns", P.Int s.time_ns) ]
                       | None -> []) );
-                ]) );
-        ]
+                ])
+        in
+        t.cx_planner <- Some obj;
+        [ ("planner", obj) ]
   in
   let report = r.Orm_planner.Reason.report in
   [
@@ -318,8 +379,36 @@ let config_fields t =
             | Some d -> P.Int (Disk_cache.max_bytes d / (1024 * 1024))
             | None -> P.Null );
           ("log_level", P.String (Log.level_to_string (Log.level ())));
+          ("slo_p95_ms", P.Int cfg.slo.Slo.target_p95_ms);
+          ("slo_goal", P.Float cfg.slo.Slo.goal);
+          ("drain_linger_ms", P.Int cfg.drain_linger_ms);
         ] );
   ]
+
+(* Every worker's snapshot found in the stats sink (this process's own
+   counters flushed there first), for the stats cluster view and for the
+   /metrics scrape; [None] when the server is not sharded. *)
+let cluster_snapshots t =
+  match t.stats_sink with
+  | None -> None
+  | Some dir -> (
+      flush_stats t;
+      match Sys.readdir dir with
+      | exception Sys_error _ -> None
+      | names ->
+          Some
+            (Array.to_list names
+            |> List.filter (fun n -> Filename.check_suffix n ".json")
+            |> List.filter_map (fun n ->
+                   match
+                     In_channel.with_open_bin (Filename.concat dir n)
+                       In_channel.input_all
+                   with
+                   | exception Sys_error _ -> None
+                   | content -> (
+                       match Metrics.of_json content with
+                       | Ok snap -> Some snap
+                       | Error _ -> None))))
 
 let stats_body t =
   let counters =
@@ -360,45 +449,101 @@ let stats_body t =
         ]
   in
   let cluster =
-    match t.stats_sink with
+    match cluster_snapshots t with
     | None -> []
-    | Some dir -> (
-        (* make sure this worker's own counters are part of the answer *)
-        flush_stats t;
-        match Sys.readdir dir with
-        | exception Sys_error _ -> []
-        | names ->
-            let snaps =
-              Array.to_list names
-              |> List.filter (fun n -> Filename.check_suffix n ".json")
-              |> List.filter_map (fun n ->
-                     match
-                       In_channel.with_open_bin (Filename.concat dir n)
-                         In_channel.input_all
-                     with
-                     | exception Sys_error _ -> None
-                     | content -> (
-                         match Metrics.of_json content with
-                         | Ok snap -> Some snap
-                         | Error _ -> None))
-            in
-            [
-              ( "cluster",
-                P.Obj
-                  [
-                    ("workers", P.Int (List.length snaps));
-                    ( "metrics",
-                      Metrics.to_value
-                        (List.fold_left Metrics.add Metrics.zero snaps) );
-                  ] );
-            ])
+    | Some snaps ->
+        [
+          ( "cluster",
+            P.Obj
+              [
+                ("workers", P.Int (List.length snaps));
+                ( "metrics",
+                  Metrics.to_value
+                    (List.fold_left Metrics.add Metrics.zero snaps) );
+              ] );
+        ]
   in
   let metrics =
     match t.metrics with
     | None -> []
     | Some m -> [ ("metrics", Metrics.to_value (Metrics.snapshot m)) ]
   in
-  [ ("result", P.Obj (counters @ disk @ cluster @ metrics)) ]
+  let slo =
+    match t.metrics with
+    | None -> []
+    | Some m ->
+        [
+          ( "slo",
+            Slo.to_value
+              (Slo.evaluate t.config.slo ~now_ns:(Metrics.now_ns ())
+                 (Metrics.snapshot m)) );
+        ]
+  in
+  [ ("result", P.Obj (counters @ disk @ cluster @ metrics @ slo)) ]
+
+(* GET /metrics: the whole cluster in one scrape.  With a stats sink every
+   worker's snapshot is folded in (the scraped worker flushes its own
+   first), so [ormcheck_requests_total] over a prefork server equals the
+   sum over its workers; without one the scrape covers this process. *)
+let metrics_body t =
+  let own =
+    match t.metrics with Some m -> Metrics.snapshot m | None -> Metrics.zero
+  in
+  let snap, workers =
+    match cluster_snapshots t with
+    | Some (_ :: _ as snaps) ->
+        (List.fold_left Metrics.add Metrics.zero snaps, Some (List.length snaps))
+    | Some [] | None -> (own, None)
+  in
+  let now = Metrics.now_ns () in
+  let uptime_s = Int64.to_float (Int64.sub now t.started_ns) /. 1e9 in
+  let slo = Slo.evaluate t.config.slo ~now_ns:now snap in
+  Prometheus.render ?workers ~uptime_s ~slo snap
+
+(* GET /readyz.  Not ready while draining, when the pending queue sits at
+   the admission bound, or when the persistent tier's directory stops
+   being writable (disk full, permissions): a load balancer should stop
+   routing here before requests start failing.  The disk probe is cached
+   for five seconds — a scrape a second must not cost a write a second. *)
+let readiness t ~draining ~pending =
+  if draining then Error "draining"
+  else if pending >= t.config.max_pending then Error "pending queue full"
+  else
+    match t.disk with
+    | None -> Ok ()
+    | Some d ->
+        let now = Metrics.now_ns () in
+        if
+          t.ready_probe_ns = 0L
+          || Int64.sub now t.ready_probe_ns > 5_000_000_000L
+        then begin
+          t.ready_probe_ns <- now;
+          t.ready_probe_ok <-
+            (let probe =
+               Filename.concat (Disk_cache.dir d)
+                 (Printf.sprintf ".readyz.%d" (Unix.getpid ()))
+             in
+             match
+               Unix.openfile probe
+                 [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+                 0o600
+             with
+             | exception Unix.Unix_error _ -> false
+             | fd ->
+                 let ok =
+                   match Unix.write_substring fd "ok" 0 2 with
+                   | 2 -> true
+                   | _ -> false
+                   | exception Unix.Unix_error _ -> false
+                 in
+                 (try Unix.close fd with Unix.Unix_error _ -> ());
+                 (try Unix.unlink probe with Unix.Unix_error _ -> ());
+                 ok)
+        end;
+        if t.ready_probe_ok then Ok ()
+        else Error "cache directory not writable"
+
+let inject_failure t = t.fail_next <- true
 
 (* A request that carries a schema is answered from the cache when the
    same schema text has already been checked under the same settings;
@@ -428,6 +573,7 @@ let dispatch t (req : P.request) =
     | Some ms -> Some ms
     | None -> t.config.default_deadline_ms
   in
+  t.cx_deadline_ms <- deadline_ms;
   let t0 = Metrics.now_ns () in
   let deadline_ns =
     Option.map
@@ -477,16 +623,22 @@ let dispatch t (req : P.request) =
     match Cache.find t.cache key with
     | Some body ->
         instant t "server.cache_hit";
+        t.cx_tier <- "memory";
         (P.ok_response ~id:req.id ~cached:true body, `Continue)
     | None -> (
         match disk_find key with
         | Some body ->
             instant t "server.disk_hit";
+            t.cx_tier <- "disk";
             Cache.add t.cache key body;
             (P.ok_response ~id:req.id ~cached:true body, `Continue)
         | None -> (
             instant t "server.cache_miss";
-            match compute () with
+            let c0 = Metrics.now_ns () in
+            let computed = compute () in
+            add_phase t "compute"
+              (Int64.to_int (Int64.sub (Metrics.now_ns ()) c0));
+            match computed with
             | Error msg -> (P.error_response ~id:req.id msg, `Continue)
             | Ok body ->
                 if expired () then timeout ()
@@ -542,13 +694,84 @@ let dispatch t (req : P.request) =
   | P.Lint -> with_schema lint_body
   | P.Reason -> with_schema (reason_body t req ~deadline_ns)
 
+(* Pull a top-level field back out of a response line this server just
+   built: the printer is ours and compact, so a substring probe is exact
+   enough for audit purposes and avoids re-parsing a possibly large body
+   once per request. *)
+let find_sub s sub =
+  let n = String.length sub and m = String.length s in
+  if n = 0 then Some 0
+  else begin
+    (* hop between occurrences of the needle's first byte (memchr) rather
+       than testing every position: this runs once per audited request *)
+    let c = sub.[0] in
+    let rec at i j = j = n || (s.[i + j] = sub.[j] && at i (j + 1)) in
+    let rec go i =
+      if i + n > m then None
+      else
+        match String.index_from_opt s i c with
+        | None -> None
+        | Some i when i + n > m -> None
+        | Some i -> if at i 1 then Some i else go (i + 1)
+    in
+    go 0
+  end
+
+let contains s sub = String.length sub = 0 || find_sub s sub <> None
+
+let response_status resp =
+  let needle = "\"status\":\"" in
+  match find_sub resp needle with
+  | None -> "?"
+  | Some i -> (
+      let start = i + String.length needle in
+      match String.index_from_opt resp start '"' with
+      | None -> "?"
+      | Some stop -> String.sub resp start (stop - start))
+
+let audit_p95_ns t now =
+  if
+    t.audit_p95_read_ns = 0L
+    || Int64.sub now t.audit_p95_read_ns > 1_000_000_000L
+  then begin
+    (match t.metrics with
+    | Some m ->
+        let w = Metrics.window (Metrics.snapshot m) ~now_ns:now ~minutes:5 in
+        t.audit_p95 <- w.Metrics.w_p95_ns
+    | None -> ());
+    t.audit_p95_read_ns <- now
+  end;
+  t.audit_p95
+
+(* Bound on the span dump a tail-sampled audit record embeds: enough to
+   profile one slow request, never the whole ring. *)
+let trace_sample_cap = 512
+
 let handle t line =
+  reset_audit_ctx t;
+  let mark =
+    match (t.audit, t.tracer) with
+    | Some _, Some tr -> Some (Trace.mark tr)
+    | _ -> None
+  in
+  let t0 = Metrics.now_ns () in
+  (* method / id / digest survive into the audit record (and the error
+     response) even when the request blew up mid-dispatch *)
+  let meta = ref ("?", None, None) in
   let work () =
-    let t0 = Metrics.now_ns () in
+    let parsed = P.parse_request line in
+    add_phase t "parse" (Int64.to_int (Int64.sub (Metrics.now_ns ()) t0));
     let result =
-      match P.parse_request line with
-      | Error (msg, id) -> (P.error_response ~id msg, `Continue)
+      match parsed with
+      | Error (msg, id) ->
+          meta := ("?", id, None);
+          (P.error_response ~id msg, `Continue)
       | Ok req -> (
+          meta := (P.meth_to_string req.meth, req.id, P.schema_digest req);
+          if t.fail_next then begin
+            t.fail_next <- false;
+            failwith "injected failure"
+          end;
           let span_name = "server." ^ P.meth_to_string req.meth in
           match t.tracer with
           | None -> dispatch t req
@@ -566,13 +789,68 @@ let handle t line =
     try work ()
     with exn ->
       (* a bug in a backend must produce an error response, not kill the
-         process that other clients are talking to *)
-      Log.err "server: internal error: %s" (Printexc.to_string exn);
-      (P.error_response ~id:None ("internal error: " ^ Printexc.to_string exn), `Continue)
+         process other clients are talking to — and must not leak the
+         exception text (paths, internals) to those clients either.  The
+         details go to the log with a backtrace; the client gets a generic
+         answer it can correlate by id. *)
+      let _, id, _ = !meta in
+      let bt = Printexc.get_backtrace () in
+      Log.err "server: internal error: %s%s" (Printexc.to_string exn)
+        (if String.trim bt = "" then "" else "\n" ^ bt);
+      Option.iter Metrics.record_internal_error t.metrics;
+      (P.error_response ~id "internal error", `Continue)
   in
-  match t.tracer with
-  | None -> guarded ()
-  | Some tr -> Trace.with_span tr "server.request" guarded
+  let result =
+    match t.tracer with
+    | None -> guarded ()
+    | Some tr -> Trace.with_span tr "server.request" guarded
+  in
+  (match t.audit with
+  | None -> ()
+  | Some a ->
+      let now = Metrics.now_ns () in
+      let elapsed_ns = Int64.to_int (Int64.sub now t0) in
+      let resp, _ = result in
+      let status = response_status resp in
+      let meth, id, digest = !meta in
+      let p95 = audit_p95_ns t now in
+      let slow = p95 > 0 && elapsed_ns > p95 in
+      let trace =
+        match mark with
+        | Some m when slow || status = "timeout" ->
+            let events =
+              match t.tracer with
+              | Some tr -> Trace.events_since tr m
+              | None -> []
+            in
+            let n = List.length events in
+            let events =
+              if n > trace_sample_cap then
+                List.filteri (fun i _ -> i >= n - trace_sample_cap) events
+              else events
+            in
+            if events = [] then None else Some events
+        | _ -> None
+      in
+      Audit.write a
+        {
+          Audit.ts = Unix.gettimeofday ();
+          id;
+          meth;
+          digest;
+          status;
+          cached = contains resp "\"cached\":true";
+          tier = t.cx_tier;
+          planner = t.cx_planner;
+          phases = List.rev t.cx_phases;
+          elapsed_ns;
+          deadline_ms = t.cx_deadline_ms;
+          deadline_slack_ms =
+            Option.map (fun d -> d - (elapsed_ns / 1_000_000)) t.cx_deadline_ms;
+          worker_pid = t.audit_pid;
+          trace;
+        });
+  result
 
 let overloaded t line =
   let id =
@@ -704,11 +982,14 @@ let serve ?config_file t mode =
   in
   let pending : (conn * string) Queue.t = Queue.create () in
   let draining = ref false in
-  let drain_deadline = ref infinity in
+  (* monotonic, not wall clock: an NTP step mid-drain must neither cut the
+     grace short nor extend it *)
+  let drain_deadline = ref Int64.max_int in
   let start_drain reason =
     if not !draining then begin
       draining := true;
-      drain_deadline := Unix.gettimeofday () +. drain_grace_s;
+      drain_deadline :=
+        Int64.add (Metrics.now_ns ()) (Int64.of_float (drain_grace_s *. 1e9));
       Log.info "server: draining (%s): %d pending request(s)" reason
         (Queue.length pending)
     end
@@ -744,7 +1025,7 @@ let serve ?config_file t mode =
     in
     if
       (!draining && all_flushed)
-      || (!draining && Unix.gettimeofday () > !drain_deadline)
+      || (!draining && Metrics.now_ns () > !drain_deadline)
       || (input_exhausted && Queue.is_empty pending && all_flushed)
     then finished := true
     else begin

@@ -44,6 +44,12 @@ type config = {
       (** tableau budget for requests at the protocol default *)
   default_sat_budget : int;
       (** DPLL budget for requests at the protocol default *)
+  slo : Orm_obs.Slo.config;
+      (** rolling-window objectives the [slo] stats section and the
+          Prometheus gauges report against *)
+  drain_linger_ms : int;
+      (** how long a draining network front end keeps accepting (answering
+          503 on [/readyz]) before closing its listeners; 0 = immediately *)
 }
 
 val default_config : config
@@ -55,6 +61,7 @@ val create :
   ?tracer:Orm_trace.Trace.t ->
   ?disk_cache:Disk_cache.t ->
   ?stats_sink:string ->
+  ?audit:Orm_obs.Audit.t ->
   config ->
   t
 (** A fresh server.  [metrics] receives one [record_request] per answered
@@ -69,7 +76,13 @@ val create :
     [disk_cache] adds the persistent tier under the in-memory LRU.
     [stats_sink] names the directory where {!flush_stats} drops this
     process's metrics snapshot and where the [stats] method aggregates a
-    [cluster] view over every worker's snapshot (prefork sharding). *)
+    [cluster] view over every worker's snapshot (prefork sharding).
+
+    [audit] attaches a per-request {!Orm_obs.Audit} log: one NDJSON record
+    per handled request, tail-sampling a trace dump for requests slower
+    than the rolling 5-minute p95 or timed out.  An auditing server with
+    no [tracer] records spans into a private one so the dumps have
+    content. *)
 
 val config : t -> config
 (** The server's current configuration (initially what it was created
@@ -98,8 +111,10 @@ val reload_flag : t -> bool Atomic.t
 
 val handle : t -> string -> string * [ `Continue | `Shutdown ]
 (** [handle t line] answers one request line with one response line
-    (neither carries the ['\n']).  Never raises: internal errors become
-    [error] responses.  [`Shutdown] accompanies a [shutdown] request's
+    (neither carries the ['\n']).  Never raises: an exception escaping a
+    backend is logged with its backtrace, counted
+    ([internal_errors] in the metrics), and answered with a generic
+    [error] response that does not echo the exception text to the client.  [`Shutdown] accompanies a [shutdown] request's
     response; the transport loop is expected to drain and stop.  Exposed
     for tests and benchmarks, which drive a server without any socket. *)
 
@@ -123,6 +138,24 @@ val flush_stats : t -> unit
     (atomically, keyed by pid); a no-op without a sink or metrics.  The
     network front end calls it periodically and on drain so the [stats]
     method's [cluster] aggregate stays fresh across prefork workers. *)
+
+val metrics_body : t -> string
+(** The [GET /metrics] Prometheus exposition (text format 0.0.4) —
+    {!Orm_obs.Prometheus.render} over this process's snapshot, or over the
+    fold of every worker snapshot in the [stats_sink] when the server is
+    sharded, so one scrape sees the cluster.  Includes the rolling-window
+    SLO gauges evaluated against the configured objectives. *)
+
+val readiness : t -> draining:bool -> pending:int -> (unit, string) result
+(** The [GET /readyz] decision: [Error reason] while draining, while the
+    pending queue sits at [max_pending], or when the persistent tier's
+    directory is not writable (probed with a real write, cached for five
+    seconds).  [Ok ()] otherwise; [GET /healthz] is unconditional. *)
+
+val inject_failure : t -> unit
+(** Test hook: makes the next dispatched request raise inside the handler,
+    so the internal-error path (generic response, counter, log) can be
+    exercised from the tests. *)
 
 val stop_flag : t -> bool Atomic.t
 (** The flag {!serve} polls: setting it from a signal handler (or another

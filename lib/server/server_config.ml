@@ -12,6 +12,10 @@ type t = {
   max_pending : int option;
   disk_cache_mb : int option;
   log_level : Log.level option;
+  slo_p95_ms : int option;
+  slo_goal : float option;  (* fraction of requests that must be good *)
+  drain_linger_ms : int option;
+      (* how long a draining front end keeps answering (503) before exit *)
 }
 
 let empty =
@@ -23,12 +27,15 @@ let empty =
     max_pending = None;
     disk_cache_mb = None;
     log_level = None;
+    slo_p95_ms = None;
+    slo_goal = None;
+    drain_linger_ms = None;
   }
 
 let known_fields =
   [
     "deadline_ms"; "budget"; "sat_budget"; "cache_capacity"; "max_pending";
-    "disk_cache_mb"; "log_level";
+    "disk_cache_mb"; "log_level"; "slo_p95_ms"; "slo_goal"; "drain_linger_ms";
   ]
 
 let of_json v =
@@ -50,6 +57,23 @@ let of_json v =
                 Error (Printf.sprintf "%s: must be positive (got %d)" name n)
             | Some _ -> Error (name ^ ": expected a positive integer")
           in
+          let non_negative name =
+            match J.member name v with
+            | None | Some J.Null -> Ok None
+            | Some (J.Int n) when n >= 0 -> Ok (Some n)
+            | Some (J.Int n) ->
+                Error (Printf.sprintf "%s: must be non-negative (got %d)" name n)
+            | Some _ -> Error (name ^ ": expected a non-negative integer")
+          in
+          let fraction name =
+            match J.member name v with
+            | None | Some J.Null -> Ok None
+            | Some (J.Float f) when f > 0.0 && f <= 1.0 -> Ok (Some f)
+            | Some (J.Int 1) -> Ok (Some 1.0)
+            | Some (J.Float _ | J.Int _) ->
+                Error (name ^ ": expected a fraction in (0, 1]")
+            | Some _ -> Error (name ^ ": expected a number in (0, 1]")
+          in
           let ( let* ) = Result.bind in
           match
             let* deadline_ms = positive "deadline_ms" in
@@ -58,6 +82,9 @@ let of_json v =
             let* cache_capacity = positive "cache_capacity" in
             let* max_pending = positive "max_pending" in
             let* disk_cache_mb = positive "disk_cache_mb" in
+            let* slo_p95_ms = positive "slo_p95_ms" in
+            let* slo_goal = fraction "slo_goal" in
+            let* drain_linger_ms = non_negative "drain_linger_ms" in
             let* log_level =
               match J.member "log_level" v with
               | None | Some J.Null -> Ok None
@@ -73,6 +100,9 @@ let of_json v =
                 max_pending;
                 disk_cache_mb;
                 log_level;
+                slo_p95_ms;
+                slo_goal;
+                drain_linger_ms;
               }
           with
           | Ok _ as ok -> ok
@@ -101,6 +131,9 @@ let describe c =
         int "cache_capacity" c.cache_capacity;
         int "max_pending" c.max_pending;
         int "disk_cache_mb" c.disk_cache_mb;
+        int "slo_p95_ms" c.slo_p95_ms;
+        Option.map (fun g -> Printf.sprintf "slo_goal=%g" g) c.slo_goal;
+        int "drain_linger_ms" c.drain_linger_ms;
         Option.map
           (fun l -> "log_level=" ^ Log.level_to_string l)
           c.log_level;

@@ -21,6 +21,11 @@ type t = {
   max_pending : int option;  (** admission-control queue bound *)
   disk_cache_mb : int option;  (** persistent tier size bound *)
   log_level : Orm_trace.Log.level option;
+  slo_p95_ms : int option;  (** latency objective the SLO section reports against *)
+  slo_goal : float option;  (** good-request fraction objective, in (0, 1] *)
+  drain_linger_ms : int option;
+      (** how long a draining front end keeps answering 503 on /readyz
+          before it stops accepting (0 = close listeners immediately) *)
 }
 
 val empty : t

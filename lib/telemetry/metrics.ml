@@ -38,6 +38,19 @@ let bucket_of_ns ns =
    quantiles back out: 1.5 * 2^i. *)
 let bucket_mid_ns i = if i = 0 then 1 else (1 lsl i) + (1 lsl (i - 1))
 
+(* Exclusive upper bound of bucket [i]; the last bucket is open-ended
+   (bucket_of_ns clamps into it), reported as [None] (+Inf). *)
+let bucket_upper_ns i = if i >= hist_buckets - 1 then None else Some (1 lsl (i + 1))
+
+(* Rolling-window ring: one slot per monotonic minute, [rolling_slots]
+   minutes deep, so recent rates and quantiles (1m/5m/15m) can be read
+   without resetting the lifetime counters.  CLOCK_MONOTONIC is
+   system-wide on Linux, so minute indices from prefork workers on one
+   host fold correctly. *)
+let rolling_slots = 60
+let minute_ns = 60_000_000_000L
+let minute_of_ns ns = Int64.to_int (Int64.div ns minute_ns)
+
 (* Slot 0 collects out-of-range pattern numbers: telemetry must never turn a
    successful check into an exception. *)
 type t = {
@@ -67,6 +80,19 @@ type t = {
   request_max_ns : int Atomic.t;
   timeouts : int Atomic.t;
   overloads : int Atomic.t;
+  internal_errors : int Atomic.t;
+  (* the rolling ring: slot [m mod rolling_slots] holds minute [m]'s server
+     counters; a slot is re-stamped (and zeroed) the first time a newer
+     minute lands on it.  The stamp/zero race between domains can at worst
+     lose a handful of events from a minute boundary — acceptable for
+     telemetry, which must never slow or break a request. *)
+  ring_minute : int Atomic.t array;  (* rolling_slots wide; -1 = never used *)
+  ring_requests : int Atomic.t array;
+  ring_time_ns : int Atomic.t array;
+  ring_timeouts : int Atomic.t array;
+  ring_overloads : int Atomic.t array;
+  ring_internal_errors : int Atomic.t array;
+  ring_hist : int Atomic.t array array;  (* per slot, hist_buckets wide *)
   (* the planner: complete-backend latency histograms (the online feedback
      refining the static cost model) and decision counters *)
   backend_runs : int Atomic.t array;  (* length max_backend + 1 *)
@@ -83,6 +109,8 @@ type t = {
 
 let atomic_array () = Array.init (max_pattern + 1) (fun _ -> Atomic.make 0)
 let backend_array () = Array.init (max_backend + 1) (fun _ -> Atomic.make 0)
+let ring_array ?(init = 0) () =
+  Array.init rolling_slots (fun _ -> Atomic.make init)
 
 let create () =
   {
@@ -112,6 +140,16 @@ let create () =
     request_max_ns = Atomic.make 0;
     timeouts = Atomic.make 0;
     overloads = Atomic.make 0;
+    internal_errors = Atomic.make 0;
+    ring_minute = ring_array ~init:(-1) ();
+    ring_requests = ring_array ();
+    ring_time_ns = ring_array ();
+    ring_timeouts = ring_array ();
+    ring_overloads = ring_array ();
+    ring_internal_errors = ring_array ();
+    ring_hist =
+      Array.init rolling_slots (fun _ ->
+          Array.init hist_buckets (fun _ -> Atomic.make 0));
     backend_runs = backend_array ();
     backend_definitive = backend_array ();
     backend_time_ns = backend_array ();
@@ -139,6 +177,13 @@ let reset t =
   Array.iter zero t.backend_time_ns;
   Array.iter (Array.iter zero) t.backend_hist;
   Array.iter zero t.backend_max_ns;
+  Array.iter (fun a -> Atomic.set a (-1)) t.ring_minute;
+  Array.iter zero t.ring_requests;
+  Array.iter zero t.ring_time_ns;
+  Array.iter zero t.ring_timeouts;
+  Array.iter zero t.ring_overloads;
+  Array.iter zero t.ring_internal_errors;
+  Array.iter (Array.iter zero) t.ring_hist;
   List.iter zero
     [
       t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
@@ -146,6 +191,7 @@ let reset t =
       t.disk_misses; t.batches;
       t.batch_schemas; t.batch_domains; t.batch_time_ns; t.requests;
       t.request_time_ns; t.request_max_ns; t.timeouts; t.overloads;
+      t.internal_errors;
       t.plan_patterns_only; t.plan_backend_dlr; t.plan_backend_sat;
       t.plan_races; t.plan_cancelled;
     ]
@@ -184,14 +230,46 @@ let record_batch t ~schemas ~domains ~time_ns =
   Atomic.set t.batch_domains domains;
   bump t.batch_time_ns time_ns
 
-let record_request t ~time_ns =
+(* Claim the ring slot for [minute]: if the slot still holds an older
+   minute, the winning CAS zeroes it before anyone accumulates into the
+   new minute.  Returns the slot index. *)
+let ring_slot t minute =
+  let slot = ((minute mod rolling_slots) + rolling_slots) mod rolling_slots in
+  let cur = Atomic.get t.ring_minute.(slot) in
+  if cur <> minute && Atomic.compare_and_set t.ring_minute.(slot) cur minute
+  then begin
+    Atomic.set t.ring_requests.(slot) 0;
+    Atomic.set t.ring_time_ns.(slot) 0;
+    Atomic.set t.ring_timeouts.(slot) 0;
+    Atomic.set t.ring_overloads.(slot) 0;
+    Atomic.set t.ring_internal_errors.(slot) 0;
+    Array.iter (fun a -> Atomic.set a 0) t.ring_hist.(slot)
+  end;
+  slot
+
+let ring_now = function Some ns -> ns | None -> now_ns ()
+
+let record_request ?now_ns:stamp t ~time_ns =
   bump t.requests 1;
   bump t.request_time_ns time_ns;
   bump t.request_hist.(bucket_of_ns time_ns) 1;
-  bump_max t.request_max_ns time_ns
+  bump_max t.request_max_ns time_ns;
+  let slot = ring_slot t (minute_of_ns (ring_now stamp)) in
+  bump t.ring_requests.(slot) 1;
+  bump t.ring_time_ns.(slot) time_ns;
+  bump t.ring_hist.(slot).(bucket_of_ns time_ns) 1
 
-let record_timeout t = bump t.timeouts 1
-let record_overload t = bump t.overloads 1
+let record_timeout ?now_ns:stamp t =
+  bump t.timeouts 1;
+  bump t.ring_timeouts.(ring_slot t (minute_of_ns (ring_now stamp))) 1
+
+let record_overload ?now_ns:stamp t =
+  bump t.overloads 1;
+  bump t.ring_overloads.(ring_slot t (minute_of_ns (ring_now stamp))) 1
+
+let record_internal_error ?now_ns:stamp t =
+  bump t.internal_errors 1;
+  bump t.ring_internal_errors.(ring_slot t (minute_of_ns (ring_now stamp))) 1
 
 let record_backend t ~backend ~time_ns ~definitive =
   let b = if backend >= 1 && backend <= max_backend then backend else 0 in
@@ -252,6 +330,16 @@ let quantile_ns stat q = hist_quantile_ns ~hist:stat.hist ~max_ns:stat.max_ns q
 let p50_ns stat = quantile_ns stat 0.50
 let p95_ns stat = quantile_ns stat 0.95
 
+type minute_stat = {
+  minute : int;  (* monotonic minute index, [minute_of_ns (now_ns ())] *)
+  m_requests : int;
+  m_time_ns : int;
+  m_timeouts : int;
+  m_overloads : int;
+  m_internal_errors : int;
+  m_hist : int array;  (* hist_buckets wide *)
+}
+
 type snapshot = {
   patterns : pattern_stat list;
   backends : pattern_stat list;
@@ -281,10 +369,65 @@ type snapshot = {
   request_max_ns : int;
   timeouts : int;
   overloads : int;
+  internal_errors : int;
+  rolling : minute_stat list;  (* ascending by minute; only non-empty slots *)
 }
 
 let request_p50_ns s = hist_quantile_ns ~hist:s.request_hist ~max_ns:s.request_max_ns 0.50
 let request_p95_ns s = hist_quantile_ns ~hist:s.request_hist ~max_ns:s.request_max_ns 0.95
+
+(* ---- rolling windows ------------------------------------------------- *)
+
+type window_stat = {
+  w_minutes : int;
+  w_requests : int;
+  w_time_ns : int;
+  w_timeouts : int;
+  w_overloads : int;
+  w_internal_errors : int;
+  w_rate : float;  (* requests per second over the window *)
+  w_p50_ns : int;
+  w_p95_ns : int;
+}
+
+let window s ~now_ns:stamp ~minutes =
+  let now_minute = minute_of_ns stamp in
+  let lo = now_minute - minutes + 1 in
+  let hist = empty_hist () in
+  let acc =
+    List.fold_left
+      (fun acc m ->
+        if m.minute >= lo && m.minute <= now_minute then begin
+          Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) m.m_hist;
+          {
+            acc with
+            w_requests = acc.w_requests + m.m_requests;
+            w_time_ns = acc.w_time_ns + m.m_time_ns;
+            w_timeouts = acc.w_timeouts + m.m_timeouts;
+            w_overloads = acc.w_overloads + m.m_overloads;
+            w_internal_errors = acc.w_internal_errors + m.m_internal_errors;
+          }
+        end
+        else acc)
+      {
+        w_minutes = minutes;
+        w_requests = 0;
+        w_time_ns = 0;
+        w_timeouts = 0;
+        w_overloads = 0;
+        w_internal_errors = 0;
+        w_rate = 0.0;
+        w_p50_ns = 0;
+        w_p95_ns = 0;
+      }
+      s.rolling
+  in
+  {
+    acc with
+    w_rate = float_of_int acc.w_requests /. (float_of_int minutes *. 60.0);
+    w_p50_ns = hist_quantile_ns ~hist ~max_ns:0 0.50;
+    w_p95_ns = hist_quantile_ns ~hist ~max_ns:0 0.95;
+  }
 
 let snapshot t =
   let patterns = ref [] in
@@ -317,9 +460,33 @@ let snapshot t =
         }
         :: !backends
   done;
+  let rolling = ref [] in
+  for slot = 0 to rolling_slots - 1 do
+    let minute = Atomic.get t.ring_minute.(slot) in
+    if minute >= 0 then begin
+      let m =
+        {
+          minute;
+          m_requests = Atomic.get t.ring_requests.(slot);
+          m_time_ns = Atomic.get t.ring_time_ns.(slot);
+          m_timeouts = Atomic.get t.ring_timeouts.(slot);
+          m_overloads = Atomic.get t.ring_overloads.(slot);
+          m_internal_errors = Atomic.get t.ring_internal_errors.(slot);
+          m_hist = Array.map Atomic.get t.ring_hist.(slot);
+        }
+      in
+      if
+        m.m_requests + m.m_timeouts + m.m_overloads + m.m_internal_errors > 0
+      then rolling := m :: !rolling
+    end
+  done;
+  let rolling =
+    List.sort (fun a b -> compare a.minute b.minute) !rolling
+  in
   {
     patterns = !patterns;
     backends = !backends;
+    rolling;
     plan_patterns_only = Atomic.get t.plan_patterns_only;
     plan_backend_dlr = Atomic.get t.plan_backend_dlr;
     plan_backend_sat = Atomic.get t.plan_backend_sat;
@@ -344,12 +511,14 @@ let snapshot t =
     request_max_ns = Atomic.get t.request_max_ns;
     timeouts = Atomic.get t.timeouts;
     overloads = Atomic.get t.overloads;
+    internal_errors = Atomic.get t.internal_errors;
   }
 
 let zero =
   {
     patterns = [];
     backends = [];
+    rolling = [];
     plan_patterns_only = 0;
     plan_backend_dlr = 0;
     plan_backend_sat = 0;
@@ -374,7 +543,30 @@ let zero =
     request_max_ns = 0;
     timeouts = 0;
     overloads = 0;
+    internal_errors = 0;
   }
+
+let merge_rolling ra rb =
+  let tbl = Hashtbl.create 16 in
+  let feed m =
+    match Hashtbl.find_opt tbl m.minute with
+    | None -> Hashtbl.replace tbl m.minute m
+    | Some prev ->
+        Hashtbl.replace tbl m.minute
+          {
+            minute = m.minute;
+            m_requests = prev.m_requests + m.m_requests;
+            m_time_ns = prev.m_time_ns + m.m_time_ns;
+            m_timeouts = prev.m_timeouts + m.m_timeouts;
+            m_overloads = prev.m_overloads + m.m_overloads;
+            m_internal_errors = prev.m_internal_errors + m.m_internal_errors;
+            m_hist = Array.mapi (fun i c -> c + m.m_hist.(i)) prev.m_hist;
+          }
+  in
+  List.iter feed ra;
+  List.iter feed rb;
+  Hashtbl.fold (fun _ m acc -> m :: acc) tbl []
+  |> List.sort (fun a b -> compare a.minute b.minute)
 
 let add a b =
   let merge_patterns pa pb =
@@ -411,6 +603,7 @@ let add a b =
   {
     patterns = merge_patterns a.patterns b.patterns;
     backends = merge_patterns a.backends b.backends;
+    rolling = merge_rolling a.rolling b.rolling;
     plan_patterns_only = a.plan_patterns_only + b.plan_patterns_only;
     plan_backend_dlr = a.plan_backend_dlr + b.plan_backend_dlr;
     plan_backend_sat = a.plan_backend_sat + b.plan_backend_sat;
@@ -435,6 +628,7 @@ let add a b =
     request_max_ns = max a.request_max_ns b.request_max_ns;
     timeouts = a.timeouts + b.timeouts;
     overloads = a.overloads + b.overloads;
+    internal_errors = a.internal_errors + b.internal_errors;
   }
 
 let equal (a : snapshot) (b : snapshot) = a = b
@@ -507,14 +701,16 @@ let pp ppf s =
        cancelled)@,"
       s.plan_patterns_only s.plan_backend_dlr s.plan_backend_sat s.plan_races
       s.plan_cancelled;
-  if s.requests + s.timeouts + s.overloads > 0 then begin
+  if s.requests + s.timeouts + s.overloads + s.internal_errors > 0 then begin
     Format.fprintf ppf "server: %d request(s) (" s.requests;
     pp_ns ppf s.request_time_ns;
-    Format.fprintf ppf " total, p50 %s, p95 %s, max %s), %d timeout(s), %d overload(s)@,"
+    Format.fprintf ppf
+      " total, p50 %s, p95 %s, max %s), %d timeout(s), %d overload(s), %d \
+       internal error(s)@,"
       (Format.asprintf "%a" pp_ns (request_p50_ns s))
       (Format.asprintf "%a" pp_ns (request_p95_ns s))
       (Format.asprintf "%a" pp_ns s.request_max_ns)
-      s.timeouts s.overloads
+      s.timeouts s.overloads s.internal_errors
   end;
   Format.fprintf ppf "@]"
 
@@ -553,6 +749,7 @@ let to_value s =
       ("request_max_ns", J.Int s.request_max_ns);
       ("timeouts", J.Int s.timeouts);
       ("overloads", J.Int s.overloads);
+      ("internal_errors", J.Int s.internal_errors);
       ("plan_patterns_only", J.Int s.plan_patterns_only);
       ("plan_backend_dlr", J.Int s.plan_backend_dlr);
       ("plan_backend_sat", J.Int s.plan_backend_sat);
@@ -587,6 +784,21 @@ let to_value s =
                    ("hist", trimmed_hist b.hist);
                  ])
              s.backends) );
+      ( "rolling",
+        J.List
+          (List.map
+             (fun m ->
+               J.Obj
+                 [
+                   ("minute", J.Int m.minute);
+                   ("requests", J.Int m.m_requests);
+                   ("time_ns", J.Int m.m_time_ns);
+                   ("timeouts", J.Int m.m_timeouts);
+                   ("overloads", J.Int m.m_overloads);
+                   ("internal_errors", J.Int m.m_internal_errors);
+                   ("hist", trimmed_hist m.m_hist);
+                 ])
+             s.rolling) );
     ]
 
 let to_json s = J.to_string (to_value s)
@@ -679,10 +891,40 @@ let of_value v =
                 items
           | Some _ -> raise (Bad "backends: expected array")
         in
+        (* the rolling ring arrived with the operations layer; snapshots
+           written before it parse with no recent-window data *)
+        let rolling =
+          match List.assoc_opt "rolling" fields with
+          | None -> []
+          | Some (J.List items) ->
+              List.map
+                (function
+                  | J.Obj mf ->
+                      let mint k =
+                        match List.assoc_opt k mf with
+                        | Some (J.Int n) -> n
+                        | Some _ ->
+                            raise (Bad ("rolling." ^ k ^ ": expected integer"))
+                        | None -> 0
+                      in
+                      {
+                        minute = mint "minute";
+                        m_requests = mint "requests";
+                        m_time_ns = mint "time_ns";
+                        m_timeouts = mint "timeouts";
+                        m_overloads = mint "overloads";
+                        m_internal_errors = mint "internal_errors";
+                        m_hist = hist_of "rolling.hist" (List.assoc_opt "hist" mf);
+                      }
+                  | _ -> raise (Bad "rolling: expected objects"))
+                items
+          | Some _ -> raise (Bad "rolling: expected array")
+        in
         Ok
           {
             patterns;
             backends;
+            rolling;
             plan_patterns_only = int "plan_patterns_only" 0;
             plan_backend_dlr = int "plan_backend_dlr" 0;
             plan_backend_sat = int "plan_backend_sat" 0;
@@ -711,6 +953,7 @@ let of_value v =
             request_max_ns = int "request_max_ns" 0;
             timeouts = int "timeouts" 0;
             overloads = int "overloads" 0;
+            internal_errors = int "internal_errors" 0;
           }
     | _ -> Error "expected a JSON object"
   with Bad msg -> Error msg

@@ -61,16 +61,22 @@ val record_batch : t -> schemas:int -> domains:int -> time_ns:int -> unit
 (** One parallel batch: [schemas] checked on [domains] domains in
     [time_ns] wall nanoseconds. *)
 
-val record_request : t -> time_ns:int -> unit
+val record_request : ?now_ns:int64 -> t -> time_ns:int -> unit
 (** One request answered by the checking service ([ormcheck serve]),
     whatever its status; the wall time also lands in the request latency
-    histogram. *)
+    histogram and in the current minute's rolling-window slot.  [?now_ns]
+    overrides the ring's notion of "now" (monotonic nanoseconds) — tests
+    use it to span minutes without sleeping. *)
 
-val record_timeout : t -> unit
+val record_timeout : ?now_ns:int64 -> t -> unit
 (** One request abandoned because its deadline expired. *)
 
-val record_overload : t -> unit
+val record_overload : ?now_ns:int64 -> t -> unit
 (** One request rejected by admission control (pending queue full). *)
+
+val record_internal_error : ?now_ns:int64 -> t -> unit
+(** One request that raised inside the server (answered with a generic
+    internal-error envelope, details only in the server log). *)
 
 val max_backend : int
 (** Highest complete-backend slot tracked (2: 1 = DLR tableau, 2 = bounded
@@ -100,6 +106,19 @@ val hist_buckets : int
 (** Width of the per-pattern latency histograms: bucket [i] counts runs
     whose wall time fell in [2^i, 2^(i+1)) nanoseconds. *)
 
+val bucket_upper_ns : int -> int option
+(** Exclusive upper bound of histogram bucket [i] in nanoseconds; [None]
+    for the open-ended last bucket (rendered as +Inf by the Prometheus
+    exposition). *)
+
+val rolling_slots : int
+(** Depth of the per-minute rolling ring (60: a quarter hour of 1-minute
+    slots with room to spare for the 15m window). *)
+
+val minute_of_ns : int64 -> int
+(** Monotonic minute index of a {!now_ns} reading — the key the rolling
+    ring slots are stamped with. *)
+
 type pattern_stat = {
   pattern : int;
   runs : int;  (** times the pattern was executed *)
@@ -119,6 +138,16 @@ val quantile_ns : pattern_stat -> float -> int
 
 val p50_ns : pattern_stat -> int
 val p95_ns : pattern_stat -> int
+
+type minute_stat = {
+  minute : int;  (** monotonic minute index ({!minute_of_ns}) *)
+  m_requests : int;
+  m_time_ns : int;
+  m_timeouts : int;
+  m_overloads : int;
+  m_internal_errors : int;
+  m_hist : int array;  (** request latency histogram, [hist_buckets] wide *)
+}
 
 type snapshot = {
   patterns : pattern_stat list;  (** only patterns with [runs > 0], ascending *)
@@ -155,12 +184,34 @@ type snapshot = {
   request_max_ns : int;
   timeouts : int;  (** requests whose deadline expired *)
   overloads : int;  (** requests rejected by admission control *)
+  internal_errors : int;  (** requests that raised inside the server *)
+  rolling : minute_stat list;
+      (** per-minute server counters, ascending by minute, only minutes
+          with activity; at most {!rolling_slots} entries; empty on
+          snapshots written before the operations layer *)
 }
 
 val request_p50_ns : snapshot -> int
 val request_p95_ns : snapshot -> int
 (** Request latency quantiles read off [request_hist], with the same
     bucket-width resolution as {!quantile_ns}. *)
+
+type window_stat = {
+  w_minutes : int;  (** window width the stat was computed over *)
+  w_requests : int;
+  w_time_ns : int;
+  w_timeouts : int;
+  w_overloads : int;
+  w_internal_errors : int;
+  w_rate : float;  (** requests per second over the window *)
+  w_p50_ns : int;
+  w_p95_ns : int;
+}
+
+val window : snapshot -> now_ns:int64 -> minutes:int -> window_stat
+(** Folds the rolling slots covering the last [minutes] minutes (current
+    minute included) into one window view.  [now_ns] is a {!now_ns}
+    reading; quantiles come off the summed per-minute histograms. *)
 
 val snapshot : t -> snapshot
 

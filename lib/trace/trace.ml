@@ -104,6 +104,28 @@ let buf_events t b =
 
 let events t = List.concat_map (buf_events t) (live_bufs t)
 
+(* ---- incremental reads (tail sampling) --------------------------------- *)
+
+(* A mark freezes each registered buffer's total-written counter [n]; the
+   events recorded since are the slots with index >= that counter, clipped
+   to what survived ring wrap-around.  Buffers registered after the mark
+   contribute everything they hold. *)
+type mark = (buf * int) list
+
+let mark t = List.map (fun b -> (b, b.n)) (live_bufs t)
+
+let events_since t m =
+  List.concat_map
+    (fun b ->
+      let since =
+        match List.assq_opt b m with Some n -> n | None -> 0
+      in
+      let first = max since (b.n - t.capacity) in
+      List.init
+        (max 0 (b.n - first))
+        (fun i -> b.ring.((first + i) mod t.capacity)))
+    (live_bufs t)
+
 let dropped t =
   List.fold_left (fun acc b -> acc + max 0 (b.n - t.capacity)) 0 (live_bufs t)
 

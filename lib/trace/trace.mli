@@ -72,6 +72,21 @@ val events : t -> event list
 (** All recorded events, grouped by domain, chronological within each
     domain. *)
 
+type mark
+(** A cut point in the event stream: each registered buffer's count of
+    events written so far. *)
+
+val mark : t -> mark
+(** Freeze the current position.  Cheap (no copying). *)
+
+val events_since : t -> mark -> event list
+(** Events recorded after [mark] was taken, grouped by domain,
+    chronological within each domain.  Events that wrapped off a ring in
+    the meantime are silently missing (same policy as {!events}); buffers
+    first registered after the mark contribute all their events.  The
+    tail-sampled audit log uses this to attach just the slow request's
+    spans instead of the whole ring. *)
+
 val dropped : t -> int
 (** Events lost to ring wrap-around, summed over domains. *)
 

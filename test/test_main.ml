@@ -2,6 +2,7 @@ let () = Alcotest.run "orm-unsat" [
       (* first: the live network tests fork server processes, which OCaml 5
          forbids once any other suite has spawned domains *)
       ("net", Test_net.suite);
+      ("obs", Test_obs.suite);
       ("value", Test_value.suite);
       ("ring", Test_ring.suite);
       ("subtype-graph", Test_subtype_graph.suite);

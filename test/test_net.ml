@@ -201,7 +201,8 @@ let test_serialize_roundtrip () =
 
 (* Bind-listen-fork: the child serves, the parent talks to the port.
    Returns the child's exit status after [f] ran and SIGTERM was sent. *)
-let with_live_server ?max_body ?(framing = Listen.Http_framing) f =
+let with_live_server_full ?max_body ?(framing = Listen.Http_framing)
+    ?make_server f =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
@@ -215,14 +216,18 @@ let with_live_server ?max_body ?(framing = Listen.Http_framing) f =
   match Unix.fork () with
   | 0 ->
       (* the child must not re-enter alcotest on exit *)
-      let server = Server.create Server.default_config in
+      let server =
+        match make_server with
+        | Some mk -> mk ()
+        | None -> Server.create Server.default_config
+      in
       (try Frontend.serve_fd ?max_body ~server ~framing fd
        with _ -> Unix._exit 1);
       Unix._exit 0
   | pid ->
       Unix.close fd;
       let result =
-        try Ok (f port)
+        try Ok (f ~port ~pid)
         with exn ->
           (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
           ignore (Unix.waitpid [] pid);
@@ -234,6 +239,10 @@ let with_live_server ?max_body ?(framing = Listen.Http_framing) f =
           (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
           let _, status = Unix.waitpid [] pid in
           status)
+
+let with_live_server ?max_body ?framing ?make_server f =
+  with_live_server_full ?max_body ?framing ?make_server
+    (fun ~port ~pid:_ -> f port)
 
 let connect port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -255,6 +264,97 @@ let one_shot port ~path body =
   let r = Http.read_response fd in
   Unix.close fd;
   match r with Ok res -> res | Error m -> Alcotest.fail m
+
+let http_get port ~path =
+  let fd = connect port in
+  write_all fd
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+       path);
+  let r = Http.read_response fd in
+  Unix.close fd;
+  match r with Ok res -> res | Error m -> Alcotest.fail m
+
+(* The operational endpoints over a live socket: /healthz and /readyz
+   probe, /metrics scrapes an exposition that passes the linter and
+   counts exactly the protocol requests (scrapes and probes excluded). *)
+let test_live_ops_endpoints () =
+  let make_server () =
+    Server.create ~metrics:(Orm_telemetry.Metrics.create ())
+      Server.default_config
+  in
+  let status =
+    with_live_server ~make_server (fun port ->
+        let code, body = http_get port ~path:"/healthz" in
+        Alcotest.(check int) "healthz" 200 code;
+        Alcotest.(check bool) "healthz body" true (contains body "ok");
+        let code, body = http_get port ~path:"/readyz" in
+        Alcotest.(check int) "readyz" 200 code;
+        Alcotest.(check bool) "readyz body" true (contains body "ready");
+        (* exactly two protocol requests... *)
+        let code, _ = one_shot port ~path:"/v1/ping" "" in
+        Alcotest.(check int) "ping" 200 code;
+        let code, _ =
+          one_shot port ~path:"/v1/check"
+            (P.json_to_string
+               (P.Obj [ ("schema", P.String (schema_text ())) ]))
+        in
+        Alcotest.(check int) "check" 200 code;
+        (* ...and a probe burst that must not count *)
+        let _ = http_get port ~path:"/healthz" in
+        let code, body = http_get port ~path:"/metrics" in
+        Alcotest.(check int) "metrics" 200 code;
+        Alcotest.(check bool) "scrapes are not requests" true
+          (contains body "ormcheck_requests_total 2\n");
+        Alcotest.(check bool) "slo gauges exposed" true
+          (contains body "ormcheck_slo_error_budget_remaining");
+        (match Orm_obs.Prometheus.lint body with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail ("live scrape failed lint: " ^ m));
+        (* wrong verb on an ops path *)
+        let fd = connect port in
+        write_all fd "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        (match Http.read_response fd with
+        | Ok (405, _) -> ()
+        | Ok (code, _) -> Alcotest.failf "expected 405, got %d" code
+        | Error m -> Alcotest.fail m);
+        Unix.close fd)
+  in
+  Alcotest.(check bool) "SIGTERM exits 0" true (status = Unix.WEXITED 0)
+
+(* A draining worker with [drain_linger_ms] keeps its listener open and
+   turns /readyz into 503 until the linger expires. *)
+let test_live_readyz_drain () =
+  let make_server () =
+    Server.create { Server.default_config with Server.drain_linger_ms = 1500 }
+  in
+  let status =
+    with_live_server_full ~make_server (fun ~port ~pid ->
+        let code, _ = http_get port ~path:"/readyz" in
+        Alcotest.(check int) "ready before the drain" 200 code;
+        Unix.kill pid Sys.sigterm;
+        (* the signal lands asynchronously: poll within the linger *)
+        let rec poll tries =
+          if tries = 0 then Alcotest.fail "/readyz never answered 503"
+          else
+            match http_get port ~path:"/readyz" with
+            | 503, body ->
+                Alcotest.(check bool) "names the reason" true
+                  (contains body "draining")
+            | _ ->
+                Unix.sleepf 0.05;
+                poll (tries - 1)
+            | exception _ ->
+                Unix.sleepf 0.05;
+                poll (tries - 1)
+        in
+        poll 20;
+        (* liveness stays green while draining *)
+        match http_get port ~path:"/healthz" with
+        | 200, _ -> ()
+        | code, _ -> Alcotest.failf "healthz during drain: %d" code
+        | exception _ -> ())
+  in
+  Alcotest.(check bool) "drained exit 0" true (status = Unix.WEXITED 0)
 
 let test_live_http_roundtrip () =
   let status =
@@ -458,4 +558,7 @@ let suite =
     Alcotest.test_case "live: mid-request disconnect" `Quick
       test_live_mid_request_disconnect;
     Alcotest.test_case "live: ndjson over tcp" `Quick test_live_ndjson_tcp;
+    Alcotest.test_case "live: ops endpoints" `Quick test_live_ops_endpoints;
+    Alcotest.test_case "live: readyz during drain" `Quick
+      test_live_readyz_drain;
   ]

@@ -1,0 +1,508 @@
+(* The operations layer: Prometheus text exposition (escaping, histogram
+   shape, cluster folding, the linter against itself and against crafted
+   violations), the per-minute rolling window and its SLO evaluation
+   (driven with explicit [?now_ns] stamps, so minute arithmetic and slot
+   reuse are deterministic), the audit log (write, rotation, summarize,
+   tail-sampled traces through a real server), trace marks, and the
+   server's internal-error containment. *)
+
+module Metrics = Orm_telemetry.Metrics
+module Trace = Orm_trace.Trace
+module Prometheus = Orm_obs.Prometheus
+module Slo = Orm_obs.Slo
+module Audit = Orm_obs.Audit
+module Server = Orm_server.Server
+module P = Orm_server.Protocol
+module Gen = Orm_generator.Gen
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let schema_text ?(seed = 11) ?(size = 5) () =
+  Orm_dsl.Printer.to_string (Gen.clean ~config:(Gen.sized size) ~seed ())
+
+let minute_ns m = Int64.mul (Int64.of_int m) 60_000_000_000L
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "orm-obs-%d-%s" (Unix.getpid ()) name)
+
+(* ---- exposition -------------------------------------------------------- *)
+
+let test_escaping () =
+  (* golden: backslash doubles, quote and newline are escaped *)
+  Alcotest.(check string)
+    "label escape" "a\\\\b\\\"c\\nd"
+    (Prometheus.escape_label "a\\b\"c\nd");
+  Alcotest.(check string)
+    "help escape keeps quotes" "x\\\\y\"z\\nw"
+    (Prometheus.escape_help "x\\y\"z\nw");
+  Alcotest.(check string)
+    "sample with labels" "m{k=\"v\"} 1"
+    (Prometheus.sample ~name:"m" ~labels:[ ("k", "v") ] "1");
+  Alcotest.(check string) "sample without labels" "m 1"
+    (Prometheus.sample ~name:"m" "1");
+  (* a hostile label value survives the linter once escaped *)
+  let body =
+    "# TYPE m counter\n"
+    ^ Prometheus.sample ~name:"m"
+        ~labels:[ ("k", Prometheus.escape_label "a\\b\"c\nd") ]
+        "1"
+    ^ "\n"
+  in
+  match Prometheus.lint body with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("escaped label failed lint: " ^ m)
+
+let bucket_lines body =
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         let prefix = "ormcheck_request_seconds_bucket{le=\"" in
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               Some
+                 (float_of_string
+                    (String.sub line (i + 1) (String.length line - i - 1)))
+           | None -> None
+         else None)
+
+let test_histogram_shape () =
+  let m = Metrics.create () in
+  List.iter
+    (fun ns -> Metrics.record_request m ~time_ns:ns)
+    [ 100; 5_000; 5_000; 120_000; 3_000_000; 250_000_000 ];
+  let body = Prometheus.render (Metrics.snapshot m) in
+  (match Prometheus.lint body with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("render failed its own lint: " ^ msg));
+  let buckets = bucket_lines body in
+  Alcotest.(check bool) "has buckets" true (List.length buckets > 1);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "cumulative nondecreasing" true (a <= b);
+        nondecreasing rest
+    | _ -> ()
+  in
+  nondecreasing buckets;
+  (* the +Inf bucket is the total count *)
+  Alcotest.(check bool)
+    "+Inf == count" true
+    (List.nth buckets (List.length buckets - 1) = 6.0);
+  Alcotest.(check bool) "count series agrees" true
+    (contains body "ormcheck_request_seconds_count 6")
+
+let test_cluster_fold_is_sum () =
+  (* the prefork scrape folds per-worker snapshots with [Metrics.add]; the
+     folded exposition must equal the sum of the parts *)
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.record_request a ~time_ns:1_000;
+  Metrics.record_request a ~time_ns:2_000;
+  Metrics.record_request b ~time_ns:3_000;
+  Metrics.record_timeout b;
+  Metrics.record_internal_error a;
+  let folded = Metrics.add (Metrics.snapshot a) (Metrics.snapshot b) in
+  let body = Prometheus.render ~workers:2 folded in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains body (needle ^ "\n")))
+    [
+      "ormcheck_requests_total 3";
+      "ormcheck_timeouts_total 1";
+      "ormcheck_internal_errors_total 1";
+      "ormcheck_workers 2";
+      "ormcheck_request_seconds_count 3";
+    ];
+  match Prometheus.lint body with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("folded render failed lint: " ^ msg)
+
+let test_lint_catches_violations () =
+  let expect_error name body =
+    match Prometheus.lint body with
+    | Ok () -> Alcotest.failf "%s: lint accepted a malformed exposition" name
+    | Error _ -> ()
+  in
+  expect_error "sample before TYPE" "m 1\n# TYPE m counter\n";
+  expect_error "duplicate series" "# TYPE m counter\nm 1\nm 2\n";
+  expect_error "unparsable value" "# TYPE m counter\nm abc\n";
+  expect_error "bad name" "# TYPE 9m counter\n9m 1\n";
+  expect_error "unterminated label"
+    "# TYPE m counter\nm{k=\"v 1\n";
+  expect_error "decreasing buckets"
+    ("# TYPE h histogram\n" ^ "h_bucket{le=\"0.1\"} 5\n"
+   ^ "h_bucket{le=\"1\"} 3\n" ^ "h_bucket{le=\"+Inf\"} 5\n" ^ "h_sum 1\n"
+   ^ "h_count 5\n");
+  expect_error "+Inf disagrees with count"
+    ("# TYPE h histogram\n" ^ "h_bucket{le=\"1\"} 3\n"
+   ^ "h_bucket{le=\"+Inf\"} 4\n" ^ "h_sum 1\n" ^ "h_count 5\n")
+
+(* ---- rolling windows --------------------------------------------------- *)
+
+let test_rolling_window_math () =
+  let m = Metrics.create () in
+  (* minute 100: two requests, one of which timed out; minute 101: one *)
+  Metrics.record_request ~now_ns:(minute_ns 100) m ~time_ns:1_000_000;
+  Metrics.record_request ~now_ns:(minute_ns 100) m ~time_ns:9_000_000;
+  Metrics.record_timeout ~now_ns:(minute_ns 100) m;
+  Metrics.record_request ~now_ns:(minute_ns 101) m ~time_ns:2_000_000;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "two live minutes" 2 (List.length s.Metrics.rolling);
+  let w1 = Metrics.window s ~now_ns:(minute_ns 101) ~minutes:1 in
+  Alcotest.(check int) "1m sees only the current minute" 1
+    w1.Metrics.w_requests;
+  Alcotest.(check int) "1m timeouts" 0 w1.Metrics.w_timeouts;
+  let w5 = Metrics.window s ~now_ns:(minute_ns 101) ~minutes:5 in
+  Alcotest.(check int) "5m folds both minutes" 3 w5.Metrics.w_requests;
+  Alcotest.(check int) "5m timeouts" 1 w5.Metrics.w_timeouts;
+  Alcotest.(check (float 1e-9)) "5m rate" (3.0 /. 300.0) w5.Metrics.w_rate;
+  Alcotest.(check bool) "5m p95 is positive" true (w5.Metrics.w_p95_ns > 0);
+  (* a window an hour later sees nothing *)
+  let later = Metrics.window s ~now_ns:(minute_ns 200) ~minutes:15 in
+  Alcotest.(check int) "stale window is empty" 0 later.Metrics.w_requests
+
+let test_rolling_slot_reuse () =
+  (* minutes 100 and 160 land on the same ring slot: the re-stamp must
+     zero the old minute's counters instead of accumulating into them *)
+  let m = Metrics.create () in
+  Metrics.record_request ~now_ns:(minute_ns 100) m ~time_ns:1_000_000;
+  Metrics.record_request ~now_ns:(minute_ns 100) m ~time_ns:1_000_000;
+  Metrics.record_request ~now_ns:(minute_ns 160) m ~time_ns:5_000_000;
+  let s = Metrics.snapshot m in
+  let w = Metrics.window s ~now_ns:(minute_ns 160) ~minutes:1 in
+  Alcotest.(check int) "slot was zeroed on reuse" 1 w.Metrics.w_requests;
+  (* lifetime counters keep everything *)
+  Alcotest.(check int) "lifetime total unaffected" 3 s.Metrics.requests
+
+let test_rolling_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.record_request ~now_ns:(minute_ns 7) m ~time_ns:4_000_000;
+  Metrics.record_internal_error ~now_ns:(minute_ns 7) m;
+  let s = Metrics.snapshot m in
+  match Metrics.of_json (Metrics.to_json s) with
+  | Error msg -> Alcotest.fail msg
+  | Ok s' ->
+      Alcotest.(check int) "internal errors survive" 1
+        s'.Metrics.internal_errors;
+      let w = Metrics.window s' ~now_ns:(minute_ns 7) ~minutes:1 in
+      Alcotest.(check int) "ring survives the round-trip" 1
+        w.Metrics.w_requests;
+      Alcotest.(check int) "ring errors survive" 1
+        w.Metrics.w_internal_errors
+
+let test_slo_evaluation () =
+  let m = Metrics.create () in
+  let now = minute_ns 500 in
+  (* 10 admission decisions in the window: 8 clean, 2 timed out —
+     a 0.9 goal leaves an allowance of 0.1, fully consumed by 0.2 bad *)
+  for _ = 1 to 8 do
+    Metrics.record_request ~now_ns:now m ~time_ns:1_000_000
+  done;
+  for _ = 1 to 2 do
+    Metrics.record_request ~now_ns:now m ~time_ns:50_000_000;
+    Metrics.record_timeout ~now_ns:now m
+  done;
+  let config = { Slo.target_p95_ms = 250; goal = 0.9 } in
+  let report = Slo.evaluate config ~now_ns:now (Metrics.snapshot m) in
+  Alcotest.(check int) "three windows" 3 (List.length report.Slo.windows);
+  let w1 =
+    List.find (fun w -> w.Slo.minutes = 1) report.Slo.windows
+  in
+  Alcotest.(check int) "window requests" 10 w1.Slo.requests;
+  Alcotest.(check (float 1e-9)) "miss ratio" 0.2 w1.Slo.deadline_miss_ratio;
+  Alcotest.(check (float 1e-9)) "budget exhausted" 0.0
+    w1.Slo.error_budget_remaining;
+  Alcotest.(check bool) "p95 under 250ms" true w1.Slo.p95_ok;
+  (* a clean window leaves the budget whole *)
+  let clean = Metrics.create () in
+  Metrics.record_request ~now_ns:now clean ~time_ns:1_000_000;
+  let r = Slo.evaluate config ~now_ns:now (Metrics.snapshot clean) in
+  let w = List.hd r.Slo.windows in
+  Alcotest.(check (float 1e-9)) "untouched budget" 1.0
+    w.Slo.error_budget_remaining
+
+(* ---- trace marks ------------------------------------------------------- *)
+
+let test_trace_mark () =
+  let tr = Trace.create ~capacity:64 () in
+  Trace.instant tr "before.1";
+  Trace.instant tr "before.2";
+  let mark = Trace.mark tr in
+  Trace.instant tr "after.1";
+  Trace.instant tr "after.2";
+  let events = Trace.events_since tr mark in
+  Alcotest.(check int) "only post-mark events" 2 (List.length events);
+  Alcotest.(check bool) "names are the later ones" true
+    (List.for_all
+       (fun (e : Trace.event) ->
+         e.Trace.name = "after.1" || e.Trace.name = "after.2")
+       events);
+  (* a wrapped ring still yields only what it retains *)
+  let small = Trace.create ~capacity:4 () in
+  let m0 = Trace.mark small in
+  for i = 1 to 10 do
+    Trace.instant small (Printf.sprintf "e%d" i)
+  done;
+  let survived = Trace.events_since small m0 in
+  Alcotest.(check int) "wrap keeps the last capacity" 4
+    (List.length survived);
+  Alcotest.(check bool) "newest event survives" true
+    (List.exists (fun (e : Trace.event) -> e.Trace.name = "e10") survived)
+
+(* ---- audit log --------------------------------------------------------- *)
+
+let base_record : Audit.record =
+  {
+    Audit.ts = 1_700_000_000.0;
+    id = Some "r1";
+    meth = "check";
+    digest = Some "abc123";
+    status = "ok";
+    cached = false;
+    tier = "none";
+    planner = Some (Orm_json.Obj [ ("decision", Orm_json.String "patterns") ]);
+    phases = [ ("parse", 10_000); ("compute", 1_000_000) ];
+    elapsed_ns = 1_200_000;
+    deadline_ms = Some 100;
+    deadline_slack_ms = Some 98;
+    worker_pid = 4242;
+    trace = None;
+  }
+
+let test_audit_write_and_summarize () =
+  let path = tmp_path "audit.ndjson" in
+  (try Sys.remove path with Sys_error _ -> ());
+  (match Audit.create path with
+  | Error msg -> Alcotest.fail msg
+  | Ok a ->
+      Audit.write a base_record;
+      Audit.write a
+        { base_record with Audit.id = Some "r2"; elapsed_ns = 5_000_000 };
+      Audit.write a
+        {
+          base_record with
+          Audit.id = Some "r3";
+          status = "timeout";
+          digest = Some "def456";
+          elapsed_ns = 120_000_000;
+          deadline_slack_ms = Some (-20);
+          trace =
+            Some
+              [
+                {
+                  Trace.name = "server.check";
+                  phase = Trace.Begin;
+                  ts_ns = 1;
+                  domain = 0;
+                  value = 0;
+                };
+              ];
+        };
+      Audit.close a);
+  (* a torn tail must be skipped, not fatal *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"truncated";
+  close_out oc;
+  (match Audit.summarize ~target_p95_ms:100 path with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+      Alcotest.(check int) "records" 3 s.Audit.records;
+      Alcotest.(check int) "malformed tail" 1 s.Audit.malformed;
+      Alcotest.(check (option int)) "ok count" (Some 2)
+        (List.assoc_opt "ok" s.Audit.statuses);
+      Alcotest.(check (option int)) "timeout count" (Some 1)
+        (List.assoc_opt "timeout" s.Audit.statuses);
+      Alcotest.(check (option int)) "planner decisions" (Some 3)
+        (List.assoc_opt "patterns" s.Audit.decisions);
+      Alcotest.(check int) "sampled traces" 1 s.Audit.sampled_traces;
+      (* the timeout counts once even though its slack is also negative *)
+      Alcotest.(check int) "deadline misses" 1 s.Audit.deadline_misses;
+      Alcotest.(check int) "max" 120_000_000 s.Audit.s_max_ns;
+      (match s.Audit.slow_digests with
+      | top :: _ ->
+          Alcotest.(check string) "slowest digest" "def456"
+            top.Audit.d_digest
+      | [] -> Alcotest.fail "no digest rows");
+      match s.Audit.slo_attained with
+      | Some f -> Alcotest.(check (float 1e-9)) "attainment" (2. /. 3.) f
+      | None -> Alcotest.fail "slo_attained missing");
+  Sys.remove path
+
+let test_audit_rotation () =
+  let path = tmp_path "audit-rot.ndjson" in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".1" ];
+  (match Audit.create ~max_bytes:600 path with
+  | Error msg -> Alcotest.fail msg
+  | Ok a ->
+      for i = 1 to 12 do
+        Audit.write a
+          { base_record with Audit.id = Some (Printf.sprintf "r%d" i) }
+      done;
+      Audit.close a);
+  Alcotest.(check bool) "rotated generation exists" true
+    (Sys.file_exists (path ^ ".1"));
+  let count p =
+    match Audit.summarize p with
+    | Ok s -> s.Audit.records
+    | Error msg -> Alcotest.fail msg
+  in
+  (* one generation is kept by design, so early records age out — but the
+     two surviving files hold complete, parseable lines and the newest
+     record is in the live file *)
+  Alcotest.(check bool) "both generations hold records" true
+    (count path >= 1 && count (path ^ ".1") >= 1);
+  let live = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check bool) "newest record survives" true
+    (let nn = String.length live in
+     let needle = "\"r12\"" in
+     let rec go i =
+       i + String.length needle <= nn
+       && (String.sub live i (String.length needle) = needle || go (i + 1))
+     in
+     go 0);
+  Alcotest.(check bool) "live file is within bounds" true
+    ((Unix.stat path).Unix.st_size <= 600);
+  List.iter Sys.remove [ path; path ^ ".1" ]
+
+let test_audit_through_server () =
+  let path = tmp_path "audit-server.ndjson" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let audit =
+    match Audit.create path with Ok a -> a | Error m -> Alcotest.fail m
+  in
+  let metrics = Metrics.create () in
+  let server = Server.create ~metrics ~audit Server.default_config in
+  (* a warm pair: miss then memory hit *)
+  let text = schema_text () in
+  let line = P.build_request ~id:"a1" ~schema_text:text P.Check in
+  let resp, _ = Server.handle server line in
+  Alcotest.(check bool) "first is ok" true (contains resp "\"status\":\"ok\"");
+  let resp2, _ =
+    Server.handle server (P.build_request ~id:"a2" ~schema_text:text P.Check)
+  in
+  Alcotest.(check bool) "second is cached" true
+    (contains resp2 "\"cached\":true");
+  (* a deadline nobody can meet: timeout, tail-sampled *)
+  let slow = schema_text ~seed:3 ~size:40 () in
+  let resp3, _ =
+    Server.handle server
+      (P.build_request ~id:"a3" ~schema_text:slow ~deadline_ms:1 P.Reason)
+  in
+  Alcotest.(check bool) "third timed out" true
+    (contains resp3 "\"status\":\"timeout\"");
+  (* records are buffered until a flush *)
+  Audit.flush audit;
+  (match Audit.summarize path with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+      Alcotest.(check int) "three records" 3 s.Audit.records;
+      Alcotest.(check (option int)) "memory tier hit" (Some 1)
+        (List.assoc_opt "memory" s.Audit.tiers);
+      Alcotest.(check bool) "timeout sampled a trace" true
+        (s.Audit.sampled_traces >= 1);
+      Alcotest.(check bool) "timeout counted as a miss" true
+        (s.Audit.deadline_misses >= 1));
+  (* every line carries the phases object and the worker pid *)
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "has phases" true (contains l "\"phases\"");
+      Alcotest.(check bool) "has pid" true (contains l "\"pid\""))
+    lines;
+  Sys.remove path
+
+(* ---- server containment and exposition --------------------------------- *)
+
+let test_internal_error_containment () =
+  let metrics = Metrics.create () in
+  let server = Server.create ~metrics Server.default_config in
+  Server.inject_failure server;
+  let resp, verdict = Server.handle server (P.build_request ~id:"x1" P.Ping) in
+  Alcotest.(check bool) "still continue" true (verdict = `Continue);
+  Alcotest.(check bool) "generic error" true
+    (contains resp "internal error");
+  (* the exception text must not leak to the client *)
+  Alcotest.(check bool) "no exception text" false
+    (contains resp "injected failure");
+  Alcotest.(check bool) "id still correlates" true (contains resp "\"x1\"");
+  Alcotest.(check int) "counted" 1
+    (Metrics.snapshot metrics).Metrics.internal_errors;
+  (* the server survives: the next request is answered normally *)
+  let resp2, _ = Server.handle server (P.build_request ~id:"x2" P.Ping) in
+  Alcotest.(check bool) "next request ok" true
+    (contains resp2 "\"status\":\"ok\"")
+
+let test_server_metrics_body_and_readiness () =
+  let metrics = Metrics.create () in
+  let server = Server.create ~metrics Server.default_config in
+  let _ = Server.handle server (P.build_request P.Ping) in
+  let body = Server.metrics_body server in
+  Alcotest.(check bool) "counts the request" true
+    (contains body "ormcheck_requests_total 1");
+  Alcotest.(check bool) "slo gauges present" true
+    (contains body "ormcheck_slo_error_budget_remaining{window=\"5m\"}");
+  (match Prometheus.lint body with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("server exposition failed lint: " ^ msg));
+  (match Server.readiness server ~draining:false ~pending:0 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("unexpectedly not ready: " ^ msg));
+  (match Server.readiness server ~draining:true ~pending:0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "draining must not be ready");
+  match
+    Server.readiness server ~draining:false
+      ~pending:Server.default_config.Server.max_pending
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "a full queue must not be ready"
+
+let test_stats_has_slo_section () =
+  let metrics = Metrics.create () in
+  let server = Server.create ~metrics Server.default_config in
+  let resp, _ = Server.handle server (P.build_request P.Stats) in
+  Alcotest.(check bool) "slo section present" true (contains resp "\"slo\"");
+  Alcotest.(check bool) "windows labelled" true (contains resp "\"1m\"");
+  Alcotest.(check bool) "config echoes the objectives" true
+    (contains resp "\"slo_p95_ms\"")
+
+let suite =
+  [
+    Alcotest.test_case "exposition escaping" `Quick test_escaping;
+    Alcotest.test_case "histogram shape" `Quick test_histogram_shape;
+    Alcotest.test_case "cluster fold is the sum" `Quick
+      test_cluster_fold_is_sum;
+    Alcotest.test_case "lint catches violations" `Quick
+      test_lint_catches_violations;
+    Alcotest.test_case "rolling window math" `Quick test_rolling_window_math;
+    Alcotest.test_case "rolling slot reuse" `Quick test_rolling_slot_reuse;
+    Alcotest.test_case "rolling JSON round-trip" `Quick
+      test_rolling_json_roundtrip;
+    Alcotest.test_case "slo evaluation" `Quick test_slo_evaluation;
+    Alcotest.test_case "trace marks" `Quick test_trace_mark;
+    Alcotest.test_case "audit write and summarize" `Quick
+      test_audit_write_and_summarize;
+    Alcotest.test_case "audit rotation" `Quick test_audit_rotation;
+    Alcotest.test_case "audit through a live server" `Quick
+      test_audit_through_server;
+    Alcotest.test_case "internal error containment" `Quick
+      test_internal_error_containment;
+    Alcotest.test_case "metrics body and readiness" `Quick
+      test_server_metrics_body_and_readiness;
+    Alcotest.test_case "stats carries the slo section" `Quick
+      test_stats_has_slo_section;
+  ]
