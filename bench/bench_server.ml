@@ -342,6 +342,7 @@ let run ?(file = "BENCH_server.json") () =
     ]
   in
   let obs_rows = run_obs_scenario ~texts:warm_texts () in
+  let registry_rows = Bench_registry.rows () in
   let transport_rows =
     [
       run_transport_scenario ~framing:Orm_net.Listen.Ndjson
@@ -389,6 +390,8 @@ let run ?(file = "BENCH_server.json") () =
                --workers prefork sharding is not measured: host_cores \
                records the one core every worker would share" );
           ("transports", Bench_util.json_arr transport_rows);
+          ("registry_note", Bench_util.json_str Bench_registry.note);
+          ("registry", Bench_util.json_arr registry_rows);
         ])
   in
   Bench_util.write_doc ~file doc;
@@ -397,4 +400,4 @@ let run ?(file = "BENCH_server.json") () =
   Printf.printf "wrote %s\n" file;
   List.iter
     (fun row -> Printf.printf "  %s\n" row)
-    (rows @ obs_rows @ transport_rows)
+    (rows @ obs_rows @ transport_rows @ registry_rows)

@@ -18,7 +18,9 @@
      classify   derived subsumption hierarchy via the DL route
      gen        emit a random schema (optionally with an injected fault)
      serve      long-running checking service (NDJSON over a Unix socket)
-     client     send one request to a running serve and print the response *)
+     client     send one request to a running serve and print the response
+     ingest     bulk-add schemas to a registry store (dedup by canonical digest)
+     query      covering-index query over a registry store *)
 
 open Cmdliner
 module Engine = Orm_patterns.Engine
@@ -738,6 +740,13 @@ let serve_cmd =
       & info [ "disk-cache-mb" ] ~docv:"MB"
           ~doc:"Size bound of $(b,--disk-cache); oldest entries are deleted past it.")
   in
+  let registry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "registry" ] ~docv:"DIR"
+          ~doc:"Schema registry store at $(docv), enabling the $(b,ingest), $(b,query) and $(b,registry-stats) methods: a persistent corpus of checked schemas deduplicated by canonical digest.  All workers share it (append-only index; each worker replays what the others add).")
+  in
   let cache_capacity =
     Arg.(
       value & opt int Orm_server.Server.default_config.cache_capacity
@@ -776,9 +785,9 @@ let serve_cmd =
       & info [ "config" ] ~docv:"FILE"
           ~doc:"JSON config file layered over the flags (fields: $(b,deadline_ms), $(b,budget), $(b,sat_budget), $(b,cache_capacity), $(b,max_pending), $(b,disk_cache_mb), $(b,log_level), $(b,slo_p95_ms), $(b,slo_goal), $(b,drain_linger_ms); only the fields present override).  Re-read on SIGHUP, so a running service retunes without a restart; a reload that fails to parse keeps the current settings.")
   in
-  let run socket stdio listen workers disk_cache disk_cache_mb cache_capacity
-      max_pending deadline_ms audit_log audit_log_mb config_file jobs stats
-      stats_json trace log_level =
+  let run socket stdio listen workers disk_cache disk_cache_mb registry
+      cache_capacity max_pending deadline_ms audit_log audit_log_mb config_file
+      jobs stats stats_json trace log_level =
     apply_log_level log_level;
     (* validate the audit path up front — a worker discovering an
        unwritable path after the fork could only log about it *)
@@ -857,6 +866,15 @@ let serve_cmd =
             ~dir ())
         disk_cache
     in
+    (* per-worker handles over one shared directory: the store refreshes
+       its covering index from the append-only log on every use *)
+    let make_registry () =
+      Option.map
+        (fun dir ->
+          Orm_registry.Store.create
+            ~format_version:Orm_server.Protocol.format_version ~dir)
+        registry
+    in
     (* the config file's overrides land on top of the flags, both at
        startup and again on every SIGHUP *)
     let apply_config server =
@@ -871,7 +889,7 @@ let serve_cmd =
           apply_config
             (Orm_server.Server.create ?metrics ?tracer
                ?disk_cache:(make_disk_cache metrics) ?audit:(make_audit ())
-               config)
+               ?registry:(make_registry ()) config)
         in
         Orm_server.Server.serve ?config_file server mode;
         emit_stats ~stats ~stats_json metrics;
@@ -909,7 +927,7 @@ let serve_cmd =
           apply_config
             (Orm_server.Server.create ?metrics ?tracer
                ?disk_cache:(make_disk_cache metrics) ?stats_sink
-               ?audit:(make_audit ()) config)
+               ?audit:(make_audit ()) ?registry:(make_registry ()) config)
         in
         (match Orm_net.Frontend.run ~workers ?config_file ~make_server spec with
         | Ok () -> ()
@@ -925,7 +943,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the checking service over $(b,--listen) unix:PATH | tcp:HOST:PORT | http:HOST:PORT (or the classic --socket/--stdio): result caching (in-memory LRU plus optional persistent --disk-cache), per-request deadlines, admission control, graceful shutdown, and prefork sharding with --workers.")
-    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ cache_capacity $ max_pending $ deadline_ms $ audit_log $ audit_log_mb $ config_file $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
+    Term.(const run $ socket $ stdio $ listen $ workers $ disk_cache $ disk_cache_mb $ registry $ cache_capacity $ max_pending $ deadline_ms $ audit_log $ audit_log_mb $ config_file $ jobs_term $ stats_term $ stats_json_term $ trace_term $ log_level_term)
 
 (* ---- audit ----------------------------------------------------------- *)
 
@@ -1061,13 +1079,13 @@ let client_cmd =
     let parse s =
       match Orm_server.Protocol.meth_of_string s with
       | Some m -> Ok m
-      | None -> Error (`Msg (Printf.sprintf "unknown method %S (expected check, batch, reason, lint, stats, ping or shutdown)" s))
+      | None -> Error (`Msg (Printf.sprintf "unknown method %S (expected check, batch, reason, lint, stats, ping, shutdown, ingest, query or registry-stats)" s))
     in
     let print ppf m = Format.pp_print_string ppf (Orm_server.Protocol.meth_to_string m) in
     Arg.(
       required
       & pos 0 (some (conv (parse, print))) None
-      & info [] ~docv:"METHOD" ~doc:"One of $(b,check), $(b,batch), $(b,reason), $(b,lint), $(b,stats), $(b,ping), $(b,shutdown).")
+      & info [] ~docv:"METHOD" ~doc:"One of $(b,check), $(b,batch), $(b,reason), $(b,lint), $(b,stats), $(b,ping), $(b,shutdown), $(b,ingest), $(b,query), $(b,registry-stats).")
   in
   let schema_arg =
     Arg.(value & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"Schema file(s) (.orm); one required by check/reason/lint, one or more by batch.")
@@ -1097,8 +1115,21 @@ let client_cmd =
             "Complete procedure(s) for reason: $(b,auto) (server-side \
              planner), $(b,dlr), $(b,sat) or $(b,both).")
   in
+  let q =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:"Registry query (method $(b,query)): whitespace-separated conjunctive terms $(b,pattern:N) and $(b,verdict:unsat)|$(b,verdict:clean).")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Registry query match cap (method $(b,query)).")
+  in
   let run socket connect meth schema_files settings jobs id deadline_ms budget
-      sat_budget backend log_level =
+      sat_budget backend q limit log_level =
     apply_log_level log_level;
     let module P = Orm_server.Protocol in
     let module Listen = Orm_net.Listen in
@@ -1134,9 +1165,12 @@ let client_cmd =
                "ormcheck client: method %S needs exactly one schema file"
                (P.meth_to_string meth));
           exit 2
-      | P.Batch, (_ :: _ as fs) -> (None, Some (List.map read_file fs))
-      | P.Batch, [] ->
-          prerr_endline "ormcheck client: method \"batch\" needs schema files";
+      | (P.Batch | P.Ingest), (_ :: _ as fs) ->
+          (None, Some (List.map read_file fs))
+      | (P.Batch | P.Ingest), [] ->
+          prerr_endline
+            (Printf.sprintf "ormcheck client: method %S needs schema files"
+               (P.meth_to_string meth));
           exit 2
       | _, _ -> (None, None)
     in
@@ -1160,7 +1194,7 @@ let client_cmd =
           let line =
             P.build_request ?id ?schema_text ?schema_texts ~settings
               ?jobs:(resolve_jobs jobs) ?deadline_ms ?budget ?sat_budget
-              ?backend meth
+              ?backend ?q ?limit meth
           in
           write_all (line ^ "\n");
           let buf = Buffer.create 4096 in
@@ -1183,7 +1217,7 @@ let client_cmd =
           let body =
             P.build_params ?schema_text ?schema_texts ~settings
               ?jobs:(resolve_jobs jobs) ?deadline_ms ?budget ?sat_budget
-              ?backend ()
+              ?backend ?q ?limit ()
           in
           let path = "/v1/" ^ P.meth_to_string meth in
           write_all (Orm_net.Http.client_request ~path ?id ~body ());
@@ -1212,7 +1246,232 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running $(b,ormcheck serve) and print the response line.  Works over every transport ($(b,--connect) unix:|tcp:|http:).  Exit: 0 ok (clean), 1 ok with findings, 2 error, 3 timeout, 4 overloaded.")
-    Term.(const run $ socket $ connect $ meth_arg $ schema_arg $ settings_term $ jobs_term $ id $ deadline_ms $ budget $ sat_budget $ backend $ log_level_term)
+    Term.(const run $ socket $ connect $ meth_arg $ schema_arg $ settings_term $ jobs_term $ id $ deadline_ms $ budget $ sat_budget $ backend $ q $ limit $ log_level_term)
+
+(* ---- registry (ingest / query) --------------------------------------- *)
+
+(* Shared by the registry subcommands' remote mode: one request over any
+   transport, one response line back.  Local mode opens the store
+   directly; the two are exclusive per invocation. *)
+let registry_spec ~cmd registry connect =
+  match (registry, connect) with
+  | Some dir, None -> `Local dir
+  | None, Some s -> (
+      match Orm_net.Listen.parse s with
+      | Ok spec -> `Remote spec
+      | Error msg ->
+          prerr_endline
+            (Printf.sprintf "ormcheck %s: --connect %s: %s" cmd s msg);
+          exit 2)
+  | Some _, Some _ ->
+      prerr_endline
+        (Printf.sprintf "ormcheck %s: --registry and --connect are exclusive"
+           cmd);
+      exit 2
+  | None, None ->
+      prerr_endline
+        (Printf.sprintf "ormcheck %s: need --registry DIR or --connect SPEC"
+           cmd);
+      exit 2
+
+let registry_roundtrip ~cmd spec ~meth ?schema_texts ?settings ?q ?limit () =
+  let module P = Orm_server.Protocol in
+  let module Listen = Orm_net.Listen in
+  let die msg =
+    prerr_endline (Printf.sprintf "ormcheck %s: %s" cmd msg);
+    exit 2
+  in
+  let fd =
+    match Listen.connect spec with
+    | Ok fd -> fd
+    | Error msg -> die ("cannot connect: " ^ msg)
+  in
+  let write_all out =
+    let rec go off =
+      if off < String.length out then
+        go (off + Unix.write_substring fd out off (String.length out - off))
+    in
+    go 0
+  in
+  let resp =
+    match Listen.framing spec with
+    | Listen.Ndjson ->
+        write_all
+          (P.build_request ?schema_texts ?settings ?q ?limit meth ^ "\n");
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let rec read_line () =
+          match String.index_opt (Buffer.contents buf) '\n' with
+          | Some i -> String.sub (Buffer.contents buf) 0 i
+          | None -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> die "server closed the connection without answering"
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  read_line ())
+        in
+        read_line ()
+    | Listen.Http_framing -> (
+        let body = P.build_params ?schema_texts ?settings ?q ?limit () in
+        write_all
+          (Orm_net.Http.client_request
+             ~path:("/v1/" ^ P.meth_to_string meth)
+             ~body ());
+        match Orm_net.Http.read_response fd with
+        | Ok (_code, body) -> String.trim body
+        | Error msg -> die msg)
+  in
+  Unix.close fd;
+  print_endline resp;
+  match P.parse_response resp with
+  | Error msg -> die ("bad response: " ^ msg)
+  | Ok r -> if r.P.status = "ok" then exit 0 else exit 2
+
+let registry_arg cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "registry" ] ~docv:"DIR"
+        ~doc:
+          (Printf.sprintf
+             "Operate on the registry store at $(docv) directly (no server).  \
+              Exclusive with $(b,--connect); %s."
+             cmd))
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SPEC"
+        ~doc:
+          "Send the request to a running $(b,ormcheck serve --registry) at \
+           $(b,unix:PATH), $(b,tcp:HOST:PORT) or $(b,http:HOST:PORT).")
+
+let ingest_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Schema file(s) (.orm) to ingest.")
+  in
+  let run registry connect files settings log_level =
+    apply_log_level log_level;
+    match registry_spec ~cmd:"ingest" registry connect with
+    | `Remote spec ->
+        let texts =
+          List.map
+            (fun f ->
+              match In_channel.with_open_text f In_channel.input_all with
+              | text -> text
+              | exception Sys_error msg ->
+                  prerr_endline ("ormcheck ingest: " ^ msg);
+                  exit 2)
+            files
+        in
+        registry_roundtrip ~cmd:"ingest" spec ~meth:Orm_server.Protocol.Ingest
+          ~schema_texts:texts ~settings ()
+    | `Local dir ->
+        let store =
+          Orm_registry.Store.create
+            ~format_version:Orm_server.Protocol.format_version ~dir
+        in
+        let news = ref 0 and dups = ref 0 and failed = ref 0 in
+        List.iter
+          (fun file ->
+            match load file with
+            | Error msg ->
+                incr failed;
+                Printf.eprintf "ormcheck ingest: %s: %s\n%!" file msg
+            | Ok schema ->
+                let c = Orm_registry.Canon.canonicalize schema in
+                let report = Engine.check ~settings c.Orm_registry.Canon.schema in
+                let patterns =
+                  List.fold_left
+                    (fun bm d ->
+                      match Orm_patterns.Diagnostic.pattern_number d with
+                      | Some n -> bm lor Orm_registry.Store.pattern_bit n
+                      | None -> bm)
+                    0 report.Engine.diagnostics
+                in
+                let verdict =
+                  if report.Engine.diagnostics = [] then "clean" else "unsat"
+                in
+                let status =
+                  Orm_registry.Store.ingest store
+                    ~digest:c.Orm_registry.Canon.digest
+                    ~name:(Orm.Schema.name schema) ~verdict ~patterns
+                    ~diagnostics:(List.length report.Engine.diagnostics)
+                    ~entry_body:
+                      (Orm_json.Obj
+                         [
+                           ( "canonical",
+                             Orm_json.String c.Orm_registry.Canon.text );
+                           ("report", Orm_export.Json.report_value report);
+                         ])
+                in
+                (match status with `New -> incr news | `Dup -> incr dups);
+                Printf.printf "%s %s %s %s\n"
+                  c.Orm_registry.Canon.digest
+                  (match status with `New -> "new" | `Dup -> "duplicate")
+                  verdict file)
+          files;
+        Printf.printf
+          "ingested %d new, %d duplicate(s), %d error(s); store holds %d \
+           entr(y/ies)\n"
+          !news !dups !failed
+          (Orm_registry.Store.size store);
+        exit (if !failed > 0 then 2 else 0)
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Bulk-add checked schemas to a registry store, deduplicated by canonical digest: each schema is canonicalized, checked once per isomorphism class, and recorded with its verdict and pattern bitmap.  Either directly ($(b,--registry) DIR) or through a running server ($(b,--connect)).")
+    Term.(const run $ registry_arg "entries are written by this process" $ connect_arg $ files $ settings_term $ log_level_term)
+
+let query_cmd =
+  let q =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Conjunctive query: whitespace-separated $(b,pattern:N) and $(b,verdict:unsat)|$(b,verdict:clean) terms, e.g. 'pattern:6 verdict:unsat'.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Return at most $(docv) matches (default 50).")
+  in
+  let run registry connect q limit log_level =
+    apply_log_level log_level;
+    match registry_spec ~cmd:"query" registry connect with
+    | `Remote spec ->
+        registry_roundtrip ~cmd:"query" spec ~meth:Orm_server.Protocol.Query ~q
+          ?limit ()
+    | `Local dir -> (
+        let store =
+          Orm_registry.Store.create
+            ~format_version:Orm_server.Protocol.format_version ~dir
+        in
+        match Orm_registry.Store.query store ?limit q with
+        | Error msg ->
+            prerr_endline ("ormcheck query: " ^ msg);
+            exit 2
+        | Ok (matches, total) ->
+            List.iter
+              (fun (e : Orm_registry.Store.entry) ->
+                Printf.printf "%s %s patterns=[%s] diagnostics=%d %s\n"
+                  e.digest e.verdict
+                  (String.concat ","
+                     (List.map string_of_int
+                        (Orm_registry.Store.patterns_of_bitmap e.patterns)))
+                  e.diagnostics e.name)
+              matches;
+            Printf.printf "%d of %d match(es)\n" (List.length matches) total;
+            exit 0)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query a registry store's covering index ($(b,pattern:N), $(b,verdict:unsat)|$(b,verdict:clean) conjunctions) without re-checking anything.  Either directly ($(b,--registry) DIR) or through a running server ($(b,--connect)).")
+    Term.(const run $ registry_arg "the index is read by this process" $ connect_arg $ q $ limit $ log_level_term)
 
 (* ---- gen ------------------------------------------------------------ *)
 
@@ -1238,4 +1497,4 @@ let gen_cmd =
 let () =
   let doc = "Unsatisfiability reasoning for ORM conceptual schemas" in
   let info = Cmd.info "ormcheck" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd; serve_cmd; client_cmd; audit_cmd; metrics_lint_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; reason_cmd; doctor_cmd; profile_cmd; verbalize_cmd; dlr_cmd; model_cmd; figures_cmd; table1_cmd; lint_cmd; dot_cmd; json_cmd; repair_cmd; classify_cmd; gen_cmd; serve_cmd; client_cmd; ingest_cmd; query_cmd; audit_cmd; metrics_lint_cmd ]))

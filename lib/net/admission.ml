@@ -1,0 +1,30 @@
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Admission.create: slots must be >= 1";
+  (* an unlinked temp file backs the shared mapping: the page lives only
+     as long as the processes that inherited it, and a crashed fleet
+     leaves nothing behind on disk *)
+  let path = Filename.temp_file "ormcheck-admission" ".page" in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  let page =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd Bigarray.int Bigarray.c_layout true [| slots |])
+  in
+  Unix.close fd;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Bigarray.Array1.fill page 0;
+  page
+
+let slots = Bigarray.Array1.dim
+
+let set page ~slot n =
+  if slot >= 0 && slot < Bigarray.Array1.dim page then
+    page.{slot} <- (if n < 0 then 0 else n)
+
+let total page =
+  let sum = ref 0 in
+  for i = 0 to Bigarray.Array1.dim page - 1 do
+    sum := !sum + page.{i}
+  done;
+  !sum

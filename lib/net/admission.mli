@@ -1,0 +1,36 @@
+(** Cluster-wide admission counter for the prefork front end.
+
+    With [--workers N] every worker runs its own select loop and pending
+    queue, so a per-worker [max_pending] bound would multiply by [N]: the
+    fleet could hold [N * max_pending] requests while each worker believes
+    itself under the limit.  This module shares the pending counts through
+    one page of memory mapped [MAP_SHARED] before the fork (an unlinked
+    temp file backs it, so nothing persists past the fleet): one word per
+    worker slot, each worker the single writer of its own slot, every
+    worker summing all slots when it decides admission.
+
+    Lock-free by construction — a word-sized aligned store is atomic on
+    every platform OCaml targets, and the readers tolerate staleness: the
+    sum is a bound-enforcement heuristic, not an invariant, so a race can
+    at worst admit or reject one request near the boundary.  [overloaded]
+    {e accounting} stays per-worker (each worker counts the rejections it
+    answered); only the {e decision} reads the shared page. *)
+
+type t
+(** The shared page.  Created before the fork; inherited by every
+    worker. *)
+
+val create : slots:int -> t
+(** [create ~slots] maps a fresh zeroed page with one counter per worker
+    slot.  Raises [Invalid_argument] when [slots < 1]. *)
+
+val slots : t -> int
+
+val set : t -> slot:int -> int -> unit
+(** [set page ~slot n] publishes worker [slot]'s pending-queue length.
+    The worker owning [slot] must be the only caller for that slot.
+    Out-of-range slots are ignored; negative [n] is clamped to 0. *)
+
+val total : t -> int
+(** Sum over every slot — the fleet-wide pending count the admission
+    decision compares against [max_pending]. *)

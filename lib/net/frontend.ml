@@ -54,8 +54,10 @@ let close_conn conn =
 (* ---- admission --------------------------------------------------------- *)
 
 (* NDJSON framing: split complete lines off the input buffer, admitting
-   each into the bounded queue (or answering [overloaded] on the spot). *)
-let admit_ndjson server pending max_pending conn =
+   each into the bounded queue (or answering [overloaded] on the spot).
+   [over] is the admission decision — against the fleet-wide pending
+   count when an {!Admission} page is attached, else the local queue. *)
+let admit_ndjson server pending ~over conn =
   let s = Buffer.contents conn.inbuf in
   let n = String.length s in
   let consumed = ref 0 in
@@ -66,8 +68,7 @@ let admit_ndjson server pending max_pending conn =
         let line = String.sub s start (i - start) in
         consumed := i + 1;
         if String.trim line <> "" then begin
-          if Queue.length pending >= max_pending then
-            send conn (Server.overloaded server line ^ "\n")
+          if over () then send conn (Server.overloaded server line ^ "\n")
           else Queue.add { conn; line; http_keep_alive = None } pending
         end;
         go (i + 1)
@@ -104,7 +105,7 @@ let ops_response ~draining ~pending server (req : Http.request) =
    reject that loses framing closes the connection after the flush.
    Once draining, everything newly parsed is answered 503 — the admitted
    requests ahead of it still get their real answers. *)
-let admit_http ~max_body ~draining server pending max_pending conn =
+let admit_http ~max_body ~draining server pending ~over ~pending_total conn =
   let progress = ref true in
   while !progress && not conn.close_after do
     progress := false;
@@ -121,7 +122,7 @@ let admit_http ~max_body ~draining server pending max_pending conn =
         Buffer.add_substring conn.inbuf s consumed (String.length s - consumed);
         progress := true;
         match
-          ops_response ~draining:(draining ()) ~pending:(Queue.length pending)
+          ops_response ~draining:(draining ()) ~pending:(pending_total ())
             server req
         with
         | Some (code, content_type, body) ->
@@ -137,7 +138,7 @@ let admit_http ~max_body ~draining server pending max_pending conn =
               send_http conn ~keep_alive:req.Http.keep_alive ~code
                 (Http.error_body reason)
           | Ok line ->
-              if Queue.length pending >= max_pending then
+              if over () then
                 let resp = Server.overloaded server line in
                 send_http conn ~keep_alive:req.Http.keep_alive
                   ~code:(Http.code_of_response resp) resp
@@ -147,16 +148,17 @@ let admit_http ~max_body ~draining server pending max_pending conn =
                   pending))
   done
 
-let read_conn ~max_body ~draining server pending max_pending conn =
+let read_conn ~max_body ~draining server pending ~over ~pending_total conn =
   let buf = Bytes.create 65536 in
   match Unix.read conn.fd buf 0 (Bytes.length buf) with
   | 0 -> conn.eof <- true
   | n -> (
       Buffer.add_subbytes conn.inbuf buf 0 n;
       match conn.framing with
-      | Listen.Ndjson -> admit_ndjson server pending max_pending conn
+      | Listen.Ndjson -> admit_ndjson server pending ~over conn
       | Listen.Http_framing ->
-          admit_http ~max_body ~draining server pending max_pending conn)
+          admit_http ~max_body ~draining server pending ~over ~pending_total
+            conn)
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) ->
       conn.eof <- true;
@@ -168,8 +170,8 @@ let read_conn ~max_body ~draining server pending max_pending conn =
    responses cannot hold shutdown hostage. *)
 let drain_grace_s = 5.0
 
-let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
-    listen_fd =
+let serve_fd ?(max_body = Http.default_max_body) ?config_file ?admission
+    ~server ~framing listen_fd =
   let stop = Server.stop_flag server in
   let reload = Server.reload_flag server in
   let old_term =
@@ -200,6 +202,24 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
   let max_pending () = (Server.config server).Server.max_pending in
   let conns = ref [] in
   let pending : pending_item Queue.t = Queue.create () in
+  (* cluster-wide admission: publish this worker's queue length into its
+     shared-page slot and decide against the sum over every worker, so
+     [max_pending] bounds the fleet, not each worker separately.  Without
+     a page (single worker) both collapse to the local queue. *)
+  let publish_pending () =
+    match admission with
+    | Some (page, slot) -> Admission.set page ~slot (Queue.length pending)
+    | None -> ()
+  in
+  let pending_total () =
+    match admission with
+    | Some (page, _) -> Admission.total page
+    | None -> Queue.length pending
+  in
+  let over () =
+    publish_pending ();
+    pending_total () >= max_pending ()
+  in
   let draining = ref false in
   (* monotonic, not wall clock: an NTP step mid-drain must neither cut
      the grace short nor extend it *)
@@ -245,6 +265,7 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
             resp);
       if verdict = `Shutdown then start_drain "shutdown request"
     done;
+    publish_pending ();
     (* keep the stats fan-in fresh for prefork siblings (no-op without a
        sink); once per processed batch, not per request *)
     if answered then Server.flush_stats server;
@@ -300,9 +321,10 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
           List.iter
             (fun c ->
               if List.mem c.fd ready_r then
-                read_conn ~max_body ~draining:is_draining server pending
-                  (max_pending ()) c)
+                read_conn ~max_body ~draining:is_draining server pending ~over
+                  ~pending_total c)
             !conns;
+          publish_pending ();
           List.iter (fun c -> if List.mem c.fd ready_w then flush_conn c) !conns
     end
   done;
@@ -311,6 +333,7 @@ let serve_fd ?(max_body = Http.default_max_body) ?config_file ~server ~framing
       flush_conn c;
       close_conn c)
     !conns;
+  publish_pending ();
   Server.flush_stats server;
   Log.info "net: worker stopped after %d request(s) (%d timeout(s), %d \
             overload(s))"
@@ -422,20 +445,25 @@ let run ?(workers = 1) ?max_body ?config_file ~make_server spec =
       if workers <= 1 then
         serve_fd ?max_body ?config_file ~server:(make_server ()) ~framing
           listen_fd
-      else
-        supervise ~workers ~spawn:(fun _slot ->
+      else begin
+        (* the shared admission page must exist before the fork so every
+           worker inherits the same mapping; a respawned worker reuses
+           its slot *)
+        let page = Admission.create ~slots:workers in
+        supervise ~workers ~spawn:(fun slot ->
             match Unix.fork () with
             | 0 ->
                 (* the child builds its own server: caches, metrics and
                    disk-cache handles must not be shared through fork *)
                 (try
-                   serve_fd ?max_body ?config_file ~server:(make_server ())
-                     ~framing listen_fd
+                   serve_fd ?max_body ?config_file ~admission:(page, slot)
+                     ~server:(make_server ()) ~framing listen_fd
                  with exn ->
                    Log.err "net: worker crashed: %s" (Printexc.to_string exn);
                    exit 1);
                 exit 0
-            | pid -> pid);
+            | pid -> pid)
+      end;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       Listen.cleanup spec;
       Ok ()

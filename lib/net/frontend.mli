@@ -38,6 +38,7 @@
 val serve_fd :
   ?max_body:int ->
   ?config_file:string ->
+  ?admission:Admission.t * int ->
   server:Orm_server.Server.t ->
   framing:Listen.framing ->
   Unix.file_descr ->
@@ -49,7 +50,13 @@ val serve_fd :
     as {!Orm_server.Server.serve}); without a [config_file] the signal
     is logged and ignored.  The caller owns the socket — {!serve_fd}
     does not close it, so prefork workers can share one bound
-    descriptor. *)
+    descriptor.
+
+    [admission] is this worker's [(page, slot)] in the fleet's shared
+    {!Admission} counter: the worker publishes its pending-queue length
+    into its slot and decides admission (and [/readyz]) against the sum
+    over every slot, so [max_pending] bounds the whole fleet.  Without it
+    the local queue is the whole fleet. *)
 
 val run :
   ?workers:int ->
@@ -65,7 +72,9 @@ val run :
     [workers > 1]: prefork sharding — forks [workers] children that each
     build their own server ([make_server] runs {e in the child}, so
     caches, metrics and disk-cache handles are per-worker) and accept on
-    the shared socket.  The parent only supervises: SIGTERM/SIGINT fan
+    the shared socket.  An {!Admission} page mapped before the fork makes
+    [max_pending] a fleet-wide bound: each worker publishes its pending
+    count into its slot and admits against the sum.  The parent only supervises: SIGTERM/SIGINT fan
     out to the children (which drain and exit 0), a crashed child is
     respawned (bounded, so a deterministic crash loop terminates the
     fleet instead of spinning), a SIGHUP fans out to every live worker

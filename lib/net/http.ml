@@ -161,6 +161,9 @@ let meth_of_path path =
   | "/v1/stats" -> Some "stats"
   | "/v1/ping" -> Some "ping"
   | "/v1/shutdown" -> Some "shutdown"
+  | "/v1/ingest" -> Some "ingest"
+  | "/v1/query" -> Some "query"
+  | "/v1/registry-stats" -> Some "registry-stats"
   | _ -> None
 
 let envelope_of_request (r : request) =
@@ -170,7 +173,7 @@ let envelope_of_request (r : request) =
       let verb_ok =
         match r.meth with
         | "POST" -> true
-        | "GET" -> meth = "ping" || meth = "stats"
+        | "GET" -> meth = "ping" || meth = "stats" || meth = "registry-stats"
         | _ -> false
       in
       if not verb_ok then

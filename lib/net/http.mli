@@ -17,8 +17,9 @@
     line verbatim, with the HTTP status derived from its [status] field:
     [ok] 200, [error] 400, [timeout] 408, [overloaded] 429.  A draining
     server answers 503.  Methods: [POST /v1/check|batch|reason|lint|
-    stats|ping|shutdown]; [GET] is additionally accepted for [/v1/ping]
-    and [/v1/stats] (probes).  An [X-Request-Id] header becomes the
+    stats|ping|shutdown|ingest|query|registry-stats]; [GET] is
+    additionally accepted for [/v1/ping], [/v1/stats] and
+    [/v1/registry-stats] (probes).  An [X-Request-Id] header becomes the
     envelope [id].
 
     Supported framing: [Content-Length] bodies, HTTP/1.1 keep-alive and

@@ -172,13 +172,24 @@ let render ?workers ?uptime_s ?slo (s : Metrics.snapshot) =
           [
             ([ ("tier", "memory") ], int_sample s.Metrics.cache_hits);
             ([ ("tier", "disk") ], int_sample s.Metrics.disk_hits);
+            ([ ("tier", "canon") ], int_sample s.Metrics.canon_hits);
           ];
         family ~name:"ormcheck_cache_misses_total" ~typ:"counter"
           ~help:"Result-cache misses by tier."
           [
             ([ ("tier", "memory") ], int_sample s.Metrics.cache_misses);
             ([ ("tier", "disk") ], int_sample s.Metrics.disk_misses);
+            ([ ("tier", "canon") ], int_sample s.Metrics.canon_misses);
           ];
+        family ~name:"ormcheck_registry_ingested_total" ~typ:"counter"
+          ~help:"New entries added to the registry store."
+          [ ([], int_sample s.Metrics.registry_ingested) ];
+        family ~name:"ormcheck_registry_duplicates_total" ~typ:"counter"
+          ~help:"Registry ingests deduplicated by canonical digest."
+          [ ([], int_sample s.Metrics.registry_duplicates) ];
+        family ~name:"ormcheck_registry_queries_total" ~typ:"counter"
+          ~help:"Covering-index queries answered by the registry."
+          [ ([], int_sample s.Metrics.registry_queries) ];
         family ~name:"ormcheck_plan_decisions_total" ~typ:"counter"
           ~help:"Backend-planner decisions by shape."
           [

@@ -195,6 +195,68 @@ let rings_on s fact =
     s
   |> List.rev
 
+(* --- Renaming --------------------------------------------------------- *)
+
+let rename_role fact_type (r : Ids.role) = { r with Ids.fact = fact_type r.fact }
+
+let rename_seq fact_type = function
+  | Ids.Single r -> Ids.Single (rename_role fact_type r)
+  | Ids.Pair (r1, r2) ->
+      Ids.Pair (rename_role fact_type r1, rename_role fact_type r2)
+
+let rename_body ~object_type ~fact_type (body : Constraints.body) :
+    Constraints.body =
+  match body with
+  | Mandatory r -> Mandatory (rename_role fact_type r)
+  | Disjunctive_mandatory roles ->
+      Disjunctive_mandatory (List.map (rename_role fact_type) roles)
+  | Uniqueness seq -> Uniqueness (rename_seq fact_type seq)
+  | External_uniqueness roles ->
+      External_uniqueness (List.map (rename_role fact_type) roles)
+  | Frequency (seq, f) -> Frequency (rename_seq fact_type seq, f)
+  | Value_constraint (ot, vs) -> Value_constraint (object_type ot, vs)
+  | Role_exclusion seqs -> Role_exclusion (List.map (rename_seq fact_type) seqs)
+  | Subset (a, b) -> Subset (rename_seq fact_type a, rename_seq fact_type b)
+  | Equality (a, b) -> Equality (rename_seq fact_type a, rename_seq fact_type b)
+  | Type_exclusion ots -> Type_exclusion (List.map object_type ots)
+  | Total_subtypes (super, subs) ->
+      Total_subtypes (object_type super, List.map object_type subs)
+  | Ring (k, fact) -> Ring (k, fact_type fact)
+
+let id x = x
+
+let rename ?schema_name ?(object_type = id) ?(fact_type = id)
+    ?(constraint_id = id) s =
+  {
+    schema_name = Option.value ~default:s.schema_name schema_name;
+    types = Sset.map object_type s.types;
+    facts =
+      Smap.fold
+        (fun _ (ft : Fact_type.t) acc ->
+          let ft' =
+            {
+              ft with
+              Fact_type.name = fact_type ft.name;
+              player1 = object_type ft.player1;
+              player2 = object_type ft.player2;
+            }
+          in
+          Smap.add ft'.Fact_type.name ft' acc)
+        s.facts Smap.empty;
+    graph =
+      Subtype_graph.of_edges
+        (List.map
+           (fun (sub, super) -> (object_type sub, object_type super))
+           (Subtype_graph.edges s.graph));
+    cstrs =
+      List.map
+        (fun (c : Constraints.t) ->
+          Constraints.make (constraint_id c.id)
+            (rename_body ~object_type ~fact_type c.body))
+        s.cstrs;
+    next_id = s.next_id;
+  }
+
 (* --- Well-formedness -------------------------------------------------- *)
 
 type error =

@@ -38,6 +38,22 @@ val remove_constraint : Constraints.id -> t -> t
 val remove_fact : Ids.fact_type -> t -> t
 (** Removes the fact type and every constraint mentioning its roles. *)
 
+val rename :
+  ?schema_name:string ->
+  ?object_type:(Ids.object_type -> Ids.object_type) ->
+  ?fact_type:(Ids.fact_type -> Ids.fact_type) ->
+  ?constraint_id:(Constraints.id -> Constraints.id) ->
+  t ->
+  t
+(** [rename s] applies the given name mappings everywhere a name occurs:
+    the type set, fact-type names and players, subtype edges, constraint
+    identifiers and every role/type reference inside constraint bodies.
+    The mappings are expected to be injective on the names actually used;
+    readings and value sets are untouched.  Declaration order is
+    preserved.  This is the substitution the registry's canonicalizer is
+    built on, and what the property tests use to generate isomorphic
+    clones. *)
+
 val remove_subtype : sub:Ids.object_type -> super:Ids.object_type -> t -> t
 val remove_object_type : Ids.object_type -> t -> t
 (** Removes the type, its subtype edges, every fact type it plays in, and

@@ -1,0 +1,429 @@
+open Orm
+module Smap = Ids.String_map
+
+type rename = {
+  schema_name : string * string;
+  types : (string * string) list;
+  facts : (string * string) list;
+  constraint_ids : (string * string) list;
+}
+
+type result = {
+  schema : Schema.t;
+  text : string;
+  digest : string;
+  rename : rename;
+}
+
+(* Cap on refinement rounds spent exploring symmetry-breaking branches.
+   Within the budget the individualization search is exhaustive (every
+   member of the first ambiguous cell is tried, lexicographically smallest
+   serialization wins), which is what makes the digest invariant under
+   renaming even for schemas whose structure the coloring alone cannot
+   split — e.g. a 3-cycle and a 6-cycle of otherwise identical subtypes.
+   Past the budget the search degrades to a greedy first-member choice:
+   still sound (equal digests still mean isomorphic schemas — the digest
+   hashes a full serialization), but two clones of a pathologically
+   symmetric schema may then land on different representatives. *)
+let work_budget = 4096
+
+(* ---- partition refinement --------------------------------------------
+
+   Nodes are the object types and fact types; colors are dense integers.
+   Each round recolors every node by a signature string built from its old
+   color and the colors of its neighbors: subtype edges, role players, and
+   every constraint it participates in (with the position it occupies
+   there).  Signatures never mention original names, so a renamed clone
+   refines to the identical partition; they do include readings, value
+   sets, frequencies and ring kinds, which are content rather than names. *)
+
+type node = N_ot of string | N_ft of string
+
+type coloring = {
+  ot : int Smap.t;
+  ft : int Smap.t;
+  count : int;  (* number of distinct colors in use *)
+}
+
+let ot_color c t = Smap.find t c.ot
+let ft_color c f = Smap.find f c.ft
+
+let initial schema =
+  let ot =
+    List.fold_left
+      (fun m t -> Smap.add t 0 m)
+      Smap.empty (Schema.object_types schema)
+  in
+  let ft =
+    List.fold_left
+      (fun m (f : Fact_type.t) -> Smap.add f.name 1 m)
+      Smap.empty (Schema.fact_types schema)
+  in
+  { ot; ft; count = 2 }
+
+let joins = String.concat ","
+let sorted l = List.sort String.compare l
+
+let role_sig c (r : Ids.role) =
+  Printf.sprintf "r%d.%d" (ft_color c r.fact) (Ids.side_index r.side)
+
+let seq_sig c = function
+  | Ids.Single r -> "s" ^ role_sig c r
+  | Ids.Pair (r1, r2) ->
+      Printf.sprintf "p(%s,%s)" (role_sig c r1) (role_sig c r2)
+
+let value_sig vs =
+  joins (List.map Value.to_string (Value.Constraint.elements vs))
+
+let freq_sig (f : Constraints.frequency) =
+  match f.max with
+  | Some m -> Printf.sprintf "%d-%d" f.min m
+  | None -> Printf.sprintf "%d-" f.min
+
+let tcolor c t = Printf.sprintf "t%d" (ot_color c t)
+
+let body_sig c : Constraints.body -> string = function
+  | Mandatory r -> "M(" ^ role_sig c r ^ ")"
+  | Disjunctive_mandatory rs ->
+      "DM{" ^ joins (sorted (List.map (role_sig c) rs)) ^ "}"
+  | Uniqueness s -> "U(" ^ seq_sig c s ^ ")"
+  | External_uniqueness rs ->
+      "EU{" ^ joins (sorted (List.map (role_sig c) rs)) ^ "}"
+  | Frequency (s, f) -> "FQ(" ^ seq_sig c s ^ ";" ^ freq_sig f ^ ")"
+  | Value_constraint (t, vs) ->
+      Printf.sprintf "VC(%s;%s)" (tcolor c t) (value_sig vs)
+  | Role_exclusion seqs ->
+      "RX{" ^ joins (sorted (List.map (seq_sig c) seqs)) ^ "}"
+  | Subset (a, b) -> "SS(" ^ seq_sig c a ^ "<=" ^ seq_sig c b ^ ")"
+  | Equality (a, b) -> "EQ(" ^ seq_sig c a ^ "=" ^ seq_sig c b ^ ")"
+  | Type_exclusion ts ->
+      "TX{" ^ joins (sorted (List.map (tcolor c) ts)) ^ "}"
+  | Total_subtypes (super, subs) ->
+      Printf.sprintf "TS(%s={%s})" (tcolor c super)
+        (joins (sorted (List.map (tcolor c) subs)))
+  | Ring (k, f) -> Printf.sprintf "RG(%s;f%d)" (Ring.abbrev k) (ft_color c f)
+
+(* Which nodes a constraint touches, tagged with the position they occupy
+   in it — a role's side, a subset's direction, a total-subtype's end. *)
+let occurrences (body : Constraints.body) =
+  let ot t tag = (N_ot t, tag) in
+  let role (r : Ids.role) tag =
+    (N_ft r.fact, Printf.sprintf "%s%d" tag (Ids.side_index r.side))
+  in
+  match body with
+  | Mandatory r -> [ role r "m" ]
+  | Disjunctive_mandatory rs -> List.map (fun r -> role r "dm") rs
+  | Uniqueness s -> List.map (fun r -> role r "u") (Ids.seq_roles s)
+  | External_uniqueness rs -> List.map (fun r -> role r "eu") rs
+  | Frequency (s, _) -> List.map (fun r -> role r "fq") (Ids.seq_roles s)
+  | Value_constraint (t, _) -> [ ot t "vc" ]
+  | Role_exclusion seqs ->
+      List.concat_map
+        (fun s -> List.map (fun r -> role r "rx") (Ids.seq_roles s))
+        seqs
+  | Subset (a, b) ->
+      List.map (fun r -> role r "ssa") (Ids.seq_roles a)
+      @ List.map (fun r -> role r "ssb") (Ids.seq_roles b)
+  | Equality (a, b) ->
+      List.map (fun r -> role r "eqa") (Ids.seq_roles a)
+      @ List.map (fun r -> role r "eqb") (Ids.seq_roles b)
+  | Type_exclusion ts -> List.map (fun t -> ot t "tx") ts
+  | Total_subtypes (super, subs) ->
+      ot super "tss" :: List.map (fun t -> ot t "tsb") subs
+  | Ring (_, f) -> [ (N_ft f, "rg") ]
+
+let recolor schema c =
+  let graph = Schema.graph schema in
+  let facts = Schema.fact_types schema in
+  let occ : (node, string list) Hashtbl.t = Hashtbl.create 64 in
+  let push key s =
+    Hashtbl.replace occ key
+      (s :: (match Hashtbl.find_opt occ key with Some l -> l | None -> []))
+  in
+  List.iter
+    (fun (cstr : Constraints.t) ->
+      let bs = body_sig c cstr.body in
+      List.iter
+        (fun (node, tag) -> push node (bs ^ "@" ^ tag))
+        (occurrences cstr.body))
+    (Schema.constraints schema);
+  let occ_sig key =
+    joins
+      (sorted (match Hashtbl.find_opt occ key with Some l -> l | None -> []))
+  in
+  let ot_sig t =
+    let col l = sorted (List.map (fun s -> string_of_int (ot_color c s)) l) in
+    let plays side =
+      sorted
+        (List.filter_map
+           (fun (ft : Fact_type.t) ->
+             if Fact_type.player ft side = t then
+               Some (string_of_int (ft_color c ft.name))
+             else None)
+           facts)
+    in
+    Printf.sprintf "O%d|up{%s}|dn{%s}|f1{%s}|f2{%s}|c{%s}" (ot_color c t)
+      (joins (col (Subtype_graph.direct_supertypes graph t)))
+      (joins (col (Subtype_graph.direct_subtypes graph t)))
+      (joins (plays Ids.Fst))
+      (joins (plays Ids.Snd))
+      (occ_sig (N_ot t))
+  in
+  let ft_sig (ft : Fact_type.t) =
+    Printf.sprintf "F%d|p1:%d|p2:%d|rd:%s|c{%s}" (ft_color c ft.name)
+      (ot_color c ft.player1) (ot_color c ft.player2)
+      (match ft.reading with None -> "" | Some r -> String.escaped r)
+      (occ_sig (N_ft ft.name))
+  in
+  let pairs =
+    List.map (fun t -> (N_ot t, ot_sig t)) (Schema.object_types schema)
+    @ List.map (fun (ft : Fact_type.t) -> (N_ft ft.name, ft_sig ft)) facts
+  in
+  let sigs = List.sort_uniq String.compare (List.map snd pairs) in
+  let index = Hashtbl.create (List.length sigs) in
+  List.iteri (fun i s -> Hashtbl.replace index s i) sigs;
+  List.fold_left
+    (fun acc (node, s) ->
+      let col = Hashtbl.find index s in
+      match node with
+      | N_ot t -> { acc with ot = Smap.add t col acc.ot }
+      | N_ft f -> { acc with ft = Smap.add f col acc.ft })
+    { ot = Smap.empty; ft = Smap.empty; count = List.length sigs }
+    pairs
+
+let rec fix budget schema c =
+  decr budget;
+  let c' = recolor schema c in
+  if c'.count = c.count then c' else fix budget schema c'
+
+(* Non-singleton color cells, members in deterministic (name) order,
+   smallest color first. *)
+let first_ambiguous_cell schema c =
+  let by_color = Hashtbl.create 16 in
+  let add col node =
+    Hashtbl.replace by_color col
+      (node
+      :: (match Hashtbl.find_opt by_color col with Some l -> l | None -> []))
+  in
+  List.iter (fun t -> add (ot_color c t) (N_ot t)) (Schema.object_types schema);
+  List.iter
+    (fun (ft : Fact_type.t) -> add (ft_color c ft.name) (N_ft ft.name))
+    (Schema.fact_types schema);
+  let cells =
+    Hashtbl.fold
+      (fun col members acc ->
+        if List.length members > 1 then (col, List.rev members) :: acc else acc)
+      by_color []
+  in
+  match List.sort (fun (a, _) (b, _) -> compare a b) cells with
+  | [] -> None
+  | (_, members) :: _ -> Some members
+
+let individualize c node =
+  match node with
+  | N_ot t -> { c with ot = Smap.add t c.count c.ot; count = c.count + 1 }
+  | N_ft f -> { c with ft = Smap.add f c.count c.ft; count = c.count + 1 }
+
+(* ---- building the canonical representative --------------------------- *)
+
+let printed_body b = Format.asprintf "%a" Constraints.pp_body b
+
+(* A discrete coloring names the nodes: object types become T0,T1,… and
+   fact types F0,F1,… in color order.  The canonical name strings are
+   allocated once and handed out through the mapping tables, so every
+   occurrence across the rebuilt schema is physically shared; roles and
+   role sequences are interned the same way while constraint bodies are
+   normalized. *)
+let build schema c =
+  let rank_names names color =
+    let ranked =
+      List.sort
+        (fun a b -> compare (color a) (color b))
+        names
+    in
+    ranked
+  in
+  let ot_tbl = Hashtbl.create 16 and ft_tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i t -> Hashtbl.replace ot_tbl t ("T" ^ string_of_int i))
+    (rank_names (Schema.object_types schema) (ot_color c));
+  List.iteri
+    (fun i f -> Hashtbl.replace ft_tbl f ("F" ^ string_of_int i))
+    (rank_names
+       (List.map (fun (ft : Fact_type.t) -> ft.name) (Schema.fact_types schema))
+       (ft_color c));
+  let renamed =
+    Schema.rename ~schema_name:"S0"
+      ~object_type:(Hashtbl.find ot_tbl)
+      ~fact_type:(Hashtbl.find ft_tbl)
+      schema
+  in
+  (* hash-consing: one physical representative per role / role sequence *)
+  let role_tbl : (Ids.role, Ids.role) Hashtbl.t = Hashtbl.create 32 in
+  let seq_tbl : (Ids.role_seq, Ids.role_seq) Hashtbl.t = Hashtbl.create 32 in
+  let ir r =
+    match Hashtbl.find_opt role_tbl r with
+    | Some r -> r
+    | None ->
+        Hashtbl.add role_tbl r r;
+        r
+  in
+  let is s =
+    let s =
+      match s with
+      | Ids.Single r -> Ids.Single (ir r)
+      | Ids.Pair (r1, r2) -> Ids.Pair (ir r1, ir r2)
+    in
+    match Hashtbl.find_opt seq_tbl s with
+    | Some s -> s
+    | None ->
+        Hashtbl.add seq_tbl s s;
+        s
+  in
+  let norm : Constraints.body -> Constraints.body = function
+    | Mandatory r -> Mandatory (ir r)
+    | Disjunctive_mandatory rs ->
+        Disjunctive_mandatory (List.sort Ids.compare_role (List.map ir rs))
+    | Uniqueness s -> Uniqueness (is s)
+    | External_uniqueness rs ->
+        External_uniqueness (List.sort Ids.compare_role (List.map ir rs))
+    | Frequency (s, f) -> Frequency (is s, f)
+    | Value_constraint (t, vs) -> Value_constraint (t, vs)
+    | Role_exclusion seqs ->
+        Role_exclusion (List.sort Ids.compare_seq (List.map is seqs))
+    | Subset (a, b) -> Subset (is a, is b)
+    | Equality (a, b) -> Equality (is a, is b)
+    | Type_exclusion ts -> Type_exclusion (List.sort String.compare ts)
+    | Total_subtypes (super, subs) ->
+        Total_subtypes (super, List.sort String.compare subs)
+    | Ring (k, f) -> Ring (k, f)
+  in
+  let cstrs =
+    List.map
+      (fun (cstr : Constraints.t) ->
+        let body = norm cstr.body in
+        (printed_body body, body, cstr.id))
+      (Schema.constraints renamed)
+  in
+  let cstrs =
+    List.stable_sort (fun (a, _, _) (b, _, _) -> String.compare a b) cstrs
+  in
+  let base = Schema.empty "S0" in
+  let base =
+    List.fold_left
+      (fun s t -> Schema.add_object_type t s)
+      base (Schema.object_types renamed)
+  in
+  let base =
+    List.fold_left
+      (fun s (sub, super) -> Schema.add_subtype ~sub ~super s)
+      base
+      (Subtype_graph.edges (Schema.graph renamed))
+  in
+  let base =
+    List.fold_left
+      (fun s ft -> Schema.add_fact ft s)
+      base (Schema.fact_types renamed)
+  in
+  let canon, id_pairs, _ =
+    List.fold_left
+      (fun (s, pairs, i) (_, body, orig_id) ->
+        let cid = "c" ^ string_of_int i in
+        ( Schema.add_constraint (Constraints.make cid body) s,
+          (cid, orig_id) :: pairs,
+          i + 1 ))
+      (base, [], 0) cstrs
+  in
+  let pairs_of tbl =
+    Hashtbl.fold (fun orig canon acc -> (canon, orig) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let rename =
+    {
+      schema_name = ("S0", Schema.name schema);
+      types = pairs_of ot_tbl;
+      facts = pairs_of ft_tbl;
+      constraint_ids = List.rev id_pairs;
+    }
+  in
+  let text = Orm_dsl.Printer.to_string canon in
+  { schema = canon; text; digest = Digest.to_hex (Digest.string text); rename }
+
+let canonicalize schema =
+  let budget = ref work_budget in
+  let rec solve c =
+    match first_ambiguous_cell schema c with
+    | None -> build schema c
+    | Some members ->
+        let branch m = solve (fix budget schema (individualize c m)) in
+        if !budget <= 0 then branch (List.hd members)
+        else
+          List.fold_left
+            (fun best m ->
+              let cand = branch m in
+              match best with
+              | Some b when String.compare b.text cand.text <= 0 -> best
+              | _ -> Some cand)
+            None members
+          |> Option.get
+  in
+  solve (fix budget schema (initial schema))
+
+let digest schema = (canonicalize schema).digest
+
+(* ---- renaming response bodies back ------------------------------------ *)
+
+let is_ident_char ch =
+  (ch >= 'A' && ch <= 'Z')
+  || (ch >= 'a' && ch <= 'z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_'
+
+let rename_string tbl s =
+  let n = String.length s in
+  (* fast path: strings without any mapped token are the common case *)
+  let rec scan i changed acc =
+    if i >= n then (changed, acc)
+    else if is_ident_char s.[i] then begin
+      let j = ref i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let tok = String.sub s i (!j - i) in
+      match Hashtbl.find_opt tbl tok with
+      | Some orig -> scan !j true (acc @ [ (i, !j, orig) ])
+      | None -> scan !j changed acc
+    end
+    else scan (i + 1) changed acc
+  in
+  match scan 0 false [] with
+  | false, _ -> s
+  | true, repls ->
+      let buf = Buffer.create (n + 16) in
+      let pos =
+        List.fold_left
+          (fun pos (i, j, orig) ->
+            Buffer.add_substring buf s pos (i - pos);
+            Buffer.add_string buf orig;
+            j)
+          0 repls
+      in
+      Buffer.add_substring buf s pos (n - pos);
+      Buffer.contents buf
+
+let rename_value r v =
+  let tbl = Hashtbl.create 64 in
+  let addp (canon, orig) = Hashtbl.replace tbl canon orig in
+  addp r.schema_name;
+  List.iter addp r.types;
+  List.iter addp r.facts;
+  List.iter addp r.constraint_ids;
+  let rec go = function
+    | Orm_json.String s ->
+        let s' = rename_string tbl s in
+        if s' == s then Orm_json.String s else Orm_json.String s'
+    | Orm_json.List l -> Orm_json.List (List.map go l)
+    | Orm_json.Obj fields -> Orm_json.Obj (List.map (fun (k, v) -> (k, go v)) fields)
+    | v -> v
+  in
+  go v

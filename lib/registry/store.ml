@@ -1,0 +1,307 @@
+module J = Orm_json
+
+type entry = {
+  digest : string;
+  name : string;
+  verdict : string;
+  patterns : int;
+  diagnostics : int;
+}
+
+type t = {
+  format_version : int;
+  dir : string;
+  index_path : string;
+  entries : (string, entry) Hashtbl.t;
+  mutable offset : int;  (* bytes of index.ndjson already replayed *)
+  mutable ingested : int;
+  mutable duplicates : int;
+}
+
+let pattern_bit n = 1 lsl n
+
+let patterns_of_bitmap bm =
+  let rec go n acc =
+    if n < 0 then acc
+    else go (n - 1) (if bm land pattern_bit n <> 0 then n :: acc else acc)
+  in
+  go 62 []
+
+let bitmap_of_patterns ns =
+  List.fold_left (fun bm n -> bm lor pattern_bit n) 0 ns
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(* ---- index replay ------------------------------------------------------ *)
+
+(* One index record.  A replayed "new" record whose digest is already
+   present (two workers raced the same schema) folds into a duplicate, so
+   the covering index and the counters converge to the same state in every
+   worker whatever the interleaving. *)
+let apply t line =
+  match J.of_string line with
+  | Error _ -> ()
+  | Ok record -> (
+      let fv = Option.value ~default:(-1) (J.int_member "fv" record) in
+      if fv <> t.format_version then ()
+      else
+        match J.string_member "dup" record with
+        | Some _ -> t.duplicates <- t.duplicates + 1
+        | None -> (
+            match
+              ( J.string_member "digest" record,
+                J.string_member "verdict" record )
+            with
+            | Some digest, Some verdict ->
+                if Hashtbl.mem t.entries digest then
+                  t.duplicates <- t.duplicates + 1
+                else begin
+                  Hashtbl.replace t.entries digest
+                    {
+                      digest;
+                      name =
+                        Option.value ~default:""
+                          (J.string_member "name" record);
+                      verdict;
+                      patterns =
+                        Option.value ~default:0
+                          (J.int_member "patterns" record);
+                      diagnostics =
+                        Option.value ~default:0
+                          (J.int_member "diagnostics" record);
+                    };
+                  t.ingested <- t.ingested + 1
+                end
+            | _ -> ()))
+
+let refresh t =
+  let size =
+    match Unix.stat t.index_path with
+    | exception Unix.Unix_error _ -> 0
+    | st -> st.Unix.st_size
+  in
+  if size > t.offset then begin
+    match Unix.openfile t.index_path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            ignore (Unix.lseek fd t.offset Unix.SEEK_SET);
+            let want = size - t.offset in
+            let buf = Bytes.create want in
+            let rec read_all off =
+              if off < want then
+                match Unix.read fd buf off (want - off) with
+                | 0 -> off
+                | n -> read_all (off + n)
+              else off
+            in
+            let got = read_all 0 in
+            let s = Bytes.sub_string buf 0 got in
+            (* consume only complete lines: a concurrent writer's partial
+               line stays for the next refresh *)
+            match String.rindex_opt s '\n' with
+            | None -> ()
+            | Some last ->
+                String.split_on_char '\n' (String.sub s 0 last)
+                |> List.iter (fun line ->
+                       if String.trim line <> "" then apply t line);
+                t.offset <- t.offset + last + 1)
+  end
+
+let create ~format_version ~dir =
+  mkdir_p (Filename.concat dir "entries");
+  let t =
+    {
+      format_version;
+      dir;
+      index_path = Filename.concat dir "index.ndjson";
+      entries = Hashtbl.create 256;
+      offset = 0;
+      ingested = 0;
+      duplicates = 0;
+    }
+  in
+  refresh t;
+  t
+
+let dir t = t.dir
+let find t digest = Hashtbl.find_opt t.entries digest
+let size t = Hashtbl.length t.entries
+let ingested t = t.ingested
+let duplicates t = t.duplicates
+
+(* ---- ingest ------------------------------------------------------------ *)
+
+let entry_path t digest =
+  let shard = if String.length digest >= 2 then String.sub digest 0 2 else "xx" in
+  Filename.concat (Filename.concat t.dir "entries") (Filename.concat shard (digest ^ ".json"))
+
+let write_entry_file t digest body =
+  let path = entry_path t digest in
+  mkdir_p (Filename.dirname path);
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  try
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (J.to_string body));
+    Unix.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ -> (
+    try Unix.unlink tmp with Unix.Unix_error _ | Sys_error _ -> ())
+
+let append_index t record =
+  let line = J.to_string record ^ "\n" in
+  match
+    Unix.openfile t.index_path
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* one write: whole lines interleave cleanly across workers *)
+          ignore (Unix.write_substring fd line 0 (String.length line)))
+
+let ingest t ~digest ~name ~verdict ~patterns ~diagnostics ~entry_body =
+  refresh t;
+  let verdict_of_existing = Hashtbl.mem t.entries digest in
+  if verdict_of_existing then begin
+    append_index t
+      (J.Obj [ ("dup", J.String digest); ("fv", J.Int t.format_version) ]);
+    refresh t;
+    `Dup
+  end
+  else begin
+    write_entry_file t digest
+      (J.Obj
+         ([
+            ("digest", J.String digest);
+            ("fv", J.Int t.format_version);
+            ("name", J.String name);
+            ("verdict", J.String verdict);
+            ("patterns", J.Int patterns);
+            ("diagnostics", J.Int diagnostics);
+          ]
+         @ match entry_body with J.Null -> [] | b -> [ ("entry", b) ]));
+    append_index t
+      (J.Obj
+         [
+           ("digest", J.String digest);
+           ("name", J.String name);
+           ("verdict", J.String verdict);
+           ("patterns", J.Int patterns);
+           ("diagnostics", J.Int diagnostics);
+           ("fv", J.Int t.format_version);
+         ]);
+    refresh t;
+    `New
+  end
+
+let load_entry t digest =
+  match
+    In_channel.with_open_bin (entry_path t digest) In_channel.input_all
+  with
+  | exception Sys_error _ -> None
+  | content -> ( match J.of_string content with Ok v -> Some v | Error _ -> None)
+
+(* ---- queries ----------------------------------------------------------- *)
+
+type term = T_pattern of int | T_verdict of string
+
+let parse_term tok =
+  match String.index_opt tok ':' with
+  | None -> Error (Printf.sprintf "bad query term %S (expected key:value)" tok)
+  | Some i -> (
+      let key = String.sub tok 0 i in
+      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match key with
+      | "pattern" -> (
+          match int_of_string_opt v with
+          | Some n when n >= 1 && n <= 62 -> Ok (T_pattern n)
+          | _ -> Error (Printf.sprintf "bad pattern number %S" v))
+      | "verdict" ->
+          if v = "unsat" || v = "clean" then Ok (T_verdict v)
+          else Error (Printf.sprintf "bad verdict %S (unsat or clean)" v)
+      | _ -> Error (Printf.sprintf "unknown query key %S" key))
+
+let parse_query q =
+  let toks =
+    String.split_on_char ' ' q
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc tok ->
+      match (acc, parse_term tok) with
+      | Error _, _ -> acc
+      | _, Error e -> Error e
+      | Ok terms, Ok t -> Ok (t :: terms))
+    (Ok []) toks
+  |> Result.map List.rev
+
+let matches entry = function
+  | T_pattern n -> entry.patterns land pattern_bit n <> 0
+  | T_verdict v -> entry.verdict = v
+
+let query t ?(limit = 50) q =
+  match parse_query q with
+  | Error e -> Error e
+  | Ok terms ->
+      let all =
+        Hashtbl.fold
+          (fun _ e acc ->
+            if List.for_all (matches e) terms then e :: acc else acc)
+          t.entries []
+        |> List.sort (fun a b -> String.compare a.digest b.digest)
+      in
+      let total = List.length all in
+      Ok (List.filteri (fun i _ -> i < limit) all, total)
+
+(* ---- aggregates -------------------------------------------------------- *)
+
+let stats t =
+  let verdicts = Hashtbl.create 4 in
+  let pattern_counts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ e ->
+      Hashtbl.replace verdicts e.verdict
+        (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts e.verdict));
+      List.iter
+        (fun n ->
+          Hashtbl.replace pattern_counts n
+            (1 + Option.value ~default:0 (Hashtbl.find_opt pattern_counts n)))
+        (patterns_of_bitmap e.patterns))
+    t.entries;
+  let leaderboard =
+    Hashtbl.fold (fun n count acc -> (n, count) :: acc) pattern_counts []
+    |> List.sort (fun (na, ca) (nb, cb) ->
+           if ca <> cb then compare cb ca else compare na nb)
+    |> List.map (fun (n, count) ->
+           J.Obj [ ("pattern", J.Int n); ("entries", J.Int count) ])
+  in
+  let verdict_fields =
+    Hashtbl.fold (fun v count acc -> (v, J.Int count) :: acc) verdicts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let total = t.ingested + t.duplicates in
+  J.Obj
+    [
+      ("entries", J.Int (size t));
+      ("ingested", J.Int t.ingested);
+      ("duplicates", J.Int t.duplicates);
+      ( "dedup_ratio",
+        if total = 0 then J.Float 0.0
+        else J.Float (float_of_int t.duplicates /. float_of_int total) );
+      ("verdicts", J.Obj verdict_fields);
+      ("patterns", J.List leaderboard);
+    ]

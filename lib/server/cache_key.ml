@@ -1,0 +1,6 @@
+let format_version = 3
+
+let render ~format_version ~subject ~meth ~settings_key ~budget ~sat_budget
+    ~backend =
+  Printf.sprintf "v%d:%s:%s:%s:b%d:sb%d:%s" format_version subject meth
+    settings_key budget sat_budget backend

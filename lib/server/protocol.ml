@@ -2,13 +2,12 @@ module Settings = Orm_patterns.Settings
 
 let version = 1
 
-(* Bumped whenever the schema format or the meaning of a serialized result
-   changes between binaries.  Folded into every cache key, so a persistent
-   store written by an older build misses cleanly instead of serving a
-   result the current engine would compute differently.
-   v2: unified JSON core (Orm_json) — shortest-round-trip float printing
-   and a sharded disk-cache layout. *)
-let format_version = 2
+(* Folded into every cache key so a persistent store written by an older
+   build misses cleanly instead of serving a result the current engine
+   would compute differently.  The constant itself lives in Cache_key,
+   shared with the disk tier and the registry store — bumping it
+   invalidates all three persistent tiers at once. *)
+let format_version = Cache_key.format_version
 
 (* ---- JSON -------------------------------------------------------------- *)
 
@@ -36,7 +35,17 @@ exception Bad of string
 
 (* ---- requests ---------------------------------------------------------- *)
 
-type meth = Check | Batch | Reason | Lint | Stats | Ping | Shutdown
+type meth =
+  | Check
+  | Batch
+  | Reason
+  | Lint
+  | Stats
+  | Ping
+  | Shutdown
+  | Ingest
+  | Query
+  | Registry_stats
 
 let meth_to_string = function
   | Check -> "check"
@@ -46,6 +55,9 @@ let meth_to_string = function
   | Stats -> "stats"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
+  | Ingest -> "ingest"
+  | Query -> "query"
+  | Registry_stats -> "registry-stats"
 
 let meth_of_string = function
   | "check" -> Some Check
@@ -55,6 +67,9 @@ let meth_of_string = function
   | "stats" -> Some Stats
   | "ping" -> Some Ping
   | "shutdown" -> Some Shutdown
+  | "ingest" -> Some Ingest
+  | "query" -> Some Query
+  | "registry-stats" -> Some Registry_stats
   | _ -> None
 
 type request = {
@@ -68,6 +83,8 @@ type request = {
   budget : int;
   sat_budget : int;
   backend : [ `Auto | `Dlr | `Sat | `Both ];
+  q : string option;
+  limit : int option;
 }
 
 let default_budget = 50_000
@@ -177,6 +194,16 @@ let parse_request line =
                       budget = int "budget" default_budget;
                       sat_budget = int "sat_budget" default_sat_budget;
                       backend;
+                      q =
+                        (match member "q" params with
+                        | Some (String s) -> Some s
+                        | Some _ -> raise (Bad "q: expected string")
+                        | None -> None);
+                      limit =
+                        (match member "limit" params with
+                        | Some (Int n) -> Some n
+                        | Some _ -> raise (Bad "limit: expected integer")
+                        | None -> None);
                     }
                   with
                   | req -> Ok req
@@ -211,8 +238,10 @@ let settings_params (s : Settings.t) =
   else [ ("disable", Orm_json.ints disabled) ]
 
 let params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
-    ?budget ?sat_budget ?backend () =
-  (match schema_text with Some s -> [ ("schema", String s) ] | None -> [])
+    ?budget ?sat_budget ?backend ?q ?limit () =
+  (match q with Some s -> [ ("q", String s) ] | None -> [])
+  @ (match limit with Some n -> [ ("limit", Int n) ] | None -> [])
+  @ (match schema_text with Some s -> [ ("schema", String s) ] | None -> [])
   @ (match schema_texts with
     | Some texts -> [ ("schemas", Orm_json.strings texts) ]
     | None -> [])
@@ -232,17 +261,17 @@ let params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
   | _ -> []
 
 let build_params ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
-    ?budget ?sat_budget ?backend () =
+    ?budget ?sat_budget ?backend ?q ?limit () =
   json_to_string
     (Obj
        (params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
-          ?budget ?sat_budget ?backend ()))
+          ?budget ?sat_budget ?backend ?q ?limit ()))
 
 let build_request ?id ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
-    ?budget ?sat_budget ?backend meth =
+    ?budget ?sat_budget ?backend ?q ?limit meth =
   let params =
     params_fields ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
-      ?budget ?sat_budget ?backend ()
+      ?budget ?sat_budget ?backend ?q ?limit ()
   in
   json_to_string
     (Obj
@@ -251,13 +280,19 @@ let build_request ?id ?schema_text ?schema_texts ?settings ?jobs ?deadline_ms
        @ [ ("method", String (meth_to_string meth)) ]
        @ if params = [] then [] else [ ("params", Obj params) ]))
 
-let cache_key_with ~format_version req =
+let settings_key req =
   let s = req.settings in
-  let settings_key =
-    Printf.sprintf "e%s;pf%b;pr%b;evs%b"
-      (String.concat "," (List.map string_of_int (List.sort compare s.Settings.enabled)))
-      s.Settings.paper_faithful s.Settings.propagate s.Settings.effective_value_sets
-  in
+  Printf.sprintf "e%s;pf%b;pr%b;evs%b"
+    (String.concat "," (List.map string_of_int (List.sort compare s.Settings.enabled)))
+    s.Settings.paper_faithful s.Settings.propagate s.Settings.effective_value_sets
+
+let key_for_subject ~format_version req subject =
+  Cache_key.render ~format_version ~subject ~meth:(meth_to_string req.meth)
+    ~settings_key:(settings_key req) ~budget:req.budget
+    ~sat_budget:req.sat_budget
+    ~backend:(backend_to_string req.backend)
+
+let cache_key_with ~format_version req =
   (* NUL never appears in schema source, so the joined batch payload cannot
      collide with a differently-split batch of the same concatenation. *)
   let payload =
@@ -265,12 +300,17 @@ let cache_key_with ~format_version req =
     | Some texts -> String.concat "\x00" texts
     | None -> Option.value ~default:"" req.schema_text
   in
-  Printf.sprintf "v%d:%s:%s:%s:b%d:sb%d:%s" format_version
+  key_for_subject ~format_version req
     (Digest.to_hex (Digest.string payload))
-    (meth_to_string req.meth) settings_key req.budget req.sat_budget
-    (backend_to_string req.backend)
 
 let cache_key req = cache_key_with ~format_version req
+
+(* The structural tier's key: same request fingerprint, but the subject is
+   the canonical digest(s) of the schema(s), so any renamed clone of the
+   same structure lands on the same entry.  The [c-] prefix keeps the two
+   subject spaces disjoint. *)
+let canonical_cache_key req ~digests =
+  key_for_subject ~format_version req ("c-" ^ String.concat "+" digests)
 
 (* The schema digest alone (the cache key's subject), for audit records:
    hex MD5 of the schema text, or of the NUL-joined batch texts. *)

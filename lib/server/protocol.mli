@@ -52,10 +52,12 @@ val version : int
     version are answered with an [error] response. *)
 
 val format_version : int
-(** Schema-format / result-encoding version of this build, folded into
-    every {!cache_key}.  Bump it whenever the [.orm] format or the meaning
-    of a serialized result changes, so persistent stores written by older
-    builds miss instead of serving stale answers. *)
+(** Schema-format / result-encoding version of this build
+    ({!Cache_key.format_version}), folded into every {!cache_key}.  Bump
+    it (there) whenever the [.orm] format or the meaning of a serialized
+    result changes, so persistent stores written by older builds — LRU
+    keys, disk-cache entries and registry records alike — miss instead of
+    serving stale answers. *)
 
 val default_budget : int
 (** Tableau rule budget a request carries when the wire names none. *)
@@ -63,7 +65,17 @@ val default_budget : int
 val default_sat_budget : int
 (** DPLL step budget a request carries when the wire names none. *)
 
-type meth = Check | Batch | Reason | Lint | Stats | Ping | Shutdown
+type meth =
+  | Check
+  | Batch
+  | Reason
+  | Lint
+  | Stats
+  | Ping
+  | Shutdown
+  | Ingest  (** bulk-add checked schemas to the registry store *)
+  | Query  (** covering-index query over the registry ([q] param) *)
+  | Registry_stats  (** registry aggregates; wire name ["registry-stats"] *)
 
 val meth_to_string : meth -> string
 val meth_of_string : string -> meth option
@@ -83,6 +95,8 @@ type request = {
       (** complete procedure(s) for [reason]; [`Auto] delegates the choice
           to the planner (the wire default stays ["both"] for
           compatibility — older clients keep their semantics) *)
+  q : string option;  (** registry query string ([query]) *)
+  limit : int option;  (** registry query match cap ([query]) *)
 }
 
 val parse_request : string -> (request, string * string option) result
@@ -100,6 +114,8 @@ val build_request :
   ?budget:int ->
   ?sat_budget:int ->
   ?backend:[ `Auto | `Dlr | `Sat | `Both ] ->
+  ?q:string ->
+  ?limit:int ->
   meth ->
   string
 (** The client side: one request line (no trailing newline).  Settings and
@@ -115,6 +131,8 @@ val build_params :
   ?budget:int ->
   ?sat_budget:int ->
   ?backend:[ `Auto | `Dlr | `Sat | `Both ] ->
+  ?q:string ->
+  ?limit:int ->
   unit ->
   string
 (** Just the [params] object of {!build_request}, serialized — the HTTP
@@ -132,6 +150,13 @@ val cache_key : request -> string
 val cache_key_with : format_version:int -> request -> string
 (** {!cache_key} under an explicit format version — exposed so tests can
     prove that a version bump misses the cache. *)
+
+val canonical_cache_key : request -> digests:string list -> string
+(** The structural tier's key for a request whose schema(s) canonicalized
+    to [digests] ({!Orm_registry.Canon.digest}, in request order for a
+    batch): identical to {!cache_key} except the subject is the joined
+    canonical digests prefixed [c-], so isomorphic clones share an entry
+    in both the LRU and the disk tier. *)
 
 val schema_digest : request -> string option
 (** The digest component alone (hex MD5 of the schema text, or of the

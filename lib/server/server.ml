@@ -7,6 +7,8 @@ module P = Protocol
 module Slo = Orm_obs.Slo
 module Audit = Orm_obs.Audit
 module Prometheus = Orm_obs.Prometheus
+module Canon = Orm_registry.Canon
+module Registry = Orm_registry.Store
 
 type config = {
   cache_capacity : int;
@@ -35,6 +37,13 @@ let default_config =
 type t = {
   mutable config : config;  (* replaced whole on hot reload *)
   cache : (string * P.json) list Cache.t;
+  (* byte digest -> (canonical key, rename maps): the fast pre-check that
+     lets a byte-identical warm request skip parsing, while a byte-miss
+     pays one canonicalization and then shares the canonical entry with
+     every isomorphic clone.  No metrics: its lookups are bookkeeping, not
+     result-cache traffic. *)
+  alias : (string * Canon.rename list) Cache.t;
+  registry : Registry.t option;  (* corpus store behind ingest/query *)
   disk : Disk_cache.t option;  (* persistent tier under the LRU *)
   stats_sink : string option;  (* dir of per-worker metrics snapshots *)
   metrics : Metrics.t option;
@@ -64,7 +73,7 @@ type t = {
   mutable cx_deadline_ms : int option;
 }
 
-let create ?metrics ?tracer ?disk_cache ?stats_sink ?audit config =
+let create ?metrics ?tracer ?disk_cache ?stats_sink ?audit ?registry config =
   Printexc.record_backtrace true;
   (* tail sampling needs spans to dump: a server that audits without an
      explicit tracer records into a private one *)
@@ -76,6 +85,8 @@ let create ?metrics ?tracer ?disk_cache ?stats_sink ?audit config =
   {
     config;
     cache = Cache.create ?metrics ~capacity:config.cache_capacity ();
+    alias = Cache.create ~capacity:config.cache_capacity ();
+    registry;
     disk = disk_cache;
     stats_sink;
     metrics;
@@ -127,6 +138,7 @@ let reconfigure t (c : Server_config.t) =
         Option.value ~default:cfg.drain_linger_ms c.drain_linger_ms;
     };
   Option.iter (Cache.set_capacity t.cache) c.cache_capacity;
+  Option.iter (Cache.set_capacity t.alias) c.cache_capacity;
   (match (t.disk, c.disk_cache_mb) with
   | Some d, Some mb -> Disk_cache.set_max_bytes d (mb * 1024 * 1024)
   | _ -> ());
@@ -448,6 +460,13 @@ let stats_body t =
               ] );
         ]
   in
+  let registry =
+    match t.registry with
+    | None -> []
+    | Some store ->
+        Registry.refresh store;
+        [ ("registry", Registry.stats store) ]
+  in
   let cluster =
     match cluster_snapshots t with
     | None -> []
@@ -479,7 +498,7 @@ let stats_body t =
                  (Metrics.snapshot m)) );
         ]
   in
-  [ ("result", P.Obj (counters @ disk @ cluster @ metrics @ slo)) ]
+  [ ("result", P.Obj (counters @ disk @ registry @ cluster @ metrics @ slo)) ]
 
 (* GET /metrics: the whole cluster in one scrape.  With a stats sink every
    worker's snapshot is folded in (the scraped worker flushes its own
@@ -648,16 +667,115 @@ let dispatch t (req : P.request) =
                   (P.ok_response ~id:req.id ~cached:false body, `Continue)
                 end))
   in
-  let with_schema k =
+  (* ---- canonical (structural) tier ----
+     [check]/[batch]/[lint] results are keyed by the schema's canonical
+     digest, so isomorphic clones — renamed types, shuffled declarations —
+     share one cache entry across the LRU and the disk tier.  The byte
+     digest stays as a fast pre-check: the [alias] LRU maps it to the
+     canonical key and rename maps, so a byte-identical warm request still
+     skips parsing entirely; only a byte-miss pays one canonicalization.
+     Results are stored under canonical names and renamed back through the
+     recorded bijection when served.  [reason] stays byte-keyed (below):
+     the complete backends are budget-sensitive and their statistics and
+     Unknown-element sets follow variable order, which follows names. *)
+  let rename_back renames body =
+    match renames with
+    | [ r ] -> List.map (fun (k, v) -> (k, Canon.rename_value r v)) body
+    | rs ->
+        (* batch: each schema has its own bijection, applied to its own
+           result slot; top-level fields carry no schema names *)
+        List.map
+          (fun (k, v) ->
+            match (k, v) with
+            | "results", P.List items when List.length items = List.length rs
+              ->
+                ("results", P.List (List.map2 Canon.rename_value rs items))
+            | _ -> (k, v))
+          body
+  in
+  let canon_find canon_key =
+    match Cache.find t.cache canon_key with
+    | Some body ->
+        instant t "server.cache_hit";
+        t.cx_tier <- "memory";
+        Some body
+    | None -> (
+        match disk_find canon_key with
+        | Some body ->
+            instant t "server.disk_hit";
+            t.cx_tier <- "disk";
+            Cache.add t.cache canon_key body;
+            Some body
+        | None -> None)
+  in
+  let canonical_cached_or_compute ~load compute =
+    let byte_key = P.cache_key req in
+    let serve canon_key renames =
+      Option.map
+        (fun body ->
+          ( P.ok_response ~id:req.id ~cached:true (rename_back renames body),
+            `Continue ))
+        (canon_find canon_key)
+    in
+    let from_alias =
+      match Cache.find t.alias byte_key with
+      | Some (canon_key, renames) -> serve canon_key renames
+      | None -> None
+    in
+    match from_alias with
+    | Some resp -> resp
+    | None -> (
+        match load () with
+        | Error msg -> (P.error_response ~id:req.id msg, `Continue)
+        | Ok schemas -> (
+            let c0 = Metrics.now_ns () in
+            let canons = List.map Canon.canonicalize schemas in
+            add_phase t "canonicalize"
+              (Int64.to_int (Int64.sub (Metrics.now_ns ()) c0));
+            let canon_key =
+              P.canonical_cache_key req
+                ~digests:(List.map (fun c -> c.Canon.digest) canons)
+            in
+            let renames = List.map (fun c -> c.Canon.rename) canons in
+            Cache.add t.alias byte_key (canon_key, renames);
+            match serve canon_key renames with
+            | Some resp ->
+                (* the byte digest missed but the structure hit: the whole
+                   point of the canonical tier *)
+                Option.iter (fun m -> Metrics.record_canon_hit m 1) t.metrics;
+                resp
+            | None ->
+                Option.iter (fun m -> Metrics.record_canon_miss m 1) t.metrics;
+                instant t "server.cache_miss";
+                let c0 = Metrics.now_ns () in
+                let body =
+                  compute (List.map (fun c -> c.Canon.schema) canons)
+                in
+                add_phase t "compute"
+                  (Int64.to_int (Int64.sub (Metrics.now_ns ()) c0));
+                if expired () then timeout ()
+                else begin
+                  Cache.add t.cache canon_key body;
+                  disk_add canon_key body;
+                  ( P.ok_response ~id:req.id ~cached:false
+                      (rename_back renames body),
+                    `Continue )
+                end))
+  in
+  let require_schema k =
     match req.schema_text with
     | None ->
         ( P.error_response ~id:req.id
             (Printf.sprintf "method %S requires params.schema"
                (P.meth_to_string req.meth)),
           `Continue )
-    | Some text ->
-        cached_or_compute (P.cache_key req) (fun () ->
-            Result.map k (load_schema text))
+    | Some text -> k text
+  in
+  let with_schema k =
+    require_schema (fun text ->
+        canonical_cached_or_compute
+          ~load:(fun () -> Result.map (fun s -> [ s ]) (load_schema text))
+          (function [ s ] -> k s | _ -> assert false))
   in
   let with_schemas k =
     match req.schema_texts with
@@ -666,7 +784,8 @@ let dispatch t (req : P.request) =
             "method \"batch\" requires a non-empty params.schemas array",
           `Continue )
     | Some texts ->
-        cached_or_compute (P.cache_key req) (fun () ->
+        canonical_cached_or_compute
+          ~load:(fun () ->
             (* all schemas must load: the response is per-schema results in
                input order, so a single bad schema fails the whole batch
                with its position rather than shifting everyone's indices *)
@@ -678,7 +797,161 @@ let dispatch t (req : P.request) =
                   | Ok schema ->
                       Result.map (fun tl -> schema :: tl) (load (i + 1) rest))
             in
-            Result.map k (load 0 texts))
+            load 0 texts)
+          k
+  in
+  (* [reason] keeps the plain byte-digest key (see above) *)
+  let with_schema_bytes k =
+    require_schema (fun text ->
+        cached_or_compute (P.cache_key req) (fun () ->
+            Result.map k (load_schema text)))
+  in
+  (* ---- registry methods ---- *)
+  let registry_required k =
+    match t.registry with
+    | None ->
+        ( P.error_response ~id:req.id
+            "registry not configured (start the server with --registry DIR)",
+          `Continue )
+    | Some store -> k store
+  in
+  let registry_ingest store =
+    match req.schema_texts with
+    | None | Some [] ->
+        ( P.error_response ~id:req.id
+            "method \"ingest\" requires a non-empty params.schemas array",
+          `Continue )
+    | Some texts ->
+        Registry.refresh store;
+        let news = ref 0 and dups = ref 0 and failed = ref 0 in
+        let stop = ref false in
+        let results =
+          List.mapi
+            (fun i text ->
+              if !stop || expired () then begin
+                stop := true;
+                None
+              end
+              else
+                Some
+                  (match load_schema text with
+                  | Error msg ->
+                      incr failed;
+                      P.Obj
+                        [
+                          ("index", P.Int i);
+                          ("status", P.String "error");
+                          ("error", P.String msg);
+                        ]
+                  | Ok schema ->
+                      let c = Canon.canonicalize schema in
+                      (* the stored verdict is computed on the canonical
+                         representative: one check covers the whole
+                         isomorphism class *)
+                      let report =
+                        Engine.check ~settings:req.settings ?metrics:t.metrics
+                          ?tracer:t.tracer ?deadline_ns c.Canon.schema
+                      in
+                      let patterns =
+                        List.fold_left
+                          (fun bm d ->
+                            match Orm_patterns.Diagnostic.pattern_number d with
+                            | Some n -> bm lor Registry.pattern_bit n
+                            | None -> bm)
+                          0 report.Engine.diagnostics
+                      in
+                      let verdict =
+                        if report.Engine.diagnostics = [] then "clean"
+                        else "unsat"
+                      in
+                      let status =
+                        Registry.ingest store ~digest:c.Canon.digest
+                          ~name:(Orm.Schema.name schema) ~verdict ~patterns
+                          ~diagnostics:(List.length report.Engine.diagnostics)
+                          ~entry_body:
+                            (P.Obj
+                               [
+                                 ("canonical", P.String c.Canon.text);
+                                 ( "report",
+                                   Orm_export.Json.report_value report );
+                               ])
+                      in
+                      let status_s =
+                        match status with
+                        | `New ->
+                            incr news;
+                            "new"
+                        | `Dup ->
+                            incr dups;
+                            "duplicate"
+                      in
+                      P.Obj
+                        [
+                          ("index", P.Int i);
+                          ("digest", P.String c.Canon.digest);
+                          ("name", P.String (Orm.Schema.name schema));
+                          ("status", P.String status_s);
+                          ("verdict", P.String verdict);
+                          ( "patterns",
+                            Orm_json.ints (Registry.patterns_of_bitmap patterns)
+                          );
+                        ]))
+            texts
+        in
+        Option.iter
+          (fun m ->
+            Metrics.record_registry_ingest m ~ingested:!news ~duplicates:!dups)
+          t.metrics;
+        if !stop then timeout () (* entries already ingested persist *)
+        else
+          ( P.ok_response ~id:req.id ~cached:false
+              [
+                ("ingested", P.Int !news);
+                ("duplicates", P.Int !dups);
+                ("errors", P.Int !failed);
+                ("entries", P.Int (Registry.size store));
+                ("results", P.List (List.filter_map Fun.id results));
+              ],
+            `Continue )
+  in
+  let registry_query store =
+    match req.q with
+    | None ->
+        ( P.error_response ~id:req.id "method \"query\" requires params.q",
+          `Continue )
+    | Some q -> (
+        Registry.refresh store;
+        match Registry.query store ?limit:req.limit q with
+        | Error msg -> (P.error_response ~id:req.id msg, `Continue)
+        | Ok (matches, total) ->
+            Option.iter Metrics.record_registry_query t.metrics;
+            ( P.ok_response ~id:req.id ~cached:false
+                [
+                  ("total", P.Int total);
+                  ("returned", P.Int (List.length matches));
+                  ( "matches",
+                    P.List
+                      (List.map
+                         (fun (e : Registry.entry) ->
+                           P.Obj
+                             [
+                               ("digest", P.String e.digest);
+                               ("name", P.String e.name);
+                               ("verdict", P.String e.verdict);
+                               ( "patterns",
+                                 Orm_json.ints
+                                   (Registry.patterns_of_bitmap e.patterns) );
+                               ("diagnostics", P.Int e.diagnostics);
+                             ])
+                         matches) );
+                ],
+              `Continue ))
+  in
+  let registry_stats_body store =
+    Registry.refresh store;
+    ( P.ok_response ~id:req.id ~cached:false
+        [ ("result", Registry.stats store) ],
+      `Continue )
   in
   match req.meth with
   | P.Ping ->
@@ -692,7 +965,10 @@ let dispatch t (req : P.request) =
   | P.Check -> with_schema (check_body t req ~deadline_ns)
   | P.Batch -> with_schemas (batch_body t req ~deadline_ns)
   | P.Lint -> with_schema lint_body
-  | P.Reason -> with_schema (reason_body t req ~deadline_ns)
+  | P.Reason -> with_schema_bytes (reason_body t req ~deadline_ns)
+  | P.Ingest -> registry_required registry_ingest
+  | P.Query -> registry_required registry_query
+  | P.Registry_stats -> registry_required registry_stats_body
 
 (* Pull a top-level field back out of a response line this server just
    built: the printer is ours and compact, so a substring probe is exact

@@ -10,9 +10,18 @@
 
     One server owns:
     {ul
-    {- a {!Cache} of finished results keyed by {!Protocol.cache_key}
-       (format version + schema digest + settings), hit/miss counters
-       mirrored into the attached {!Orm_telemetry.Metrics};}
+    {- a {!Cache} of finished results keyed by
+       {!Protocol.canonical_cache_key} for [check]/[batch]/[lint] (format
+       version + canonical digest + settings — isomorphic clones share an
+       entry) and by the byte-digest {!Protocol.cache_key} for [reason]
+       (the complete backends are budget- and name-order-sensitive);
+       hit/miss counters mirrored into the attached
+       {!Orm_telemetry.Metrics}.  A second, unmetered LRU aliases byte
+       digests to canonical keys so a byte-identical warm request skips
+       parsing entirely;}
+    {- optionally an {!Orm_registry.Store}: the [ingest], [query] and
+       [registry-stats] methods over a persistent corpus of checked
+       schemas, deduplicated by canonical digest;}
     {- optionally a persistent {!Disk_cache} tier under the LRU: a miss
        falls through to disk before computing, a disk hit is promoted into
        the LRU, a computed [ok] result is written to both — so a restarted
@@ -62,6 +71,7 @@ val create :
   ?disk_cache:Disk_cache.t ->
   ?stats_sink:string ->
   ?audit:Orm_obs.Audit.t ->
+  ?registry:Orm_registry.Store.t ->
   config ->
   t
 (** A fresh server.  [metrics] receives one [record_request] per answered
@@ -82,7 +92,11 @@ val create :
     per handled request, tail-sampling a trace dump for requests slower
     than the rolling 5-minute p95 or timed out.  An auditing server with
     no [tracer] records spans into a private one so the dumps have
-    content. *)
+    content.
+
+    [registry] enables the [ingest] / [query] / [registry-stats] methods
+    over that store; without it they answer an [error] telling the
+    operator to start with [--registry DIR]. *)
 
 val config : t -> config
 (** The server's current configuration (initially what it was created

@@ -68,6 +68,15 @@ type t = {
   cache_misses : int Atomic.t;
   disk_hits : int Atomic.t;
   disk_misses : int Atomic.t;
+  (* the structural tier: requests answered through the canonical digest
+     (an isomorphic clone of a cached schema), vs. canonicalizations that
+     found nothing and had to compute *)
+  canon_hits : int Atomic.t;
+  canon_misses : int Atomic.t;
+  (* the registry store *)
+  registry_ingested : int Atomic.t;
+  registry_duplicates : int Atomic.t;
+  registry_queries : int Atomic.t;
   batches : int Atomic.t;
   batch_schemas : int Atomic.t;
   batch_domains : int Atomic.t;
@@ -130,6 +139,11 @@ let create () =
     cache_misses = Atomic.make 0;
     disk_hits = Atomic.make 0;
     disk_misses = Atomic.make 0;
+    canon_hits = Atomic.make 0;
+    canon_misses = Atomic.make 0;
+    registry_ingested = Atomic.make 0;
+    registry_duplicates = Atomic.make 0;
+    registry_queries = Atomic.make 0;
     batches = Atomic.make 0;
     batch_schemas = Atomic.make 0;
     batch_domains = Atomic.make 0;
@@ -188,7 +202,8 @@ let reset t =
     [
       t.checks; t.check_time_ns; t.propagation_runs; t.propagation_time_ns;
       t.propagation_derived; t.cache_hits; t.cache_misses; t.disk_hits;
-      t.disk_misses; t.batches;
+      t.disk_misses; t.canon_hits; t.canon_misses; t.registry_ingested;
+      t.registry_duplicates; t.registry_queries; t.batches;
       t.batch_schemas; t.batch_domains; t.batch_time_ns; t.requests;
       t.request_time_ns; t.request_max_ns; t.timeouts; t.overloads;
       t.internal_errors;
@@ -223,6 +238,14 @@ let record_cache_hit t n = bump t.cache_hits n
 let record_cache_miss t n = bump t.cache_misses n
 let record_disk_hit t n = bump t.disk_hits n
 let record_disk_miss t n = bump t.disk_misses n
+let record_canon_hit t n = bump t.canon_hits n
+let record_canon_miss t n = bump t.canon_misses n
+
+let record_registry_ingest t ~ingested ~duplicates =
+  bump t.registry_ingested ingested;
+  bump t.registry_duplicates duplicates
+
+let record_registry_query t = bump t.registry_queries 1
 
 let record_batch t ~schemas ~domains ~time_ns =
   bump t.batches 1;
@@ -359,6 +382,11 @@ type snapshot = {
   cache_misses : int;
   disk_hits : int;
   disk_misses : int;
+  canon_hits : int;
+  canon_misses : int;
+  registry_ingested : int;
+  registry_duplicates : int;
+  registry_queries : int;
   batches : int;
   batch_schemas : int;
   batch_domains : int;
@@ -501,6 +529,11 @@ let snapshot t =
     cache_misses = Atomic.get t.cache_misses;
     disk_hits = Atomic.get t.disk_hits;
     disk_misses = Atomic.get t.disk_misses;
+    canon_hits = Atomic.get t.canon_hits;
+    canon_misses = Atomic.get t.canon_misses;
+    registry_ingested = Atomic.get t.registry_ingested;
+    registry_duplicates = Atomic.get t.registry_duplicates;
+    registry_queries = Atomic.get t.registry_queries;
     batches = Atomic.get t.batches;
     batch_schemas = Atomic.get t.batch_schemas;
     batch_domains = Atomic.get t.batch_domains;
@@ -533,6 +566,11 @@ let zero =
     cache_misses = 0;
     disk_hits = 0;
     disk_misses = 0;
+    canon_hits = 0;
+    canon_misses = 0;
+    registry_ingested = 0;
+    registry_duplicates = 0;
+    registry_queries = 0;
     batches = 0;
     batch_schemas = 0;
     batch_domains = 0;
@@ -618,6 +656,11 @@ let add a b =
     cache_misses = a.cache_misses + b.cache_misses;
     disk_hits = a.disk_hits + b.disk_hits;
     disk_misses = a.disk_misses + b.disk_misses;
+    canon_hits = a.canon_hits + b.canon_hits;
+    canon_misses = a.canon_misses + b.canon_misses;
+    registry_ingested = a.registry_ingested + b.registry_ingested;
+    registry_duplicates = a.registry_duplicates + b.registry_duplicates;
+    registry_queries = a.registry_queries + b.registry_queries;
     batches = a.batches + b.batches;
     batch_schemas = a.batch_schemas + b.batch_schemas;
     batch_domains = (if b.batches > 0 then b.batch_domains else a.batch_domains);
@@ -673,6 +716,13 @@ let pp ppf s =
   if s.disk_hits + s.disk_misses > 0 then
     Format.fprintf ppf "disk cache: %d hit(s), %d miss(es)@," s.disk_hits
       s.disk_misses;
+  if s.canon_hits + s.canon_misses > 0 then
+    Format.fprintf ppf "canonical tier: %d hit(s), %d miss(es)@," s.canon_hits
+      s.canon_misses;
+  if s.registry_ingested + s.registry_duplicates + s.registry_queries > 0 then
+    Format.fprintf ppf
+      "registry: %d ingested, %d duplicate(s), %d quer(y/ies)@,"
+      s.registry_ingested s.registry_duplicates s.registry_queries;
   if s.batches > 0 then begin
     Format.fprintf ppf "batches: %d (%d schema(s), %d domain(s), " s.batches
       s.batch_schemas s.batch_domains;
@@ -740,6 +790,11 @@ let to_value s =
       ("cache_misses", J.Int s.cache_misses);
       ("disk_hits", J.Int s.disk_hits);
       ("disk_misses", J.Int s.disk_misses);
+      ("canon_hits", J.Int s.canon_hits);
+      ("canon_misses", J.Int s.canon_misses);
+      ("registry_ingested", J.Int s.registry_ingested);
+      ("registry_duplicates", J.Int s.registry_duplicates);
+      ("registry_queries", J.Int s.registry_queries);
       ("batches", J.Int s.batches);
       ("batch_schemas", J.Int s.batch_schemas);
       ("batch_domains", J.Int s.batch_domains);
@@ -941,6 +996,13 @@ let of_value v =
                snapshots written before it parse as zero *)
             disk_hits = int "disk_hits" 0;
             disk_misses = int "disk_misses" 0;
+            (* the canonical tier and the registry arrived together;
+               snapshots written before them parse as zero *)
+            canon_hits = int "canon_hits" 0;
+            canon_misses = int "canon_misses" 0;
+            registry_ingested = int "registry_ingested" 0;
+            registry_duplicates = int "registry_duplicates" 0;
+            registry_queries = int "registry_queries" 0;
             batches = int "batches" 0;
             batch_schemas = int "batch_schemas" 0;
             batch_domains = int "batch_domains" 0;

@@ -57,6 +57,22 @@ val record_disk_hit : t -> int -> unit
 val record_disk_miss : t -> int -> unit
 (** [n] results absent from the on-disk store too — fully computed. *)
 
+val record_canon_hit : t -> int -> unit
+(** [n] requests answered from the canonical (structural) cache tier: the
+    schema's byte digest missed but its canonical digest — shared by every
+    isomorphic clone — hit the LRU or the disk store. *)
+
+val record_canon_miss : t -> int -> unit
+(** [n] canonicalizations that found nothing under the canonical digest
+    either, so the result was fully computed. *)
+
+val record_registry_ingest : t -> ingested:int -> duplicates:int -> unit
+(** One registry ingest step: [ingested] new entries recorded, [duplicates]
+    schemas whose canonical digest was already present. *)
+
+val record_registry_query : t -> unit
+(** One covering-index query answered by the registry. *)
+
 val record_batch : t -> schemas:int -> domains:int -> time_ns:int -> unit
 (** One parallel batch: [schemas] checked on [domains] domains in
     [time_ns] wall nanoseconds. *)
@@ -172,6 +188,14 @@ type snapshot = {
       (** results served from the persistent on-disk store; 0 on snapshots
           written before the disk tier existed *)
   disk_misses : int;
+  canon_hits : int;
+      (** requests answered through the canonical digest (an isomorphic
+          clone of a cached schema); 0 on snapshots written before the
+          structural tier existed *)
+  canon_misses : int;
+  registry_ingested : int;  (** new entries added to the registry store *)
+  registry_duplicates : int;  (** ingests deduplicated by canonical digest *)
+  registry_queries : int;  (** covering-index queries answered *)
   batches : int;
   batch_schemas : int;
   batch_domains : int;  (** domains of the most recent batch *)

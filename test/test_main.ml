@@ -39,4 +39,5 @@ let () = Alcotest.run "orm-unsat" [
       ("json", Test_json.suite);
       ("server", Test_server.suite);
       ("http-fuzz", Test_http_fuzz.suite);
+      ("registry", Test_registry.suite);
     ]

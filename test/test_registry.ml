@@ -1,0 +1,363 @@
+(* The registry subsystem: structural canonicalization (digest invariance
+   under renaming and declaration-order permutation, verdict soundness,
+   hash-consed sharing) and the persistent corpus store (ingest/dedup,
+   covering-index queries, log replay across handles). *)
+
+open Orm
+module Engine = Orm_patterns.Engine
+module Canon = Orm_registry.Canon
+module Store = Orm_registry.Store
+module Gen = Orm_generator.Gen
+module Faults = Orm_generator.Faults
+
+let settings = Orm_patterns.Settings.(with_extensions default)
+
+(* ---- isomorphic clones ------------------------------------------------- *)
+
+let shuffle st l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let bijection st prefix names =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i n -> Hashtbl.replace tbl n (Printf.sprintf "%s%d_x" prefix i))
+    (shuffle st names);
+  Hashtbl.find tbl
+
+(* Rebuild with the constraint declarations in a random order, then apply a
+   random bijective renaming of types, facts and constraint ids: an
+   isomorphic clone that shares no byte of naming with the original. *)
+let clone ~seed schema =
+  let st = Random.State.make [| seed |] in
+  let base = Schema.empty (Schema.name schema) in
+  let base =
+    List.fold_left
+      (fun s t -> Schema.add_object_type t s)
+      base (Schema.object_types schema)
+  in
+  let base =
+    List.fold_left
+      (fun s (sub, super) -> Schema.add_subtype ~sub ~super s)
+      base
+      (Subtype_graph.edges (Schema.graph schema))
+  in
+  let base =
+    List.fold_left
+      (fun s ft -> Schema.add_fact ft s)
+      base (Schema.fact_types schema)
+  in
+  let permuted =
+    List.fold_left
+      (fun s c -> Schema.add_constraint c s)
+      base
+      (shuffle st (Schema.constraints schema))
+  in
+  Schema.rename ~schema_name:"Clone"
+    ~object_type:(bijection st "Qt" (Schema.object_types permuted))
+    ~fact_type:
+      (bijection st "Qf"
+         (List.map
+            (fun (ft : Fact_type.t) -> ft.name)
+            (Schema.fact_types permuted)))
+    ~constraint_id:
+      (bijection st "qc"
+         (List.map
+            (fun (c : Constraints.t) -> c.id)
+            (Schema.constraints permuted)))
+    permuted
+
+let bitmap report =
+  List.fold_left
+    (fun bm d ->
+      match Orm_patterns.Diagnostic.pattern_number d with
+      | Some n -> bm lor (1 lsl n)
+      | None -> bm)
+    0 report.Engine.diagnostics
+
+let corpus_schema seed =
+  (* a mix of clean and faulted schemas of varying size *)
+  let size = 2 + (seed mod 5) in
+  let base = Gen.clean ~config:(Gen.sized size) ~seed () in
+  if seed mod 3 = 0 then base
+  else
+    let p = 1 + (seed mod 9) in
+    (Faults.inject ~seed p base).Faults.schema
+
+(* ---- canonicalization -------------------------------------------------- *)
+
+let test_figures_invariant () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let d = Canon.digest e.schema in
+      List.iter
+        (fun seed ->
+          Alcotest.(check string)
+            (Printf.sprintf "fig %s clone %d" e.figure seed)
+            d
+            (Canon.digest (clone ~seed e.schema)))
+        [ 1; 2; 3 ])
+    Figures.all
+
+let qcheck_invariance =
+  QCheck.Test.make ~count:120
+    ~name:"digest invariant under renaming + permutation"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let schema = corpus_schema seed in
+      Canon.digest schema = Canon.digest (clone ~seed:(seed + 7) schema))
+
+let qcheck_distinct =
+  (* different structure must not collide: adding one constraint to a
+     schema changes its digest *)
+  QCheck.Test.make ~count:60 ~name:"digest separates non-isomorphic schemas"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let schema = Gen.clean ~config:(Gen.sized 3) ~seed () in
+      match Schema.fact_types schema with
+      | [] -> QCheck.assume_fail ()
+      | ft :: _ ->
+          let grown =
+            Schema.add (Constraints.Mandatory (Ids.second ft.name)) schema
+          in
+          let changed = Canon.digest grown <> Canon.digest schema in
+          changed
+          || Schema.constraints grown = Schema.constraints schema)
+
+let test_soundness_corpus () =
+  for seed = 0 to 199 do
+    let schema = corpus_schema seed in
+    let direct = Engine.check ~settings schema in
+    let canon = Canon.canonicalize schema in
+    let canonical = Engine.check ~settings canon.schema in
+    Alcotest.(check bool)
+      (Printf.sprintf "verdict %d" seed)
+      (direct.Engine.diagnostics = [])
+      (canonical.Engine.diagnostics = []);
+    Alcotest.(check int)
+      (Printf.sprintf "bitmap %d" seed)
+      (bitmap direct) (bitmap canonical);
+    Alcotest.(check int)
+      (Printf.sprintf "unsat types %d" seed)
+      (Ids.String_set.cardinal direct.Engine.unsat_types)
+      (Ids.String_set.cardinal canonical.Engine.unsat_types);
+    Alcotest.(check int)
+      (Printf.sprintf "unsat roles %d" seed)
+      (Ids.Role_set.cardinal direct.Engine.unsat_roles)
+      (Ids.Role_set.cardinal canonical.Engine.unsat_roles)
+  done
+
+let test_canonical_fixpoint () =
+  (* the canonical text re-parses to a schema whose canonical form is
+     itself *)
+  List.iteri
+    (fun i seed ->
+      let c = Canon.canonicalize (corpus_schema seed) in
+      match Orm_dsl.Parser.parse c.text with
+      | Error msg -> Alcotest.failf "canonical text %d does not parse: %s" i msg
+      | Ok reparsed ->
+          Alcotest.(check string)
+            (Printf.sprintf "fixpoint %d" i)
+            c.digest (Canon.digest reparsed))
+    [ 1; 5; 17; 42; 99 ]
+
+let test_hash_consing () =
+  let schema =
+    Schema.empty "Consing"
+    |> Schema.add_fact (Fact_type.make "works" "Person" "Company")
+    |> Schema.add_fact (Fact_type.make "leads" "Person" "Company")
+    |> Schema.add (Constraints.Mandatory (Ids.first "works"))
+    |> Schema.add (Constraints.Uniqueness (Ids.Single (Ids.first "works")))
+    |> Schema.add
+         (Constraints.Role_exclusion
+            [ Ids.Single (Ids.first "works"); Ids.Single (Ids.first "leads") ])
+  in
+  let c = Canon.canonicalize schema in
+  let roles =
+    List.concat_map
+      (fun (cstr : Constraints.t) -> Constraints.roles_of cstr.body)
+      (Schema.constraints c.schema)
+  in
+  (* every pair of structurally equal roles is one physical value *)
+  List.iter
+    (fun (a : Ids.role) ->
+      List.iter
+        (fun (b : Ids.role) ->
+          if Ids.equal_role a b then
+            Alcotest.(check bool) "equal roles shared" true (a == b))
+        roles)
+    roles;
+  (* player strings are physically the declared object-type strings *)
+  let types = Schema.object_types c.schema in
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      Alcotest.(check bool) "player1 shared" true (List.memq ft.player1 types);
+      Alcotest.(check bool) "player2 shared" true (List.memq ft.player2 types))
+    (Schema.fact_types c.schema);
+  (* role fact names are physically the declared fact-type name strings *)
+  let fact_names =
+    List.map (fun (ft : Fact_type.t) -> ft.name) (Schema.fact_types c.schema)
+  in
+  List.iter
+    (fun (r : Ids.role) ->
+      Alcotest.(check bool) "role fact shared" true (List.memq r.Ids.fact fact_names))
+    roles
+
+let test_rename_back () =
+  (* a report computed on the canonical schema, renamed back through the
+     bijection, names exactly the elements a direct check names *)
+  List.iter
+    (fun seed ->
+      let schema = corpus_schema seed in
+      let direct = Engine.check ~settings schema in
+      let c = Canon.canonicalize schema in
+      let canonical = Engine.check ~settings c.schema in
+      let renamed =
+        Canon.rename_value c.rename (Orm_export.Json.report_value canonical)
+      in
+      let strings_member name v =
+        match Orm_json.list_member name v with
+        | Some items ->
+            List.filter_map Orm_json.to_string_opt items
+            |> List.sort String.compare
+        | None -> []
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "unsat types %d" seed)
+        (List.sort String.compare
+           (Ids.String_set.elements direct.Engine.unsat_types))
+        (strings_member "unsat_types" renamed))
+    [ 1; 2; 4; 8; 10; 13; 25; 31 ]
+
+(* ---- store ------------------------------------------------------------- *)
+
+let tmp_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ormreg-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  dir
+
+let test_store_roundtrip () =
+  let dir = tmp_dir () in
+  let st = Store.create ~format_version:3 ~dir in
+  let ingest digest verdict patterns =
+    Store.ingest st ~digest ~name:("S_" ^ digest) ~verdict
+      ~patterns:(Store.bitmap_of_patterns patterns)
+      ~diagnostics:(List.length patterns) ~entry_body:Orm_json.Null
+  in
+  Alcotest.(check bool) "first is new" true (ingest "aaaa" "unsat" [ 6 ] = `New);
+  Alcotest.(check bool) "second is new" true (ingest "bbbb" "clean" [] = `New);
+  Alcotest.(check bool)
+    "third is new" true
+    (ingest "cccc" "unsat" [ 2; 6 ] = `New);
+  Alcotest.(check bool) "repeat is dup" true (ingest "aaaa" "unsat" [ 6 ] = `Dup);
+  Alcotest.(check int) "size" 3 (Store.size st);
+  Alcotest.(check int) "ingested" 3 (Store.ingested st);
+  Alcotest.(check int) "duplicates" 1 (Store.duplicates st);
+  (match Store.query st "pattern:6" with
+  | Ok (matches, total) ->
+      Alcotest.(check int) "pattern:6 total" 2 total;
+      Alcotest.(check (list string))
+        "pattern:6 digests" [ "aaaa"; "cccc" ]
+        (List.map (fun (e : Store.entry) -> e.digest) matches)
+  | Error e -> Alcotest.fail e);
+  (match Store.query st "pattern:6 verdict:unsat" with
+  | Ok (_, total) -> Alcotest.(check int) "conjunction" 2 total
+  | Error e -> Alcotest.fail e);
+  (match Store.query st "verdict:clean" with
+  | Ok (matches, _) ->
+      Alcotest.(check (list string))
+        "clean digests" [ "bbbb" ]
+        (List.map (fun (e : Store.entry) -> e.digest) matches)
+  | Error e -> Alcotest.fail e);
+  (match Store.query st ~limit:1 "verdict:unsat" with
+  | Ok (matches, total) ->
+      Alcotest.(check int) "limit respected" 1 (List.length matches);
+      Alcotest.(check int) "total unaffected" 2 total
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    "bad term rejected" true
+    (Result.is_error (Store.query st "size:3"));
+  (* a second handle over the same directory replays to the same state —
+     the restart/reload path *)
+  let st2 = Store.create ~format_version:3 ~dir in
+  Alcotest.(check int) "reload size" 3 (Store.size st2);
+  Alcotest.(check int) "reload ingested" 3 (Store.ingested st2);
+  Alcotest.(check int) "reload duplicates" 1 (Store.duplicates st2);
+  (* a foreign format version sees an empty registry *)
+  let st4 = Store.create ~format_version:4 ~dir in
+  Alcotest.(check int) "foreign fv empty" 0 (Store.size st4);
+  (* cross-handle visibility without reopening: st2 ingests, st picks it
+     up on refresh *)
+  ignore
+    (Store.ingest st2 ~digest:"dddd" ~name:"S_d" ~verdict:"clean" ~patterns:0
+       ~diagnostics:0 ~entry_body:Orm_json.Null);
+  Store.refresh st;
+  Alcotest.(check int) "refresh sees appended" 4 (Store.size st)
+
+let test_store_stats () =
+  let dir = tmp_dir () in
+  let st = Store.create ~format_version:3 ~dir in
+  let ingest digest verdict patterns =
+    ignore
+      (Store.ingest st ~digest ~name:digest ~verdict
+         ~patterns:(Store.bitmap_of_patterns patterns)
+         ~diagnostics:(List.length patterns) ~entry_body:Orm_json.Null)
+  in
+  ingest "a1" "unsat" [ 6 ];
+  ingest "a2" "unsat" [ 6; 2 ];
+  ingest "a3" "clean" [];
+  ingest "a1" "unsat" [ 6 ];
+  let v = Store.stats st in
+  Alcotest.(check (option int)) "entries" (Some 3) (Orm_json.int_member "entries" v);
+  Alcotest.(check (option int))
+    "duplicates" (Some 1)
+    (Orm_json.int_member "duplicates" v);
+  match Orm_json.list_member "patterns" v with
+  | Some (first :: _) ->
+      Alcotest.(check (option int))
+        "leaderboard head is pattern 6" (Some 6)
+        (Orm_json.int_member "pattern" first);
+      Alcotest.(check (option int))
+        "pattern 6 count" (Some 2)
+        (Orm_json.int_member "entries" first)
+  | _ -> Alcotest.fail "missing patterns leaderboard"
+
+let test_store_entry_file () =
+  let dir = tmp_dir () in
+  let st = Store.create ~format_version:3 ~dir in
+  ignore
+    (Store.ingest st ~digest:"feedface" ~name:"S" ~verdict:"unsat"
+       ~patterns:(Store.bitmap_of_patterns [ 4 ])
+       ~diagnostics:1
+       ~entry_body:(Orm_json.Obj [ ("canon", Orm_json.String "schema S0\n") ]));
+  match Store.load_entry st "feedface" with
+  | None -> Alcotest.fail "entry file missing"
+  | Some v ->
+      Alcotest.(check (option string))
+        "digest" (Some "feedface")
+        (Orm_json.string_member "digest" v);
+      Alcotest.(check bool) "entry body present" true
+        (Orm_json.member "entry" v <> None)
+
+let suite =
+  [
+    ("figures: digest invariant under cloning", `Quick, test_figures_invariant);
+    QCheck_alcotest.to_alcotest qcheck_invariance;
+    QCheck_alcotest.to_alcotest qcheck_distinct;
+    ("canonical schema keeps verdict and bitmap (200 corpus)", `Slow, test_soundness_corpus);
+    ("canonical text is a digest fixpoint", `Quick, test_canonical_fixpoint);
+    ("canonical subterms are hash-consed", `Quick, test_hash_consing);
+    ("rename_value maps canonical reports back", `Quick, test_rename_back);
+    ("store: ingest, dedup, query, replay", `Quick, test_store_roundtrip);
+    ("store: aggregates", `Quick, test_store_stats);
+    ("store: entry files", `Quick, test_store_entry_file);
+  ]

@@ -564,7 +564,189 @@ let test_format_version_bump_misses () =
         (Some "old-format result")
         (Disk.find d (P.cache_key req));
       Alcotest.(check (option string)) "bumped version misses" None
-        (Disk.find d (P.cache_key_with ~format_version:(P.format_version + 1) req)))
+        (Disk.find d (P.cache_key_with ~format_version:(P.format_version + 1) req)));
+  (* the registry tier honours the same version: entries persisted under
+     the current format are invisible to a bumped-format reopen *)
+  with_tmp_dir (fun dir ->
+      let store =
+        Orm_registry.Store.create ~format_version:P.format_version ~dir
+      in
+      (match
+         Orm_registry.Store.ingest store ~digest:"c-deadbeef" ~name:"s"
+           ~verdict:"sat" ~patterns:0 ~diagnostics:0
+           ~entry_body:(Orm_json.Obj [])
+       with
+      | `New -> ()
+      | `Dup -> Alcotest.fail "fresh store reported a duplicate");
+      Alcotest.(check int) "same version sees the entry" 1
+        (Orm_registry.Store.size store);
+      let bumped =
+        Orm_registry.Store.create ~format_version:(P.format_version + 1) ~dir
+      in
+      Alcotest.(check int) "bumped version sees nothing" 0
+        (Orm_registry.Store.size bumped))
+
+(* ---- canonical (structural) cache tier -------------------------------- *)
+
+(* A renamed, declaration-shuffled clone of a checked schema is served
+   from the cache — the byte digest differs, the canonical digest does
+   not — and the response reads in the clone's own names. *)
+let test_canonical_tier_clone () =
+  let m = Metrics.create () in
+  let srv = Server.create ~metrics:m Server.default_config in
+  let schema =
+    (Orm_generator.Faults.inject ~seed:5 1
+       (Gen.clean ~config:(Gen.sized 6) ~seed:3 ()))
+      .schema
+  in
+  let clone =
+    Orm.Schema.rename ~schema_name:"CloneSchema"
+      ~object_type:(fun t -> "Q_" ^ t)
+      ~fact_type:(fun f -> "R_" ^ f)
+      ~constraint_id:(fun c -> "k_" ^ c)
+      schema
+  in
+  let check text =
+    let resp, _ = Server.handle srv (P.build_request ~schema_text:text P.Check) in
+    match P.parse_response resp with
+    | Ok r ->
+        Alcotest.(check string) "ok" "ok" r.P.status;
+        r
+    | Error msg -> Alcotest.fail msg
+  in
+  let r1 = check (Orm_dsl.Printer.to_string schema) in
+  Alcotest.(check bool) "original computed" false r1.P.cached;
+  let r2 = check (Orm_dsl.Printer.to_string clone) in
+  Alcotest.(check bool) "clone served from cache" true r2.P.cached;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "canon hit counted" 1 snap.Metrics.canon_hits;
+  Alcotest.(check int) "canon miss counted" 1 snap.Metrics.canon_misses;
+  (* the served body reads in the clone's names, not the original's *)
+  let body2 = P.json_to_string r2.P.body in
+  let contains s sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    String.length sub = 0 || go 0
+  in
+  Alcotest.(check bool) "clone names present" true (contains body2 "Q_");
+  Alcotest.(check bool) "original verdict preserved" true
+    (P.member "clean" r1.P.body = P.member "clean" r2.P.body);
+  (* byte-identical re-request of the original is a plain cache hit and
+     does not count as another canonical-tier hit *)
+  let r3 = check (Orm_dsl.Printer.to_string schema) in
+  Alcotest.(check bool) "byte-warm cached" true r3.P.cached;
+  Alcotest.(check int) "canon hits unchanged" 1
+    (Metrics.snapshot m).Metrics.canon_hits
+
+(* ---- registry methods through the dispatcher -------------------------- *)
+
+module Registry = Orm_registry.Store
+
+let test_registry_dispatch () =
+  with_tmp_dir (fun dir ->
+      let m = Metrics.create () in
+      let store = Registry.create ~format_version:P.format_version ~dir in
+      let srv = Server.create ~metrics:m ~registry:store Server.default_config in
+      let unsat =
+        Orm_dsl.Printer.to_string
+          (Orm_generator.Faults.inject ~seed:9 6
+             (Gen.clean ~config:(Gen.sized 5) ~seed:21 ()))
+            .Orm_generator.Faults.schema
+      in
+      let clean = schema_text ~seed:22 () in
+      let ingest texts =
+        let resp, _ =
+          Server.handle srv (P.build_request ~schema_texts:texts P.Ingest)
+        in
+        match P.parse_response resp with
+        | Ok r ->
+            Alcotest.(check string) "ingest ok" "ok" r.P.status;
+            r.P.body
+        | Error msg -> Alcotest.fail msg
+      in
+      let body = ingest [ unsat; clean; unsat ] in
+      Alcotest.(check bool) "two new" true
+        (P.member "ingested" body = Some (P.Int 2));
+      Alcotest.(check bool) "one duplicate" true
+        (P.member "duplicates" body = Some (P.Int 1));
+      (* query the covering index over the wire *)
+      let resp, _ =
+        Server.handle srv (P.build_request ~q:"verdict:unsat" P.Query)
+      in
+      (match P.parse_response resp with
+      | Ok r ->
+          Alcotest.(check string) "query ok" "ok" r.P.status;
+          Alcotest.(check bool) "one unsat entry" true
+            (P.member "total" r.P.body = Some (P.Int 1))
+      | Error msg -> Alcotest.fail msg);
+      (* a malformed query is an error, not a crash *)
+      let resp, _ =
+        Server.handle srv (P.build_request ~q:"pattern:notanum" P.Query)
+      in
+      Alcotest.(check string) "bad query is error" "error" (status_of resp);
+      (* registry-stats aggregates *)
+      let resp, _ = Server.handle srv (P.build_request P.Registry_stats) in
+      (match P.parse_response resp with
+      | Ok r -> (
+          match P.member "result" r.P.body with
+          | Some result ->
+              Alcotest.(check bool) "entries" true
+                (P.member "entries" result = Some (P.Int 2))
+          | None -> Alcotest.fail "registry-stats has no result")
+      | Error msg -> Alcotest.fail msg);
+      (* counters flowed into the metrics bundle *)
+      let snap = Metrics.snapshot m in
+      Alcotest.(check int) "ingested counter" 2 snap.Metrics.registry_ingested;
+      Alcotest.(check int) "duplicate counter" 1
+        snap.Metrics.registry_duplicates;
+      Alcotest.(check int) "query counter" 1 snap.Metrics.registry_queries;
+      (* and the stats method grew a registry section *)
+      let resp, _ = Server.handle srv (P.build_request P.Stats) in
+      match P.parse_response resp with
+      | Ok r -> (
+          match P.member "result" r.P.body with
+          | Some result ->
+              Alcotest.(check bool) "stats registry section" true
+                (P.member "registry" result <> None)
+          | None -> Alcotest.fail "stats has no result")
+      | Error msg -> Alcotest.fail msg)
+
+let test_registry_not_configured () =
+  let srv = Server.create Server.default_config in
+  List.iter
+    (fun line ->
+      let resp, v = Server.handle srv line in
+      Alcotest.(check bool) "continues" true (v = `Continue);
+      Alcotest.(check string) "error" "error" (status_of resp))
+    [
+      P.build_request ~schema_texts:[ schema_text () ] P.Ingest;
+      P.build_request ~q:"pattern:6" P.Query;
+      P.build_request P.Registry_stats;
+    ]
+
+(* ---- shared admission page -------------------------------------------- *)
+
+(* The mmapped counter page that makes [--max-pending] a fleet-wide
+   bound: each worker owns one slot, admission reads the sum. *)
+let test_admission_page () =
+  let module A = Orm_net.Admission in
+  let page = A.create ~slots:3 in
+  Alcotest.(check int) "three slots" 3 (A.slots page);
+  Alcotest.(check int) "starts empty" 0 (A.total page);
+  A.set page ~slot:0 4;
+  A.set page ~slot:2 7;
+  Alcotest.(check int) "sums across slots" 11 (A.total page);
+  A.set page ~slot:0 1;
+  Alcotest.(check int) "slot overwrite, not accumulate" 8 (A.total page);
+  (* defensive clamps: negative counts and out-of-range slots are inert *)
+  A.set page ~slot:1 (-5);
+  A.set page ~slot:9 100;
+  A.set page ~slot:(-1) 100;
+  Alcotest.(check int) "clamped and bounds-checked" 8 (A.total page);
+  Alcotest.(check bool) "zero slots rejected" true
+    (match A.create ~slots:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 (* ---- engine deadline regression --------------------------------------- *)
 
@@ -808,4 +990,12 @@ let suite =
       test_reason_auto_race_deadline;
     Alcotest.test_case "stats carries planner counters" `Quick
       test_stats_planner_counters;
+    Alcotest.test_case "canonical tier serves renamed clone" `Quick
+      test_canonical_tier_clone;
+    Alcotest.test_case "registry methods dispatch" `Quick
+      test_registry_dispatch;
+    Alcotest.test_case "registry unconfigured is an error" `Quick
+      test_registry_not_configured;
+    Alcotest.test_case "admission page sums worker slots" `Quick
+      test_admission_page;
   ]
