@@ -54,13 +54,7 @@ let run_scenario ?budget ?sat_budget ?backend ?mix ~meth ~texts () =
     match backend with
     | None -> []
     | Some b ->
-        let s =
-          match b with
-          | `Auto -> "auto"
-          | `Dlr -> "dlr"
-          | `Sat -> "sat"
-          | `Both -> "both"
-        in
+        let s = P.backend_to_string b in
         [ ("backend", Bench_util.json_str s) ]
   in
   let mix_field =
@@ -308,6 +302,95 @@ let run_obs_scenario ~texts () =
       (pct cells.(3) cells.(2));
   ]
 
+(* ---- §SAT: eager vs lazy grounding ----------------------------------- *)
+
+(* The lazy-grounding claim, priced: the largest domain bound (fresh atoms
+   per type family, [max_fresh]) each SAT route can decide within one fixed
+   deadline on the same clean schema.  The eager encoder grounds the full
+   candidate grid up front — O(k^2) typing/tuple clauses and O(k^3)
+   acyclicity orders — so its feasible k stalls early; the CEGAR loop only
+   grounds constraint instances a candidate model actually violates, so
+   its feasible k is expected to be >= 4x the eager one (the acceptance
+   bar the §SAT row records). *)
+let sat_deadline_ms = 800
+let sat_k_cap = 512
+
+(* Acyclic + intransitive self-referencing facts: the eager encoding
+   grounds two O(k^3) clause families per fact up front, while CEGAR only
+   instantiates the O(k^2) families a model actually violates — the
+   schema shape the lazy route exists for. *)
+let sat_schema () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "schema sat_bench\n";
+  for i = 1 to 4 do
+    Buffer.add_string buf (Printf.sprintf "object_type T%d\n" i);
+    Buffer.add_string buf
+      (Printf.sprintf "fact r%d (T%d, T%d) reading \"links\"\n" i i i);
+    Buffer.add_string buf (Printf.sprintf "ring ac r%d\n" i);
+    Buffer.add_string buf (Printf.sprintf "ring it r%d\n" i)
+  done;
+  Orm_dsl.Parser.parse_exn (Buffer.contents buf)
+
+let feasible_k solve =
+  let decided k =
+    let deadline_ns =
+      Int64.add (Metrics.now_ns ())
+        (Int64.of_int (sat_deadline_ms * 1_000_000))
+    in
+    let (outcome : Orm_sat.Encode.outcome), time_ns =
+      Metrics.time (fun () -> solve ~max_fresh:k ~deadline_ns)
+    in
+    match outcome with
+    | Orm_sat.Encode.Model _ | Orm_sat.Encode.No_model -> Some time_ns
+    | Orm_sat.Encode.Timeout -> None
+  in
+  let rec grow k best =
+    if k > sat_k_cap then best
+    else
+      match decided k with
+      | Some time_ns -> grow (2 * k) (k, time_ns)
+      | None -> best
+  in
+  grow 1 (0, 0)
+
+let run_sat_scenario () =
+  let schema = sat_schema () in
+  (* a budget far above what the deadline allows, so the deadline is the
+     only binding constraint — exactly the planner's admission question *)
+  let budget = 1_000_000_000 in
+  let eager_k, eager_ns =
+    feasible_k (fun ~max_fresh ~deadline_ns ->
+        Orm_sat.Encode.solve ~max_fresh ~budget ~deadline_ns schema
+          Orm_sat.Encode.Strongly_satisfiable)
+  in
+  let lazy_k, lazy_ns =
+    feasible_k (fun ~max_fresh ~deadline_ns ->
+        Orm_sat.Cegar.solve ~max_fresh ~budget ~deadline_ns schema
+          Orm_sat.Encode.Strongly_satisfiable)
+  in
+  (* the doubling search ends on a failed attempt, so re-solve at the
+     feasible bound to leave its round/instantiation telemetry behind *)
+  if lazy_k > 0 then
+    ignore
+      (Orm_sat.Cegar.solve ~max_fresh:lazy_k ~budget schema
+         Orm_sat.Encode.Strongly_satisfiable);
+  let stats = Orm_sat.Cegar.last_stats () in
+  Bench_util.json_obj
+    [
+      ("deadline_ms", string_of_int sat_deadline_ms);
+      ("eager_feasible_k", string_of_int eager_k);
+      ("eager_time_ns_at_k", string_of_int eager_ns);
+      ("lazy_feasible_k", string_of_int lazy_k);
+      ("lazy_time_ns_at_k", string_of_int lazy_ns);
+      ( "lazy_over_eager_k",
+        Printf.sprintf "%.1f"
+          (float_of_int lazy_k /. float_of_int (max 1 eager_k)) );
+      ("lazy_rounds_at_k", string_of_int stats.Orm_sat.Cegar.rounds);
+      ( "lazy_instantiated_clauses_at_k",
+        string_of_int stats.Orm_sat.Cegar.instantiated_clauses );
+      ("lazy_variables_at_k", string_of_int stats.Orm_sat.Cegar.variables);
+    ]
+
 let run ?(file = "BENCH_server.json") () =
   let cold_texts = schema_texts ~n:requests ~size:8 in
   let warm_base = schema_texts ~n:distinct ~size:8 in
@@ -342,6 +425,7 @@ let run ?(file = "BENCH_server.json") () =
     ]
   in
   let obs_rows = run_obs_scenario ~texts:warm_texts () in
+  let sat_row = run_sat_scenario () in
   let registry_rows = Bench_registry.rows () in
   let transport_rows =
     [
@@ -390,6 +474,16 @@ let run ?(file = "BENCH_server.json") () =
                --workers prefork sharding is not measured: host_cores \
                records the one core every worker would share" );
           ("transports", Bench_util.json_arr transport_rows);
+          ( "sat_note",
+            Bench_util.json_str
+              "sat: the largest candidate-domain bound k (fresh atoms per \
+               type family, doubling search) each complete SAT route \
+               decides within one fixed deadline on the same clean \
+               acyclic+intransitive ring schema.  The eager encoder \
+               grounds two O(k^3) clause families per fact up front; the \
+               lazy CEGAR route grounds only violated instances, so \
+               lazy_feasible_k is expected to be >= 4x eager_feasible_k" );
+          ("sat", sat_row);
           ("registry_note", Bench_util.json_str Bench_registry.note);
           ("registry", Bench_util.json_arr registry_rows);
         ])
@@ -400,4 +494,4 @@ let run ?(file = "BENCH_server.json") () =
   Printf.printf "wrote %s\n" file;
   List.iter
     (fun row -> Printf.printf "  %s\n" row)
-    (rows @ obs_rows @ transport_rows @ registry_rows)
+    (rows @ obs_rows @ transport_rows @ [ sat_row ] @ registry_rows)

@@ -263,14 +263,19 @@ let reason_cmd =
       value
       & opt
           (enum
-             [ ("auto", `Auto); ("dlr", `Dlr); ("sat", `Sat); ("both", `Both) ])
+             [
+               ("auto", `Auto); ("dlr", `Dlr); ("sat", `Sat);
+               ("sat-lazy", `SatLazy); ("both", `Both);
+             ])
           `Auto
       & info [ "backend" ] ~docv:"B"
           ~doc:
             "Complete procedure(s) to run after the patterns: $(b,auto) (the \
              planner picks — skips them when patterns are conclusive, races \
-             both otherwise; the default), $(b,dlr) (tableau), $(b,sat) (CNF \
-             + DPLL, strong satisfiability) or $(b,both).")
+             the two cheapest otherwise; the default), $(b,dlr) (tableau), \
+             $(b,sat) (eager CNF + CDCL, strong satisfiability), \
+             $(b,sat-lazy) (CEGAR lazy grounding — same verdicts, scales to \
+             far larger domains) or $(b,both).")
   in
   let fresh =
     Arg.(
@@ -298,8 +303,11 @@ let reason_cmd =
         Format.printf "@.== planner ==@.decision: %s@."
           (Orm_planner.Planner.decision_name plan.decision);
         Format.printf "features: %a@." Orm_planner.Features.pp plan.features;
-        Format.printf "estimates: %a; %a@." Orm_planner.Cost.pp plan.dlr
-          Orm_planner.Cost.pp plan.sat;
+        Format.printf "estimates: %a@."
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+             Orm_planner.Cost.pp)
+          plan.estimates;
         Option.iter
           (fun w -> Format.printf "winner: %s@." (Orm_planner.Cost.name w))
           r.Orm_planner.Reason.winner;
@@ -325,6 +333,24 @@ let reason_cmd =
         if s.cancelled then
           Format.printf "(race lost: cancelled after %d ns)@." s.time_ns)
       r.Orm_planner.Reason.sat;
+    Option.iter
+      (fun (s : Orm_planner.Reason.sat_lazy_run) ->
+        Format.printf
+          "@.== SAT lazy grounding (CEGAR, strong satisfiability) ==@.%a@."
+          Orm_sat.Encode.pp_outcome s.outcome;
+        Format.printf
+          "(%d round(s), %d instantiated clause(s), %d variables, %d \
+           clauses, %d steps, %d learned, %d restart(s))@."
+          s.cegar_stats.Orm_sat.Cegar.rounds
+          s.cegar_stats.Orm_sat.Cegar.instantiated_clauses
+          s.cegar_stats.Orm_sat.Cegar.variables
+          s.cegar_stats.Orm_sat.Cegar.clauses
+          s.cegar_stats.Orm_sat.Cegar.decisions
+          s.cegar_stats.Orm_sat.Cegar.learned
+          s.cegar_stats.Orm_sat.Cegar.restarts;
+        if s.cancelled then
+          Format.printf "(race lost: cancelled after %d ns)@." s.time_ns)
+      r.Orm_planner.Reason.sat_lazy;
     emit_stats ~stats ~stats_json metrics;
     emit_trace trace tracer;
     if r.Orm_planner.Reason.clean then exit 0 else exit 1
@@ -378,8 +404,11 @@ let doctor_cmd =
     Format.printf "@.== planner (what `reason' would run) ==@.decision: %s@."
       (Orm_planner.Planner.decision_name plan.decision);
     Format.printf "features: %a@." Orm_planner.Features.pp plan.features;
-    Format.printf "estimates: %a; %a@." Orm_planner.Cost.pp plan.dlr
-      Orm_planner.Cost.pp plan.sat;
+    Format.printf "estimates: %a@."
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Orm_planner.Cost.pp)
+      plan.estimates;
     if report.diagnostics <> [] then begin
       Format.printf "@.== suggested repairs ==@.";
       match Orm_repair.Repair.suggestions schema with

@@ -196,11 +196,24 @@ let render ?workers ?uptime_s ?slo (s : Metrics.snapshot) =
             ([ ("decision", "patterns_only") ], int_sample s.Metrics.plan_patterns_only);
             ([ ("decision", "dlr") ], int_sample s.Metrics.plan_backend_dlr);
             ([ ("decision", "sat") ], int_sample s.Metrics.plan_backend_sat);
+            ([ ("decision", "sat_lazy") ], int_sample s.Metrics.plan_backend_sat_lazy);
             ([ ("decision", "race") ], int_sample s.Metrics.plan_races);
           ];
         family ~name:"ormcheck_plan_cancelled_total" ~typ:"counter"
           ~help:"Races whose losing backend was actively cancelled."
           [ ([], int_sample s.Metrics.plan_cancelled) ];
+        family ~name:"ormcheck_cegar_rounds_total" ~typ:"counter"
+          ~help:"CEGAR refinement rounds across lazy-grounding solves."
+          [ ([], int_sample s.Metrics.cegar_rounds) ];
+        family ~name:"ormcheck_cegar_instantiated_clauses_total" ~typ:"counter"
+          ~help:"Constraint instances grounded on demand by the CEGAR loop."
+          [ ([], int_sample s.Metrics.cegar_instantiated) ];
+        family ~name:"ormcheck_cegar_learned_clauses_total" ~typ:"counter"
+          ~help:"Conflict clauses learned by the incremental SAT core."
+          [ ([], int_sample s.Metrics.cegar_learned) ];
+        family ~name:"ormcheck_cegar_restarts_total" ~typ:"counter"
+          ~help:"Search restarts performed by the incremental SAT core."
+          [ ([], int_sample s.Metrics.cegar_restarts) ];
       ]
     @ (if backend_rows = [] then []
        else

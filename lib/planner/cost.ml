@@ -1,13 +1,15 @@
 module Metrics = Orm_telemetry.Metrics
 
-type backend = Dlr | Sat
+type backend = Dlr | Sat | Sat_lazy
 
-let slot = function Dlr -> 1 | Sat -> 2
-let name = function Dlr -> "dlr" | Sat -> "sat"
+let all = [ Dlr; Sat; Sat_lazy ]
+let slot = function Dlr -> 1 | Sat -> 2 | Sat_lazy -> 3
+let name = function Dlr -> "dlr" | Sat -> "sat" | Sat_lazy -> "sat-lazy"
 
 let of_name = function
   | "dlr" -> Some Dlr
   | "sat" -> Some Sat
+  | "sat-lazy" -> Some Sat_lazy
   | _ -> None
 
 type estimate = {
@@ -33,6 +35,16 @@ let static_ns (f : Features.t) = function
       let atoms = 1 + f.object_types + (2 * f.fact_types) in
       let clauses = 1 + f.constraints + (2 * f.fact_types) in
       200_000 + (40_000 * atoms * clauses)
+  | Sat_lazy ->
+      (* lazy grounding never builds the full grid: its cost tracks the
+         number of refinement rounds (roughly the constraint count) times
+         a per-round solve over the clauses grounded so far — additive in
+         the schema dimensions where the eager route is multiplicative.
+         The higher constant (seeding, Eval round trips) makes the eager
+         encoder the cheaper pick on tiny schemas, exactly as measured. *)
+      let atoms = 1 + f.object_types + (2 * f.fact_types) in
+      let clauses = 1 + f.constraints + (2 * f.fact_types) in
+      400_000 + (60_000 * (atoms + clauses))
 
 let min_observations = 5
 

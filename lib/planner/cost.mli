@@ -9,13 +9,15 @@
     be right about {e admission} — "does this backend fit in the remaining
     deadline budget?" — not about absolute wall time. *)
 
-type backend = Dlr | Sat
+type backend = Dlr | Sat | Sat_lazy
+
+val all : backend list
 
 val slot : backend -> int
 (** The backend's {!Orm_telemetry.Metrics.record_backend} slot. *)
 
 val name : backend -> string
-(** ["dlr"] / ["sat"] — the wire and CLI spelling. *)
+(** ["dlr"] / ["sat"] / ["sat-lazy"] — the wire and CLI spelling. *)
 
 val of_name : string -> backend option
 

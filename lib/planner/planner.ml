@@ -13,29 +13,42 @@ let decision_name = function
 type plan = {
   decision : decision;
   features : Features.t;
-  dlr : Cost.estimate;
-  sat : Cost.estimate;
+  estimates : Cost.estimate list;  (** one per {!Cost.all}, same order *)
   budget_ns : int option;
-  admits_dlr : bool;
-  admits_sat : bool;
+  admitted : Cost.backend list;  (** estimates within the budget *)
 }
 
-let admits budget cost =
-  match budget with None -> true | Some b -> cost <= b
+let estimate_for plan b =
+  List.find (fun (e : Cost.estimate) -> e.backend = b) plan.estimates
 
+let admits plan b = List.mem b plan.admitted
+
+let admitted_by budget (e : Cost.estimate) =
+  match budget with None -> true | Some b -> e.cost_ns <= b
+
+(* The decision rule, generalized from two backends to the whole
+   portfolio: race the two cheapest backends the budget admits; with one
+   admitted run it alone; with none, run the cheapest overall — a verdict
+   after the deadline still beats no verdict. *)
 let decide ?stats ?budget_ns ~patterns_conclusive features =
-  let dlr = Cost.estimate ?stats features Cost.Dlr in
-  let sat = Cost.estimate ?stats features Cost.Sat in
-  let admits_dlr = admits budget_ns dlr.cost_ns in
-  let admits_sat = admits budget_ns sat.cost_ns in
+  let estimates = List.map (Cost.estimate ?stats features) Cost.all in
+  let admitted_estimates = List.filter (admitted_by budget_ns) estimates in
+  let admitted = List.map (fun (e : Cost.estimate) -> e.backend) admitted_estimates in
+  let by_cost es =
+    List.sort
+      (fun (a : Cost.estimate) (b : Cost.estimate) ->
+        compare (a.cost_ns, Cost.slot a.backend) (b.cost_ns, Cost.slot b.backend))
+      es
+  in
   let decision =
     if patterns_conclusive then Patterns_only
-    else if admits_dlr && admits_sat then Race (Cost.Dlr, Cost.Sat)
-    else if admits_sat then Backend Cost.Sat
-    else if admits_dlr then Backend Cost.Dlr
-    else Backend (if dlr.cost_ns <= sat.cost_ns then Cost.Dlr else Cost.Sat)
+    else
+      match by_cost admitted_estimates with
+      | a :: b :: _ -> Race (a.backend, b.backend)
+      | [ a ] -> Backend a.backend
+      | [] -> Backend (List.hd (by_cost estimates)).backend
   in
-  { decision; features; dlr; sat; budget_ns; admits_dlr; admits_sat }
+  { decision; features; estimates; budget_ns; admitted }
 
 let estimate_fields (e : Cost.estimate) =
   J.Obj
@@ -53,11 +66,11 @@ let to_fields plan =
     );
     ( "estimates",
       J.Obj
-        [
-          ("dlr", estimate_fields plan.dlr); ("sat", estimate_fields plan.sat);
-        ] );
+        (List.map
+           (fun (e : Cost.estimate) -> (Cost.name e.backend, estimate_fields e))
+           plan.estimates) );
     ( "budget_ns",
       match plan.budget_ns with Some b -> J.Int b | None -> J.Null );
-    ("admits_dlr", J.Bool plan.admits_dlr);
-    ("admits_sat", J.Bool plan.admits_sat);
+    ( "admitted",
+      J.List (List.map (fun b -> J.String (Cost.name b)) plan.admitted) );
   ]

@@ -6,11 +6,13 @@
     unsatisfiability, so when they fire there is nothing left for a
     complete backend to decide — {!Patterns_only}.  When they stay silent
     the complete procedures must run, and under a roomy deadline the best
-    portfolio is to race them: the tableau tends to reach [Unsat] verdicts
-    fast, bounded SAT is the only confirmer of strong satisfiability, and
-    whichever answers definitively first wins while the loser is cancelled
-    through the solvers' polling hooks.  Racing burns a core, so it is only
-    chosen when the deadline budget admits {e both} cost estimates (no
+    portfolio is to race the two cheapest admitted members: the tableau
+    tends to reach [Unsat] verdicts fast, the two SAT routes (eager
+    grounding for small bounds, CEGAR lazy grounding for large ones) are
+    the only confirmers of strong satisfiability, and whichever answers
+    definitively first wins while the loser is cancelled through the
+    solvers' polling hooks.  Racing burns a core, so it is only chosen
+    when the deadline budget admits at least two cost estimates (no
     deadline admits everything) — the property the fuzz suite enforces. *)
 
 type decision =
@@ -22,19 +24,21 @@ type decision =
       (** run both on the domain pool, first definitive verdict wins *)
 
 val decision_name : decision -> string
-(** ["patterns_only"], ["dlr"], ["sat"] or ["race:dlr+sat"] — the spelling
-    used in server responses and decision logs. *)
+(** ["patterns_only"], a backend name, or ["race:<a>+<b>"] (e.g.
+    ["race:dlr+sat-lazy"]) — the spelling used in server responses and
+    decision logs. *)
 
 type plan = {
   decision : decision;
   features : Features.t;
-  dlr : Cost.estimate;
-  sat : Cost.estimate;
+  estimates : Cost.estimate list;  (** one per {!Cost.all}, same order *)
   budget_ns : int option;
       (** deadline budget remaining at decision time; [None] = no deadline *)
-  admits_dlr : bool;
-  admits_sat : bool;
+  admitted : Cost.backend list;  (** estimates within the budget *)
 }
+
+val estimate_for : plan -> Cost.backend -> Cost.estimate
+val admits : plan -> Cost.backend -> bool
 
 val decide :
   ?stats:Orm_telemetry.Metrics.snapshot ->
@@ -45,11 +49,10 @@ val decide :
 (** [decide ~patterns_conclusive features] picks the backend strategy.
     [stats] supplies the latency histograms that refine the static cost
     estimates; [budget_ns] is the remaining deadline budget (omit for no
-    deadline).  Policy: patterns conclusive → {!Patterns_only}; both
-    estimates fit the budget → {!Race} (tableau as unsat-sprinter, SAT as
-    confirmer); exactly one fits → that {!Backend}; neither fits → the
-    cheaper {!Backend} as a best effort (it will usually hit the deadline
-    and surface as a timeout). *)
+    deadline).  Policy: patterns conclusive → {!Patterns_only}; two or
+    more estimates fit the budget → {!Race} the two cheapest; exactly one
+    fits → that {!Backend}; none fits → the cheapest {!Backend} as a best
+    effort (it will usually hit the deadline and surface as a timeout). *)
 
 val to_fields : plan -> (string * Orm_json.t) list
 (** The plan as JSON fields ([decision], [features], [estimates],

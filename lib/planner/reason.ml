@@ -5,8 +5,9 @@ module Metrics = Orm_telemetry.Metrics
 module Trace = Orm_trace.Trace
 module Dlr_check = Orm_dlr.Dlr_check
 module Encode = Orm_sat.Encode
+module Cegar = Orm_sat.Cegar
 
-type backend_request = [ `Auto | `Dlr | `Sat | `Both ]
+type backend_request = [ `Auto | `Dlr | `Sat | `SatLazy | `Both ]
 
 type dlr_run = {
   result : Dlr_check.result;
@@ -21,6 +22,13 @@ type sat_run = {
   cancelled : bool;
 }
 
+type sat_lazy_run = {
+  outcome : Encode.outcome;
+  cegar_stats : Cegar.stats;
+  time_ns : int;
+  cancelled : bool;
+}
+
 type t = {
   report : Engine.report;
   patterns_time_ns : int;
@@ -29,6 +37,7 @@ type t = {
   short_circuit : bool;
   dlr : dlr_run option;
   sat : sat_run option;
+  sat_lazy : sat_lazy_run option;
   winner : Cost.backend option;
   clean : bool;
   conclusive : bool;
@@ -42,7 +51,10 @@ let dlr_unsat t =
       + List.length (Dlr_check.unsat_roles result)
 
 let sat_no_model t =
-  match t.sat with Some { outcome = Encode.No_model; _ } -> true | _ -> false
+  match (t.sat, t.sat_lazy) with
+  | Some { outcome = Encode.No_model; _ }, _ -> true
+  | _, Some { outcome = Encode.No_model; _ } -> true
+  | _ -> false
 
 (* ---- single-backend runs --------------------------------------------- *)
 
@@ -50,7 +62,7 @@ let sat_no_model t =
    the verdict without consulting the other backend.  A tableau [Sat] is
    never definitive for strong satisfiability (joint constraints and
    skipped axioms are invisible to per-element queries); an [Unsat] always
-   is.  SAT is definitive either way, except on [Timeout]. *)
+   is.  The SAT routes are definitive either way, except on [Timeout]. *)
 
 let run_dlr ?metrics ?tracer ?deadline_ns ?cancel ~budget schema =
   let result, time_ns =
@@ -86,6 +98,30 @@ let run_sat ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh ~sat_budget schema 
     metrics;
   ({ outcome; stats; time_ns; cancelled = false }, definitive)
 
+let run_sat_lazy ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh ~sat_budget
+    schema =
+  let (outcome, cegar_stats), time_ns =
+    Metrics.time (fun () ->
+        let outcome =
+          Cegar.solve ?max_fresh ~budget:sat_budget ?deadline_ns ?cancel
+            ?tracer schema Encode.Strongly_satisfiable
+        in
+        (outcome, Cegar.last_stats ()))
+  in
+  let definitive =
+    match outcome with Encode.Model _ | No_model -> true | Timeout -> false
+  in
+  Option.iter
+    (fun m ->
+      Metrics.record_backend m ~backend:(Cost.slot Cost.Sat_lazy) ~time_ns
+        ~definitive;
+      Metrics.record_cegar m ~rounds:cegar_stats.Cegar.rounds
+        ~instantiated:cegar_stats.Cegar.instantiated_clauses
+        ~learned:cegar_stats.Cegar.learned
+        ~restarts:cegar_stats.Cegar.restarts)
+    metrics;
+  ({ outcome; cegar_stats; time_ns; cancelled = false }, definitive)
+
 (* ---- the race -------------------------------------------------------- *)
 
 (* Created on first use, never at module load: a prefork server forks its
@@ -94,16 +130,52 @@ let run_sat ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh ~sat_budget schema 
    lifetime of the process. *)
 let race_pool = lazy (Engine_par.Pool.create 2)
 
-type 'a slot = Pending | Done of 'a * bool | Failed of exn
+type racer_run =
+  | R_dlr of dlr_run
+  | R_sat of sat_run
+  | R_sat_lazy of sat_lazy_run
 
-let race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget ~sat_budget schema =
+let mark_cancelled flag = function
+  | R_dlr r -> R_dlr { r with cancelled = flag }
+  | R_sat r -> R_sat { r with cancelled = flag }
+  | R_sat_lazy r -> R_sat_lazy { r with cancelled = flag }
+
+let run_backend ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh ~budget
+    ~sat_budget schema = function
+  | Cost.Dlr ->
+      let run, definitive =
+        run_dlr ?metrics ?tracer ?deadline_ns ?cancel ~budget schema
+      in
+      (R_dlr run, definitive)
+  | Cost.Sat ->
+      let run, definitive =
+        run_sat ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh ~sat_budget
+          schema
+      in
+      (R_sat run, definitive)
+  | Cost.Sat_lazy ->
+      let run, definitive =
+        run_sat_lazy ?metrics ?tracer ?deadline_ns ?cancel ?max_fresh
+          ~sat_budget schema
+      in
+      (R_sat_lazy run, definitive)
+
+type slot = Pending | Done of racer_run * bool | Failed of exn
+
+(* Race two arbitrary portfolio members: both are submitted to the domain
+   pool, the first definitive verdict wins and the loser is cancelled
+   through its solver's polling hook.  Both racers are always joined
+   before returning — no task outlives its request, and the solvers'
+   per-run statistics stay race-free. *)
+let race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget ~sat_budget schema
+    (ba, bb) =
   let pool = Lazy.force race_pool in
   let m = Mutex.create () in
   let cv = Condition.create () in
-  let cancel_dlr = Atomic.make false in
-  let cancel_sat = Atomic.make false in
-  let dlr_slot = ref Pending in
-  let sat_slot = ref Pending in
+  let cancel_a = Atomic.make false in
+  let cancel_b = Atomic.make false in
+  let slot_a = ref Pending in
+  let slot_b = ref Pending in
   let winner = ref None in
   let loser_cancelled = ref false in
   (* Called with [m] held after a racer stored its result: the first
@@ -120,68 +192,43 @@ let race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget ~sat_budget schema =
     | Some _ -> ());
     Condition.broadcast cv
   in
-  Engine_par.Pool.submit pool (fun () ->
-      let outcome =
-        try
-          let run, definitive =
-            run_dlr ?metrics ?tracer ?deadline_ns
-              ~cancel:(fun () -> Atomic.get cancel_dlr)
-              ~budget schema
-          in
-          Done (run, definitive)
-        with exn -> Failed exn
-      in
-      Mutex.lock m;
-      dlr_slot := outcome;
-      (match outcome with
-      | Done (_, true) ->
-          settle Cost.Dlr (fun () -> !sat_slot = Pending) cancel_sat
-      | _ -> Condition.broadcast cv);
-      Mutex.unlock m);
-  Engine_par.Pool.submit pool (fun () ->
-      let outcome =
-        try
-          let run, definitive =
-            run_sat ?metrics ?tracer ?deadline_ns
-              ~cancel:(fun () -> Atomic.get cancel_sat)
-              ?max_fresh ~sat_budget schema
-          in
-          Done (run, definitive)
-        with exn -> Failed exn
-      in
-      Mutex.lock m;
-      sat_slot := outcome;
-      (match outcome with
-      | Done (_, true) ->
-          settle Cost.Sat (fun () -> !dlr_slot = Pending) cancel_dlr
-      | _ -> Condition.broadcast cv);
-      Mutex.unlock m);
-  (* Join BOTH racers before returning — the loser is cancelled, not
-     abandoned, so no task ever outlives its request and the next race (or
-     a sequential solve on the main domain) can't overlap the solvers'
-     per-run statistics. *)
+  let submit backend my_slot my_cancel other_slot other_cancel =
+    Engine_par.Pool.submit pool (fun () ->
+        let outcome =
+          try
+            let run, definitive =
+              run_backend ?metrics ?tracer ?deadline_ns
+                ~cancel:(fun () -> Atomic.get my_cancel)
+                ?max_fresh ~budget ~sat_budget schema backend
+            in
+            Done (run, definitive)
+          with exn -> Failed exn
+        in
+        Mutex.lock m;
+        my_slot := outcome;
+        (match outcome with
+        | Done (_, true) ->
+            settle backend (fun () -> !other_slot = Pending) other_cancel
+        | _ -> Condition.broadcast cv);
+        Mutex.unlock m)
+  in
+  submit ba slot_a cancel_a slot_b cancel_b;
+  submit bb slot_b cancel_b slot_a cancel_a;
   Mutex.lock m;
-  while !dlr_slot = Pending || !sat_slot = Pending do
+  while !slot_a = Pending || !slot_b = Pending do
     Condition.wait cv m
   done;
-  let dlr_out = !dlr_slot and sat_out = !sat_slot in
+  let out_a = !slot_a and out_b = !slot_b in
   let w = !winner and cancelled = !loser_cancelled in
   Mutex.unlock m;
   if cancelled then
     Option.iter (fun mx -> Metrics.record_race_cancelled mx) metrics;
-  let dlr_run =
-    match dlr_out with
-    | Done (run, _) -> { run with cancelled = Atomic.get cancel_dlr }
+  let finish cancel = function
+    | Done (run, _) -> mark_cancelled (Atomic.get cancel) run
     | Failed exn -> raise exn
     | Pending -> assert false
   in
-  let sat_run =
-    match sat_out with
-    | Done (run, _) -> { run with cancelled = Atomic.get cancel_sat }
-    | Failed exn -> raise exn
-    | Pending -> assert false
-  in
-  (dlr_run, sat_run, w)
+  (finish cancel_a out_a, finish cancel_b out_b, w)
 
 (* ---- the orchestrator ------------------------------------------------ *)
 
@@ -198,7 +245,7 @@ let run ?(settings = Settings.default) ?metrics ?tracer ?deadline_ns
   let patterns_conclusive = report.Engine.diagnostics <> [] in
   let plan, plan_time_ns =
     match backend with
-    | `Dlr | `Sat | `Both -> (None, 0)
+    | `Dlr | `Sat | `SatLazy | `Both -> (None, 0)
     | `Auto ->
         let plan, t =
           Metrics.time (fun () ->
@@ -221,46 +268,51 @@ let run ?(settings = Settings.default) ?metrics ?tracer ?deadline_ns
               | Planner.Patterns_only -> `Patterns_only
               | Planner.Backend Cost.Dlr -> `Backend_dlr
               | Planner.Backend Cost.Sat -> `Backend_sat
+              | Planner.Backend Cost.Sat_lazy -> `Backend_sat_lazy
               | Planner.Race _ -> `Race))
           metrics;
         (Some plan, t)
   in
-  let want_dlr, want_sat, want_race =
+  (* what to run: [`Single bs] runs each backend in [bs] sequentially on
+     this domain; [`Race (a, b)] races the pair on the pool. *)
+  let strategy =
     match backend with
-    | `Dlr -> (true, false, false)
-    | `Sat -> (false, true, false)
-    | `Both -> (true, true, false)
+    | `Dlr -> `Single [ Cost.Dlr ]
+    | `Sat -> `Single [ Cost.Sat ]
+    | `SatLazy -> `Single [ Cost.Sat_lazy ]
+    | `Both -> `Single [ Cost.Dlr; Cost.Sat ]
     | `Auto -> (
         match (Option.get plan).Planner.decision with
-        | Planner.Patterns_only -> (false, false, false)
-        | Planner.Backend Cost.Dlr -> (true, false, false)
-        | Planner.Backend Cost.Sat -> (false, true, false)
-        | Planner.Race _ -> (false, false, true))
+        | Planner.Patterns_only -> `Single []
+        | Planner.Backend b -> `Single [ b ]
+        | Planner.Race (a, b) -> `Race (a, b))
   in
-  let dlr, sat, winner =
-    if want_race then
-      let d, s, w =
-        Trace.span tracer "planner.race" (fun () ->
-            race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget ~sat_budget
-              schema)
-      in
-      (Some d, Some s, w)
-    else begin
-      let dlr =
-        if want_dlr then
-          Some (fst (run_dlr ?metrics ?tracer ?deadline_ns ~budget schema))
-        else None
-      in
-      let sat =
-        if want_sat then
-          Some
-            (fst
-               (run_sat ?metrics ?tracer ?deadline_ns ?max_fresh ~sat_budget
-                  schema))
-        else None
-      in
-      (dlr, sat, None)
-    end
+  let runs, winner =
+    match strategy with
+    | `Race pair ->
+        let a, b, w =
+          Trace.span tracer "planner.race" (fun () ->
+              race ?metrics ?tracer ?deadline_ns ?max_fresh ~budget
+                ~sat_budget schema pair)
+        in
+        ([ a; b ], w)
+    | `Single bs ->
+        ( List.map
+            (fun b ->
+              fst
+                (run_backend ?metrics ?tracer ?deadline_ns ?max_fresh ~budget
+                   ~sat_budget schema b))
+            bs,
+          None )
+  in
+  let dlr =
+    List.find_map (function R_dlr r -> Some r | _ -> None) runs
+  in
+  let sat =
+    List.find_map (function R_sat r -> Some r | _ -> None) runs
+  in
+  let sat_lazy =
+    List.find_map (function R_sat_lazy r -> Some r | _ -> None) runs
   in
   let short_circuit =
     match backend with `Auto -> patterns_conclusive | _ -> false
@@ -274,19 +326,24 @@ let run ?(settings = Settings.default) ?metrics ?tracer ?deadline_ns
       short_circuit;
       dlr;
       sat;
+      sat_lazy;
       winner;
       clean = false;
       conclusive = false;
     }
   in
+  let sat_definitive =
+    List.exists
+      (function
+        | Some (Encode.Model _ | Encode.No_model) -> true
+        | Some Encode.Timeout | None -> false)
+      [
+        Option.map (fun (r : sat_run) -> r.outcome) t.sat;
+        Option.map (fun (r : sat_lazy_run) -> r.outcome) t.sat_lazy;
+      ]
+  in
   let clean =
     report.Engine.diagnostics = [] && dlr_unsat t = 0 && not (sat_no_model t)
   in
-  let conclusive =
-    patterns_conclusive
-    || dlr_unsat t > 0
-    || (match t.sat with
-       | Some { outcome = Encode.Model _ | Encode.No_model; _ } -> true
-       | _ -> false)
-  in
+  let conclusive = patterns_conclusive || dlr_unsat t > 0 || sat_definitive in
   { t with clean; conclusive }

@@ -8,7 +8,7 @@
     SAT did not refute strong satisfiability.
 
     In [`Auto] mode the {!Planner} picks the strategy.  A {!Planner.Race}
-    submits both complete backends to a lazily-created two-domain pool
+    submits the two chosen backends to a lazily-created two-domain pool
     (lazy because prefork servers must not spawn domains before forking);
     the first {e definitive} verdict — tableau [Unsat], SAT [Model] or
     [No_model] — wins, and the loser is cancelled through the solvers'
@@ -18,7 +18,7 @@
 
 module Engine := Orm_patterns.Engine
 
-type backend_request = [ `Auto | `Dlr | `Sat | `Both ]
+type backend_request = [ `Auto | `Dlr | `Sat | `SatLazy | `Both ]
 
 type dlr_run = {
   result : Orm_dlr.Dlr_check.result;
@@ -33,6 +33,15 @@ type sat_run = {
   cancelled : bool;
 }
 
+type sat_lazy_run = {
+  outcome : Orm_sat.Encode.outcome;
+  cegar_stats : Orm_sat.Cegar.stats;
+      (** refinement rounds, instantiated clauses, learned clauses,
+          restarts — surfaced in server responses and [/metrics] *)
+  time_ns : int;
+  cancelled : bool;
+}
+
 type t = {
   report : Engine.report;  (** the pattern engine's verdicts *)
   patterns_time_ns : int;
@@ -43,12 +52,13 @@ type t = {
           report already proves unsatisfiability *)
   dlr : dlr_run option;
   sat : sat_run option;
+  sat_lazy : sat_lazy_run option;
   winner : Cost.backend option;
       (** in a race: who produced the first definitive verdict *)
   clean : bool;
   conclusive : bool;
       (** some definitive evidence exists: a pattern diagnostic, a tableau
-          [Unsat], or a SAT [Model]/[No_model] *)
+          [Unsat], or a SAT [Model]/[No_model] from either grounding *)
 }
 
 val dlr_unsat : t -> int
@@ -70,9 +80,12 @@ val run :
   t
 (** [run ~backend schema] is the whole reasoning pipeline.  [budget]
     (default 50_000) bounds each tableau query, [sat_budget] (default
-    2_000_000) the DPLL search; [jobs > 1] fans the pattern engine across
-    that many domains first.  Forced backends ([`Dlr] / [`Sat] / [`Both])
-    run unconditionally — even when patterns already fired — preserving
-    the side-by-side comparison semantics; only [`Auto] short-circuits.
-    [metrics] receives per-backend latencies ({!Orm_telemetry.Metrics.record_backend})
-    in every mode and planner decision counters in [`Auto] mode. *)
+    2_000_000) the CDCL search (decisions + propagations — summed across
+    refinement rounds for [`SatLazy]); [jobs > 1] fans the pattern engine
+    across that many domains first.  Forced backends ([`Dlr] / [`Sat] /
+    [`SatLazy] / [`Both]) run unconditionally — even when patterns already
+    fired — preserving the side-by-side comparison semantics; only
+    [`Auto] short-circuits.  [metrics] receives per-backend latencies
+    ({!Orm_telemetry.Metrics.record_backend}) in every mode, CEGAR
+    refinement counters for lazy runs, and planner decision counters in
+    [`Auto] mode. *)

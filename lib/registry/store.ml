@@ -13,6 +13,12 @@ type t = {
   dir : string;
   index_path : string;
   entries : (string, entry) Hashtbl.t;
+  (* posting lists (digest sets) keyed by pattern number / verdict, so a
+     query touches the smallest matching list instead of scanning every
+     entry.  Entries are insert-only, so maintenance is a single point:
+     [apply], which both replay and ingest funnel through. *)
+  by_pattern : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  by_verdict : (string, (string, unit) Hashtbl.t) Hashtbl.t;
   mutable offset : int;  (* bytes of index.ndjson already replayed *)
   mutable ingested : int;
   mutable duplicates : int;
@@ -39,6 +45,20 @@ let mkdir_p dir =
   in
   go dir
 
+let posting tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some set -> set
+  | None ->
+      let set = Hashtbl.create 16 in
+      Hashtbl.replace tbl key set;
+      set
+
+let index_entry t e =
+  Hashtbl.replace (posting t.by_verdict e.verdict) e.digest ();
+  List.iter
+    (fun n -> Hashtbl.replace (posting t.by_pattern n) e.digest ())
+    (patterns_of_bitmap e.patterns)
+
 (* ---- index replay ------------------------------------------------------ *)
 
 (* One index record.  A replayed "new" record whose digest is already
@@ -63,7 +83,7 @@ let apply t line =
                 if Hashtbl.mem t.entries digest then
                   t.duplicates <- t.duplicates + 1
                 else begin
-                  Hashtbl.replace t.entries digest
+                  let e =
                     {
                       digest;
                       name =
@@ -76,7 +96,10 @@ let apply t line =
                       diagnostics =
                         Option.value ~default:0
                           (J.int_member "diagnostics" record);
-                    };
+                    }
+                  in
+                  Hashtbl.replace t.entries digest e;
+                  index_entry t e;
                   t.ingested <- t.ingested + 1
                 end
             | _ -> ()))
@@ -126,6 +149,8 @@ let create ~format_version ~dir =
       dir;
       index_path = Filename.concat dir "index.ndjson";
       entries = Hashtbl.create 256;
+      by_pattern = Hashtbl.create 16;
+      by_verdict = Hashtbl.create 4;
       offset = 0;
       ingested = 0;
       duplicates = 0;
@@ -253,19 +278,47 @@ let matches entry = function
   | T_pattern n -> entry.patterns land pattern_bit n <> 0
   | T_verdict v -> entry.verdict = v
 
+let posting_for t = function
+  | T_pattern n -> Hashtbl.find_opt t.by_pattern n
+  | T_verdict v -> Hashtbl.find_opt t.by_verdict v
+
 let query t ?(limit = 50) q =
   match parse_query q with
   | Error e -> Error e
-  | Ok terms ->
+  | Ok [] ->
+      (* no terms: every entry matches, so the full scan is the answer *)
       let all =
-        Hashtbl.fold
-          (fun _ e acc ->
-            if List.for_all (matches e) terms then e :: acc else acc)
-          t.entries []
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
         |> List.sort (fun a b -> String.compare a.digest b.digest)
       in
       let total = List.length all in
       Ok (List.filteri (fun i _ -> i < limit) all, total)
+  | Ok terms -> (
+      (* drive from the smallest posting list and check the remaining terms
+         per candidate: O(min posting) instead of O(entries) *)
+      let postings = List.map (posting_for t) terms in
+      if List.exists Option.is_none postings then Ok ([], 0)
+      else
+        match List.filter_map Fun.id postings with
+        | [] -> Ok ([], 0)
+        | p :: ps ->
+            let smallest =
+              List.fold_left
+                (fun a b ->
+                  if Hashtbl.length b < Hashtbl.length a then b else a)
+                p ps
+            in
+            let all =
+              Hashtbl.fold
+                (fun digest () acc ->
+                  match Hashtbl.find_opt t.entries digest with
+                  | Some e when List.for_all (matches e) terms -> e :: acc
+                  | _ -> acc)
+                smallest []
+              |> List.sort (fun a b -> String.compare a.digest b.digest)
+            in
+            let total = List.length all in
+            Ok (List.filteri (fun i _ -> i < limit) all, total))
 
 (* ---- aggregates -------------------------------------------------------- *)
 

@@ -1,0 +1,654 @@
+open Orm
+open Orm_semantics
+module B = Cnf_builder
+
+(* Counterexample-guided lazy grounding over the {!Encode} variable space.
+
+   The eager encoder grounds every universal constraint over the full
+   candidate grid up front — O(k²) typing clauses, O(k³) acyclicity
+   transitivity, Sinz counters per player — which is why [reason] latency
+   explodes with the domain size k.  Here the initial formula contains
+   only the query goals; each round solves the partial formula, decodes
+   the candidate model into a population, asks {!Eval.violations} (the
+   ground-truth oracle) what is wrong with it, and instantiates ground
+   clauses for exactly the violated instances.  Soundness rests on one
+   invariant: every emitted clause is either a clause of the eager
+   encoding or a definitional extension of it (plays/counter variables),
+   so an UNSAT answer for the partial formula is an UNSAT answer for the
+   eager one — the partial formula is a relaxation.  A SAT answer is only
+   returned once {!Eval} confirms the decoded population, so it needs no
+   inclusion argument at all.
+
+   Termination: the candidate universe is bounded, so the variable space
+   is finite; each refinement round adds at least one clause falsified by
+   (every extension of) the candidate that triggered it, and instance
+   keys are deduplicated — a round that cannot add anything new while
+   violations remain indicates an extractor gap and fails loudly, exactly
+   like the eager encoder's decoded-model safety net. *)
+
+type stats = {
+  rounds : int;  (** solver calls (refinement rounds + the final one) *)
+  instantiated_clauses : int;  (** ground clauses added by refinement *)
+  variables : int;
+  clauses : int;  (** total problem clauses at the end *)
+  decisions : int;  (** decisions + propagations across all rounds *)
+  learned : int;  (** learned clauses retained by the incremental core *)
+  restarts : int;  (** restarts across all rounds *)
+}
+
+let last =
+  ref
+    {
+      rounds = 0;
+      instantiated_clauses = 0;
+      variables = 0;
+      clauses = 0;
+      decisions = 0;
+      learned = 0;
+      restarts = 0;
+    }
+
+let last_stats () = !last
+
+(* ------------------------------------------------------------------ *)
+(* Violated-instance extraction                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  env : Encode.env;
+  seen : (string, unit) Hashtbl.t;  (* instantiation keys already grounded *)
+  plays_defined : (string, unit) Hashtbl.t;
+}
+
+let value_key v = Value.to_string v
+let role_key (r : Ids.role) = Printf.sprintf "%s/%d" r.fact (Ids.side_index r.side)
+
+let once ctx key f = if not (Hashtbl.mem ctx.seen key) then begin
+    Hashtbl.add ctx.seen key ();
+    f ()
+  end
+
+(* plays(r,u) is only meaningful under its iff-or definition; the eager
+   path adds all definitions up front, the lazy path adds each one the
+   first time a constraint instance needs it. *)
+let ensure_plays ctx r u =
+  let key = Printf.sprintf "pd|%s|%s" (role_key r) (value_key u) in
+  if not (Hashtbl.mem ctx.plays_defined key) then begin
+    Hashtbl.add ctx.plays_defined key ();
+    B.add_iff_or
+      (Encode.builder ctx.env)
+      (Encode.plays ctx.env r u)
+      (Encode.role_tuples ctx.env r u)
+  end
+
+let in_pool ctx t v = List.exists (Value.equal v) (Encode.env_pool ctx.env t)
+
+let inter_pools ctx ta tb =
+  List.filter (fun v -> in_pool ctx tb v) (Encode.env_pool ctx.env ta)
+
+(* Typing clauses for a whole fact type, triggered by the first
+   [Untyped_component] violation anywhere in it.  Grounding only the
+   violated tuple would let the solver thrash: the binary clause pins that
+   one tuple, so the next candidate just picks a different cell of the k²
+   grid, and the loop walks the grid one round at a time.  The full family
+   is 2k² binary clauses — the cheap part of the eager encoding — so one
+   violation buys the whole grid and the thrash is structurally
+   impossible.  The expensive families (Sinz counters, acyclicity orders,
+   external-uniqueness joins) stay per-instance below. *)
+let instantiate_typing ctx fact =
+  let schema = Encode.env_schema ctx.env in
+  match Schema.find_fact schema fact with
+  | None -> ()
+  | Some ft ->
+      once ctx (Printf.sprintf "typ|%s" fact) (fun () ->
+          let b = Encode.builder ctx.env in
+          List.iter
+            (fun u ->
+              List.iter
+                (fun v ->
+                  let t = Encode.tup ctx.env fact u v in
+                  B.add b [ -t; Encode.mem ctx.env ft.player1 u ];
+                  B.add b [ -t; Encode.mem ctx.env ft.player2 v ])
+                (Encode.env_pool ctx.env ft.player2))
+            (Encode.env_pool ctx.env ft.player1))
+
+(* The strictness fragment of the eager subtype encoding for one edge
+   (identical clause forms to [Encode.encode_structure]). *)
+let instantiate_strictness ctx sub super =
+  once ctx (Printf.sprintf "strict|%s|%s" sub super) (fun () ->
+      let b = Encode.builder ctx.env in
+      let pool = Encode.env_pool ctx.env sub in
+      let nonempty = B.fresh b (Printf.sprintf "ne|%s" super) in
+      List.iter
+        (fun v -> B.add b [ -Encode.mem ctx.env super v; nonempty ])
+        pool;
+      let eqs =
+        List.map
+          (fun v ->
+            let eq = B.fresh b "eq" in
+            let s = Encode.mem ctx.env sub v
+            and t = Encode.mem ctx.env super v in
+            B.add b [ -eq; -s; t ];
+            B.add b [ -eq; s; -t ];
+            B.add b [ eq; -s; -t ];
+            B.add b [ eq; s; t ];
+            eq)
+          pool
+      in
+      B.add b (-nonempty :: List.map (fun e -> -e) eqs))
+
+let component (r : Ids.role) (a, b) =
+  match r.side with Ids.Fst -> a | Ids.Snd -> b
+
+(* A directed cycle in the tuple list, as the list of its edges. *)
+let find_cycle tuples =
+  let succ x =
+    List.filter_map
+      (fun (a, b) -> if Value.equal a x then Some b else None)
+      tuples
+  in
+  let rec visit path visited x =
+    (* [path] is the DFS stack as (node, edge-taken-to-reach-next) pairs *)
+    if List.exists (fun (n, _) -> Value.equal n x) path then
+      (* found: the cycle is the path suffix from x *)
+      let rec cut = function
+        | [] -> []
+        | (n, _) :: _ as suffix when Value.equal n x -> List.map snd suffix
+        | _ :: rest -> cut rest
+      in
+      Some (cut (List.rev path))
+    else if List.exists (Value.equal x) visited then None
+    else
+      let rec try_succs = function
+        | [] -> None
+        | y :: rest -> (
+            match visit (path @ [ (x, (x, y)) ]) visited y with
+            | Some c -> Some c
+            | None -> try_succs rest)
+      in
+      try_succs (succ x)
+  in
+  let nodes =
+    List.sort_uniq Value.compare
+      (List.concat_map (fun (a, b) -> [ a; b ]) tuples)
+  in
+  let rec scan visited = function
+    | [] -> None
+    | x :: rest -> (
+        match visit [] visited x with
+        | Some c -> Some c
+        | None -> scan (x :: visited) rest)
+  in
+  scan [] nodes
+
+let instantiate_ring ctx pop kind fact =
+  let schema = Encode.env_schema ctx.env in
+  match Schema.find_fact schema fact with
+  | None -> ()
+  | Some ft ->
+      let b = Encode.builder ctx.env in
+      let t u v = Encode.tup ctx.env fact u v in
+      let tuples = Population.tuples pop fact in
+      let present u v =
+        List.exists (fun (a, c) -> Value.equal a u && Value.equal c v) tuples
+      in
+      let in_grid u v = in_pool ctx ft.player1 u && in_pool ctx ft.player2 v in
+      let grid f =
+        List.iter
+          (fun u ->
+            List.iter
+              (fun v -> f u v)
+              (Encode.env_pool ctx.env ft.player2))
+          (Encode.env_pool ctx.env ft.player1)
+      in
+      (* the binary ring families are at most k² two-literal clauses —
+         ground each whole on its first violation (per-pair grounding
+         thrashes: the candidate just moves the offending pair).  Only the
+         O(k³) families below stay instance-lazy. *)
+      (match kind with
+      | Ring.Irreflexive ->
+          once ctx (Printf.sprintf "ring|ir|%s" fact) (fun () ->
+              List.iter
+                (fun v -> B.add b [ -t v v ])
+                (inter_pools ctx ft.player1 ft.player2))
+      | Ring.Symmetric ->
+          once ctx (Printf.sprintf "ring|sym|%s" fact) (fun () ->
+              grid (fun u v ->
+                  if in_grid v u then B.add b [ -t u v; t v u ]
+                  else B.add b [ -t u v ]))
+      | Ring.Asymmetric ->
+          once ctx (Printf.sprintf "ring|as|%s" fact) (fun () ->
+              List.iter
+                (fun v -> B.add b [ -t v v ])
+                (inter_pools ctx ft.player1 ft.player2);
+              grid (fun u v ->
+                  if (not (Value.equal u v)) && in_grid v u then
+                    B.add b [ -t u v; -t v u ]))
+      | Ring.Antisymmetric ->
+          once ctx (Printf.sprintf "ring|ans|%s" fact) (fun () ->
+              grid (fun u v ->
+                  if (not (Value.equal u v)) && in_grid v u then
+                    B.add b [ -t u v; -t v u ]))
+      | Ring.Intransitive ->
+          List.iter
+            (fun (u, v) ->
+              List.iter
+                (fun (v', w) ->
+                  if Value.equal v v' && present u w then
+                    once ctx
+                      (Printf.sprintf "it|%s|%s|%s|%s" fact (value_key u)
+                         (value_key v) (value_key w))
+                      (fun () -> B.add b [ -t u v; -t v w; -t u w ]))
+                tuples)
+            tuples
+      | Ring.Acyclic -> (
+          (* self-loops are length-1 cycles; the whole family is k binary
+             clauses (eager: t v v -> ord v v, ¬ord v v), so ground them
+             all on the first acyclicity violation instead of discovering
+             them one candidate at a time *)
+          once ctx (Printf.sprintf "ac0|%s" fact) (fun () ->
+              List.iter
+                (fun v -> B.add b [ -t v v ])
+                (inter_pools ctx ft.player1 ft.player2));
+          match find_cycle tuples with
+          | None -> ()
+          | Some edges ->
+              let key =
+                Printf.sprintf "ac|%s|%s" fact
+                  (String.concat ";"
+                     (List.map
+                        (fun (u, v) ->
+                          Printf.sprintf "%s>%s" (value_key u) (value_key v))
+                        edges))
+              in
+              (* a longer cycle needs every one of its edges: block it
+                 (implied by the eager strict-order encoding) *)
+              once ctx key (fun () ->
+                  B.add b (List.map (fun (u, v) -> -t u v) edges))))
+
+let instantiate_constraint ctx pop (c : Constraints.t) =
+  let env = ctx.env in
+  let schema = Encode.env_schema env in
+  let b = Encode.builder env in
+  let cid = c.id in
+  match c.body with
+  | Constraints.Mandatory r ->
+      (* whole family (k clauses, eager-identical): per-value grounding
+         lets the solver move the witness to a fresh pool value each
+         round instead of adding the tuple *)
+      Option.iter
+        (fun player ->
+          once ctx (Printf.sprintf "mand|%s" cid) (fun () ->
+              List.iter
+                (fun u ->
+                  B.add b
+                    (-Encode.mem env player u :: Encode.role_tuples env r u))
+                (Encode.env_pool env player)))
+        (Schema.player schema r)
+  | Constraints.Disjunctive_mandatory roles ->
+      let players =
+        List.sort_uniq String.compare
+          (List.filter_map (Schema.player schema) roles)
+      in
+      List.iter
+        (fun p ->
+          once ctx (Printf.sprintf "dmand|%s|%s" cid p) (fun () ->
+              List.iter
+                (fun u ->
+                  let alternatives =
+                    List.concat_map
+                      (fun r -> Encode.role_tuples env r u)
+                      roles
+                  in
+                  B.add b (-Encode.mem env p u :: alternatives))
+                (Encode.env_pool env p)))
+        players
+  | Constraints.Uniqueness (Ids.Single r) ->
+      let column = Population.role_column pop r in
+      List.iter
+        (fun u ->
+          if List.length (List.filter (Value.equal u) column) > 1 then
+            once ctx
+              (Printf.sprintf "uniq|%s|%s" cid (value_key u))
+              (fun () -> B.at_most_one b (Encode.role_tuples env r u)))
+        (List.sort_uniq Value.compare column)
+  | Constraints.Uniqueness (Ids.Pair _) -> ()  (* predicates are sets *)
+  | Constraints.External_uniqueness roles ->
+      (* mirror the Eval join: for each pair of joining instances sharing
+         an identifying combination, ground the one eager clause for that
+         (x, x', combination) triple *)
+      let values_for x (r : Ids.role) =
+        List.filter_map
+          (fun tuple ->
+            if Value.equal (component (Ids.co_role r) tuple) x then
+              Some (component r tuple)
+            else None)
+          (Population.tuples pop r.fact)
+      in
+      let entities =
+        List.fold_left
+          (fun acc (r : Ids.role) ->
+            Value.Set.union acc
+              (Population.role_population pop (Ids.co_role r)))
+          Value.Set.empty roles
+        |> Value.Set.elements
+      in
+      let rec cartesian = function
+        | [] -> [ [] ]
+        | vs :: rest ->
+            let tails = cartesian rest in
+            List.concat_map (fun v -> List.map (fun t -> v :: t) tails) vs
+      in
+      let combos x =
+        let per_role = List.map (values_for x) roles in
+        if List.exists (fun vs -> vs = []) per_role then []
+        else cartesian per_role
+      in
+      let oriented (r : Ids.role) x v =
+        match r.side with
+        | Ids.Snd -> Encode.tup env r.fact x v
+        | Ids.Fst -> Encode.tup env r.fact v x
+      in
+      let rec check_pairs = function
+        | [] -> ()
+        | x :: rest ->
+            List.iter
+              (fun y ->
+                let cx = combos x in
+                List.iter
+                  (fun combo ->
+                    if List.mem combo (combos y) then
+                      once ctx
+                        (Printf.sprintf "xuniq|%s|%s|%s|%s" cid (value_key x)
+                           (value_key y)
+                           (String.concat "," (List.map value_key combo)))
+                        (fun () ->
+                          let lits =
+                            List.concat
+                              (List.map2
+                                 (fun r v ->
+                                   [ -oriented r x v; -oriented r y v ])
+                                 roles combo)
+                          in
+                          B.add b lits))
+                  cx)
+              rest;
+            check_pairs rest
+      in
+      check_pairs entities
+  | Constraints.Frequency (Ids.Single r, { min; max }) ->
+      let column = Population.role_column pop r in
+      List.iter
+        (fun u ->
+          let n = List.length (List.filter (Value.equal u) column) in
+          let violates_min = n >= 1 && n < min in
+          let violates_max = match max with Some m -> n > m | None -> false in
+          if violates_min || violates_max then
+            once ctx
+              (Printf.sprintf "freq|%s|%s" cid (value_key u))
+              (fun () ->
+                let tups = Encode.role_tuples env r u in
+                (match max with Some m -> B.at_most b m tups | None -> ());
+                if min > 1 then begin
+                  ensure_plays ctx r u;
+                  B.at_least ~unless:(-Encode.plays env r u) b min tups
+                end))
+        (List.sort_uniq Value.compare column)
+  | Constraints.Frequency (Ids.Pair (r1, _), { min; _ }) ->
+      (* set-valued predicates: rows occur exactly once, so min > 1 rules
+         out every present row *)
+      if min > 1 then
+        List.iter
+          (fun (u, v) ->
+            once ctx
+              (Printf.sprintf "freqp|%s|%s|%s" cid (value_key u) (value_key v))
+              (fun () -> B.add b [ -Encode.tup env r1.fact u v ]))
+          (Population.tuples pop r1.fact)
+  | Constraints.Value_constraint (ot, vs) ->
+      once ctx (Printf.sprintf "val|%s" cid) (fun () ->
+          List.iter
+            (fun v ->
+              if not (Value.Constraint.mem v vs) then
+                B.add b [ -Encode.mem env ot v ])
+            (Encode.env_pool env ot))
+  | Constraints.Role_exclusion seqs ->
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.iter
+        (fun (sa, sb) ->
+          match (sa, sb) with
+          | Ids.Single ra, Ids.Single rb ->
+              let shared =
+                Value.Set.inter
+                  (Population.role_population pop ra)
+                  (Population.role_population pop rb)
+              in
+              Value.Set.iter
+                (fun u ->
+                  once ctx
+                    (Printf.sprintf "rexcl|%s|%s|%s|%s" cid (role_key ra)
+                       (role_key rb) (value_key u))
+                    (fun () ->
+                      ensure_plays ctx ra u;
+                      ensure_plays ctx rb u;
+                      B.add b
+                        [
+                          -Encode.plays env ra u; -Encode.plays env rb u;
+                        ]))
+                shared
+          | Ids.Pair (ra, _), Ids.Pair (rb, _) ->
+              let rows_b = Population.tuples pop rb.fact in
+              List.iter
+                (fun (u, v) ->
+                  if
+                    List.exists
+                      (fun (x, y) -> Value.equal x u && Value.equal y v)
+                      rows_b
+                  then
+                    once ctx
+                      (Printf.sprintf "rexclp|%s|%s|%s|%s|%s" cid ra.fact
+                         rb.fact (value_key u) (value_key v))
+                      (fun () ->
+                        B.add b
+                          [
+                            -Encode.tup env ra.fact u v;
+                            -Encode.tup env rb.fact u v;
+                          ]))
+                (Population.tuples pop ra.fact)
+          | Ids.Single _, Ids.Pair _ | Ids.Pair _, Ids.Single _ -> ())
+        (pairs seqs)
+  | Constraints.Subset (sub, super) | Constraints.Equality (sub, super) ->
+      let both_ways =
+        match c.body with Constraints.Equality _ -> true | _ -> false
+      in
+      let direction tag (a : Ids.role_seq) (bq : Ids.role_seq) =
+        match (a, bq) with
+        | Ids.Single ra, Ids.Single rb ->
+            let missing =
+              Value.Set.diff
+                (Population.role_population pop ra)
+                (Population.role_population pop rb)
+            in
+            Value.Set.iter
+              (fun u ->
+                once ctx
+                  (Printf.sprintf "sub%s|%s|%s" tag cid (value_key u))
+                  (fun () ->
+                    ensure_plays ctx ra u;
+                    if in_pool ctx (Option.value ~default:"" (Schema.player schema rb)) u
+                       && Schema.player schema rb <> None
+                    then begin
+                      ensure_plays ctx rb u;
+                      B.add b
+                        [ -Encode.plays env ra u; Encode.plays env rb u ]
+                    end
+                    else B.add b [ -Encode.plays env ra u ]))
+              missing
+        | Ids.Pair (ra, _), Ids.Pair (rb, _) ->
+            let rows_b = Population.tuples pop rb.fact in
+            List.iter
+              (fun (u, v) ->
+                if
+                  not
+                    (List.exists
+                       (fun (x, y) -> Value.equal x u && Value.equal y v)
+                       rows_b)
+                then
+                  once ctx
+                    (Printf.sprintf "subp%s|%s|%s|%s" tag cid (value_key u)
+                       (value_key v))
+                    (fun () ->
+                      let gb =
+                        match Schema.find_fact schema rb.fact with
+                        | Some fb ->
+                            in_pool ctx fb.player1 u && in_pool ctx fb.player2 v
+                        | None -> false
+                      in
+                      if gb then
+                        B.add b
+                          [
+                            -Encode.tup env ra.fact u v;
+                            Encode.tup env rb.fact u v;
+                          ]
+                      else B.add b [ -Encode.tup env ra.fact u v ]))
+              (Population.tuples pop ra.fact)
+        | Ids.Single _, Ids.Pair _ | Ids.Pair _, Ids.Single _ -> ()
+      in
+      direction "f" sub super;
+      if both_ways then direction "b" super sub
+  | Constraints.Type_exclusion ots ->
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.iter
+        (fun (x, y) ->
+          once ctx (Printf.sprintf "texcl|%s|%s|%s" cid x y) (fun () ->
+              List.iter
+                (fun v ->
+                  B.add b [ -Encode.mem env x v; -Encode.mem env y v ])
+                (inter_pools ctx x y)))
+        (pairs ots)
+  | Constraints.Total_subtypes (super, subs) ->
+      once ctx (Printf.sprintf "total|%s" cid) (fun () ->
+          List.iter
+            (fun v ->
+              let covers =
+                List.filter_map
+                  (fun sub ->
+                    if in_pool ctx sub v then Some (Encode.mem env sub v)
+                    else None)
+                  subs
+              in
+              B.add b (-Encode.mem env super v :: covers))
+            (Encode.env_pool env super))
+  | Constraints.Ring (kind, fact) -> instantiate_ring ctx pop kind fact
+
+let instantiate ctx pop violations =
+  let schema = Encode.env_schema ctx.env in
+  let constraint_by_id id =
+    List.find_opt
+      (fun (c : Constraints.t) -> String.equal c.id id)
+      (Schema.constraints schema)
+  in
+  List.iter
+    (fun viol ->
+      match viol with
+      | Eval.Untyped_component (r, _) -> instantiate_typing ctx r.Ids.fact
+      | Eval.Subtype_not_subset (sub, super) ->
+          once ctx (Printf.sprintf "subty|%s|%s" sub super) (fun () ->
+              let b = Encode.builder ctx.env in
+              List.iter
+                (fun v ->
+                  if in_pool ctx super v then
+                    B.add b
+                      [
+                        -Encode.mem ctx.env sub v; Encode.mem ctx.env super v;
+                      ]
+                  else B.add b [ -Encode.mem ctx.env sub v ])
+                (Encode.env_pool ctx.env sub))
+      | Eval.Subtype_not_strict (sub, super) ->
+          instantiate_strictness ctx sub super
+      | Eval.Implicit_exclusion (a, b, _) ->
+          once ctx (Printf.sprintf "impl|%s|%s" a b) (fun () ->
+              let bld = Encode.builder ctx.env in
+              List.iter
+                (fun v ->
+                  B.add bld
+                    [ -Encode.mem ctx.env a v; -Encode.mem ctx.env b v ])
+                (inter_pools ctx a b))
+      | Eval.Broken (cid, _) ->
+          Option.iter (instantiate_constraint ctx pop) (constraint_by_id cid))
+    violations
+
+(* ------------------------------------------------------------------ *)
+(* The refinement loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer schema
+    query =
+  let env = Encode.make_env ?max_fresh schema in
+  let b = Encode.builder env in
+  let ctx = { env; seen = Hashtbl.create 64; plays_defined = Hashtbl.create 64 } in
+  Orm_trace.Trace.span tracer "cegar.seed" (fun () ->
+      Encode.encode_query env query);
+  let initial_clauses = B.clause_count b in
+  let rounds = ref 0 in
+  let decisions = ref 0 in
+  let remaining = ref budget in
+  let finish outcome =
+    let s = Dpll.Inc.stats (B.solver b) in
+    last :=
+      {
+        rounds = !rounds;
+        instantiated_clauses = B.clause_count b - initial_clauses;
+        variables = B.nvars b;
+        clauses = B.clause_count b;
+        decisions = !decisions;
+        learned = s.Dpll.Inc.learned;
+        restarts = s.Dpll.Inc.restarts;
+      };
+    outcome
+  in
+  let rec refine () =
+    if !remaining <= 0 then finish Encode.Timeout
+    else begin
+      incr rounds;
+      Option.iter (fun tr -> Orm_trace.Trace.counter tr "cegar.round" !rounds)
+        tracer;
+      let result =
+        B.solve ~budget:!remaining ?deadline_ns ?cancel ?tracer b
+      in
+      let spent =
+        (* per-instance, not the module-level counters: a planner race may
+           run this and the eager encoder on sibling domains *)
+        let s = Dpll.Inc.stats (B.solver b) in
+        s.Dpll.Inc.decisions + s.Dpll.Inc.propagations
+      in
+      decisions := !decisions + spent;
+      remaining := !remaining - spent;
+      match result with
+      | Dpll.Unsat -> finish Encode.No_model
+      | Dpll.Timeout -> finish Encode.Timeout
+      | Dpll.Sat model -> (
+          let pop = Encode.decode_sparse env model in
+          match Eval.violations schema pop with
+          | [] -> finish (Encode.Model pop)
+          | viols ->
+              let before = B.clause_count b in
+              Orm_trace.Trace.span tracer "cegar.instantiate" (fun () ->
+                  instantiate ctx pop viols);
+              if B.clause_count b = before then
+                failwith
+                  (Format.asprintf
+                     "Cegar.solve: no clause instantiated for %d violation(s) \
+                      (extractor gap):@.%a"
+                     (List.length viols)
+                     (Format.pp_print_list Eval.pp_violation)
+                     viols)
+              else refine ())
+    end
+  in
+  Orm_trace.Trace.span tracer "cegar.solve" refine

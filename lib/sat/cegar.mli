@@ -1,0 +1,57 @@
+(** CEGAR-style lazy grounding for bounded ORM satisfiability.
+
+    The counterexample-driven companion to {!Encode}: instead of grounding
+    every universal constraint over the full candidate grid up front, the
+    initial formula carries only the query goals.  Each round solves the
+    partial formula on the persistent incremental solver
+    ({!Cnf_builder}/{!Dpll.Inc}, learned clauses retained across rounds),
+    decodes the candidate model into a population, asks
+    {!Orm_semantics.Eval.violations} what is wrong with it, and grounds
+    clauses for exactly the violated instances — a mandatory clause for
+    the one object missing its tuple, an at-most-one for the one player
+    breaking a uniqueness, a cycle-blocking clause for the one cycle found.
+
+    Soundness: every emitted clause is a clause of the eager encoding (or
+    a definitional extension), so the partial formula is a relaxation —
+    its UNSAT answers transfer to the eager bound.  SAT answers are only
+    returned once {!Orm_semantics.Eval} confirms the decoded population.
+    Termination: the bounded variable space is finite and every round
+    grounds at least one clause falsified by the candidate that triggered
+    it; a round that cannot make progress fails loudly (extractor gap),
+    mirroring the eager encoder's decoded-model safety net.
+
+    On schemas whose hard constraints are rarely violated by candidate
+    models this solves domain sizes far beyond the eager encoder within
+    the same deadline (the O(k³) acyclicity orders and O(k²) typing
+    grids are simply never built); see [BENCH_server.json] §SAT. *)
+
+open Orm
+
+type stats = {
+  rounds : int;  (** solver calls (refinement rounds + the final one) *)
+  instantiated_clauses : int;  (** ground clauses added by refinement *)
+  variables : int;
+  clauses : int;  (** total problem clauses at the end *)
+  decisions : int;  (** decisions + propagations across all rounds *)
+  learned : int;  (** learned clauses retained by the incremental core *)
+  restarts : int;  (** restarts across all rounds *)
+}
+
+val solve :
+  ?max_fresh:int ->
+  ?budget:int ->
+  ?deadline_ns:int64 ->
+  ?cancel:(unit -> bool) ->
+  ?tracer:Orm_trace.Trace.t ->
+  Schema.t ->
+  Encode.query ->
+  Encode.outcome
+(** Same contract as {!Encode.solve} — identical candidate pools
+    ([max_fresh], default {!Encode.default_fresh}), so the two decide
+    exactly the same bounded question and must agree in verdict (the
+    differential suite enforces this).  [budget] bounds decisions +
+    propagations summed across all refinement rounds; [deadline_ns] and
+    [cancel] are forwarded to every solver call. *)
+
+val last_stats : unit -> stats
+(** Statistics of the most recent {!solve} call. *)

@@ -1,17 +1,22 @@
 type t = {
   names : (string, int) Hashtbl.t;
   reverse : (int, string) Hashtbl.t;
-  mutable next : int;
-  mutable acc : Dpll.clause list;  (* reverse order *)
+  solver : Dpll.Inc.t;
+  mutable acc : Dpll.clause list;  (* reverse order; mirrors the solver *)
   mutable count : int;
 }
 
 let create () =
-  { names = Hashtbl.create 64; reverse = Hashtbl.create 64; next = 1; acc = []; count = 0 }
+  {
+    names = Hashtbl.create 64;
+    reverse = Hashtbl.create 64;
+    solver = Dpll.Inc.create ();
+    acc = [];
+    count = 0;
+  }
 
 let alloc b name =
-  let v = b.next in
-  b.next <- v + 1;
+  let v = Dpll.Inc.new_var b.solver in
   Hashtbl.add b.reverse v name;
   v
 
@@ -23,13 +28,17 @@ let var b name =
       Hashtbl.add b.names name v;
       v
 
-let fresh b prefix = alloc b (Printf.sprintf "%s#%d" prefix b.next)
+let find b name = Hashtbl.find_opt b.names name
+
+let fresh b prefix =
+  alloc b (Printf.sprintf "%s#%d" prefix (Dpll.Inc.nvars b.solver + 1))
 
 let name_of b lit = Hashtbl.find_opt b.reverse (abs lit)
 
 let add b clause =
   b.acc <- clause :: b.acc;
-  b.count <- b.count + 1
+  b.count <- b.count + 1;
+  Dpll.Inc.add_clause b.solver clause
 
 let add_implies b l ds = add b (-l :: ds)
 
@@ -90,9 +99,16 @@ let at_least ?unless b k lits =
   else if k = 1 then emit lits
   else at_most ?unless b (n - k) (List.map (fun l -> -l) lits)
 
-let nvars b = b.next - 1
+let nvars b = Dpll.Inc.nvars b.solver
 let clauses b = List.rev b.acc
 let clause_count b = b.count
+let solver b = b.solver
 
-let solve ?budget ?deadline_ns ?cancel ?tracer b =
-  Dpll.solve ?budget ?deadline_ns ?cancel ?tracer ~nvars:(nvars b) (clauses b)
+let solve ?assumptions ?budget ?deadline_ns ?cancel ?tracer b =
+  match Dpll.Inc.solve ?assumptions ?budget ?deadline_ns ?cancel ?tracer b.solver with
+  | Dpll.Sat model ->
+      (* callers index the model by any variable allocated so far *)
+      let n = nvars b in
+      if Array.length model >= n + 1 then Dpll.Sat model
+      else Dpll.Sat (Array.init (n + 1) (fun v -> v < Array.length model && model.(v)))
+  | (Dpll.Unsat | Dpll.Timeout) as r -> r

@@ -5,7 +5,13 @@
     (so the encoder can ask for ["mem(Person,'a1')"] twice and get the same
     variable), accumulates clauses, and provides the standard encodings the
     ORM translation needs: implications, equivalences, pairwise at-most-one,
-    and sequential-counter at-most/at-least-k (Sinz 2005). *)
+    and sequential-counter at-most/at-least-k (Sinz 2005).
+
+    The builder owns a persistent {!Dpll.Inc} solver: every {!add} feeds
+    the clause to the solver immediately, and {!solve} may be called any
+    number of times with more clauses added in between — learned clauses
+    are retained across calls, which is what the {!Cegar} refinement loop
+    leans on. *)
 
 type t
 
@@ -14,6 +20,11 @@ val create : unit -> t
 val var : t -> string -> Dpll.lit
 (** The (positive) variable registered under the name, created on first
     use. *)
+
+val find : t -> string -> Dpll.lit option
+(** The variable registered under the name, without creating it — the
+    lazy-grounding decoder uses this to read only variables the partial
+    encoding has actually allocated. *)
 
 val fresh : t -> string -> Dpll.lit
 (** A fresh auxiliary variable; the name is a debugging prefix. *)
@@ -49,10 +60,23 @@ val at_least : ?unless:Dpll.lit -> t -> int -> Dpll.lit list -> unit
     exceeds the list length. *)
 
 val nvars : t -> int
+
 val clauses : t -> Dpll.cnf
+(** All problem clauses added so far, in insertion order (kept for
+    {!Dpll.verify} safety nets and tests; the live copy is inside the
+    solver). *)
+
 val clause_count : t -> int
 
+val solver : t -> Dpll.Inc.t
+(** The underlying incremental solver (for [push]/[pop] framing and
+    solver statistics). *)
+
 val solve :
+  ?assumptions:Dpll.lit list ->
   ?budget:int -> ?deadline_ns:int64 -> ?cancel:(unit -> bool) ->
   ?tracer:Orm_trace.Trace.t -> t -> Dpll.result
-(** Runs {!Dpll.solve} on the accumulated formula. *)
+(** Solves the accumulated formula on the persistent incremental solver.
+    Repeatable: clauses may be added between calls, and learned clauses
+    carry over.  On [Sat m], [m] is indexed by every variable allocated
+    so far. *)

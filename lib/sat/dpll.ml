@@ -11,6 +11,8 @@ type result =
 
 exception Give_up
 
+(* Legacy per-call statistics, kept for the existing callers; they mirror
+   the last [Inc.solve] (or wrapper [solve]) on this domain. *)
 let steps = ref 0
 let stats_last_decisions () = !steps
 
@@ -19,231 +21,658 @@ let backtracks = ref 0
 let stats_last_propagations () = !propagations
 let stats_last_backtracks () = !backtracks
 
-(* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
-type state = {
-  assign : int array;
-  clauses : int array array;
-  occurs : int list array;  (* variable -> indices of clauses mentioning it *)
-}
-
-let value st lit =
-  let v = st.assign.(abs lit) in
-  if v = 0 then 0 else if (lit > 0) = (v > 0) then 1 else -1
-
-(* A clause is satisfied, falsified, or has some unassigned literals; when
-   exactly one literal is unassigned and the rest are false, it is a unit. *)
-let clause_status st clause =
-  let unassigned = ref 0 and unit_lit = ref 0 and satisfied = ref false in
-  Array.iter
-    (fun lit ->
-      match value st lit with
-      | 1 -> satisfied := true
-      | 0 ->
-          incr unassigned;
-          unit_lit := lit
-      | _ -> ())
-    clause;
-  if !satisfied then `Satisfied
-  else if !unassigned = 0 then `Falsified
-  else if !unassigned = 1 then `Unit !unit_lit
-  else `Open !unassigned
-
-exception Conflict
+let learned_total = ref 0
+let restarts_total = ref 0
+let stats_last_learned () = !learned_total
+let stats_last_restarts () = !restarts_total
 
 (* Deadline polling is amortized to one clock read every
    [deadline_poll_mask + 1] steps: propagation runs millions of steps per
    second, so reading the clock on each one would be measurable. *)
 let deadline_poll_mask = 255
 
-(* Assign [lit] true and propagate units; returns the trail of variables
-   assigned (for backtracking).  Raises [Conflict] on a falsified clause. *)
-let propagate ~budget ~expired st lit =
-  let trail = ref [] in
-  let queue = Queue.create () in
-  let enqueue l =
-    match value st l with
-    | 1 -> ()
-    | -1 -> raise Conflict
+(* ------------------------------------------------------------------ *)
+(* Growable int vectors (OCaml 5.1 has no Dynarray)                     *)
+(* ------------------------------------------------------------------ *)
+
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create ?(capacity = 16) () = { a = Array.make (max 1 capacity) 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let a' = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 a' 0 v.n;
+      v.a <- a'
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let get v i = v.a.(i)
+  let set v i x = v.a.(i) <- x
+  let size v = v.n
+  let shrink v n = v.n <- n
+end
+
+(* ------------------------------------------------------------------ *)
+(* The incremental solver                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Inc = struct
+  (* Conflict-driven clause learning with two watched literals, first-UIP
+     learning, phase saving, geometric restarts and MiniSat-style
+     assumptions.  Clauses and variables may be added between [solve]
+     calls; learned clauses are retained across calls, which is what makes
+     the CEGAR refinement loop and the planner's repeated [k] sweeps pay
+     for conflicts only once.  [push]/[pop] frame clause additions with
+     selector variables: a popped frame's clauses (and every learned
+     clause derived from them) are permanently satisfied by a root-level
+     selector unit, so they can never resurface. *)
+
+  type stats = {
+    decisions : int;
+    propagations : int;
+    conflicts : int;
+    learned : int;  (** learned clauses currently retained *)
+    restarts : int;
+    clauses : int;  (** problem clauses (excludes learned) *)
+  }
+
+  type t = {
+    (* clause store: literals of clause [i] are [lits[start i .. start
+       (i+1) - 1]]; learned clauses are flagged for stats only *)
+    lits : Vec.t;
+    start : Vec.t;  (* length = clause count + 1 *)
+    mutable n_clauses : int;
+    mutable n_problem : int;
+    mutable n_learned : int;
+    (* watches.(lit_index l) = clause indices watching literal l; the two
+       watched literals of a clause sit at offsets 0 and 1 *)
+    mutable watches : Vec.t array;
+    (* per-variable state; index 0 unused *)
+    mutable assign : int array;  (* 0 unassigned, 1 true, -1 false *)
+    mutable level : int array;
+    mutable reason : int array;  (* clause index, or -1 for decisions *)
+    mutable activity : float array;
+    mutable phase : bool array;  (* saved polarity *)
+    mutable seen : bool array;  (* scratch for conflict analysis *)
+    (* activity-ordered max-heap of branch candidates (MiniSat's
+       order_heap): heap.(0 .. heap_size-1) are vars, heap_pos maps var ->
+       heap slot (-1 if absent).  pick_branch pops in O(log V) instead of
+       scanning every variable, which is what keeps a solve over a huge,
+       lightly-constrained variable space (the CEGAR seed formula) from
+       going quadratic in decisions. *)
+    mutable heap : int array;
+    mutable heap_pos : int array;
+    mutable heap_size : int;
+    mutable nvars : int;
+    trail : Vec.t;
+    trail_lim : Vec.t;  (* trail length at each decision level *)
+    mutable qhead : int;
+    mutable var_inc : float;
+    (* push/pop frames: selector variable per frame, assumed active while
+       the frame is on the stack *)
+    mutable frames : int list;
+    mutable root_unsat : bool;
+    (* per-solve counters *)
+    mutable c_decisions : int;
+    mutable c_propagations : int;
+    mutable c_conflicts : int;
+    mutable c_restarts : int;
+    mutable total_restarts : int;
+  }
+
+  let create () =
+    {
+      lits = Vec.create ~capacity:256 ();
+      start = (let v = Vec.create () in Vec.push v 0; v);
+      n_clauses = 0;
+      n_problem = 0;
+      n_learned = 0;
+      watches = Array.init 10 (fun _ -> Vec.create ~capacity:4 ());
+      assign = Array.make 4 0;
+      level = Array.make 4 0;
+      reason = Array.make 4 (-1);
+      activity = Array.make 4 0.0;
+      phase = Array.make 4 false;
+      seen = Array.make 4 false;
+      heap = Array.make 4 0;
+      heap_pos = Array.make 4 (-1);
+      heap_size = 0;
+      nvars = 0;
+      trail = Vec.create ~capacity:64 ();
+      trail_lim = Vec.create ();
+      qhead = 0;
+      var_inc = 1.0;
+      frames = [];
+      root_unsat = false;
+      c_decisions = 0;
+      c_propagations = 0;
+      c_conflicts = 0;
+      c_restarts = 0;
+      total_restarts = 0;
+    }
+
+  let nvars t = t.nvars
+
+  let lit_index l = if l > 0 then 2 * l else (-2 * l) + 1
+
+  let grow t want =
+    let cap = Array.length t.assign in
+    if want >= cap then begin
+      let cap' = max (2 * cap) (want + 1) in
+      let grow_arr a init =
+        let a' = Array.make cap' init in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      t.assign <- grow_arr t.assign 0;
+      t.level <- grow_arr t.level 0;
+      t.reason <- grow_arr t.reason (-1);
+      t.activity <- grow_arr t.activity 0.0;
+      t.phase <- grow_arr t.phase false;
+      t.seen <- grow_arr t.seen false;
+      t.heap <- grow_arr t.heap 0;
+      t.heap_pos <- grow_arr t.heap_pos (-1);
+      let w' = Array.init (2 * cap' + 2) (fun _ -> Vec.create ~capacity:4 ()) in
+      Array.blit t.watches 0 w' 0 (Array.length t.watches);
+      t.watches <- w'
+    end
+
+  (* higher activity first; ties to the lower variable index, matching the
+     order the old linear scan picked *)
+  let heap_lt t u v =
+    t.activity.(u) > t.activity.(v)
+    || (t.activity.(u) = t.activity.(v) && u < v)
+
+  let heap_swap t i j =
+    let u = t.heap.(i) and v = t.heap.(j) in
+    t.heap.(i) <- v;
+    t.heap.(j) <- u;
+    t.heap_pos.(v) <- i;
+    t.heap_pos.(u) <- j
+
+  let rec heap_up t i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if heap_lt t t.heap.(i) t.heap.(p) then begin
+        heap_swap t i p;
+        heap_up t p
+      end
+    end
+
+  let rec heap_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < t.heap_size && heap_lt t t.heap.(l) t.heap.(!m) then m := l;
+    if r < t.heap_size && heap_lt t t.heap.(r) t.heap.(!m) then m := r;
+    if !m <> i then begin
+      heap_swap t i !m;
+      heap_down t !m
+    end
+
+  let heap_insert t v =
+    if t.heap_pos.(v) < 0 then begin
+      let i = t.heap_size in
+      t.heap.(i) <- v;
+      t.heap_pos.(v) <- i;
+      t.heap_size <- t.heap_size + 1;
+      heap_up t i
+    end
+
+  let heap_pop t =
+    let v = t.heap.(0) in
+    t.heap_size <- t.heap_size - 1;
+    t.heap_pos.(v) <- -1;
+    if t.heap_size > 0 then begin
+      let w = t.heap.(t.heap_size) in
+      t.heap.(0) <- w;
+      t.heap_pos.(w) <- 0;
+      heap_down t 0
+    end;
+    v
+
+  let new_var t =
+    let v = t.nvars + 1 in
+    grow t v;
+    t.nvars <- v;
+    heap_insert t v;
+    v
+
+  let ensure_vars t n = while t.nvars < n do ignore (new_var t) done
+
+  let value t l =
+    let v = t.assign.(abs l) in
+    if v = 0 then 0 else if (l > 0) = (v > 0) then 1 else -1
+
+  let decision_level t = Vec.size t.trail_lim
+
+  let enqueue t l reason =
+    t.assign.(abs l) <- (if l > 0 then 1 else -1);
+    t.level.(abs l) <- decision_level t;
+    t.reason.(abs l) <- reason;
+    Vec.push t.trail l
+
+  (* Unassign everything above [lvl], saving phases. *)
+  let cancel_until t lvl =
+    if decision_level t > lvl then begin
+      let keep = Vec.get t.trail_lim lvl in
+      for i = Vec.size t.trail - 1 downto keep do
+        let l = Vec.get t.trail i in
+        let v = abs l in
+        t.phase.(v) <- t.assign.(v) > 0;
+        t.assign.(v) <- 0;
+        t.reason.(v) <- -1;
+        heap_insert t v
+      done;
+      Vec.shrink t.trail keep;
+      Vec.shrink t.trail_lim lvl;
+      t.qhead <- min t.qhead keep
+    end
+
+  let clause_begin t ci = Vec.get t.start ci
+  let clause_end t ci = Vec.get t.start (ci + 1)
+
+  (* Store a clause and set up its watches.  Must be called at decision
+     level 0.  Returns false if the clause is conflicting at the root. *)
+  let attach t ~learned cl =
+    match cl with
+    | [] ->
+        t.root_unsat <- true;
+        false
     | _ ->
-        incr propagations;
-        st.assign.(abs l) <- (if l > 0 then 1 else -1);
-        trail := abs l :: !trail;
-        Queue.add l queue
-  in
-  (try
-     enqueue lit;
-     while not (Queue.is_empty queue) do
-       incr steps;
-       if !steps > budget then raise Give_up;
-       if !steps land deadline_poll_mask = 0 && expired () then raise Give_up;
-       let l = Queue.pop queue in
-       List.iter
-         (fun ci ->
-           match clause_status st st.clauses.(ci) with
-           | `Falsified -> raise Conflict
-           | `Unit u -> enqueue u
-           | `Satisfied | `Open _ -> ())
-         st.occurs.(abs l)
-     done;
-     Ok !trail
-   with Conflict -> Error !trail)
+        (* order the literals so that non-false ones come first *)
+        let arr = Array.of_list cl in
+        let n = Array.length arr in
+        let nonfalse = ref 0 in
+        for i = 0 to n - 1 do
+          if value t arr.(i) <> -1 then begin
+            let tmp = arr.(!nonfalse) in
+            arr.(!nonfalse) <- arr.(i);
+            arr.(i) <- tmp;
+            incr nonfalse
+          end
+        done;
+        if !nonfalse = 0 then begin
+          t.root_unsat <- true;
+          false
+        end
+        else begin
+          let ci = t.n_clauses in
+          let base = Vec.size t.lits in
+          Array.iter (fun l -> Vec.push t.lits l) arr;
+          Vec.push t.start (base + n);
+          t.n_clauses <- ci + 1;
+          if learned then t.n_learned <- t.n_learned + 1
+          else t.n_problem <- t.n_problem + 1;
+          if n = 1 then begin
+            (* unit: no watches needed once the literal is rooted *)
+            (match value t arr.(0) with
+            | 0 -> enqueue t arr.(0) ci
+            | 1 -> ()
+            | _ -> t.root_unsat <- true);
+            not t.root_unsat
+          end
+          else begin
+            Vec.push t.watches.(lit_index arr.(0)) ci;
+            Vec.push t.watches.(lit_index arr.(1)) ci;
+            if !nonfalse = 1 && value t arr.(0) = 0 then enqueue t arr.(0) ci;
+            true
+          end
+        end
 
-let undo st trail = List.iter (fun v -> st.assign.(v) <- 0) trail
+  let add_clause t cl =
+    cancel_until t 0;
+    t.qhead <- min t.qhead (Vec.size t.trail);
+    List.iter (fun l -> if l <> 0 then ensure_vars t (abs l)) cl;
+    if List.exists (fun l -> l = 0) cl then
+      invalid_arg "Dpll.Inc.add_clause: literal 0";
+    (* frame selectors: a clause added inside push frames is guarded so a
+       pop can retire it wholesale *)
+    let cl =
+      List.fold_left (fun acc s -> -s :: acc) cl t.frames
+    in
+    if not t.root_unsat then ignore (attach t ~learned:false cl)
 
-(* Branching heuristic: the first unassigned literal of a shortest
-   unresolved clause (drives unit propagation fast); falls back to the
-   first unassigned variable. *)
-let pick_branch st =
-  let best = ref None in
-  Array.iter
-    (fun clause ->
-      match clause_status st clause with
-      | `Open n -> (
-          match !best with
-          | Some (m, _) when m <= n -> ()
-          | _ ->
-              let lit =
-                Array.to_list clause |> List.find (fun l -> value st l = 0)
-              in
-              best := Some (n, lit))
-      | `Satisfied | `Falsified | `Unit _ -> ())
-    st.clauses;
-  match !best with
-  | Some (_, lit) -> Some lit
-  | None ->
-      let var = ref 0 in
-      (try
-         for v = 1 to Array.length st.assign - 1 do
-           if st.assign.(v) = 0 then begin
-             var := v;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      if !var = 0 then None else Some !var
+  let push t =
+    cancel_until t 0;
+    let s = new_var t in
+    t.frames <- s :: t.frames
+
+  let pop t =
+    cancel_until t 0;
+    match t.frames with
+    | [] -> invalid_arg "Dpll.Inc.pop: no frame to pop"
+    | s :: rest ->
+        t.frames <- rest;
+        (* permanently satisfy every clause guarded by this frame (and any
+           learned clause carrying the guard) *)
+        if not t.root_unsat then ignore (attach t ~learned:false [ -s ])
+
+  let level t = List.length t.frames
+
+  (* ---- search ---------------------------------------------------- *)
+
+  exception Conflict_found of int
+
+  let propagate t =
+    try
+      while t.qhead < Vec.size t.trail do
+        let p = Vec.get t.trail t.qhead in
+        t.qhead <- t.qhead + 1;
+        t.c_propagations <- t.c_propagations + 1;
+        let false_lit = -p in
+        let ws = t.watches.(lit_index false_lit) in
+        let kept = ref 0 in
+        let i = ref 0 in
+        (try
+           while !i < Vec.size ws do
+             let ci = Vec.get ws !i in
+             incr i;
+             let b = clause_begin t ci and e = clause_end t ci in
+             (* normalize: the false literal sits at offset 1 *)
+             if Vec.get t.lits b = false_lit then begin
+               Vec.set t.lits b (Vec.get t.lits (b + 1));
+               Vec.set t.lits (b + 1) false_lit
+             end;
+             let first = Vec.get t.lits b in
+             if value t first = 1 then begin
+               Vec.set ws !kept ci;
+               incr kept
+             end
+             else begin
+               (* look for a replacement watch *)
+               let found = ref false in
+               let j = ref (b + 2) in
+               while (not !found) && !j < e do
+                 if value t (Vec.get t.lits !j) <> -1 then begin
+                   Vec.set t.lits (b + 1) (Vec.get t.lits !j);
+                   Vec.set t.lits !j false_lit;
+                   Vec.push t.watches.(lit_index (Vec.get t.lits (b + 1))) ci;
+                   found := true
+                 end;
+                 incr j
+               done;
+               if !found then ()
+               else begin
+                 (* unit or conflict *)
+                 Vec.set ws !kept ci;
+                 incr kept;
+                 if value t first = -1 then begin
+                   (* keep the remaining watchers before reporting *)
+                   while !i < Vec.size ws do
+                     Vec.set ws !kept (Vec.get ws !i);
+                     incr kept;
+                     incr i
+                   done;
+                   Vec.shrink ws !kept;
+                   raise (Conflict_found ci)
+                 end
+                 else enqueue t first ci
+               end
+             end
+           done;
+           Vec.shrink ws !kept
+         with Conflict_found _ as e -> raise e)
+      done;
+      -1
+    with Conflict_found ci -> ci
+
+  let var_decay = 1.0 /. 0.95
+  let rescale_limit = 1e100
+
+  let bump t v =
+    t.activity.(v) <- t.activity.(v) +. t.var_inc;
+    if t.activity.(v) > rescale_limit then begin
+      (* uniform rescale preserves the heap order *)
+      for u = 1 to t.nvars do
+        t.activity.(u) <- t.activity.(u) *. 1e-100
+      done;
+      t.var_inc <- t.var_inc *. 1e-100
+    end
+    else if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+  (* First-UIP conflict analysis.  Returns the learned clause (asserting
+     literal first) and the backjump level.  [p] holds the trail literal
+     being resolved on (0 on the first iteration, where the whole conflict
+     clause is scanned); a reason clause contains [p] itself, which must be
+     skipped when scanning it. *)
+  let analyze t confl =
+    let learned = ref [] in
+    let counter = ref 0 in
+    let p = ref 0 in
+    let idx = ref (Vec.size t.trail - 1) in
+    let c = ref confl in
+    let dl = decision_level t in
+    let continue = ref true in
+    while !continue do
+      let b = clause_begin t !c and e = clause_end t !c in
+      for k = b to e - 1 do
+        let q = Vec.get t.lits k in
+        if q <> !p then begin
+          let v = abs q in
+          if (not t.seen.(v)) && t.level.(v) > 0 then begin
+            t.seen.(v) <- true;
+            bump t v;
+            if t.level.(v) >= dl then incr counter
+            else learned := q :: !learned
+          end
+        end
+      done;
+      (* walk the trail back to the next marked literal *)
+      while not t.seen.(abs (Vec.get t.trail !idx)) do
+        decr idx
+      done;
+      p := Vec.get t.trail !idx;
+      let v = abs !p in
+      t.seen.(v) <- false;
+      decr counter;
+      decr idx;
+      if !counter = 0 then continue := false
+      else c := t.reason.(v)
+    done;
+    let cl = - !p :: !learned in
+    List.iter (fun q -> t.seen.(abs q) <- false) !learned;
+    let bj =
+      List.fold_left (fun acc q -> max acc t.level.(abs q)) 0 !learned
+    in
+    (cl, bj)
+
+  (* Attach a learned clause after backjumping: the asserting literal is
+     unassigned, every other literal false, so watch positions 0 and 1
+     (position 1 holding a literal from the backjump level). *)
+  let attach_learned t cl =
+    match cl with
+    | [ l ] ->
+        let ci = t.n_clauses in
+        Vec.push t.lits l;
+        Vec.push t.start (Vec.size t.lits);
+        t.n_clauses <- ci + 1;
+        t.n_learned <- t.n_learned + 1;
+        enqueue t l ci
+    | l :: rest ->
+        (* move a deepest-level literal to position 1 *)
+        let arr = Array.of_list rest in
+        let best = ref 0 in
+        Array.iteri
+          (fun i q -> if t.level.(abs q) > t.level.(abs arr.(!best)) then best := i)
+          arr;
+        let tmp = arr.(0) in
+        arr.(0) <- arr.(!best);
+        arr.(!best) <- tmp;
+        let ci = t.n_clauses in
+        Vec.push t.lits l;
+        Array.iter (fun q -> Vec.push t.lits q) arr;
+        Vec.push t.start (Vec.size t.lits);
+        t.n_clauses <- ci + 1;
+        t.n_learned <- t.n_learned + 1;
+        Vec.push t.watches.(lit_index l) ci;
+        Vec.push t.watches.(lit_index arr.(0)) ci;
+        enqueue t l ci
+    | [] -> t.root_unsat <- true
+
+  (* Pop the order heap until an unassigned variable surfaces; assigned
+     entries are stale (lazy deletion — they re-enter on backtrack). *)
+  let rec pick_branch t =
+    if t.heap_size = 0 then None
+    else
+      let v = heap_pop t in
+      if t.assign.(v) = 0 then Some (if t.phase.(v) then v else -v)
+      else pick_branch t
+
+  let stats t =
+    {
+      decisions = t.c_decisions;
+      propagations = t.c_propagations;
+      conflicts = t.c_conflicts;
+      learned = t.n_learned;
+      restarts = t.total_restarts;
+      clauses = t.n_problem;
+    }
+
+  let solve ?(assumptions = []) ?(budget = 2_000_000) ?deadline_ns ?cancel
+      ?tracer t =
+    t.c_decisions <- 0;
+    t.c_propagations <- 0;
+    t.c_conflicts <- 0;
+    t.c_restarts <- 0;
+    let expired =
+      let past_deadline =
+        match deadline_ns with
+        | None -> fun () -> false
+        | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
+      in
+      match cancel with
+      | None -> past_deadline
+      | Some cancelled -> fun () -> cancelled () || past_deadline ()
+    in
+    let assumps =
+      Array.of_list (List.rev_append (List.rev_map (fun s -> s) t.frames) assumptions)
+    in
+    Array.iter
+      (fun l ->
+        if l = 0 then invalid_arg "Dpll.Inc.solve: assumption literal 0";
+        ensure_vars t (abs l))
+      assumps;
+    cancel_until t 0;
+    t.qhead <- 0;  (* re-propagate root units against any new clauses *)
+    if t.root_unsat then Unsat
+    else begin
+      let spent () = t.c_decisions + t.c_propagations in
+      let check_budget () =
+        if spent () > budget then raise Give_up;
+        if spent () land deadline_poll_mask = 0 && expired () then raise Give_up
+      in
+      let restart_limit = ref 100 in
+      let sample tr =
+        Trace.counter tr "dpll.decisions" t.c_decisions;
+        Trace.counter tr "dpll.propagations" t.c_propagations;
+        Trace.counter tr "dpll.conflicts" t.c_conflicts
+      in
+      let search () =
+        let result = ref None in
+        while !result = None do
+          check_budget ();
+          let confl = propagate t in
+          if confl >= 0 then begin
+            t.c_conflicts <- t.c_conflicts + 1;
+            Option.iter (fun tr -> Trace.instant tr "dpll.conflict") tracer;
+            if decision_level t <= Array.length assumps then begin
+              (* conflict depends only on the root and the assumptions *)
+              if decision_level t = 0 then t.root_unsat <- true;
+              result := Some Unsat
+            end
+            else begin
+              let cl, bj = analyze t confl in
+              (* never backjump into the assumption prefix deeper than the
+                 conflict allows: clamping to an assumption level keeps
+                 the assumed literals enqueued *)
+              cancel_until t bj;
+              attach_learned t cl;
+              t.var_inc <- t.var_inc *. var_decay;
+              if t.c_conflicts mod 1000 = 0 then
+                Option.iter (fun tr -> sample tr) tracer
+            end
+          end
+          else if t.c_conflicts >= !restart_limit
+                  && decision_level t > Array.length assumps then begin
+            restart_limit := !restart_limit + (!restart_limit / 2) + 100;
+            t.c_restarts <- t.c_restarts + 1;
+            t.total_restarts <- t.total_restarts + 1;
+            Option.iter (fun tr -> Trace.instant tr "dpll.restart") tracer;
+            cancel_until t (Array.length assumps)
+          end
+          else begin
+            let dl = decision_level t in
+            if dl < Array.length assumps then begin
+              let a = assumps.(dl) in
+              match value t a with
+              | -1 -> result := Some Unsat
+              | 1 ->
+                  (* already implied: open an empty level so indices keep
+                     lining up with the assumption array *)
+                  Vec.push t.trail_lim (Vec.size t.trail)
+              | _ ->
+                  Vec.push t.trail_lim (Vec.size t.trail);
+                  t.c_decisions <- t.c_decisions + 1;
+                  enqueue t a (-1)
+            end
+            else
+              match pick_branch t with
+              | None ->
+                  let model =
+                    Array.init (t.nvars + 1) (fun v -> v > 0 && t.assign.(v) = 1)
+                  in
+                  result := Some (Sat model)
+              | Some l ->
+                  Vec.push t.trail_lim (Vec.size t.trail);
+                  t.c_decisions <- t.c_decisions + 1;
+                  Option.iter (fun tr -> Trace.instant tr "dpll.decide") tracer;
+                  enqueue t l (-1)
+          end
+        done;
+        Option.get !result
+      in
+      let outcome =
+        match
+          (match tracer with
+          | None -> search ()
+          | Some tr -> Trace.with_span tr "dpll.solve" search)
+        with
+        | r -> r
+        | exception Give_up -> Timeout
+      in
+      cancel_until t 0;
+      (* export per-call counters to the legacy stats surface *)
+      steps := t.c_decisions + t.c_propagations;
+      propagations := t.c_propagations;
+      backtracks := t.c_conflicts;
+      learned_total := t.n_learned;
+      restarts_total := t.c_restarts;
+      outcome
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The legacy one-shot interface                                        *)
+(* ------------------------------------------------------------------ *)
 
 let solve ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer ~nvars cnf =
-  steps := 0;
-  propagations := 0;
-  backtracks := 0;
-  let expired =
-    let past_deadline =
-      match deadline_ns with
-      | None -> fun () -> false
-      | Some d -> fun () -> Orm_telemetry.Metrics.now_ns () > d
-    in
-    match cancel with
-    | None -> past_deadline
-    | Some cancelled -> fun () -> cancelled () || past_deadline ()
-  in
   List.iter
     (List.iter (fun lit ->
          if lit = 0 || abs lit > nvars then
            invalid_arg "Dpll.solve: literal out of range"))
     cnf;
-  let clauses = Array.of_list (List.map Array.of_list cnf) in
-  let occurs = Array.make (nvars + 1) [] in
-  Array.iteri
-    (fun ci clause ->
-      Array.iter (fun lit -> occurs.(abs lit) <- ci :: occurs.(abs lit)) clause)
-    clauses;
-  let st = { assign = Array.make (nvars + 1) 0; clauses; occurs } in
-  let decisions = ref 0 in
-  (* Counter samples land at decision points only — once per branch, not
-     per propagated literal, so tracing a 2M-step search does not drown the
-     ring in counter events.  [depth] is the current decision depth (this
-     DPLL learns no clauses, so depth is the backjump-relevant quantity). *)
-  let sample tr depth =
-    Trace.counter tr "dpll.decisions" !decisions;
-    Trace.counter tr "dpll.propagations" !propagations;
-    Trace.counter tr "dpll.depth" depth
-  in
-  (* Top-level units first. *)
-  let rec search ~depth () =
-    incr steps;
-    if !steps > budget then raise Give_up;
-    if !steps land deadline_poll_mask = 0 && expired () then raise Give_up;
-    (* All clauses satisfied? *)
-    let unresolved =
-      Array.exists
-        (fun clause ->
-          match clause_status st clause with
-          | `Satisfied -> false
-          | `Falsified | `Unit _ | `Open _ -> true)
-        st.clauses
-    in
-    if not unresolved then true
-    else
-      (* Resolve pending units (can arise from backtracking order). *)
-      let pending_unit =
-        Array.fold_left
-          (fun acc clause ->
-            match acc with
-            | Some _ -> acc
-            | None -> (
-                match clause_status st clause with
-                | `Unit u -> Some u
-                | `Falsified -> raise Conflict
-                | `Satisfied | `Open _ -> None))
-          None st.clauses
-      in
-      match pending_unit with
-      | Some u -> (
-          match propagate ~budget ~expired st u with
-          | Ok trail -> search ~depth () || (undo st trail; false)
-          | Error trail ->
-              undo st trail;
-              false)
-      | None -> (
-          match pick_branch st with
-          | None -> true
-          | Some lit -> (
-              incr decisions;
-              Option.iter
-                (fun tr ->
-                  Trace.instant tr "dpll.decide";
-                  sample tr depth)
-                tracer;
-              let try_polarity l =
-                match propagate ~budget ~expired st l with
-                | Ok trail ->
-                    if search ~depth:(depth + 1) () then true
-                    else begin
-                      incr backtracks;
-                      Option.iter
-                        (fun tr ->
-                          Trace.instant tr "dpll.backtrack";
-                          Trace.counter tr "dpll.backtracks" !backtracks)
-                        tracer;
-                      undo st trail;
-                      false
-                    end
-                | Error trail ->
-                    incr backtracks;
-                    Option.iter
-                      (fun tr ->
-                        Trace.instant tr "dpll.conflict";
-                        Trace.counter tr "dpll.backtracks" !backtracks)
-                      tracer;
-                    undo st trail;
-                    false
-              in
-              try_polarity lit || try_polarity (-lit)))
-  in
-  let search_root () =
-    if expired () then raise Give_up;
-    try search ~depth:0 () with Conflict -> false
-  in
-  match
-    (match tracer with
-    | None -> search_root ()
-    | Some tr -> Trace.with_span tr "dpll.solve" search_root)
-  with
-  | true ->
-      (* Unassigned variables are don't-cares; default them to false. *)
-      Sat (Array.init (nvars + 1) (fun v -> v > 0 && st.assign.(v) = 1))
-  | false -> Unsat
-  | exception Give_up -> Timeout
+  let t = Inc.create () in
+  Inc.ensure_vars t nvars;
+  List.iter (Inc.add_clause t) cnf;
+  match Inc.solve ~budget ?deadline_ns ?cancel ?tracer t with
+  | Sat model ->
+      (* the incremental core sizes its model to its own variable count;
+         pad don't-cares so callers can index by [nvars] *)
+      Sat (Array.init (nvars + 1) (fun v -> v < Array.length model && model.(v)))
+  | (Unsat | Timeout) as r -> r
 
 let verify cnf assignment =
   List.for_all

@@ -1,14 +1,19 @@
-(** A small DPLL SAT solver.
+(** A conflict-driven SAT solver with an incremental interface.
 
-    Complete backtracking search with unit propagation over clauses in the
-    usual DIMACS convention: variables are positive integers, a literal is
-    a non-zero integer whose sign is its polarity.  Built from scratch (the
-    container has no SAT solver) as the engine under {!Encode}, the
-    propositional route to bounded ORM satisfiability.  The implementation
-    favours clarity over raw speed — branching picks the first unassigned
-    variable of the shortest unsatisfied clause — which is plenty for the
-    bounded instances the encoder produces and keeps the worst-case
-    exponential behaviour honest for the benchmarks. *)
+    Variables are positive integers, a literal is a non-zero integer whose
+    sign is its polarity (the DIMACS convention).  Built from scratch (the
+    container has no SAT solver) as the engine under {!Encode} and
+    {!Cegar}, the propositional route to bounded ORM satisfiability.
+
+    The core ({!Inc}) is a persistent CDCL solver: two watched literals,
+    first-UIP clause learning, phase saving, geometric restarts,
+    MiniSat-style assumptions, and [push]/[pop] clause frames.  Clauses
+    may be added between [solve] calls and learned clauses are retained
+    across calls — the property the CEGAR refinement loop and the
+    planner's repeated domain-size sweeps rely on to pay for each conflict
+    only once.  The one-shot {!solve} below wraps a fresh [Inc.t] and
+    keeps the historical behaviour (and validation) for existing
+    callers. *)
 
 type lit = int
 (** Non-zero literal; [-v] is the negation of variable [v]. *)
@@ -20,7 +25,69 @@ type result =
   | Sat of bool array
       (** satisfying assignment, indexed by variable (index 0 unused) *)
   | Unsat
-  | Timeout  (** decision budget exhausted *)
+  | Timeout  (** decision budget exhausted, deadline passed, or cancelled *)
+
+(** The incremental solver. *)
+module Inc : sig
+  type t
+  (** Mutable solver state.  Not thread-safe; confine to one domain. *)
+
+  type stats = {
+    decisions : int;  (** decisions of the most recent [solve] *)
+    propagations : int;  (** propagations of the most recent [solve] *)
+    conflicts : int;  (** conflicts of the most recent [solve] *)
+    learned : int;  (** learned clauses currently retained *)
+    restarts : int;  (** restarts across the solver's lifetime *)
+    clauses : int;  (** problem (non-learned) clauses added so far *)
+  }
+
+  val create : unit -> t
+
+  val nvars : t -> int
+  (** Highest variable allocated so far. *)
+
+  val new_var : t -> int
+  (** Allocate and return a fresh variable. *)
+
+  val ensure_vars : t -> int -> unit
+  (** Grow the variable range to at least [n]. *)
+
+  val add_clause : t -> clause -> unit
+  (** Add a problem clause.  May be called between [solve] calls; the
+      trail is rewound to the root level first.  Inside [push] frames the
+      clause is guarded by the frame selectors so a later [pop] retires
+      it.  The empty clause marks the instance root-unsatisfiable.
+      @raise Invalid_argument on the literal 0. *)
+
+  val push : t -> unit
+  (** Open a clause frame: subsequent [add_clause] calls are retractable
+      by the matching [pop]. *)
+
+  val pop : t -> unit
+  (** Retire the most recent frame's clauses (and any learned clause
+      derived from them).  @raise Invalid_argument with no open frame. *)
+
+  val level : t -> int
+  (** Number of open frames. *)
+
+  val solve :
+    ?assumptions:lit list ->
+    ?budget:int ->
+    ?deadline_ns:int64 ->
+    ?cancel:(unit -> bool) ->
+    ?tracer:Orm_trace.Trace.t ->
+    t ->
+    result
+  (** Decide satisfiability of the clauses added so far, under the given
+      [assumptions] (temporary unit hypotheses for this call only).
+      [budget] (default 2_000_000) bounds decisions + propagations of
+      this call; [deadline_ns] / [cancel] are the same cooperative hooks
+      as the one-shot {!solve}.  On [Sat m], [m] is indexed by variable
+      up to {!nvars} at the time of the call.  Learned clauses persist
+      into subsequent calls. *)
+
+  val stats : t -> stats
+end
 
 val solve :
   ?budget:int ->
@@ -31,19 +98,18 @@ val solve :
   cnf ->
   result
 (** [solve ~nvars cnf] decides satisfiability of [cnf] over variables
-    [1..nvars].  [budget] (default 2_000_000) bounds the number of
-    decisions + propagations; [deadline_ns] is an absolute
-    {!Orm_telemetry.Metrics.now_ns} instant past which the search stops
-    with [Timeout], polled every couple hundred steps so the per-step hot
-    path stays clock-free.  [cancel] is polled at the same amortized sites:
-    once it returns [true] the search stops with [Timeout] — the hook the
-    planner's portfolio racing uses to abandon the losing backend.
+    [1..nvars] with a fresh incremental solver.  [budget] (default
+    2_000_000) bounds the number of decisions + propagations;
+    [deadline_ns] is an absolute {!Orm_telemetry.Metrics.now_ns} instant
+    past which the search stops with [Timeout], polled every couple
+    hundred steps so the per-step hot path stays clock-free.  [cancel] is
+    polled at the same amortized sites: once it returns [true] the search
+    stops with [Timeout] — the hook the planner's portfolio racing uses
+    to abandon the losing backend.
 
     [tracer] records a [dpll.solve] span with instant events at every
-    decision, backtrack and conflict, plus [dpll.decisions] /
-    [propagations] / [backtracks] / [depth] counter tracks (sampled at
-    decision points; this solver learns no clauses, so the decision depth
-    is the quantity a blow-up shows).
+    decision, restart and conflict, plus [dpll.decisions] /
+    [propagations] / [conflicts] counter tracks sampled periodically.
     @raise Invalid_argument if a clause mentions a variable outside
     [1..nvars] or the literal 0. *)
 
@@ -59,5 +125,12 @@ val stats_last_propagations : unit -> int
 (** Unit propagations alone, for the most recent {!solve} call. *)
 
 val stats_last_backtracks : unit -> int
-(** Backtracks (failed polarities and conflicts) of the most recent
-    {!solve} call. *)
+(** Conflicts of the most recent {!solve} call (historically named
+    backtracks). *)
+
+val stats_last_learned : unit -> int
+(** Learned clauses retained by the solver of the most recent {!solve}
+    call. *)
+
+val stats_last_restarts : unit -> int
+(** Restarts performed during the most recent {!solve} call. *)

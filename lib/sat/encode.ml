@@ -172,21 +172,23 @@ let encode_structure env =
           (inter_values (env.pool a) (env.pool b)))
     (pairs (Schema.object_types schema))
 
+let player_pool env (r : Ids.role) =
+  match Schema.player env.schema r with Some p -> env.pool p | None -> []
+
+(* Tuple variables with [u] at role [r]'s end. *)
+let role_tuples env (r : Ids.role) u =
+  match Schema.find_fact env.schema r.fact with
+  | None -> []
+  | Some ft -> (
+      match r.side with
+      | Ids.Fst -> List.map (fun v -> tup env ft.name u v) (env.pool ft.player2)
+      | Ids.Snd -> List.map (fun w -> tup env ft.name w u) (env.pool ft.player1))
+
 let encode_constraint env (c : Constraints.t) =
   let schema = env.schema in
   let b = env.b in
-  let player_pool (r : Ids.role) =
-    match Schema.player schema r with Some p -> env.pool p | None -> []
-  in
-  let role_tuples (r : Ids.role) u =
-    (* Tuple variables with [u] at role [r]'s end. *)
-    match Schema.find_fact schema r.fact with
-    | None -> []
-    | Some ft -> (
-        match r.side with
-        | Ids.Fst -> List.map (fun v -> tup env ft.name u v) (env.pool ft.player2)
-        | Ids.Snd -> List.map (fun w -> tup env ft.name w u) (env.pool ft.player1))
-  in
+  let player_pool = player_pool env in
+  let role_tuples = role_tuples env in
   match c.body with
   | Mandatory r ->
       Option.iter
@@ -433,7 +435,39 @@ let decode env assignment =
     (Schema.fact_types env.schema);
   !pop
 
-let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer schema query =
+(* Like [decode], but reads only variables the (partial) encoding has
+   actually allocated — anything unallocated, or allocated after the model
+   was produced, counts as false.  The CEGAR loop decodes candidate models
+   of a lazily-grounded formula with this. *)
+let decode_sparse env assignment =
+  let truthy name =
+    match B.find env.b name with
+    | Some v -> v < Array.length assignment && assignment.(v)
+    | None -> false
+  in
+  let pop = ref Population.empty in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun v ->
+          if truthy (Printf.sprintf "m|%s|%s" t (Value.to_string v)) then
+            pop := Population.add_object t v !pop)
+        (env.pool t))
+    (Schema.object_types env.schema);
+  List.iter
+    (fun (ft : Fact_type.t) ->
+      List.iter
+        (fun (u, v) ->
+          if
+            truthy
+              (Printf.sprintf "t|%s|%s|%s" ft.name (Value.to_string u)
+                 (Value.to_string v))
+          then pop := Population.add_tuple ft.name (u, v) !pop)
+        (grid env ft))
+    (Schema.fact_types env.schema);
+  !pop
+
+let make_env ?max_fresh schema =
   let max_fresh =
     match max_fresh with Some n -> n | None -> default_fresh schema
   in
@@ -461,7 +495,14 @@ let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer schema q
         Hashtbl.add pools repr p;
         p
   in
-  let env = { b = B.create (); schema; pool } in
+  { b = B.create (); schema; pool }
+
+let builder env = env.b
+let env_schema env = env.schema
+let env_pool env = env.pool
+
+let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer schema query =
+  let env = make_env ?max_fresh schema in
   Orm_trace.Trace.span tracer "sat.encode" (fun () ->
       define_plays env;
       encode_structure env;
@@ -472,7 +513,11 @@ let solve ?max_fresh ?(budget = 2_000_000) ?deadline_ns ?cancel ?tracer schema q
     {
       variables = B.nvars env.b;
       clauses = B.clause_count env.b;
-      decisions = Dpll.stats_last_decisions ();
+      decisions =
+        (* per-instance, not the module-level counters: a planner race may
+           run this and the lazy grounder on sibling domains *)
+        (let s = Dpll.Inc.stats (B.solver env.b) in
+         s.Dpll.Inc.decisions + s.Dpll.Inc.propagations);
     };
   match result with
   | Dpll.Unsat -> No_model

@@ -59,3 +59,72 @@ val solve :
 
 val last_stats : unit -> stats
 (** Encoding and solving statistics of the most recent {!solve} call. *)
+
+(** {1 Encoding environment}
+
+    The pieces of the eager encoder, exported so the {!Cegar} lazy
+    grounder can reuse the exact same variable space, candidate pools and
+    per-constraint clause forms.  Every clause the lazy path emits through
+    these helpers is one the eager encoding would also contain (or a
+    definitional extension of it), which is the soundness invariant the
+    CEGAR loop rests on. *)
+
+type env
+(** A variable space over a schema: the candidate pools (per subtype
+    family: admissible values plus fresh atoms) and the named-variable
+    builder.  Variables are created on first use, so a partial encoding
+    only pays for what it touches. *)
+
+val make_env : ?max_fresh:int -> Schema.t -> env
+(** Pools as in {!solve}: [max_fresh] fresh atoms per subtype family
+    (default {!default_fresh}). *)
+
+val default_fresh : Schema.t -> int
+(** The fresh-atom heuristic shared with {!Orm_reasoner.Finder}. *)
+
+val builder : env -> Cnf_builder.t
+val env_schema : env -> Schema.t
+
+val env_pool : env -> Ids.object_type -> Value.t list
+(** Candidate values for an object type's subtype family. *)
+
+val mem : env -> Ids.object_type -> Value.t -> Dpll.lit
+(** Membership variable [mem(T,v)] (allocated on first use). *)
+
+val tup : env -> Ids.fact_type -> Value.t -> Value.t -> Dpll.lit
+(** Tuple variable [tup(f,u,v)]. *)
+
+val plays : env -> Ids.role -> Value.t -> Dpll.lit
+(** Role-playing variable [plays(r,u)].  Only meaningful once defined —
+    eagerly by {!define_plays}, or lazily via an [iff-or] over
+    {!role_tuples}. *)
+
+val role_tuples : env -> Ids.role -> Value.t -> Dpll.lit list
+(** All tuple variables with [u] at role [r]'s end (the co-player's full
+    pool — allocates them). *)
+
+val grid : env -> Fact_type.t -> (Value.t * Value.t) list
+(** The full candidate pair grid of a fact type. *)
+
+val define_plays : env -> unit
+(** Adds the [plays ↔ ∨ tup] definitions for every role/candidate pair
+    (the eager path does this up front). *)
+
+val encode_structure : env -> unit
+(** Typing, subtype containment/strictness, value admissibility and
+    implicit exclusion over the full grid. *)
+
+val encode_constraint : env -> Constraints.t -> unit
+(** Full eager grounding of one constraint. *)
+
+val encode_query : env -> query -> unit
+(** Ground the query goals (disjunctions over the candidate pools). *)
+
+val decode : env -> bool array -> Population.t
+(** Reads a model back into a population over the full grid (eager
+    path: every variable exists). *)
+
+val decode_sparse : env -> bool array -> Population.t
+(** Like {!decode} but reads only variables the partial encoding has
+    allocated; unallocated variables count as false.  The CEGAR loop's
+    candidate-model decoder. *)

@@ -82,7 +82,7 @@ type request = {
   deadline_ms : int option;
   budget : int;
   sat_budget : int;
-  backend : [ `Auto | `Dlr | `Sat | `Both ];
+  backend : [ `Auto | `Dlr | `Sat | `SatLazy | `Both ];
   q : string option;
   limit : int option;
 }
@@ -176,12 +176,13 @@ let parse_request line =
                       | Some (String "auto") -> `Auto
                       | Some (String "dlr") -> `Dlr
                       | Some (String "sat") -> `Sat
+                      | Some (String "sat-lazy") -> `SatLazy
                       | Some (String "both") | None -> `Both
                       | Some _ ->
                           raise
                             (Bad
-                               "backend: expected \"auto\", \"dlr\", \"sat\" \
-                                or \"both\"")
+                               "backend: expected \"auto\", \"dlr\", \"sat\", \
+                                \"sat-lazy\" or \"both\"")
                     in
                     {
                       id;
@@ -217,6 +218,7 @@ let backend_to_string = function
   | `Auto -> "auto"
   | `Dlr -> "dlr"
   | `Sat -> "sat"
+  | `SatLazy -> "sat-lazy"
   | `Both -> "both"
 
 let settings_params (s : Settings.t) =

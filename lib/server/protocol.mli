@@ -91,13 +91,16 @@ type request = {
   deadline_ms : int option;  (** per-request deadline; overrides the server default *)
   budget : int;  (** tableau rule budget ([reason]) *)
   sat_budget : int;  (** DPLL step budget ([reason]) *)
-  backend : [ `Auto | `Dlr | `Sat | `Both ];
+  backend : [ `Auto | `Dlr | `Sat | `SatLazy | `Both ];
       (** complete procedure(s) for [reason]; [`Auto] delegates the choice
           to the planner (the wire default stays ["both"] for
           compatibility — older clients keep their semantics) *)
   q : string option;  (** registry query string ([query]) *)
   limit : int option;  (** registry query match cap ([query]) *)
 }
+
+val backend_to_string : [ `Auto | `Dlr | `Sat | `SatLazy | `Both ] -> string
+(** The wire spelling ("auto" / "dlr" / "sat" / "sat-lazy" / "both"). *)
 
 val parse_request : string -> (request, string * string option) result
 (** Parses one request line.  [Error (message, id)] carries the request id
@@ -113,7 +116,7 @@ val build_request :
   ?deadline_ms:int ->
   ?budget:int ->
   ?sat_budget:int ->
-  ?backend:[ `Auto | `Dlr | `Sat | `Both ] ->
+  ?backend:[ `Auto | `Dlr | `Sat | `SatLazy | `Both ] ->
   ?q:string ->
   ?limit:int ->
   meth ->
@@ -130,7 +133,7 @@ val build_params :
   ?deadline_ms:int ->
   ?budget:int ->
   ?sat_budget:int ->
-  ?backend:[ `Auto | `Dlr | `Sat | `Both ] ->
+  ?backend:[ `Auto | `Dlr | `Sat | `SatLazy | `Both ] ->
   ?q:string ->
   ?limit:int ->
   unit ->

@@ -305,6 +305,33 @@ let reason_body t (req : P.request) schema ~deadline_ns =
               @ if cancelled then [ ("cancelled", P.Bool true) ] else []) );
         ]
   in
+  let sat_lazy =
+    match r.Orm_planner.Reason.sat_lazy with
+    | None -> []
+    | Some { outcome; cegar_stats; time_ns; cancelled } ->
+        [
+          ( "sat_lazy",
+            P.Obj
+              ([
+                 ( "outcome",
+                   P.String
+                     (match outcome with
+                     | Orm_sat.Encode.Model _ -> "model"
+                     | No_model -> "no_model"
+                     | Timeout -> "timeout") );
+                 ("rounds", P.Int cegar_stats.Orm_sat.Cegar.rounds);
+                 ( "instantiated_clauses",
+                   P.Int cegar_stats.Orm_sat.Cegar.instantiated_clauses );
+                 ("variables", P.Int cegar_stats.Orm_sat.Cegar.variables);
+                 ("clauses", P.Int cegar_stats.Orm_sat.Cegar.clauses);
+                 ("decisions", P.Int cegar_stats.Orm_sat.Cegar.decisions);
+                 ("learned", P.Int cegar_stats.Orm_sat.Cegar.learned);
+                 ("restarts", P.Int cegar_stats.Orm_sat.Cegar.restarts);
+                 ("time_ns", P.Int time_ns);
+               ]
+              @ if cancelled then [ ("cancelled", P.Bool true) ] else []) );
+        ]
+  in
   let planner =
     match r.Orm_planner.Reason.plan with
     | None -> []
@@ -332,9 +359,12 @@ let reason_body t (req : P.request) schema ~deadline_ns =
                       @ (match r.Orm_planner.Reason.dlr with
                         | Some d -> [ ("dlr_ns", P.Int d.time_ns) ]
                         | None -> [])
+                      @ (match r.Orm_planner.Reason.sat with
+                        | Some s -> [ ("sat_ns", P.Int s.time_ns) ]
+                        | None -> [])
                       @
-                      match r.Orm_planner.Reason.sat with
-                      | Some s -> [ ("sat_ns", P.Int s.time_ns) ]
+                      match r.Orm_planner.Reason.sat_lazy with
+                      | Some s -> [ ("sat_lazy_ns", P.Int s.time_ns) ]
                       | None -> []) );
                 ])
         in
@@ -347,7 +377,7 @@ let reason_body t (req : P.request) schema ~deadline_ns =
     ("diagnostics", P.Int (List.length report.Engine.diagnostics));
     ("report", Orm_export.Json.report_value report);
   ]
-  @ dlr @ sat @ planner
+  @ dlr @ sat @ sat_lazy @ planner
 
 let lint_body schema =
   let findings = Orm_lint.Lint.check schema in

@@ -9,13 +9,15 @@ let time f =
 let max_pattern = 12
 
 (* Complete-backend slots for the planner's cost model: 1 = the DLR tableau
-   route, 2 = the bounded SAT route.  Slot 0 collects out-of-range indices,
+   route, 2 = the bounded SAT route (eager grounding), 3 = the CEGAR
+   lazy-grounding SAT route.  Slot 0 collects out-of-range indices,
    mirroring the pattern convention. *)
-let max_backend = 2
+let max_backend = 3
 
 let backend_name = function
   | 1 -> "dlr"
   | 2 -> "sat"
+  | 3 -> "sat-lazy"
   | _ -> "other"
 
 (* Log-scale latency histogram: bucket [i] counts runs whose wall time fell
@@ -112,8 +114,15 @@ type t = {
   plan_patterns_only : int Atomic.t;
   plan_backend_dlr : int Atomic.t;
   plan_backend_sat : int Atomic.t;
+  plan_backend_sat_lazy : int Atomic.t;
   plan_races : int Atomic.t;
   plan_cancelled : int Atomic.t;
+  (* the CEGAR lazy grounder's refinement telemetry, accumulated across
+     sat-lazy runs *)
+  cegar_rounds : int Atomic.t;
+  cegar_instantiated : int Atomic.t;
+  cegar_learned : int Atomic.t;
+  cegar_restarts : int Atomic.t;
 }
 
 let atomic_array () = Array.init (max_pattern + 1) (fun _ -> Atomic.make 0)
@@ -174,8 +183,13 @@ let create () =
     plan_patterns_only = Atomic.make 0;
     plan_backend_dlr = Atomic.make 0;
     plan_backend_sat = Atomic.make 0;
+    plan_backend_sat_lazy = Atomic.make 0;
     plan_races = Atomic.make 0;
     plan_cancelled = Atomic.make 0;
+    cegar_rounds = Atomic.make 0;
+    cegar_instantiated = Atomic.make 0;
+    cegar_learned = Atomic.make 0;
+    cegar_restarts = Atomic.make 0;
   }
 
 let reset t =
@@ -208,7 +222,9 @@ let reset t =
       t.request_time_ns; t.request_max_ns; t.timeouts; t.overloads;
       t.internal_errors;
       t.plan_patterns_only; t.plan_backend_dlr; t.plan_backend_sat;
-      t.plan_races; t.plan_cancelled;
+      t.plan_backend_sat_lazy; t.plan_races; t.plan_cancelled;
+      t.cegar_rounds; t.cegar_instantiated; t.cegar_learned;
+      t.cegar_restarts;
     ]
 
 let bump a n = ignore (Atomic.fetch_and_add a n)
@@ -308,10 +324,17 @@ let record_plan t decision =
     | `Patterns_only -> t.plan_patterns_only
     | `Backend_dlr -> t.plan_backend_dlr
     | `Backend_sat -> t.plan_backend_sat
+    | `Backend_sat_lazy -> t.plan_backend_sat_lazy
     | `Race -> t.plan_races)
     1
 
 let record_race_cancelled t = bump t.plan_cancelled 1
+
+let record_cegar t ~rounds ~instantiated ~learned ~restarts =
+  bump t.cegar_rounds rounds;
+  bump t.cegar_instantiated instantiated;
+  bump t.cegar_learned learned;
+  bump t.cegar_restarts restarts
 
 type pattern_stat = {
   pattern : int;
@@ -371,8 +394,13 @@ type snapshot = {
   plan_patterns_only : int;
   plan_backend_dlr : int;
   plan_backend_sat : int;
+  plan_backend_sat_lazy : int;
   plan_races : int;
   plan_cancelled : int;
+  cegar_rounds : int;
+  cegar_instantiated : int;
+  cegar_learned : int;
+  cegar_restarts : int;
   checks : int;
   check_time_ns : int;
   propagation_runs : int;
@@ -518,8 +546,13 @@ let snapshot t =
     plan_patterns_only = Atomic.get t.plan_patterns_only;
     plan_backend_dlr = Atomic.get t.plan_backend_dlr;
     plan_backend_sat = Atomic.get t.plan_backend_sat;
+    plan_backend_sat_lazy = Atomic.get t.plan_backend_sat_lazy;
     plan_races = Atomic.get t.plan_races;
     plan_cancelled = Atomic.get t.plan_cancelled;
+    cegar_rounds = Atomic.get t.cegar_rounds;
+    cegar_instantiated = Atomic.get t.cegar_instantiated;
+    cegar_learned = Atomic.get t.cegar_learned;
+    cegar_restarts = Atomic.get t.cegar_restarts;
     checks = Atomic.get t.checks;
     check_time_ns = Atomic.get t.check_time_ns;
     propagation_runs = Atomic.get t.propagation_runs;
@@ -555,8 +588,13 @@ let zero =
     plan_patterns_only = 0;
     plan_backend_dlr = 0;
     plan_backend_sat = 0;
+    plan_backend_sat_lazy = 0;
     plan_races = 0;
     plan_cancelled = 0;
+    cegar_rounds = 0;
+    cegar_instantiated = 0;
+    cegar_learned = 0;
+    cegar_restarts = 0;
     checks = 0;
     check_time_ns = 0;
     propagation_runs = 0;
@@ -645,8 +683,13 @@ let add a b =
     plan_patterns_only = a.plan_patterns_only + b.plan_patterns_only;
     plan_backend_dlr = a.plan_backend_dlr + b.plan_backend_dlr;
     plan_backend_sat = a.plan_backend_sat + b.plan_backend_sat;
+    plan_backend_sat_lazy = a.plan_backend_sat_lazy + b.plan_backend_sat_lazy;
     plan_races = a.plan_races + b.plan_races;
     plan_cancelled = a.plan_cancelled + b.plan_cancelled;
+    cegar_rounds = a.cegar_rounds + b.cegar_rounds;
+    cegar_instantiated = a.cegar_instantiated + b.cegar_instantiated;
+    cegar_learned = a.cegar_learned + b.cegar_learned;
+    cegar_restarts = a.cegar_restarts + b.cegar_restarts;
     checks = a.checks + b.checks;
     check_time_ns = a.check_time_ns + b.check_time_ns;
     propagation_runs = a.propagation_runs + b.propagation_runs;
@@ -744,13 +787,18 @@ let pp ppf s =
   end;
   if
     s.plan_patterns_only + s.plan_backend_dlr + s.plan_backend_sat
-    + s.plan_races > 0
+    + s.plan_backend_sat_lazy + s.plan_races > 0
   then
     Format.fprintf ppf
-      "planner: %d patterns-only, %d dlr, %d sat, %d race(s) (%d loser(s) \
-       cancelled)@,"
-      s.plan_patterns_only s.plan_backend_dlr s.plan_backend_sat s.plan_races
-      s.plan_cancelled;
+      "planner: %d patterns-only, %d dlr, %d sat, %d sat-lazy, %d race(s) \
+       (%d loser(s) cancelled)@,"
+      s.plan_patterns_only s.plan_backend_dlr s.plan_backend_sat
+      s.plan_backend_sat_lazy s.plan_races s.plan_cancelled;
+  if s.cegar_rounds > 0 then
+    Format.fprintf ppf
+      "cegar: %d refinement round(s), %d instantiated clause(s), %d learned, \
+       %d restart(s)@,"
+      s.cegar_rounds s.cegar_instantiated s.cegar_learned s.cegar_restarts;
   if s.requests + s.timeouts + s.overloads + s.internal_errors > 0 then begin
     Format.fprintf ppf "server: %d request(s) (" s.requests;
     pp_ns ppf s.request_time_ns;
@@ -808,8 +856,13 @@ let to_value s =
       ("plan_patterns_only", J.Int s.plan_patterns_only);
       ("plan_backend_dlr", J.Int s.plan_backend_dlr);
       ("plan_backend_sat", J.Int s.plan_backend_sat);
+      ("plan_backend_sat_lazy", J.Int s.plan_backend_sat_lazy);
       ("plan_races", J.Int s.plan_races);
       ("plan_cancelled", J.Int s.plan_cancelled);
+      ("cegar_rounds", J.Int s.cegar_rounds);
+      ("cegar_instantiated", J.Int s.cegar_instantiated);
+      ("cegar_learned", J.Int s.cegar_learned);
+      ("cegar_restarts", J.Int s.cegar_restarts);
       ("request_hist", trimmed_hist s.request_hist);
       ( "patterns",
         J.List
@@ -983,8 +1036,15 @@ let of_value v =
             plan_patterns_only = int "plan_patterns_only" 0;
             plan_backend_dlr = int "plan_backend_dlr" 0;
             plan_backend_sat = int "plan_backend_sat" 0;
+            (* the lazy-grounding backend and its CEGAR counters arrived
+               together; snapshots written before them parse as zero *)
+            plan_backend_sat_lazy = int "plan_backend_sat_lazy" 0;
             plan_races = int "plan_races" 0;
             plan_cancelled = int "plan_cancelled" 0;
+            cegar_rounds = int "cegar_rounds" 0;
+            cegar_instantiated = int "cegar_instantiated" 0;
+            cegar_learned = int "cegar_learned" 0;
+            cegar_restarts = int "cegar_restarts" 0;
             checks = int "checks" 0;
             check_time_ns = int "check_time_ns" 0;
             propagation_runs = int "propagation_runs" 0;

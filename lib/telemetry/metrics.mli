@@ -95,11 +95,11 @@ val record_internal_error : ?now_ns:int64 -> t -> unit
     internal-error envelope, details only in the server log). *)
 
 val max_backend : int
-(** Highest complete-backend slot tracked (2: 1 = DLR tableau, 2 = bounded
-    SAT). *)
+(** Highest complete-backend slot tracked (3: 1 = DLR tableau, 2 = bounded
+    SAT with eager grounding, 3 = CEGAR lazy-grounding SAT). *)
 
 val backend_name : int -> string
-(** ["dlr"], ["sat"], or ["other"] for out-of-range slots. *)
+(** ["dlr"], ["sat"], ["sat-lazy"], or ["other"] for out-of-range slots. *)
 
 val record_backend : t -> backend:int -> time_ns:int -> definitive:bool -> unit
 (** One whole run of complete backend [backend] (a {!max_backend} slot)
@@ -109,12 +109,20 @@ val record_backend : t -> backend:int -> time_ns:int -> definitive:bool -> unit
     cost estimates.  Out-of-range slots land under 0 rather than raising. *)
 
 val record_plan :
-  t -> [ `Patterns_only | `Backend_dlr | `Backend_sat | `Race ] -> unit
+  t ->
+  [ `Patterns_only | `Backend_dlr | `Backend_sat | `Backend_sat_lazy | `Race ] ->
+  unit
 (** One planner decision of the given shape. *)
 
 val record_race_cancelled : t -> unit
 (** One race whose losing backend was actively cancelled (as opposed to
     finishing on its own just after the winner). *)
+
+val record_cegar :
+  t -> rounds:int -> instantiated:int -> learned:int -> restarts:int -> unit
+(** The refinement telemetry of one CEGAR lazy-grounding run: solver
+    rounds, ground clauses instantiated by refinement, learned clauses
+    retained, and solver restarts.  Accumulated across runs. *)
 
 (** {1 Snapshots} *)
 
@@ -174,9 +182,14 @@ type snapshot = {
           planner existed *)
   plan_patterns_only : int;  (** planner answered from patterns alone *)
   plan_backend_dlr : int;  (** planner picked the tableau outright *)
-  plan_backend_sat : int;  (** planner picked bounded SAT outright *)
-  plan_races : int;  (** planner raced both complete backends *)
+  plan_backend_sat : int;  (** planner picked eager bounded SAT outright *)
+  plan_backend_sat_lazy : int;  (** planner picked lazy-grounding SAT outright *)
+  plan_races : int;  (** planner raced two complete backends *)
   plan_cancelled : int;  (** races whose loser was actively cancelled *)
+  cegar_rounds : int;  (** lazy-grounding refinement rounds, summed *)
+  cegar_instantiated : int;  (** ground clauses added by refinement, summed *)
+  cegar_learned : int;  (** learned clauses retained, summed *)
+  cegar_restarts : int;  (** solver restarts in lazy runs, summed *)
   checks : int;
   check_time_ns : int;
   propagation_runs : int;

@@ -39,6 +39,36 @@ let test_engine_sound_vs_sat =
            (fun group -> refuted (All_populated (Ids.Role_set.elements group)))
            (take 2 report.joint))
 
+(* The same soundness sweep against the lazy-grounding route: CEGAR
+   decides the identical bounded question through a different path (goal
+   clauses only, Eval-guided refinement), so an engine condemnation that
+   the eager encoder refutes but CEGAR models would expose an unsound
+   refinement step — exactly the bug class the relaxation argument is
+   supposed to exclude. *)
+let test_engine_sound_vs_cegar =
+  QCheck.Test.make ~count:60
+    ~name:"engine verdicts hold on arbitrary schemas (CEGAR)"
+    QCheck.(int_range 0 50_000)
+    (fun seed ->
+      let schema = arbitrary seed in
+      let settings = Orm_patterns.Settings.(with_extensions default) in
+      let report = Engine.check ~settings schema in
+      let take k xs = List.filteri (fun i _ -> i < k) xs in
+      let refuted query =
+        match Orm_sat.Cegar.solve ~budget:300_000 schema query with
+        | Orm_sat.Encode.Model _ -> false
+        | Orm_sat.Encode.No_model | Orm_sat.Encode.Timeout -> true
+      in
+      List.for_all
+        (fun t -> refuted (Type_satisfiable t))
+        (take 3 (Ids.String_set.elements report.unsat_types))
+      && List.for_all
+           (fun r -> refuted (Role_satisfiable r))
+           (take 3 (Ids.Role_set.elements report.unsat_roles))
+      && List.for_all
+           (fun group -> refuted (All_populated (Ids.Role_set.elements group)))
+           (take 2 report.joint))
+
 (* Nothing in the toolchain may raise on arbitrary input. *)
 let test_toolchain_total =
   QCheck.Test.make ~count:120 ~name:"toolchain is total on arbitrary schemas"
@@ -72,6 +102,7 @@ let suite =
   [
     QCheck_alcotest.to_alcotest test_wellformed;
     QCheck_alcotest.to_alcotest ~long:true test_engine_sound_vs_sat;
+    QCheck_alcotest.to_alcotest ~long:true test_engine_sound_vs_cegar;
     QCheck_alcotest.to_alcotest test_toolchain_total;
     QCheck_alcotest.to_alcotest test_repair_monotone;
   ]

@@ -11,7 +11,9 @@ open Orm
 module Engine = Orm_patterns.Engine
 module Gen = Orm_generator.Gen
 
-type entry = { seed : int; extensions : bool }
+type route = Eager | Cegar
+
+type entry = { seed : int; extensions : bool; route : route }
 
 let corpus_file = Filename.concat "corpus" "engine_vs_sat.txt"
 
@@ -27,14 +29,20 @@ let load_corpus () =
         if line = "" || line.[0] = '#' then go acc
         else
           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-          | [ seed ] -> go ({ seed = int_of_string seed; extensions = false } :: acc)
-          | [ seed; "ext" ] ->
-              go ({ seed = int_of_string seed; extensions = true } :: acc)
+          | seed :: flags
+            when List.for_all (fun f -> f = "ext" || f = "cegar") flags ->
+              go
+                ({
+                   seed = int_of_string seed;
+                   extensions = List.mem "ext" flags;
+                   route = (if List.mem "cegar" flags then Cegar else Eager);
+                 }
+                :: acc)
           | _ -> Alcotest.failf "malformed corpus line %S" line)
   in
   go []
 
-let check_entry { seed; extensions } =
+let check_entry { seed; extensions; route } =
   let schema = Gen.arbitrary ~config:(Gen.sized 3) ~seed () in
   let settings =
     if extensions then Orm_patterns.Settings.(with_extensions default)
@@ -42,14 +50,20 @@ let check_entry { seed; extensions } =
   in
   let report = Engine.check ~settings schema in
   let refuted query =
-    match Orm_sat.Encode.solve ~budget:300_000 schema query with
+    let outcome =
+      match route with
+      | Eager -> Orm_sat.Encode.solve ~budget:300_000 schema query
+      | Cegar -> Orm_sat.Cegar.solve ~budget:300_000 schema query
+    in
+    match outcome with
     | Orm_sat.Encode.Model _ -> false
     | Orm_sat.Encode.No_model | Orm_sat.Encode.Timeout -> true
   in
   let fail kind name =
     Alcotest.failf
-      "seed %d%s: engine condemned %s %s but SAT found a model" seed
+      "seed %d%s%s: engine condemned %s %s but SAT found a model" seed
       (if extensions then " (ext)" else "")
+      (match route with Cegar -> " (cegar)" | Eager -> "")
       kind name
   in
   List.iter
@@ -76,12 +90,21 @@ let test_corpus () =
   List.iter check_entry entries
 
 (* The historical counterexample also asserted directly, so a corpus-file
-   edit cannot silently drop the one seed this suite exists for. *)
+   edit cannot silently drop the one seed this suite exists for.  It is
+   replayed through both SAT routes: the eager refutation is the original
+   regression, the CEGAR one proves the lazy route refutes it too. *)
 let test_seed_10712_pinned () =
-  check_entry { seed = 10712; extensions = true };
+  check_entry { seed = 10712; extensions = true; route = Eager };
+  check_entry { seed = 10712; extensions = true; route = Cegar };
   let entries = load_corpus () in
   Alcotest.(check bool) "seed 10712 (ext) is in the corpus" true
-    (List.exists (fun e -> e.seed = 10712 && e.extensions) entries)
+    (List.exists
+       (fun e -> e.seed = 10712 && e.extensions && e.route = Eager)
+       entries);
+  Alcotest.(check bool) "seed 10712 (ext cegar) is in the corpus" true
+    (List.exists
+       (fun e -> e.seed = 10712 && e.extensions && e.route = Cegar)
+       entries)
 
 let suite =
   [

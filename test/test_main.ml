@@ -26,6 +26,7 @@ let () = Alcotest.run "orm-unsat" [
       ("classify", Test_classify.suite);
       ("diff", Test_diff.suite);
       ("sat", Test_sat.suite);
+      ("cegar", Test_cegar.suite);
       ("nary", Test_nary.suite);
       ("explain", Test_explain.suite);
       ("schema-files", Test_schema_files.suite);

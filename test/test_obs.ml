@@ -109,6 +109,8 @@ let test_cluster_fold_is_sum () =
   Metrics.record_request b ~time_ns:3_000;
   Metrics.record_timeout b;
   Metrics.record_internal_error a;
+  Metrics.record_cegar a ~rounds:2 ~instantiated:5 ~learned:7 ~restarts:1;
+  Metrics.record_cegar b ~rounds:1 ~instantiated:3 ~learned:0 ~restarts:0;
   let folded = Metrics.add (Metrics.snapshot a) (Metrics.snapshot b) in
   let body = Prometheus.render ~workers:2 folded in
   List.iter
@@ -120,6 +122,10 @@ let test_cluster_fold_is_sum () =
       "ormcheck_internal_errors_total 1";
       "ormcheck_workers 2";
       "ormcheck_request_seconds_count 3";
+      "ormcheck_cegar_rounds_total 3";
+      "ormcheck_cegar_instantiated_clauses_total 8";
+      "ormcheck_cegar_learned_clauses_total 7";
+      "ormcheck_cegar_restarts_total 1";
     ];
   match Prometheus.lint body with
   | Ok () -> ()

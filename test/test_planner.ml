@@ -43,8 +43,10 @@ let file_fixtures =
    pattern diagnostic, no tableau Unsat, no SAT refutation), and the
    backends' definitive verdicts are mutually consistent by construction
    (a SAT model is Eval-verified, so it refutes any tableau Unsat claim) —
-   so auto must equal forced-[`Both] exactly, and equal the conjunction of
-   the two single-backend verdicts. *)
+   so auto must equal the conjunction of forced runs of exactly the
+   backends its plan chose (cancellation cannot hide a refutation: a
+   definitive winner is either itself a refutation or a verified model
+   that precludes one). *)
 let test_differential () =
   let schemas =
     Lazy.force Test_parallel_diff.corpus @ Lazy.force file_fixtures
@@ -56,6 +58,11 @@ let test_differential () =
       let auto = run `Auto schema in
       let dlr = run `Dlr schema in
       let sat = run `Sat schema in
+      let forced_clean = function
+        | Cost.Dlr -> dlr.Reason.clean
+        | Cost.Sat -> sat.Reason.clean
+        | Cost.Sat_lazy -> (run `SatLazy schema).Reason.clean
+      in
       (match auto.Reason.plan with
       | None -> Alcotest.failf "schema %d: auto produced no plan" i
       | Some plan -> (
@@ -64,9 +71,18 @@ let test_differential () =
               incr seen_patterns_only;
               if not auto.Reason.short_circuit then
                 Alcotest.failf "schema %d: Patterns_only did not short-circuit" i;
-              if auto.Reason.dlr <> None || auto.Reason.sat <> None then
-                Alcotest.failf "schema %d: short-circuit ran a backend" i
-          | Planner.Race _ -> incr seen_race
+              if
+                auto.Reason.dlr <> None || auto.Reason.sat <> None
+                || auto.Reason.sat_lazy <> None
+              then Alcotest.failf "schema %d: short-circuit ran a backend" i
+          | Planner.Race (a, b) ->
+              incr seen_race;
+              let expected = forced_clean a && forced_clean b in
+              if auto.Reason.clean <> expected then
+                Alcotest.failf
+                  "schema %d: auto (race %s+%s) clean=%b but forced runs \
+                   give %b"
+                  i (Cost.name a) (Cost.name b) auto.Reason.clean expected
           | Planner.Backend _ ->
               Alcotest.failf "schema %d: Backend decision without a deadline" i));
       (* the forced side-by-side mode on every third schema: it repeats the
@@ -74,13 +90,10 @@ let test_differential () =
          suite's wall-clock in check without losing mode coverage *)
       if i mod 3 = 0 then begin
         let both = run `Both schema in
-        if auto.Reason.clean <> both.Reason.clean then
-          Alcotest.failf "schema %d: auto clean=%b but both clean=%b" i
-            auto.Reason.clean both.Reason.clean
+        if both.Reason.clean <> (dlr.Reason.clean && sat.Reason.clean) then
+          Alcotest.failf "schema %d: both clean=%b but dlr=%b, sat=%b" i
+            both.Reason.clean dlr.Reason.clean sat.Reason.clean
       end;
-      if auto.Reason.clean <> (dlr.Reason.clean && sat.Reason.clean) then
-        Alcotest.failf "schema %d: auto clean=%b but dlr=%b, sat=%b" i
-          auto.Reason.clean dlr.Reason.clean sat.Reason.clean;
       (* forced backends never contradict each other either *)
       let sat_model =
         match sat.Reason.sat with
@@ -143,37 +156,44 @@ let test_race_cleanup () =
 
 let test_decision_policy () =
   let f = Features.extract (Test_parallel_diff.clean ~size:8 ~seed:3) in
+  let cost b = (Cost.estimate f b).Cost.cost_ns in
+  let sorted =
+    List.sort (fun a b -> compare (cost a) (cost b)) Cost.all
+  in
+  let cheapest, second =
+    match sorted with a :: b :: _ -> (a, b) | _ -> assert false
+  in
   (match (Planner.decide ~patterns_conclusive:true f).Planner.decision with
   | Planner.Patterns_only -> ()
   | d ->
       Alcotest.failf "conclusive patterns chose %s" (Planner.decision_name d));
   (match (Planner.decide ~patterns_conclusive:false f).Planner.decision with
-  | Planner.Race (Cost.Dlr, Cost.Sat) -> ()
+  | Planner.Race (a, b) when (a, b) = (cheapest, second) -> ()
   | d -> Alcotest.failf "no deadline chose %s" (Planner.decision_name d));
-  let dlr_cost = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
-  let sat_cost = (Cost.estimate f Cost.Sat).Cost.cost_ns in
-  Alcotest.(check bool) "tableau is the cheaper sprinter" true
-    (dlr_cost < sat_cost);
-  let mid = (dlr_cost + sat_cost) / 2 in
+  Alcotest.(check bool) "tableau is the cheapest sprinter" true
+    (cheapest = Cost.Dlr);
+  let mid = (cost cheapest + cost second) / 2 in
   (match (Planner.decide ~budget_ns:mid ~patterns_conclusive:false f).Planner.decision with
-  | Planner.Backend Cost.Dlr -> ()
+  | Planner.Backend b when b = cheapest -> ()
   | d ->
       Alcotest.failf "budget admitting only the tableau chose %s"
         (Planner.decision_name d));
   match (Planner.decide ~budget_ns:0 ~patterns_conclusive:false f).Planner.decision with
-  | Planner.Backend Cost.Dlr -> ()
+  | Planner.Backend b when b = cheapest -> ()
   | d ->
-      Alcotest.failf "starved budget chose %s instead of the cheaper backend"
+      Alcotest.failf "starved budget chose %s instead of the cheapest backend"
         (Planner.decision_name d)
 
-(* End to end: a deadline below the SAT estimate must produce a
+(* End to end: a deadline below both SAT estimates must produce a
    single-backend plan, run only the tableau, and still return. *)
 let test_backend_decision_end_to_end () =
   let schema = Test_parallel_diff.clean ~size:8 ~seed:3 in
   let f = Features.extract schema in
-  let dlr_cost = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
-  let sat_cost = (Cost.estimate f Cost.Sat).Cost.cost_ns in
-  let headroom = dlr_cost + ((sat_cost - dlr_cost) / 2) in
+  let cost b = (Cost.estimate f b).Cost.cost_ns in
+  let dlr_cost = cost Cost.Dlr in
+  let next_cost = min (cost Cost.Sat) (cost Cost.Sat_lazy) in
+  Alcotest.(check bool) "tableau is the cheapest" true (dlr_cost < next_cost);
+  let headroom = dlr_cost + ((next_cost - dlr_cost) / 2) in
   let deadline = Int64.add (Metrics.now_ns ()) (Int64.of_int headroom) in
   let r = run ~deadline_ns:deadline `Auto schema in
   (match r.Reason.plan with
@@ -183,7 +203,7 @@ let test_backend_decision_end_to_end () =
         (Planner.decision_name p.Planner.decision)
   | None -> Alcotest.fail "auto produced no plan");
   Alcotest.(check bool) "only the tableau ran" true
-    (r.Reason.dlr <> None && r.Reason.sat = None)
+    (r.Reason.dlr <> None && r.Reason.sat = None && r.Reason.sat_lazy = None)
 
 (* The online half of the cost model: enough recorded runs blend the
    observed p95 in, fewer than [min_observations] leave the static
@@ -238,7 +258,7 @@ let test_extract_monotone =
 
 let test_race_admission =
   QCheck.Test.make ~count:200
-    ~name:"Race only when the budget admits both backends"
+    ~name:"Race only when the budget admits both racers"
     QCheck.(pair (int_range 0 50_000) (option (int_range 0 1_000_000_000)))
     (fun (seed, budget_ns) ->
       let f = Features.extract (arbitrary seed) in
@@ -251,7 +271,7 @@ let test_race_admission =
             | Some budget ->
                 (Cost.estimate f backend).Cost.cost_ns <= budget
           in
-          plan.Planner.admits_dlr && plan.Planner.admits_sat && fits a && fits b
+          Planner.admits plan a && Planner.admits plan b && fits a && fits b
       | Planner.Patterns_only -> false (* patterns were not conclusive *)
       | Planner.Backend _ -> budget_ns <> None)
 
@@ -298,13 +318,14 @@ let test_corpus_replay () =
           if not (grows_into fb grown) then
             Alcotest.failf "seed %d: fault %d shrinks a feature" seed pattern)
         (Faults.all_patterns @ Faults.extension_patterns);
-      let dlr_cost = (Cost.estimate f Cost.Dlr).Cost.cost_ns in
-      let sat_cost = (Cost.estimate f Cost.Sat).Cost.cost_ns in
+      let cost backend = (Cost.estimate f backend).Cost.cost_ns in
+      let dlr_cost = cost Cost.Dlr in
+      let sat_cost = cost Cost.Sat in
       List.iter
         (fun budget_ns ->
           let plan = Planner.decide ?budget_ns ~patterns_conclusive:false f in
           match (plan.Planner.decision, budget_ns) with
-          | Planner.Race _, Some b when dlr_cost > b || sat_cost > b ->
+          | Planner.Race (x, y), Some b when cost x > b || cost y > b ->
               Alcotest.failf "seed %d: race without admission at budget %d"
                 seed b
           | _ -> ())

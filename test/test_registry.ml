@@ -348,6 +348,70 @@ let test_store_entry_file () =
       Alcotest.(check bool) "entry body present" true
         (Orm_json.member "entry" v <> None)
 
+(* The posting lists are an optimization, not a semantics change: over a
+   few hundred random entries, every query must return exactly what a
+   brute-force scan of the ingested set returns — both on the store that
+   ingested the entries and on a fresh store whose postings were built by
+   index replay. *)
+let test_store_postings_differential () =
+  let dir = tmp_dir () in
+  let st = Store.create ~format_version:3 ~dir in
+  let rng = Random.State.make [| 20260809 |] in
+  let entries = ref [] in
+  for i = 0 to 199 do
+    let digest = Printf.sprintf "%08x" (i * 2654435761) in
+    let verdict = if Random.State.bool rng then "unsat" else "clean" in
+    let patterns =
+      List.filter
+        (fun _ -> Random.State.int rng 4 = 0)
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    in
+    entries := (digest, verdict, patterns) :: !entries;
+    ignore
+      (Store.ingest st ~digest ~name:digest ~verdict
+         ~patterns:(Store.bitmap_of_patterns patterns)
+         ~diagnostics:(List.length patterns) ~entry_body:Orm_json.Null)
+  done;
+  let expected q_verdict q_patterns =
+    List.filter
+      (fun (_, v, ps) ->
+        (match q_verdict with None -> true | Some w -> v = w)
+        && List.for_all (fun n -> List.mem n ps) q_patterns)
+      !entries
+    |> List.map (fun (d, _, _) -> d)
+    |> List.sort String.compare
+  in
+  let queries =
+    [
+      ("verdict:unsat", Some "unsat", []);
+      ("verdict:clean", Some "clean", []);
+      ("pattern:3", None, [ 3 ]);
+      ("pattern:1 pattern:8", None, [ 1; 8 ]);
+      ("verdict:unsat pattern:5", Some "unsat", [ 5 ]);
+      ("verdict:clean pattern:2 pattern:6", Some "clean", [ 2; 6 ]);
+      ("pattern:42", None, [ 42 ]);  (* empty posting list *)
+    ]
+  in
+  let check_store label st =
+    List.iter
+      (fun (q, qv, qp) ->
+        match Store.query st ~limit:1_000 q with
+        | Error e -> Alcotest.failf "%s: query %S failed: %s" label q e
+        | Ok (matches, total) ->
+            let got = List.map (fun (e : Store.entry) -> e.Store.digest) matches in
+            let want = expected qv qp in
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s: %s agrees with scan" label q)
+              want got;
+            Alcotest.(check int)
+              (Printf.sprintf "%s: %s total" label q)
+              (List.length want) total)
+      queries
+  in
+  check_store "ingest-built postings" st;
+  (* a fresh store rebuilds the postings from the index file alone *)
+  check_store "replay-built postings" (Store.create ~format_version:3 ~dir)
+
 let suite =
   [
     ("figures: digest invariant under cloning", `Quick, test_figures_invariant);
@@ -360,4 +424,7 @@ let suite =
     ("store: ingest, dedup, query, replay", `Quick, test_store_roundtrip);
     ("store: aggregates", `Quick, test_store_stats);
     ("store: entry files", `Quick, test_store_entry_file);
+    ( "store: posting lists agree with a full scan",
+      `Quick,
+      test_store_postings_differential );
   ]
